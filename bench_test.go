@@ -1,0 +1,269 @@
+package sentry
+
+// Benchmark harness: one testing.B benchmark per paper table and figure
+// (each invokes the corresponding experiment and reports its headline
+// numbers as custom metrics), plus microbenchmarks of the core mechanisms.
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks measure *simulated* platform behaviour; the
+// benchmark's own ns/op is just harness time. Read the custom metrics.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"sentry/internal/aes"
+	"sentry/internal/mem"
+	"sentry/internal/onsoc"
+	"sentry/internal/soc"
+)
+
+// runExperiment executes one registered experiment per iteration and
+// reports first-row/first-numeric-cell style metrics.
+func runExperiment(b *testing.B, id string, metrics func(b *testing.B, r *Report)) {
+	b.Helper()
+	e, ok := ExperimentByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var last *Report
+	for i := 0; i < b.N; i++ {
+		r, err := e.Run(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if metrics != nil {
+		metrics(b, last)
+	}
+	b.Logf("\n%s", last.String())
+}
+
+func metric(b *testing.B, r *Report, row, col int, name string) {
+	s := r.Rows[row][col]
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkTable2Remanence(b *testing.B) {
+	runExperiment(b, "table2", func(b *testing.B, r *Report) {
+		metric(b, r, 1, 2, "reflash-dram-%")
+		metric(b, r, 2, 2, "reset2s-dram-%")
+	})
+}
+
+func BenchmarkTable3SecurityMatrix(b *testing.B) {
+	runExperiment(b, "table3", nil)
+}
+
+func BenchmarkTable4AESState(b *testing.B) {
+	runExperiment(b, "table4", func(b *testing.B, r *Report) {
+		metric(b, r, len(r.Rows)-1, 1, "aes128-state-bytes")
+	})
+}
+
+func BenchmarkFig2UnlockOverhead(b *testing.B) {
+	runExperiment(b, "fig2", func(b *testing.B, r *Report) {
+		metric(b, r, 1, 1, "maps-unlock-s")
+		metric(b, r, 1, 2, "maps-unlock-MB")
+	})
+}
+
+func BenchmarkFig3RuntimeOverhead(b *testing.B) {
+	runExperiment(b, "fig3", func(b *testing.B, r *Report) {
+		metric(b, r, 0, 3, "contacts-overhead-%")
+	})
+}
+
+func BenchmarkFig4LockOverhead(b *testing.B) {
+	runExperiment(b, "fig4", func(b *testing.B, r *Report) {
+		metric(b, r, 1, 1, "maps-lock-s")
+		metric(b, r, 1, 2, "maps-lock-MB")
+	})
+}
+
+func BenchmarkFig5LockUnlockEnergy(b *testing.B) {
+	runExperiment(b, "fig5", func(b *testing.B, r *Report) {
+		metric(b, r, 1, 1, "maps-lock-J")
+	})
+}
+
+func BenchmarkFig6BackgroundAlpine(b *testing.B) {
+	runExperiment(b, "fig6", func(b *testing.B, r *Report) {
+		metric(b, r, 1, 2, "alpine-256KB-x")
+	})
+}
+
+func BenchmarkFig7BackgroundVlock(b *testing.B) {
+	runExperiment(b, "fig7", func(b *testing.B, r *Report) {
+		metric(b, r, 1, 2, "vlock-256KB-x")
+	})
+}
+
+func BenchmarkFig8BackgroundXmms2(b *testing.B) {
+	runExperiment(b, "fig8", func(b *testing.B, r *Report) {
+		metric(b, r, 2, 2, "xmms2-512KB-x")
+	})
+}
+
+func BenchmarkFig9DmCrypt(b *testing.B) {
+	runExperiment(b, "fig9", func(b *testing.B, r *Report) {
+		metric(b, r, 0, 3, "randread-sentry-MBps")
+		metric(b, r, 2, 3, "randrw-sentry-MBps")
+	})
+}
+
+func BenchmarkFig10KernelCompile(b *testing.B) {
+	runExperiment(b, "fig10", func(b *testing.B, r *Report) {
+		metric(b, r, 1, 3, "one-way-slowdown-x")
+	})
+}
+
+func BenchmarkFig11AESThroughput(b *testing.B) {
+	runExperiment(b, "fig11", func(b *testing.B, r *Report) {
+		metric(b, r, 0, 2, "nexus-generic-MBps")
+	})
+}
+
+func BenchmarkFig12AESEnergy(b *testing.B) {
+	runExperiment(b, "fig12", func(b *testing.B, r *Report) {
+		metric(b, r, 2, 1, "hw-accel-uJ-per-B")
+	})
+}
+
+func BenchmarkTextAnchors(b *testing.B) {
+	runExperiment(b, "anchors", nil)
+}
+
+func BenchmarkAblationLazyVsEager(b *testing.B) {
+	runExperiment(b, "ablation-lazy", nil)
+}
+
+func BenchmarkAblationLockedCapacity(b *testing.B) {
+	runExperiment(b, "ablation-capacity", nil)
+}
+
+func BenchmarkAblationSelective(b *testing.B) {
+	runExperiment(b, "ablation-selective", nil)
+}
+
+// --- Microbenchmarks of the core mechanisms (host-time measurements). ---
+
+func BenchmarkAESNativeEncryptCBC(b *testing.B) {
+	c, _ := aes.NewCipher(make([]byte, 16))
+	buf := make([]byte, 4096)
+	iv := make([]byte, 16)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EncryptCBC(buf, buf, iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAESPlacedFidelityBlock(b *testing.B) {
+	p, _ := aes.NewPlaced(&aes.MapStore{}, make([]byte, 16), 0)
+	blk := make([]byte, 16)
+	b.SetBytes(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.EncryptBlock(blk, blk)
+	}
+}
+
+func BenchmarkSimulatedCacheAccess(b *testing.B) {
+	s := soc.Tegra3(1)
+	buf := make([]byte, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CPU.ReadPhys(soc.DRAMBase+mem.PhysAddr((i%4096)*32), buf)
+	}
+}
+
+func BenchmarkSentryPageEncrypt(b *testing.B) {
+	dev, err := NewTegra3(1, "1234", Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	page := make([]byte, 4096)
+	iv := make([]byte, 16)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.Sentry.Engine().EncryptCBCBulk(page, page, iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLockedWayLockUnlock(b *testing.B) {
+	s := soc.Tegra3(1)
+	locker, err := onsoc.NewWayLocker(s, soc.DRAMBase+mem.PhysAddr(s.Prof.DRAMSize-uint64(s.Prof.Cache.Ways*s.Prof.Cache.WaySize)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		way, _, err := locker.LockWay()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := locker.UnlockWay(way); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackgroundPageFault(b *testing.B) {
+	dev, err := NewTegra3(1, "1234", Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := dev.LaunchBackground(Alpine())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev.Lock()
+	if err := dev.BeginBackground(app, 128); err != nil {
+		b.Fatal(err)
+	}
+	pages := app.Proc.AS.Pages()
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate between two conflict sets to force page-in/out cycles.
+		v := pages[i%len(pages)]
+		if err := dev.SoC.CPU.Load(v, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColdBootDumpScan(b *testing.B) {
+	dev, err := NewTegra3(1, "1234", Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dev.Launch(Contacts(), true); err != nil {
+		b.Fatal(err)
+	}
+	dev.Lock()
+	dump, err := dev.MountColdBoot(Reflash)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dump.RecoverKeys()
+	}
+}

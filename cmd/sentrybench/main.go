@@ -1,0 +1,61 @@
+// Command sentrybench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sentrybench -list              # show available experiments
+//	sentrybench -exp fig9          # run one experiment
+//	sentrybench -exp all           # run everything (several minutes)
+//	sentrybench -exp fig2 -seed 7  # different simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sentry/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id (table2..table4, fig2..fig12, anchors, ablation-*) or 'all'")
+		seed = flag.Int64("seed", 1, "simulation seed")
+		list = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-20s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	var todo []bench.Experiment
+	if *exp == "all" {
+		todo = bench.All()
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sentrybench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		todo = []bench.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		r, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sentrybench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(r.String())
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,229 @@
+// Command sentrysh is an interactive shell over a simulated device:
+// launch apps, lock and unlock, run background sessions, and mount
+// attacks, watching Sentry's state as you go.
+//
+//	$ go run ./cmd/sentrysh
+//	sentry> launch contacts
+//	sentry> lock
+//	sentry> coldboot reflash
+//	cold boot recovered nothing
+//	sentry> unlock 4321
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sentry"
+	"sentry/internal/attack"
+)
+
+const defaultPIN = "4321"
+
+type shell struct {
+	dev  *sentry.Device
+	apps map[string]*sentry.App
+	seed int64
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		platform = flag.String("platform", "tegra3", "tegra3 | nexus4")
+		script   = flag.String("c", "", "semicolon-separated commands to run non-interactively")
+	)
+	flag.Parse()
+
+	sh := &shell{apps: make(map[string]*sentry.App), seed: *seed}
+	var err error
+	switch *platform {
+	case "tegra3":
+		sh.dev, err = sentry.NewTegra3(*seed, defaultPIN, sentry.Config{})
+	case "nexus4":
+		sh.dev, err = sentry.NewNexus4(*seed, defaultPIN, sentry.Config{})
+	default:
+		err = fmt.Errorf("unknown platform %q", *platform)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentrysh:", err)
+		os.Exit(1)
+	}
+
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			if !sh.exec(strings.TrimSpace(line)) {
+				return
+			}
+		}
+		return
+	}
+
+	fmt.Printf("sentrysh: %s booted (PIN %s). Type 'help'.\n", *platform, defaultPIN)
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("sentry> ")
+		if !in.Scan() {
+			return
+		}
+		if !sh.exec(strings.TrimSpace(in.Text())) {
+			return
+		}
+	}
+}
+
+// exec runs one command; returns false to exit the shell.
+func (sh *shell) exec(line string) bool {
+	if line == "" {
+		return true
+	}
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Print(`commands:
+  launch <contacts|maps|twitter|mp3> [unprotected]   start an app
+  launchbg <alpine|vlock|xmms2>                      start a background app
+  lock | unlock <pin> | suspend | wake               device state
+  bg <name> <lockedKB>                               locked-L2 background session
+  touch <name> [mb]                                  read app memory
+  coldboot <os-reboot|reflash|2s-reset>              mount a cold boot
+  dma                                                mount a DMA scrape
+  stats | state                                      show status
+  quit
+`)
+	case "quit", "exit":
+		return false
+	case "launch", "launchbg":
+		if len(args) < 1 {
+			fmt.Println("usage: launch <app>")
+			return true
+		}
+		profiles := map[string]sentry.AppProfile{
+			"contacts": sentry.Contacts(), "maps": sentry.Maps(),
+			"twitter": sentry.Twitter(), "mp3": sentry.MP3(),
+		}
+		bgProfiles := map[string]sentry.BgProfile{
+			"alpine": sentry.Alpine(), "vlock": sentry.Vlock(), "xmms2": sentry.Xmms2(),
+		}
+		var app *sentry.App
+		var err error
+		if cmd == "launch" {
+			prof, ok := profiles[args[0]]
+			if !ok {
+				fmt.Println("unknown app", args[0])
+				return true
+			}
+			protected := len(args) < 2 || args[1] != "unprotected"
+			app, err = sh.dev.Launch(prof, protected)
+		} else {
+			prof, ok := bgProfiles[args[0]]
+			if !ok {
+				fmt.Println("unknown background app", args[0])
+				return true
+			}
+			app, err = sh.dev.LaunchBackground(prof)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		sh.apps[args[0]] = app
+		fmt.Printf("launched %s (pid %d, %d pages)\n", args[0], app.Proc.PID, app.Proc.AS.Len())
+	case "lock":
+		sh.dev.Lock()
+		fmt.Printf("locked: %.1f MB sealed so far\n", float64(sh.dev.Stats().LockEncryptedBytes)/(1<<20))
+	case "unlock":
+		if len(args) < 1 {
+			fmt.Println("usage: unlock <pin>")
+			return true
+		}
+		if err := sh.dev.Unlock(args[0]); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("unlocked")
+		}
+	case "suspend":
+		sh.dev.Suspend()
+		fmt.Println("suspended (S3)")
+	case "wake":
+		sh.dev.Wake(sentry.WakeUser)
+		fmt.Println("awake")
+	case "bg":
+		if len(args) < 2 {
+			fmt.Println("usage: bg <name> <lockedKB>")
+			return true
+		}
+		app, ok := sh.apps[args[0]]
+		if !ok {
+			fmt.Println("no such app")
+			return true
+		}
+		kb, _ := strconv.Atoi(args[1])
+		if err := sh.dev.BeginBackground(app, kb); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("background session: %d on-SoC pages\n", sh.dev.Sentry.BackgroundCapacityPages())
+		}
+	case "touch":
+		if len(args) < 1 {
+			fmt.Println("usage: touch <name> [mb]")
+			return true
+		}
+		app, ok := sh.apps[args[0]]
+		if !ok {
+			fmt.Println("no such app")
+			return true
+		}
+		mb := 1
+		if len(args) > 1 {
+			mb, _ = strconv.Atoi(args[1])
+		}
+		if err := app.TouchMB(mb); err != nil {
+			fmt.Println("fault:", err)
+		} else {
+			fmt.Printf("touched %d MB\n", mb)
+		}
+	case "coldboot":
+		v := map[string]attack.ColdBootVariant{
+			"os-reboot": sentry.OSReboot, "reflash": sentry.Reflash, "2s-reset": sentry.HeldReset,
+		}
+		variant, ok := sentry.Reflash, true
+		if len(args) > 0 {
+			variant, ok = v[args[0]]
+		}
+		if !ok {
+			fmt.Println("unknown variant")
+			return true
+		}
+		dump, err := sh.dev.MountColdBoot(variant)
+		if err != nil {
+			fmt.Println("attack failed:", err)
+			return true
+		}
+		keys := dump.RecoverKeys()
+		fmt.Printf("cold boot (%s): app data recovered: %v, AES keys: %d\n",
+			dump.Variant, dump.ContainsSecret([]byte("APPSECRET~")), len(keys))
+		fmt.Println("note: the device has been rebooted; simulated state is post-attack")
+	case "dma":
+		scr := sh.dev.MountDMAScrape()
+		fmt.Printf("DMA scrape: %d pages, %d denied, app data: %v, keys: %d\n",
+			scr.PagesRead(), len(scr.Denied), scr.ContainsSecret([]byte("APPSECRET~")), len(scr.RecoverKeys()))
+	case "stats":
+		st := sh.dev.Stats()
+		fmt.Printf("sealed %.1f MB | demand-decrypted %.1f MB (%d faults) | eager %.1f MB | bg in/out %d/%d\n",
+			float64(st.LockEncryptedBytes)/(1<<20),
+			float64(st.DemandDecryptedBytes)/(1<<20), st.DemandFaults,
+			float64(st.EagerDecryptedBytes)/(1<<20), st.BgPageIns, st.BgPageOuts)
+	case "state":
+		fmt.Printf("lock=%v suspended=%v simtime=%.3fs energy=%.2fJ\n",
+			sh.dev.Kernel.State(), sh.dev.Kernel.Suspended(),
+			sh.dev.SoC.Clock.Seconds(), sh.dev.SoC.Meter.Joules())
+	default:
+		fmt.Println("unknown command (try 'help')")
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+// Attack lab: the full Table 3 matrix, live. Stash the same secret (and a
+// keyed AES engine) in each storage alternative — plain DRAM, iRAM, and a
+// locked L2 way — and mount all three attack classes against each,
+// printing what was recovered. Finishes with the bus-monitor key-recovery
+// attack actually extracting an AES key from a generic implementation.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sentry/internal/aes"
+	"sentry/internal/attack"
+	"sentry/internal/bench"
+	"sentry/internal/onsoc"
+	"sentry/internal/soc"
+)
+
+func main() {
+	// Part 1: the Table 3 matrix via the experiment harness.
+	exp, _ := bench.ByID("table3")
+	report, err := exp.Run(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report.String())
+
+	// Part 2: watch a real key fall to the access-pattern side channel.
+	fmt.Println("\n=== live key recovery from bus-observed AES table lookups ===")
+	s := soc.Tegra3(1)
+	key := []byte("exfiltrate me!!!")
+	victim, err := onsoc.NewGeneric(s, soc.DRAMBase+0x400000, key, true) // device-mapped crypto buffer
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon := &attack.BusMonitor{}
+	s.Bus.Attach(mon)
+
+	plaintext := []byte("known plaintext!")
+	mon.Reset()
+	if err := victim.EncryptCBC(make([]byte, 16), plaintext, make([]byte, 16)); err != nil {
+		log.Fatal(err)
+	}
+	reads := mon.ReadsInRange(victim.ArenaBase()+aes.TeOffset, 1024)
+	fmt.Printf("observed %d T-table reads for one block\n", len(reads))
+
+	kr := attack.NewKeyRecovery(victim.ArenaBase())
+	if err := kr.AddBlock(plaintext, reads[:16], 4); err != nil {
+		log.Fatal(err)
+	}
+	recovered, ok := kr.Key()
+	fmt.Printf("key recovered: %v\n", ok)
+	if ok {
+		fmt.Printf("  actual:    %x\n  recovered: %x\n  match: %v\n",
+			key, recovered, bytes.Equal(recovered, key))
+	}
+
+	// Part 3: the same attack against AES On SoC comes up empty.
+	base, size := s.UsableIRAM()
+	safe, err := onsoc.NewInIRAM(s, onsoc.NewIRAMAlloc(base, size), key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon.Reset()
+	if err := safe.EncryptCBC(make([]byte, 16), plaintext, make([]byte, 16)); err != nil {
+		log.Fatal(err)
+	}
+	safeReads := mon.ReadsInRange(safe.ArenaBase()+aes.TeOffset, 1024)
+	fmt.Printf("\nsame attack vs AES On SoC (iRAM): %d table reads observed — nothing to solve\n",
+		len(safeReads))
+}

@@ -1,0 +1,76 @@
+// dm-crypt: protect persistent storage with block-level encryption whose
+// cipher state never leaves the SoC (§7 "Securing Persistent State"), and
+// show the difference a bus probe sees between generic AES and AES On SoC.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sentry"
+	"sentry/internal/aes"
+	"sentry/internal/blockdev"
+	"sentry/internal/core"
+	"sentry/internal/dmcrypt"
+	"sentry/internal/soc"
+)
+
+func main() {
+	dev, err := sentry.NewTegra3(1, "4321", sentry.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The persistent key derives from the boot password and the TrustZone
+	// secure fuse — per device, per password.
+	key, err := dev.Sentry.Keys().DerivePersistentKey("correct horse battery staple")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persistent key derived from password + secure fuse: %x…\n", key[:4])
+
+	// Register AES On SoC with the kernel Crypto API: dm-crypt picks it up
+	// automatically because it outranks the generic provider.
+	dev.RegisterOnSoC()
+	dm, raw, err := dev.NewEncryptedDisk(4<<20, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dm-crypt volume using provider %q\n", dm.CipherName())
+
+	record := bytes.Repeat([]byte("medical-record!!"), blockdev.SectorSize/16)
+	if err := dm.WriteSector(42, record); err != nil {
+		log.Fatal(err)
+	}
+	back := make([]byte, blockdev.SectorSize)
+	if err := dm.ReadSector(42, back); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round trip ok: %v\n", bytes.Equal(back, record))
+
+	onDisk := make([]byte, blockdev.SectorSize)
+	_ = raw.ReadSector(42, onDisk)
+	fmt.Printf("plaintext at rest on the device: %v\n", bytes.Contains(onDisk, []byte("medical-record!!")))
+
+	// Now the side-channel comparison: encrypt one sector with a generic
+	// AES (state in DRAM) and with AES On SoC, watching the bus both times.
+	mon := dev.AttachBusMonitor()
+
+	generic, err := core.NewGenericProvider(dev.SoC, soc.DRAMBase+0x100000, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev.SoC.L2.CleanInvalidateWays(dev.SoC.L2.AllWaysMask() &^ dev.Sentry.Locker().LockedMask())
+	_ = generic.EncryptCBC(make([]byte, 512), make([]byte, 512), make([]byte, 16))
+	genericLookups := len(mon.ReadsInRange(generic.Engine().ArenaBase()+aes.TeOffset, 1024))
+
+	mon.Reset()
+	dm2, _ := dmcrypt.New(raw, dev.Kernel.Crypto, key)
+	_ = dm2.WriteSector(7, record)
+	onsocLookups := len(mon.ReadsInRange(dev.Sentry.Engine().ArenaBase()+aes.TeOffset, 1024))
+
+	fmt.Printf("bus-visible AES table accesses: generic=%d, AES On SoC=%d\n",
+		genericLookups, onsocLookups)
+	fmt.Println("a probe can reconstruct key bits from the former; the latter gives it nothing")
+}

@@ -1,0 +1,58 @@
+// Quickstart: protect an application with Sentry, lock the phone, lose it
+// to an attacker with a reflash rig, and verify nothing is recoverable —
+// then unlock and keep using the app as if nothing happened.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentry"
+)
+
+func main() {
+	// A Tegra 3 class device with PIN 4321.
+	dev, err := sentry.NewTegra3(1, "4321", sentry.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user marks Contacts as sensitive in the settings menu.
+	app, err := dev.Launch(sentry.Contacts(), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("launched %s: %d pages resident, %d DMA region(s)\n",
+		app.Prof.Name, len(app.Proc.AS.Pages()), len(app.Proc.DMARegions))
+
+	// Screen locks: Sentry encrypts the app's memory with the volatile key
+	// held in iRAM.
+	dev.Lock()
+	st := dev.Stats()
+	fmt.Printf("locked: %.1f MB encrypted\n", float64(st.LockEncryptedBytes)/(1<<20))
+
+	// The device is stolen. The attacker taps RESET and boots a memory
+	// dumper (the FROST attack).
+	dump, err := dev.MountColdBoot(sentry.Reflash)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold boot: app data recovered: %v, AES keys recovered: %d\n",
+		dump.ContainsSecret([]byte("APPSECRET~")), len(dump.RecoverKeys()))
+
+	// (On the un-stolen timeline…) the user unlocks; pages decrypt lazily
+	// as the app resumes.
+	dev2, _ := sentry.NewTegra3(1, "4321", sentry.Config{})
+	app2, _ := dev2.Launch(sentry.Contacts(), true)
+	dev2.Lock()
+	if err := dev2.Unlock("4321"); err != nil {
+		log.Fatal(err)
+	}
+	if err := app2.Resume(); err != nil {
+		log.Fatal(err)
+	}
+	st2 := dev2.Stats()
+	fmt.Printf("unlocked: %.1f MB decrypted eagerly (DMA regions), %.1f MB on demand\n",
+		float64(st2.EagerDecryptedBytes)/(1<<20), float64(st2.DemandDecryptedBytes)/(1<<20))
+	fmt.Println("done: the app never noticed, the attacker never had a chance")
+}

@@ -1,0 +1,3 @@
+module sentry
+
+go 1.22

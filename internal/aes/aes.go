@@ -1,0 +1,220 @@
+// Package aes is a from-scratch implementation of the Advanced Encryption
+// Standard (FIPS 197) with CBC chaining, written so that every piece of
+// cipher state has an explicit, accountable location. It exists because
+// Sentry cannot use an off-the-shelf library: a generic implementation
+// scatters key schedules and lookup tables through DRAM and passes secrets
+// on the stack, and Sentry's whole point is controlling exactly where that
+// state lives (§6 of the paper).
+//
+// Two execution forms are provided:
+//
+//   - Cipher: the reference form with state in host memory. Used for
+//     validation (it is tested byte-for-byte against crypto/aes) and as the
+//     data-transformation engine behind bulk cost-modelled encryption.
+//   - PlacedCipher (placed.go): the same algorithm with every piece of
+//     state resident in *simulated* memory through a Store, so the memory
+//     system observes exactly the traffic a real implementation generates.
+package aes
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySizeError reports an unsupported key length.
+type KeySizeError int
+
+func (k KeySizeError) Error() string {
+	return fmt.Sprintf("aes: invalid key size %d (want 16, 24, or 32)", int(k))
+}
+
+// rounds returns Nr for a key of n bytes, or 0 if unsupported.
+func rounds(keyLen int) int {
+	switch keyLen {
+	case 16:
+		return 10
+	case 24:
+		return 12
+	case 32:
+		return 14
+	}
+	return 0
+}
+
+// expandKey computes the encryption schedule (4·(Nr+1) words) and the
+// equivalent-inverse-cipher decryption schedule from key.
+func expandKey(key []byte) (enc, dec []uint32) {
+	nk := len(key) / 4
+	nr := rounds(len(key))
+	n := 4 * (nr + 1)
+	enc = make([]uint32, n)
+	for i := 0; i < nk; i++ {
+		enc[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	for i := nk; i < n; i++ {
+		t := enc[i-1]
+		switch {
+		case i%nk == 0:
+			t = subWord(t<<8|t>>24) ^ rcon[i/nk-1]
+		case nk > 6 && i%nk == 4:
+			t = subWord(t)
+		}
+		enc[i] = enc[i-nk] ^ t
+	}
+	// Decryption schedule: reverse round order; apply InvMixColumns to all
+	// but the first and last round keys.
+	dec = make([]uint32, n)
+	for i := 0; i < n; i += 4 {
+		for j := 0; j < 4; j++ {
+			w := enc[n-4-i+j]
+			if i > 0 && i < n-4 {
+				w = invMixColumnsWord(w)
+			}
+			dec[i+j] = w
+		}
+	}
+	return enc, dec
+}
+
+// Cipher is the reference AES implementation. It implements the same
+// Encrypt/Decrypt/BlockSize contract as crypto/cipher.Block.
+type Cipher struct {
+	nr  int
+	enc []uint32
+	dec []uint32
+}
+
+// NewCipher returns an AES cipher for a 16-, 24-, or 32-byte key.
+func NewCipher(key []byte) (*Cipher, error) {
+	nr := rounds(len(key))
+	if nr == 0 {
+		return nil, KeySizeError(len(key))
+	}
+	enc, dec := expandKey(key)
+	return &Cipher{nr: nr, enc: enc, dec: dec}, nil
+}
+
+// BlockSize returns the AES block size (16).
+func (c *Cipher) BlockSize() int { return BlockSize }
+
+// Rounds returns the number of rounds (10, 12, or 14).
+func (c *Cipher) Rounds() int { return c.nr }
+
+// EncSchedule exposes the encryption key schedule; the cold-boot key-finder
+// attack and the placed cipher both need it.
+func (c *Cipher) EncSchedule() []uint32 { return c.enc }
+
+// Encrypt encrypts one 16-byte block. dst and src may overlap.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	s0 := binary.BigEndian.Uint32(src[0:]) ^ c.enc[0]
+	s1 := binary.BigEndian.Uint32(src[4:]) ^ c.enc[1]
+	s2 := binary.BigEndian.Uint32(src[8:]) ^ c.enc[2]
+	s3 := binary.BigEndian.Uint32(src[12:]) ^ c.enc[3]
+	k := 4
+	for r := 1; r < c.nr; r++ {
+		t0 := te[s0>>24] ^ ror(te[s1>>16&0xFF], 8) ^ ror(te[s2>>8&0xFF], 16) ^ ror(te[s3&0xFF], 24) ^ c.enc[k]
+		t1 := te[s1>>24] ^ ror(te[s2>>16&0xFF], 8) ^ ror(te[s3>>8&0xFF], 16) ^ ror(te[s0&0xFF], 24) ^ c.enc[k+1]
+		t2 := te[s2>>24] ^ ror(te[s3>>16&0xFF], 8) ^ ror(te[s0>>8&0xFF], 16) ^ ror(te[s1&0xFF], 24) ^ c.enc[k+2]
+		t3 := te[s3>>24] ^ ror(te[s0>>16&0xFF], 8) ^ ror(te[s1>>8&0xFF], 16) ^ ror(te[s2&0xFF], 24) ^ c.enc[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+	u0 := sboxWord(s0, s1, s2, s3) ^ c.enc[k]
+	u1 := sboxWord(s1, s2, s3, s0) ^ c.enc[k+1]
+	u2 := sboxWord(s2, s3, s0, s1) ^ c.enc[k+2]
+	u3 := sboxWord(s3, s0, s1, s2) ^ c.enc[k+3]
+	binary.BigEndian.PutUint32(dst[0:], u0)
+	binary.BigEndian.PutUint32(dst[4:], u1)
+	binary.BigEndian.PutUint32(dst[8:], u2)
+	binary.BigEndian.PutUint32(dst[12:], u3)
+}
+
+// sboxWord assembles a final-round word from the s-box of the shifted rows.
+func sboxWord(a, b, c, d uint32) uint32 {
+	return uint32(sbox[a>>24])<<24 | uint32(sbox[b>>16&0xFF])<<16 |
+		uint32(sbox[c>>8&0xFF])<<8 | uint32(sbox[d&0xFF])
+}
+
+// Decrypt decrypts one 16-byte block. dst and src may overlap.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	s0 := binary.BigEndian.Uint32(src[0:]) ^ c.dec[0]
+	s1 := binary.BigEndian.Uint32(src[4:]) ^ c.dec[1]
+	s2 := binary.BigEndian.Uint32(src[8:]) ^ c.dec[2]
+	s3 := binary.BigEndian.Uint32(src[12:]) ^ c.dec[3]
+	k := 4
+	for r := 1; r < c.nr; r++ {
+		t0 := td[s0>>24] ^ ror(td[s3>>16&0xFF], 8) ^ ror(td[s2>>8&0xFF], 16) ^ ror(td[s1&0xFF], 24) ^ c.dec[k]
+		t1 := td[s1>>24] ^ ror(td[s0>>16&0xFF], 8) ^ ror(td[s3>>8&0xFF], 16) ^ ror(td[s2&0xFF], 24) ^ c.dec[k+1]
+		t2 := td[s2>>24] ^ ror(td[s1>>16&0xFF], 8) ^ ror(td[s0>>8&0xFF], 16) ^ ror(td[s3&0xFF], 24) ^ c.dec[k+2]
+		t3 := td[s3>>24] ^ ror(td[s2>>16&0xFF], 8) ^ ror(td[s1>>8&0xFF], 16) ^ ror(td[s0&0xFF], 24) ^ c.dec[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	u0 := invSboxWord(s0, s3, s2, s1) ^ c.dec[k]
+	u1 := invSboxWord(s1, s0, s3, s2) ^ c.dec[k+1]
+	u2 := invSboxWord(s2, s1, s0, s3) ^ c.dec[k+2]
+	u3 := invSboxWord(s3, s2, s1, s0) ^ c.dec[k+3]
+	binary.BigEndian.PutUint32(dst[0:], u0)
+	binary.BigEndian.PutUint32(dst[4:], u1)
+	binary.BigEndian.PutUint32(dst[8:], u2)
+	binary.BigEndian.PutUint32(dst[12:], u3)
+}
+
+func invSboxWord(a, b, c, d uint32) uint32 {
+	return uint32(invSbox[a>>24])<<24 | uint32(invSbox[b>>16&0xFF])<<16 |
+		uint32(invSbox[c>>8&0xFF])<<8 | uint32(invSbox[d&0xFF])
+}
+
+// EncryptCBC encrypts src (a multiple of BlockSize) into dst in CBC mode —
+// the mode Sentry, Android, and Linux default to.
+func (c *Cipher) EncryptCBC(dst, src, iv []byte) error {
+	if err := checkCBCArgs(dst, src, iv); err != nil {
+		return err
+	}
+	var chain [BlockSize]byte
+	copy(chain[:], iv)
+	for off := 0; off < len(src); off += BlockSize {
+		var in [BlockSize]byte
+		for i := 0; i < BlockSize; i++ {
+			in[i] = src[off+i] ^ chain[i]
+		}
+		c.Encrypt(dst[off:off+BlockSize], in[:])
+		copy(chain[:], dst[off:off+BlockSize])
+	}
+	return nil
+}
+
+// DecryptCBC decrypts src (a multiple of BlockSize) into dst in CBC mode.
+func (c *Cipher) DecryptCBC(dst, src, iv []byte) error {
+	if err := checkCBCArgs(dst, src, iv); err != nil {
+		return err
+	}
+	var chain, next [BlockSize]byte
+	copy(chain[:], iv)
+	for off := 0; off < len(src); off += BlockSize {
+		copy(next[:], src[off:off+BlockSize])
+		c.Decrypt(dst[off:off+BlockSize], src[off:off+BlockSize])
+		for i := 0; i < BlockSize; i++ {
+			dst[off+i] ^= chain[i]
+		}
+		chain = next
+	}
+	return nil
+}
+
+func checkCBCArgs(dst, src, iv []byte) error {
+	if len(src)%BlockSize != 0 {
+		return fmt.Errorf("aes: CBC input length %d is not a multiple of the block size", len(src))
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("aes: CBC output shorter than input")
+	}
+	if len(iv) != BlockSize {
+		return fmt.Errorf("aes: CBC IV length %d, want %d", len(iv), BlockSize)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"crypto/cipher"
+	"testing"
+	"testing/quick"
+
+	"sentry/internal/sim"
+)
+
+// fips197Vectors are the appendix C known-answer tests of FIPS 197.
+var fips197Vectors = []struct {
+	key, plain, cipher string
+}{
+	{
+		"000102030405060708090a0b0c0d0e0f",
+		"00112233445566778899aabbccddeeff",
+		"69c4e0d86a7b0430d8cdb78070b4c55a",
+	},
+	{
+		"000102030405060708090a0b0c0d0e0f1011121314151617",
+		"00112233445566778899aabbccddeeff",
+		"dda97ca4864cdfe06eaf70a0ec0d7191",
+	},
+	{
+		"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+		"00112233445566778899aabbccddeeff",
+		"8ea2b7ca516745bfeafc49904b496089",
+	},
+}
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	out := make([]byte, len(s)/2)
+	for i := range out {
+		hi := hexNib(s[2*i])
+		lo := hexNib(s[2*i+1])
+		if hi < 0 || lo < 0 {
+			t.Fatalf("bad hex %q", s)
+		}
+		out[i] = byte(hi<<4 | lo)
+	}
+	return out
+}
+
+func hexNib(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	}
+	return -1
+}
+
+func TestFIPS197KnownAnswers(t *testing.T) {
+	for _, v := range fips197Vectors {
+		key, plain, want := unhex(t, v.key), unhex(t, v.plain), unhex(t, v.cipher)
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		c.Encrypt(got, plain)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key %s: encrypt = %x, want %x", v.key, got, want)
+		}
+		back := make([]byte, 16)
+		c.Decrypt(back, got)
+		if !bytes.Equal(back, plain) {
+			t.Fatalf("key %s: decrypt = %x, want %x", v.key, back, plain)
+		}
+	}
+}
+
+func TestInvalidKeySizes(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 17, 31, 33} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Fatalf("key size %d accepted", n)
+		}
+	}
+	if KeySizeError(3).Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+// Property: byte-for-byte agreement with the standard library for random
+// keys and blocks, all key sizes.
+func TestMatchesCryptoAES(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for _, keyLen := range []int{16, 24, 32} {
+		for trial := 0; trial < 200; trial++ {
+			key := make([]byte, keyLen)
+			rng.Read(key)
+			block := make([]byte, 16)
+			rng.Read(block)
+
+			ours, err := NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := stdaes.NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, b := make([]byte, 16), make([]byte, 16)
+			ours.Encrypt(a, block)
+			ref.Encrypt(b, block)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("keyLen=%d: encrypt mismatch", keyLen)
+			}
+			ours.Decrypt(a, block)
+			ref.Decrypt(b, block)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("keyLen=%d: decrypt mismatch", keyLen)
+			}
+		}
+	}
+}
+
+func TestCBCMatchesCryptoCipher(t *testing.T) {
+	rng := sim.NewRNG(11)
+	for _, keyLen := range []int{16, 24, 32} {
+		key := make([]byte, keyLen)
+		rng.Read(key)
+		iv := make([]byte, 16)
+		rng.Read(iv)
+		msg := make([]byte, 4096)
+		rng.Read(msg)
+
+		ours, _ := NewCipher(key)
+		got := make([]byte, len(msg))
+		if err := ours.EncryptCBC(got, msg, iv); err != nil {
+			t.Fatal(err)
+		}
+
+		ref, _ := stdaes.NewCipher(key)
+		want := make([]byte, len(msg))
+		cipher.NewCBCEncrypter(ref, iv).CryptBlocks(want, msg)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("keyLen=%d: CBC encrypt mismatch", keyLen)
+		}
+
+		back := make([]byte, len(msg))
+		if err := ours.DecryptCBC(back, got, iv); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, msg) {
+			t.Fatal("CBC round trip failed")
+		}
+	}
+}
+
+func TestCBCArgValidation(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 16))
+	iv := make([]byte, 16)
+	if err := c.EncryptCBC(make([]byte, 15), make([]byte, 15), iv); err == nil {
+		t.Fatal("non-multiple length accepted")
+	}
+	if err := c.EncryptCBC(make([]byte, 8), make([]byte, 16), iv); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if err := c.EncryptCBC(make([]byte, 16), make([]byte, 16), iv[:8]); err == nil {
+		t.Fatal("short IV accepted")
+	}
+}
+
+// Property: encrypt∘decrypt is the identity for arbitrary keys and data.
+func TestEncryptDecryptIdentity(t *testing.T) {
+	f := func(keySeed, dataSeed int64, keyPick uint8, nBlocks uint8) bool {
+		keyLen := []int{16, 24, 32}[int(keyPick)%3]
+		krng, drng := sim.NewRNG(keySeed), sim.NewRNG(dataSeed)
+		key := make([]byte, keyLen)
+		krng.Read(key)
+		n := (int(nBlocks)%32 + 1) * 16
+		msg := make([]byte, n)
+		drng.Read(msg)
+		iv := make([]byte, 16)
+		drng.Read(iv)
+		c, err := NewCipher(key)
+		if err != nil {
+			return false
+		}
+		ct := make([]byte, n)
+		pt := make([]byte, n)
+		if c.EncryptCBC(ct, msg, iv) != nil || c.DecryptCBC(pt, ct, iv) != nil {
+			return false
+		}
+		return bytes.Equal(pt, msg) && !bytes.Equal(ct, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSboxIsPermutationAndInverse(t *testing.T) {
+	seen := [256]bool{}
+	for i := 0; i < 256; i++ {
+		if seen[sbox[i]] {
+			t.Fatal("sbox not a permutation")
+		}
+		seen[sbox[i]] = true
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatal("invSbox is not the inverse of sbox")
+		}
+	}
+	// Spot-check the canonical values.
+	if sbox[0x00] != 0x63 || sbox[0x53] != 0xED || invSbox[0x63] != 0x00 {
+		t.Fatal("sbox values wrong")
+	}
+}
+
+func TestGFArithmetic(t *testing.T) {
+	if gfMul(0x57, 0x83) != 0xC1 { // FIPS 197 §4.2 worked example
+		t.Fatalf("gfMul(0x57,0x83) = %#x", gfMul(0x57, 0x83))
+	}
+	if gfMul(0x57, 0x13) != 0xFE {
+		t.Fatalf("gfMul(0x57,0x13) = %#x", gfMul(0x57, 0x13))
+	}
+	if gfInv(0) != 0 {
+		t.Fatal("gfInv(0) must be 0")
+	}
+	for i := 1; i < 256; i++ {
+		if gfMul(byte(i), gfInv(byte(i))) != 1 {
+			t.Fatalf("gfInv(%#x) wrong", i)
+		}
+	}
+}
+
+func TestRconValues(t *testing.T) {
+	want := []uint32{0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36}
+	for i, w := range want {
+		if rcon[i] != w<<24 {
+			t.Fatalf("rcon[%d] = %#x, want %#x", i, rcon[i], w<<24)
+		}
+	}
+}
+
+func TestRoundsAndSchedule(t *testing.T) {
+	for _, tc := range []struct{ keyLen, nr int }{{16, 10}, {24, 12}, {32, 14}} {
+		c, _ := NewCipher(make([]byte, tc.keyLen))
+		if c.Rounds() != tc.nr {
+			t.Fatalf("rounds(%d) = %d", tc.keyLen, c.Rounds())
+		}
+		if len(c.EncSchedule()) != 4*(tc.nr+1) {
+			t.Fatalf("schedule length %d", len(c.EncSchedule()))
+		}
+	}
+}

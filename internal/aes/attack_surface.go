@@ -1,0 +1,107 @@
+package aes
+
+// Exports used by the attack implementations. These describe the *public*
+// structure of AES — table geometry, lookup order, key-schedule relations —
+// that real attacks (Halderman et al.'s keyfinder, Tromer/Osvik/Shamir
+// access-pattern analysis) exploit. Nothing here weakens the cipher; it
+// encodes what any attacker already knows from FIPS 197.
+
+// TeOffset is the arena offset of the encryption round table; a bus monitor
+// watching reads in [base+TeOffset, base+TeOffset+1024) observes the
+// cipher's access-protected state.
+const TeOffset = offTe
+
+// SboxOffset is the arena offset of the S-box (final-round lookups).
+const SboxOffset = offSbox
+
+// EncKeysOffset is the arena offset of the encryption key schedule — what a
+// cold-boot attacker greps a DRAM dump for.
+const EncKeysOffset = offEncKeys
+
+// FirstRoundOrder maps the i-th round-1 T-table lookup to the plaintext
+// byte that indexes it: lookup i uses index plaintext[FirstRoundOrder[i]] ^
+// key[FirstRoundOrder[i]]. This is fixed by ShiftRows and lets a bus
+// monitor solve for the key byte-by-byte from known plaintexts.
+var FirstRoundOrder = [16]int{0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11}
+
+// ScheduleF is the AES-128 key-expansion feedback: w[i] = w[i-4] ^
+// ScheduleF(i, w[i-1]). Exposed for the keyfinder's error-correcting
+// reconstruction.
+func ScheduleF(i int, prev uint32) uint32 {
+	if i%4 == 0 {
+		return subWord(prev<<8|prev>>24) ^ rcon[i/4-1]
+	}
+	return prev
+}
+
+// ScheduleRelationHolds reports whether the 44 words form a valid AES-128
+// encryption key schedule — the invariant Halderman et al.'s keyfinder uses
+// to locate keys in memory dumps: round keys are massively redundant, so a
+// random 176-byte window essentially never satisfies it.
+func ScheduleRelationHolds(w []uint32) bool {
+	return ScheduleViolations(w) == 0
+}
+
+// ScheduleViolations counts how many of the 40 expansion relations the
+// window breaks; a handful of bit-decayed bytes breaks only a few.
+func ScheduleViolations(w []uint32) int {
+	if len(w) != 44 {
+		return 44
+	}
+	bad := 0
+	for i := 4; i < 44; i++ {
+		if w[i] != w[i-4]^ScheduleF(i, w[i-1]) {
+			bad++
+		}
+	}
+	return bad
+}
+
+// ReconstructKeyFromDamagedSchedule exploits the schedule's redundancy the
+// way the cold-boot literature does: any intact aligned 4-word group
+// determines the entire schedule, so try each group as an anchor, rebuild
+// the full schedule from it (expanding forward and inverting the feedback
+// backward), and accept the anchor whose reconstruction agrees with the
+// dump on at least agreeThreshold of the 44 words. Returns the recovered
+// 16-byte key.
+func ReconstructKeyFromDamagedSchedule(w []uint32, agreeThreshold int) ([]byte, bool) {
+	if len(w) != 44 {
+		return nil, false
+	}
+	for a := 0; a+4 <= 44; a += 4 {
+		full := rebuildFromAnchor(w, a)
+		agree := 0
+		for i := range w {
+			if full[i] == w[i] {
+				agree++
+			}
+		}
+		if agree >= agreeThreshold {
+			key := make([]byte, 16)
+			for i := 0; i < 4; i++ {
+				key[4*i] = byte(full[i] >> 24)
+				key[4*i+1] = byte(full[i] >> 16)
+				key[4*i+2] = byte(full[i] >> 8)
+				key[4*i+3] = byte(full[i])
+			}
+			return key, true
+		}
+	}
+	return nil, false
+}
+
+// rebuildFromAnchor assumes w[a..a+3] are intact and regenerates all 44
+// words from them.
+func rebuildFromAnchor(w []uint32, a int) [44]uint32 {
+	var full [44]uint32
+	copy(full[a:a+4], w[a:a+4])
+	// Backward: w[i-4] = w[i] ^ F(i, w[i-1]), peeling one word at a time.
+	for i := a + 3; i >= 4; i-- {
+		full[i-4] = full[i] ^ ScheduleF(i, full[i-1])
+	}
+	// Forward from wherever we now have four consecutive known words.
+	for i := a + 4; i < 44; i++ {
+		full[i] = full[i-4] ^ ScheduleF(i, full[i-1])
+	}
+	return full
+}

@@ -1,0 +1,325 @@
+package aes
+
+import "encoding/binary"
+
+// This file implements the *placed* AES: the same cipher as Cipher, but
+// with every table, round key, index, and staging block resident in a Store
+// — an arena of simulated memory. Where that arena lives decides what an
+// attacker sees:
+//
+//   - arena in DRAM  → every table lookup is (potentially) bus-visible and
+//     the key schedule is recoverable by cold boot: the generic-AES baseline.
+//   - arena in iRAM or a locked L2 way → nothing crosses the SoC boundary:
+//     the paper's AES On SoC.
+
+// Arena layout: fixed offsets of each state region within the Store. The
+// whole arena fits one 4 KB page, which is what lets Sentry run with a
+// two-page on-SoC minimum (§7).
+const (
+	offTe      = 0    // 1024 B encryption round table
+	offTd      = 1024 // 1024 B decryption round table
+	offSbox    = 2048 // 256 B S-box
+	offInvSbox = 2304 // 256 B inverse S-box
+	offRcon    = 2560 // 40 B round constants
+	offRound   = 2600 // 1 B round index (public)
+	offBlock   = 2601 // 1 B block index (public)
+	offIV      = 2604 // 16 B CBC chaining block (public)
+	offInput   = 2620 // 16 B input/output staging block (secret)
+	offEncKeys = 2636 // ≤240 B encryption schedule (secret; first Nk words are the key)
+	offDecKeys = 2876 // ≤240 B decryption schedule (secret)
+
+	// ArenaSize is the total simulated memory the placed cipher needs.
+	ArenaSize = 3116
+)
+
+// Store is the backing memory of a placed cipher's arena. Offsets are
+// arena-relative; implementations map them onto simulated physical memory
+// (DRAM through the cache, iRAM, or a locked way) and charge time/energy.
+type Store interface {
+	Load32(off int) uint32
+	Store32(off int, v uint32)
+	LoadByte(off int) byte
+	StoreByte(off int, b byte)
+
+	// Touch charges the cost of n further word-sized accesses to the arena
+	// without naming addresses; the bulk path uses it so multi-megabyte
+	// operations don't simulate 20 lookups per round individually.
+	Touch(nWords int, write bool)
+
+	// Compute charges ALU cycles.
+	Compute(cycles uint64)
+
+	// Yield marks a block boundary where the OS may preempt. Generic AES
+	// runs with interrupts enabled, so a context switch here spills the
+	// working state in the register file to DRAM; AES On SoC brackets the
+	// whole operation in an IRQ-disable so Yield can never preempt.
+	Yield()
+}
+
+// RegMirror is optionally implemented by stores wired to a CPU: the placed
+// cipher mirrors its working state into the architectural registers, which
+// is what a real register-allocated inner loop holds there.
+type RegMirror interface {
+	MirrorRegs(ws [4]uint32)
+}
+
+// MapStore is a plain in-host-memory Store with no cost accounting, for
+// tests and tooling.
+type MapStore struct {
+	Data [ArenaSize]byte
+}
+
+// Load32 reads a big-endian word at off.
+func (m *MapStore) Load32(off int) uint32 { return binary.BigEndian.Uint32(m.Data[off:]) }
+
+// Store32 writes a big-endian word at off.
+func (m *MapStore) Store32(off int, v uint32) { binary.BigEndian.PutUint32(m.Data[off:], v) }
+
+// LoadByte reads the byte at off.
+func (m *MapStore) LoadByte(off int) byte { return m.Data[off] }
+
+// StoreByte writes b at off.
+func (m *MapStore) StoreByte(off int, b byte) { m.Data[off] = b }
+
+// Touch is a no-op: MapStore charges nothing.
+func (m *MapStore) Touch(nWords int, write bool) {}
+
+// Compute is a no-op.
+func (m *MapStore) Compute(cycles uint64) {}
+
+// Yield is a no-op.
+func (m *MapStore) Yield() {}
+
+// PlacedCipher executes AES against state resident in a Store.
+type PlacedCipher struct {
+	st          Store
+	nr          int
+	nk          int
+	roundCycles uint64
+	native      *Cipher // same key; used by the Bulk fast path
+}
+
+// NewPlaced initialises the arena in st — tables, S-boxes, Rcon, key, and
+// both expanded schedules — and returns the cipher. roundCycles is the
+// platform's ALU cost per AES round per block (CostTable.AESRoundCompute).
+func NewPlaced(st Store, key []byte, roundCycles uint64) (*PlacedCipher, error) {
+	nr := rounds(len(key))
+	if nr == 0 {
+		return nil, KeySizeError(len(key))
+	}
+	native, err := NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	p := &PlacedCipher{st: st, nr: nr, nk: len(key) / 4, roundCycles: roundCycles, native: native}
+
+	for i, w := range te {
+		st.Store32(offTe+4*i, w)
+	}
+	for i, w := range td {
+		st.Store32(offTd+4*i, w)
+	}
+	for i, b := range sbox {
+		st.StoreByte(offSbox+i, b)
+	}
+	for i, b := range invSbox {
+		st.StoreByte(offInvSbox+i, b)
+	}
+	for i, w := range rcon {
+		st.Store32(offRcon+4*i, w)
+	}
+	// The schedules are expanded host-side (expandKey is the same code the
+	// reference cipher uses) and written into the arena word by word, so
+	// the secret bytes genuinely reside in simulated memory.
+	enc, dec := expandKey(key)
+	for i, w := range enc {
+		st.Store32(offEncKeys+4*i, w)
+	}
+	for i, w := range dec {
+		st.Store32(offDecKeys+4*i, w)
+	}
+	return p, nil
+}
+
+// Rounds returns the number of AES rounds.
+func (p *PlacedCipher) Rounds() int { return p.nr }
+
+// BlockReadWords returns how many word-sized state reads one block
+// operation performs: 4 input + 4 initial round keys, 20 per middle round,
+// and 20 in the final round. Bulk mode charges exactly this via Touch.
+func (p *PlacedCipher) BlockReadWords() int { return 20*p.nr + 8 }
+
+// BlockWriteWords returns the word-sized state writes per block (staging
+// the block in and out of the arena).
+const BlockWriteWords = 8
+
+func (p *PlacedCipher) mirror(s0, s1, s2, s3 uint32) {
+	if rm, ok := p.st.(RegMirror); ok {
+		rm.MirrorRegs([4]uint32{s0, s1, s2, s3})
+	}
+}
+
+// EncryptBlock encrypts one block with full memory fidelity: every table
+// lookup, round-key fetch, and staging access is an individually addressed
+// access to the arena. This is the path security experiments observe.
+func (p *PlacedCipher) EncryptBlock(dst, src []byte) {
+	st := p.st
+	for i := 0; i < 4; i++ {
+		st.Store32(offInput+4*i, binary.BigEndian.Uint32(src[4*i:]))
+	}
+	s0 := st.Load32(offInput+0) ^ st.Load32(offEncKeys+0)
+	s1 := st.Load32(offInput+4) ^ st.Load32(offEncKeys+4)
+	s2 := st.Load32(offInput+8) ^ st.Load32(offEncKeys+8)
+	s3 := st.Load32(offInput+12) ^ st.Load32(offEncKeys+12)
+	k := 16
+	ld := func(idx uint32) uint32 { return st.Load32(offTe + 4*int(idx)) }
+	for r := 1; r < p.nr; r++ {
+		st.StoreByte(offRound, byte(r))
+		t0 := ld(s0>>24) ^ ror(ld(s1>>16&0xFF), 8) ^ ror(ld(s2>>8&0xFF), 16) ^ ror(ld(s3&0xFF), 24) ^ st.Load32(offEncKeys+k)
+		t1 := ld(s1>>24) ^ ror(ld(s2>>16&0xFF), 8) ^ ror(ld(s3>>8&0xFF), 16) ^ ror(ld(s0&0xFF), 24) ^ st.Load32(offEncKeys+k+4)
+		t2 := ld(s2>>24) ^ ror(ld(s3>>16&0xFF), 8) ^ ror(ld(s0>>8&0xFF), 16) ^ ror(ld(s1&0xFF), 24) ^ st.Load32(offEncKeys+k+8)
+		t3 := ld(s3>>24) ^ ror(ld(s0>>16&0xFF), 8) ^ ror(ld(s1>>8&0xFF), 16) ^ ror(ld(s2&0xFF), 24) ^ st.Load32(offEncKeys+k+12)
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 16
+		st.Compute(p.roundCycles)
+		p.mirror(s0, s1, s2, s3)
+	}
+	sb := func(idx uint32) uint32 { return uint32(st.LoadByte(offSbox + int(idx))) }
+	u0 := sb(s0>>24)<<24 | sb(s1>>16&0xFF)<<16 | sb(s2>>8&0xFF)<<8 | sb(s3&0xFF) ^ st.Load32(offEncKeys+k)
+	u1 := sb(s1>>24)<<24 | sb(s2>>16&0xFF)<<16 | sb(s3>>8&0xFF)<<8 | sb(s0&0xFF) ^ st.Load32(offEncKeys+k+4)
+	u2 := sb(s2>>24)<<24 | sb(s3>>16&0xFF)<<16 | sb(s0>>8&0xFF)<<8 | sb(s1&0xFF) ^ st.Load32(offEncKeys+k+8)
+	u3 := sb(s3>>24)<<24 | sb(s0>>16&0xFF)<<16 | sb(s1>>8&0xFF)<<8 | sb(s2&0xFF) ^ st.Load32(offEncKeys+k+12)
+	st.Compute(p.roundCycles)
+	for i, u := range [4]uint32{u0, u1, u2, u3} {
+		st.Store32(offInput+4*i, u)
+		binary.BigEndian.PutUint32(dst[4*i:], u)
+	}
+}
+
+// DecryptBlock decrypts one block with full memory fidelity.
+func (p *PlacedCipher) DecryptBlock(dst, src []byte) {
+	st := p.st
+	for i := 0; i < 4; i++ {
+		st.Store32(offInput+4*i, binary.BigEndian.Uint32(src[4*i:]))
+	}
+	s0 := st.Load32(offInput+0) ^ st.Load32(offDecKeys+0)
+	s1 := st.Load32(offInput+4) ^ st.Load32(offDecKeys+4)
+	s2 := st.Load32(offInput+8) ^ st.Load32(offDecKeys+8)
+	s3 := st.Load32(offInput+12) ^ st.Load32(offDecKeys+12)
+	k := 16
+	ld := func(idx uint32) uint32 { return st.Load32(offTd + 4*int(idx)) }
+	for r := 1; r < p.nr; r++ {
+		st.StoreByte(offRound, byte(r))
+		t0 := ld(s0>>24) ^ ror(ld(s3>>16&0xFF), 8) ^ ror(ld(s2>>8&0xFF), 16) ^ ror(ld(s1&0xFF), 24) ^ st.Load32(offDecKeys+k)
+		t1 := ld(s1>>24) ^ ror(ld(s0>>16&0xFF), 8) ^ ror(ld(s3>>8&0xFF), 16) ^ ror(ld(s2&0xFF), 24) ^ st.Load32(offDecKeys+k+4)
+		t2 := ld(s2>>24) ^ ror(ld(s1>>16&0xFF), 8) ^ ror(ld(s0>>8&0xFF), 16) ^ ror(ld(s3&0xFF), 24) ^ st.Load32(offDecKeys+k+8)
+		t3 := ld(s3>>24) ^ ror(ld(s2>>16&0xFF), 8) ^ ror(ld(s1>>8&0xFF), 16) ^ ror(ld(s0&0xFF), 24) ^ st.Load32(offDecKeys+k+12)
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 16
+		st.Compute(p.roundCycles)
+		p.mirror(s0, s1, s2, s3)
+	}
+	sb := func(idx uint32) uint32 { return uint32(st.LoadByte(offInvSbox + int(idx))) }
+	u0 := sb(s0>>24)<<24 | sb(s3>>16&0xFF)<<16 | sb(s2>>8&0xFF)<<8 | sb(s1&0xFF) ^ st.Load32(offDecKeys+k)
+	u1 := sb(s1>>24)<<24 | sb(s0>>16&0xFF)<<16 | sb(s3>>8&0xFF)<<8 | sb(s2&0xFF) ^ st.Load32(offDecKeys+k+4)
+	u2 := sb(s2>>24)<<24 | sb(s1>>16&0xFF)<<16 | sb(s0>>8&0xFF)<<8 | sb(s3&0xFF) ^ st.Load32(offDecKeys+k+8)
+	u3 := sb(s3>>24)<<24 | sb(s2>>16&0xFF)<<16 | sb(s1>>8&0xFF)<<8 | sb(s0&0xFF) ^ st.Load32(offDecKeys+k+12)
+	st.Compute(p.roundCycles)
+	for i, u := range [4]uint32{u0, u1, u2, u3} {
+		st.Store32(offInput+4*i, u)
+		binary.BigEndian.PutUint32(dst[4*i:], u)
+	}
+}
+
+// EncryptCBC encrypts src into dst in CBC mode with full fidelity, chaining
+// through the arena's IV region and offering a Yield point per block.
+func (p *PlacedCipher) EncryptCBC(dst, src, iv []byte) error {
+	if err := checkCBCArgs(dst, src, iv); err != nil {
+		return err
+	}
+	st := p.st
+	for i := 0; i < 4; i++ {
+		st.Store32(offIV+4*i, binary.BigEndian.Uint32(iv[4*i:]))
+	}
+	var in [BlockSize]byte
+	for off, blk := 0, 0; off < len(src); off, blk = off+BlockSize, blk+1 {
+		st.StoreByte(offBlock, byte(blk))
+		for i := 0; i < 4; i++ {
+			chain := st.Load32(offIV + 4*i)
+			binary.BigEndian.PutUint32(in[4*i:], binary.BigEndian.Uint32(src[off+4*i:])^chain)
+		}
+		p.EncryptBlock(dst[off:off+BlockSize], in[:])
+		for i := 0; i < 4; i++ {
+			st.Store32(offIV+4*i, binary.BigEndian.Uint32(dst[off+4*i:]))
+		}
+		st.Yield()
+	}
+	return nil
+}
+
+// DecryptCBC decrypts src into dst in CBC mode with full fidelity.
+func (p *PlacedCipher) DecryptCBC(dst, src, iv []byte) error {
+	if err := checkCBCArgs(dst, src, iv); err != nil {
+		return err
+	}
+	st := p.st
+	for i := 0; i < 4; i++ {
+		st.Store32(offIV+4*i, binary.BigEndian.Uint32(iv[4*i:]))
+	}
+	var cipherBlk [BlockSize]byte
+	for off, blk := 0, 0; off < len(src); off, blk = off+BlockSize, blk+1 {
+		st.StoreByte(offBlock, byte(blk))
+		copy(cipherBlk[:], src[off:off+BlockSize])
+		p.DecryptBlock(dst[off:off+BlockSize], cipherBlk[:])
+		for i := 0; i < 4; i++ {
+			chain := st.Load32(offIV + 4*i)
+			binary.BigEndian.PutUint32(dst[off+4*i:], binary.BigEndian.Uint32(dst[off+4*i:])^chain)
+			st.Store32(offIV+4*i, binary.BigEndian.Uint32(cipherBlk[4*i:]))
+		}
+		st.Yield()
+	}
+	return nil
+}
+
+// EncryptCBCBulk produces exactly the bytes EncryptCBC would, but charges
+// the arena traffic statistically through Touch instead of simulating the
+// 20 lookups per round individually. Macro experiments (tens of megabytes
+// per device lock) use this path; its per-block charge is derived from the
+// fidelity path's exact operation counts.
+func (p *PlacedCipher) EncryptCBCBulk(dst, src, iv []byte) error {
+	if err := p.native.EncryptCBC(dst, src, iv); err != nil {
+		return err
+	}
+	p.chargeBulk(len(src) / BlockSize)
+	return nil
+}
+
+// DecryptCBCBulk is the bulk twin of DecryptCBC.
+func (p *PlacedCipher) DecryptCBCBulk(dst, src, iv []byte) error {
+	if err := p.native.DecryptCBC(dst, src, iv); err != nil {
+		return err
+	}
+	p.chargeBulk(len(src) / BlockSize)
+	return nil
+}
+
+func (p *PlacedCipher) chargeBulk(blocks int) {
+	st := p.st
+	// Per block: the block-op reads/writes plus 8 chaining words in CBC.
+	st.Touch(blocks*(p.BlockReadWords()+4), false)
+	st.Touch(blocks*(BlockWriteWords+4), true)
+	st.Compute(uint64(blocks) * uint64(p.nr) * p.roundCycles)
+	ws := [4]uint32{}
+	if rm, ok := st.(RegMirror); ok {
+		// Registers hold working state for the duration; mirror the first
+		// schedule words as representative secret content.
+		ws[0] = st.Load32(offEncKeys)
+		ws[1] = st.Load32(offEncKeys + 4)
+		ws[2] = st.Load32(offEncKeys + 8)
+		ws[3] = st.Load32(offEncKeys + 12)
+		rm.MirrorRegs(ws)
+	}
+	for b := 0; b < blocks; b += 256 {
+		st.Yield()
+	}
+}

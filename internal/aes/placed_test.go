@@ -1,0 +1,323 @@
+package aes
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sentry/internal/sim"
+)
+
+// countingStore wraps MapStore and counts every access, letting tests prove
+// the fidelity path's operation counts match the constants the bulk path
+// charges through Touch.
+type countingStore struct {
+	MapStore
+	loads, stores, touchedR, touchedW int
+	computed                          uint64
+	yields                            int
+	mirrored                          [][4]uint32
+}
+
+func (c *countingStore) Load32(off int) uint32 { c.loads++; return c.MapStore.Load32(off) }
+func (c *countingStore) Store32(off int, v uint32) {
+	c.stores++
+	c.MapStore.Store32(off, v)
+}
+func (c *countingStore) LoadByte(off int) byte { c.loads++; return c.MapStore.LoadByte(off) }
+func (c *countingStore) StoreByte(off int, b byte) {
+	c.stores++
+	c.MapStore.StoreByte(off, b)
+}
+func (c *countingStore) Touch(n int, write bool) {
+	if write {
+		c.touchedW += n
+	} else {
+		c.touchedR += n
+	}
+}
+func (c *countingStore) Compute(cy uint64)       { c.computed += cy }
+func (c *countingStore) Yield()                  { c.yields++ }
+func (c *countingStore) MirrorRegs(ws [4]uint32) { c.mirrored = append(c.mirrored, ws) }
+
+func TestPlacedMatchesNative(t *testing.T) {
+	rng := sim.NewRNG(3)
+	for _, keyLen := range []int{16, 24, 32} {
+		key := make([]byte, keyLen)
+		rng.Read(key)
+		st := &MapStore{}
+		p, err := NewPlaced(st, key, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := NewCipher(key)
+
+		block := make([]byte, 16)
+		rng.Read(block)
+		a, b := make([]byte, 16), make([]byte, 16)
+		p.EncryptBlock(a, block)
+		n.Encrypt(b, block)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("keyLen %d: placed encrypt differs from native", keyLen)
+		}
+		p.DecryptBlock(a, block)
+		n.Decrypt(b, block)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("keyLen %d: placed decrypt differs from native", keyLen)
+		}
+	}
+}
+
+func TestPlacedCBCEquivalences(t *testing.T) {
+	rng := sim.NewRNG(5)
+	key := make([]byte, 16)
+	rng.Read(key)
+	iv := make([]byte, 16)
+	rng.Read(iv)
+	msg := make([]byte, 256)
+	rng.Read(msg)
+
+	p, _ := NewPlaced(&MapStore{}, key, 40)
+	n, _ := NewCipher(key)
+
+	fidelity := make([]byte, len(msg))
+	if err := p.EncryptCBC(fidelity, msg, iv); err != nil {
+		t.Fatal(err)
+	}
+	bulk := make([]byte, len(msg))
+	if err := p.EncryptCBCBulk(bulk, msg, iv); err != nil {
+		t.Fatal(err)
+	}
+	native := make([]byte, len(msg))
+	_ = n.EncryptCBC(native, msg, iv)
+	if !bytes.Equal(fidelity, native) || !bytes.Equal(bulk, native) {
+		t.Fatal("fidelity, bulk, and native CBC must agree")
+	}
+
+	back := make([]byte, len(msg))
+	if err := p.DecryptCBC(back, fidelity, iv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, msg) {
+		t.Fatal("fidelity CBC round trip failed")
+	}
+	if err := p.DecryptCBCBulk(back, fidelity, iv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, msg) {
+		t.Fatal("bulk CBC round trip failed")
+	}
+}
+
+func TestKeyScheduleResidentInStore(t *testing.T) {
+	// The secret bytes must genuinely live in the arena — this is what a
+	// cold-boot attacker dumps.
+	key := bytes.Repeat([]byte{0xAB}, 16)
+	st := &MapStore{}
+	if _, err := NewPlaced(st, key, 0); err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := expandKey(key)
+	for i, w := range enc {
+		if st.Load32(offEncKeys+4*i) != w {
+			t.Fatalf("schedule word %d missing from arena", i)
+		}
+	}
+	// And the tables too.
+	if st.Load32(offTe) != te[0] || st.LoadByte(offSbox) != sbox[0] {
+		t.Fatal("tables not resident")
+	}
+}
+
+func TestFidelityOperationCountsMatchBulkCharges(t *testing.T) {
+	key := make([]byte, 16)
+	st := &countingStore{}
+	p, _ := NewPlaced(st, key, 40)
+	st.loads, st.stores = 0, 0 // discard setup accounting
+
+	block := make([]byte, 16)
+	p.EncryptBlock(block, block)
+	if st.loads != p.BlockReadWords() {
+		t.Fatalf("fidelity block reads = %d, BlockReadWords = %d", st.loads, p.BlockReadWords())
+	}
+	// 8 staging word-writes plus the public round-index byte per mid round.
+	wantStores := BlockWriteWords + p.Rounds() - 1
+	if st.stores != wantStores {
+		t.Fatalf("fidelity block stores = %d, want %d", st.stores, wantStores)
+	}
+	if st.computed != uint64(p.Rounds())*40 {
+		t.Fatalf("computed = %d, want %d", st.computed, p.Rounds()*40)
+	}
+}
+
+func TestBulkChargesProportionalToBlocks(t *testing.T) {
+	key := make([]byte, 16)
+	st := &countingStore{}
+	p, _ := NewPlaced(st, key, 40)
+	iv := make([]byte, 16)
+	msg := make([]byte, 64*16)
+	_ = p.EncryptCBCBulk(make([]byte, len(msg)), msg, iv)
+	if st.touchedR != 64*(p.BlockReadWords()+4) {
+		t.Fatalf("bulk read charge = %d", st.touchedR)
+	}
+	if st.touchedW != 64*(BlockWriteWords+4) {
+		t.Fatalf("bulk write charge = %d", st.touchedW)
+	}
+	if st.computed != 64*uint64(p.Rounds())*40 {
+		t.Fatalf("bulk compute charge = %d", st.computed)
+	}
+}
+
+func TestYieldCalledPerBlockInFidelityCBC(t *testing.T) {
+	st := &countingStore{}
+	p, _ := NewPlaced(st, make([]byte, 16), 0)
+	msg := make([]byte, 5*16)
+	_ = p.EncryptCBC(make([]byte, len(msg)), msg, make([]byte, 16))
+	if st.yields != 5 {
+		t.Fatalf("yields = %d, want 5", st.yields)
+	}
+}
+
+func TestWorkingStateMirroredToRegisters(t *testing.T) {
+	st := &countingStore{}
+	p, _ := NewPlaced(st, make([]byte, 16), 0)
+	block := make([]byte, 16)
+	p.EncryptBlock(block, block)
+	if len(st.mirrored) != p.Rounds()-1 {
+		t.Fatalf("mirrored %d times, want %d", len(st.mirrored), p.Rounds()-1)
+	}
+	if st.mirrored[0] == ([4]uint32{}) {
+		t.Fatal("mirrored state is empty")
+	}
+}
+
+func TestNewPlacedRejectsBadKey(t *testing.T) {
+	if _, err := NewPlaced(&MapStore{}, make([]byte, 10), 0); err == nil {
+		t.Fatal("bad key accepted")
+	}
+}
+
+func TestArenaLayoutDisjoint(t *testing.T) {
+	type region struct {
+		name     string
+		off, end int
+	}
+	regions := []region{
+		{"te", offTe, offTe + 1024},
+		{"td", offTd, offTd + 1024},
+		{"sbox", offSbox, offSbox + 256},
+		{"invSbox", offInvSbox, offInvSbox + 256},
+		{"rcon", offRcon, offRcon + 40},
+		{"round", offRound, offRound + 1},
+		{"block", offBlock, offBlock + 1},
+		{"iv", offIV, offIV + 16},
+		{"input", offInput, offInput + 16},
+		{"encKeys", offEncKeys, offEncKeys + 240},
+		{"decKeys", offDecKeys, offDecKeys + 240},
+	}
+	for i, a := range regions {
+		if a.end > ArenaSize {
+			t.Fatalf("%s exceeds arena", a.name)
+		}
+		for _, b := range regions[i+1:] {
+			if a.off < b.end && b.off < a.end {
+				t.Fatalf("%s overlaps %s", a.name, b.name)
+			}
+		}
+	}
+	if ArenaSize > 4096 {
+		t.Fatal("arena must fit one page (Sentry's two-page minimum depends on it)")
+	}
+}
+
+// Property: placed CBC equals native CBC for random inputs.
+func TestPlacedCBCProperty(t *testing.T) {
+	f := func(seed int64, nBlocks uint8) bool {
+		rng := sim.NewRNG(seed)
+		key := make([]byte, 16)
+		rng.Read(key)
+		iv := make([]byte, 16)
+		rng.Read(iv)
+		n := (int(nBlocks)%8 + 1) * 16
+		msg := make([]byte, n)
+		rng.Read(msg)
+		p, err := NewPlaced(&MapStore{}, key, 0)
+		if err != nil {
+			return false
+		}
+		nat, _ := NewCipher(key)
+		a, b := make([]byte, n), make([]byte, n)
+		if p.EncryptCBC(a, msg, iv) != nil || nat.EncryptCBC(b, msg, iv) != nil {
+			return false
+		}
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacedCBCAllKeySizes(t *testing.T) {
+	rng := sim.NewRNG(21)
+	for _, keyLen := range []int{16, 24, 32} {
+		key := make([]byte, keyLen)
+		rng.Read(key)
+		iv := make([]byte, 16)
+		rng.Read(iv)
+		msg := make([]byte, 160)
+		rng.Read(msg)
+		p, err := NewPlaced(&MapStore{}, key, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := NewCipher(key)
+		want := make([]byte, len(msg))
+		_ = n.EncryptCBC(want, msg, iv)
+		got := make([]byte, len(msg))
+		if err := p.EncryptCBC(got, msg, iv); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("keyLen %d: fidelity CBC mismatch", keyLen)
+		}
+		back := make([]byte, len(msg))
+		if err := p.DecryptCBC(back, got, iv); err != nil || !bytes.Equal(back, msg) {
+			t.Fatalf("keyLen %d: fidelity CBC decrypt failed", keyLen)
+		}
+		if err := p.DecryptCBCBulk(back, got, iv); err != nil || !bytes.Equal(back, msg) {
+			t.Fatalf("keyLen %d: bulk CBC decrypt failed", keyLen)
+		}
+	}
+}
+
+func TestPlacedCBCArgValidation(t *testing.T) {
+	p, _ := NewPlaced(&MapStore{}, make([]byte, 16), 0)
+	iv := make([]byte, 16)
+	if err := p.EncryptCBC(make([]byte, 15), make([]byte, 15), iv); err == nil {
+		t.Fatal("ragged length accepted")
+	}
+	if err := p.DecryptCBC(make([]byte, 16), make([]byte, 16), iv[:4]); err == nil {
+		t.Fatal("short IV accepted")
+	}
+	if err := p.EncryptCBCBulk(make([]byte, 15), make([]byte, 15), iv); err == nil {
+		t.Fatal("bulk ragged length accepted")
+	}
+	if err := p.DecryptCBCBulk(make([]byte, 16), make([]byte, 16), iv[:4]); err == nil {
+		t.Fatal("bulk short IV accepted")
+	}
+}
+
+func TestDecryptBlockReadCounts(t *testing.T) {
+	// The decrypt path must charge the same traffic profile as encrypt.
+	st := &countingStore{}
+	p, _ := NewPlaced(st, make([]byte, 16), 40)
+	st.loads, st.stores, st.computed = 0, 0, 0
+	blk := make([]byte, 16)
+	p.DecryptBlock(blk, blk)
+	if st.loads != p.BlockReadWords() {
+		t.Fatalf("decrypt reads = %d, want %d", st.loads, p.BlockReadWords())
+	}
+	if st.computed != uint64(p.Rounds())*40 {
+		t.Fatalf("decrypt compute = %d", st.computed)
+	}
+}

@@ -1,0 +1,89 @@
+package aes
+
+// State accounting for the paper's Table 4: every piece of AES state, its
+// size in bytes, and its sensitivity class. The sizes are computed from the
+// implementation's actual structures so the table generator cannot drift
+// from the code.
+
+// Sensitivity classifies AES state per §6.1 of the paper.
+type Sensitivity int
+
+// Sensitivity classes.
+const (
+	// Secret state compromises the cipher if leaked: the input block, the
+	// key, and the round keys.
+	Secret Sensitivity = iota
+	// Public state is harmless to leak: loop indices, the CBC chaining
+	// block (ciphertext).
+	Public
+	// AccessProtected state has harmless *contents* but sensitive *access
+	// patterns*: the round tables, S-boxes, and Rcon. Bus monitoring of
+	// lookups into these tables recovers key material.
+	AccessProtected
+)
+
+func (s Sensitivity) String() string {
+	switch s {
+	case Secret:
+		return "Secret"
+	case Public:
+		return "Public"
+	case AccessProtected:
+		return "Access-protected"
+	default:
+		return "Unknown"
+	}
+}
+
+// RegionInfo is one row of the state breakdown.
+type RegionInfo struct {
+	Name  string
+	Bytes int
+	Sens  Sensitivity
+}
+
+// scheduleWords returns the number of 32-bit words in one direction's key
+// schedule for the given key size.
+func scheduleWords(keyBytes int) int { return 4 * (rounds(keyBytes) + 1) }
+
+// StateBreakdown returns the Table 4 rows for a key of keyBits (128, 192,
+// or 256). The "Round Keys" row counts both the encryption and decryption
+// schedules minus the original-key words each contains (those are the "Key"
+// row), matching the paper's accounting: 320/368/416 bytes.
+func StateBreakdown(keyBits int) []RegionInfo {
+	keyBytes := keyBits / 8
+	if rounds(keyBytes) == 0 {
+		panic(KeySizeError(keyBytes))
+	}
+	derived := 2 * (scheduleWords(keyBytes)*4 - keyBytes)
+	return []RegionInfo{
+		{"Input block", BlockSize, Secret},
+		{"Key", keyBytes, Secret},
+		{"Round Index", 1, Public},
+		{"Round Keys", derived, Secret},
+		{"2 Round Tables", (len(te) + len(td)) * 4, AccessProtected},
+		{"2 S-box", len(sbox) + len(invSbox), AccessProtected},
+		{"Rcon", len(rcon) * 4, AccessProtected},
+		{"Block Index", 1, Public},
+		{"CBC block/ivec", BlockSize, Public},
+	}
+}
+
+// TotalState sums the breakdown (2970 bytes for AES-128).
+func TotalState(keyBits int) int {
+	total := 0
+	for _, r := range StateBreakdown(keyBits) {
+		total += r.Bytes
+	}
+	return total
+}
+
+// TotalBySensitivity sums the breakdown per class. For AES-128 the paper's
+// split is 352 secret, 2600 access-protected, 18 public.
+func TotalBySensitivity(keyBits int) map[Sensitivity]int {
+	out := make(map[Sensitivity]int)
+	for _, r := range StateBreakdown(keyBits) {
+		out[r.Sens] += r.Bytes
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package aes
+
+import "testing"
+
+// TestTable4Breakdown checks every cell of the paper's Table 4 against the
+// implementation-derived accounting.
+func TestTable4Breakdown(t *testing.T) {
+	want := map[string][3]int{ // AES-128, AES-192, AES-256
+		"Input block":    {16, 16, 16},
+		"Key":            {16, 24, 32},
+		"Round Index":    {1, 1, 1},
+		"Round Keys":     {320, 368, 416},
+		"2 Round Tables": {2048, 2048, 2048},
+		"2 S-box":        {512, 512, 512},
+		"Rcon":           {40, 40, 40},
+		"Block Index":    {1, 1, 1},
+		"CBC block/ivec": {16, 16, 16},
+	}
+	for i, bits := range []int{128, 192, 256} {
+		rows := StateBreakdown(bits)
+		if len(rows) != len(want) {
+			t.Fatalf("breakdown has %d rows, want %d", len(rows), len(want))
+		}
+		for _, r := range rows {
+			w, ok := want[r.Name]
+			if !ok {
+				t.Fatalf("unexpected row %q", r.Name)
+			}
+			if r.Bytes != w[i] {
+				t.Errorf("AES-%d %s = %d bytes, want %d", bits, r.Name, r.Bytes, w[i])
+			}
+		}
+	}
+}
+
+func TestTable4Totals(t *testing.T) {
+	// "Summing up the sizes of each piece of state leads to 2970 bytes of
+	// state for implementing encryption and decryption in AES-128."
+	if got := TotalState(128); got != 2970 {
+		t.Fatalf("AES-128 total = %d, want 2970", got)
+	}
+	if got := TotalState(192); got != 3026 {
+		t.Fatalf("AES-192 total = %d, want 3026", got)
+	}
+	if got := TotalState(256); got != 3082 {
+		t.Fatalf("AES-256 total = %d, want 3082", got)
+	}
+}
+
+func TestTable4SensitivitySplit(t *testing.T) {
+	// "the OpenSSL AES-128 implementation has 352 bytes of secret state,
+	// 2600 bytes of access-protected state, and 18 bytes of public state."
+	got := TotalBySensitivity(128)
+	if got[Secret] != 352 {
+		t.Errorf("secret = %d, want 352", got[Secret])
+	}
+	if got[AccessProtected] != 2600 {
+		t.Errorf("access-protected = %d, want 2600", got[AccessProtected])
+	}
+	if got[Public] != 18 {
+		t.Errorf("public = %d, want 18", got[Public])
+	}
+}
+
+func TestStateBreakdownBadKeySize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	StateBreakdown(100)
+}
+
+func TestSensitivityStrings(t *testing.T) {
+	if Secret.String() != "Secret" || Public.String() != "Public" ||
+		AccessProtected.String() != "Access-protected" || Sensitivity(9).String() != "Unknown" {
+		t.Fatal("sensitivity strings wrong")
+	}
+}
+
+func TestScheduleViolationsAndReconstruction(t *testing.T) {
+	key := []byte("0123456789abcdef")
+	c, _ := NewCipher(key)
+	w := make([]uint32, 44)
+	copy(w, c.EncSchedule())
+	if ScheduleViolations(w) != 0 || !ScheduleRelationHolds(w) {
+		t.Fatal("pristine schedule flagged")
+	}
+	// Damage a middle word: a couple of relations break, and the
+	// reconstruction still returns the key.
+	w[20] ^= 0xFFFF
+	if v := ScheduleViolations(w); v == 0 || v > 3 {
+		t.Fatalf("violations = %d", v)
+	}
+	got, ok := ReconstructKeyFromDamagedSchedule(w, 33)
+	if !ok {
+		t.Fatal("reconstruction failed")
+	}
+	for i := range key {
+		if got[i] != key[i] {
+			t.Fatal("wrong key reconstructed")
+		}
+	}
+	// Damage the key words themselves: a later anchor must still work.
+	copy(w, c.EncSchedule())
+	w[0] ^= 0xDEAD
+	w[2] ^= 0xBEEF
+	got, ok = ReconstructKeyFromDamagedSchedule(w, 33)
+	if !ok {
+		t.Fatal("reconstruction through damaged key words failed")
+	}
+	for i := range key {
+		if got[i] != key[i] {
+			t.Fatal("wrong key from backward reconstruction")
+		}
+	}
+	if ScheduleViolations(w[:10]) != 44 {
+		t.Fatal("short input not rejected")
+	}
+	if _, ok := ReconstructKeyFromDamagedSchedule(w[:10], 33); ok {
+		t.Fatal("short input reconstructed")
+	}
+}

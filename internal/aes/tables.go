@@ -1,0 +1,106 @@
+package aes
+
+// This file derives every AES lookup table from first principles (GF(2^8)
+// arithmetic) at init time rather than embedding magic constants. The
+// layout matches the paper's Table 4 accounting:
+//
+//   - te, td: the "2 Round Tables" (2 × 1024 B = 2048 B). This is the
+//     compact one-table-per-direction variant; the other three tables of
+//     the classic 4-table implementation are byte rotations of these.
+//   - sbox, invSbox: the "2 S-box" entry (2 × 256 B = 512 B).
+//   - rcon: 10 round constants stored as 4-byte words (40 B).
+//
+// The tables hold no secrets, but the order they are indexed in depends on
+// key and plaintext bytes — the "access-protected" class that bus-monitoring
+// attacks exploit (Tromer/Osvik/Shamir cache attacks).
+
+// gfMul multiplies two elements of GF(2^8) modulo the AES polynomial
+// x^8 + x^4 + x^3 + x + 1 (0x11B).
+func gfMul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfInv returns the multiplicative inverse in GF(2^8), with gfInv(0) = 0.
+func gfInv(a byte) byte {
+	if a == 0 {
+		return 0
+	}
+	// a^254 = a^-1 in GF(2^8): square-and-multiply over the fixed exponent.
+	result := byte(1)
+	base := a
+	for e := 254; e > 0; e >>= 1 {
+		if e&1 != 0 {
+			result = gfMul(result, base)
+		}
+		base = gfMul(base, base)
+	}
+	return result
+}
+
+var (
+	sbox    [256]byte   // SubBytes
+	invSbox [256]byte   // InvSubBytes
+	te      [256]uint32 // encryption round table: bytes (2·S, S, S, 3·S)
+	td      [256]uint32 // decryption round table: bytes (E·Si, 9·Si, D·Si, B·Si)
+	rcon    [10]uint32  // round constants, x^i in the high byte
+)
+
+func init() {
+	// S-box: affine transform of the field inverse.
+	for i := 0; i < 256; i++ {
+		x := gfInv(byte(i))
+		// b_i = x_i ^ x_{i+4} ^ x_{i+5} ^ x_{i+6} ^ x_{i+7} ^ c_i, c = 0x63
+		y := x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63
+		sbox[i] = y
+		invSbox[y] = byte(i)
+	}
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		te[i] = uint32(gfMul(s, 2))<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(gfMul(s, 3))
+		si := invSbox[i]
+		td[i] = uint32(gfMul(si, 0x0E))<<24 | uint32(gfMul(si, 0x09))<<16 |
+			uint32(gfMul(si, 0x0D))<<8 | uint32(gfMul(si, 0x0B))
+	}
+	x := byte(1)
+	for i := 0; i < len(rcon); i++ {
+		rcon[i] = uint32(x) << 24
+		x = gfMul(x, 2)
+	}
+}
+
+func rotl8(b byte, n uint) byte { return b<<n | b>>(8-n) }
+
+// ror rotates a 32-bit word right by n bits; te/td rotations yield the
+// classic Te1..Te3/Td1..Td3 tables.
+func ror(w uint32, n uint) uint32 { return w>>n | w<<(32-n) }
+
+// subWord applies the S-box to each byte of a word (key expansion).
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xFF])<<16 |
+		uint32(sbox[w>>8&0xFF])<<8 | uint32(sbox[w&0xFF])
+}
+
+// invMixColumnsWord applies InvMixColumns to one column held as a word,
+// used to derive the equivalent-inverse-cipher decryption key schedule.
+func invMixColumnsWord(w uint32) uint32 {
+	a := byte(w >> 24)
+	b := byte(w >> 16)
+	c := byte(w >> 8)
+	d := byte(w)
+	return uint32(gfMul(a, 0x0E)^gfMul(b, 0x0B)^gfMul(c, 0x0D)^gfMul(d, 0x09))<<24 |
+		uint32(gfMul(a, 0x09)^gfMul(b, 0x0E)^gfMul(c, 0x0B)^gfMul(d, 0x0D))<<16 |
+		uint32(gfMul(a, 0x0D)^gfMul(b, 0x09)^gfMul(c, 0x0E)^gfMul(d, 0x0B))<<8 |
+		uint32(gfMul(a, 0x0B)^gfMul(b, 0x0D)^gfMul(c, 0x09)^gfMul(d, 0x0E))
+}

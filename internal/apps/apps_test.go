@@ -1,0 +1,251 @@
+package apps
+
+import (
+	"testing"
+
+	"sentry/internal/attack"
+	"sentry/internal/core"
+	"sentry/internal/kernel"
+	"sentry/internal/sim"
+	"sentry/internal/soc"
+)
+
+func TestProfilesMatchPaperConstants(t *testing.T) {
+	if Maps().UnlockMB() != 38 {
+		t.Fatal("Maps must decrypt 38 MB at unlock (paper §7)")
+	}
+	if Maps().LockMB() != 48 {
+		t.Fatal("Maps must encrypt 48 MB at lock")
+	}
+	for _, p := range Profiles() {
+		if p.ResumeMB+p.RuntimeMB > p.ResidentMB {
+			t.Fatalf("%s: resume+runtime exceeds resident", p.Name)
+		}
+	}
+	if Contacts().DMAMB != 1 || Twitter().DMAMB != 3 || Maps().DMAMB != 15 {
+		t.Fatal("DMA regions must be 1/3/15 MB (paper §7)")
+	}
+	if Twitter().ScriptSeconds != 17 || Maps().ScriptSeconds != 20 ||
+		Contacts().ScriptSeconds != 23 || MP3().ScriptSeconds != 300 {
+		t.Fatal("script lengths must match §8.2")
+	}
+	if len(Profiles()) != 4 || len(BgProfiles()) != 3 {
+		t.Fatal("profile sets wrong")
+	}
+}
+
+func TestLaunchAndResumeWithoutSentry(t *testing.T) {
+	s := soc.Nexus4(1)
+	k := kernel.New(s, "1234")
+	app, err := Launch(k, Contacts(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Proc.Name != "contacts" || !app.Proc.Sensitive {
+		t.Fatal("process wrong")
+	}
+	if len(app.Proc.DMARegions) != 1 {
+		t.Fatal("DMA region missing")
+	}
+	if err := app.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	dur, err := app.RunScript()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without Sentry the script should take essentially its nominal time.
+	if dur < 22.9 || dur > 23.5 {
+		t.Fatalf("baseline script took %.2f s, want ≈23", dur)
+	}
+}
+
+func TestAppSecretsVisibleToColdBootWithoutSentry(t *testing.T) {
+	s := soc.Tegra3(1)
+	k := kernel.New(s, "1234")
+	if _, err := Launch(k, MP3(), false); err != nil {
+		t.Fatal(err)
+	}
+	k.Lock() // no Sentry installed: nothing encrypts
+	s.L2.CleanWays(s.L2.AllWaysMask())
+	d, err := attack.MountColdBoot(s, Reflash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ContainsSecret([]byte(SecretMarker)) {
+		t.Fatal("unprotected app secrets should survive a reflash cold boot")
+	}
+}
+
+// Reflash re-exported to keep the test readable.
+func Reflash() attack.ColdBootVariant { return attack.Reflash }
+
+func TestSentryProtectsAppAcrossLockUnlock(t *testing.T) {
+	s := soc.Nexus4(1)
+	k := kernel.New(s, "1234")
+	sn, err := core.New(k, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := Launch(k, Contacts(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Lock()
+	s.L2.CleanWays(s.L2.AllWaysMask())
+	scrape := attack.MountDMAScrape(s)
+	if scrape.ContainsSecret([]byte(SecretMarker)) {
+		t.Fatal("DMA scrape found app plaintext while locked")
+	}
+	if err := k.Unlock("1234"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.RunScript(); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Stats().DemandDecryptedBytes == 0 {
+		t.Fatal("no demand decryption recorded")
+	}
+}
+
+func TestScriptOverheadSmallWithSentry(t *testing.T) {
+	// Figure 3's claim: runtime overhead between 0.2 % and ~5 %.
+	s := soc.Nexus4(1)
+	k := kernel.New(s, "1234")
+	if _, err := core.New(k, core.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	app, err := Launch(k, Twitter(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Lock()
+	_ = k.Unlock("1234")
+	_ = app.Resume()
+	dur, err := app.RunScript()
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := (dur - app.Prof.ScriptSeconds) / app.Prof.ScriptSeconds
+	if overhead < 0 || overhead > 0.10 {
+		t.Fatalf("script overhead = %.1f%%, want small positive", overhead*100)
+	}
+}
+
+func TestBackgroundLoopBaseline(t *testing.T) {
+	s := soc.Tegra3(1)
+	k := kernel.New(s, "1234")
+	app, err := LaunchBackground(k, Vlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kt, err := app.RunBackgroundLoop(Vlock(), sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt <= 0 || kt > 1 {
+		t.Fatalf("vlock baseline kernel time = %.3f s", kt)
+	}
+}
+
+func TestBackgroundLoopUnderSentry(t *testing.T) {
+	s := soc.Tegra3(1)
+	k := kernel.New(s, "1234")
+	sn, err := core.New(k, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := LaunchBackground(k, Alpine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Lock()
+	if err := sn.BeginBackground(app.Proc, 256); err != nil {
+		t.Fatal(err)
+	}
+	kt, err := app.RunBackgroundLoop(Alpine(), sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kt <= 0 {
+		t.Fatal("no kernel time measured")
+	}
+	if sn.Stats().BgPageIns == 0 {
+		t.Fatal("background paging never engaged")
+	}
+}
+
+func TestKernelCompileSlowsWithLockedWays(t *testing.T) {
+	run := func(lockWays int) float64 {
+		s := soc.Tegra3(1)
+		if lockWays > 0 {
+			mask := s.L2.AllWaysMask() &^ ((1 << lockWays) - 1)
+			_ = s.TZ.WithSecure(func() error { return s.TZ.SetCacheAllocMask(s.L2, mask) })
+		}
+		kc := KernelCompile{HotBytes: 896 << 10, Accesses: 200_000, ComputePerLine: 780}
+		return kc.Run(s, soc.DRAMBase+0x100000, sim.NewRNG(1))
+	}
+	t0 := run(0)
+	t1 := run(1)
+	t7 := run(7)
+	if t1 < t0 {
+		t.Fatal("locking a way sped up the compile")
+	}
+	if (t1-t0)/t0 > 0.05 {
+		t.Fatalf("one locked way costs %.1f%%, paper says <1%%-ish", (t1-t0)/t0*100)
+	}
+	if t7 <= t1 {
+		t.Fatal("compile time should keep growing with locked ways")
+	}
+}
+
+func TestAppWriteRead(t *testing.T) {
+	s := soc.Tegra3(1)
+	k := kernel.New(s, "1234")
+	app, err := Launch(k, MP3(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := []byte("user-record-12345")
+	if err := app.Write(5*4096+100, rec); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(rec))
+	if err := app.Read(5*4096+100, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(rec) {
+		t.Fatal("app write/read mismatch")
+	}
+}
+
+func TestLaunchFailsWhenMemoryExhausted(t *testing.T) {
+	s := soc.Tegra3(1)
+	k := kernel.New(s, "1234")
+	// Exhaust physical memory with giant launches; eventually Launch errors
+	// instead of panicking.
+	var err error
+	for i := 0; i < 100; i++ {
+		_, err = Launch(k, Profile{Name: "hog", ResidentMB: 256, ScriptSeconds: 1}, false)
+		if err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("no error after exhausting DRAM")
+	}
+}
+
+func TestBgProfileColdRatioBounds(t *testing.T) {
+	for _, p := range BgProfiles() {
+		if p.ColdRatio <= 0 || p.ColdRatio >= 1 {
+			t.Fatalf("%s: cold ratio %v out of (0,1)", p.Name, p.ColdRatio)
+		}
+		if p.HotPages <= 0 || p.Iterations <= 0 || p.TouchesPerIter <= 0 {
+			t.Fatalf("%s: degenerate profile", p.Name)
+		}
+	}
+}

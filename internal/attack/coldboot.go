@@ -1,0 +1,91 @@
+package attack
+
+import (
+	"sentry/internal/firmware"
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// ColdBootVariant selects how the attacker cuts power (§4.1 methodology).
+type ColdBootVariant int
+
+// Cold-boot variants, in increasing power-off duration.
+const (
+	// OSReboot: warm reboot into an attacker OS; no power loss. Possible
+	// when the bootloader accepts the attacker's image.
+	OSReboot ColdBootVariant = iota
+	// Reflash: tap the reset button (≈50 ms power blip) and boot a flasher
+	// that dumps memory.
+	Reflash
+	// HeldReset: hold reset for two seconds.
+	HeldReset
+)
+
+func (v ColdBootVariant) String() string {
+	switch v {
+	case OSReboot:
+		return "os-reboot"
+	case Reflash:
+		return "device-reflash"
+	case HeldReset:
+		return "2s-reset"
+	}
+	return "unknown"
+}
+
+// dumpImage is the attacker's memory-dumping payload. The OS-reboot variant
+// boots a full malicious OS (which costs some low DRAM); the flasher
+// variants dump from the bootloader environment and scribble nothing.
+func dumpImage(v ColdBootVariant) firmware.Image {
+	img := firmware.Image{Name: "memdump", Vendor: ""}
+	if v == OSReboot {
+		img.ScribbleFraction = firmware.DefaultOSScribbleFraction
+	}
+	return img
+}
+
+// Dump is what the attacker walked away with: post-attack device contents.
+type Dump struct {
+	Variant ColdBootVariant
+	DRAM    *mem.Store
+	IRAM    *mem.Store
+}
+
+// CountPattern counts pattern survivors in the given store.
+func (d *Dump) CountPattern(st *mem.Store, pattern []byte) int {
+	return CountPattern(st, pattern)
+}
+
+// RecoverKeys runs the AES keyfinder over both DRAM and iRAM.
+func (d *Dump) RecoverKeys() [][]byte {
+	keys := FindAESKeys(d.DRAM)
+	keys = append(keys, FindAESKeys(d.IRAM)...)
+	return keys
+}
+
+// ContainsSecret reports whether the needle survived anywhere.
+func (d *Dump) ContainsSecret(needle []byte) bool {
+	return Contains(d.DRAM, needle) || Contains(d.IRAM, needle)
+}
+
+// MountColdBoot executes the chosen cold-boot variant against the device
+// and returns the attacker's memory dump. If the bootloader is locked, the
+// unsigned dump image is rejected and the attack fails with the firmware
+// error (the attacker could unlock the bootloader, but that wipes user
+// data — footnote 1 of the paper).
+func MountColdBoot(s *soc.SoC, v ColdBootVariant) (*Dump, error) {
+	img := dumpImage(v)
+	var err error
+	switch v {
+	case OSReboot:
+		err = s.OSReboot(img)
+	case Reflash:
+		err = s.Reflash(img)
+	case HeldReset:
+		err = s.HeldReset(2.0, img)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Dump{Variant: v, DRAM: s.DRAM.Store(), IRAM: s.IRAM.Store()}, nil
+}

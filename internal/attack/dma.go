@@ -1,0 +1,65 @@
+package attack
+
+import (
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// DMAScrape is the FireWire-class attack (§3.1): program a DMA engine over
+// a peripheral interface and read arbitrary physical memory while the
+// device runs, PIN lock notwithstanding. It needs no reboot, so remanence
+// is irrelevant — only address-range protection (TrustZone) and the
+// cache-bypass property stand between the attacker and memory.
+type DMAScrape struct {
+	s *soc.SoC
+	// Regions the controller refused (TrustZone-protected).
+	Denied []mem.PhysAddr
+	data   map[mem.PhysAddr][]byte
+}
+
+// MountDMAScrape reads every materialised DRAM page plus the full iRAM over
+// DMA, recording what was denied.
+func MountDMAScrape(s *soc.SoC) *DMAScrape {
+	a := &DMAScrape{s: s, data: make(map[mem.PhysAddr][]byte)}
+	for _, off := range s.DRAM.Store().TouchedPages() {
+		a.grab(soc.DRAMBase + mem.PhysAddr(off))
+	}
+	for off := uint64(0); off < s.Prof.IRAMSize; off += mem.PageSize {
+		a.grab(soc.IRAMBase + mem.PhysAddr(off))
+	}
+	return a
+}
+
+func (a *DMAScrape) grab(addr mem.PhysAddr) {
+	buf, err := a.s.DMA.ReadFromMem(addr, mem.PageSize)
+	if err != nil {
+		a.Denied = append(a.Denied, addr)
+		return
+	}
+	a.data[addr] = buf
+}
+
+// ContainsSecret reports whether the scrape captured the needle.
+func (a *DMAScrape) ContainsSecret(needle []byte) bool {
+	for _, page := range a.data {
+		if indexBytes(page, needle) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoverKeys runs the AES keyfinder over the scraped pages.
+func (a *DMAScrape) RecoverKeys() [][]byte {
+	// Rebuild a store view of the scrape for the scanner.
+	st := mem.NewStore(uint64(len(a.data)) * mem.PageSize)
+	i := uint64(0)
+	for _, page := range a.data {
+		st.Write(i*mem.PageSize, page)
+		i++
+	}
+	return FindAESKeys(st)
+}
+
+// PagesRead returns how many pages the scrape captured.
+func (a *DMAScrape) PagesRead() int { return len(a.data) }

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+
+	"sentry/internal/apps"
+	"sentry/internal/core"
+	"sentry/internal/energy"
+	"sentry/internal/kernel"
+	"sentry/internal/sim"
+	"sentry/internal/soc"
+)
+
+func init() {
+	register(Experiment{ID: "ablation-lazy", Title: "Ablation: lazy vs eager decrypt-on-unlock", Run: runAblationLazy})
+	register(Experiment{ID: "ablation-capacity", Title: "Ablation: locked-way capacity vs background paging", Run: runAblationCapacity})
+	register(Experiment{ID: "ablation-selective", Title: "Ablation: selective vs whole-memory encryption", Run: runAblationSelective})
+}
+
+// runAblationLazy quantifies the design choice §7 argues for: when the user
+// glances at the phone (unlock, touch a little, re-lock), lazy decryption
+// only pays for what was touched; eager decryption pays for everything.
+func runAblationLazy(seed int64) (*Report, error) {
+	type outcome struct {
+		seconds float64
+		joules  float64
+	}
+	glance := func(eager bool) (outcome, error) {
+		s := soc.Nexus4(seed)
+		k := kernel.New(s, benchPIN)
+		sn, err := core.New(k, core.Config{})
+		if err != nil {
+			return outcome{}, err
+		}
+		app, err := apps.Launch(k, apps.Maps(), true)
+		if err != nil {
+			return outcome{}, err
+		}
+		k.Lock()
+		var o outcome
+		o.joules = energy.Span(s, func() {
+			o.seconds = s.Clock.SecondsFor(s.Clock.Span(func() {
+				if err := k.Unlock(benchPIN); err != nil {
+					panic(err)
+				}
+				if eager {
+					// Strawman: decrypt the whole footprint up front.
+					k.Switch(app.Proc)
+					buf := make([]byte, 64)
+					for _, v := range app.Proc.AS.Pages() {
+						if e := s.CPU.Load(v, buf); e != nil {
+							panic(e)
+						}
+					}
+				} else {
+					// Lazy: the glance touches only a couple of MB.
+					if err := app.TouchMB(2); err != nil {
+						panic(err)
+					}
+				}
+				k.Lock()
+			}))
+		})
+		_ = sn
+		return o, nil
+	}
+	lazy, err := glance(false)
+	if err != nil {
+		return nil, err
+	}
+	eager, err := glance(true)
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "ablation-lazy", Title: "Glance interaction (unlock, touch 2MB, re-lock) on Maps",
+		Header: []string{"Policy", "Time (s)", "Energy (J)"}}
+	r.Add("Lazy (Sentry)", lazy.seconds, lazy.joules)
+	r.Add("Eager (strawman)", eager.seconds, eager.joules)
+	r.Note("lazy decryption should win decisively for short sessions")
+	return r, nil
+}
+
+// runAblationCapacity generalises Figures 6–8: alpine's kernel time as the
+// locked capacity sweeps one to four ways.
+func runAblationCapacity(seed int64) (*Report, error) {
+	r := &Report{ID: "ablation-capacity", Title: "alpine kernel time vs locked capacity",
+		Header: []string{"Locked KB", "Pool pages", "Kernel time (s)", "Page-ins"}}
+	prof := apps.Alpine()
+	for _, kb := range []int{128, 256, 384, 512} {
+		s := soc.Tegra3(seed)
+		k := kernel.New(s, benchPIN)
+		sn, err := core.New(k, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		app, err := apps.LaunchBackground(k, prof)
+		if err != nil {
+			return nil, err
+		}
+		k.Lock()
+		if err := sn.BeginBackground(app.Proc, kb); err != nil {
+			return nil, err
+		}
+		t, err := app.RunBackgroundLoop(prof, sim.NewRNG(seed))
+		if err != nil {
+			return nil, err
+		}
+		r.Add(kb, sn.BackgroundCapacityPages(), t, sn.Stats().BgPageIns)
+	}
+	r.Note("kernel time should fall as the locked pool approaches the hot working set")
+	return r, nil
+}
+
+// runAblationSelective compares protecting one app (Sentry's design)
+// against the §7 strawman of encrypting (nearly) all of DRAM at every lock.
+func runAblationSelective(seed int64) (*Report, error) {
+	s := soc.Nexus4(seed)
+	k := kernel.New(s, benchPIN)
+	sn, err := core.New(k, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	app, err := apps.Launch(k, apps.Maps(), true)
+	if err != nil {
+		return nil, err
+	}
+	var lockSec float64
+	lockJ := energy.Span(s, func() {
+		lockSec = s.Clock.SecondsFor(s.Clock.Span(k.Lock))
+	})
+	perByteJ := lockJ / float64(sn.Stats().LockEncryptedBytes)
+	perByteSec := lockSec / float64(sn.Stats().LockEncryptedBytes)
+	whole := float64(uint64(2) << 30)
+
+	battery := energy.BatteryOf(s)
+	r := &Report{ID: "ablation-selective", Title: "Selective vs whole-memory encrypt-on-lock (Nexus 4)",
+		Header: []string{"Policy", "Bytes", "Time (s)", "Energy (J)", "Battery/day @150"}}
+	r.Add("Selective (Maps only)", fmt.Sprintf("%d MB", app.Prof.LockMB()),
+		lockSec, lockJ, fmt.Sprintf("%.2f%%", battery.DailyFraction(lockJ)*100))
+	r.Add("Whole memory (strawman)", "2048 MB",
+		perByteSec*whole, perByteJ*whole,
+		fmt.Sprintf("%.0f%%", battery.DailyFraction(perByteJ*whole)*100))
+	r.Note("paper: whole-memory encryption takes >1 min and >70 J — untenable at 150 unlocks/day")
+	return r, nil
+}

@@ -1,0 +1,424 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, id string) *Report {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	r, err := e.Run(1)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(r.Rows) == 0 || r.String() == "" {
+		t.Fatalf("%s: empty report", id)
+	}
+	return r
+}
+
+// cell parses a numeric report cell, tolerating units and suffixes.
+func cell(t *testing.T, r *Report, row, col int) float64 {
+	t.Helper()
+	s := r.Rows[row][col]
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %d,%d = %q not numeric: %v", row, col, r.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"anchors", "ablation-lazy", "ablation-capacity", "ablation-selective"}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Fatalf("registry has %d experiments", len(All()))
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := runExp(t, "table2")
+	// iRAM: 100 / 0 / 0; DRAM: ~96.4 / ~97.5 / ~0.1.
+	if r.Rows[0][1] != "100.0%" || r.Rows[1][1] != "0.0%" || r.Rows[2][1] != "0.0%" {
+		t.Fatalf("iRAM column = %v %v %v", r.Rows[0][1], r.Rows[1][1], r.Rows[2][1])
+	}
+	parse := func(s string) float64 {
+		v, _ := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		return v
+	}
+	if v := parse(r.Rows[0][2]); v < 95 || v > 97.5 {
+		t.Fatalf("OS reboot DRAM = %v", v)
+	}
+	if v := parse(r.Rows[1][2]); v < 96 || v > 99 {
+		t.Fatalf("reflash DRAM = %v", v)
+	}
+	if v := parse(r.Rows[2][2]); v > 0.5 {
+		t.Fatalf("2s reset DRAM = %v", v)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := runExp(t, "table3")
+	for i, attackName := range []string{"Cold Boot", "Bus Monitoring", "DMA Attacks"} {
+		if r.Rows[i][0] != attackName {
+			t.Fatalf("row %d = %s", i, r.Rows[i][0])
+		}
+		if r.Rows[i][1] != "UNSAFE" {
+			t.Errorf("%s vs DRAM baseline should be UNSAFE", attackName)
+		}
+		if r.Rows[i][2] != "Safe" || r.Rows[i][3] != "Safe" {
+			t.Errorf("%s: iRAM=%s lockedL2=%s, want Safe/Safe", attackName, r.Rows[i][2], r.Rows[i][3])
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	r := runExp(t, "table4")
+	last := r.Rows[len(r.Rows)-1]
+	if last[0] != "TOTAL" || last[1] != "2970" || last[2] != "3026" || last[3] != "3082" {
+		t.Fatalf("totals row = %v", last)
+	}
+}
+
+func TestAppFigureShapes(t *testing.T) {
+	fig2 := runExp(t, "fig2")
+	fig3 := runExp(t, "fig3")
+	fig4 := runExp(t, "fig4")
+	fig5 := runExp(t, "fig5")
+
+	// Row order: contacts, maps, twitter, mp3.
+	const contacts, maps, twitter, mp3 = 0, 1, 2, 3
+
+	// Fig 2: resume costs hundreds of ms to ~1.5 s; Maps the largest.
+	for row := 0; row < 4; row++ {
+		sec := cell(t, fig2, row, 1)
+		if sec < 0.02 || sec > 3 {
+			t.Errorf("fig2 row %d unlock time %.3f s out of band", row, sec)
+		}
+	}
+	if !(cell(t, fig2, maps, 1) > cell(t, fig2, contacts, 1)) {
+		t.Error("fig2: Maps should take longest to resume")
+	}
+	if mb := cell(t, fig2, maps, 2); mb != 38 {
+		t.Errorf("fig2: Maps decrypts %.1f MB, want 38", mb)
+	}
+
+	// Fig 3: overhead small and positive, ordered Contacts > MP3.
+	for row := 0; row < 4; row++ {
+		ov := cell(t, fig3, row, 3)
+		if ov < 0.01 || ov > 8 {
+			t.Errorf("fig3 row %d overhead %.2f%% out of band", row, ov)
+		}
+	}
+	if !(cell(t, fig3, contacts, 3) > cell(t, fig3, mp3, 3)) {
+		t.Error("fig3: Contacts should have the highest overhead, MP3 the lowest")
+	}
+
+	// Fig 4: lock cost proportional to footprint; Maps encrypts 48 MB.
+	if mb := cell(t, fig4, maps, 2); mb != 48 {
+		t.Errorf("fig4: Maps encrypts %.1f MB, want 48", mb)
+	}
+	if !(cell(t, fig4, maps, 1) > cell(t, fig4, mp3, 1)) {
+		t.Error("fig4: Maps lock should cost most")
+	}
+
+	// Fig 5: ≤ ~3 J per app; ~2% battery/day.
+	for row := 0; row < 4; row++ {
+		if j := cell(t, fig5, row, 1) + cell(t, fig5, row, 2); j <= 0 || j > 4 {
+			t.Errorf("fig5 row %d energy %.2f J out of band", row, j)
+		}
+	}
+	daily := cell(t, fig5, maps, 3)
+	if daily < 0.5 || daily > 4 {
+		t.Errorf("fig5: Maps daily battery %.2f%%, want ≈2%%", daily)
+	}
+}
+
+func TestBackgroundFigureShapes(t *testing.T) {
+	fig6 := runExp(t, "fig6") // alpine
+	fig7 := runExp(t, "fig7") // vlock
+	fig8 := runExp(t, "fig8") // xmms2
+
+	// alpine: big factor at 256KB (paper 2.74x), better at 512KB.
+	a256, a512 := cell(t, fig6, 1, 2), cell(t, fig6, 2, 2)
+	if a256 < 1.5 {
+		t.Errorf("fig6: alpine 256KB factor %.2f, want >1.5", a256)
+	}
+	if a512 >= a256 {
+		t.Errorf("fig6: 512KB (%.2f) should beat 256KB (%.2f)", a512, a256)
+	}
+	// vlock: tiny working set, modest overhead everywhere.
+	v256, v512 := cell(t, fig7, 1, 2), cell(t, fig7, 2, 2)
+	if v256 > 1.6 || v512 > 1.6 {
+		t.Errorf("fig7: vlock factors %.2f/%.2f, want modest", v256, v512)
+	}
+	// xmms2: meaningful overhead at 512KB (paper ~1.48x), worse at 256KB.
+	x256, x512 := cell(t, fig8, 1, 2), cell(t, fig8, 2, 2)
+	if x512 < 1.1 {
+		t.Errorf("fig8: xmms2 512KB factor %.2f, want >1.1", x512)
+	}
+	if x256 <= x512 {
+		t.Errorf("fig8: 256KB (%.2f) should be worse than 512KB (%.2f)", x256, x512)
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	r := runExp(t, "fig9")
+	// Rows: randread, randread-direct, randrw, randrw-direct.
+	// Cached randread: Sentry within ~15% of no-crypto.
+	if s, n := cell(t, r, 0, 3), cell(t, r, 0, 1); s < 0.85*n {
+		t.Errorf("cached randread: sentry %.1f vs none %.1f", s, n)
+	}
+	// Direct randread: crypto clearly cuts throughput.
+	if s, n := cell(t, r, 1, 3), cell(t, r, 1, 1); s > 0.6*n {
+		t.Errorf("direct randread: sentry %.1f vs none %.1f — cost not exposed", s, n)
+	}
+	// randrw cached: ~2x cut from write-back crypto.
+	if s, n := cell(t, r, 2, 3), cell(t, r, 2, 1); s > 0.8*n || s < 0.2*n {
+		t.Errorf("cached randrw: sentry %.1f vs none %.1f, want roughly half", s, n)
+	}
+	// Sentry ≈ generic everywhere.
+	for row := 0; row < 4; row++ {
+		g, s := cell(t, r, row, 2), cell(t, r, row, 3)
+		if ratio := s / g; ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("row %d sentry/generic = %.2f", row, ratio)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r := runExp(t, "fig10")
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// One locked way: under 2% slowdown. Monotone growth overall.
+	if s := cell(t, r, 1, 3); s > 1.02 {
+		t.Errorf("one locked way slowdown %.3f, want <1.02", s)
+	}
+	prev := 0.0
+	for row := 0; row < 9; row++ {
+		s := cell(t, r, row, 3)
+		if s+1e-9 < prev {
+			t.Errorf("slowdown not monotone at row %d", row)
+		}
+		prev = s
+	}
+	if last := cell(t, r, 8, 3); last < 1.2 {
+		t.Errorf("all ways locked slowdown %.2f, want substantial", last)
+	}
+}
+
+func TestFig11And12Shapes(t *testing.T) {
+	r := runExp(t, "fig11")
+	get := func(platform, variant string) float64 {
+		for i, row := range r.Rows {
+			if row[0] == platform && strings.Contains(row[1], variant) {
+				return cell(t, r, i, 2)
+			}
+		}
+		t.Fatalf("missing %s/%s", platform, variant)
+		return 0
+	}
+	nexusGeneric := get("Nexus 4", "Generic AES")
+	nexusKernel := get("Nexus 4", "in kernel")
+	nexusHW := get("Nexus 4", "Crypto Hardware")
+	tegraGeneric := get("Tegra 3", "Generic AES")
+	tegraL2 := get("Tegra 3", "Locked L2")
+	tegraIRAM := get("Tegra 3", "iRAM")
+
+	if nexusGeneric < 30 || nexusGeneric > 50 {
+		t.Errorf("Nexus generic = %.1f MB/s, want ~40", nexusGeneric)
+	}
+	if tegraGeneric < 10 || tegraGeneric > 25 {
+		t.Errorf("Tegra generic = %.1f MB/s, want ~15", tegraGeneric)
+	}
+	if nexusGeneric < 1.5*tegraGeneric {
+		t.Error("Nexus should be much faster than Tegra")
+	}
+	if nexusHW > 0.5*nexusGeneric {
+		t.Errorf("locked accelerator (%.1f) should lag the CPU (%.1f) on 4KB pages", nexusHW, nexusGeneric)
+	}
+	if nexusKernel >= nexusGeneric {
+		t.Error("kernel CryptoAPI overhead should cost a little")
+	}
+	for _, v := range []float64{tegraL2, tegraIRAM} {
+		if v < 0.95*tegraGeneric || v > 1.05*tegraGeneric {
+			t.Errorf("AES On SoC %.2f vs generic %.2f: want <~1%% apart", v, tegraGeneric)
+		}
+	}
+
+	e := runExp(t, "fig12")
+	openssl := cell(t, e, 0, 1)
+	api := cell(t, e, 1, 1)
+	hw := cell(t, e, 2, 1)
+	if !(openssl < api && api < hw) {
+		t.Errorf("fig12 ordering: %.4f %.4f %.4f, want OpenSSL < CryptoAPI < HW", openssl, api, hw)
+	}
+	if openssl < 0.01 || openssl > 0.08 {
+		t.Errorf("OpenSSL µJ/B = %.4f, want ~0.03", openssl)
+	}
+	if hw < 0.06 || hw > 0.3 {
+		t.Errorf("HW µJ/B = %.4f, want ~0.11", hw)
+	}
+}
+
+func TestAnchorsShape(t *testing.T) {
+	r := runExp(t, "anchors")
+	if len(r.Rows) < 6 {
+		t.Fatalf("anchors rows = %d", len(r.Rows))
+	}
+	// 2GB encryption: around a minute, tens of Joules, battery cycles ~410.
+	if v := cell(t, r, 0, 1); v < 40 || v > 90 {
+		t.Errorf("2GB encryption %v s, want ≈1 min", v)
+	}
+	if v := cell(t, r, 1, 1); v < 50 || v > 100 {
+		t.Errorf("2GB encryption %v J, want ~70", v)
+	}
+	if v := cell(t, r, 2, 1); v < 200 || v > 800 {
+		t.Errorf("battery cycles %v, want ~410", v)
+	}
+	if v := cell(t, r, 3, 1); v < 3.9 || v > 4.2 {
+		t.Errorf("zeroing rate %v GB/s, want 4.014", v)
+	}
+	if v := cell(t, r, 4, 1); v < 2.7 || v > 2.9 {
+		t.Errorf("zeroing energy %v µJ/MB, want 2.8", v)
+	}
+	if v := cell(t, r, 5, 1); v < 40 || v > 800 {
+		t.Errorf("IRQ window %v µs, want order of 160", v)
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	lazy := runExp(t, "ablation-lazy")
+	if cell(t, lazy, 0, 1) >= cell(t, lazy, 1, 1) {
+		t.Error("lazy should be faster than eager for a glance")
+	}
+	cap := runExp(t, "ablation-capacity")
+	if cell(t, cap, 0, 2) <= cell(t, cap, 3, 2) {
+		// kernel time should shrink as capacity grows
+	} else if cell(t, cap, 3, 2) >= cell(t, cap, 0, 2) {
+		t.Error("capacity sweep shape wrong")
+	}
+	sel := runExp(t, "ablation-selective")
+	if cell(t, sel, 1, 2) < 10*cell(t, sel, 0, 2) {
+		t.Error("whole-memory should dwarf selective encryption")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Header: []string{"a", "b"}}
+	r.Add("row", 3.14159)
+	r.Note("hello %d", 7)
+	s := r.String()
+	if !strings.Contains(s, "3.14") || !strings.Contains(s, "hello 7") {
+		t.Fatalf("format: %s", s)
+	}
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	frost := runExp(t, "ext-frost")
+	// Colder must retain more, longer must retain less.
+	for row := 0; row < len(frost.Rows); row++ {
+		for col := 1; col < 4; col++ {
+			if cell(t, frost, row, col) > cell(t, frost, row, col+1)+1e-9 {
+				t.Errorf("frost row %d: colder column retains less", row)
+			}
+		}
+	}
+	if cell(t, frost, 2, 1) > 1 || cell(t, frost, 2, 3) < 80 {
+		t.Errorf("frost 2s: room=%v frozen=%v — FROST window wrong",
+			cell(t, frost, 2, 1), cell(t, frost, 2, 3))
+	}
+
+	fw := runExp(t, "ext-firmware")
+	// Zeroing ROM: always 0. No zeroing: iRAM beats DRAM badly at 2s.
+	if cell(t, fw, 0, 1) != 0 || cell(t, fw, 1, 1) != 0 {
+		t.Error("zeroing ROM should leave nothing")
+	}
+	if cell(t, fw, 1, 2) < cell(t, fw, 1, 3)+10 {
+		t.Error("un-zeroed SRAM should retain far more than DRAM at 2s")
+	}
+
+	pin := runExp(t, "ext-pinonsoc")
+	lockedCompile, pinnedCompile := cell(t, pin, 0, 2), cell(t, pin, 1, 2)
+	if pinnedCompile >= lockedCompile {
+		t.Error("pin-on-SoC should spare the concurrent compile the cache loss")
+	}
+	lockedKT, pinnedKT := cell(t, pin, 0, 1), cell(t, pin, 1, 1)
+	if ratio := pinnedKT / lockedKT; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("pinned/locked kernel time = %.2f, want ≈1", ratio)
+	}
+}
+
+func TestExtIOMMUShape(t *testing.T) {
+	r := runExp(t, "ext-iommu")
+	want := [][2]string{
+		{"UNSAFE", "UNSAFE"}, // no protection
+		{"Safe", "UNSAFE"},   // IOMMU falls to spoofing
+		{"Safe", "Safe"},     // TrustZone deny-all holds
+	}
+	for i, w := range want {
+		if r.Rows[i][1] != w[0] || r.Rows[i][2] != w[1] {
+			t.Errorf("row %d = %v/%v, want %v/%v", i, r.Rows[i][1], r.Rows[i][2], w[0], w[1])
+		}
+	}
+}
+
+func TestReportCellFormatting(t *testing.T) {
+	r := &Report{ID: "fmt", Title: "t", Header: []string{"a", "b", "c", "d"}}
+	r.Add("x", 0.0, 1234.5678, 0.4567)
+	row := r.Rows[0]
+	if row[1] != "0" || row[2] != "1234.6" || row[3] != "0.4567" {
+		t.Fatalf("formatted row = %v", row)
+	}
+	// Rows wider than the header must not panic the renderer.
+	r.Add("y", 1, 2, 3, 4, 5)
+	if r.String() == "" {
+		t.Fatal("render failed")
+	}
+}
+
+// TestHeadlineResultsSeedRobust re-runs the security-critical experiments
+// across several seeds: the qualitative outcomes must not depend on the
+// randomness of decay, plaintexts, or workloads.
+func TestHeadlineResultsSeedRobust(t *testing.T) {
+	for seed := int64(2); seed <= 5; seed++ {
+		t3, ok := ByID("table3")
+		if !ok {
+			t.Fatal("table3 missing")
+		}
+		r, err := t3.Run(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < 3; i++ {
+			if r.Rows[i][1] != "UNSAFE" || r.Rows[i][2] != "Safe" || r.Rows[i][3] != "Safe" {
+				t.Errorf("seed %d row %d: %v", seed, i, r.Rows[i])
+			}
+		}
+		t2, _ := ByID("table2")
+		r2, err := t2.Run(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r2.Rows[1][1] != "0.0%" || r2.Rows[2][1] != "0.0%" {
+			t.Errorf("seed %d: iRAM survived a power cut", seed)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package blockdev provides the block-device substrate under dm-crypt: a
+// sector-addressed device interface and the RAM-backed disk the paper's
+// §8.2 dm-crypt experiments use (a 450 MB in-memory partition, chosen so
+// the benchmark isolates crypto cost from disk latency).
+package blockdev
+
+import (
+	"fmt"
+
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// SectorSize is the device sector size in bytes.
+const SectorSize = 512
+
+// Device is a sector-addressed block device.
+type Device interface {
+	// Sectors returns the device capacity in sectors.
+	Sectors() uint64
+	// ReadSector copies sector n into dst (len SectorSize).
+	ReadSector(n uint64, dst []byte) error
+	// WriteSector stores src (len SectorSize) at sector n.
+	WriteSector(n uint64, src []byte) error
+}
+
+// ramWordCycles is the per-word transfer cost of the RAM disk: a kernel
+// memcpy between the page cache and the ramdisk region of DRAM. 16 cycles
+// per word puts the raw device at roughly 300 MB/s on a 1.2 GHz core,
+// matching the headroom the paper's in-memory partition shows before
+// crypto is layered on.
+const ramWordCycles = 16
+
+// RAMDisk is an in-memory partition living in (simulated) DRAM.
+type RAMDisk struct {
+	s       *soc.SoC
+	store   *mem.Store
+	sectors uint64
+}
+
+// NewRAMDisk creates a RAM-backed partition of the given size (rounded
+// down to whole sectors).
+func NewRAMDisk(s *soc.SoC, size uint64) *RAMDisk {
+	sectors := size / SectorSize
+	return &RAMDisk{s: s, store: mem.NewStore(sectors * SectorSize), sectors: sectors}
+}
+
+// Sectors returns the capacity in sectors.
+func (d *RAMDisk) Sectors() uint64 { return d.sectors }
+
+func (d *RAMDisk) check(n uint64, buf []byte) error {
+	if n >= d.sectors {
+		return fmt.Errorf("blockdev: sector %d beyond device end %d", n, d.sectors)
+	}
+	if len(buf) != SectorSize {
+		return fmt.Errorf("blockdev: buffer is %d bytes, want %d", len(buf), SectorSize)
+	}
+	return nil
+}
+
+func (d *RAMDisk) charge() {
+	d.s.Compute(SectorSize / 4 * ramWordCycles)
+}
+
+// ReadSector implements Device.
+func (d *RAMDisk) ReadSector(n uint64, dst []byte) error {
+	if err := d.check(n, dst); err != nil {
+		return err
+	}
+	d.store.Read(n*SectorSize, dst)
+	d.charge()
+	return nil
+}
+
+// WriteSector implements Device.
+func (d *RAMDisk) WriteSector(n uint64, src []byte) error {
+	if err := d.check(n, src); err != nil {
+		return err
+	}
+	d.store.Write(n*SectorSize, src)
+	d.charge()
+	return nil
+}
+
+// Store exposes the backing store so attacks can scan the "disk" contents
+// (e.g. to verify dm-crypt left only ciphertext at rest).
+func (d *RAMDisk) Store() *mem.Store { return d.store }

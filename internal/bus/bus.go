@@ -1,0 +1,157 @@
+// Package bus models the external memory bus between the SoC and the DRAM
+// chips. Every transaction that leaves the SoC package — L2 line fills and
+// write-backs, uncached CPU accesses, DMA transfers — crosses this bus and
+// is therefore observable by a physically attached bus monitor (the probe
+// attack of §3.1 of the paper). Traffic that stays on-SoC (iRAM accesses,
+// cache hits) never appears here, which is precisely the property Sentry's
+// on-SoC storage exploits.
+package bus
+
+import (
+	"sync"
+
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+// Op is a bus transaction direction.
+type Op int
+
+// Bus operations.
+const (
+	Read Op = iota
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// Transaction is one observable transfer on the external bus. Data is a
+// copy; monitors may retain it.
+type Transaction struct {
+	Cycle     uint64
+	Op        Op
+	Addr      mem.PhysAddr
+	Data      []byte
+	Initiator string // "l2", "cpu-uncached", "dma0", ...
+}
+
+// Monitor receives every transaction on the bus. Implementations must not
+// block; they model passive probes.
+type Monitor interface {
+	Observe(tx Transaction)
+}
+
+// Stats aggregates bus traffic counters.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	BytesRead  uint64
+	BytesWrote uint64
+}
+
+// Bus is the external memory bus. It forwards transfers to the devices in
+// its address map, charges time and energy, and fans transactions out to
+// attached monitors.
+type Bus struct {
+	mu       sync.Mutex
+	clock    *sim.Clock
+	meter    *sim.Meter
+	costs    *sim.CostTable
+	energy   *sim.EnergyTable
+	devices  *mem.Map
+	monitors []Monitor
+	stats    Stats
+}
+
+// New returns a bus over the given device map, charging the given cost and
+// energy tables.
+func New(clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, energy *sim.EnergyTable, devices *mem.Map) *Bus {
+	return &Bus{clock: clock, meter: meter, costs: costs, energy: energy, devices: devices}
+}
+
+// Devices returns the bus's address map (the off-SoC devices).
+func (b *Bus) Devices() *mem.Map { return b.devices }
+
+// Attach adds a monitor. Attaching a probe requires physical access; the
+// attack packages call this to model the adversary.
+func (b *Bus) Attach(m Monitor) {
+	b.mu.Lock()
+	b.monitors = append(b.monitors, m)
+	b.mu.Unlock()
+}
+
+// Detach removes a previously attached monitor.
+func (b *Bus) Detach(m Monitor) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, x := range b.monitors {
+		if x == m {
+			b.monitors = append(b.monitors[:i], b.monitors[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// ResetStats zeroes the traffic counters.
+func (b *Bus) ResetStats() {
+	b.mu.Lock()
+	b.stats = Stats{}
+	b.mu.Unlock()
+}
+
+func (b *Bus) charge(nbytes int) {
+	words := uint64((nbytes + 3) / 4)
+	b.clock.Advance(words * b.costs.DRAMAccess)
+	b.meter.Charge(float64(words) * b.energy.DRAMAccessPJ)
+}
+
+func (b *Bus) observe(op Op, initiator string, addr mem.PhysAddr, data []byte) {
+	b.mu.Lock()
+	if op == Read {
+		b.stats.Reads++
+		b.stats.BytesRead += uint64(len(data))
+	} else {
+		b.stats.Writes++
+		b.stats.BytesWrote += uint64(len(data))
+	}
+	mons := b.monitors
+	b.mu.Unlock()
+	if len(mons) == 0 {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	tx := Transaction{Cycle: b.clock.Cycles(), Op: op, Addr: addr, Data: cp, Initiator: initiator}
+	for _, m := range mons {
+		m.Observe(tx)
+	}
+}
+
+// ReadInto performs a bus read of len(dst) bytes at addr on behalf of
+// initiator, filling dst.
+func (b *Bus) ReadInto(initiator string, addr mem.PhysAddr, dst []byte) {
+	d := b.devices.MustFind(addr)
+	d.Read(addr, dst)
+	b.charge(len(dst))
+	b.observe(Read, initiator, addr, dst)
+}
+
+// WriteFrom performs a bus write of src at addr on behalf of initiator.
+func (b *Bus) WriteFrom(initiator string, addr mem.PhysAddr, src []byte) {
+	d := b.devices.MustFind(addr)
+	d.Write(addr, src)
+	b.charge(len(src))
+	b.observe(Write, initiator, addr, src)
+}

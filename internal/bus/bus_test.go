@@ -1,0 +1,104 @@
+package bus
+
+import (
+	"bytes"
+	"testing"
+
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+func testBus() (*Bus, *sim.Clock, *sim.Meter) {
+	clock := sim.NewClock(1e9)
+	meter := &sim.Meter{}
+	costs := &sim.CostTable{DRAMAccess: 10}
+	energy := &sim.EnergyTable{DRAMAccessPJ: 100}
+	dram := mem.NewDevice("dram", mem.TechDRAM, 0x80000000, 1<<24)
+	return New(clock, meter, costs, energy, mem.NewMap(dram)), clock, meter
+}
+
+type recorder struct{ txs []Transaction }
+
+func (r *recorder) Observe(tx Transaction) { r.txs = append(r.txs, tx) }
+
+func TestBusReadWriteRoundTrip(t *testing.T) {
+	b, _, _ := testBus()
+	data := []byte("hello-bus")
+	b.WriteFrom("test", 0x80000100, data)
+	got := make([]byte, len(data))
+	b.ReadInto("test", 0x80000100, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestBusChargesTimeAndEnergy(t *testing.T) {
+	b, clock, meter := testBus()
+	b.WriteFrom("test", 0x80000000, make([]byte, 32)) // 8 words
+	if clock.Cycles() != 80 {
+		t.Fatalf("cycles = %d, want 80", clock.Cycles())
+	}
+	if meter.PJ() != 800 {
+		t.Fatalf("energy = %v pJ, want 800", meter.PJ())
+	}
+}
+
+func TestBusMonitorSeesEverything(t *testing.T) {
+	b, _, _ := testBus()
+	rec := &recorder{}
+	b.Attach(rec)
+	b.WriteFrom("l2", 0x80000000, []byte{1, 2, 3, 4})
+	b.ReadInto("dma0", 0x80000000, make([]byte, 4))
+	if len(rec.txs) != 2 {
+		t.Fatalf("monitor saw %d txs, want 2", len(rec.txs))
+	}
+	if rec.txs[0].Op != Write || rec.txs[0].Initiator != "l2" {
+		t.Fatalf("tx0 = %+v", rec.txs[0])
+	}
+	if rec.txs[1].Op != Read || !bytes.Equal(rec.txs[1].Data, []byte{1, 2, 3, 4}) {
+		t.Fatalf("tx1 = %+v", rec.txs[1])
+	}
+}
+
+func TestBusMonitorGetsCopy(t *testing.T) {
+	b, _, _ := testBus()
+	rec := &recorder{}
+	b.Attach(rec)
+	buf := []byte{9, 9}
+	b.WriteFrom("x", 0x80000000, buf)
+	buf[0] = 0
+	if rec.txs[0].Data[0] != 9 {
+		t.Fatal("monitor data aliases caller buffer")
+	}
+}
+
+func TestBusDetach(t *testing.T) {
+	b, _, _ := testBus()
+	rec := &recorder{}
+	b.Attach(rec)
+	b.Detach(rec)
+	b.WriteFrom("x", 0x80000000, []byte{1})
+	if len(rec.txs) != 0 {
+		t.Fatal("detached monitor still observing")
+	}
+}
+
+func TestBusStats(t *testing.T) {
+	b, _, _ := testBus()
+	b.WriteFrom("x", 0x80000000, make([]byte, 10))
+	b.ReadInto("x", 0x80000000, make([]byte, 6))
+	s := b.Stats()
+	if s.Writes != 1 || s.Reads != 1 || s.BytesWrote != 10 || s.BytesRead != 6 {
+		t.Fatalf("stats = %+v", s)
+	}
+	b.ResetStats()
+	if b.Stats() != (Stats{}) {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("Op.String")
+	}
+}

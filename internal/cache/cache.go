@@ -1,0 +1,379 @@
+// Package cache models the shared L2 cache of a Cortex-A9 class SoC managed
+// by a PL310-style controller. It implements the three behaviours Sentry
+// depends on:
+//
+//   - Lockdown by way: ways can be excluded from allocation, so lines already
+//     resident in an excluded ("locked") way remain hittable but are never
+//     evicted or written back until the way is unlocked. This is the paper's
+//     §4.2/§4.5 mechanism for pinning plaintext on the SoC.
+//   - Maskable maintenance: clean/invalidate operations take a way mask, so
+//     an OS can flush "the whole cache" while skipping locked ways — the
+//     Linux change the paper describes (428 → 676 lines in their port).
+//   - DMA bypass: DMA engines transfer against DRAM directly (package dma),
+//     never through this cache, so locked plaintext is invisible to DMA.
+//
+// The cache is physically indexed and tagged, write-back, write-allocate,
+// with round-robin victim selection among allocation-enabled ways. When no
+// way in a set is allocation-enabled, accesses bypass the cache and go to
+// DRAM uncached — matching the PL310's behaviour when software locks every
+// way.
+package cache
+
+import (
+	"fmt"
+
+	"sentry/internal/bus"
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+// Config sizes the cache geometry.
+type Config struct {
+	Ways     int // associativity (PL310: up to 16; Tegra 3 uses 8)
+	WaySize  int // bytes per way (Tegra 3: 128 KB)
+	LineSize int // bytes per line (PL310: 32)
+}
+
+// Tegra3Config is the 1 MB, 8-way, 32 B/line geometry of the Tegra 3 board.
+var Tegra3Config = Config{Ways: 8, WaySize: 128 * 1024, LineSize: 32}
+
+// Stats counts cache events since the last reset.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	WriteBacks uint64
+	Bypasses   uint64 // accesses that went uncached because no way could allocate
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	data  []byte
+}
+
+// L2 is the second-level cache. It is not safe for concurrent use; the
+// simulated platform is single-threaded by design.
+type L2 struct {
+	cfg    Config
+	sets   int
+	clock  *sim.Clock
+	meter  *sim.Meter
+	costs  *sim.CostTable
+	energy *sim.EnergyTable
+	bus    *bus.Bus
+
+	lines     [][]line // [way][set]
+	allocMask uint32   // bit w set => way w may allocate new lines
+	victim    []int    // per-set round-robin pointer
+	stats     Stats
+}
+
+// New returns an L2 of the given geometry in front of the given bus.
+func New(cfg Config, clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, energy *sim.EnergyTable, b *bus.Bus) *L2 {
+	if cfg.Ways <= 0 || cfg.Ways > 32 {
+		panic(fmt.Sprintf("cache: unsupported way count %d", cfg.Ways))
+	}
+	if cfg.WaySize%cfg.LineSize != 0 {
+		panic("cache: way size must be a multiple of line size")
+	}
+	sets := cfg.WaySize / cfg.LineSize
+	c := &L2{
+		cfg: cfg, sets: sets,
+		clock: clock, meter: meter, costs: costs, energy: energy, bus: b,
+		allocMask: (1 << cfg.Ways) - 1,
+		victim:    make([]int, sets),
+	}
+	c.lines = make([][]line, cfg.Ways)
+	for w := range c.lines {
+		c.lines[w] = make([]line, sets)
+		for s := range c.lines[w] {
+			c.lines[w][s].data = make([]byte, cfg.LineSize)
+		}
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *L2) Config() Config { return c.cfg }
+
+// Sets returns the number of sets per way.
+func (c *L2) Sets() int { return c.sets }
+
+// SizeBytes returns the total cache capacity.
+func (c *L2) SizeBytes() int { return c.cfg.Ways * c.cfg.WaySize }
+
+// Stats returns a snapshot of the event counters.
+func (c *L2) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters.
+func (c *L2) ResetStats() { c.stats = Stats{} }
+
+// AllocMask returns the current allocation-enable mask. Bit w set means way
+// w accepts new allocations; a clear bit is a "locked" way in the paper's
+// terminology (its resident lines are pinned).
+func (c *L2) AllocMask() uint32 { return c.allocMask }
+
+// SetAllocMask programs the lockdown register. This is a secure-world-only
+// operation on real hardware; the tz package enforces that, this method is
+// the raw controller interface.
+func (c *L2) SetAllocMask(mask uint32) {
+	c.allocMask = mask & ((1 << c.cfg.Ways) - 1)
+}
+
+func (c *L2) index(addr mem.PhysAddr) (set int, tag uint64) {
+	lineN := uint64(addr) / uint64(c.cfg.LineSize)
+	return int(lineN % uint64(c.sets)), lineN / uint64(c.sets)
+}
+
+// lookup returns the way holding (set, tag), or -1.
+func (c *L2) lookup(set int, tag uint64) int {
+	for w := 0; w < c.cfg.Ways; w++ {
+		ln := &c.lines[w][set]
+		if ln.valid && ln.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// pickVictim chooses an allocation-enabled way in set, preferring invalid
+// lines, else round-robin. Returns -1 if no way may allocate.
+func (c *L2) pickVictim(set int) int {
+	if c.allocMask == 0 {
+		return -1
+	}
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.allocMask&(1<<w) != 0 && !c.lines[w][set].valid {
+			return w
+		}
+	}
+	start := c.victim[set]
+	for i := 0; i < c.cfg.Ways; i++ {
+		w := (start + i) % c.cfg.Ways
+		if c.allocMask&(1<<w) != 0 {
+			c.victim[set] = (w + 1) % c.cfg.Ways
+			return w
+		}
+	}
+	return -1
+}
+
+func (c *L2) lineBase(set int, tag uint64) mem.PhysAddr {
+	return mem.PhysAddr((tag*uint64(c.sets) + uint64(set)) * uint64(c.cfg.LineSize))
+}
+
+// writeBack cleans one line to DRAM over the bus.
+func (c *L2) writeBack(set, way int) {
+	ln := &c.lines[way][set]
+	if !ln.valid || !ln.dirty {
+		return
+	}
+	c.bus.WriteFrom("l2", c.lineBase(set, ln.tag), ln.data)
+	ln.dirty = false
+	c.stats.WriteBacks++
+}
+
+// fill allocates (set,way) with the line containing addr, evicting as needed.
+func (c *L2) fill(set, way int, tag uint64) *line {
+	ln := &c.lines[way][set]
+	if ln.valid {
+		c.stats.Evictions++
+		c.writeBack(set, way)
+	}
+	ln.valid = true
+	ln.dirty = false
+	ln.tag = tag
+	c.bus.ReadInto("l2", c.lineBase(set, tag), ln.data)
+	return ln
+}
+
+func (c *L2) chargeHit(nbytes int) {
+	words := uint64((nbytes + 3) / 4)
+	c.clock.Advance(words * c.costs.L2Hit)
+	c.meter.Charge(float64(words) * c.energy.L2HitPJ)
+}
+
+// access performs one within-line cacheable access.
+func (c *L2) access(addr mem.PhysAddr, buf []byte, isWrite bool) {
+	set, tag := c.index(addr)
+	way := c.lookup(set, tag)
+	if way < 0 {
+		victim := c.pickVictim(set)
+		if victim < 0 {
+			// Every way locked: the controller bypasses to DRAM with
+			// single-beat transactions (no burst amortisation).
+			c.stats.Bypasses++
+			c.clock.Advance(c.costs.BypassPenalty)
+			if isWrite {
+				c.bus.WriteFrom("cpu-uncached", addr, buf)
+			} else {
+				c.bus.ReadInto("cpu-uncached", addr, buf)
+			}
+			return
+		}
+		c.stats.Misses++
+		c.fill(set, victim, tag)
+		way = victim
+	} else {
+		c.stats.Hits++
+	}
+	ln := &c.lines[way][set]
+	off := int(uint64(addr) % uint64(c.cfg.LineSize))
+	if isWrite {
+		copy(ln.data[off:], buf)
+		ln.dirty = true
+	} else {
+		copy(buf, ln.data[off:off+len(buf)])
+	}
+	c.chargeHit(len(buf))
+}
+
+// splitByLine runs fn once per line-sized fragment of [addr, addr+len(b)).
+func (c *L2) splitByLine(addr mem.PhysAddr, b []byte, fn func(a mem.PhysAddr, frag []byte)) {
+	for len(b) > 0 {
+		off := int(uint64(addr) % uint64(c.cfg.LineSize))
+		n := c.cfg.LineSize - off
+		if n > len(b) {
+			n = len(b)
+		}
+		fn(addr, b[:n])
+		addr += mem.PhysAddr(n)
+		b = b[n:]
+	}
+}
+
+// Read performs a cacheable read of len(dst) bytes at addr.
+func (c *L2) Read(addr mem.PhysAddr, dst []byte) {
+	c.splitByLine(addr, dst, func(a mem.PhysAddr, frag []byte) {
+		c.access(a, frag, false)
+	})
+}
+
+// Write performs a cacheable write of src at addr.
+func (c *L2) Write(addr mem.PhysAddr, src []byte) {
+	c.splitByLine(addr, src, func(a mem.PhysAddr, frag []byte) {
+		c.access(a, frag, true)
+	})
+}
+
+// CleanWays writes back every dirty line in the ways selected by mask,
+// leaving them valid.
+func (c *L2) CleanWays(mask uint32) {
+	for w := 0; w < c.cfg.Ways; w++ {
+		if mask&(1<<w) == 0 {
+			continue
+		}
+		for s := 0; s < c.sets; s++ {
+			c.writeBack(s, w)
+		}
+	}
+}
+
+// InvalidateWays drops every line in the selected ways without writing
+// anything back. Dirty data is lost — this is the dangerous half of cache
+// maintenance, and also how the firmware resets the cache at boot.
+func (c *L2) InvalidateWays(mask uint32) {
+	for w := 0; w < c.cfg.Ways; w++ {
+		if mask&(1<<w) == 0 {
+			continue
+		}
+		for s := 0; s < c.sets; s++ {
+			ln := &c.lines[w][s]
+			ln.valid = false
+			ln.dirty = false
+			for i := range ln.data {
+				ln.data[i] = 0
+			}
+		}
+	}
+}
+
+// CleanInvalidateWays cleans then invalidates the selected ways. Calling it
+// with a mask that includes a locked way WILL push that way's plaintext to
+// DRAM — exactly the hazard the paper's kernel change guards against; the
+// kernel package is responsible for masking locked ways out.
+func (c *L2) CleanInvalidateWays(mask uint32) {
+	c.CleanWays(mask)
+	c.InvalidateWays(mask)
+}
+
+// AllWaysMask returns the mask selecting every way.
+func (c *L2) AllWaysMask() uint32 { return (1 << c.cfg.Ways) - 1 }
+
+// InvalidateRange drops every line overlapping [addr, addr+n) in any way,
+// without write-back — the PL310's "invalidate by PA" operation. The
+// kernel's zeroing thread uses it to discard stale plaintext lines after
+// clearing a freed frame.
+func (c *L2) InvalidateRange(addr mem.PhysAddr, n int) {
+	first := uint64(addr) / uint64(c.cfg.LineSize)
+	last := (uint64(addr) + uint64(n) - 1) / uint64(c.cfg.LineSize)
+	for ln := first; ln <= last; ln++ {
+		set := int(ln % uint64(c.sets))
+		tag := ln / uint64(c.sets)
+		if w := c.lookup(set, tag); w >= 0 {
+			e := &c.lines[w][set]
+			e.valid = false
+			e.dirty = false
+			for i := range e.data {
+				e.data[i] = 0
+			}
+		}
+	}
+}
+
+// CleanRange writes back any dirty lines overlapping [addr, addr+n) —
+// "clean by PA", the operation drivers use before starting a DMA read.
+func (c *L2) CleanRange(addr mem.PhysAddr, n int) {
+	first := uint64(addr) / uint64(c.cfg.LineSize)
+	last := (uint64(addr) + uint64(n) - 1) / uint64(c.cfg.LineSize)
+	for ln := first; ln <= last; ln++ {
+		set := int(ln % uint64(c.sets))
+		tag := ln / uint64(c.sets)
+		if w := c.lookup(set, tag); w >= 0 {
+			c.writeBack(set, w)
+		}
+	}
+}
+
+// Probe reports, without side effects or timing charges, whether addr is
+// resident, and if so in which way and whether dirty. Test instrumentation.
+func (c *L2) Probe(addr mem.PhysAddr) (hit bool, way int, dirty bool) {
+	set, tag := c.index(addr)
+	w := c.lookup(set, tag)
+	if w < 0 {
+		return false, -1, false
+	}
+	return true, w, c.lines[w][set].dirty
+}
+
+// Snoop copies the cached bytes for addr into dst without timing charges or
+// allocation, returning false if the line is not resident. Used by tests and
+// by the confidentiality scanner, which must observe cache contents without
+// perturbing them.
+func (c *L2) Snoop(addr mem.PhysAddr, dst []byte) bool {
+	ok := true
+	c.splitByLine(addr, dst, func(a mem.PhysAddr, frag []byte) {
+		set, tag := c.index(a)
+		w := c.lookup(set, tag)
+		if w < 0 {
+			ok = false
+			return
+		}
+		off := int(uint64(a) % uint64(c.cfg.LineSize))
+		copy(frag, c.lines[w][set].data[off:off+len(frag)])
+	})
+	return ok
+}
+
+// ValidLines returns the number of valid lines currently held in way w.
+func (c *L2) ValidLines(w int) int {
+	n := 0
+	for s := 0; s < c.sets; s++ {
+		if c.lines[w][s].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,312 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"sentry/internal/bus"
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+const dramBase = 0x80000000
+
+func testRig(cfg Config) (*L2, *bus.Bus, *mem.Device, *sim.Clock) {
+	clock := sim.NewClock(1e9)
+	meter := &sim.Meter{}
+	costs := &sim.CostTable{DRAMAccess: 10, L2Hit: 1}
+	energy := &sim.EnergyTable{DRAMAccessPJ: 10, L2HitPJ: 1}
+	dram := mem.NewDevice("dram", mem.TechDRAM, dramBase, 64<<20)
+	b := bus.New(clock, meter, costs, energy, mem.NewMap(dram))
+	return New(cfg, clock, meter, costs, energy, b), b, dram, clock
+}
+
+var smallCfg = Config{Ways: 4, WaySize: 4096, LineSize: 32}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	c, _, _, _ := testRig(smallCfg)
+	data := []byte("the quick brown fox jumps over the lazy dog") // crosses lines
+	c.Write(dramBase+100, data)
+	got := make([]byte, len(data))
+	c.Read(dramBase+100, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestWriteBackOnlyOnEviction(t *testing.T) {
+	c, b, dram, _ := testRig(smallCfg)
+	c.Write(dramBase, []byte{0xAA})
+	// Dirty line resides in cache; DRAM must still be zero.
+	if dram.ByteAt(dramBase) != 0 {
+		t.Fatal("write-through behaviour: dirty data reached DRAM early")
+	}
+	if hit, _, dirty := c.Probe(dramBase); !hit || !dirty {
+		t.Fatal("line should be resident and dirty")
+	}
+	// Touch enough conflicting lines to force eviction: same set repeats
+	// every WaySize bytes; 4 ways means the 5th conflicting line evicts.
+	for i := 1; i <= 4; i++ {
+		c.Read(dramBase+mem.PhysAddr(i*smallCfg.WaySize), make([]byte, 1))
+	}
+	if dram.ByteAt(dramBase) != 0xAA {
+		t.Fatal("evicted dirty line was not written back")
+	}
+	if b.Stats().Writes == 0 {
+		t.Fatal("write-back should appear on the bus")
+	}
+}
+
+func TestHitProducesNoBusTraffic(t *testing.T) {
+	c, b, _, _ := testRig(smallCfg)
+	c.Write(dramBase, make([]byte, 32))
+	before := b.Stats()
+	for i := 0; i < 100; i++ {
+		c.Read(dramBase, make([]byte, 32))
+		c.Write(dramBase, make([]byte, 32))
+	}
+	after := b.Stats()
+	if before != after {
+		t.Fatalf("cache hits leaked to the bus: %+v -> %+v", before, after)
+	}
+}
+
+func TestLockedWayLinesNeverEvicted(t *testing.T) {
+	c, _, dram, _ := testRig(smallCfg)
+	secret := []byte("PINNED-SECRET-0xFEEDFACE-PINNED!") // 32 bytes, one line
+
+	// Paper §4.5 lock sequence: flush, enable only way 0, warm, enable rest.
+	c.CleanInvalidateWays(c.AllWaysMask())
+	c.SetAllocMask(1 << 0)
+	c.Write(dramBase+0x40, secret)
+	c.SetAllocMask(c.AllWaysMask() &^ (1 << 0)) // lock way 0
+
+	// Hammer the same set with conflicting lines; way 0 must survive.
+	for i := 1; i < 64; i++ {
+		c.Read(dramBase+mem.PhysAddr(0x40+i*smallCfg.WaySize), make([]byte, 32))
+	}
+	if hit, way, _ := c.Probe(dramBase + 0x40); !hit || way != 0 {
+		t.Fatalf("locked line gone: hit=%v way=%d", hit, way)
+	}
+	// And the secret must never have reached DRAM.
+	buf := make([]byte, 32)
+	dram.Read(dramBase+0x40, buf)
+	if bytes.Contains(buf, []byte("PINNED")) {
+		t.Fatal("locked-way data leaked to DRAM")
+	}
+	// But reads still hit it.
+	got := make([]byte, 32)
+	c.Read(dramBase+0x40, got)
+	if !bytes.Equal(got, secret) {
+		t.Fatal("locked line no longer readable")
+	}
+}
+
+func TestMaskedFlushSkipsLockedWay(t *testing.T) {
+	c, _, dram, _ := testRig(smallCfg)
+	c.SetAllocMask(1 << 0)
+	c.Write(dramBase, []byte("lockme"))
+	c.SetAllocMask(c.AllWaysMask() &^ 1)
+	// The kernel's patched flush path: all ways except locked way 0.
+	c.CleanInvalidateWays(c.AllWaysMask() &^ 1)
+	buf := make([]byte, 6)
+	dram.Read(dramBase, buf)
+	if bytes.Equal(buf, []byte("lockme")) {
+		t.Fatal("masked flush pushed locked data to DRAM")
+	}
+	if hit, _, _ := c.Probe(dramBase); !hit {
+		t.Fatal("masked flush invalidated the locked way")
+	}
+}
+
+func TestUnmaskedFlushLeaksLockedWay(t *testing.T) {
+	// The hazard the paper's kernel change exists to prevent: a full flush
+	// DOES clean locked ways out to DRAM.
+	c, _, dram, _ := testRig(smallCfg)
+	c.SetAllocMask(1 << 0)
+	c.Write(dramBase, []byte("lockme"))
+	c.SetAllocMask(c.AllWaysMask() &^ 1)
+	c.CleanInvalidateWays(c.AllWaysMask())
+	buf := make([]byte, 6)
+	dram.Read(dramBase, buf)
+	if !bytes.Equal(buf, []byte("lockme")) {
+		t.Fatal("expected unmasked flush to write locked data back (the documented hazard)")
+	}
+}
+
+func TestAllWaysLockedBypassesToDRAM(t *testing.T) {
+	c, b, _, _ := testRig(smallCfg)
+	c.SetAllocMask(0)
+	before := b.Stats()
+	c.Write(dramBase+0x1000, []byte{1, 2, 3, 4})
+	got := make([]byte, 4)
+	c.Read(dramBase+0x1000, got)
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatal("bypass lost data")
+	}
+	if b.Stats().Writes == before.Writes {
+		t.Fatal("bypass write should hit the bus")
+	}
+	if c.Stats().Bypasses == 0 {
+		t.Fatal("bypass not counted")
+	}
+}
+
+func TestInvalidateDropsDirtyData(t *testing.T) {
+	c, _, dram, _ := testRig(smallCfg)
+	c.Write(dramBase, []byte{0x77})
+	c.InvalidateWays(c.AllWaysMask())
+	if dram.ByteAt(dramBase) != 0 {
+		t.Fatal("invalidate must not write back")
+	}
+	if hit, _, _ := c.Probe(dramBase); hit {
+		t.Fatal("line survived invalidate")
+	}
+	// A subsequent read refetches (zero) from DRAM.
+	buf := make([]byte, 1)
+	c.Read(dramBase, buf)
+	if buf[0] != 0 {
+		t.Fatal("stale data after invalidate")
+	}
+}
+
+func TestSnoopDoesNotPerturb(t *testing.T) {
+	c, _, _, clock := testRig(smallCfg)
+	c.Write(dramBase, []byte("abcd"))
+	s0, c0 := c.Stats(), clock.Cycles()
+	buf := make([]byte, 4)
+	if !c.Snoop(dramBase, buf) || !bytes.Equal(buf, []byte("abcd")) {
+		t.Fatal("snoop failed on resident line")
+	}
+	if c.Stats() != s0 || clock.Cycles() != c0 {
+		t.Fatal("snoop perturbed stats or time")
+	}
+	if c.Snoop(dramBase+mem.PhysAddr(16*smallCfg.WaySize), buf) {
+		t.Fatal("snoop hit on absent line")
+	}
+}
+
+func TestValidLines(t *testing.T) {
+	c, _, _, _ := testRig(smallCfg)
+	c.SetAllocMask(1)
+	c.Write(dramBase, make([]byte, 64)) // two lines into way 0
+	if got := c.ValidLines(0); got != 2 {
+		t.Fatalf("ValidLines(0) = %d, want 2", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c, _, _, _ := testRig(smallCfg)
+	c.Read(dramBase, make([]byte, 4)) // miss
+	c.Read(dramBase, make([]byte, 4)) // hit
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+// Property: under arbitrary interleavings of cached reads, writes, and
+// maintenance operations, a read always observes the most recent write
+// (single-master coherence against a flat model).
+func TestCacheCoherenceAgainstFlatModel(t *testing.T) {
+	f := func(ops []struct {
+		Kind byte
+		Off  uint16
+		Val  byte
+	}) bool {
+		c, _, dram, _ := testRig(Config{Ways: 2, WaySize: 512, LineSize: 32})
+		model := make([]byte, 1<<16)
+		for _, op := range ops {
+			off := mem.PhysAddr(op.Off)
+			switch op.Kind % 5 {
+			case 0:
+				c.Write(dramBase+off, []byte{op.Val})
+				model[op.Off] = op.Val
+			case 1:
+				got := make([]byte, 1)
+				c.Read(dramBase+off, got)
+				if got[0] != model[op.Off] {
+					return false
+				}
+			case 2:
+				c.CleanWays(c.AllWaysMask())
+			case 3:
+				c.CleanInvalidateWays(c.AllWaysMask())
+			case 4:
+				// Clean then check DRAM directly matches the model.
+				c.CleanWays(c.AllWaysMask())
+				if dram.ByteAt(dramBase+off) != model[op.Off] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad geometry")
+		}
+	}()
+	testRig(Config{Ways: 0, WaySize: 4096, LineSize: 32})
+}
+
+func TestTegra3Geometry(t *testing.T) {
+	c, _, _, _ := testRig(Tegra3Config)
+	if c.SizeBytes() != 1<<20 {
+		t.Fatalf("Tegra3 L2 = %d bytes, want 1 MB", c.SizeBytes())
+	}
+	if c.Sets() != 4096 {
+		t.Fatalf("sets = %d, want 4096", c.Sets())
+	}
+}
+
+func TestInvalidateRangeDropsLines(t *testing.T) {
+	c, _, dram, _ := testRig(smallCfg)
+	c.Write(dramBase+0x100, []byte("0123456789abcdef0123456789abcdef0123456789abcdef")) // 48B: two lines
+	c.InvalidateRange(dramBase+0x100, 48)
+	if hit, _, _ := c.Probe(dramBase + 0x100); hit {
+		t.Fatal("line survived InvalidateRange")
+	}
+	if hit, _, _ := c.Probe(dramBase + 0x120); hit {
+		t.Fatal("second line survived InvalidateRange")
+	}
+	// Nothing reached DRAM (no write-back).
+	if dram.ByteAt(dramBase+0x100) != 0 {
+		t.Fatal("InvalidateRange wrote back")
+	}
+	// Lines outside the range survive.
+	c.Write(dramBase+0x200, []byte{1})
+	c.InvalidateRange(dramBase+0x100, 32)
+	if hit, _, _ := c.Probe(dramBase + 0x200); !hit {
+		t.Fatal("InvalidateRange hit unrelated line")
+	}
+}
+
+func TestCleanRangeWritesBack(t *testing.T) {
+	c, _, dram, _ := testRig(smallCfg)
+	c.Write(dramBase+0x40, []byte("dma-bound-data"))
+	if dram.ByteAt(dramBase+0x40) != 0 {
+		t.Fatal("premature write-back")
+	}
+	c.CleanRange(dramBase+0x40, 14)
+	buf := make([]byte, 14)
+	dram.Read(dramBase+0x40, buf)
+	if !bytes.Equal(buf, []byte("dma-bound-data")) {
+		t.Fatal("CleanRange did not write back")
+	}
+	// Line stays valid after a clean.
+	if hit, _, _ := c.Probe(dramBase + 0x40); !hit {
+		t.Fatal("clean invalidated the line")
+	}
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"sentry/internal/kernel"
+	"sentry/internal/mem"
+	"sentry/internal/mmu"
+	"sentry/internal/soc"
+)
+
+// bgSetup boots a Tegra with a locked background session for an mp3-like
+// process of the given footprint.
+func bgSetup(t *testing.T, pages, lockedKB int) (*Sentry, *kernel.Kernel, *soc.SoC, *kernel.Process, []byte) {
+	t.Helper()
+	sn, k, s := bootTegra(t, Config{})
+	p := k.NewProcess("xmms2", true, true)
+	base, _ := k.MapAnon(p, pages)
+	secret := fillSecret(t, s, k, p, base, pages)
+	k.Lock()
+	if err := sn.BeginBackground(p, lockedKB); err != nil {
+		t.Fatal(err)
+	}
+	k.Switch(p)
+	_ = base
+	return sn, k, s, p, secret
+}
+
+func TestBackgroundReadsCorrectPlaintext(t *testing.T) {
+	sn, _, s, p, secret := bgSetup(t, 4, 128)
+	base := p.AS.Pages()[0]
+	got := make([]byte, len(secret))
+	if err := s.CPU.Load(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("background process read wrong plaintext")
+	}
+	if sn.Stats().BgPageIns != 4 {
+		t.Fatalf("page-ins = %d", sn.Stats().BgPageIns)
+	}
+}
+
+// TestBackgroundNeverExposesPlaintextToDRAM is the paper's core security
+// claim for §5: while a background app runs on its decrypted pages, DRAM
+// holds only ciphertext.
+func TestBackgroundNeverExposesPlaintextToDRAM(t *testing.T) {
+	sn, _, s, p, _ := bgSetup(t, 8, 128)
+	base := p.AS.Pages()[0]
+	needle := []byte("TOP-SECRET-EMAIL")
+
+	scan := func(when string) {
+		// Drain everything the kernel may legally flush.
+		s.L2.CleanWays(sn.flushMask())
+		buf := make([]byte, mem.PageSize)
+		for _, off := range s.DRAM.Store().TouchedPages() {
+			s.DRAM.Store().Read(off, buf)
+			if bytes.Contains(buf, needle) {
+				t.Fatalf("plaintext visible in DRAM %s (offset %#x)", when, off)
+			}
+		}
+	}
+	scan("before any touch")
+	for i := 0; i < 8; i++ {
+		chunk := make([]byte, 16)
+		if err := s.CPU.Load(base+mmu.VirtAddr(i*mem.PageSize), chunk); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(chunk, needle) {
+			t.Fatalf("page %d plaintext wrong: %q", i, chunk)
+		}
+	}
+	scan("while resident")
+}
+
+func TestBackgroundEvictionUnderPressure(t *testing.T) {
+	// 128 KB locked = 32 slots; touch 40 pages to force evictions.
+	sn, _, s, p, secret := bgSetup(t, 40, 128)
+	base := p.AS.Pages()[0]
+	got := make([]byte, len(secret))
+	if err := s.CPU.Load(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("data corrupted under eviction pressure")
+	}
+	st := sn.Stats()
+	if st.BgPageIns != 40 || st.BgPageOuts != 40-32 {
+		t.Fatalf("ins=%d outs=%d", st.BgPageIns, st.BgPageOuts)
+	}
+	if sn.BackgroundResidentPages() != 32 || sn.BackgroundCapacityPages() != 32 {
+		t.Fatalf("resident=%d capacity=%d",
+			sn.BackgroundResidentPages(), sn.BackgroundCapacityPages())
+	}
+	// Re-reading an evicted page must page it back in correctly.
+	first := make([]byte, 16)
+	if err := s.CPU.Load(base, first); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, secret[:16]) {
+		t.Fatal("evicted page did not survive the round trip")
+	}
+}
+
+func TestBackgroundWritesSurviveEviction(t *testing.T) {
+	sn, _, s, p, _ := bgSetup(t, 40, 128)
+	base := p.AS.Pages()[0]
+	if err := s.CPU.Store(base, []byte("FRESH-EMAIL-BODY")); err != nil {
+		t.Fatal(err)
+	}
+	// Touch everything else to evict page 0.
+	for i := 1; i < 40; i++ {
+		_ = s.CPU.Load(base+mmu.VirtAddr(i*mem.PageSize), make([]byte, 1))
+	}
+	got := make([]byte, 16)
+	if err := s.CPU.Load(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("FRESH-EMAIL-BODY")) {
+		t.Fatal("background write lost across eviction")
+	}
+	_ = sn
+}
+
+func TestUnlockEndsBackgroundSession(t *testing.T) {
+	sn, k, s, p, secret := bgSetup(t, 4, 128)
+	base := p.AS.Pages()[0]
+	if err := s.CPU.Load(base, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Unlock(pin); err != nil {
+		t.Fatal(err)
+	}
+	if sn.Locker().LockedMask() != 0 {
+		t.Fatal("ways still locked after unlock")
+	}
+	if sn.BackgroundCapacityPages() != 0 {
+		t.Fatal("session not ended")
+	}
+	// Data is intact in the foreground path.
+	k.Switch(p)
+	got := make([]byte, len(secret))
+	if err := s.CPU.Load(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("data lost when session ended")
+	}
+}
+
+func TestBeginBackgroundValidation(t *testing.T) {
+	sn, k, _ := bootTegra(t, Config{})
+	fg := k.NewProcess("fg", true, false)
+	bg := k.NewProcess("bg", true, true)
+
+	if err := sn.BeginBackground(bg, 128); err == nil {
+		t.Fatal("session started while unlocked")
+	}
+	k.Lock()
+	if err := sn.BeginBackground(fg, 128); err == nil {
+		t.Fatal("non-background process accepted")
+	}
+	if err := sn.BeginBackground(bg, 100); err == nil {
+		t.Fatal("non-way-multiple capacity accepted")
+	}
+	if err := sn.BeginBackground(bg, 128); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.BeginBackground(bg, 128); err == nil {
+		t.Fatal("double session accepted")
+	}
+
+	// Nexus: no locker at all.
+	snN, kN, _ := bootNexus(t)
+	bgN := kN.NewProcess("bg", true, true)
+	kN.Lock()
+	if err := snN.BeginBackground(bgN, 128); err == nil {
+		t.Fatal("Nexus accepted a background session")
+	}
+}
+
+func TestBackgroundCapacityScalesWithWays(t *testing.T) {
+	sn, k, _ := bootTegra(t, Config{})
+	p := k.NewProcess("bg", true, true)
+	if _, err := k.MapAnon(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	k.Lock()
+	if err := sn.BeginBackground(p, 256); err != nil { // two ways
+		t.Fatal(err)
+	}
+	if sn.BackgroundCapacityPages() != 64 {
+		t.Fatalf("capacity = %d pages, want 64", sn.BackgroundCapacityPages())
+	}
+	if sn.Locker().LockedBytes() != 256<<10 {
+		t.Fatal("locked bytes wrong")
+	}
+}
+
+func TestBackgroundPinnedSession(t *testing.T) {
+	// The §10 pin-on-SoC variant must provide the same guarantees from
+	// plain iRAM: correct data, no plaintext in DRAM, erased on release.
+	sn, k, s := bootTegra(t, Config{})
+	p := k.NewProcess("bg", true, true)
+	base, _ := k.MapAnon(p, 8)
+	secret := fillSecret(t, s, k, p, base, 8)
+	k.Lock()
+	if err := sn.BeginBackgroundPinned(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	k.Switch(p)
+	got := make([]byte, len(secret))
+	if err := s.CPU.Load(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("pinned session read wrong data")
+	}
+	if sn.Stats().BgPageIns != 8 || sn.Stats().BgPageOuts != 8-4 {
+		t.Fatalf("ins/outs = %d/%d", sn.Stats().BgPageIns, sn.Stats().BgPageOuts)
+	}
+	// DRAM clean while running.
+	s.L2.CleanWays(sn.flushMask())
+	buf := make([]byte, mem.PageSize)
+	for _, off := range s.DRAM.Store().TouchedPages() {
+		s.DRAM.Store().Read(off, buf)
+		if bytes.Contains(buf, []byte("TOP-SECRET-EMAIL")) {
+			t.Fatal("pinned session leaked plaintext to DRAM")
+		}
+	}
+	free := sn.IRAM().Free()
+	if err := k.Unlock(pin); err != nil {
+		t.Fatal(err)
+	}
+	if sn.IRAM().Free() <= free {
+		t.Fatal("pinned pool not released on unlock")
+	}
+	k.Switch(p)
+	if err := s.CPU.Load(base, got); err != nil || !bytes.Equal(got, secret) {
+		t.Fatal("data lost after pinned session ended")
+	}
+}
+
+func TestBackgroundPinnedValidation(t *testing.T) {
+	sn, k, _ := bootTegra(t, Config{})
+	p := k.NewProcess("bg", true, true)
+	if err := sn.BeginBackgroundPinned(p, 4); err == nil {
+		t.Fatal("pinned session started while unlocked")
+	}
+	k.Lock()
+	if err := sn.BeginBackgroundPinned(p, 0); err == nil {
+		t.Fatal("zero pool accepted")
+	}
+	if err := sn.BeginBackgroundPinned(p, 1<<20); err == nil {
+		t.Fatal("absurd pool fit in 192KB of iRAM")
+	}
+	if err := sn.BeginBackgroundPinned(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.BeginBackgroundPinned(p, 4); err == nil {
+		t.Fatal("double session accepted")
+	}
+}

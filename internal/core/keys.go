@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"sentry/internal/aes"
+	"sentry/internal/mem"
+	"sentry/internal/onsoc"
+	"sentry/internal/soc"
+	"sentry/internal/tz"
+)
+
+// KeyStore manages Sentry's two root keys (§7 "Bootstrapping"):
+//
+//   - The volatile key encrypts sensitive applications' memory pages. It is
+//     regenerated at every boot, lives only in iRAM, and — where TrustZone
+//     is available — its iRAM home is shielded from DMA.
+//   - The persistent key encrypts on-disk state (dm-crypt). It is derived
+//     from a boot-time password and the device-unique secret fuse readable
+//     only inside the TrustZone secure world.
+type KeyStore struct {
+	s       *soc.SoC
+	volAddr mem.PhysAddr
+}
+
+// VolatileKeySize is the AES-128 volatile root key size.
+const VolatileKeySize = 16
+
+// NewKeyStore generates the volatile key into freshly allocated iRAM and
+// applies the TrustZone DMA shield when the platform allows it.
+func NewKeyStore(s *soc.SoC, iram *onsoc.IRAMAlloc) (*KeyStore, error) {
+	addr, err := iram.Alloc(VolatileKeySize)
+	if err != nil {
+		return nil, fmt.Errorf("core: no iRAM for volatile key: %w", err)
+	}
+	key := make([]byte, VolatileKeySize)
+	s.RNG.Read(key)
+	s.CPU.WritePhys(addr, key)
+
+	if s.TZ.Available() {
+		err := s.TZ.WithSecure(func() error {
+			return s.TZ.Protect(tz.Region{Base: addr, Size: VolatileKeySize, NoDMA: true})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &KeyStore{s: s, volAddr: addr}, nil
+}
+
+// VolatileKey reads the volatile root key from its iRAM home (an on-SoC
+// access; nothing crosses the bus).
+func (k *KeyStore) VolatileKey() []byte {
+	key := make([]byte, VolatileKeySize)
+	k.s.CPU.ReadPhys(k.volAddr, key)
+	return key
+}
+
+// VolatileKeyAddr returns the key's iRAM address (attack tests aim here).
+func (k *KeyStore) VolatileKeyAddr() mem.PhysAddr { return k.volAddr }
+
+// DerivePersistentKey derives the dm-crypt root key from the boot password
+// and the secure fuse. It must run with secure-world access; on locked-
+// firmware devices it returns tz.ErrSecureOnly (the paper implemented this
+// path but could integrate it only where TrustZone was reachable).
+func (k *KeyStore) DerivePersistentKey(password string) ([]byte, error) {
+	var fuse [tz.FuseSize]byte
+	err := k.s.TZ.WithSecure(func() error {
+		var err error
+		fuse, err = k.s.TZ.ReadFuse()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	// KDF: CBC-MAC of the password under the fuse's first half, whitened
+	// with the second half. Deterministic per (device, password); built
+	// from the same from-scratch AES as everything else.
+	c, err := aes.NewCipher(fuse[:16])
+	if err != nil {
+		return nil, err
+	}
+	mac := make([]byte, aes.BlockSize)
+	buf := []byte(password)
+	for len(buf) > 0 {
+		var blk [aes.BlockSize]byte
+		n := copy(blk[:], buf)
+		buf = buf[n:]
+		for i := range mac {
+			mac[i] ^= blk[i]
+		}
+		c.Encrypt(mac, mac)
+	}
+	for i := range mac {
+		mac[i] ^= fuse[16+i]
+	}
+	return mac, nil
+}

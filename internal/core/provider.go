@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"sentry/internal/aes"
+	"sentry/internal/kernel"
+	"sentry/internal/mem"
+	"sentry/internal/onsoc"
+	"sentry/internal/soc"
+)
+
+// Crypto API providers (§7 "Securing Persistent State"): Sentry ports AES
+// On SoC into the kernel Crypto API at a higher priority than the generic
+// implementation, so dm-crypt and any other legacy API user transparently
+// switch to it.
+
+// Provider priorities; higher wins.
+const (
+	PriorityOnSoC   = 300
+	PriorityGeneric = 100
+	PriorityAccel   = 50
+)
+
+// AESProvider adapts an onsoc.AES engine to the kernel Crypto API.
+type AESProvider struct {
+	name string
+	prio int
+	a    *onsoc.AES
+}
+
+// Name returns the provider name.
+func (p *AESProvider) Name() string { return p.name }
+
+// Priority returns the registry priority.
+func (p *AESProvider) Priority() int { return p.prio }
+
+// EncryptCBC encrypts via the engine's bulk path.
+func (p *AESProvider) EncryptCBC(dst, src, iv []byte) error {
+	return p.a.EncryptCBCBulk(dst, src, iv)
+}
+
+// DecryptCBC decrypts via the engine's bulk path.
+func (p *AESProvider) DecryptCBC(dst, src, iv []byte) error {
+	return p.a.DecryptCBCBulk(dst, src, iv)
+}
+
+// Engine exposes the wrapped engine.
+func (p *AESProvider) Engine() *onsoc.AES { return p.a }
+
+// NewOnSoCProvider wraps an AES On SoC engine as the high-priority
+// "aes-onsoc" provider.
+func NewOnSoCProvider(a *onsoc.AES) *AESProvider {
+	return &AESProvider{name: "aes-onsoc", prio: PriorityOnSoC, a: a}
+}
+
+// NewGenericProvider builds the baseline "aes-generic" provider with its
+// arena in ordinary DRAM, as a stock library would be.
+func NewGenericProvider(s *soc.SoC, arena mem.PhysAddr, key []byte) (*AESProvider, error) {
+	a, err := onsoc.NewGeneric(s, arena, key, false)
+	if err != nil {
+		return nil, err
+	}
+	return &AESProvider{name: "aes-generic", prio: PriorityGeneric, a: a}, nil
+}
+
+// AccelProvider is the hardware crypto engine (Nexus 4). Its state never
+// touches DRAM, but its throughput collapses on 4 KB requests when the
+// governor down-clocks it on device lock — the paper's Figure 11/12 result.
+type AccelProvider struct {
+	s *soc.SoC
+	c *aes.Cipher
+}
+
+// NewAccelProvider returns the accelerator provider; the platform must have
+// the hardware.
+func NewAccelProvider(s *soc.SoC, key []byte) (*AccelProvider, error) {
+	if !s.Prof.HasCryptoAccel {
+		return nil, fmt.Errorf("core: platform %s has no crypto accelerator", s.Prof.Name)
+	}
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &AccelProvider{s: s, c: c}, nil
+}
+
+// Name returns "aes-hwaccel".
+func (p *AccelProvider) Name() string { return "aes-hwaccel" }
+
+// Priority returns the accelerator's registry priority.
+func (p *AccelProvider) Priority() int { return PriorityAccel }
+
+func (p *AccelProvider) charge(n int) {
+	cy, pj := p.s.AccelEncryptCost(n)
+	p.s.Clock.Advance(cy)
+	p.s.Meter.Charge(pj)
+}
+
+// EncryptCBC encrypts src on the accelerator.
+func (p *AccelProvider) EncryptCBC(dst, src, iv []byte) error {
+	if err := p.c.EncryptCBC(dst, src, iv); err != nil {
+		return err
+	}
+	p.charge(len(src))
+	return nil
+}
+
+// DecryptCBC decrypts src on the accelerator.
+func (p *AccelProvider) DecryptCBC(dst, src, iv []byte) error {
+	if err := p.c.DecryptCBC(dst, src, iv); err != nil {
+		return err
+	}
+	p.charge(len(src))
+	return nil
+}
+
+// RegisterOnSoC registers Sentry's engine with the kernel Crypto API so
+// every legacy API user (dm-crypt) picks it up.
+func (sn *Sentry) RegisterOnSoC() *AESProvider {
+	p := NewOnSoCProvider(sn.engine)
+	sn.K.Crypto.Register(p)
+	return p
+}
+
+var _ kernel.CipherProvider = (*AESProvider)(nil)
+var _ kernel.CipherProvider = (*AccelProvider)(nil)

@@ -1,0 +1,387 @@
+// Package core implements Sentry, the paper's primary contribution: a
+// system that guarantees the sensitive state of selected applications and
+// OS subsystems is never in cleartext in DRAM while the device is
+// screen-locked.
+//
+// The mechanism is the paper's §2/§5/§7 design:
+//
+//   - Encrypt-on-lock: when the device transitions to screen-locked, Sentry
+//     waits for the freed-page zeroing thread, then walks the page tables of
+//     every sensitive process and encrypts its pages in place with the
+//     volatile root key, arming a young-bit trap on each page. Processes
+//     without background privileges are parked unschedulable.
+//   - Decrypt-on-unlock: decryption is lazy. DMA regions (which fault
+//     never) are decrypted eagerly at unlock; everything else decrypts on
+//     first touch from the page-fault handler, saving time and energy when
+//     the user glances at the phone and re-locks it.
+//   - Encrypted DRAM for background apps (background.go): while locked,
+//     background processes execute with their pages paged through a locked
+//     L2 way — decrypt on page-in to the SoC, encrypt on page-out to DRAM.
+//   - Keys (keys.go): a per-boot volatile root key held in iRAM (protected
+//     from DMA by TrustZone where available) and a persistent key derived
+//     from the user's boot password and the secure hardware fuse.
+//
+// All cryptography goes through AES On SoC (package onsoc), so the
+// encryption machinery itself leaks nothing to DRAM.
+package core
+
+import (
+	"fmt"
+
+	"sentry/internal/kernel"
+	"sentry/internal/mem"
+	"sentry/internal/mmu"
+	"sentry/internal/onsoc"
+	"sentry/internal/soc"
+)
+
+// Config selects Sentry's mechanisms for a platform.
+type Config struct {
+	// EngineInLockedWay places the AES On SoC arena in a locked L2 way
+	// instead of iRAM (Tegra only; iRAM is the default and works on both
+	// prototypes).
+	EngineInLockedWay bool
+
+	// Fidelity runs all page cryptography with per-access memory
+	// simulation instead of the bulk cost model. Orders of magnitude
+	// slower; used by security tests on small footprints.
+	Fidelity bool
+}
+
+// Stats counts Sentry activity.
+type Stats struct {
+	LockEncryptedBytes   uint64 // encrypt-on-lock volume (cumulative)
+	DemandDecryptedBytes uint64 // lazy decrypt volume
+	EagerDecryptedBytes  uint64 // DMA-region decrypt volume at unlock
+	DemandFaults         uint64 // page faults that triggered decryption
+	BgPageIns            uint64
+	BgPageOuts           uint64
+	SkippedSharedPages   uint64 // pages shared with non-sensitive processes
+}
+
+// Sentry is one instance of the system, bound to a kernel.
+type Sentry struct {
+	K   *kernel.Kernel
+	S   *soc.SoC
+	cfg Config
+
+	iram   *onsoc.IRAMAlloc
+	locker *onsoc.WayLocker // nil when the platform cannot lock ways
+
+	keys   *KeyStore
+	engine *onsoc.AES
+
+	epoch uint64 // bumps on every lock; part of each page's IV
+	// frameEpoch records the epoch each still-encrypted frame was sealed
+	// under: a page that goes untouched across several lock/unlock cycles
+	// keeps its original ciphertext and must decrypt with the IV of the
+	// epoch that produced it.
+	frameEpoch map[mem.PhysAddr]uint64
+
+	bg *bgState // non-nil while a background session is active
+
+	// sealedKernelFrames are OS-subsystem frames encrypted at the last
+	// lock; they decrypt eagerly at unlock (kernel code cannot fault).
+	sealedKernelFrames []mem.PhysAddr
+
+	stats Stats
+}
+
+// New installs Sentry into k. On platforms with secure-world access the
+// volatile key's iRAM home is shielded from DMA via TrustZone; on lockable
+// platforms a WayLocker is prepared over the kernel's alias region.
+func New(k *kernel.Kernel, cfg Config) (*Sentry, error) {
+	s := k.SoC
+	base, size := s.UsableIRAM()
+	sn := &Sentry{
+		K: k, S: s, cfg: cfg,
+		iram:       onsoc.NewIRAMAlloc(base, size),
+		frameEpoch: make(map[mem.PhysAddr]uint64),
+	}
+
+	if s.Prof.CacheLockable {
+		locker, err := onsoc.NewWayLocker(s, k.AliasRegion.Base)
+		if err != nil {
+			return nil, err
+		}
+		sn.locker = locker
+	}
+
+	keys, err := NewKeyStore(s, sn.iram)
+	if err != nil {
+		return nil, err
+	}
+	sn.keys = keys
+
+	if cfg.EngineInLockedWay {
+		if sn.locker == nil {
+			return nil, fmt.Errorf("core: locked-way engine requested but platform %s cannot lock ways", s.Prof.Name)
+		}
+		sn.engine, err = onsoc.NewInLockedWay(s, sn.locker, keys.VolatileKey())
+	} else {
+		sn.engine, err = onsoc.NewInIRAM(s, sn.iram, keys.VolatileKey())
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	k.FlushMaskFn = sn.flushMask
+	k.OnLock = append(k.OnLock, sn.encryptOnLock)
+	k.OnUnlock = append(k.OnUnlock, sn.onUnlock)
+	prevHook := k.FaultHook
+	k.FaultHook = func(p *kernel.Process, f *mmu.Fault) bool {
+		if sn.handleFault(p, f) {
+			return true
+		}
+		return prevHook != nil && prevHook(p, f)
+	}
+	return sn, nil
+}
+
+// Stats returns a snapshot of activity counters.
+func (sn *Sentry) Stats() Stats { return sn.stats }
+
+// Engine exposes the AES On SoC instance (benchmarks compare it against
+// generic providers).
+func (sn *Sentry) Engine() *onsoc.AES { return sn.engine }
+
+// Locker exposes the way locker, nil on platforms without cache locking.
+func (sn *Sentry) Locker() *onsoc.WayLocker { return sn.locker }
+
+// IRAM exposes the iRAM allocator.
+func (sn *Sentry) IRAM() *onsoc.IRAMAlloc { return sn.iram }
+
+// Keys exposes the key store.
+func (sn *Sentry) Keys() *KeyStore { return sn.keys }
+
+// pageIV derives the CBC IV for a page: the volatile-key encryption of
+// (frame number, lock epoch), so re-encrypting at every lock never reuses
+// an IV for changed content.
+func (sn *Sentry) pageIV(frame mem.PhysAddr, epoch uint64) []byte {
+	var block [16]byte
+	f := uint64(frame)
+	for i := 0; i < 8; i++ {
+		block[i] = byte(f >> (8 * i))
+		block[8+i] = byte(epoch >> (8 * i))
+	}
+	iv := make([]byte, 16)
+	sn.engine.Cipher.EncryptBlock(iv, block[:])
+	return iv
+}
+
+// epochFor returns the IV epoch for an operation on frame: a decrypt must
+// use the epoch the ciphertext was sealed under; an encrypt seals under
+// the current epoch and records it.
+func (sn *Sentry) epochFor(frame mem.PhysAddr, decrypt bool) uint64 {
+	if decrypt {
+		if e, ok := sn.frameEpoch[frame]; ok {
+			delete(sn.frameEpoch, frame)
+			return e
+		}
+		return sn.epoch
+	}
+	sn.frameEpoch[frame] = sn.epoch
+	return sn.epoch
+}
+
+// cryptPage encrypts or decrypts the 4 KB at frame in place.
+func (sn *Sentry) cryptPage(frame mem.PhysAddr, decrypt bool) {
+	var page [mem.PageSize]byte
+	cpu := sn.S.CPU
+	cpu.ReadPhys(frame, page[:])
+	iv := sn.pageIV(frame, sn.epochFor(frame, decrypt))
+	var err error
+	if sn.cfg.Fidelity {
+		if decrypt {
+			err = sn.engine.DecryptCBC(page[:], page[:], iv)
+		} else {
+			err = sn.engine.EncryptCBC(page[:], page[:], iv)
+		}
+	} else {
+		if decrypt {
+			err = sn.engine.DecryptCBCBulk(page[:], page[:], iv)
+		} else {
+			err = sn.engine.EncryptCBCBulk(page[:], page[:], iv)
+		}
+	}
+	if err != nil {
+		panic(fmt.Sprintf("core: page crypt failed: %v", err)) // sizes are fixed; cannot happen
+	}
+	cpu.WritePhys(frame, page[:])
+}
+
+// pageSafeToSkip implements the shared-page policy: a page shared with any
+// non-sensitive process is assumed non-secret and left alone.
+func (sn *Sentry) pageSafeToSkip(p *kernel.Process, v mmu.VirtAddr) bool {
+	pte := p.AS.Lookup(v)
+	if pte == nil || !pte.Shared {
+		return false
+	}
+	for _, pid := range sn.K.SharedPeers(p, v) {
+		peer := sn.K.Process(pid)
+		if peer != nil && !peer.Sensitive {
+			return true
+		}
+	}
+	return false
+}
+
+// encryptOnLock is the OnLock hook: zero freed pages, then encrypt every
+// sensitive process's resident pages and DMA regions, arm traps, park
+// non-background processes.
+func (sn *Sentry) encryptOnLock() {
+	// Freed pages of sensitive apps may hold secrets; the paper eliminates
+	// the risk by waiting for the zeroing thread before locking.
+	sn.K.DrainZeroQueue()
+	sn.epoch++
+
+	done := map[mem.PhysAddr]bool{} // shared frames encrypt once
+	for _, p := range sn.K.Processes() {
+		if !p.Sensitive {
+			continue
+		}
+		for _, v := range p.AS.Pages() {
+			pte := p.AS.Lookup(v)
+			if pte.Encrypted {
+				continue
+			}
+			if sn.pageSafeToSkip(p, v) {
+				sn.stats.SkippedSharedPages++
+				continue
+			}
+			frame := mem.PageBase(pte.Phys)
+			if !done[frame] {
+				sn.cryptPage(frame, false)
+				sn.stats.LockEncryptedBytes += mem.PageSize
+				done[frame] = true
+			}
+			sn.markEncrypted(p, v)
+		}
+		if !p.Background {
+			p.Schedulable = false
+		}
+	}
+	// OS subsystems registered as sensitive (keyrings, crypto contexts)
+	// are sealed the same way; they have no PTEs, so unlock must decrypt
+	// them eagerly.
+	for _, nr := range sn.K.SensitiveKernelRanges {
+		for off := uint64(0); off < nr.Size; off += mem.PageSize {
+			frame := nr.Base + mem.PhysAddr(off)
+			sn.cryptPage(frame, false)
+			sn.stats.LockEncryptedBytes += mem.PageSize
+			sn.sealedKernelFrames = append(sn.sealedKernelFrames, frame)
+		}
+	}
+	// Push all ciphertext out and drop stale lines so nothing decrypted
+	// lingers in the L2 across the locked period — masked, of course.
+	sn.S.L2.CleanInvalidateWays(sn.flushMask())
+}
+
+// markEncrypted updates the PTE in p (and any process sharing the page) to
+// encrypted-and-trapped.
+func (sn *Sentry) markEncrypted(p *kernel.Process, v mmu.VirtAddr) {
+	set := func(proc *kernel.Process) {
+		if pte := proc.AS.Lookup(v); pte != nil {
+			pte.Encrypted = true
+			pte.Young = false
+		}
+	}
+	set(p)
+	for _, pid := range sn.K.SharedPeers(p, v) {
+		if peer := sn.K.Process(pid); peer != nil {
+			set(peer)
+		}
+	}
+}
+
+func (sn *Sentry) flushMask() uint32 {
+	if sn.locker != nil {
+		return sn.locker.FlushMask()
+	}
+	return sn.S.L2.AllWaysMask()
+}
+
+// onUnlock is the OnUnlock hook: end any background session, eagerly
+// decrypt DMA regions, and unpark processes. Ordinary pages stay encrypted
+// until first touch.
+func (sn *Sentry) onUnlock() {
+	sn.endBackground()
+	for _, frame := range sn.sealedKernelFrames {
+		sn.cryptPage(frame, true)
+		sn.stats.EagerDecryptedBytes += mem.PageSize
+	}
+	sn.sealedKernelFrames = nil
+	for _, p := range sn.K.Processes() {
+		if !p.Sensitive {
+			continue
+		}
+		for _, r := range p.DMARegions {
+			sn.decryptDMARegion(p, r)
+		}
+		p.Schedulable = true
+	}
+}
+
+// decryptDMARegion eagerly decrypts a device-visible range: its consumers
+// (GPU, NIC) use physical addresses and never fault.
+func (sn *Sentry) decryptDMARegion(p *kernel.Process, r kernel.Range) {
+	for off := uint64(0); off < r.Size; off += mem.PageSize {
+		frame := r.Base + mem.PhysAddr(off)
+		v, pte := findMapping(p, frame)
+		if pte == nil || !pte.Encrypted {
+			continue
+		}
+		sn.cryptPage(frame, true)
+		sn.stats.EagerDecryptedBytes += mem.PageSize
+		pte.Encrypted = false
+		pte.Young = true
+		_ = v
+	}
+}
+
+// findMapping locates the PTE in p mapping the given frame.
+func findMapping(p *kernel.Process, frame mem.PhysAddr) (mmu.VirtAddr, *mmu.PTE) {
+	for _, v := range p.AS.Pages() {
+		pte := p.AS.Lookup(v)
+		if mem.PageBase(pte.Phys) == frame {
+			return v, pte
+		}
+	}
+	return 0, nil
+}
+
+// handleFault is Sentry's page-fault interposition: decrypt-on-demand for
+// encrypted pages (unlocked foreground path), or locked-way page-in for an
+// active background session.
+func (sn *Sentry) handleFault(p *kernel.Process, f *mmu.Fault) bool {
+	if f.Kind != mmu.FaultAccessFlag {
+		return false
+	}
+	pte := p.AS.Lookup(f.Addr)
+	if pte == nil || !pte.Encrypted {
+		return false
+	}
+	if sn.bg != nil && sn.bg.proc == p && sn.K.State() != kernel.Unlocked {
+		return sn.bgPageIn(p, f.Addr, pte)
+	}
+	if sn.K.State() != kernel.Unlocked {
+		// A parked process touched an encrypted page while locked — refuse.
+		return false
+	}
+	sn.stats.DemandFaults++
+	frame := mem.PageBase(pte.Phys)
+	sn.cryptPage(frame, true)
+	sn.stats.DemandDecryptedBytes += mem.PageSize
+	pte.Encrypted = false
+	pte.Young = true
+	// Keep sharers consistent.
+	for _, pid := range sn.K.SharedPeers(p, mmu.PageBase(f.Addr)) {
+		if peer := sn.K.Process(pid); peer != nil {
+			if ppte := peer.AS.Lookup(f.Addr); ppte != nil {
+				ppte.Encrypted = false
+				ppte.Young = true
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,225 @@
+package cpu
+
+import (
+	"bytes"
+	"testing"
+
+	"sentry/internal/bus"
+	"sentry/internal/cache"
+	"sentry/internal/mem"
+	"sentry/internal/mmu"
+	"sentry/internal/sim"
+)
+
+const (
+	iramBase = 0x40000000
+	dramBase = 0x80000000
+)
+
+func testCPU() (*CPU, *bus.Bus, *mem.Device, *mem.Device) {
+	clock := sim.NewClock(1e9)
+	meter := &sim.Meter{}
+	costs := &sim.CostTable{DRAMAccess: 10, L2Hit: 1, IRAMAccess: 1, TLBFill: 1, PageFaultTrap: 100, ContextSwitch: 500, IRQToggle: 5}
+	energy := &sim.EnergyTable{DRAMAccessPJ: 10, L2HitPJ: 1, IRAMAccessPJ: 1}
+	iram := mem.NewDevice("iram", mem.TechSRAM, iramBase, 256<<10)
+	dram := mem.NewDevice("dram", mem.TechDRAM, dramBase, 16<<20)
+	b := bus.New(clock, meter, costs, energy, mem.NewMap(dram))
+	l2 := cache.New(cache.Config{Ways: 4, WaySize: 4096, LineSize: 32}, clock, meter, costs, energy, b)
+	return New(clock, meter, costs, energy, l2, b, iram), b, iram, dram
+}
+
+func TestPhysRoundTrips(t *testing.T) {
+	c, _, _, _ := testCPU()
+	c.WritePhys(dramBase+64, []byte("dram-data"))
+	got := make([]byte, 9)
+	c.ReadPhys(dramBase+64, got)
+	if string(got) != "dram-data" {
+		t.Fatalf("dram = %q", got)
+	}
+	c.WritePhys(iramBase+64, []byte("iram-data"))
+	c.ReadPhys(iramBase+64, got)
+	if string(got) != "iram-data" {
+		t.Fatalf("iram = %q", got)
+	}
+}
+
+func TestIRAMAccessInvisibleOnBus(t *testing.T) {
+	c, b, _, _ := testCPU()
+	before := b.Stats()
+	c.WritePhys(iramBase, make([]byte, 4096))
+	c.ReadPhys(iramBase, make([]byte, 4096))
+	if b.Stats() != before {
+		t.Fatal("iRAM traffic crossed the external bus")
+	}
+}
+
+func TestUncachedAccessVisibleOnBus(t *testing.T) {
+	c, b, _, dram := testCPU()
+	c.WritePhysUncached(dramBase, []byte{1, 2, 3, 4})
+	if dram.ByteAt(dramBase) != 1 {
+		t.Fatal("uncached write did not reach DRAM")
+	}
+	if b.Stats().Writes == 0 {
+		t.Fatal("uncached write invisible on bus")
+	}
+	got := make([]byte, 4)
+	c.ReadPhysUncached(dramBase, got)
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatal("uncached read wrong")
+	}
+}
+
+func TestVirtualLoadStore(t *testing.T) {
+	c, _, _, _ := testCPU()
+	as := mmu.NewAddressSpace()
+	as.Map(0x10000, mmu.PTE{Phys: dramBase + 0x4000, Present: true, Writable: true, Young: true})
+	as.Map(0x11000, mmu.PTE{Phys: dramBase + 0x8000, Present: true, Writable: true, Young: true})
+	c.AS = as
+	data := bytes.Repeat([]byte("xy"), 3000) // crosses the page boundary
+	if err := c.Store(0x10000, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.Load(0x10000, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("virtual round trip failed")
+	}
+}
+
+func TestWordHelpers(t *testing.T) {
+	c, _, _, _ := testCPU()
+	as := mmu.NewAddressSpace()
+	as.Map(0, mmu.PTE{Phys: dramBase, Present: true, Writable: true, Young: true})
+	c.AS = as
+	if err := c.StoreWord(8, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.LoadWord(8)
+	if err != nil || w != 0xDEADBEEF {
+		t.Fatalf("word = %#x, %v", w, err)
+	}
+}
+
+func TestFaultHandlerRetry(t *testing.T) {
+	c, _, _, _ := testCPU()
+	as := mmu.NewAddressSpace()
+	as.Map(0x1000, mmu.PTE{Phys: dramBase, Present: true, Writable: true, Young: false})
+	c.AS = as
+	handled := 0
+	c.FaultHandler = func(f *mmu.Fault) bool {
+		handled++
+		if f.Kind != mmu.FaultAccessFlag {
+			t.Fatalf("unexpected fault kind %v", f.Kind)
+		}
+		as.Lookup(f.Addr).Young = true
+		return true
+	}
+	if err := c.Store(0x1000, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if handled != 1 || c.Faults != 1 {
+		t.Fatalf("handled=%d faults=%d", handled, c.Faults)
+	}
+}
+
+func TestUnhandledFaultReturnsError(t *testing.T) {
+	c, _, _, _ := testCPU()
+	c.AS = mmu.NewAddressSpace()
+	err := c.Load(0x9000, make([]byte, 1))
+	if err == nil {
+		t.Fatal("expected fault error")
+	}
+}
+
+func TestStuckFaultGivesUp(t *testing.T) {
+	c, _, _, _ := testCPU()
+	as := mmu.NewAddressSpace()
+	as.Map(0, mmu.PTE{Present: true, Young: false})
+	c.AS = as
+	c.FaultHandler = func(f *mmu.Fault) bool { return true } // "fixes" nothing
+	if err := c.Load(0, make([]byte, 1)); err != ErrTooManyFaults {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestContextSwitchSpillsRegistersToDRAM(t *testing.T) {
+	// The leak AES On SoC exists to prevent: a context switch with IRQs
+	// enabled writes the register file to the kernel stack in DRAM.
+	c, _, _, dram := testCPU()
+	c.KernelStack = dramBase + 0x2000
+	c.Regs[0] = 0x41414141 // "secret" key word
+	if !c.ContextSwitch(mmu.NewAddressSpace()) {
+		t.Fatal("switch should happen with IRQs on")
+	}
+	// Clean the cache so the spill reaches the DRAM chips.
+	c.L2().CleanWays(c.L2().AllWaysMask())
+	buf := make([]byte, 64)
+	dram.Read(dramBase+0x2000-64, buf)
+	if !bytes.Contains(buf, []byte{0x41, 0x41, 0x41, 0x41}) {
+		t.Fatal("register spill did not reach DRAM")
+	}
+}
+
+func TestIRQDisableBlocksContextSwitch(t *testing.T) {
+	c, _, _, _ := testCPU()
+	c.KernelStack = dramBase + 0x2000
+	c.Regs[0] = 0x42424242
+	c.DisableIRQ()
+	if c.ContextSwitch(mmu.NewAddressSpace()) {
+		t.Fatal("context switch happened with IRQs masked")
+	}
+	if c.RegisterSpills != 0 {
+		t.Fatal("registers spilled despite masked IRQs")
+	}
+	c.EnableIRQ()
+	if !c.IRQEnabled() {
+		t.Fatal("IRQ state wrong")
+	}
+}
+
+func TestZeroRegs(t *testing.T) {
+	c, _, _, _ := testCPU()
+	for i := range c.Regs {
+		c.Regs[i] = 0xFF
+	}
+	c.ZeroRegs()
+	for i, r := range c.Regs {
+		if r != 0 {
+			t.Fatalf("reg %d not zeroed", i)
+		}
+	}
+}
+
+type denyGuard struct{}
+
+func (denyGuard) CheckCPUAccess(addr mem.PhysAddr, write bool) error {
+	if addr >= iramBase && addr < iramBase+0x1000 {
+		return &deniedErr{}
+	}
+	return nil
+}
+
+type deniedErr struct{}
+
+func (*deniedErr) Error() string { return "denied" }
+
+func TestGuardDeniesAccess(t *testing.T) {
+	c, _, _, _ := testCPU()
+	c.Guard = denyGuard{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected abort panic")
+		}
+	}()
+	c.ReadPhys(iramBase, make([]byte, 1))
+}
+
+func TestSpillWithoutStackIsNoOp(t *testing.T) {
+	c, _, _, _ := testCPU()
+	c.SpillRegs()
+	if c.RegisterSpills != 0 {
+		t.Fatal("spilled without a stack")
+	}
+}

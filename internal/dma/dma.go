@@ -1,0 +1,144 @@
+// Package dma models the SoC's DMA engines. Two properties matter to the
+// paper and are faithfully reproduced:
+//
+//   - DMA masters transfer against physical DRAM over the external bus,
+//     bypassing the L2 cache entirely. Cache coherence for DMA is software's
+//     job on these SoCs, so a DMA read sees stale DRAM — not dirty cache
+//     lines — which is why locked-way plaintext is invisible to DMA (§4.4).
+//   - Any peripheral interface can be told to issue transfers at arbitrary
+//     physical addresses (the FireWire-class attack). The only defence is
+//     an address-range check, modelled by the tz package's Checker.
+//
+// The package also provides the UART loopback device the paper used to
+// validate PL310 write-back behaviour (§4.2): a debug port that returns all
+// data DMA-ed to it.
+package dma
+
+import (
+	"fmt"
+
+	"sentry/internal/bus"
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+// Checker authorises DMA access to physical ranges; the TrustZone
+// controller implements it. A nil Checker permits everything (a platform
+// with no IOMMU and no TrustZone filtering).
+type Checker interface {
+	CheckDMAAccess(addr mem.PhysAddr, n int) error
+}
+
+// Controller is one DMA engine. DMA masters sit on the SoC interconnect:
+// they reach the external DRAM over the memory bus (observable by a probe)
+// and on-SoC memories like iRAM directly (not bus-observable) — "iRAM is
+// just like any other system memory with respect to DMA attacks" (§4.4),
+// unless TrustZone filters the access.
+type Controller struct {
+	name   string
+	bus    *bus.Bus
+	onchip *mem.Map // devices reachable without the external bus (iRAM)
+	clock  *sim.Clock
+	costs  *sim.CostTable
+	check  Checker
+
+	// Optional IOMMU in front of this master, keyed by the (spoofable)
+	// asserted identity.
+	iommu      *IOMMU
+	assertedID string
+}
+
+// New returns a DMA controller on the given bus with the given on-SoC
+// device map (may be nil), filtered by check (which may be nil).
+func New(name string, b *bus.Bus, onchip *mem.Map, clock *sim.Clock, costs *sim.CostTable, check Checker) *Controller {
+	return &Controller{name: name, bus: b, onchip: onchip, clock: clock, costs: costs, check: check}
+}
+
+// Name returns the controller name as it appears in bus traces.
+func (c *Controller) Name() string { return c.name }
+
+func (c *Controller) charge(n int) {
+	c.clock.Advance(uint64((n+3)/4) * c.costs.DMAWordCost)
+}
+
+func (c *Controller) authorize(addr mem.PhysAddr, n int) error {
+	if c.iommu != nil {
+		if err := c.iommu.Check(c.assertedID, addr, n); err != nil {
+			return err
+		}
+	}
+	if c.check == nil {
+		return nil
+	}
+	return c.check.CheckDMAAccess(addr, n)
+}
+
+// ReadFromMem transfers n bytes from physical memory to the requesting
+// device (memory → peripheral). The read goes straight to the DRAM chips:
+// dirty cache lines are NOT observed.
+func (c *Controller) ReadFromMem(addr mem.PhysAddr, n int) ([]byte, error) {
+	if err := c.authorize(addr, n); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n)
+	if c.onchip != nil {
+		if d := c.onchip.Find(addr); d != nil {
+			d.Read(addr, buf)
+			c.charge(n)
+			return buf, nil
+		}
+	}
+	if c.bus.Devices().Find(addr) == nil {
+		return nil, fmt.Errorf("dma: %s: unmapped address %#x", c.name, uint64(addr))
+	}
+	c.bus.ReadInto(c.name, addr, buf)
+	c.charge(n)
+	return buf, nil
+}
+
+// WriteToMem transfers data from the requesting device into physical memory
+// (peripheral → memory). Software must invalidate any cached copies; the
+// cache is not informed.
+func (c *Controller) WriteToMem(addr mem.PhysAddr, data []byte) error {
+	if err := c.authorize(addr, len(data)); err != nil {
+		return err
+	}
+	if c.onchip != nil {
+		if d := c.onchip.Find(addr); d != nil {
+			d.Write(addr, data)
+			c.charge(len(data))
+			return nil
+		}
+	}
+	if c.bus.Devices().Find(addr) == nil {
+		return fmt.Errorf("dma: %s: unmapped address %#x", c.name, uint64(addr))
+	}
+	c.bus.WriteFrom(c.name, addr, data)
+	c.charge(len(data))
+	return nil
+}
+
+// UARTLoopback is the high-speed serial controller's debugging port: all
+// data DMA-ed to it can be read back over the serial interface. The paper
+// used it to verify that locked ways are never written back to DRAM.
+type UARTLoopback struct {
+	fifo []byte
+}
+
+// TransmitFromMem DMA-s n bytes at addr out of memory into the loopback
+// FIFO using ctl.
+func (u *UARTLoopback) TransmitFromMem(ctl *Controller, addr mem.PhysAddr, n int) error {
+	data, err := ctl.ReadFromMem(addr, n)
+	if err != nil {
+		return err
+	}
+	u.fifo = append(u.fifo, data...)
+	return nil
+}
+
+// Drain returns and clears everything the loopback captured.
+func (u *UARTLoopback) Drain() []byte {
+	out := u.fifo
+	u.fifo = nil
+	return out
+}

@@ -1,0 +1,97 @@
+// Package dmcrypt is the transparent block-level encryption layer of §7
+// "Securing Persistent State": every sector is encrypted with AES-CBC
+// under a per-sector ESSIV-style IV before it reaches the device, and
+// decrypted on the way back. The cipher itself comes from the kernel
+// Crypto API, so when Sentry registers AES On SoC at higher priority,
+// dm-crypt transparently stops leaking crypto state to DRAM — the paper's
+// "any legacy software already designed to use this API automatically
+// works with our system".
+package dmcrypt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sentry/internal/aes"
+	"sentry/internal/blockdev"
+	"sentry/internal/kernel"
+)
+
+// DMCrypt layers sector encryption over a block device.
+type DMCrypt struct {
+	dev    blockdev.Device
+	cipher kernel.CipherProvider
+	// ivgen derives per-sector IVs (ESSIV: encrypt the sector number under
+	// a key derived from the volume key, so IVs are unpredictable without
+	// the key and watermarking attacks fail).
+	ivgen *aes.Cipher
+}
+
+// New builds a dm-crypt target over dev. The data cipher is resolved from
+// the crypto API registry (highest priority wins); key seeds the ESSIV
+// generator. This mirrors dm-crypt's three Crypto API calls: set key,
+// encrypt, decrypt.
+func New(dev blockdev.Device, api *kernel.CryptoAPI, key []byte) (*DMCrypt, error) {
+	provider, err := api.Best()
+	if err != nil {
+		return nil, fmt.Errorf("dmcrypt: %w", err)
+	}
+	return newWith(dev, provider, key)
+}
+
+// NewWithProvider builds a dm-crypt target with an explicit cipher
+// provider (benchmarks pin the provider rather than racing priorities).
+func NewWithProvider(dev blockdev.Device, provider kernel.CipherProvider, key []byte) (*DMCrypt, error) {
+	return newWith(dev, provider, key)
+}
+
+func newWith(dev blockdev.Device, provider kernel.CipherProvider, key []byte) (*DMCrypt, error) {
+	// ESSIV key: the volume key encrypted under itself stands in for the
+	// usual hash (stdlib-only build; the salt only needs to be a fixed
+	// one-way-ish derivation of the key).
+	kc, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	salt := make([]byte, 16)
+	kc.Encrypt(salt, key[:16])
+	ivc, err := aes.NewCipher(salt)
+	if err != nil {
+		return nil, err
+	}
+	return &DMCrypt{dev: dev, cipher: provider, ivgen: ivc}, nil
+}
+
+// CipherName reports which Crypto API provider the target resolved.
+func (d *DMCrypt) CipherName() string { return d.cipher.Name() }
+
+// Sectors returns the underlying capacity.
+func (d *DMCrypt) Sectors() uint64 { return d.dev.Sectors() }
+
+// essiv derives the IV for sector n.
+func (d *DMCrypt) essiv(n uint64) []byte {
+	var blk [16]byte
+	binary.LittleEndian.PutUint64(blk[:], n)
+	iv := make([]byte, 16)
+	d.ivgen.Encrypt(iv, blk[:])
+	return iv
+}
+
+// ReadSector decrypts sector n into dst.
+func (d *DMCrypt) ReadSector(n uint64, dst []byte) error {
+	if err := d.dev.ReadSector(n, dst); err != nil {
+		return err
+	}
+	return d.cipher.DecryptCBC(dst, dst, d.essiv(n))
+}
+
+// WriteSector encrypts src onto sector n.
+func (d *DMCrypt) WriteSector(n uint64, src []byte) error {
+	ct := make([]byte, blockdev.SectorSize)
+	if err := d.cipher.EncryptCBC(ct, src, d.essiv(n)); err != nil {
+		return err
+	}
+	return d.dev.WriteSector(n, ct)
+}
+
+var _ blockdev.Device = (*DMCrypt)(nil)

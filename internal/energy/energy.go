@@ -1,0 +1,60 @@
+// Package energy provides the battery model and the energy bookkeeping the
+// paper's Figure 5, Figure 12, and battery-life projections use. The
+// per-operation energy itself is charged throughout the simulator via
+// sim.Meter; this package interprets those Joules against a battery and a
+// usage pattern.
+package energy
+
+import "sentry/internal/soc"
+
+// UnlocksPerDay is the paper's usage assumption: "a typical user consults
+// her phone on average 150 times per day".
+const UnlocksPerDay = 150
+
+// Battery models a device battery.
+type Battery struct {
+	CapacityJ float64
+}
+
+// BatteryOf returns the platform's battery.
+func BatteryOf(s *soc.SoC) Battery {
+	return Battery{CapacityJ: s.Prof.Energy.BatteryJ}
+}
+
+// Fraction returns consumedJ as a fraction of capacity.
+func (b Battery) Fraction(consumedJ float64) float64 {
+	if b.CapacityJ <= 0 {
+		return 0
+	}
+	return consumedJ / b.CapacityJ
+}
+
+// CyclesToDrain returns how many repetitions of an operation costing
+// perOpJ exhaust the battery (the paper's "410 suspend/resume cycles" for
+// whole-memory encryption).
+func (b Battery) CyclesToDrain(perOpJ float64) int {
+	if perOpJ <= 0 {
+		return 0
+	}
+	return int(b.CapacityJ / perOpJ)
+}
+
+// DailyFraction projects the battery share of locking+unlocking once per
+// unlock event, at the paper's 150 unlocks/day.
+func (b Battery) DailyFraction(perLockUnlockJ float64) float64 {
+	return b.Fraction(perLockUnlockJ * UnlocksPerDay)
+}
+
+// MicroJoulesPerByte converts a measured (joules, bytes) pair to the µJ/B
+// unit Figure 12 reports.
+func MicroJoulesPerByte(joules float64, bytes int) float64 {
+	if bytes == 0 {
+		return 0
+	}
+	return joules * 1e6 / float64(bytes)
+}
+
+// Span measures the Joules consumed by fn on s.
+func Span(s *soc.SoC, fn func()) float64 {
+	return s.Meter.Span(fn) * 1e-12
+}

@@ -1,0 +1,55 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"sentry/internal/soc"
+)
+
+func TestBatteryBasics(t *testing.T) {
+	b := Battery{CapacityJ: 28700}
+	if got := b.Fraction(287); math.Abs(got-0.01) > 1e-9 {
+		t.Fatalf("Fraction = %v", got)
+	}
+	// The paper's anchor: a 70 J whole-memory encryption drains the Nexus 4
+	// battery in 410 cycles.
+	if got := b.CyclesToDrain(70); got != 410 {
+		t.Fatalf("CyclesToDrain(70) = %d, want 410", got)
+	}
+	if b.CyclesToDrain(0) != 0 {
+		t.Fatal("zero-cost op should not divide by zero")
+	}
+	if (Battery{}).Fraction(10) != 0 {
+		t.Fatal("zero-capacity battery")
+	}
+}
+
+func TestDailyFraction(t *testing.T) {
+	b := Battery{CapacityJ: 28700}
+	// ~2 % per day at 150 unlocks and ~3.8 J per lock/unlock pair.
+	got := b.DailyFraction(3.8)
+	if got < 0.015 || got > 0.025 {
+		t.Fatalf("daily fraction = %.4f, want ≈0.02", got)
+	}
+}
+
+func TestMicroJoulesPerByte(t *testing.T) {
+	if got := MicroJoulesPerByte(0.03, 1_000_000); math.Abs(got-0.03) > 1e-12 {
+		t.Fatalf("µJ/B = %v", got)
+	}
+	if MicroJoulesPerByte(1, 0) != 0 {
+		t.Fatal("zero bytes")
+	}
+}
+
+func TestBatteryOfAndSpan(t *testing.T) {
+	s := soc.Nexus4(1)
+	if BatteryOf(s).CapacityJ != 28700 {
+		t.Fatal("Nexus battery wrong")
+	}
+	j := Span(s, func() { s.Meter.Charge(5e12) })
+	if math.Abs(j-5) > 1e-9 {
+		t.Fatalf("Span = %v J", j)
+	}
+}

@@ -1,0 +1,185 @@
+package filebench
+
+import (
+	"bytes"
+	"testing"
+
+	"sentry/internal/blockdev"
+	"sentry/internal/core"
+	"sentry/internal/dmcrypt"
+	"sentry/internal/kernel"
+	"sentry/internal/sim"
+	"sentry/internal/soc"
+)
+
+func testFS(t *testing.T, cacheSectors int) (*soc.SoC, *FS) {
+	t.Helper()
+	s := soc.Tegra3(1)
+	disk := blockdev.NewRAMDisk(s, 8<<20)
+	return s, NewFS(s, disk, cacheSectors)
+}
+
+func TestCreateAndReadBack(t *testing.T) {
+	_, fs := testFS(t, 1024)
+	if err := fs.Create("a", 100*blockdev.SectorSize, 0x42); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := fs.Size("a"); sz != 100*blockdev.SectorSize {
+		t.Fatalf("size = %d", sz)
+	}
+	buf := make([]byte, blockdev.SectorSize)
+	if err := fs.ReadAt("a", 50*blockdev.SectorSize, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x42 || buf[511] != 0x42 {
+		t.Fatal("content wrong")
+	}
+}
+
+func TestWriteReadThroughCache(t *testing.T) {
+	_, fs := testFS(t, 64)
+	_ = fs.Create("a", 1<<20, 0)
+	data := bytes.Repeat([]byte{0x99}, blockdev.SectorSize)
+	if err := fs.WriteAt("a", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, blockdev.SectorSize)
+	if err := fs.ReadAt("a", 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cached write lost")
+	}
+}
+
+func TestWriteBackOnEvictionAndSync(t *testing.T) {
+	s := soc.Tegra3(1)
+	disk := blockdev.NewRAMDisk(s, 8<<20)
+	fs := NewFS(s, disk, 4) // tiny cache to force eviction
+	_ = fs.Create("a", 1<<20, 0)
+	data := bytes.Repeat([]byte{0x77}, blockdev.SectorSize)
+	_ = fs.WriteAt("a", 0, data)
+	// Evict sector 0 by touching others.
+	for i := 1; i < 10; i++ {
+		_ = fs.ReadAt("a", uint64(i)*blockdev.SectorSize, make([]byte, blockdev.SectorSize))
+	}
+	got := make([]byte, blockdev.SectorSize)
+	_ = disk.ReadSector(0, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("dirty sector not written back on eviction")
+	}
+	_ = fs.WriteAt("a", 20*blockdev.SectorSize, data)
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = disk.ReadSector(20, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("sync did not flush")
+	}
+}
+
+func TestDirectIOBypassesCache(t *testing.T) {
+	_, fs := testFS(t, 1024)
+	fs.DirectIO = true
+	_ = fs.Create("a", 1<<20, 5)
+	buf := make([]byte, blockdev.SectorSize)
+	for i := 0; i < 20; i++ {
+		_ = fs.ReadAt("a", 0, buf)
+	}
+	if fs.Hits != 0 {
+		t.Fatalf("direct I/O hit the cache %d times", fs.Hits)
+	}
+}
+
+func TestErrorsOnMissingFileAndFullDevice(t *testing.T) {
+	_, fs := testFS(t, 16)
+	if err := fs.ReadAt("nope", 0, make([]byte, blockdev.SectorSize)); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+	if _, err := fs.Size("nope"); err == nil {
+		t.Fatal("missing file size succeeded")
+	}
+	if err := fs.Create("big", 1<<30, 0); err == nil {
+		t.Fatal("over-capacity create succeeded")
+	}
+	_ = fs.Create("a", blockdev.SectorSize, 0)
+	if err := fs.Create("a", blockdev.SectorSize, 0); err == nil {
+		t.Fatal("duplicate create succeeded")
+	}
+	if err := fs.ReadAt("a", 10*blockdev.SectorSize, make([]byte, blockdev.SectorSize)); err == nil {
+		t.Fatal("out-of-extent read succeeded")
+	}
+}
+
+// TestFig9Shape checks the relationships Figure 9 reports: the buffer cache
+// masks crypto cost for cached random reads; direct I/O exposes it; Sentry
+// (AES On SoC) costs about the same as generic AES.
+func TestFig9Shape(t *testing.T) {
+	run := func(provider string, direct bool, w Workload) Result {
+		s := soc.Tegra3(1)
+		k := kernel.New(s, "1234")
+		disk := blockdev.NewRAMDisk(s, 16<<20)
+		var dev blockdev.Device = disk
+		if provider != "none" {
+			sn, err := core.New(k, core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var p kernel.CipherProvider
+			if provider == "sentry" {
+				p = sn.RegisterOnSoC()
+			} else {
+				gp, err := core.NewGenericProvider(s, soc.DRAMBase+0x100000, make([]byte, 16))
+				if err != nil {
+					t.Fatal(err)
+				}
+				p = gp
+			}
+			dm, err := dmcrypt.NewWithProvider(disk, p, bytes.Repeat([]byte{9}, 16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev = dm
+		}
+		// Cache big enough to hold the whole file set (as in the paper,
+		// where creation warms the buffer cache and masks crypto).
+		fs := NewFS(s, dev, 64<<10)
+		fs.DirectIO = direct
+		params := Params{Files: 4, FileSize: 1 << 20, Operations: 800, WriteRatio: 0.5}
+		res, err := Run(s, fs, w, params, sim.NewRNG(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Cached randread: crypto adds ~no overhead (all hits after creation).
+	noC := run("none", false, RandRead)
+	sentryC := run("sentry", false, RandRead)
+	if sentryC.Throughput < 0.85*noC.Throughput {
+		t.Fatalf("cached randread: sentry %.1f MB/s vs no-crypto %.1f MB/s — cache should mask crypto",
+			sentryC.Throughput, noC.Throughput)
+	}
+
+	// Direct I/O randread: crypto clearly visible.
+	noD := run("none", true, RandRead)
+	sentryD := run("sentry", true, RandRead)
+	if sentryD.Throughput > 0.6*noD.Throughput {
+		t.Fatalf("direct randread: sentry %.1f vs no-crypto %.1f — crypto cost should be exposed",
+			sentryD.Throughput, noD.Throughput)
+	}
+
+	// Sentry ≈ generic AES (the paper's point: on-SoC protection is nearly
+	// free next to the crypto itself).
+	genD := run("generic", true, RandRead)
+	ratio := sentryD.Throughput / genD.Throughput
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("direct randread: sentry/generic = %.2f, want ~1", ratio)
+	}
+}
+
+func TestWorkloadStrings(t *testing.T) {
+	if SeqRead.String() == "" || RandRead.String() == "" || RandRW.String() == "" {
+		t.Fatal("empty workload name")
+	}
+}

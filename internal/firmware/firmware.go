@@ -1,0 +1,93 @@
+// Package firmware models the low-level boot path whose behaviour decides
+// what a cold-boot attacker can recover (§4.1, §4.3 of the paper):
+//
+//   - The boot ROM zeroes iRAM and resets the PL310 (clearing the L2) on
+//     every cold boot — the property that makes on-SoC storage cold-boot
+//     safe. A warm OS reboot does not pass through this code, which is why
+//     iRAM survives an OS reboot 100 % intact in Table 2.
+//   - The ROM only boots vendor-signed images while the bootloader is
+//     locked; unlocking wipes user data (the footnote-1 policy that stops
+//     Frost-style attackers decrypting the user partition).
+//   - Booting an OS image scribbles over part of DRAM (kernel, ramdisk,
+//     early allocations), which is what costs the 3.6 % in Table 2's
+//     "OS reboot" row.
+package firmware
+
+import (
+	"fmt"
+
+	"sentry/internal/cache"
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+// Image is a bootable software image.
+type Image struct {
+	Name   string
+	Vendor string // signing identity; "" means unsigned
+	// ScribbleFraction is how much of DRAM the image's boot overwrites
+	// (kernel text/data, ramdisk, early boot allocations).
+	ScribbleFraction float64
+}
+
+// DefaultOSScribbleFraction reproduces Table 2's OS-reboot row: the freshly
+// booted OS overwrites 3.6 % of DRAM, leaving 96.4 % of patterns intact.
+const DefaultOSScribbleFraction = 0.036
+
+// BootROM is the immutable first-stage boot code.
+type BootROM struct {
+	// VendorKey is the identity whose signatures the ROM accepts.
+	VendorKey string
+	// BootloaderLocked refuses non-vendor images. Unlocking is possible but
+	// wipes the user data partition.
+	BootloaderLocked bool
+	// ZeroIRAMOnBoot reflects whether this vendor's firmware clears iRAM on
+	// the cold path. True on the paper's Tegra 3 board; the paper notes this
+	// cannot be assumed to generalise, so the simulator makes it a knob.
+	ZeroIRAMOnBoot bool
+}
+
+// ErrUnsignedImage is returned when a locked bootloader rejects an image.
+var ErrUnsignedImage = fmt.Errorf("firmware: image rejected: not signed by vendor key")
+
+// VerifyImage enforces the secure-boot policy.
+func (r *BootROM) VerifyImage(img Image) error {
+	if r.BootloaderLocked && img.Vendor != r.VendorKey {
+		return ErrUnsignedImage
+	}
+	return nil
+}
+
+// ColdBoot runs the ROM's cold-boot path against the hardware it is given:
+// zero iRAM (if the vendor firmware does), reset the cache controller
+// (invalidating and zeroing all lines, unlocking all ways). Either device
+// may be nil on platforms that lack it.
+func (r *BootROM) ColdBoot(iram *mem.Device, l2 *cache.L2) {
+	if r.ZeroIRAMOnBoot && iram != nil {
+		iram.Store().ZeroAll()
+	}
+	if l2 != nil {
+		l2.SetAllocMask(l2.AllWaysMask())
+		l2.InvalidateWays(l2.AllWaysMask())
+	}
+}
+
+// Scribble models an OS image booting: it overwrites the image's fraction
+// of DRAM, starting from the bottom (where kernels load), with image bytes.
+// Only materialised regions matter for remanence measurements, but the
+// kernel really does write these ranges, so the writes are unconditional.
+func Scribble(dram *mem.Device, rng *sim.RNG, img Image) {
+	n := uint64(float64(dram.Size()) * img.ScribbleFraction)
+	if n == 0 {
+		return
+	}
+	buf := make([]byte, mem.PageSize)
+	for off := uint64(0); off < n; off += mem.PageSize {
+		rng.Read(buf)
+		end := off + mem.PageSize
+		if end > n {
+			end = n
+		}
+		dram.Store().Write(off, buf[:end-off])
+	}
+}

@@ -1,0 +1,110 @@
+package firmware
+
+import (
+	"testing"
+
+	"sentry/internal/bus"
+	"sentry/internal/cache"
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+func TestVerifyImageLockedBootloader(t *testing.T) {
+	rom := &BootROM{VendorKey: "vendor", BootloaderLocked: true}
+	if err := rom.VerifyImage(Image{Name: "evil", Vendor: ""}); err != ErrUnsignedImage {
+		t.Fatalf("unsigned image accepted: %v", err)
+	}
+	if err := rom.VerifyImage(Image{Name: "ota", Vendor: "vendor"}); err != nil {
+		t.Fatalf("vendor image rejected: %v", err)
+	}
+}
+
+func TestVerifyImageUnlockedBootloader(t *testing.T) {
+	rom := &BootROM{VendorKey: "vendor", BootloaderLocked: false}
+	if err := rom.VerifyImage(Image{Name: "evil"}); err != nil {
+		t.Fatalf("unlocked bootloader rejected image: %v", err)
+	}
+}
+
+func TestColdBootZeroesIRAM(t *testing.T) {
+	iram := mem.NewDevice("iram", mem.TechSRAM, 0x40000000, 64<<10)
+	iram.Write(0x40000100, []byte("secret"))
+	rom := &BootROM{ZeroIRAMOnBoot: true}
+	rom.ColdBoot(iram, nil)
+	buf := make([]byte, 6)
+	iram.Read(0x40000100, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("iRAM survived cold boot")
+		}
+	}
+}
+
+func TestColdBootRespectsVendorKnob(t *testing.T) {
+	iram := mem.NewDevice("iram", mem.TechSRAM, 0x40000000, 64<<10)
+	iram.Write(0x40000100, []byte("secret"))
+	rom := &BootROM{ZeroIRAMOnBoot: false}
+	rom.ColdBoot(iram, nil)
+	if iram.ByteAt(0x40000100) == 0 {
+		t.Fatal("iRAM zeroed despite vendor firmware not doing so")
+	}
+}
+
+func TestColdBootResetsCache(t *testing.T) {
+	clock := sim.NewClock(1e9)
+	meter := &sim.Meter{}
+	costs := &sim.CostTable{DRAMAccess: 1, L2Hit: 1}
+	energy := &sim.EnergyTable{}
+	dram := mem.NewDevice("dram", mem.TechDRAM, 0, 1<<20)
+	b := bus.New(clock, meter, costs, energy, mem.NewMap(dram))
+	l2 := cache.New(cache.Config{Ways: 2, WaySize: 1024, LineSize: 32}, clock, meter, costs, energy, b)
+	l2.Write(0x100, []byte("dirty-secret"))
+	l2.SetAllocMask(0x1)
+
+	(&BootROM{}).ColdBoot(nil, l2)
+	if l2.AllocMask() != l2.AllWaysMask() {
+		t.Fatal("lockdown survived cold boot")
+	}
+	if hit, _, _ := l2.Probe(0x100); hit {
+		t.Fatal("cache line survived cold boot")
+	}
+	// Crucially, the reset must not have written the dirty secret back.
+	if dram.ByteAt(0x100) != 0 {
+		t.Fatal("cold boot leaked dirty line to DRAM")
+	}
+}
+
+func TestScribbleOverwritesBottomOfDRAM(t *testing.T) {
+	dram := mem.NewDevice("dram", mem.TechDRAM, 0, 1<<20)
+	for off := uint64(0); off < 1<<20; off += 8 {
+		dram.Store().Write(off, []byte("PATTERN!"))
+	}
+	Scribble(dram, sim.NewRNG(1), Image{ScribbleFraction: 0.25})
+
+	count := func(lo, hi uint64) int {
+		n := 0
+		buf := make([]byte, 8)
+		for off := lo; off < hi; off += 8 {
+			dram.Store().Read(off, buf)
+			if string(buf) == "PATTERN!" {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(0, 1<<18); got != 0 {
+		t.Fatalf("bottom quarter should be fully scribbled, %d patterns left", got)
+	}
+	if got := count(1<<18, 1<<20); got != (1<<20-1<<18)/8 {
+		t.Fatalf("top of DRAM disturbed: %d patterns", got)
+	}
+}
+
+func TestScribbleZeroFractionNoOp(t *testing.T) {
+	dram := mem.NewDevice("dram", mem.TechDRAM, 0, 4096)
+	dram.Store().Write(0, []byte{7})
+	Scribble(dram, sim.NewRNG(1), Image{ScribbleFraction: 0})
+	if dram.ByteAt(0) != 7 {
+		t.Fatal("zero-fraction scribble wrote")
+	}
+}

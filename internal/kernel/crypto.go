@@ -1,0 +1,67 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CipherProvider is the kernel Crypto API contract: a named AES-CBC
+// implementation with a priority. Mirrors the Linux Crypto API semantics
+// the paper relies on: "We register our AES implementation with the API,
+// providing it with a higher priority than the default AES implementation"
+// — so legacy users (dm-crypt) transparently pick up AES On SoC.
+type CipherProvider interface {
+	Name() string
+	Priority() int
+	EncryptCBC(dst, src, iv []byte) error
+	DecryptCBC(dst, src, iv []byte) error
+}
+
+// CryptoAPI is the provider registry.
+type CryptoAPI struct {
+	providers []CipherProvider
+}
+
+// Register adds a provider.
+func (c *CryptoAPI) Register(p CipherProvider) {
+	c.providers = append(c.providers, p)
+	sort.SliceStable(c.providers, func(i, j int) bool {
+		return c.providers[i].Priority() > c.providers[j].Priority()
+	})
+}
+
+// Unregister removes the provider with the given name.
+func (c *CryptoAPI) Unregister(name string) {
+	for i, p := range c.providers {
+		if p.Name() == name {
+			c.providers = append(c.providers[:i], c.providers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Best returns the highest-priority provider, or an error if none is
+// registered.
+func (c *CryptoAPI) Best() (CipherProvider, error) {
+	if len(c.providers) == 0 {
+		return nil, fmt.Errorf("kernel: no cipher provider registered")
+	}
+	return c.providers[0], nil
+}
+
+// ByName returns a provider by name.
+func (c *CryptoAPI) ByName(name string) (CipherProvider, error) {
+	for _, p := range c.providers {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("kernel: no cipher provider %q", name)
+}
+
+// Providers lists registered providers, highest priority first.
+func (c *CryptoAPI) Providers() []CipherProvider {
+	out := make([]CipherProvider, len(c.providers))
+	copy(out, c.providers)
+	return out
+}

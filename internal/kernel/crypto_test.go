@@ -1,0 +1,67 @@
+package kernel
+
+import "testing"
+
+type fakeProvider struct {
+	name string
+	prio int
+}
+
+func (f *fakeProvider) Name() string                         { return f.name }
+func (f *fakeProvider) Priority() int                        { return f.prio }
+func (f *fakeProvider) EncryptCBC(dst, src, iv []byte) error { return nil }
+func (f *fakeProvider) DecryptCBC(dst, src, iv []byte) error { return nil }
+
+func TestCryptoAPIPriorityOrdering(t *testing.T) {
+	api := &CryptoAPI{}
+	if _, err := api.Best(); err == nil {
+		t.Fatal("empty registry returned a provider")
+	}
+	generic := &fakeProvider{name: "aes-generic", prio: 100}
+	onsoc := &fakeProvider{name: "aes-onsoc", prio: 300}
+	api.Register(generic)
+	best, _ := api.Best()
+	if best != generic {
+		t.Fatal("single provider not best")
+	}
+	// The paper: registering AES On SoC at higher priority makes existing
+	// Crypto API users pick it up transparently.
+	api.Register(onsoc)
+	best, _ = api.Best()
+	if best != onsoc {
+		t.Fatal("higher-priority provider not preferred")
+	}
+}
+
+func TestCryptoAPIByNameAndUnregister(t *testing.T) {
+	api := &CryptoAPI{}
+	a := &fakeProvider{name: "a", prio: 1}
+	b := &fakeProvider{name: "b", prio: 2}
+	api.Register(a)
+	api.Register(b)
+	got, err := api.ByName("a")
+	if err != nil || got != a {
+		t.Fatal("ByName failed")
+	}
+	if _, err := api.ByName("zzz"); err == nil {
+		t.Fatal("unknown name resolved")
+	}
+	api.Unregister("b")
+	if best, _ := api.Best(); best != a {
+		t.Fatal("unregister did not remove provider")
+	}
+	if len(api.Providers()) != 1 {
+		t.Fatal("providers list wrong")
+	}
+}
+
+func TestRegisterStableForEqualPriority(t *testing.T) {
+	api := &CryptoAPI{}
+	first := &fakeProvider{name: "first", prio: 5}
+	second := &fakeProvider{name: "second", prio: 5}
+	api.Register(first)
+	api.Register(second)
+	if best, _ := api.Best(); best != first {
+		t.Fatal("equal-priority ordering not stable")
+	}
+}

@@ -1,0 +1,495 @@
+// Package kernel is the miniature operating system the Sentry port lives
+// in: processes with paged address spaces, a physical page allocator with
+// the freed-page zeroing thread, a screen-lock state machine with PIN and
+// deep-lock semantics, a priority-ordered crypto-provider registry
+// mirroring the Linux Crypto API, and page-fault dispatch that Sentry hooks
+// for decrypt-on-demand.
+package kernel
+
+import (
+	"fmt"
+
+	"sentry/internal/mem"
+	"sentry/internal/mmu"
+	"sentry/internal/soc"
+)
+
+// LockState is the device lock state machine.
+type LockState int
+
+// Lock states.
+const (
+	Unlocked LockState = iota
+	ScreenLocked
+	// DeepLocked is entered after too many wrong PINs; only a full
+	// power-cycle (with password re-entry) leaves it.
+	DeepLocked
+)
+
+func (s LockState) String() string {
+	switch s {
+	case Unlocked:
+		return "unlocked"
+	case ScreenLocked:
+		return "screen-locked"
+	case DeepLocked:
+		return "deep-locked"
+	}
+	return fmt.Sprintf("LockState(%d)", int(s))
+}
+
+// MaxPINAttempts before the device deep-locks.
+const MaxPINAttempts = 5
+
+// Range is a physical address range.
+type Range struct {
+	Base mem.PhysAddr
+	Size uint64
+}
+
+// Process is one user process.
+type Process struct {
+	PID  int
+	Name string
+	AS   *mmu.AddressSpace
+
+	// Sensitive marks the process for Sentry protection (the paper's
+	// settings-menu extension where users pick apps to protect).
+	Sensitive bool
+	// Background marks processes allowed to run while the screen is locked
+	// (music players, mail polling).
+	Background bool
+	// Schedulable is cleared when Sentry parks an encrypted process in the
+	// unschedulable queue.
+	Schedulable bool
+
+	// DMARegions are physical ranges I/O devices access directly (GPU
+	// surfaces, network buffers). They never page-fault, so Sentry must
+	// decrypt them eagerly on unlock.
+	DMARegions []Range
+
+	// SharedWith lists PIDs this process shares pages with; Sentry's
+	// shared-page policy consults it.
+	sharedPages map[mmu.VirtAddr][]int
+
+	nextMap mmu.VirtAddr
+}
+
+// Kernel is the OS instance on one SoC.
+type Kernel struct {
+	SoC *soc.SoC
+
+	procs   map[int]*Process
+	nextPID int
+	current *Process
+
+	pages *PageAllocator
+
+	Crypto *CryptoAPI
+
+	lockState   LockState
+	pin         string
+	pinFailures int
+
+	// OnLock/OnUnlock hooks run on state transitions (Sentry's
+	// encrypt-on-lock / arm-decrypt-on-unlock live here).
+	OnLock   []func()
+	OnUnlock []func()
+
+	// FlushMaskFn supplies the way mask every kernel-initiated L2
+	// maintenance operation must use. Sentry installs it so locked ways are
+	// never flushed (the paper's 428→676-line kernel change); the default
+	// is all ways.
+	FlushMaskFn func() uint32
+
+	// SensitiveKernelRanges are physical ranges of OS subsystems (keyrings,
+	// crypto contexts) registered for Sentry protection; the paper's title
+	// promise covers "applications and OS components".
+	SensitiveKernelRanges []NamedRange
+
+	// IdleLockSeconds is the inactivity threshold after which the device
+	// locks itself (the paper's "idle for more than a short period, e.g.
+	// 15 minutes"). Zero disables auto-lock.
+	IdleLockSeconds float64
+	idleSeconds     float64
+	suspended       bool
+
+	// FaultHook, if set, sees every page fault first; returning true means
+	// handled. Sentry installs its decrypt-on-page-in here.
+	FaultHook func(p *Process, f *mmu.Fault) bool
+
+	zeroQueue []mem.PhysAddr
+
+	// AliasRegion is the way-aligned DRAM range reserved at boot for L2
+	// way locking.
+	AliasRegion Range
+
+	// Stats
+	ZeroedBytes uint64
+}
+
+// kernelReserved is DRAM held back at the bottom for the kernel image and
+// static allocations; user frames are handed out above it.
+const kernelReserved = 64 << 20
+
+// New boots a kernel on s with the given unlock PIN.
+func New(s *soc.SoC, pin string) *Kernel {
+	waySize := uint64(s.Prof.Cache.WaySize)
+	aliasSize := uint64(s.Prof.Cache.Ways) * waySize
+	aliasBase := soc.DRAMBase + mem.PhysAddr(s.Prof.DRAMSize-aliasSize)
+	k := &Kernel{
+		SoC:         s,
+		procs:       make(map[int]*Process),
+		nextPID:     1,
+		Crypto:      &CryptoAPI{},
+		pin:         pin,
+		AliasRegion: Range{Base: aliasBase, Size: aliasSize},
+	}
+	k.pages = NewPageAllocator(soc.DRAMBase+kernelReserved, aliasBase)
+	s.CPU.KernelStack = soc.DRAMBase + kernelReserved - 0x1000
+	s.CPU.FaultHandler = k.handleFault
+	return k
+}
+
+// Pages exposes the physical page allocator.
+func (k *Kernel) Pages() *PageAllocator { return k.pages }
+
+// State returns the current lock state.
+func (k *Kernel) State() LockState { return k.lockState }
+
+// NewProcess creates a process.
+func (k *Kernel) NewProcess(name string, sensitive, background bool) *Process {
+	p := &Process{
+		PID: k.nextPID, Name: name, AS: mmu.NewAddressSpace(),
+		Sensitive: sensitive, Background: background, Schedulable: true,
+		sharedPages: make(map[mmu.VirtAddr][]int),
+		nextMap:     0x0001_0000,
+	}
+	k.nextPID++
+	k.procs[p.PID] = p
+	if k.current == nil {
+		k.Switch(p)
+	}
+	return p
+}
+
+// Process returns the process with the given PID, or nil.
+func (k *Kernel) Process(pid int) *Process { return k.procs[pid] }
+
+// Processes returns all live processes in PID order.
+func (k *Kernel) Processes() []*Process {
+	out := make([]*Process, 0, len(k.procs))
+	for pid := 1; pid < k.nextPID; pid++ {
+		if p, ok := k.procs[pid]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Current returns the running process.
+func (k *Kernel) Current() *Process { return k.current }
+
+// Switch context-switches to p (subject to the CPU's IRQ mask).
+func (k *Kernel) Switch(p *Process) bool {
+	if p == k.current {
+		return true
+	}
+	if !k.SoC.CPU.ContextSwitch(p.AS) && k.current != nil {
+		return false
+	}
+	k.SoC.CPU.AS = p.AS
+	k.current = p
+	return true
+}
+
+// MapAnon maps n fresh zeroed pages into p and returns the base virtual
+// address.
+func (k *Kernel) MapAnon(p *Process, n int) (mmu.VirtAddr, error) {
+	base := p.nextMap
+	for i := 0; i < n; i++ {
+		frame, err := k.pages.Alloc()
+		if err != nil {
+			return 0, err
+		}
+		p.AS.Map(base+mmu.VirtAddr(i*mmu.PageSize), mmu.PTE{
+			Phys: frame, Present: true, Writable: true, Young: true,
+		})
+	}
+	p.nextMap = base + mmu.VirtAddr(n*mmu.PageSize) + mmu.PageSize // guard gap
+	return base, nil
+}
+
+// SharePage maps the frame behind (owner, v) into peer at the same virtual
+// address, marking the PTE shared in both.
+func (k *Kernel) SharePage(owner *Process, v mmu.VirtAddr, peer *Process) error {
+	pte := owner.AS.Lookup(v)
+	if pte == nil {
+		return fmt.Errorf("kernel: share of unmapped page %#x", uint64(v))
+	}
+	pte.Shared = true
+	shared := *pte
+	peer.AS.Map(v, shared)
+	vp := mmu.PageBase(v)
+	owner.sharedPages[vp] = append(owner.sharedPages[vp], peer.PID)
+	peer.sharedPages[vp] = append(peer.sharedPages[vp], owner.PID)
+	return nil
+}
+
+// SharedPeers returns the PIDs the page at v is shared with.
+func (k *Kernel) SharedPeers(p *Process, v mmu.VirtAddr) []int {
+	return p.sharedPages[mmu.PageBase(v)]
+}
+
+// UnmapAndFree unmaps the page at v and queues its frame for the zeroing
+// thread (freed pages of sensitive apps may hold secrets; Linux zeroes them
+// asynchronously, and Sentry waits for that before locking).
+func (k *Kernel) UnmapAndFree(p *Process, v mmu.VirtAddr) {
+	pte := p.AS.Lookup(v)
+	if pte == nil {
+		return
+	}
+	p.AS.Unmap(v)
+	k.zeroQueue = append(k.zeroQueue, mem.PageBase(pte.Phys))
+}
+
+// PendingZeroBytes reports how much freed memory awaits the zeroing thread.
+func (k *Kernel) PendingZeroBytes() uint64 {
+	return uint64(len(k.zeroQueue)) * mem.PageSize
+}
+
+// zeroRateBytesPerSec is the paper's measured freed-page zeroing rate
+// (4.014 GB/s on the Nexus 4).
+const zeroRateBytesPerSec = 4.014e9
+
+// DrainZeroQueue runs the kernel zeroing thread to completion, physically
+// clearing every queued frame and charging the measured time and energy
+// (4.014 GB/s, 2.8 µJ/MB).
+func (k *Kernel) DrainZeroQueue() {
+	zero := make([]byte, mem.PageSize)
+	for _, frame := range k.zeroQueue {
+		k.SoC.DRAM.Write(frame, zero)
+		// Stale cache lines may still hold the freed page's plaintext and
+		// would be written back over the zeroed frame later; drop them.
+		k.SoC.L2.InvalidateRange(frame, mem.PageSize)
+		k.ZeroedBytes += mem.PageSize
+		k.pages.Release(frame)
+	}
+	n := float64(len(k.zeroQueue)) * mem.PageSize
+	k.zeroQueue = nil
+	cycles := uint64(n / zeroRateBytesPerSec * float64(k.SoC.Prof.CPUHz))
+	k.SoC.Clock.Advance(cycles)
+	k.SoC.Meter.Charge(n / (1 << 20) * k.SoC.Prof.Energy.PageZeroPerMB)
+}
+
+func (k *Kernel) handleFault(f *mmu.Fault) bool {
+	if k.FaultHook != nil && k.current != nil && k.FaultHook(k.current, f) {
+		return true
+	}
+	// Default access-flag handling: Linux uses young-bit faults for page
+	// aging; the handler just sets the bit and resumes. Encrypted pages are
+	// Sentry's business — if its hook declined, the access must not proceed
+	// (the process should have been parked).
+	if f.Kind == mmu.FaultAccessFlag && k.current != nil {
+		if pte := k.current.AS.Lookup(f.Addr); pte != nil && !pte.Encrypted {
+			pte.Young = true
+			return true
+		}
+	}
+	return false
+}
+
+// Lock transitions to ScreenLocked, running every OnLock hook first (while
+// the device still counts as "going to sleep"), then marks the SoC locked
+// so hardware governors (crypto accelerator) down-clock.
+func (k *Kernel) Lock() {
+	if k.lockState != Unlocked {
+		return
+	}
+	for _, fn := range k.OnLock {
+		fn()
+	}
+	k.lockState = ScreenLocked
+	k.SoC.ScreenLocked = true
+}
+
+// Unlock attempts a PIN unlock. Too many failures deep-lock the device.
+func (k *Kernel) Unlock(pin string) error {
+	switch k.lockState {
+	case Unlocked:
+		return nil
+	case DeepLocked:
+		return fmt.Errorf("kernel: device is deep-locked")
+	}
+	if pin != k.pin {
+		k.pinFailures++
+		if k.pinFailures >= MaxPINAttempts {
+			k.lockState = DeepLocked
+		}
+		return fmt.Errorf("kernel: wrong PIN (%d/%d attempts)", k.pinFailures, MaxPINAttempts)
+	}
+	k.pinFailures = 0
+	k.lockState = Unlocked
+	k.SoC.ScreenLocked = false
+	for _, fn := range k.OnUnlock {
+		fn()
+	}
+	return nil
+}
+
+// NamedRange is a labelled physical range.
+type NamedRange struct {
+	Name string
+	Range
+}
+
+// RegisterSensitiveKernelRange marks a kernel subsystem's physical memory
+// for protection at lock time.
+func (k *Kernel) RegisterSensitiveKernelRange(name string, r Range) {
+	k.SensitiveKernelRanges = append(k.SensitiveKernelRanges, NamedRange{Name: name, Range: r})
+}
+
+// FlushMask returns the way mask kernel cache maintenance must use.
+func (k *Kernel) FlushMask() uint32 {
+	if k.FlushMaskFn != nil {
+		return k.FlushMaskFn()
+	}
+	return k.SoC.L2.AllWaysMask()
+}
+
+// WakeSource identifies what woke a suspended device.
+type WakeSource int
+
+// Wake sources (§7: user interaction, hardware events, timers).
+const (
+	WakeUser WakeSource = iota
+	WakeIncomingCall
+	WakeTimer
+)
+
+func (w WakeSource) String() string {
+	switch w {
+	case WakeUser:
+		return "user"
+	case WakeIncomingCall:
+		return "incoming-call"
+	case WakeTimer:
+		return "timer"
+	}
+	return "unknown"
+}
+
+// Suspend models the ACPI-S3 suspend-to-RAM smartphones enter after brief
+// inactivity: DRAM keeps refreshing (contents preserved — which is exactly
+// why lock-time encryption matters), while the caches are cleaned (masked!)
+// and powered down and the register file is lost.
+func (k *Kernel) Suspend() {
+	if k.suspended {
+		return
+	}
+	k.SoC.L2.CleanInvalidateWays(k.FlushMask())
+	k.SoC.CPU.ZeroRegs()
+	k.suspended = true
+}
+
+// Suspended reports whether the device is in S3.
+func (k *Kernel) Suspended() bool { return k.suspended }
+
+// Wake leaves S3. The wake source decides what may run: a user wake goes
+// to the PIN screen (still locked); calls and timers run background work
+// only.
+func (k *Kernel) Wake(src WakeSource) {
+	k.suspended = false
+}
+
+// Idle advances simulated time with no user interaction. When the idle
+// threshold passes, the device locks (running every Sentry hook) and
+// suspends.
+func (k *Kernel) Idle(seconds float64) {
+	k.SoC.Clock.Advance(uint64(seconds * float64(k.SoC.Prof.CPUHz)))
+	k.idleSeconds += seconds
+	if k.IdleLockSeconds > 0 && k.idleSeconds >= k.IdleLockSeconds && k.lockState == Unlocked {
+		k.Lock()
+		k.Suspend()
+	}
+}
+
+// Interact resets the idle timer (the user touched the device).
+func (k *Kernel) Interact() { k.idleSeconds = 0 }
+
+// RunnableBackground returns the background processes that may execute in
+// the current lock state.
+func (k *Kernel) RunnableBackground() []*Process {
+	var out []*Process
+	for _, p := range k.Processes() {
+		if p.Background && p.Schedulable {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MapDMA allocates n physically contiguous frames for a device-visible
+// buffer (GPU surface, NIC ring), maps them into p, and records the range
+// in p.DMARegions. Devices access the range with physical addresses and no
+// page faults, which is why Sentry must treat it eagerly.
+func (k *Kernel) MapDMA(p *Process, n int) (mmu.VirtAddr, Range, error) {
+	phys, err := k.pages.AllocContig(n)
+	if err != nil {
+		return 0, Range{}, err
+	}
+	base := p.nextMap
+	for i := 0; i < n; i++ {
+		p.AS.Map(base+mmu.VirtAddr(i*mmu.PageSize), mmu.PTE{
+			Phys: phys + mem.PhysAddr(i*mmu.PageSize), Present: true, Writable: true, Young: true,
+		})
+	}
+	p.nextMap = base + mmu.VirtAddr(n*mmu.PageSize) + mmu.PageSize
+	r := Range{Base: phys, Size: uint64(n) * mem.PageSize}
+	p.DMARegions = append(p.DMARegions, r)
+	return base, r, nil
+}
+
+// PageAllocator hands out physical frames in [base, limit).
+type PageAllocator struct {
+	next  mem.PhysAddr
+	limit mem.PhysAddr
+	free  []mem.PhysAddr
+}
+
+// NewPageAllocator returns an allocator over [base, limit), page aligned.
+func NewPageAllocator(base, limit mem.PhysAddr) *PageAllocator {
+	return &PageAllocator{next: mem.PageBase(base + mem.PageSize - 1), limit: limit}
+}
+
+// Alloc returns a free frame.
+func (a *PageAllocator) Alloc() (mem.PhysAddr, error) {
+	if n := len(a.free); n > 0 {
+		f := a.free[n-1]
+		a.free = a.free[:n-1]
+		return f, nil
+	}
+	if a.next+mem.PageSize > a.limit {
+		return 0, fmt.Errorf("kernel: out of physical memory")
+	}
+	f := a.next
+	a.next += mem.PageSize
+	return f, nil
+}
+
+// AllocContig returns n physically contiguous frames from the bump region
+// (the free list cannot guarantee contiguity).
+func (a *PageAllocator) AllocContig(n int) (mem.PhysAddr, error) {
+	need := mem.PhysAddr(n) * mem.PageSize
+	if a.next+need > a.limit {
+		return 0, fmt.Errorf("kernel: out of contiguous physical memory")
+	}
+	f := a.next
+	a.next += need
+	return f, nil
+}
+
+// Release returns a frame to the allocator (already zeroed by the caller).
+func (a *PageAllocator) Release(f mem.PhysAddr) {
+	a.free = append(a.free, mem.PageBase(f))
+}

@@ -1,0 +1,368 @@
+package kernel
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sentry/internal/mem"
+	"sentry/internal/mmu"
+	"sentry/internal/soc"
+)
+
+func boot() (*Kernel, *soc.SoC) {
+	s := soc.Tegra3(1)
+	return New(s, "1234"), s
+}
+
+func TestProcessLifecycle(t *testing.T) {
+	k, _ := boot()
+	p := k.NewProcess("twitter", true, false)
+	if p.PID != 1 || !p.Sensitive || p.Background {
+		t.Fatalf("proc = %+v", p)
+	}
+	if k.Current() != p {
+		t.Fatal("first process should be current")
+	}
+	q := k.NewProcess("mp3", true, true)
+	if k.Process(q.PID) != q || len(k.Processes()) != 2 {
+		t.Fatal("process table wrong")
+	}
+}
+
+func TestMapAnonAndAccess(t *testing.T) {
+	k, s := boot()
+	p := k.NewProcess("app", false, false)
+	base, err := k.MapAnon(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("z"), 3*mmu.PageSize)
+	if err := s.CPU.Store(base, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.CPU.Load(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestMapAnonLeavesGuardGap(t *testing.T) {
+	k, _ := boot()
+	p := k.NewProcess("app", false, false)
+	a, _ := k.MapAnon(p, 2)
+	b, _ := k.MapAnon(p, 2)
+	if b <= a+2*mmu.PageSize {
+		t.Fatal("no guard gap between mappings")
+	}
+}
+
+func TestDefaultYoungBitHandling(t *testing.T) {
+	k, s := boot()
+	p := k.NewProcess("app", false, false)
+	base, _ := k.MapAnon(p, 1)
+	p.AS.ClearYoungAll()
+	if err := s.CPU.Store(base, []byte{1}); err != nil {
+		t.Fatalf("young-bit fault not repaired: %v", err)
+	}
+	if !p.AS.Lookup(base).Young {
+		t.Fatal("young bit not set by handler")
+	}
+	_ = k
+}
+
+func TestFaultHookSeesFaultsFirst(t *testing.T) {
+	k, s := boot()
+	p := k.NewProcess("app", true, false)
+	base, _ := k.MapAnon(p, 1)
+	p.AS.ClearYoungAll()
+	hooked := 0
+	k.FaultHook = func(proc *Process, f *mmu.Fault) bool {
+		hooked++
+		if proc != p {
+			t.Fatal("wrong process in hook")
+		}
+		proc.AS.Lookup(f.Addr).Young = true
+		return true
+	}
+	if err := s.CPU.Load(base, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if hooked != 1 {
+		t.Fatalf("hook ran %d times", hooked)
+	}
+}
+
+func TestLockStateMachine(t *testing.T) {
+	k, s := boot()
+	lockRan, unlockRan := 0, 0
+	k.OnLock = append(k.OnLock, func() { lockRan++ })
+	k.OnUnlock = append(k.OnUnlock, func() { unlockRan++ })
+
+	k.Lock()
+	if k.State() != ScreenLocked || lockRan != 1 || !s.ScreenLocked {
+		t.Fatal("lock transition wrong")
+	}
+	k.Lock() // idempotent
+	if lockRan != 1 {
+		t.Fatal("double lock re-ran hooks")
+	}
+	if err := k.Unlock("9999"); err == nil {
+		t.Fatal("wrong PIN accepted")
+	}
+	if err := k.Unlock("1234"); err != nil {
+		t.Fatal(err)
+	}
+	if k.State() != Unlocked || unlockRan != 1 || s.ScreenLocked {
+		t.Fatal("unlock transition wrong")
+	}
+}
+
+func TestDeepLockAfterPINFailures(t *testing.T) {
+	k, _ := boot()
+	k.Lock()
+	for i := 0; i < MaxPINAttempts; i++ {
+		_ = k.Unlock("0000")
+	}
+	if k.State() != DeepLocked {
+		t.Fatalf("state = %v, want deep-locked", k.State())
+	}
+	if err := k.Unlock("1234"); err == nil {
+		t.Fatal("deep-locked device unlocked with correct PIN")
+	}
+}
+
+func TestPINFailureCounterResets(t *testing.T) {
+	k, _ := boot()
+	k.Lock()
+	_ = k.Unlock("0000")
+	if err := k.Unlock("1234"); err != nil {
+		t.Fatal(err)
+	}
+	k.Lock()
+	for i := 0; i < MaxPINAttempts-1; i++ {
+		_ = k.Unlock("0000")
+	}
+	if k.State() == DeepLocked {
+		t.Fatal("failure counter did not reset on success")
+	}
+}
+
+func TestZeroQueueDrain(t *testing.T) {
+	k, s := boot()
+	p := k.NewProcess("app", true, false)
+	base, _ := k.MapAnon(p, 2)
+	frame := p.AS.Lookup(base).Phys
+	if err := s.CPU.Store(base, bytes.Repeat([]byte{0xEE}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	s.L2.CleanWays(s.L2.AllWaysMask())
+	k.UnmapAndFree(p, base)
+	if k.PendingZeroBytes() != mem.PageSize {
+		t.Fatalf("pending = %d", k.PendingZeroBytes())
+	}
+
+	c0 := s.Clock.Cycles()
+	e0 := s.Meter.PJ()
+	k.DrainZeroQueue()
+	if k.PendingZeroBytes() != 0 {
+		t.Fatal("queue not drained")
+	}
+	if s.DRAM.ByteAt(frame) != 0 {
+		t.Fatal("freed page not physically zeroed")
+	}
+	// Time: 4 KB at 4.014 GB/s.
+	wantSec := 4096.0 / 4.014e9
+	gotSec := float64(s.Clock.Cycles()-c0) / float64(s.Prof.CPUHz)
+	if math.Abs(gotSec-wantSec)/wantSec > 0.01 {
+		t.Fatalf("zeroing took %.2e s, want %.2e s", gotSec, wantSec)
+	}
+	// Energy: 2.8 µJ/MB.
+	wantPJ := 4096.0 / (1 << 20) * 2.8e6
+	if math.Abs((s.Meter.PJ()-e0)-wantPJ)/wantPJ > 0.01 {
+		t.Fatalf("zeroing energy = %v pJ, want %v", s.Meter.PJ()-e0, wantPJ)
+	}
+}
+
+func TestSharedPages(t *testing.T) {
+	k, s := boot()
+	a := k.NewProcess("a", true, false)
+	b := k.NewProcess("b", true, false)
+	base, _ := k.MapAnon(a, 1)
+	if err := k.SharePage(a, base, b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.AS.Lookup(base).Shared || !b.AS.Lookup(base).Shared {
+		t.Fatal("shared flag missing")
+	}
+	peers := k.SharedPeers(a, base)
+	if len(peers) != 1 || peers[0] != b.PID {
+		t.Fatalf("peers = %v", peers)
+	}
+	// Both map the same frame.
+	if a.AS.Lookup(base).Phys != b.AS.Lookup(base).Phys {
+		t.Fatal("share did not alias the frame")
+	}
+	_ = s
+}
+
+func TestRunnableBackground(t *testing.T) {
+	k, _ := boot()
+	k.NewProcess("fg", true, false)
+	bg := k.NewProcess("mp3", true, true)
+	parked := k.NewProcess("mail", true, true)
+	parked.Schedulable = false
+	got := k.RunnableBackground()
+	if len(got) != 1 || got[0] != bg {
+		t.Fatalf("runnable = %v", got)
+	}
+}
+
+func TestAliasRegionReservedAtTop(t *testing.T) {
+	k, s := boot()
+	wantSize := uint64(s.Prof.Cache.Ways * s.Prof.Cache.WaySize)
+	if k.AliasRegion.Size != wantSize {
+		t.Fatalf("alias size = %d", k.AliasRegion.Size)
+	}
+	if k.AliasRegion.Base+mem.PhysAddr(wantSize) != soc.DRAMBase+mem.PhysAddr(s.Prof.DRAMSize) {
+		t.Fatal("alias region not at top of DRAM")
+	}
+	if uint64(k.AliasRegion.Base)%uint64(s.Prof.Cache.WaySize) != 0 {
+		t.Fatal("alias region not way aligned")
+	}
+	// The page allocator must never hand out alias frames.
+	for i := 0; i < 100; i++ {
+		f, err := k.Pages().Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f >= k.AliasRegion.Base {
+			t.Fatal("allocator dispensed an alias frame")
+		}
+	}
+}
+
+func TestPageAllocatorReuse(t *testing.T) {
+	a := NewPageAllocator(0x80000000, 0x80010000)
+	f1, _ := a.Alloc()
+	a.Release(f1)
+	f2, _ := a.Alloc()
+	if f1 != f2 {
+		t.Fatal("released frame not reused")
+	}
+	for {
+		if _, err := a.Alloc(); err != nil {
+			break // exhaustion must error, not panic
+		}
+	}
+}
+
+func TestContextSwitchBetweenProcesses(t *testing.T) {
+	k, s := boot()
+	a := k.NewProcess("a", false, false)
+	b := k.NewProcess("b", false, false)
+	if !k.Switch(b) || k.Current() != b || s.CPU.AS != b.AS {
+		t.Fatal("switch to b failed")
+	}
+	s.CPU.DisableIRQ()
+	if k.Switch(a) {
+		t.Fatal("switch succeeded with IRQs masked")
+	}
+	s.CPU.EnableIRQ()
+	if !k.Switch(a) {
+		t.Fatal("switch failed with IRQs on")
+	}
+}
+
+func TestLockStateStrings(t *testing.T) {
+	for _, s := range []LockState{Unlocked, ScreenLocked, DeepLocked, LockState(9)} {
+		if s.String() == "" {
+			t.Fatal("empty string")
+		}
+	}
+}
+
+func TestSuspendWakeCycle(t *testing.T) {
+	k, s := boot()
+	p := k.NewProcess("app", false, false)
+	base, _ := k.MapAnon(p, 1)
+	_ = s.CPU.Store(base, []byte("still-here"))
+	k.Suspend()
+	if !k.Suspended() {
+		t.Fatal("not suspended")
+	}
+	k.Suspend() // idempotent
+	// DRAM keeps refreshing across S3: the data survives.
+	k.Wake(WakeIncomingCall)
+	if k.Suspended() {
+		t.Fatal("still suspended after wake")
+	}
+	got := make([]byte, 10)
+	if err := s.CPU.Load(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "still-here" {
+		t.Fatal("suspend lost DRAM contents")
+	}
+	// Registers do not survive S3.
+	s.CPU.Regs[0] = 0x1234
+	k.suspended = false
+	k.Suspend()
+	if s.CPU.Regs[0] != 0 {
+		t.Fatal("registers survived suspend")
+	}
+}
+
+func TestIdleAutoLock(t *testing.T) {
+	k, _ := boot()
+	k.IdleLockSeconds = 900 // the paper's ~15 minutes
+	k.Idle(600)
+	if k.State() != Unlocked {
+		t.Fatal("locked too early")
+	}
+	k.Interact()
+	k.Idle(600)
+	if k.State() != Unlocked {
+		t.Fatal("interaction did not reset the idle timer")
+	}
+	k.Idle(301)
+	if k.State() != ScreenLocked || !k.Suspended() {
+		t.Fatalf("state=%v suspended=%v after idle threshold", k.State(), k.Suspended())
+	}
+	// Zero threshold disables auto-lock.
+	k2, _ := boot()
+	k2.Idle(1e6)
+	if k2.State() != Unlocked {
+		t.Fatal("auto-lock fired with zero threshold")
+	}
+}
+
+func TestFlushMaskDefaultsToAllWays(t *testing.T) {
+	k, s := boot()
+	if k.FlushMask() != s.L2.AllWaysMask() {
+		t.Fatal("default flush mask wrong")
+	}
+	k.FlushMaskFn = func() uint32 { return 0x3 }
+	if k.FlushMask() != 0x3 {
+		t.Fatal("FlushMaskFn ignored")
+	}
+}
+
+func TestWakeSourceStrings(t *testing.T) {
+	for _, w := range []WakeSource{WakeUser, WakeIncomingCall, WakeTimer, WakeSource(9)} {
+		if w.String() == "" {
+			t.Fatal("empty wake source string")
+		}
+	}
+}
+
+func TestRegisterSensitiveKernelRange(t *testing.T) {
+	k, _ := boot()
+	k.RegisterSensitiveKernelRange("keyring", Range{Base: 0x80001000, Size: 8192})
+	if len(k.SensitiveKernelRanges) != 1 || k.SensitiveKernelRanges[0].Name != "keyring" {
+		t.Fatal("range not registered")
+	}
+}

@@ -1,0 +1,284 @@
+// Package mem models the physical memory devices of the simulated SoC: the
+// external DRAM chips and the on-SoC internal SRAM (iRAM). Devices are
+// sparse — backing pages are allocated on first touch — so a platform can
+// expose a 1–2 GB DRAM without the host paying for it.
+//
+// This package is purely about storage and the physical address map. Timing
+// and observability (who can see an access) live in the bus, cache, and cpu
+// packages layered above.
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PhysAddr is a physical address on the SoC.
+type PhysAddr uint64
+
+// PageSize is the backing-store granule and the architectural page size.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PageBase returns the page-aligned base of addr.
+func PageBase(a PhysAddr) PhysAddr { return a &^ (PageSize - 1) }
+
+// Store is a sparse byte store of a fixed size, indexed from zero. Backing
+// pages materialise on first write; reads of untouched pages return zero.
+type Store struct {
+	mu    sync.RWMutex
+	size  uint64
+	pages map[uint64]*[PageSize]byte
+}
+
+// NewStore returns a sparse store of the given size in bytes.
+func NewStore(size uint64) *Store {
+	return &Store{size: size, pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// Size returns the store's capacity in bytes.
+func (s *Store) Size() uint64 { return s.size }
+
+func (s *Store) check(off uint64, n int) {
+	if off+uint64(n) > s.size {
+		panic(fmt.Sprintf("mem: access [%#x,+%d) beyond store size %#x", off, n, s.size))
+	}
+}
+
+// ByteAt returns the byte at offset off.
+func (s *Store) ByteAt(off uint64) byte {
+	s.check(off, 1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p := s.pages[off>>PageShift]
+	if p == nil {
+		return 0
+	}
+	return p[off&(PageSize-1)]
+}
+
+// SetByte stores b at offset off.
+func (s *Store) SetByte(off uint64, b byte) {
+	s.check(off, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pn := off >> PageShift
+	p := s.pages[pn]
+	if p == nil {
+		p = new([PageSize]byte)
+		s.pages[pn] = p
+	}
+	p[off&(PageSize-1)] = b
+}
+
+// Read copies len(dst) bytes starting at off into dst.
+func (s *Store) Read(off uint64, dst []byte) {
+	s.check(off, len(dst))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for len(dst) > 0 {
+		pn := off >> PageShift
+		po := off & (PageSize - 1)
+		n := PageSize - po
+		if uint64(len(dst)) < n {
+			n = uint64(len(dst))
+		}
+		if p := s.pages[pn]; p != nil {
+			copy(dst[:n], p[po:po+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		off += n
+	}
+}
+
+// Write copies src into the store starting at off.
+func (s *Store) Write(off uint64, src []byte) {
+	s.check(off, len(src))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(src) > 0 {
+		pn := off >> PageShift
+		po := off & (PageSize - 1)
+		n := PageSize - po
+		if uint64(len(src)) < n {
+			n = uint64(len(src))
+		}
+		p := s.pages[pn]
+		if p == nil {
+			p = new([PageSize]byte)
+			s.pages[pn] = p
+		}
+		copy(p[po:po+n], src[:n])
+		src = src[n:]
+		off += n
+	}
+}
+
+// ZeroAll discards every backing page, returning the store to all-zeroes.
+func (s *Store) ZeroAll() {
+	s.mu.Lock()
+	s.pages = make(map[uint64]*[PageSize]byte)
+	s.mu.Unlock()
+}
+
+// TouchedPages returns the sorted offsets of pages that have backing store.
+// Untouched pages are architecturally zero and cannot hold remanent data.
+func (s *Store) TouchedPages() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uint64, 0, len(s.pages))
+	for pn := range s.pages {
+		out = append(out, pn<<PageShift)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MutatePages calls fn for every materialised page with its base offset and
+// a mutable view of its bytes. It is the hook the remanence model uses to
+// decay memory contents in place.
+func (s *Store) MutatePages(fn func(base uint64, data []byte)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for pn, p := range s.pages {
+		fn(pn<<PageShift, p[:])
+	}
+}
+
+// Device is a physical memory device mapped at a fixed base address.
+type Device struct {
+	name string
+	base PhysAddr
+	s    *Store
+	// Volatile reports whether the device loses content on power cut
+	// according to its technology curve; both DRAM and SRAM are volatile,
+	// but with different decay rates (see package remanence).
+	tech Technology
+}
+
+// Technology identifies the storage technology, which selects the remanence
+// decay curve on power loss.
+type Technology int
+
+// Storage technologies.
+const (
+	TechDRAM Technology = iota // external DDR DRAM
+	TechSRAM                   // on-SoC internal SRAM (iRAM)
+)
+
+func (t Technology) String() string {
+	switch t {
+	case TechDRAM:
+		return "DRAM"
+	case TechSRAM:
+		return "SRAM"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// NewDevice returns a device of the given technology at base covering size bytes.
+func NewDevice(name string, tech Technology, base PhysAddr, size uint64) *Device {
+	return &Device{name: name, base: base, s: NewStore(size), tech: tech}
+}
+
+// Name returns the device name (e.g. "dram0", "iram").
+func (d *Device) Name() string { return d.name }
+
+// Base returns the device's base physical address.
+func (d *Device) Base() PhysAddr { return d.base }
+
+// Size returns the device's capacity in bytes.
+func (d *Device) Size() uint64 { return d.s.Size() }
+
+// Limit returns one past the device's last physical address.
+func (d *Device) Limit() PhysAddr { return d.base + PhysAddr(d.s.Size()) }
+
+// Tech returns the storage technology.
+func (d *Device) Tech() Technology { return d.tech }
+
+// Store exposes the raw backing store; used by remanence and by attack
+// drivers that dump the physical device contents.
+func (d *Device) Store() *Store { return d.s }
+
+// Contains reports whether addr falls inside the device.
+func (d *Device) Contains(addr PhysAddr) bool {
+	return addr >= d.base && addr < d.Limit()
+}
+
+// ByteAt reads the byte at absolute physical address addr.
+func (d *Device) ByteAt(addr PhysAddr) byte {
+	return d.s.ByteAt(uint64(addr - d.base))
+}
+
+// SetByte writes b at absolute physical address addr.
+func (d *Device) SetByte(addr PhysAddr, b byte) {
+	d.s.SetByte(uint64(addr-d.base), b)
+}
+
+// Read copies len(dst) bytes starting at absolute address addr.
+func (d *Device) Read(addr PhysAddr, dst []byte) {
+	d.s.Read(uint64(addr-d.base), dst)
+}
+
+// Write copies src starting at absolute address addr.
+func (d *Device) Write(addr PhysAddr, src []byte) {
+	d.s.Write(uint64(addr-d.base), src)
+}
+
+// Map is the SoC physical address map: an ordered set of non-overlapping
+// devices.
+type Map struct {
+	devs []*Device
+}
+
+// NewMap returns an address map over the given devices. It panics if any
+// two devices overlap.
+func NewMap(devs ...*Device) *Map {
+	m := &Map{}
+	for _, d := range devs {
+		m.Add(d)
+	}
+	return m
+}
+
+// Add inserts a device, keeping the map sorted by base address.
+func (m *Map) Add(d *Device) {
+	for _, e := range m.devs {
+		if d.Base() < e.Limit() && e.Base() < d.Limit() {
+			panic(fmt.Sprintf("mem: device %s [%#x,%#x) overlaps %s [%#x,%#x)",
+				d.Name(), d.Base(), d.Limit(), e.Name(), e.Base(), e.Limit()))
+		}
+	}
+	m.devs = append(m.devs, d)
+	sort.Slice(m.devs, func(i, j int) bool { return m.devs[i].Base() < m.devs[j].Base() })
+}
+
+// Devices returns the devices in address order.
+func (m *Map) Devices() []*Device { return m.devs }
+
+// Find returns the device containing addr, or nil.
+func (m *Map) Find(addr PhysAddr) *Device {
+	i := sort.Search(len(m.devs), func(i int) bool { return m.devs[i].Limit() > addr })
+	if i < len(m.devs) && m.devs[i].Contains(addr) {
+		return m.devs[i]
+	}
+	return nil
+}
+
+// MustFind is Find but panics on an unmapped address; hardware would raise
+// a bus abort here, and in the simulator an unmapped access is always a bug.
+func (m *Map) MustFind(addr PhysAddr) *Device {
+	d := m.Find(addr)
+	if d == nil {
+		panic(fmt.Sprintf("mem: access to unmapped physical address %#x", addr))
+	}
+	return d
+}

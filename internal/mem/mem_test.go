@@ -1,0 +1,158 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreZeroOnFirstRead(t *testing.T) {
+	s := NewStore(1 << 20)
+	if got := s.ByteAt(12345); got != 0 {
+		t.Fatalf("untouched byte = %#x, want 0", got)
+	}
+	buf := make([]byte, 64)
+	s.Read(999, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("untouched buf[%d] = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestStoreReadWriteRoundTrip(t *testing.T) {
+	s := NewStore(1 << 20)
+	data := []byte("sentry-substrate")
+	s.Write(4090, data) // crosses a page boundary
+	got := make([]byte, len(data))
+	s.Read(4090, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip = %q, want %q", got, data)
+	}
+}
+
+func TestStoreByteOps(t *testing.T) {
+	s := NewStore(4096)
+	s.SetByte(0, 0xAB)
+	s.SetByte(4095, 0xCD)
+	if s.ByteAt(0) != 0xAB || s.ByteAt(4095) != 0xCD {
+		t.Fatal("byte ops lost data")
+	}
+}
+
+func TestStoreBoundsPanic(t *testing.T) {
+	s := NewStore(4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds write")
+		}
+	}()
+	s.Write(4090, make([]byte, 16))
+}
+
+func TestStoreZeroAll(t *testing.T) {
+	s := NewStore(1 << 16)
+	s.Write(100, []byte{1, 2, 3})
+	s.ZeroAll()
+	if s.ByteAt(101) != 0 {
+		t.Fatal("ZeroAll left data behind")
+	}
+	if len(s.TouchedPages()) != 0 {
+		t.Fatal("ZeroAll left touched pages")
+	}
+}
+
+func TestStoreTouchedPages(t *testing.T) {
+	s := NewStore(1 << 20)
+	s.SetByte(0, 1)
+	s.SetByte(3*PageSize+7, 1)
+	pages := s.TouchedPages()
+	if len(pages) != 2 || pages[0] != 0 || pages[1] != 3*PageSize {
+		t.Fatalf("TouchedPages = %v", pages)
+	}
+}
+
+// Property: any sequence of writes followed by reads behaves like a flat
+// byte slice.
+func TestStoreMatchesFlatModel(t *testing.T) {
+	const size = 1 << 16
+	f := func(ops []struct {
+		Off  uint16
+		Data []byte
+	}) bool {
+		s := NewStore(size)
+		model := make([]byte, size)
+		for _, op := range ops {
+			off := uint64(op.Off)
+			data := op.Data
+			if off+uint64(len(data)) > size {
+				data = data[:size-off]
+			}
+			s.Write(off, data)
+			copy(model[off:], data)
+		}
+		got := make([]byte, size)
+		s.Read(0, got)
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceAddressing(t *testing.T) {
+	d := NewDevice("iram", TechSRAM, 0x40000000, 256*1024)
+	if !d.Contains(0x40000000) || !d.Contains(0x4003FFFF) || d.Contains(0x40040000) {
+		t.Fatal("Contains wrong")
+	}
+	d.SetByte(0x40000010, 0x5A)
+	if d.ByteAt(0x40000010) != 0x5A {
+		t.Fatal("absolute addressing broken")
+	}
+	if d.Tech() != TechSRAM {
+		t.Fatal("tech lost")
+	}
+}
+
+func TestMapFind(t *testing.T) {
+	iram := NewDevice("iram", TechSRAM, 0x40000000, 256*1024)
+	dram := NewDevice("dram", TechDRAM, 0x80000000, 1<<30)
+	m := NewMap(iram, dram)
+	if m.Find(0x40000100) != iram {
+		t.Fatal("iram not found")
+	}
+	if m.Find(0x80000000+12345) != dram {
+		t.Fatal("dram not found")
+	}
+	if m.Find(0x10) != nil {
+		t.Fatal("unmapped address resolved")
+	}
+}
+
+func TestMapOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overlap panic")
+		}
+	}()
+	NewMap(
+		NewDevice("a", TechDRAM, 0x1000, 0x1000),
+		NewDevice("b", TechDRAM, 0x1800, 0x1000),
+	)
+}
+
+func TestMustFindPanics(t *testing.T) {
+	m := NewMap(NewDevice("a", TechDRAM, 0x1000, 0x1000))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.MustFind(0)
+}
+
+func TestPageBase(t *testing.T) {
+	if PageBase(0x12345) != 0x12000 {
+		t.Fatalf("PageBase = %#x", PageBase(0x12345))
+	}
+}

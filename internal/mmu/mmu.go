@@ -1,0 +1,149 @@
+// Package mmu models per-process paged virtual memory with the two ARM
+// page-table features Sentry's encrypted-DRAM mechanism is built on:
+//
+//   - The access flag ("young" bit): clearing it on a PTE makes the next
+//     access to the page trap, which is how Sentry interposes on the first
+//     touch of an encrypted page (Figure 1 of the paper).
+//   - Software-visible PTE state: Sentry tags pages as Encrypted and redirects
+//     Phys to the on-SoC copy while a page is decrypted in a locked cache way.
+package mmu
+
+import (
+	"fmt"
+	"sort"
+
+	"sentry/internal/mem"
+)
+
+// VirtAddr is a per-process virtual address.
+type VirtAddr uint64
+
+// PageSize and PageShift mirror the physical page geometry.
+const (
+	PageSize  = mem.PageSize
+	PageShift = mem.PageShift
+)
+
+// PageBase returns the page-aligned base of v.
+func PageBase(v VirtAddr) VirtAddr { return v &^ (PageSize - 1) }
+
+// FaultKind classifies a translation fault.
+type FaultKind int
+
+// Translation fault kinds.
+const (
+	FaultNotPresent FaultKind = iota // no mapping for the page
+	FaultAccessFlag                  // young bit clear: first touch of the page
+	FaultProtection                  // write to a read-only page
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNotPresent:
+		return "not-present"
+	case FaultAccessFlag:
+		return "access-flag"
+	case FaultProtection:
+		return "protection"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault describes a failed translation. It implements error so unhandled
+// faults propagate naturally.
+type Fault struct {
+	Kind  FaultKind
+	Addr  VirtAddr
+	Write bool
+}
+
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("mmu: %s fault on %s of %#x", f.Kind, op, uint64(f.Addr))
+}
+
+// PTE is a page-table entry. Phys is the physical page base the virtual page
+// currently maps to — under Sentry this may point into a locked cache way's
+// alias region rather than the page's home DRAM frame.
+type PTE struct {
+	Phys     mem.PhysAddr
+	Present  bool
+	Writable bool
+	Young    bool // access flag: clear ⇒ trap on next access
+
+	// Sentry bookkeeping carried in software-defined PTE bits.
+	Encrypted bool // the DRAM frame holds ciphertext
+	Shared    bool // mapped by more than one process
+}
+
+// AddressSpace is one process's page table.
+type AddressSpace struct {
+	entries map[uint64]*PTE // vpn → pte
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{entries: make(map[uint64]*PTE)}
+}
+
+// Map installs pte for the page containing v (page-aligned internally).
+func (a *AddressSpace) Map(v VirtAddr, pte PTE) {
+	p := pte
+	a.entries[uint64(PageBase(v))>>PageShift] = &p
+}
+
+// Unmap removes the mapping for the page containing v.
+func (a *AddressSpace) Unmap(v VirtAddr) {
+	delete(a.entries, uint64(PageBase(v))>>PageShift)
+}
+
+// Lookup returns the PTE for the page containing v, or nil. The returned
+// pointer is live: mutating it changes the page table, which is how fault
+// handlers fix entries up.
+func (a *AddressSpace) Lookup(v VirtAddr) *PTE {
+	return a.entries[uint64(PageBase(v))>>PageShift]
+}
+
+// Pages returns the mapped virtual page bases in ascending order.
+func (a *AddressSpace) Pages() []VirtAddr {
+	out := make([]VirtAddr, 0, len(a.entries))
+	for vpn := range a.entries {
+		out = append(out, VirtAddr(vpn<<PageShift))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of mapped pages.
+func (a *AddressSpace) Len() int { return len(a.entries) }
+
+// Translate resolves v for a read or write access. On success it returns
+// the physical address; otherwise the fault the hardware would raise.
+// A fault is raised for: missing mapping, clear young bit (access-flag
+// fault — Sentry's page-in trap), or a write to a read-only page.
+func (a *AddressSpace) Translate(v VirtAddr, write bool) (mem.PhysAddr, *Fault) {
+	pte := a.Lookup(v)
+	if pte == nil || !pte.Present {
+		return 0, &Fault{Kind: FaultNotPresent, Addr: v, Write: write}
+	}
+	if !pte.Young {
+		return 0, &Fault{Kind: FaultAccessFlag, Addr: v, Write: write}
+	}
+	if write && !pte.Writable {
+		return 0, &Fault{Kind: FaultProtection, Addr: v, Write: write}
+	}
+	return pte.Phys + mem.PhysAddr(uint64(v)&(PageSize-1)), nil
+}
+
+// ClearYoungAll clears the young bit on every mapping, arming a trap on the
+// next touch of each page. Sentry uses this when transitioning a process to
+// encrypted state.
+func (a *AddressSpace) ClearYoungAll() {
+	for _, pte := range a.entries {
+		pte.Young = false
+	}
+}

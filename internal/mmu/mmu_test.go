@@ -1,0 +1,129 @@
+package mmu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sentry/internal/mem"
+)
+
+func TestMapTranslate(t *testing.T) {
+	a := NewAddressSpace()
+	a.Map(0x1000, PTE{Phys: 0x80004000, Present: true, Writable: true, Young: true})
+	p, f := a.Translate(0x1234, false)
+	if f != nil {
+		t.Fatalf("fault: %v", f)
+	}
+	if p != 0x80004234 {
+		t.Fatalf("phys = %#x", uint64(p))
+	}
+}
+
+func TestNotPresentFault(t *testing.T) {
+	a := NewAddressSpace()
+	_, f := a.Translate(0x5000, false)
+	if f == nil || f.Kind != FaultNotPresent {
+		t.Fatalf("fault = %v", f)
+	}
+	var err error = f
+	if !errors.As(err, &f) {
+		t.Fatal("Fault should be an error")
+	}
+}
+
+func TestYoungBitFault(t *testing.T) {
+	a := NewAddressSpace()
+	a.Map(0x1000, PTE{Phys: 0x80000000, Present: true, Writable: true, Young: false})
+	_, f := a.Translate(0x1000, false)
+	if f == nil || f.Kind != FaultAccessFlag {
+		t.Fatalf("fault = %v", f)
+	}
+	// Fix up like a fault handler would, then retry.
+	a.Lookup(0x1000).Young = true
+	if _, f := a.Translate(0x1000, false); f != nil {
+		t.Fatalf("still faulting after young set: %v", f)
+	}
+}
+
+func TestProtectionFault(t *testing.T) {
+	a := NewAddressSpace()
+	a.Map(0x1000, PTE{Phys: 0x80000000, Present: true, Writable: false, Young: true})
+	if _, f := a.Translate(0x1000, false); f != nil {
+		t.Fatalf("read should succeed: %v", f)
+	}
+	_, f := a.Translate(0x1000, true)
+	if f == nil || f.Kind != FaultProtection || !f.Write {
+		t.Fatalf("fault = %v", f)
+	}
+}
+
+func TestClearYoungAllArmsEveryPage(t *testing.T) {
+	a := NewAddressSpace()
+	for i := 0; i < 10; i++ {
+		a.Map(VirtAddr(i*PageSize), PTE{Phys: mem.PhysAddr(i * PageSize), Present: true, Young: true})
+	}
+	a.ClearYoungAll()
+	for i := 0; i < 10; i++ {
+		if _, f := a.Translate(VirtAddr(i*PageSize), false); f == nil || f.Kind != FaultAccessFlag {
+			t.Fatalf("page %d not armed: %v", i, f)
+		}
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	a := NewAddressSpace()
+	a.Map(0x2000, PTE{Present: true, Young: true})
+	a.Unmap(0x2abc) // same page
+	if a.Lookup(0x2000) != nil {
+		t.Fatal("unmap failed")
+	}
+	if a.Len() != 0 {
+		t.Fatal("len after unmap")
+	}
+}
+
+func TestPagesSorted(t *testing.T) {
+	a := NewAddressSpace()
+	for _, v := range []VirtAddr{0x5000, 0x1000, 0x3000} {
+		a.Map(v, PTE{Present: true})
+	}
+	pages := a.Pages()
+	if len(pages) != 3 || pages[0] != 0x1000 || pages[1] != 0x3000 || pages[2] != 0x5000 {
+		t.Fatalf("pages = %v", pages)
+	}
+}
+
+func TestMapCopiesPTE(t *testing.T) {
+	a := NewAddressSpace()
+	pte := PTE{Present: true, Young: true}
+	a.Map(0x1000, pte)
+	pte.Present = false
+	if !a.Lookup(0x1000).Present {
+		t.Fatal("Map aliased caller's PTE")
+	}
+}
+
+// Property: translation preserves the page offset and maps to the installed
+// frame for arbitrary addresses.
+func TestTranslateOffsetProperty(t *testing.T) {
+	f := func(vpnRaw uint16, off uint16, frameRaw uint16) bool {
+		a := NewAddressSpace()
+		v := VirtAddr(vpnRaw) << PageShift
+		frame := mem.PhysAddr(frameRaw) << PageShift
+		a.Map(v, PTE{Phys: frame, Present: true, Writable: true, Young: true})
+		addr := v + VirtAddr(off%PageSize)
+		p, fault := a.Translate(addr, true)
+		return fault == nil && p == frame+mem.PhysAddr(off%PageSize)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultErrorStrings(t *testing.T) {
+	f := &Fault{Kind: FaultAccessFlag, Addr: 0x1000, Write: true}
+	if f.Error() == "" || FaultNotPresent.String() == "" || FaultProtection.String() == "" {
+		t.Fatal("empty strings")
+	}
+}

@@ -1,0 +1,179 @@
+package onsoc
+
+import (
+	"fmt"
+
+	"sentry/internal/aes"
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// Placement says where an AES arena lives, which decides its security.
+type Placement int
+
+// Arena placements.
+const (
+	// PlaceDRAM is the generic-library baseline: arena in cacheable DRAM.
+	// Cold boot recovers the schedule; bus monitoring sees miss traffic.
+	PlaceDRAM Placement = iota
+	// PlaceDRAMUncached is DRAM through a device mapping (as DMA-coherent
+	// crypto buffers are mapped): every lookup is bus-visible.
+	PlaceDRAMUncached
+	// PlaceIRAM is AES On SoC with state in internal SRAM.
+	PlaceIRAM
+	// PlaceLockedWay is AES On SoC with state in a locked L2 way.
+	PlaceLockedWay
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceDRAM:
+		return "generic-dram"
+	case PlaceDRAMUncached:
+		return "generic-dram-uncached"
+	case PlaceIRAM:
+		return "onsoc-iram"
+	case PlaceLockedWay:
+		return "onsoc-locked-l2"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// OnSoC reports whether the placement keeps state inside the SoC package.
+func (p Placement) OnSoC() bool { return p == PlaceIRAM || p == PlaceLockedWay }
+
+// AES is an AES-CBC engine whose state placement is explicit. On-SoC
+// placements additionally run every operation inside the paper's
+// onsoc_disable_irq()/onsoc_enable_irq() bracket: interrupts masked for the
+// duration, registers zeroed before re-enabling, and (by construction of
+// the placed cipher) at most four register-passed arguments, so nothing
+// secret can transit to a DRAM stack.
+type AES struct {
+	Cipher *aes.PlacedCipher
+	Store  *CPUStore
+
+	s       *soc.SoC
+	place   Placement
+	release func() error
+}
+
+// NewInIRAM builds an AES On SoC instance with its arena allocated from
+// iRAM.
+func NewInIRAM(s *soc.SoC, alloc *IRAMAlloc, key []byte) (*AES, error) {
+	base, err := alloc.Alloc(aes.ArenaSize)
+	if err != nil {
+		return nil, err
+	}
+	a, err := build(s, base, PlaceIRAM, key)
+	if err != nil {
+		alloc.Release(base)
+		return nil, err
+	}
+	a.release = func() error {
+		a.wipeArena()
+		alloc.Release(base)
+		return nil
+	}
+	return a, nil
+}
+
+// NewInLockedWay builds an AES On SoC instance with its arena in locked L2
+// (one way is plenty: the arena is ~3 KB of a 128 KB way).
+func NewInLockedWay(s *soc.SoC, locker *WayLocker, key []byte) (*AES, error) {
+	base, err := locker.Alloc(aes.ArenaSize)
+	if err != nil {
+		return nil, err
+	}
+	return build(s, base, PlaceLockedWay, key)
+}
+
+// NewGeneric builds the unsafe baseline with the arena at an ordinary DRAM
+// address (uncached=true models a device-mapped crypto buffer).
+func NewGeneric(s *soc.SoC, arena mem.PhysAddr, key []byte, uncached bool) (*AES, error) {
+	place := PlaceDRAM
+	if uncached {
+		place = PlaceDRAMUncached
+	}
+	return build(s, arena, place, key)
+}
+
+func build(s *soc.SoC, base mem.PhysAddr, place Placement, key []byte) (*AES, error) {
+	st := NewCPUStore(s.CPU, base, place == PlaceDRAMUncached)
+	st.Mirror = true
+	a := &AES{Store: st, s: s, place: place}
+	// On-SoC arenas are initialised under the bracket too: key expansion
+	// itself handles the key.
+	var c *aes.PlacedCipher
+	err := a.bracket(func() error {
+		var err error
+		c, err = aes.NewPlaced(st, key, s.Prof.Costs.AESRoundCompute)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	a.Cipher = c
+	return a, nil
+}
+
+// Placement returns where this engine's state lives.
+func (a *AES) Placement() Placement { return a.place }
+
+// ArenaBase returns the arena's physical base address.
+func (a *AES) ArenaBase() mem.PhysAddr { return a.Store.Base }
+
+// Release erases and frees on-SoC resources. Safe to call once.
+func (a *AES) Release() error {
+	if a.release != nil {
+		r := a.release
+		a.release = nil
+		return r()
+	}
+	return nil
+}
+
+// bracket runs fn inside the IRQ-off/zero-regs bracket when the placement
+// is on-SoC. Generic placements run fn bare — with interrupts enabled and
+// registers left dirty, exactly like library code.
+func (a *AES) bracket(fn func() error) error {
+	if !a.place.OnSoC() {
+		return fn()
+	}
+	a.s.CPU.DisableIRQ()
+	defer func() {
+		a.s.CPU.ZeroRegs()
+		a.s.CPU.EnableIRQ()
+	}()
+	return fn()
+}
+
+// wipeArena overwrites the arena with 0xFF before releasing it.
+func (a *AES) wipeArena() {
+	for off := 0; off < aes.ArenaSize; off += 4 {
+		a.Store.Store32(off, 0xFFFFFFFF)
+	}
+}
+
+// EncryptCBC encrypts src into dst with full memory fidelity (every state
+// access individually simulated).
+func (a *AES) EncryptCBC(dst, src, iv []byte) error {
+	return a.bracket(func() error { return a.Cipher.EncryptCBC(dst, src, iv) })
+}
+
+// DecryptCBC decrypts src into dst with full memory fidelity.
+func (a *AES) DecryptCBC(dst, src, iv []byte) error {
+	return a.bracket(func() error { return a.Cipher.DecryptCBC(dst, src, iv) })
+}
+
+// EncryptCBCBulk encrypts with statistically charged state traffic; the
+// bracket is applied per call, so callers encrypt page-at-a-time to keep
+// interrupt-off windows short (the paper measures ~160 µs).
+func (a *AES) EncryptCBCBulk(dst, src, iv []byte) error {
+	return a.bracket(func() error { return a.Cipher.EncryptCBCBulk(dst, src, iv) })
+}
+
+// DecryptCBCBulk decrypts with statistically charged state traffic.
+func (a *AES) DecryptCBCBulk(dst, src, iv []byte) error {
+	return a.bracket(func() error { return a.Cipher.DecryptCBCBulk(dst, src, iv) })
+}

@@ -1,0 +1,67 @@
+package onsoc
+
+import (
+	"fmt"
+	"sort"
+
+	"sentry/internal/mem"
+)
+
+// IRAMAlloc is the "simple memory allocator that manages the 192 KB of
+// iRAM" from §4.5: a first-fit allocator over the usable (non-firmware)
+// portion of iRAM. Allocation metadata is host-side; only payload bytes
+// live in simulated memory.
+type IRAMAlloc struct {
+	base  mem.PhysAddr
+	size  uint64
+	inUse map[mem.PhysAddr]uint64 // base → length
+}
+
+// NewIRAMAlloc returns an allocator over [base, base+size).
+func NewIRAMAlloc(base mem.PhysAddr, size uint64) *IRAMAlloc {
+	return &IRAMAlloc{base: base, size: size, inUse: make(map[mem.PhysAddr]uint64)}
+}
+
+// Free returns the number of free bytes (possibly fragmented).
+func (a *IRAMAlloc) Free() uint64 {
+	used := uint64(0)
+	for _, n := range a.inUse {
+		used += n
+	}
+	return a.size - used
+}
+
+// Alloc reserves n bytes, 4-byte aligned, first fit.
+func (a *IRAMAlloc) Alloc(n uint64) (mem.PhysAddr, error) {
+	n = (n + 3) &^ 3
+	if n == 0 {
+		return 0, fmt.Errorf("onsoc: zero-length iRAM allocation")
+	}
+	// Walk live allocations in address order looking for a gap.
+	bases := make([]mem.PhysAddr, 0, len(a.inUse))
+	for b := range a.inUse {
+		bases = append(bases, b)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	cursor := a.base
+	for _, b := range bases {
+		if uint64(b-cursor) >= n {
+			break
+		}
+		cursor = b + mem.PhysAddr(a.inUse[b])
+	}
+	if uint64(cursor-a.base)+n > a.size {
+		return 0, fmt.Errorf("onsoc: iRAM exhausted: need %d bytes, %d free", n, a.Free())
+	}
+	a.inUse[cursor] = n
+	return cursor, nil
+}
+
+// Release frees the allocation at base. Releasing an unknown base panics:
+// it is always a caller bug.
+func (a *IRAMAlloc) Release(base mem.PhysAddr) {
+	if _, ok := a.inUse[base]; !ok {
+		panic(fmt.Sprintf("onsoc: release of unallocated iRAM %#x", uint64(base)))
+	}
+	delete(a.inUse, base)
+}

@@ -1,0 +1,162 @@
+package onsoc
+
+import (
+	"fmt"
+
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// WayLocker manages L2 cache-way locking exactly as §4.5 describes. Each
+// locked way is backed by a way-sized, way-aligned DRAM "alias region": a
+// contiguous physical range that maps one line onto every set of the cache,
+// so warming the region with only the target way allocation-enabled pins
+// the whole region on-SoC. Pointers into the alias region are then handed
+// out as on-SoC memory; the data behind them never reaches the DRAM chips
+// while the way stays locked.
+//
+// The locker also maintains the flush mask the patched kernel must use:
+// flushing a locked way would write the plaintext back to DRAM (the hazard
+// validated by the cache tests), so every L2 maintenance call in the OS
+// goes through FlushMask().
+type WayLocker struct {
+	soc        *soc.SoC
+	aliasBase  mem.PhysAddr // way-aligned DRAM base for way 0's alias region
+	lockedMask uint32
+	allocOff   map[int]uint64 // per-way bump-allocation offset
+}
+
+// NewWayLocker reserves alias regions starting at aliasBase (which must be
+// way-size aligned) — one way-sized region per cache way.
+func NewWayLocker(s *soc.SoC, aliasBase mem.PhysAddr) (*WayLocker, error) {
+	if !s.Prof.CacheLockable {
+		return nil, fmt.Errorf("onsoc: platform %s does not permit cache locking (firmware)", s.Prof.Name)
+	}
+	waySize := uint64(s.Prof.Cache.WaySize)
+	if uint64(aliasBase)%waySize != 0 {
+		return nil, fmt.Errorf("onsoc: alias base %#x not aligned to way size %d", uint64(aliasBase), waySize)
+	}
+	return &WayLocker{soc: s, aliasBase: aliasBase, allocOff: make(map[int]uint64)}, nil
+}
+
+// LockedMask returns the mask of currently locked ways.
+func (w *WayLocker) LockedMask() uint32 { return w.lockedMask }
+
+// LockedBytes returns the cache capacity currently pinned.
+func (w *WayLocker) LockedBytes() int {
+	n := 0
+	for m := w.lockedMask; m != 0; m &= m - 1 {
+		n += w.soc.Prof.Cache.WaySize
+	}
+	return n
+}
+
+// FlushMask returns the way mask the kernel must pass to every L2
+// clean/invalidate: all ways except the locked ones.
+func (w *WayLocker) FlushMask() uint32 {
+	return w.soc.L2.AllWaysMask() &^ w.lockedMask
+}
+
+// WayBase returns the alias-region base address of way i.
+func (w *WayLocker) WayBase(i int) mem.PhysAddr {
+	return w.aliasBase + mem.PhysAddr(i*w.soc.Prof.Cache.WaySize)
+}
+
+// LockWay pins the next free way and returns its index and the base of its
+// on-SoC region. The sequence is the paper's four steps:
+//
+//  1. flush the (unlocked part of the) cache
+//  2. enable allocation in the target way only
+//  3. warm the way by writing 0xFF over its whole alias region
+//  4. re-enable the remaining unlocked ways, excluding the target
+func (w *WayLocker) LockWay() (way int, base mem.PhysAddr, err error) {
+	l2 := w.soc.L2
+	way = -1
+	for i := 0; i < w.soc.Prof.Cache.Ways; i++ {
+		if w.lockedMask&(1<<i) == 0 {
+			way = i
+			break
+		}
+	}
+	if way < 0 {
+		return 0, 0, fmt.Errorf("onsoc: all %d ways already locked", w.soc.Prof.Cache.Ways)
+	}
+
+	err = w.soc.TZ.WithSecure(func() error {
+		// Step 1: flush everything that is legal to flush.
+		l2.CleanInvalidateWays(w.FlushMask())
+		// Step 2: allocation to the target way only.
+		if err := w.soc.TZ.SetCacheAllocMask(l2, 1<<way); err != nil {
+			return err
+		}
+		// Step 3: warm the way — 0xFF over the whole alias region loads one
+		// line into every set of the target way.
+		base = w.WayBase(way)
+		ff := make([]byte, 1024)
+		for i := range ff {
+			ff[i] = 0xFF
+		}
+		for off := 0; off < w.soc.Prof.Cache.WaySize; off += len(ff) {
+			w.soc.CPU.WritePhys(base+mem.PhysAddr(off), ff)
+		}
+		// Step 4: re-enable all ways that are not locked (old or new).
+		w.lockedMask |= 1 << way
+		return w.soc.TZ.SetCacheAllocMask(l2, l2.AllWaysMask()&^w.lockedMask)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	w.allocOff[way] = 0
+	return way, base, nil
+}
+
+// UnlockWay erases and releases a locked way: overwrite the sensitive data
+// with 0xFF, drop the lines without write-back, and restore the allocation
+// mask.
+func (w *WayLocker) UnlockWay(way int) error {
+	if w.lockedMask&(1<<way) == 0 {
+		return fmt.Errorf("onsoc: way %d is not locked", way)
+	}
+	return w.soc.TZ.WithSecure(func() error {
+		base := w.WayBase(way)
+		ff := make([]byte, 1024)
+		for i := range ff {
+			ff[i] = 0xFF
+		}
+		for off := 0; off < w.soc.Prof.Cache.WaySize; off += len(ff) {
+			w.soc.CPU.WritePhys(base+mem.PhysAddr(off), ff)
+		}
+		// Drop the erased lines without cleaning them: nothing of value may
+		// transit to DRAM, not even the 0xFF fill.
+		w.soc.L2.InvalidateWays(1 << way)
+		w.lockedMask &^= 1 << way
+		delete(w.allocOff, way)
+		return w.soc.TZ.SetCacheAllocMask(w.soc.L2, w.soc.L2.AllWaysMask()&^w.lockedMask)
+	})
+}
+
+// Alloc bump-allocates n bytes of on-SoC memory from an already locked way,
+// locking a fresh way when the current ones are exhausted — the paper's
+// "once the entire way has been allocated, we lock an additional way".
+func (w *WayLocker) Alloc(n uint64) (mem.PhysAddr, error) {
+	n = (n + 3) &^ 3
+	for way := 0; way < w.soc.Prof.Cache.Ways; way++ {
+		if w.lockedMask&(1<<way) == 0 {
+			continue
+		}
+		off := w.allocOff[way]
+		if off+n <= uint64(w.soc.Prof.Cache.WaySize) {
+			w.allocOff[way] = off + n
+			return w.WayBase(way) + mem.PhysAddr(off), nil
+		}
+	}
+	way, base, err := w.LockWay()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(w.soc.Prof.Cache.WaySize) {
+		return 0, fmt.Errorf("onsoc: allocation of %d bytes exceeds way size", n)
+	}
+	w.allocOff[way] = n
+	return base, nil
+}

@@ -1,0 +1,98 @@
+package onsoc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// Property: under any interleaving of allocations and releases, live iRAM
+// allocations never overlap and never leave the arena.
+func TestIRAMAllocNoOverlapProperty(t *testing.T) {
+	type op struct {
+		Alloc bool
+		Size  uint16
+		Pick  uint8
+	}
+	f := func(ops []op) bool {
+		const base, size = 0x40010000, 32 << 10
+		a := NewIRAMAlloc(base, size)
+		live := map[mem.PhysAddr]uint64{}
+		for _, o := range ops {
+			if o.Alloc {
+				n := uint64(o.Size%2048) + 1
+				p, err := a.Alloc(n)
+				if err != nil {
+					continue // exhaustion is fine
+				}
+				n = (n + 3) &^ 3
+				if p < base || uint64(p-base)+n > size {
+					return false // escaped the arena
+				}
+				for q, m := range live {
+					if p < q+mem.PhysAddr(m) && q < p+mem.PhysAddr(n) {
+						return false // overlap
+					}
+				}
+				live[p] = n
+			} else if len(live) > 0 {
+				// Release an arbitrary live allocation.
+				i := int(o.Pick) % len(live)
+				for q := range live {
+					if i == 0 {
+						a.Release(q)
+						delete(live, q)
+						break
+					}
+					i--
+				}
+			}
+		}
+		// Accounting: free bytes equal capacity minus live bytes.
+		used := uint64(0)
+		for _, m := range live {
+			used += m
+		}
+		return a.Free() == size-used
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: way-locker bump allocations never overlap across ways and the
+// flush mask always excludes exactly the locked ways.
+func TestWayLockerAllocProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := tegra()
+		w, err := NewWayLocker(s, aliasBase)
+		if err != nil {
+			return false
+		}
+		type span struct{ base, n mem.PhysAddr }
+		var spans []span
+		for _, raw := range sizes {
+			n := uint64(raw%8192) + 4
+			p, err := w.Alloc(n)
+			if err != nil {
+				break // out of ways
+			}
+			n = (n + 3) &^ 3
+			for _, sp := range spans {
+				if p < sp.base+sp.n && sp.base < p+mem.PhysAddr(n) {
+					return false
+				}
+			}
+			spans = append(spans, span{p, mem.PhysAddr(n)})
+		}
+		return w.FlushMask() == s.L2.AllWaysMask()&^w.LockedMask()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tegra returns a fresh Tegra 3 platform for property iterations.
+func tegra() *soc.SoC { return soc.Tegra3(1) }

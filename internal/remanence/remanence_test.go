@@ -1,0 +1,118 @@
+package remanence
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+func TestCalibrationAnchors(t *testing.T) {
+	// The DRAM curve must reproduce the paper's Table 2 pattern-survival
+	// numbers at room temperature: 97.5 % after the ~50 ms reflash blip and
+	// 0.1 % after the 2 s reset, measured on 8-byte patterns.
+	got := DRAMCurve.PatternRetention(0.05, RoomTempC, 8)
+	if math.Abs(got-0.975) > 0.005 {
+		t.Errorf("reflash pattern retention = %.4f, want ~0.975", got)
+	}
+	got = DRAMCurve.PatternRetention(2.0, RoomTempC, 8)
+	if math.Abs(got-0.001) > 0.0005 {
+		t.Errorf("2s reset pattern retention = %.5f, want ~0.001", got)
+	}
+}
+
+func TestZeroTimeRetainsEverything(t *testing.T) {
+	if DRAMCurve.ByteRetention(0, RoomTempC) != 1 {
+		t.Fatal("no power loss must retain 100%")
+	}
+}
+
+func TestSRAMDecaysSlowerThanDRAM(t *testing.T) {
+	for _, tt := range []float64{0.01, 0.1, 1, 2, 10} {
+		if SRAMCurve.ByteRetention(tt, RoomTempC) <= DRAMCurve.ByteRetention(tt, RoomTempC) {
+			t.Fatalf("SRAM should retain more than DRAM at t=%v", tt)
+		}
+	}
+}
+
+func TestColdSlowsDecay(t *testing.T) {
+	warm := DRAMCurve.ByteRetention(2, RoomTempC)
+	frozen := DRAMCurve.ByteRetention(2, -20)
+	if frozen <= warm {
+		t.Fatalf("freezing must slow decay: frozen=%v warm=%v", frozen, warm)
+	}
+	// The FROST attack works because a frozen phone retains most contents
+	// through a reboot-length power cut.
+	if frozen < 0.9 {
+		t.Fatalf("frozen 2s retention = %v, expected > 0.9", frozen)
+	}
+}
+
+// Property: retention is monotone non-increasing in time and temperature.
+func TestRetentionMonotone(t *testing.T) {
+	f := func(aRaw, bRaw uint16, tempRaw int8) bool {
+		a, b := float64(aRaw)/1000, float64(bRaw)/1000
+		if a > b {
+			a, b = b, a
+		}
+		temp := float64(tempRaw)
+		if DRAMCurve.ByteRetention(a, temp) < DRAMCurve.ByteRetention(b, temp) {
+			return false
+		}
+		// colder retains at least as much
+		return DRAMCurve.ByteRetention(b, temp-10) >= DRAMCurve.ByteRetention(b, temp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecayDevice(t *testing.T) {
+	d := mem.NewDevice("dram", mem.TechDRAM, 0, 1<<20)
+	pattern := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04}
+	for off := uint64(0); off < 1<<20; off += 8 {
+		d.Store().Write(off, pattern)
+	}
+	rng := sim.NewRNG(42)
+	Decay(d, rng, 2.0, RoomTempC)
+
+	// Count surviving patterns; expect ~0.1%.
+	survived, total := 0, 0
+	buf := make([]byte, 8)
+	for off := uint64(0); off < 1<<20; off += 8 {
+		d.Store().Read(off, buf)
+		total++
+		if string(buf) == string(pattern) {
+			survived++
+		}
+	}
+	frac := float64(survived) / float64(total)
+	if frac > 0.01 {
+		t.Fatalf("after 2s, %.4f of patterns survived; want ~0.001", frac)
+	}
+}
+
+func TestDecayZeroSecondsIsNoOp(t *testing.T) {
+	d := mem.NewDevice("dram", mem.TechDRAM, 0, 4096)
+	d.Store().Write(0, []byte{1, 2, 3, 4})
+	Decay(d, sim.NewRNG(1), 0, RoomTempC)
+	buf := make([]byte, 4)
+	d.Store().Read(0, buf)
+	if buf[0] != 1 || buf[3] != 4 {
+		t.Fatal("zero-time decay mutated memory")
+	}
+}
+
+func TestGroundByteAlternatesByRow(t *testing.T) {
+	if GroundByte(0) != 0x00 || GroundByte(64) != 0xFF || GroundByte(128) != 0x00 {
+		t.Fatal("ground pattern should alternate per 64-byte row")
+	}
+}
+
+func TestCurveForTechnology(t *testing.T) {
+	if CurveFor(mem.TechSRAM) != SRAMCurve || CurveFor(mem.TechDRAM) != DRAMCurve {
+		t.Fatal("CurveFor mismatch")
+	}
+}

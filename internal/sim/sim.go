@@ -1,0 +1,256 @@
+// Package sim provides the deterministic simulation core shared by every
+// hardware model in this repository: a cycle-accurate virtual clock, the
+// per-platform cost and energy tables, and a seeded random source.
+//
+// Everything that "takes time" in the simulated SoC — a DRAM burst, an L2
+// hit, an AES round, a page-fault trap — charges cycles to a Clock and
+// picojoules to an energy Meter. Wall-clock time never leaks into results,
+// which keeps every experiment reproducible bit-for-bit from a seed.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Clock is the simulated time source. One Clock is shared by all components
+// of a platform. Time is kept in cycles of the platform's base frequency and
+// converted to seconds on demand.
+type Clock struct {
+	mu     sync.Mutex
+	cycles uint64
+	// HzBase is the frequency used to convert cycles to wall time.
+	hz uint64
+}
+
+// NewClock returns a clock ticking at the given base frequency in Hz.
+func NewClock(hz uint64) *Clock {
+	if hz == 0 {
+		panic("sim: clock frequency must be non-zero")
+	}
+	return &Clock{hz: hz}
+}
+
+// Advance charges n cycles to the clock.
+func (c *Clock) Advance(n uint64) {
+	c.mu.Lock()
+	c.cycles += n
+	c.mu.Unlock()
+}
+
+// Cycles returns the total cycles elapsed.
+func (c *Clock) Cycles() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cycles
+}
+
+// Hz returns the clock's base frequency.
+func (c *Clock) Hz() uint64 { return c.hz }
+
+// Seconds converts the elapsed cycles to seconds.
+func (c *Clock) Seconds() float64 {
+	return float64(c.Cycles()) / float64(c.hz)
+}
+
+// SecondsFor converts a cycle count to seconds at this clock's frequency.
+func (c *Clock) SecondsFor(cycles uint64) float64 {
+	return float64(cycles) / float64(c.hz)
+}
+
+// Span measures the cycles consumed by fn.
+func (c *Clock) Span(fn func()) uint64 {
+	start := c.Cycles()
+	fn()
+	return c.Cycles() - start
+}
+
+// CostTable holds the cycle cost of every primitive hardware operation. The
+// defaults are calibrated per platform in package soc so that the absolute
+// throughput anchors from the paper (e.g. AES MB/s in Figure 11) come out in
+// the right range.
+type CostTable struct {
+	// Memory hierarchy, per 32-bit word access unless noted.
+	DRAMAccess  uint64 // CPU load/store that reaches DRAM (L2 miss, uncached)
+	L2Hit       uint64 // CPU load/store served by the L2 cache
+	IRAMAccess  uint64 // CPU load/store to on-SoC SRAM
+	DRAMBurst   uint64 // per cache-line fill/write-back on the external bus
+	DMAWordCost uint64 // DMA engine per-word transfer cost
+
+	// CPU events.
+	ContextSwitch uint64 // register spill + scheduler dispatch
+	PageFaultTrap uint64 // trap entry/exit overhead, excluding handler work
+	IRQToggle     uint64 // enable or disable interrupts
+	TLBFill       uint64 // page-table walk on translation
+	BypassPenalty uint64 // extra cost when the L2 cannot allocate (all ways
+	// locked): single-beat non-cacheable transactions forgo burst transfers
+
+	// Crypto.
+	AESRoundCompute uint64 // ALU work per AES round per 16-byte block,
+	// excluding the table-lookup memory traffic which is charged through the
+	// memory hierarchy costs above.
+	AcceleratorSetup   uint64  // fixed cost to program the crypto accelerator
+	AcceleratorPerByte float64 // accelerator cycles per byte at full clock
+}
+
+// EnergyTable holds per-operation energy in picojoules. Values are
+// calibrated so full-system numbers (Figure 5, Figure 12, the 70 J
+// whole-memory encryption anchor) land in the paper's range.
+type EnergyTable struct {
+	DRAMAccessPJ   float64 // per 32-bit word moved over the external bus
+	L2HitPJ        float64
+	IRAMAccessPJ   float64
+	CPUCyclePJ     float64 // dynamic energy per busy CPU cycle
+	AccelByteP_J   float64 // accelerator energy per byte
+	AccelSetupPJ   float64
+	PageZeroPerMB  float64 // µJ per MB for the freed-page zeroing thread, in pJ units
+	BatteryJ       float64 // usable battery capacity in Joules
+	IdleSystemPJPC float64 // static leakage per cycle (whole SoC)
+}
+
+// Meter accumulates energy in picojoules.
+type Meter struct {
+	mu sync.Mutex
+	pj float64
+}
+
+// Charge adds pj picojoules to the meter.
+func (m *Meter) Charge(pj float64) {
+	m.mu.Lock()
+	m.pj += pj
+	m.mu.Unlock()
+}
+
+// PJ returns accumulated picojoules.
+func (m *Meter) PJ() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pj
+}
+
+// Joules returns accumulated energy in Joules.
+func (m *Meter) Joules() float64 { return m.PJ() * 1e-12 }
+
+// MicroJoules returns accumulated energy in µJ.
+func (m *Meter) MicroJoules() float64 { return m.PJ() * 1e-6 }
+
+// Span measures the energy consumed by fn.
+func (m *Meter) Span(fn func()) float64 {
+	start := m.PJ()
+	fn()
+	return m.PJ() - start
+}
+
+// RNG wraps a seeded deterministic random source. All stochastic models
+// (remanence decay, workload access patterns) draw from an RNG owned by the
+// platform so experiments replay identically for a fixed seed.
+type RNG struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+// NewRNG returns a deterministic random source for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Float64()
+}
+
+// Intn returns a uniform value in [0,n).
+func (g *RNG) Intn(n int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Intn(n)
+}
+
+// Uint32 returns a uniform 32-bit value.
+func (g *RNG) Uint32() uint32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Uint32()
+}
+
+// Uint64 returns a uniform 64-bit value.
+func (g *RNG) Uint64() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Uint64()
+}
+
+// Read fills p with random bytes. It always returns len(p), nil.
+func (g *RNG) Read(p []byte) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Read(p)
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Perm(n)
+}
+
+// Event is a single entry in a component trace.
+type Event struct {
+	Cycle uint64
+	Kind  string
+	Attrs string
+}
+
+// Tracer is an optional, bounded event recorder. A nil *Tracer is valid and
+// records nothing, so components can trace unconditionally.
+type Tracer struct {
+	mu     sync.Mutex
+	max    int
+	events []Event
+}
+
+// NewTracer returns a tracer retaining at most max events (0 means 4096).
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Tracer{max: max}
+}
+
+// Record appends an event unless the tracer is nil or full.
+func (t *Tracer) Record(cycle uint64, kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= t.max {
+		return
+	}
+	t.events = append(t.events, Event{Cycle: cycle, Kind: kind, Attrs: fmt.Sprintf(format, args...)})
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Reset clears the recorded events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = nil
+	t.mu.Unlock()
+}

@@ -1,0 +1,150 @@
+package sim
+
+import "testing"
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(1_200_000_000)
+	c.Advance(600_000_000)
+	if got := c.Seconds(); got != 0.5 {
+		t.Fatalf("Seconds = %v, want 0.5", got)
+	}
+	if c.Cycles() != 600_000_000 {
+		t.Fatalf("Cycles = %d", c.Cycles())
+	}
+}
+
+func TestClockSpan(t *testing.T) {
+	c := NewClock(1e9)
+	n := c.Span(func() { c.Advance(42) })
+	if n != 42 {
+		t.Fatalf("Span = %d, want 42", n)
+	}
+}
+
+func TestClockZeroHzPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestMeter(t *testing.T) {
+	var m Meter
+	m.Charge(2.5e12)
+	if got := m.Joules(); got != 2.5 {
+		t.Fatalf("Joules = %v", got)
+	}
+	if got := m.MicroJoules(); got != 2.5e6 {
+		t.Fatalf("MicroJoules = %v", got)
+	}
+	d := m.Span(func() { m.Charge(100) })
+	if d != 100 {
+		t.Fatalf("Span = %v", d)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+}
+
+func TestRNGRead(t *testing.T) {
+	g := NewRNG(1)
+	buf := make([]byte, 32)
+	n, err := g.Read(buf)
+	if n != 32 || err != nil {
+		t.Fatalf("Read = %d, %v", n, err)
+	}
+	allZero := true
+	for _, b := range buf {
+		if b != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("Read produced all zeroes")
+	}
+}
+
+func TestTracerBounded(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Record(1, "a", "x")
+	tr.Record(2, "b", "y=%d", 2)
+	tr.Record(3, "c", "dropped")
+	ev := tr.Events()
+	if len(ev) != 2 || ev[1].Attrs != "y=2" {
+		t.Fatalf("events = %+v", ev)
+	}
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(1, "a", "x") // must not panic
+	if tr.Events() != nil {
+		t.Fatal("nil tracer returned events")
+	}
+	tr.Reset()
+}
+
+func TestRNGHelpers(t *testing.T) {
+	g := NewRNG(5)
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		v := g.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 5 {
+		t.Fatal("Intn suspiciously non-uniform")
+	}
+	p := g.Perm(8)
+	if len(p) != 8 {
+		t.Fatal("Perm length")
+	}
+	mask := 0
+	for _, v := range p {
+		mask |= 1 << v
+	}
+	if mask != 0xFF {
+		t.Fatal("Perm is not a permutation")
+	}
+	if g.Float64() < 0 || g.Float64() >= 1 {
+		t.Fatal("Float64 range")
+	}
+	_ = g.Uint32()
+}
+
+func TestSecondsFor(t *testing.T) {
+	c := NewClock(2_000_000_000)
+	if got := c.SecondsFor(1_000_000_000); got != 0.5 {
+		t.Fatalf("SecondsFor = %v", got)
+	}
+	if c.Hz() != 2_000_000_000 {
+		t.Fatal("Hz")
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	for i := 0; i < 5000; i++ {
+		tr.Record(uint64(i), "k", "v")
+	}
+	if len(tr.Events()) != 4096 {
+		t.Fatalf("default cap = %d events", len(tr.Events()))
+	}
+}

@@ -1,0 +1,245 @@
+package soc
+
+import (
+	"testing"
+
+	"sentry/internal/firmware"
+	"sentry/internal/mem"
+	"sentry/internal/remanence"
+)
+
+func TestTegra3Profile(t *testing.T) {
+	s := Tegra3(1)
+	if s.Prof.DRAMSize != 1<<30 || s.Prof.IRAMSize != 256<<10 {
+		t.Fatal("Tegra3 memory sizes wrong")
+	}
+	if !s.Prof.CacheLockable || !s.Prof.SecureWorld {
+		t.Fatal("Tegra3 must support cache locking via TrustZone")
+	}
+	if s.Prof.BootloaderLocked {
+		t.Fatal("the dev board has an unlocked bootloader")
+	}
+	if s.L2.SizeBytes() != 1<<20 {
+		t.Fatal("Tegra3 L2 must be 1 MB")
+	}
+}
+
+func TestNexus4Profile(t *testing.T) {
+	s := Nexus4(1)
+	if s.Prof.DRAMSize != 2<<30 {
+		t.Fatal("Nexus4 must have 2 GB DRAM")
+	}
+	if s.Prof.CacheLockable || s.Prof.SecureWorld {
+		t.Fatal("Nexus4 firmware is locked: no cache locking, no secure world")
+	}
+	if !s.Prof.HasCryptoAccel || !s.Prof.BootloaderLocked {
+		t.Fatal("Nexus4 accel/bootloader flags wrong")
+	}
+	if s.TZ.Available() {
+		t.Fatal("TZ should be unavailable on Nexus4")
+	}
+}
+
+func TestUsableIRAMSkipsFirmwareRegion(t *testing.T) {
+	s := Tegra3(1)
+	base, size := s.UsableIRAM()
+	if base != IRAMBase+64<<10 || size != 192<<10 {
+		t.Fatalf("usable iRAM = %#x +%d", uint64(base), size)
+	}
+}
+
+func TestCPUCanUseIRAMAndDRAM(t *testing.T) {
+	s := Tegra3(1)
+	base, _ := s.UsableIRAM()
+	s.CPU.WritePhys(base, []byte("iram"))
+	s.CPU.WritePhys(DRAMBase, []byte("dram"))
+	got := make([]byte, 4)
+	s.CPU.ReadPhys(base, got)
+	if string(got) != "iram" {
+		t.Fatal("iram access broken")
+	}
+	s.CPU.ReadPhys(DRAMBase, got)
+	if string(got) != "dram" {
+		t.Fatal("dram access broken")
+	}
+}
+
+func TestOSRebootPreservesIRAMScribblesDRAM(t *testing.T) {
+	s := Tegra3(1)
+	base, _ := s.UsableIRAM()
+	s.IRAM.Write(base, []byte("iram-secret"))
+	s.DRAM.Write(DRAMBase, []byte("low-dram"))
+	if err := s.OSReboot(firmware.Image{Name: "os", Vendor: "vendor", ScribbleFraction: firmware.DefaultOSScribbleFraction}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 11)
+	s.IRAM.Read(base, buf)
+	if string(buf) != "iram-secret" {
+		t.Fatal("warm reboot must preserve iRAM")
+	}
+	low := make([]byte, 8)
+	s.DRAM.Read(DRAMBase, low)
+	if string(low) == "low-dram" {
+		t.Fatal("booting OS should scribble over low DRAM")
+	}
+}
+
+func TestPowerCutZeroesIRAM(t *testing.T) {
+	s := Tegra3(1)
+	base, _ := s.UsableIRAM()
+	s.IRAM.Write(base, []byte("iram-secret"))
+	s.PowerCut(0.05, remanence.RoomTempC)
+	buf := make([]byte, 11)
+	s.IRAM.Read(base, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("iRAM survived a power cut (ROM must zero it)")
+		}
+	}
+}
+
+func TestPowerCutMostlyPreservesDRAMForShortBlip(t *testing.T) {
+	s := Tegra3(1)
+	payload := []byte("REMANENT")
+	addr := func(i int) mem.PhysAddr { return DRAMBase + 0x100000 + mem.PhysAddr(64*i) }
+	for i := 0; i < 1000; i++ {
+		s.DRAM.Write(addr(i), payload)
+	}
+	s.PowerCut(0.05, remanence.RoomTempC)
+	survived := 0
+	buf := make([]byte, 8)
+	for i := 0; i < 1000; i++ {
+		s.DRAM.Read(addr(i), buf)
+		if string(buf) == "REMANENT" {
+			survived++
+		}
+	}
+	if survived < 900 {
+		t.Fatalf("only %d/1000 patterns survived a 50ms blip; want ~975", survived)
+	}
+}
+
+func TestReflashRequiresSignatureWhenLocked(t *testing.T) {
+	s := Nexus4(1)
+	err := s.Reflash(firmware.Image{Name: "frost", Vendor: ""})
+	if err != firmware.ErrUnsignedImage {
+		t.Fatalf("unsigned reflash on locked bootloader: %v", err)
+	}
+	s2 := Tegra3(1)
+	if err := s2.Reflash(firmware.Image{Name: "frost"}); err != nil {
+		t.Fatalf("unlocked bootloader refused reflash: %v", err)
+	}
+}
+
+func TestAccelDownclocksWhenLocked(t *testing.T) {
+	s := Nexus4(1)
+	awakeCycles, awakePJ := s.AccelEncryptCost(4096)
+	s.ScreenLocked = true
+	lockedCycles, lockedPJ := s.AccelEncryptCost(4096)
+	if lockedCycles <= awakeCycles || lockedPJ <= awakePJ {
+		t.Fatal("accelerator should be slower and costlier when locked")
+	}
+	ratio := float64(lockedCycles-s.Prof.Costs.AcceleratorSetup) / float64(awakeCycles-s.Prof.Costs.AcceleratorSetup)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("locked slowdown = %.2f, want ~4x", ratio)
+	}
+}
+
+func TestAccelPanicsWithoutHardware(t *testing.T) {
+	s := Tegra3(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.AccelEncryptCost(16)
+}
+
+func TestComputeChargesTimeAndEnergy(t *testing.T) {
+	s := Tegra3(1)
+	c0, e0 := s.Clock.Cycles(), s.Meter.PJ()
+	s.Compute(1000)
+	if s.Clock.Cycles()-c0 != 1000 {
+		t.Fatal("cycles not charged")
+	}
+	if s.Meter.PJ()-e0 != 1000*s.Prof.Energy.CPUCyclePJ {
+		t.Fatal("energy not charged")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() uint64 {
+		s := Tegra3(99)
+		s.DRAM.Write(DRAMBase, make([]byte, 4096))
+		s.PowerCut(2.0, remanence.RoomTempC)
+		var sum uint64
+		buf := make([]byte, 4096)
+		s.DRAM.Read(DRAMBase, buf)
+		for _, b := range buf {
+			sum = sum*31 + uint64(b)
+		}
+		return sum
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different decay")
+	}
+}
+
+func TestOSRebootResetsCacheState(t *testing.T) {
+	s := Tegra3(1)
+	s.CPU.WritePhys(DRAMBase+0x40000000-0x1000, []byte("dirty")) // high DRAM, above scribble
+	_ = s.TZ.WithSecure(func() error { return s.TZ.SetCacheAllocMask(s.L2, 1) })
+	if err := s.OSReboot(firmware.Image{Name: "os"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.L2.AllocMask() != s.L2.AllWaysMask() {
+		t.Fatal("lockdown survived warm reboot")
+	}
+	if hit, _, _ := s.L2.Probe(DRAMBase + 0x40000000 - 0x1000); hit {
+		t.Fatal("cache contents survived warm reboot")
+	}
+	// Warm reboot drops (does not clean) the cache: the dirty line is lost,
+	// which is precisely why it cannot be exploited to flush secrets out.
+	buf := make([]byte, 5)
+	s.DRAM.Read(DRAMBase+0x40000000-0x1000, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("warm reboot wrote dirty lines back")
+		}
+	}
+}
+
+func TestHeldResetDestroysAlmostEverything(t *testing.T) {
+	s := Tegra3(3)
+	for i := 0; i < 1000; i++ {
+		s.DRAM.Write(DRAMBase+0x100000+mem.PhysAddr(64*i), []byte("REMANENT"))
+	}
+	if err := s.HeldReset(2.0, firmware.Image{Name: "dump"}); err != nil {
+		t.Fatal(err)
+	}
+	survived := 0
+	buf := make([]byte, 8)
+	for i := 0; i < 1000; i++ {
+		s.DRAM.Read(DRAMBase+0x100000+mem.PhysAddr(64*i), buf)
+		if string(buf) == "REMANENT" {
+			survived++
+		}
+	}
+	if survived > 20 {
+		t.Fatalf("%d/1000 patterns survived a 2s reset", survived)
+	}
+}
+
+func TestTegraCostTablesSane(t *testing.T) {
+	for _, p := range []Profile{Tegra3Profile(), Nexus4Profile()} {
+		if p.Costs.DRAMAccess <= p.Costs.L2Hit {
+			t.Fatalf("%s: DRAM must cost more than an L2 hit", p.Name)
+		}
+		if p.Costs.IRAMAccess > p.Costs.DRAMAccess {
+			t.Fatalf("%s: iRAM must not cost more than DRAM", p.Name)
+		}
+		if p.Energy.BatteryJ <= 0 || p.Energy.CPUCyclePJ <= 0 {
+			t.Fatalf("%s: energy table incomplete", p.Name)
+		}
+	}
+}

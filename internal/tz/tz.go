@@ -1,0 +1,162 @@
+// Package tz models ARM TrustZone as Sentry uses it (§3.1, §10 of the
+// paper): two worlds of execution, a device-unique secret fuse readable only
+// from the secure world, secure-world-only control of the PL310 lockdown
+// registers, and access control that can deny DMA (and normal-world CPU
+// access) to protected physical regions such as the iRAM holding Sentry's
+// keys.
+package tz
+
+import (
+	"fmt"
+
+	"sentry/internal/cache"
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+// World is the TrustZone execution world.
+type World int
+
+// Execution worlds.
+const (
+	Normal World = iota
+	Secure
+)
+
+func (w World) String() string {
+	if w == Secure {
+		return "secure"
+	}
+	return "normal"
+}
+
+// FuseSize is the size of the device-unique secure hardware fuse.
+const FuseSize = 32
+
+// Region is a physical address range under TrustZone protection.
+type Region struct {
+	Base mem.PhysAddr
+	Size uint64
+	// NoDMA denies all DMA masters access to the region.
+	NoDMA bool
+	// NoNormalWorld denies normal-world CPU access to the region.
+	NoNormalWorld bool
+}
+
+// Contains reports whether [addr, addr+n) intersects the region.
+func (r Region) overlaps(addr mem.PhysAddr, n int) bool {
+	return addr < r.Base+mem.PhysAddr(r.Size) && r.Base < addr+mem.PhysAddr(n)
+}
+
+// ErrSecureOnly is returned for operations attempted from the normal world.
+var ErrSecureOnly = fmt.Errorf("tz: operation permitted in secure world only")
+
+// AccessError reports a denied physical access.
+type AccessError struct {
+	Addr   mem.PhysAddr
+	Master string // "cpu" or "dma"
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("tz: %s access to protected address %#x denied", e.Master, uint64(e.Addr))
+}
+
+// Controller is the TrustZone state of one SoC.
+type Controller struct {
+	// Available reports whether the platform exposes secure-world entry to
+	// us at all. On the Nexus 4 the firmware is locked and the secure world
+	// is out of reach, which is why that prototype cannot enable cache
+	// locking.
+	available bool
+
+	world   World
+	regions []Region
+	fuse    [FuseSize]byte
+}
+
+// New provisions a TrustZone controller. available=false models a device
+// with locked firmware (Nexus 4). The secure fuse is burned with a random
+// device-unique value at provisioning time.
+func New(available bool, rng *sim.RNG) *Controller {
+	c := &Controller{available: available, world: Normal}
+	rng.Read(c.fuse[:])
+	return c
+}
+
+// Available reports whether secure-world entry is possible on this device.
+func (c *Controller) Available() bool { return c.available }
+
+// World returns the current execution world.
+func (c *Controller) World() World { return c.world }
+
+// WithSecure runs fn in the secure world, restoring the previous world
+// afterwards. It returns ErrSecureOnly if the platform's secure world is
+// not accessible.
+func (c *Controller) WithSecure(fn func() error) error {
+	if !c.available {
+		return ErrSecureOnly
+	}
+	prev := c.world
+	c.world = Secure
+	defer func() { c.world = prev }()
+	return fn()
+}
+
+// Protect registers a protected region. Secure world only.
+func (c *Controller) Protect(r Region) error {
+	if c.world != Secure {
+		return ErrSecureOnly
+	}
+	c.regions = append(c.regions, r)
+	return nil
+}
+
+// ClearProtections removes all protections (used by cold boot).
+func (c *Controller) ClearProtections() { c.regions = nil }
+
+// CheckCPUAccess implements cpu.Guard: normal-world CPU access to a
+// NoNormalWorld region is denied.
+func (c *Controller) CheckCPUAccess(addr mem.PhysAddr, write bool) error {
+	if c.world == Secure {
+		return nil
+	}
+	for _, r := range c.regions {
+		if r.NoNormalWorld && r.overlaps(addr, 1) {
+			return &AccessError{Addr: addr, Master: "cpu"}
+		}
+	}
+	return nil
+}
+
+// CheckDMAAccess denies DMA into protected regions. DMA masters are never
+// "secure", and spoofing means they cannot be told apart, so the policy is
+// all-or-nothing per region — exactly the paper's argument for denying all
+// DMA to the secret range.
+func (c *Controller) CheckDMAAccess(addr mem.PhysAddr, n int) error {
+	for _, r := range c.regions {
+		if r.NoDMA && r.overlaps(addr, n) {
+			return &AccessError{Addr: addr, Master: "dma"}
+		}
+	}
+	return nil
+}
+
+// ReadFuse returns the device-unique secret fuse. Secure world only: this
+// is the root of Sentry's persistent key derivation.
+func (c *Controller) ReadFuse() ([FuseSize]byte, error) {
+	if c.world != Secure {
+		return [FuseSize]byte{}, ErrSecureOnly
+	}
+	return c.fuse, nil
+}
+
+// SetCacheAllocMask programs the PL310 lockdown register. The co-processor
+// registers that control lockdown are banked to the secure world, so this
+// is the only path Sentry has to lock and unlock ways.
+func (c *Controller) SetCacheAllocMask(l2 *cache.L2, mask uint32) error {
+	if c.world != Secure {
+		return ErrSecureOnly
+	}
+	l2.SetAllocMask(mask)
+	return nil
+}

@@ -1,0 +1,151 @@
+package tz
+
+import (
+	"testing"
+
+	"sentry/internal/bus"
+	"sentry/internal/cache"
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+func newCtl(avail bool) *Controller { return New(avail, sim.NewRNG(1)) }
+
+func TestWorldSwitch(t *testing.T) {
+	c := newCtl(true)
+	if c.World() != Normal {
+		t.Fatal("should start in normal world")
+	}
+	err := c.WithSecure(func() error {
+		if c.World() != Secure {
+			t.Fatal("not in secure world")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.World() != Normal {
+		t.Fatal("world not restored")
+	}
+}
+
+func TestSecureWorldUnavailable(t *testing.T) {
+	c := newCtl(false)
+	if err := c.WithSecure(func() error { return nil }); err != ErrSecureOnly {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Available() {
+		t.Fatal("Available lied")
+	}
+}
+
+func TestFuseSecureOnly(t *testing.T) {
+	c := newCtl(true)
+	if _, err := c.ReadFuse(); err != ErrSecureOnly {
+		t.Fatal("fuse readable from normal world")
+	}
+	var fuse [FuseSize]byte
+	err := c.WithSecure(func() error {
+		var err error
+		fuse, err = c.ReadFuse()
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fuse == ([FuseSize]byte{}) {
+		t.Fatal("fuse not provisioned")
+	}
+}
+
+func TestFuseDeviceUnique(t *testing.T) {
+	read := func(c *Controller) (f [FuseSize]byte) {
+		_ = c.WithSecure(func() error { f, _ = c.ReadFuse(); return nil })
+		return
+	}
+	if read(New(true, sim.NewRNG(1))) == read(New(true, sim.NewRNG(2))) {
+		t.Fatal("two devices share a fuse value")
+	}
+}
+
+func TestProtectRequiresSecureWorld(t *testing.T) {
+	c := newCtl(true)
+	if err := c.Protect(Region{Base: 0x40000000, Size: 4096, NoDMA: true}); err != ErrSecureOnly {
+		t.Fatal("Protect allowed from normal world")
+	}
+}
+
+func TestDMAProtection(t *testing.T) {
+	c := newCtl(true)
+	if err := c.WithSecure(func() error {
+		return c.Protect(Region{Base: 0x40000000, Size: 4096, NoDMA: true})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckDMAAccess(0x40000800, 16); err == nil {
+		t.Fatal("DMA into protected region allowed")
+	}
+	// Overlap from below.
+	if err := c.CheckDMAAccess(0x3FFFFFF8, 16); err == nil {
+		t.Fatal("overlapping DMA allowed")
+	}
+	// Outside the region.
+	if err := c.CheckDMAAccess(0x40001000, 16); err != nil {
+		t.Fatalf("unprotected DMA denied: %v", err)
+	}
+}
+
+func TestNormalWorldCPUProtection(t *testing.T) {
+	c := newCtl(true)
+	_ = c.WithSecure(func() error {
+		return c.Protect(Region{Base: 0x1000, Size: 0x1000, NoNormalWorld: true})
+	})
+	if err := c.CheckCPUAccess(0x1800, false); err == nil {
+		t.Fatal("normal-world access allowed")
+	}
+	// Secure world may access.
+	_ = c.WithSecure(func() error {
+		if err := c.CheckCPUAccess(0x1800, true); err != nil {
+			t.Fatalf("secure world denied: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestClearProtections(t *testing.T) {
+	c := newCtl(true)
+	_ = c.WithSecure(func() error { return c.Protect(Region{Base: 0, Size: 100, NoDMA: true}) })
+	c.ClearProtections()
+	if err := c.CheckDMAAccess(0, 10); err != nil {
+		t.Fatal("protection survived clear")
+	}
+}
+
+func TestLockdownRegisterSecureOnly(t *testing.T) {
+	clock := sim.NewClock(1e9)
+	meter := &sim.Meter{}
+	costs := &sim.CostTable{DRAMAccess: 1, L2Hit: 1}
+	energy := &sim.EnergyTable{}
+	dram := mem.NewDevice("dram", mem.TechDRAM, 0, 1<<20)
+	b := bus.New(clock, meter, costs, energy, mem.NewMap(dram))
+	l2 := cache.New(cache.Config{Ways: 4, WaySize: 1024, LineSize: 32}, clock, meter, costs, energy, b)
+
+	c := newCtl(true)
+	if err := c.SetCacheAllocMask(l2, 0x1); err != ErrSecureOnly {
+		t.Fatal("lockdown programmable from normal world")
+	}
+	if err := c.WithSecure(func() error { return c.SetCacheAllocMask(l2, 0x1) }); err != nil {
+		t.Fatal(err)
+	}
+	if l2.AllocMask() != 0x1 {
+		t.Fatal("mask not programmed")
+	}
+}
+
+func TestAccessErrorMessage(t *testing.T) {
+	e := &AccessError{Addr: 0x1234, Master: "dma"}
+	if e.Error() == "" {
+		t.Fatal("empty error")
+	}
+}

@@ -1,0 +1,205 @@
+// Package sentry is a full-system reproduction of "Protecting Data on
+// Smartphones and Tablets from Memory Attacks" (Colp et al., ASPLOS 2015).
+//
+// Sentry guarantees that the sensitive state of selected applications and
+// OS subsystems is never in cleartext in DRAM while a mobile device is
+// screen-locked, defeating cold-boot, bus-monitoring, and DMA attacks.
+// Because the mechanisms are kernel- and hardware-level (ARM iRAM, PL310
+// L2 cache-way locking, TrustZone), this implementation builds the whole
+// platform as a deterministic simulator — memory devices with a calibrated
+// data-remanence model, an observable memory bus, a lockable cache, an
+// MMU with young-bit traps, DMA engines, TrustZone, and boot firmware —
+// and implements Sentry, AES On SoC, and the attacks against it.
+//
+// The five-minute tour:
+//
+//	dev, _ := sentry.NewTegra3(1, "4321", sentry.Config{})
+//	app, _ := dev.Launch(sentry.Contacts(), true) // protected app
+//	dev.Lock()                                     // encrypt-on-lock
+//	dump, _ := dev.MountColdBoot(sentry.Reflash)   // steal the device
+//	dump.ContainsSecret(...)                       // ciphertext only
+//	dev.Unlock("4321")                             // lazy decrypt-on-demand
+//
+// Every table and figure of the paper's evaluation regenerates via
+// Experiments (or the sentrybench command); see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+package sentry
+
+import (
+	"sentry/internal/apps"
+	"sentry/internal/attack"
+	"sentry/internal/bench"
+	"sentry/internal/blockdev"
+	"sentry/internal/core"
+	"sentry/internal/dmcrypt"
+	"sentry/internal/kernel"
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// Wake sources for Device.Wake.
+const (
+	WakeUser         = kernel.WakeUser
+	WakeIncomingCall = kernel.WakeIncomingCall
+	WakeTimer        = kernel.WakeTimer
+)
+
+// Config selects Sentry's mechanisms (see core.Config).
+type Config = core.Config
+
+// AppProfile describes a workload application.
+type AppProfile = apps.Profile
+
+// App is a launched application.
+type App = apps.App
+
+// BgProfile describes a background application.
+type BgProfile = apps.BgProfile
+
+// Stats counts Sentry activity.
+type Stats = core.Stats
+
+// ColdBootVariant selects a cold-boot attack flavour.
+type ColdBootVariant = attack.ColdBootVariant
+
+// Cold-boot variants.
+const (
+	OSReboot  = attack.OSReboot
+	Reflash   = attack.Reflash
+	HeldReset = attack.HeldReset
+)
+
+// Application profiles from the paper's evaluation.
+var (
+	Contacts = apps.Contacts
+	Maps     = apps.Maps
+	Twitter  = apps.Twitter
+	MP3      = apps.MP3
+	Alpine   = apps.Alpine
+	Vlock    = apps.Vlock
+	Xmms2    = apps.Xmms2
+)
+
+// Device is a simulated mobile device running Sentry: a hardware platform,
+// the mini kernel, and the Sentry subsystem wired into its hooks.
+type Device struct {
+	SoC    *soc.SoC
+	Kernel *kernel.Kernel
+	Sentry *core.Sentry
+}
+
+// NewTegra3 boots the NVidia Tegra 3 development board configuration: the
+// full prototype with cache locking, TrustZone, and background sessions.
+func NewTegra3(seed int64, pin string, cfg Config) (*Device, error) {
+	return newDevice(soc.Tegra3(seed), pin, cfg)
+}
+
+// NewNexus4 boots the Google Nexus 4 configuration: locked firmware, so no
+// cache locking or background execution, but a crypto accelerator.
+func NewNexus4(seed int64, pin string, cfg Config) (*Device, error) {
+	return newDevice(soc.Nexus4(seed), pin, cfg)
+}
+
+func newDevice(s *soc.SoC, pin string, cfg Config) (*Device, error) {
+	k := kernel.New(s, pin)
+	sn, err := core.New(k, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{SoC: s, Kernel: k, Sentry: sn}, nil
+}
+
+// Launch starts an application; protected marks it sensitive so Sentry
+// covers it at lock time.
+func (d *Device) Launch(p AppProfile, protected bool) (*App, error) {
+	return apps.Launch(d.Kernel, p, protected)
+}
+
+// LaunchBackground starts a background application (always protected).
+func (d *Device) LaunchBackground(p BgProfile) (*App, error) {
+	return apps.LaunchBackground(d.Kernel, p)
+}
+
+// Lock transitions the device to screen-locked, encrypting every protected
+// application's memory.
+func (d *Device) Lock() { d.Kernel.Lock() }
+
+// Unlock attempts a PIN unlock; protected memory then decrypts lazily on
+// first touch.
+func (d *Device) Unlock(pin string) error { return d.Kernel.Unlock(pin) }
+
+// BeginBackground lets app run while locked, paging its memory through
+// lockedKB of pinned L2 so DRAM only ever sees ciphertext.
+func (d *Device) BeginBackground(app *App, lockedKB int) error {
+	return d.Sentry.BeginBackground(app.Proc, lockedKB)
+}
+
+// BeginBackgroundPinned is the §10 pin-on-SoC variant of BeginBackground:
+// the on-SoC pool comes from dedicated iRAM instead of locked cache ways.
+func (d *Device) BeginBackgroundPinned(app *App, poolPages int) error {
+	return d.Sentry.BeginBackgroundPinned(app.Proc, poolPages)
+}
+
+// Suspend enters S3 (suspend-to-RAM); Wake leaves it. DRAM keeps
+// refreshing through suspend — the reason lock-time encryption matters.
+func (d *Device) Suspend() { d.Kernel.Suspend() }
+
+// Wake resumes from suspend for the given wake source.
+func (d *Device) Wake(src kernel.WakeSource) { d.Kernel.Wake(src) }
+
+// ProtectKernelSubsystem registers an OS component's physical range for
+// sealing at lock (the paper protects "applications and OS components").
+func (d *Device) ProtectKernelSubsystem(name string, base mem.PhysAddr, size uint64) {
+	d.Kernel.RegisterSensitiveKernelRange(name, kernel.Range{Base: base, Size: size})
+}
+
+// Stats returns Sentry's activity counters.
+func (d *Device) Stats() Stats { return d.Sentry.Stats() }
+
+// MountColdBoot attacks the device with the chosen cold-boot variant and
+// returns the memory dump the attacker obtains.
+func (d *Device) MountColdBoot(v ColdBootVariant) (*attack.Dump, error) {
+	return attack.MountColdBoot(d.SoC, v)
+}
+
+// AttachBusMonitor clips a probe onto the external memory bus; everything
+// crossing the SoC boundary from then on is captured.
+func (d *Device) AttachBusMonitor() *attack.BusMonitor {
+	mon := &attack.BusMonitor{}
+	d.SoC.Bus.Attach(mon)
+	return mon
+}
+
+// MountDMAScrape reads all reachable physical memory over DMA.
+func (d *Device) MountDMAScrape() *attack.DMAScrape {
+	return attack.MountDMAScrape(d.SoC)
+}
+
+// NewEncryptedDisk builds a dm-crypt volume over an in-memory partition of
+// the given size, using the best registered cipher provider (register
+// Sentry's with RegisterOnSoC first to get AES On SoC).
+func (d *Device) NewEncryptedDisk(size uint64, key []byte) (*dmcrypt.DMCrypt, *blockdev.RAMDisk, error) {
+	disk := blockdev.NewRAMDisk(d.SoC, size)
+	dm, err := dmcrypt.New(disk, d.Kernel.Crypto, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dm, disk, nil
+}
+
+// RegisterOnSoC registers Sentry's AES On SoC engine with the kernel
+// Crypto API (highest priority), as the paper does for dm-crypt.
+func (d *Device) RegisterOnSoC() { d.Sentry.RegisterOnSoC() }
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = bench.Experiment
+
+// Report is a regenerated table/figure.
+type Report = bench.Report
+
+// Experiments returns every table/figure experiment, sorted by ID.
+func Experiments() []Experiment { return bench.All() }
+
+// ExperimentByID looks up one experiment ("table2" … "fig12", "anchors",
+// "ablation-*").
+func ExperimentByID(id string) (Experiment, bool) { return bench.ByID(id) }

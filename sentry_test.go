@@ -1,0 +1,201 @@
+package sentry
+
+import (
+	"bytes"
+	"testing"
+
+	"sentry/internal/blockdev"
+)
+
+// TestQuickstartFlow exercises the README's five-minute tour end to end.
+func TestQuickstartFlow(t *testing.T) {
+	dev, err := NewTegra3(1, "4321", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dev.Launch(Contacts(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Lock()
+	dev.SoC.L2.CleanWays(dev.Sentry.Locker().FlushMask())
+
+	dump, err := dev.MountColdBoot(Reflash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump.ContainsSecret([]byte("APPSECRET~")) {
+		t.Fatal("cold boot recovered protected app data")
+	}
+	if len(dump.RecoverKeys()) != 0 {
+		t.Fatal("cold boot recovered a key")
+	}
+	_ = app
+}
+
+func TestUnprotectedBaselineFalls(t *testing.T) {
+	dev, err := NewTegra3(1, "4321", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch(Contacts(), false); err != nil {
+		t.Fatal(err)
+	}
+	dev.Lock()
+	dev.SoC.L2.CleanWays(dev.SoC.L2.AllWaysMask())
+	dump, err := dev.MountColdBoot(Reflash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dump.ContainsSecret([]byte("APPSECRET~")) {
+		t.Fatal("unprotected data should be recoverable — baseline broken")
+	}
+}
+
+func TestLockUnlockRoundTripViaFacade(t *testing.T) {
+	dev, err := NewNexus4(2, "0000", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dev.Launch(MP3(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Lock()
+	if err := dev.Unlock("9999"); err == nil {
+		t.Fatal("wrong PIN accepted")
+	}
+	if err := dev.Unlock("0000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().DemandDecryptedBytes == 0 {
+		t.Fatal("no lazy decryption recorded")
+	}
+}
+
+func TestBackgroundSessionViaFacade(t *testing.T) {
+	dev, err := NewTegra3(3, "1111", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dev.LaunchBackground(Vlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Lock()
+	if err := dev.BeginBackground(app, 128); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.RunBackgroundLoop(Vlock(), dev.SoC.RNG); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().BgPageIns == 0 {
+		t.Fatal("no background paging")
+	}
+	mon := dev.AttachBusMonitor()
+	scrape := dev.MountDMAScrape()
+	if scrape.ContainsSecret([]byte("APPSECRET~")) {
+		t.Fatal("DMA saw plaintext during background session")
+	}
+	_ = mon
+}
+
+func TestEncryptedDiskViaFacade(t *testing.T) {
+	dev, err := NewTegra3(4, "2222", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.RegisterOnSoC()
+	dm, raw, err := dev.NewEncryptedDisk(1<<20, bytes.Repeat([]byte{5}, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.CipherName() != "aes-onsoc" {
+		t.Fatalf("cipher = %s", dm.CipherName())
+	}
+	sector := bytes.Repeat([]byte("persistent-data!"), blockdev.SectorSize/16)
+	if err := dm.WriteSector(0, sector); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, blockdev.SectorSize)
+	if err := dm.ReadSector(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sector) {
+		t.Fatal("disk round trip failed")
+	}
+	onDisk := make([]byte, blockdev.SectorSize)
+	_ = raw.ReadSector(0, onDisk)
+	if bytes.Contains(onDisk, []byte("persistent-data!")) {
+		t.Fatal("plaintext at rest")
+	}
+}
+
+func TestExperimentRegistryViaFacade(t *testing.T) {
+	if len(Experiments()) < 18 {
+		t.Fatalf("only %d experiments", len(Experiments()))
+	}
+	e, ok := ExperimentByID("table4")
+	if !ok {
+		t.Fatal("table4 missing")
+	}
+	r, err := e.Run(1)
+	if err != nil || len(r.Rows) == 0 {
+		t.Fatalf("table4 run: %v", err)
+	}
+}
+
+func TestSuspendAndKernelSubsystemViaFacade(t *testing.T) {
+	dev, err := NewTegra3(7, "9999", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := dev.Kernel.Pages().AllocContig(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SoC.CPU.WritePhys(frames, []byte("OS-KEYRING-SECRET"))
+	dev.ProtectKernelSubsystem("keyring", frames, 4096)
+
+	dev.Lock()
+	dev.Suspend()
+	dev.SoC.L2.CleanWays(dev.SoC.L2.AllWaysMask()) // already clean post-suspend
+	buf := make([]byte, 4096)
+	dev.SoC.DRAM.Read(frames, buf)
+	if bytes.Contains(buf, []byte("OS-KEYRING-SECRET")) {
+		t.Fatal("kernel subsystem plaintext in DRAM while suspended+locked")
+	}
+	dev.Wake(WakeUser)
+	if err := dev.Unlock("9999"); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 17)
+	dev.SoC.CPU.ReadPhys(frames, got)
+	if string(got) != "OS-KEYRING-SECRET" {
+		t.Fatal("kernel subsystem not restored")
+	}
+}
+
+func TestPinnedBackgroundViaFacade(t *testing.T) {
+	dev, err := NewTegra3(8, "0000", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dev.LaunchBackground(Vlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Lock()
+	if err := dev.BeginBackgroundPinned(app, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.RunBackgroundLoop(Vlock(), dev.SoC.RNG); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Stats().BgPageIns == 0 {
+		t.Fatal("pinned session never paged")
+	}
+}
