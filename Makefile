@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-guard check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The bench package replays every experiment; under the race detector that
+# outgrows go test's default 10-minute budget.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Guard: a disabled tracer must stay within a few percent of the no-emit
+# baseline (compare BenchmarkTracerDisabled to BenchmarkNoEmitBaseline).
+bench-guard:
+	$(GO) test -run '^$$' -bench 'BenchmarkTracerDisabled|BenchmarkNoEmitBaseline' -benchtime 2s ./internal/obs/
+
+check: vet build race bench-guard

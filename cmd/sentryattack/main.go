@@ -73,8 +73,10 @@ func run(seed int64, protected bool, v attack.ColdBootVariant) error {
 	// The device is stolen locked; only now can the attacker attach the
 	// probe. They watch while background activity (mail poll, lock screen)
 	// runs.
-	mon := &attack.BusMonitor{}
-	s.Bus.Attach(mon)
+	mon, err := attack.AttachBusMonitor(s)
+	if err != nil {
+		return err
+	}
 	if sn != nil {
 		if err := sn.BeginBackground(bg.Proc, 128); err != nil {
 			return err
@@ -92,7 +94,10 @@ func run(seed int64, protected bool, v attack.ColdBootVariant) error {
 		fmt.Printf("bus monitor: AES table lookups observed: %d\n", len(reads))
 	}
 
-	scrape := attack.MountDMAScrape(s)
+	scrape, err := attack.MountDMAScrape(s)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("DMA scrape: %d pages read, %d ranges denied; app data found: %v; AES keys found: %d\n",
 		scrape.PagesRead(), len(scrape.Denied), scrape.ContainsSecret(secret), len(scrape.RecoverKeys()))
 

@@ -9,21 +9,44 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"sentry/internal/bench"
+	"sentry/internal/obs"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id (table2..table4, fig2..fig12, anchors, ablation-*) or 'all'")
-		seed = flag.Int64("seed", 1, "simulation seed")
-		list = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment id (table2..table4, fig2..fig12, anchors, ablation-*) or 'all'")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		list     = flag.Bool("list", false, "list available experiments")
+		traceOut = flag.String("trace", "", "write a JSONL event trace of all experiment activity to this file")
 	)
 	flag.Parse()
+
+	var (
+		tracer    *obs.Tracer
+		traceSink *obs.JSONLSink
+		traceBuf  *bufio.Writer
+		traceFile *os.File
+	)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sentrybench: %v\n", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		traceBuf = bufio.NewWriter(f)
+		traceSink = obs.NewJSONLSink(traceBuf)
+		tracer = obs.NewTracer(obs.DefaultRingSize)
+		tracer.AddSink(traceSink)
+		bench.SetTracer(tracer)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -57,5 +80,20 @@ func main() {
 		}
 		fmt.Print(r.String())
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if tracer != nil {
+		err := traceSink.Err()
+		if e := traceBuf.Flush(); err == nil {
+			err = e
+		}
+		if e := traceFile.Close(); err == nil {
+			err = e
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sentrybench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d events written to %s\n", tracer.Emitted(), *traceOut)
 	}
 }

@@ -40,13 +40,12 @@ func main() {
 
 	sh := &shell{apps: make(map[string]*sentry.App), seed: *seed}
 	var err error
-	switch *platform {
-	case "tegra3":
-		sh.dev, err = sentry.NewTegra3(*seed, defaultPIN, sentry.Config{})
-	case "nexus4":
-		sh.dev, err = sentry.NewNexus4(*seed, defaultPIN, sentry.Config{})
-	default:
+	plat, ok := map[string]sentry.Platform{"tegra3": sentry.Tegra3, "nexus4": sentry.Nexus4}[*platform]
+	if !ok {
 		err = fmt.Errorf("unknown platform %q", *platform)
+	} else {
+		sh.dev, err = sentry.Open(plat, defaultPIN,
+			sentry.WithSeed(*seed), sentry.WithTracer(sentry.NewTracer(0)))
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sentrysh:", err)
@@ -93,6 +92,7 @@ func (sh *shell) exec(line string) bool {
   coldboot <os-reboot|reflash|2s-reset>              mount a cold boot
   dma                                                mount a DMA scrape
   stats | state                                      show status
+  trace [n|kinds|clear]                              show last n trace events
   quit
 `)
 	case "quit", "exit":
@@ -209,7 +209,11 @@ func (sh *shell) exec(line string) bool {
 			dump.Variant, dump.ContainsSecret([]byte("APPSECRET~")), len(keys))
 		fmt.Println("note: the device has been rebooted; simulated state is post-attack")
 	case "dma":
-		scr := sh.dev.MountDMAScrape()
+		scr, err := sh.dev.MountDMAScrape()
+		if err != nil {
+			fmt.Println("attack failed:", err)
+			return true
+		}
 		fmt.Printf("DMA scrape: %d pages, %d denied, app data: %v, keys: %d\n",
 			scr.PagesRead(), len(scr.Denied), scr.ContainsSecret([]byte("APPSECRET~")), len(scr.RecoverKeys()))
 	case "stats":
@@ -222,8 +226,68 @@ func (sh *shell) exec(line string) bool {
 		fmt.Printf("lock=%v suspended=%v simtime=%.3fs energy=%.2fJ\n",
 			sh.dev.Kernel.State(), sh.dev.Kernel.Suspended(),
 			sh.dev.SoC.Clock.Seconds(), sh.dev.SoC.Meter.Joules())
+	case "trace":
+		sh.trace(args)
 	default:
 		fmt.Println("unknown command (try 'help')")
 	}
 	return true
+}
+
+// trace implements the trace verb: "trace" or "trace 20" prints the most
+// recent events, "trace kinds" lists the event taxonomy, "trace clear"
+// empties the ring. Bus transactions dominate any ring, so the listing
+// skips them unless asked for with "trace bus".
+func (sh *shell) trace(args []string) {
+	tr := sh.dev.Trace()
+	if tr == nil {
+		fmt.Println("tracing disabled")
+		return
+	}
+	n, showBus := 20, false
+	for _, a := range args {
+		switch a {
+		case "kinds":
+			for k := sentry.TraceKind(0); int(k) < sentry.TraceKindCount; k++ {
+				fmt.Println(" ", k)
+			}
+			return
+		case "clear":
+			tr.Reset()
+			fmt.Println("trace cleared")
+			return
+		case "bus":
+			showBus = true
+		default:
+			if v, err := strconv.Atoi(a); err == nil {
+				n = v
+			} else {
+				fmt.Println("usage: trace [n] [bus] | trace kinds | trace clear")
+				return
+			}
+		}
+	}
+	events := tr.Snapshot()
+	shown := 0
+	// Walk backwards so "trace 20" is the 20 most recent, then print oldest
+	// first.
+	var pick []sentry.TraceEvent
+	for i := len(events) - 1; i >= 0 && shown < n; i-- {
+		if events[i].Kind == sentry.TraceBusTxn && !showBus {
+			continue
+		}
+		pick = append(pick, events[i])
+		shown++
+	}
+	if shown == 0 {
+		fmt.Printf("no events (ring holds %d, %d emitted in total; try 'trace bus')\n",
+			len(events), tr.Emitted())
+		return
+	}
+	for i := len(pick) - 1; i >= 0; i-- {
+		ev := pick[i]
+		fmt.Printf("  #%-8d cy=%-12d %-12s addr=%#x size=%d arg=%d %s\n",
+			ev.Seq, ev.Cycle, ev.Kind, ev.Addr, ev.Size, ev.Arg, ev.Label)
+	}
+	fmt.Printf("(%d shown of %d in ring, %d emitted in total)\n", shown, len(events), tr.Emitted())
 }

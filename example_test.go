@@ -32,6 +32,35 @@ func Example() {
 	// AES keys recovered: 0
 }
 
+// Observing the device: Open with a tracer and read back the story of a
+// lock from the event stream and the metrics registry.
+func ExampleOpen() {
+	tr := sentry.NewTracer(0)
+	sink := sentry.NewMemorySink(sentry.TraceMask(sentry.TracePageSeal, sentry.TraceStateChange))
+	tr.AddSink(sink)
+	dev, err := sentry.Open(sentry.Tegra3, "4321", sentry.WithSeed(1), sentry.WithTracer(tr))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dev.Launch(sentry.Contacts(), true); err != nil {
+		log.Fatal(err)
+	}
+	dev.Lock()
+
+	fmt.Printf("sealed %d MB in %d page seals\n",
+		sink.SumSize(sentry.TracePageSeal)>>20, sink.Count(sentry.TracePageSeal))
+	for _, ev := range sink.Events() {
+		if ev.Kind == sentry.TraceStateChange {
+			fmt.Println("transition:", ev.Label)
+		}
+	}
+	fmt.Println("bus reads seen by metrics:", dev.Metrics().CounterValue("bus.reads") > 0)
+	// Output:
+	// sealed 17 MB in 4352 page seals
+	// transition: unlocked->screen-locked
+	// bus reads seen by metrics: true
+}
+
 // Background execution while locked: an MP3 player keeps running with its
 // memory paged through a locked L2 way, so DRAM never holds plaintext.
 func ExampleDevice_BeginBackground() {
@@ -50,7 +79,10 @@ func ExampleDevice_BeginBackground() {
 	if _, err := player.RunBackgroundLoop(sentry.Vlock(), dev.SoC.RNG); err != nil {
 		log.Fatal(err)
 	}
-	scrape := dev.MountDMAScrape()
+	scrape, err := dev.MountDMAScrape()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("DMA saw plaintext:", scrape.ContainsSecret([]byte("APPSECRET~")))
 	// Output:
 	// DMA saw plaintext: false

@@ -54,7 +54,10 @@ func main() {
 	fmt.Printf("DRAM scan while playing: plaintext present: %v\n", found)
 
 	// And a live DMA attack for good measure.
-	scrape := dev.MountDMAScrape()
+	scrape, err := dev.MountDMAScrape()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("DMA attack while playing: plaintext captured: %v (%d pages read)\n",
 		scrape.ContainsSecret(needle), scrape.PagesRead())
 

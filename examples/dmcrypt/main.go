@@ -55,7 +55,10 @@ func main() {
 
 	// Now the side-channel comparison: encrypt one sector with a generic
 	// AES (state in DRAM) and with AES On SoC, watching the bus both times.
-	mon := dev.AttachBusMonitor()
+	mon, err := dev.AttachBusMonitor()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	generic, err := core.NewGenericProvider(dev.SoC, soc.DRAMBase+0x100000, key)
 	if err != nil {

@@ -93,7 +93,13 @@ func TestSentryProtectsAppAcrossLockUnlock(t *testing.T) {
 	}
 	k.Lock()
 	s.L2.CleanWays(s.L2.AllWaysMask())
-	scrape := attack.MountDMAScrape(s)
+	// Give the attacker a DMA port even on this locked platform: Sentry's
+	// guarantee must not depend on the port being closed.
+	s.Prof.OpenDMAPort = true
+	scrape, err := attack.MountDMAScrape(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if scrape.ContainsSecret([]byte(SecretMarker)) {
 		t.Fatal("DMA scrape found app plaintext while locked")
 	}

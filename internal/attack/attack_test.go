@@ -192,7 +192,10 @@ func TestDMAScrapeReadsDRAMButNotProtectedIRAM(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	a := MountDMAScrape(s)
+	a, err := MountDMAScrape(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !a.ContainsSecret(secret) {
 		t.Fatal("DMA failed to read ordinary DRAM")
 	}
@@ -213,7 +216,11 @@ func TestDMAScrapeReadsUnprotectedIRAM(t *testing.T) {
 	base, _ := s.UsableIRAM()
 	iramSecret := []byte("UNPROTECTED-IRAM-KEY")
 	s.IRAM.Write(base, iramSecret)
-	a := MountDMAScrape(s)
+	s.Prof.OpenDMAPort = true // attacker reworked the board for port access
+	a, err := MountDMAScrape(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !a.ContainsSecret(iramSecret) {
 		t.Fatal("DMA should reach unprotected iRAM")
 	}
@@ -227,7 +234,10 @@ func TestDMAScrapeDoesNotSeeLockedWay(t *testing.T) {
 	}
 	_, base, _ := locker.LockWay()
 	s.CPU.WritePhys(base, []byte("LOCKED-WAY-PLAINTEXT"))
-	a := MountDMAScrape(s)
+	a, err := MountDMAScrape(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.ContainsSecret([]byte("LOCKED-WAY-PLAINTEXT")) {
 		t.Fatal("DMA observed locked-way contents (cache bypass broken)")
 	}
@@ -274,7 +284,10 @@ func TestDMAScrapeRecoversGenericKey(t *testing.T) {
 	}
 	_ = g.EncryptCBC(make([]byte, 16), make([]byte, 16), make([]byte, 16))
 	s.L2.CleanWays(s.L2.AllWaysMask())
-	a := MountDMAScrape(s)
+	a, err := MountDMAScrape(s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := false
 	for _, k := range a.RecoverKeys() {
 		if bytes.Equal(k, key) {

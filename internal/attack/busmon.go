@@ -6,7 +6,34 @@ import (
 	"sentry/internal/aes"
 	"sentry/internal/bus"
 	"sentry/internal/mem"
+	"sentry/internal/obs"
+	"sentry/internal/soc"
 )
+
+// probeEvent records an attack probe in the device trace. The victim's own
+// tracer logging the attack is not a fiction: it models the forensic view a
+// defender gets when replaying a captured trace.
+func probeEvent(s *soc.SoC, label string, arg uint64) {
+	if s.Trace != nil {
+		s.Trace.Emit(obs.Event{
+			Cycle: s.Clock.Cycles(), Kind: obs.KindAttackProbe, Arg: arg, Label: label,
+		})
+	}
+}
+
+// AttachBusMonitor clips a probe onto the external memory bus and starts
+// capturing. It fails with soc.ErrUnsupported on platforms whose DRAM is
+// package-on-package stacked: there are no bus traces to attach to (the
+// paper's Nexus 4 is such a device; its dev board is not).
+func AttachBusMonitor(s *soc.SoC) (*BusMonitor, error) {
+	if !s.Prof.ExposedBus {
+		return nil, fmt.Errorf("attack: %s has no probeable memory bus: %w", s.Prof.Name, soc.ErrUnsupported)
+	}
+	m := &BusMonitor{}
+	s.Bus.Attach(m)
+	probeEvent(s, "bus-monitor", 0)
+	return m, nil
+}
 
 // BusMonitor is a passive probe on the external memory bus (an EPN/
 // FuturePlus-style DDR analyzer). It records every transaction and answers

@@ -74,6 +74,7 @@ func (d *Dump) ContainsSecret(needle []byte) bool {
 // error (the attacker could unlock the bootloader, but that wipes user
 // data — footnote 1 of the paper).
 func MountColdBoot(s *soc.SoC, v ColdBootVariant) (*Dump, error) {
+	probeEvent(s, "cold-boot:"+v.String(), uint64(v))
 	img := dumpImage(v)
 	var err error
 	switch v {

@@ -1,6 +1,8 @@
 package attack
 
 import (
+	"fmt"
+
 	"sentry/internal/mem"
 	"sentry/internal/soc"
 )
@@ -18,8 +20,14 @@ type DMAScrape struct {
 }
 
 // MountDMAScrape reads every materialised DRAM page plus the full iRAM over
-// DMA, recording what was denied.
-func MountDMAScrape(s *soc.SoC) *DMAScrape {
+// DMA, recording what was denied. It fails with soc.ErrUnsupported on
+// platforms that expose no DMA-capable peripheral port to an attacker
+// (locked production devices).
+func MountDMAScrape(s *soc.SoC) (*DMAScrape, error) {
+	if !s.Prof.OpenDMAPort {
+		return nil, fmt.Errorf("attack: %s exposes no open DMA port: %w", s.Prof.Name, soc.ErrUnsupported)
+	}
+	probeEvent(s, "dma-scrape", 0)
 	a := &DMAScrape{s: s, data: make(map[mem.PhysAddr][]byte)}
 	for _, off := range s.DRAM.Store().TouchedPages() {
 		a.grab(soc.DRAMBase + mem.PhysAddr(off))
@@ -27,7 +35,7 @@ func MountDMAScrape(s *soc.SoC) *DMAScrape {
 	for off := uint64(0); off < s.Prof.IRAMSize; off += mem.PageSize {
 		a.grab(soc.IRAMBase + mem.PhysAddr(off))
 	}
-	return a
+	return a, nil
 }
 
 func (a *DMAScrape) grab(addr mem.PhysAddr) {

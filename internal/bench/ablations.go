@@ -8,7 +8,6 @@ import (
 	"sentry/internal/energy"
 	"sentry/internal/kernel"
 	"sentry/internal/sim"
-	"sentry/internal/soc"
 )
 
 func init() {
@@ -26,7 +25,7 @@ func runAblationLazy(seed int64) (*Report, error) {
 		joules  float64
 	}
 	glance := func(eager bool) (outcome, error) {
-		s := soc.Nexus4(seed)
+		s := bootNexus4(seed)
 		k := kernel.New(s, benchPIN)
 		sn, err := core.New(k, core.Config{})
 		if err != nil {
@@ -87,7 +86,7 @@ func runAblationCapacity(seed int64) (*Report, error) {
 		Header: []string{"Locked KB", "Pool pages", "Kernel time (s)", "Page-ins"}}
 	prof := apps.Alpine()
 	for _, kb := range []int{128, 256, 384, 512} {
-		s := soc.Tegra3(seed)
+		s := bootTegra3(seed)
 		k := kernel.New(s, benchPIN)
 		sn, err := core.New(k, core.Config{})
 		if err != nil {
@@ -114,7 +113,7 @@ func runAblationCapacity(seed int64) (*Report, error) {
 // runAblationSelective compares protecting one app (Sentry's design)
 // against the §7 strawman of encrypting (nearly) all of DRAM at every lock.
 func runAblationSelective(seed int64) (*Report, error) {
-	s := soc.Nexus4(seed)
+	s := bootNexus4(seed)
 	k := kernel.New(s, benchPIN)
 	sn, err := core.New(k, core.Config{})
 	if err != nil {

@@ -26,7 +26,7 @@ func runAnchors(seed int64) (*Report, error) {
 	//    battery drain cycles. Measured over a 32 MB sample and scaled —
 	//    the cost is strictly linear in bytes.
 	{
-		s := soc.Nexus4(seed)
+		s := bootNexus4(seed)
 		base, size := s.UsableIRAM()
 		a, err := onsoc.NewInIRAM(s, onsoc.NewIRAMAlloc(base, size), make([]byte, 16))
 		if err != nil {
@@ -61,7 +61,7 @@ func runAnchors(seed int64) (*Report, error) {
 
 	// 2. Freed-page zeroing: rate and energy.
 	{
-		s := soc.Nexus4(seed)
+		s := bootNexus4(seed)
 		k := kernel.New(s, benchPIN)
 		p := k.NewProcess("bloater", true, false)
 		const pages = 4096 // 16 MB
@@ -84,7 +84,7 @@ func runAnchors(seed int64) (*Report, error) {
 
 	// 3. Interrupt-off window of one AES On SoC page operation.
 	{
-		s := soc.Tegra3(seed)
+		s := bootTegra3(seed)
 		base, size := s.UsableIRAM()
 		a, err := onsoc.NewInIRAM(s, onsoc.NewIRAMAlloc(base, size), make([]byte, 16))
 		if err != nil {
@@ -102,7 +102,7 @@ func runAnchors(seed int64) (*Report, error) {
 	// 4. Minimum on-SoC configuration: a 2-page budget (1 page AES arena +
 	//    1 page application pool) still runs, just slowly.
 	{
-		s := soc.Tegra3(seed)
+		s := bootTegra3(seed)
 		k := kernel.New(s, benchPIN)
 		sn, err := core.New(k, core.Config{})
 		if err != nil {

@@ -34,7 +34,7 @@ func init() {
 func runExtIOMMU(seed int64) (*Report, error) {
 	secret := []byte("IOMMU-GUARDED-SECRET")
 	run := func(useIOMMU, useTZ, spoof bool) (bool, error) {
-		s := soc.Tegra3(seed)
+		s := bootTegra3(seed)
 		addr := soc.DRAMBase + mem.PhysAddr(0x4000)
 		s.DRAM.Write(addr, secret)
 		if useIOMMU {
@@ -112,7 +112,7 @@ func runExtFirmware(seed int64) (*Report, error) {
 	measure := func(zeroIRAM bool, offSeconds float64) (iram, dram float64, err error) {
 		prof := soc.Tegra3Profile()
 		prof.ZeroIRAMOnBoot = zeroIRAM
-		s := soc.New(prof, seed)
+		s := bootProfile(prof, seed)
 		base, size := s.UsableIRAM()
 		for off := uint64(0); off < size; off += 8 {
 			s.IRAM.Write(base+mem.PhysAddr(off), pattern)
@@ -171,9 +171,9 @@ func runExtPinOnSoC(seed int64) (*Report, error) {
 	run := func(pinned bool) (outcome, error) {
 		var s *soc.SoC
 		if pinned {
-			s = soc.New(pinOnSoCProfile(), seed)
+			s = bootProfile(pinOnSoCProfile(), seed)
 		} else {
-			s = soc.Tegra3(seed)
+			s = bootTegra3(seed)
 		}
 		k := kernel.New(s, benchPIN)
 		sn, err := core.New(k, core.Config{})

@@ -7,7 +7,6 @@ import (
 	"sentry/internal/core"
 	"sentry/internal/energy"
 	"sentry/internal/kernel"
-	"sentry/internal/soc"
 )
 
 func init() {
@@ -49,7 +48,7 @@ func measureAppCycle(seed int64, prof apps.Profile) (appCycle, error) {
 
 	// Baseline: the same script with Sentry absent.
 	base := func() (float64, error) {
-		s := soc.Nexus4(seed)
+		s := bootNexus4(seed)
 		k := kernel.New(s, benchPIN)
 		app, err := apps.Launch(k, prof, false)
 		if err != nil {
@@ -64,7 +63,7 @@ func measureAppCycle(seed int64, prof apps.Profile) (appCycle, error) {
 		return appCycle{}, err
 	}
 
-	s := soc.Nexus4(seed)
+	s := bootNexus4(seed)
 	k := kernel.New(s, benchPIN)
 	sn, err := core.New(k, core.Config{})
 	if err != nil {
@@ -159,7 +158,7 @@ func runFig4(seed int64) (*Report, error) {
 func runFig5(seed int64) (*Report, error) {
 	r := &Report{ID: "fig5", Title: "Energy per lock and unlock cycle",
 		Header: []string{"App", "Encrypt-on-Lock (J)", "Decrypt-on-Unlock (J)", "Battery/day @150 unlocks"}}
-	battery := energy.BatteryOf(soc.Nexus4(seed))
+	battery := energy.BatteryOf(bootNexus4(seed))
 	err := forEachApp(seed, func(c appCycle) {
 		daily := battery.DailyFraction(c.lockJoules + c.unlockJoules)
 		r.Add(c.prof.Name, c.lockJoules, c.unlockJoules, fmt.Sprintf("%.2f%%", daily*100))

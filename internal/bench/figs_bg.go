@@ -21,7 +21,7 @@ func init() {
 // time, with Sentry paging through lockedKB of pinned L2 (0 = without
 // Sentry).
 func bgKernelTime(seed int64, prof apps.BgProfile, lockedKB int) (float64, error) {
-	s := soc.Tegra3(seed)
+	s := bootTegra3(seed)
 	k := kernel.New(s, benchPIN)
 	if lockedKB == 0 {
 		app, err := apps.LaunchBackground(k, prof)
@@ -86,7 +86,7 @@ func runFig10(seed int64) (*Report, error) {
 		Header: []string{"Locked ways", "Effective L2", "Sim time (s)", "Slowdown", "Scaled minutes"}}
 	var base float64
 	for ways := 0; ways <= 8; ways++ {
-		s := soc.Tegra3(seed)
+		s := bootTegra3(seed)
 		if ways > 0 {
 			mask := s.L2.AllWaysMask() &^ ((1 << ways) - 1)
 			if err := s.TZ.WithSecure(func() error {

@@ -25,7 +25,7 @@ func init() {
 // direct I/O} × {no crypto, generic AES, Sentry}, MB/s each.
 func runFig9(seed int64) (*Report, error) {
 	run := func(provider string, direct bool, w filebench.Workload) (float64, error) {
-		s := soc.Tegra3(seed)
+		s := bootTegra3(seed)
 		k := kernel.New(s, benchPIN)
 		disk := blockdev.NewRAMDisk(s, 32<<20)
 		var dev blockdev.Device = disk
@@ -124,7 +124,7 @@ func measurePages(s *soc.SoC, pages int, perPage func(dst, src, iv []byte) error
 func nexusVariants() []aesVariant {
 	return []aesVariant{
 		{"Generic AES", func(seed int64, pages int) (float64, float64, error) {
-			s := soc.Nexus4(seed)
+			s := bootNexus4(seed)
 			a, err := onsoc.NewGeneric(s, soc.DRAMBase+0x100000, make([]byte, 16), false)
 			if err != nil {
 				return 0, 0, err
@@ -132,7 +132,7 @@ func nexusVariants() []aesVariant {
 			return measurePages(s, pages, a.EncryptCBCBulk)
 		}},
 		{"Generic AES (in kernel)", func(seed int64, pages int) (float64, float64, error) {
-			s := soc.Nexus4(seed)
+			s := bootNexus4(seed)
 			a, err := onsoc.NewGeneric(s, soc.DRAMBase+0x100000, make([]byte, 16), false)
 			if err != nil {
 				return 0, 0, err
@@ -143,7 +143,7 @@ func nexusVariants() []aesVariant {
 			})
 		}},
 		{"Crypto Hardware", func(seed int64, pages int) (float64, float64, error) {
-			s := soc.Nexus4(seed)
+			s := bootNexus4(seed)
 			s.ScreenLocked = true // the paper measured at phone lock: engine down-clocked
 			p, err := core.NewAccelProvider(s, make([]byte, 16))
 			if err != nil {
@@ -157,7 +157,7 @@ func nexusVariants() []aesVariant {
 func tegraVariants() []aesVariant {
 	return []aesVariant{
 		{"Generic AES", func(seed int64, pages int) (float64, float64, error) {
-			s := soc.Tegra3(seed)
+			s := bootTegra3(seed)
 			a, err := onsoc.NewGeneric(s, soc.DRAMBase+0x100000, make([]byte, 16), false)
 			if err != nil {
 				return 0, 0, err
@@ -165,7 +165,7 @@ func tegraVariants() []aesVariant {
 			return measurePages(s, pages, a.EncryptCBCBulk)
 		}},
 		{"AES_On_SoC (Locked L2)", func(seed int64, pages int) (float64, float64, error) {
-			s := soc.Tegra3(seed)
+			s := bootTegra3(seed)
 			locker, err := onsoc.NewWayLocker(s, aliasBase(s))
 			if err != nil {
 				return 0, 0, err
@@ -177,7 +177,7 @@ func tegraVariants() []aesVariant {
 			return measurePages(s, pages, a.EncryptCBCBulk)
 		}},
 		{"AES_On_SoC (iRAM)", func(seed int64, pages int) (float64, float64, error) {
-			s := soc.Tegra3(seed)
+			s := bootTegra3(seed)
 			base, size := s.UsableIRAM()
 			a, err := onsoc.NewInIRAM(s, onsoc.NewIRAMAlloc(base, size), make([]byte, 16))
 			if err != nil {

@@ -24,7 +24,7 @@ func runTable2(seed int64) (*Report, error) {
 	const window = 4 << 20 // DRAM sample window (decay is i.i.d. per byte)
 
 	measure := func(v attack.ColdBootVariant) (iram, dram float64, err error) {
-		s := soc.Tegra3(seed)
+		s := bootTegra3(seed)
 		regionBase := uint64(s.Prof.DRAMSize) - window
 		for off := uint64(0); off < window; off += 8 {
 			s.DRAM.Store().Write(regionBase+off, pattern)
@@ -79,7 +79,7 @@ type secretStash struct {
 }
 
 func stash(seed int64, place onsoc.Placement) (*secretStash, error) {
-	s := soc.Tegra3(seed)
+	s := bootTegra3(seed)
 	key := []byte("table3 secretkey")
 	marker := []byte("T3-SECRET-MARKER-T3")
 	st := &secretStash{s: s, marker: marker, key: key}
@@ -178,8 +178,10 @@ func runTable3(seed int64) (*Report, error) {
 		if err != nil {
 			return false, err
 		}
-		mon := &attack.BusMonitor{}
-		st.s.Bus.Attach(mon)
+		mon, err := attack.AttachBusMonitor(st.s)
+		if err != nil {
+			return false, err
+		}
 		// Victim activity while probed: encryptions from a cold cache, and
 		// a re-read of the marker after cache pressure.
 		for i := 0; i < 4; i++ {
@@ -194,7 +196,10 @@ func runTable3(seed int64) (*Report, error) {
 		if err != nil {
 			return false, err
 		}
-		scr := attack.MountDMAScrape(st.s)
+		scr, err := attack.MountDMAScrape(st.s)
+		if err != nil {
+			return false, err
+		}
 		return st.recovered(scr.ContainsSecret(st.marker), scr.RecoverKeys()), nil
 	}
 

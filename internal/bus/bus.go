@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"sentry/internal/mem"
+	"sentry/internal/obs"
 	"sentry/internal/sim"
 )
 
@@ -66,6 +67,13 @@ type Bus struct {
 	devices  *mem.Map
 	monitors []Monitor
 	stats    Stats
+
+	// Observability: all nil (and nil-safe) until SetObs wires them.
+	trace      *obs.Tracer
+	ctrReads   *obs.Counter
+	ctrWrites  *obs.Counter
+	ctrRdBytes *obs.Counter
+	ctrWrBytes *obs.Counter
 }
 
 // New returns a bus over the given device map, charging the given cost and
@@ -76,6 +84,18 @@ func New(clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, energy *sim.E
 
 // Devices returns the bus's address map (the off-SoC devices).
 func (b *Bus) Devices() *mem.Map { return b.devices }
+
+// SetObs wires the observability layer. Either argument may be nil; the
+// emit points are nil-gated so a disabled layer costs one branch.
+func (b *Bus) SetObs(tr *obs.Tracer, reg *obs.Registry) {
+	b.mu.Lock()
+	b.trace = tr
+	b.ctrReads = reg.Counter("bus.reads")
+	b.ctrWrites = reg.Counter("bus.writes")
+	b.ctrRdBytes = reg.Counter("bus.bytes_read")
+	b.ctrWrBytes = reg.Counter("bus.bytes_wrote")
+	b.mu.Unlock()
+}
 
 // Attach adds a monitor. Attaching a probe requires physical access; the
 // attack packages call this to model the adversary.
@@ -122,12 +142,27 @@ func (b *Bus) observe(op Op, initiator string, addr mem.PhysAddr, data []byte) {
 	if op == Read {
 		b.stats.Reads++
 		b.stats.BytesRead += uint64(len(data))
+		b.ctrReads.Inc()
+		b.ctrRdBytes.Add(uint64(len(data)))
 	} else {
 		b.stats.Writes++
 		b.stats.BytesWrote += uint64(len(data))
+		b.ctrWrites.Inc()
+		b.ctrWrBytes.Add(uint64(len(data)))
 	}
 	mons := b.monitors
+	tr := b.trace
 	b.mu.Unlock()
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Cycle: b.clock.Cycles(),
+			Kind:  obs.KindBusTxn,
+			Addr:  uint64(addr),
+			Size:  uint64(len(data)),
+			Arg:   uint64(op),
+			Label: initiator,
+		})
+	}
 	if len(mons) == 0 {
 		return
 	}

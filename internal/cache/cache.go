@@ -21,9 +21,11 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sentry/internal/bus"
 	"sentry/internal/mem"
+	"sentry/internal/obs"
 	"sentry/internal/sim"
 )
 
@@ -68,6 +70,14 @@ type L2 struct {
 	allocMask uint32   // bit w set => way w may allocate new lines
 	victim    []int    // per-set round-robin pointer
 	stats     Stats
+
+	// Observability: nil (and nil-safe) until SetObs wires them.
+	trace       *obs.Tracer
+	ctrHits     *obs.Counter
+	ctrMisses   *obs.Counter
+	ctrBypasses *obs.Counter
+	ctrWBs      *obs.Counter
+	gaugeLocked *obs.Gauge
 }
 
 // New returns an L2 of the given geometry in front of the given bus.
@@ -110,6 +120,22 @@ func (c *L2) Stats() Stats { return c.stats }
 // ResetStats zeroes the event counters.
 func (c *L2) ResetStats() { c.stats = Stats{} }
 
+// SetObs wires the observability layer. Either argument may be nil.
+func (c *L2) SetObs(tr *obs.Tracer, reg *obs.Registry) {
+	c.trace = tr
+	c.ctrHits = reg.Counter("cache.hits")
+	c.ctrMisses = reg.Counter("cache.misses")
+	c.ctrBypasses = reg.Counter("cache.bypasses")
+	c.ctrWBs = reg.Counter("cache.writebacks")
+	c.gaugeLocked = reg.Gauge("cache.locked_ways")
+	c.gaugeLocked.Set(int64(c.lockedWays()))
+}
+
+// lockedWays counts ways currently excluded from allocation.
+func (c *L2) lockedWays() int {
+	return c.cfg.Ways - bits.OnesCount32(c.allocMask)
+}
+
 // AllocMask returns the current allocation-enable mask. Bit w set means way
 // w accepts new allocations; a clear bit is a "locked" way in the paper's
 // terminology (its resident lines are pinned).
@@ -119,7 +145,23 @@ func (c *L2) AllocMask() uint32 { return c.allocMask }
 // operation on real hardware; the tz package enforces that, this method is
 // the raw controller interface.
 func (c *L2) SetAllocMask(mask uint32) {
+	old := c.allocMask
 	c.allocMask = mask & ((1 << c.cfg.Ways) - 1)
+	if c.trace != nil && old != c.allocMask {
+		// One event per way whose lockdown state flipped: a newly cleared
+		// alloc bit is a lock, a newly set bit an unlock.
+		cyc := c.clock.Cycles()
+		for w := 0; w < c.cfg.Ways; w++ {
+			bit := uint32(1) << w
+			switch {
+			case old&bit != 0 && c.allocMask&bit == 0:
+				c.trace.Emit(obs.Event{Cycle: cyc, Kind: obs.KindCacheLock, Size: uint64(w), Arg: uint64(c.allocMask)})
+			case old&bit == 0 && c.allocMask&bit != 0:
+				c.trace.Emit(obs.Event{Cycle: cyc, Kind: obs.KindCacheUnlock, Size: uint64(w), Arg: uint64(c.allocMask)})
+			}
+		}
+	}
+	c.gaugeLocked.Set(int64(c.lockedWays()))
 }
 
 func (c *L2) index(addr mem.PhysAddr) (set int, tag uint64) {
@@ -173,6 +215,7 @@ func (c *L2) writeBack(set, way int) {
 	c.bus.WriteFrom("l2", c.lineBase(set, ln.tag), ln.data)
 	ln.dirty = false
 	c.stats.WriteBacks++
+	c.ctrWBs.Inc()
 }
 
 // fill allocates (set,way) with the line containing addr, evicting as needed.
@@ -205,6 +248,7 @@ func (c *L2) access(addr mem.PhysAddr, buf []byte, isWrite bool) {
 			// Every way locked: the controller bypasses to DRAM with
 			// single-beat transactions (no burst amortisation).
 			c.stats.Bypasses++
+			c.ctrBypasses.Inc()
 			c.clock.Advance(c.costs.BypassPenalty)
 			if isWrite {
 				c.bus.WriteFrom("cpu-uncached", addr, buf)
@@ -214,10 +258,12 @@ func (c *L2) access(addr mem.PhysAddr, buf []byte, isWrite bool) {
 			return
 		}
 		c.stats.Misses++
+		c.ctrMisses.Inc()
 		c.fill(set, victim, tag)
 		way = victim
 	} else {
 		c.stats.Hits++
+		c.ctrHits.Inc()
 	}
 	ln := &c.lines[way][set]
 	off := int(uint64(addr) % uint64(c.cfg.LineSize))

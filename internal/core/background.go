@@ -6,6 +6,7 @@ import (
 	"sentry/internal/kernel"
 	"sentry/internal/mem"
 	"sentry/internal/mmu"
+	"sentry/internal/soc"
 )
 
 // Background execution with encrypted DRAM (paper §5, Figure 1): while the
@@ -54,9 +55,9 @@ func (sn *Sentry) BeginBackgroundLimited(p *kernel.Process, lockedKB, maxPoolPag
 func (sn *Sentry) beginBackground(p *kernel.Process, lockedKB, maxPoolPages int) error {
 	switch {
 	case sn.locker == nil:
-		return fmt.Errorf("core: platform %s cannot run locked background sessions", sn.S.Prof.Name)
+		return fmt.Errorf("core: platform %s cannot run locked background sessions: %w", sn.S.Prof.Name, soc.ErrUnsupported)
 	case sn.K.State() == kernel.Unlocked:
-		return fmt.Errorf("core: background sessions only run while locked")
+		return fmt.Errorf("core: background sessions only run while locked: %w", kernel.ErrLocked)
 	case sn.bg != nil:
 		return fmt.Errorf("core: a background session is already active")
 	case !p.Sensitive || !p.Background:
@@ -108,6 +109,7 @@ func (sn *Sentry) BackgroundCapacityPages() int {
 // epoch).
 func (sn *Sentry) cryptAt(addr, ivFrame mem.PhysAddr, decrypt bool) {
 	var page [mem.PageSize]byte
+	startCycle := sn.S.Clock.Cycles()
 	sn.S.CPU.ReadPhys(addr, page[:])
 	iv := sn.pageIV(ivFrame, sn.epochFor(ivFrame, decrypt))
 	var err error
@@ -128,6 +130,7 @@ func (sn *Sentry) cryptAt(addr, ivFrame mem.PhysAddr, decrypt bool) {
 		panic(fmt.Sprintf("core: background crypt failed: %v", err))
 	}
 	sn.S.CPU.WritePhys(addr, page[:])
+	sn.observeCrypt(addr, decrypt, SealBg, startCycle)
 }
 
 // copyPage moves one page between physical locations through the CPU.
@@ -148,7 +151,7 @@ func (sn *Sentry) bgPageOut(slot *bgSlot) {
 		pte.Young = false
 	}
 	slot.occupied = false
-	sn.stats.BgPageOuts++
+	sn.ctrBgOuts.Inc()
 }
 
 // bgPageIn services a young-bit fault for the background process.
@@ -178,7 +181,7 @@ func (sn *Sentry) bgPageIn(p *kernel.Process, v mmu.VirtAddr, pte *mmu.PTE) bool
 	pte.Phys = slot.addr
 	pte.Encrypted = false
 	pte.Young = true
-	sn.stats.BgPageIns++
+	sn.ctrBgIns.Inc()
 	return true
 }
 
@@ -191,7 +194,7 @@ func (sn *Sentry) bgPageIn(p *kernel.Process, v mmu.VirtAddr, pte *mmu.PTE) bool
 func (sn *Sentry) BeginBackgroundPinned(p *kernel.Process, poolPages int) error {
 	switch {
 	case sn.K.State() == kernel.Unlocked:
-		return fmt.Errorf("core: background sessions only run while locked")
+		return fmt.Errorf("core: background sessions only run while locked: %w", kernel.ErrLocked)
 	case sn.bg != nil:
 		return fmt.Errorf("core: a background session is already active")
 	case !p.Sensitive || !p.Background:

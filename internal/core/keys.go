@@ -5,6 +5,7 @@ import (
 
 	"sentry/internal/aes"
 	"sentry/internal/mem"
+	"sentry/internal/obs"
 	"sentry/internal/onsoc"
 	"sentry/internal/soc"
 	"sentry/internal/tz"
@@ -45,6 +46,12 @@ func NewKeyStore(s *soc.SoC, iram *onsoc.IRAMAlloc) (*KeyStore, error) {
 			return nil, err
 		}
 	}
+	if s.Trace != nil {
+		s.Trace.Emit(obs.Event{
+			Cycle: s.Clock.Cycles(), Kind: obs.KindKeyDerive,
+			Addr: uint64(addr), Size: VolatileKeySize, Label: "volatile",
+		})
+	}
 	return &KeyStore{s: s, volAddr: addr}, nil
 }
 
@@ -58,6 +65,21 @@ func (k *KeyStore) VolatileKey() []byte {
 
 // VolatileKeyAddr returns the key's iRAM address (attack tests aim here).
 func (k *KeyStore) VolatileKeyAddr() mem.PhysAddr { return k.volAddr }
+
+// Zeroize destroys the volatile root key in place. Sentry runs it when the
+// device deep-locks: no unlock path out of DeepLocked exists short of a
+// power cycle, which regenerates the key anyway, so keeping the key around
+// only widens the attack window. Idempotent.
+func (k *KeyStore) Zeroize() {
+	zero := make([]byte, VolatileKeySize)
+	k.s.CPU.WritePhys(k.volAddr, zero)
+	if k.s.Trace != nil {
+		k.s.Trace.Emit(obs.Event{
+			Cycle: k.s.Clock.Cycles(), Kind: obs.KindKeyZeroize,
+			Addr: uint64(k.volAddr), Size: VolatileKeySize, Label: "volatile",
+		})
+	}
+}
 
 // DerivePersistentKey derives the dm-crypt root key from the boot password
 // and the secure fuse. It must run with secure-world access; on locked-
@@ -93,6 +115,12 @@ func (k *KeyStore) DerivePersistentKey(password string) ([]byte, error) {
 	}
 	for i := range mac {
 		mac[i] ^= fuse[16+i]
+	}
+	if k.s.Trace != nil {
+		k.s.Trace.Emit(obs.Event{
+			Cycle: k.s.Clock.Cycles(), Kind: obs.KindKeyDerive,
+			Size: uint64(len(mac)), Label: "persistent",
+		})
 	}
 	return mac, nil
 }

@@ -31,6 +31,7 @@ import (
 	"sentry/internal/kernel"
 	"sentry/internal/mem"
 	"sentry/internal/mmu"
+	"sentry/internal/obs"
 	"sentry/internal/onsoc"
 	"sentry/internal/soc"
 )
@@ -48,7 +49,9 @@ type Config struct {
 	Fidelity bool
 }
 
-// Stats counts Sentry activity.
+// Stats counts Sentry activity. Since the observability layer landed it is
+// a snapshot view over the metrics registry (see Sentry.Stats); the struct
+// shape is kept so existing callers read it unchanged.
 type Stats struct {
 	LockEncryptedBytes   uint64 // encrypt-on-lock volume (cumulative)
 	DemandDecryptedBytes uint64 // lazy decrypt volume
@@ -58,6 +61,30 @@ type Stats struct {
 	BgPageOuts           uint64
 	SkippedSharedPages   uint64 // pages shared with non-sensitive processes
 }
+
+// Registry names of the Stats counters, and the seal/unseal latency
+// histograms cryptPage feeds.
+const (
+	MetricLockEncryptedBytes   = "sentry.lock_encrypted_bytes"
+	MetricDemandDecryptedBytes = "sentry.demand_decrypted_bytes"
+	MetricEagerDecryptedBytes  = "sentry.eager_decrypted_bytes"
+	MetricDemandFaults         = "sentry.demand_faults"
+	MetricBgPageIns            = "sentry.bg_page_ins"
+	MetricBgPageOuts           = "sentry.bg_page_outs"
+	MetricSkippedSharedPages   = "sentry.skipped_shared_pages"
+	MetricSealCycles           = "sentry.seal_cycles"   // per-page encrypt latency
+	MetricUnsealCycles         = "sentry.unseal_cycles" // per-page decrypt latency
+)
+
+// Seal labels distinguish why a page was sealed or unsealed in the trace;
+// they match 1:1 with the Stats counters so reports derived from either
+// agree exactly.
+const (
+	SealLock   = "lock"   // encrypt-on-lock
+	SealDemand = "demand" // decrypt-on-first-touch
+	SealEager  = "eager"  // eager decrypt at unlock (DMA regions, kernel)
+	SealBg     = "bg"     // background-session page-in/out
+)
 
 // Sentry is one instance of the system, bound to a kernel.
 type Sentry struct {
@@ -84,7 +111,18 @@ type Sentry struct {
 	// lock; they decrypt eagerly at unlock (kernel code cannot fault).
 	sealedKernelFrames []mem.PhysAddr
 
-	stats Stats
+	// Activity counters live in the platform's metrics registry; Stats()
+	// rebuilds the legacy struct from them.
+	reg            *obs.Registry
+	ctrLockEnc     *obs.Counter
+	ctrDemandDec   *obs.Counter
+	ctrEagerDec    *obs.Counter
+	ctrDemandFault *obs.Counter
+	ctrBgIns       *obs.Counter
+	ctrBgOuts      *obs.Counter
+	ctrSkipped     *obs.Counter
+	histSeal       *obs.Histogram
+	histUnseal     *obs.Histogram
 }
 
 // New installs Sentry into k. On platforms with secure-world access the
@@ -98,6 +136,26 @@ func New(k *kernel.Kernel, cfg Config) (*Sentry, error) {
 		iram:       onsoc.NewIRAMAlloc(base, size),
 		frameEpoch: make(map[mem.PhysAddr]uint64),
 	}
+
+	// Sentry's activity counters live in the platform registry. If the
+	// caller has not instrumented the SoC, install a private registry now
+	// (no tracer) so Stats() always works and components share it.
+	if s.Metrics == nil {
+		s.Instrument(s.Trace, obs.NewRegistry())
+	}
+	sn.reg = s.Metrics
+	sn.ctrLockEnc = sn.reg.Counter(MetricLockEncryptedBytes)
+	sn.ctrDemandDec = sn.reg.Counter(MetricDemandDecryptedBytes)
+	sn.ctrEagerDec = sn.reg.Counter(MetricEagerDecryptedBytes)
+	sn.ctrDemandFault = sn.reg.Counter(MetricDemandFaults)
+	sn.ctrBgIns = sn.reg.Counter(MetricBgPageIns)
+	sn.ctrBgOuts = sn.reg.Counter(MetricBgPageOuts)
+	sn.ctrSkipped = sn.reg.Counter(MetricSkippedSharedPages)
+	// Page seal/unseal run tens of thousands of cycles on the bulk model
+	// and millions under full fidelity; geometric buckets span both.
+	sealBounds := obs.ExpBounds(4096, 2, 16)
+	sn.histSeal = sn.reg.Histogram(MetricSealCycles, sealBounds)
+	sn.histUnseal = sn.reg.Histogram(MetricUnsealCycles, sealBounds)
 
 	if s.Prof.CacheLockable {
 		locker, err := onsoc.NewWayLocker(s, k.AliasRegion.Base)
@@ -128,6 +186,9 @@ func New(k *kernel.Kernel, cfg Config) (*Sentry, error) {
 	k.FlushMaskFn = sn.flushMask
 	k.OnLock = append(k.OnLock, sn.encryptOnLock)
 	k.OnUnlock = append(k.OnUnlock, sn.onUnlock)
+	// Deep lock is terminal until a power cycle, so the volatile key serves
+	// no further purpose — destroy it rather than leave it in iRAM.
+	k.OnDeepLock = append(k.OnDeepLock, sn.keys.Zeroize)
 	prevHook := k.FaultHook
 	k.FaultHook = func(p *kernel.Process, f *mmu.Fault) bool {
 		if sn.handleFault(p, f) {
@@ -138,8 +199,22 @@ func New(k *kernel.Kernel, cfg Config) (*Sentry, error) {
 	return sn, nil
 }
 
-// Stats returns a snapshot of activity counters.
-func (sn *Sentry) Stats() Stats { return sn.stats }
+// Stats returns a snapshot of activity counters, read from the metrics
+// registry.
+func (sn *Sentry) Stats() Stats {
+	return Stats{
+		LockEncryptedBytes:   sn.ctrLockEnc.Value(),
+		DemandDecryptedBytes: sn.ctrDemandDec.Value(),
+		EagerDecryptedBytes:  sn.ctrEagerDec.Value(),
+		DemandFaults:         sn.ctrDemandFault.Value(),
+		BgPageIns:            sn.ctrBgIns.Value(),
+		BgPageOuts:           sn.ctrBgOuts.Value(),
+		SkippedSharedPages:   sn.ctrSkipped.Value(),
+	}
+}
+
+// Metrics returns the registry Sentry records into.
+func (sn *Sentry) Metrics() *obs.Registry { return sn.reg }
 
 // Engine exposes the AES On SoC instance (benchmarks compare it against
 // generic providers).
@@ -184,10 +259,13 @@ func (sn *Sentry) epochFor(frame mem.PhysAddr, decrypt bool) uint64 {
 	return sn.epoch
 }
 
-// cryptPage encrypts or decrypts the 4 KB at frame in place.
-func (sn *Sentry) cryptPage(frame mem.PhysAddr, decrypt bool) {
+// cryptPage encrypts or decrypts the 4 KB at frame in place. label says why
+// (SealLock, SealDemand, SealEager, SealBg) and is carried on the trace
+// event so trace-derived reports can split volumes the same way Stats does.
+func (sn *Sentry) cryptPage(frame mem.PhysAddr, decrypt bool, label string) {
 	var page [mem.PageSize]byte
 	cpu := sn.S.CPU
+	startCycle := sn.S.Clock.Cycles()
 	cpu.ReadPhys(frame, page[:])
 	iv := sn.pageIV(frame, sn.epochFor(frame, decrypt))
 	var err error
@@ -208,6 +286,31 @@ func (sn *Sentry) cryptPage(frame mem.PhysAddr, decrypt bool) {
 		panic(fmt.Sprintf("core: page crypt failed: %v", err)) // sizes are fixed; cannot happen
 	}
 	cpu.WritePhys(frame, page[:])
+	sn.observeCrypt(frame, decrypt, label, startCycle)
+}
+
+// observeCrypt records one page seal/unseal: a latency observation and,
+// when tracing is on, a PageSeal/PageUnseal event whose Arg is the cycle
+// span the operation took.
+func (sn *Sentry) observeCrypt(frame mem.PhysAddr, decrypt bool, label string, startCycle uint64) {
+	span := sn.S.Clock.Cycles() - startCycle
+	kind := obs.KindPageSeal
+	if decrypt {
+		kind = obs.KindPageUnseal
+		sn.histUnseal.Observe(span)
+	} else {
+		sn.histSeal.Observe(span)
+	}
+	if tr := sn.S.Trace; tr != nil {
+		tr.Emit(obs.Event{
+			Cycle: sn.S.Clock.Cycles(),
+			Kind:  kind,
+			Addr:  uint64(frame),
+			Size:  mem.PageSize,
+			Arg:   span,
+			Label: label,
+		})
+	}
 }
 
 // pageSafeToSkip implements the shared-page policy: a page shared with any
@@ -246,13 +349,13 @@ func (sn *Sentry) encryptOnLock() {
 				continue
 			}
 			if sn.pageSafeToSkip(p, v) {
-				sn.stats.SkippedSharedPages++
+				sn.ctrSkipped.Inc()
 				continue
 			}
 			frame := mem.PageBase(pte.Phys)
 			if !done[frame] {
-				sn.cryptPage(frame, false)
-				sn.stats.LockEncryptedBytes += mem.PageSize
+				sn.cryptPage(frame, false, SealLock)
+				sn.ctrLockEnc.Add(mem.PageSize)
 				done[frame] = true
 			}
 			sn.markEncrypted(p, v)
@@ -267,8 +370,8 @@ func (sn *Sentry) encryptOnLock() {
 	for _, nr := range sn.K.SensitiveKernelRanges {
 		for off := uint64(0); off < nr.Size; off += mem.PageSize {
 			frame := nr.Base + mem.PhysAddr(off)
-			sn.cryptPage(frame, false)
-			sn.stats.LockEncryptedBytes += mem.PageSize
+			sn.cryptPage(frame, false, SealLock)
+			sn.ctrLockEnc.Add(mem.PageSize)
 			sn.sealedKernelFrames = append(sn.sealedKernelFrames, frame)
 		}
 	}
@@ -307,8 +410,8 @@ func (sn *Sentry) flushMask() uint32 {
 func (sn *Sentry) onUnlock() {
 	sn.endBackground()
 	for _, frame := range sn.sealedKernelFrames {
-		sn.cryptPage(frame, true)
-		sn.stats.EagerDecryptedBytes += mem.PageSize
+		sn.cryptPage(frame, true, SealEager)
+		sn.ctrEagerDec.Add(mem.PageSize)
 	}
 	sn.sealedKernelFrames = nil
 	for _, p := range sn.K.Processes() {
@@ -331,8 +434,8 @@ func (sn *Sentry) decryptDMARegion(p *kernel.Process, r kernel.Range) {
 		if pte == nil || !pte.Encrypted {
 			continue
 		}
-		sn.cryptPage(frame, true)
-		sn.stats.EagerDecryptedBytes += mem.PageSize
+		sn.cryptPage(frame, true, SealEager)
+		sn.ctrEagerDec.Add(mem.PageSize)
 		pte.Encrypted = false
 		pte.Young = true
 		_ = v
@@ -368,10 +471,10 @@ func (sn *Sentry) handleFault(p *kernel.Process, f *mmu.Fault) bool {
 		// A parked process touched an encrypted page while locked — refuse.
 		return false
 	}
-	sn.stats.DemandFaults++
+	sn.ctrDemandFault.Inc()
 	frame := mem.PageBase(pte.Phys)
-	sn.cryptPage(frame, true)
-	sn.stats.DemandDecryptedBytes += mem.PageSize
+	sn.cryptPage(frame, true, SealDemand)
+	sn.ctrDemandDec.Add(mem.PageSize)
 	pte.Encrypted = false
 	pte.Young = true
 	// Keep sharers consistent.

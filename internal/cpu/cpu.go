@@ -18,6 +18,7 @@ import (
 	"sentry/internal/cache"
 	"sentry/internal/mem"
 	"sentry/internal/mmu"
+	"sentry/internal/obs"
 	"sentry/internal/sim"
 )
 
@@ -71,6 +72,12 @@ type CPU struct {
 	Faults         uint64
 	ContextSwaps   uint64
 	RegisterSpills uint64
+
+	// Observability: nil (and nil-safe) until SetObs wires them.
+	trace     *obs.Tracer
+	ctrFaults *obs.Counter
+	ctrSwaps  *obs.Counter
+	ctrSpills *obs.Counter
 }
 
 // New returns a CPU wired to the given memory system. iram may be nil for
@@ -81,6 +88,14 @@ func New(clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, energy *sim.E
 		clock: clock, meter: meter, costs: costs, energy: energy,
 		l2: l2, bus: b, iram: iram, irqOn: true,
 	}
+}
+
+// SetObs wires the observability layer. Either argument may be nil.
+func (c *CPU) SetObs(tr *obs.Tracer, reg *obs.Registry) {
+	c.trace = tr
+	c.ctrFaults = reg.Counter("cpu.faults")
+	c.ctrSwaps = reg.Counter("cpu.context_switches")
+	c.ctrSpills = reg.Counter("cpu.register_spills")
 }
 
 // Clock returns the CPU's clock (shared with the rest of the platform).
@@ -177,6 +192,7 @@ func (c *CPU) translate(v mmu.VirtAddr, write bool) (mem.PhysAddr, error) {
 			return p, nil
 		}
 		c.Faults++
+		c.ctrFaults.Inc()
 		c.clock.Advance(c.costs.PageFaultTrap)
 		if c.FaultHandler == nil || !c.FaultHandler(fault) {
 			return 0, fault
@@ -250,6 +266,9 @@ func (c *CPU) StoreWord(v mmu.VirtAddr, w uint32) error {
 func (c *CPU) DisableIRQ() {
 	c.irqOn = false
 	c.clock.Advance(c.costs.IRQToggle)
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{Cycle: c.clock.Cycles(), Kind: obs.KindIRQMask, Arg: 1})
+	}
 }
 
 // EnableIRQ unmasks interrupts. Callers holding secrets in registers must
@@ -257,6 +276,9 @@ func (c *CPU) DisableIRQ() {
 func (c *CPU) EnableIRQ() {
 	c.irqOn = true
 	c.clock.Advance(c.costs.IRQToggle)
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{Cycle: c.clock.Cycles(), Kind: obs.KindIRQMask, Arg: 0})
+	}
 }
 
 // IRQEnabled reports whether interrupts are unmasked.
@@ -281,6 +303,7 @@ func (c *CPU) ContextSwitch(next *mmu.AddressSpace) bool {
 	c.SpillRegs()
 	c.AS = next
 	c.ContextSwaps++
+	c.ctrSwaps.Inc()
 	c.clock.Advance(c.costs.ContextSwitch)
 	return true
 }
@@ -298,4 +321,5 @@ func (c *CPU) SpillRegs() {
 	}
 	c.WritePhys(c.KernelStack-mem.PhysAddr(len(buf)), buf)
 	c.RegisterSpills++
+	c.ctrSpills.Inc()
 }

@@ -19,6 +19,7 @@ import (
 
 	"sentry/internal/bus"
 	"sentry/internal/mem"
+	"sentry/internal/obs"
 	"sentry/internal/sim"
 )
 
@@ -46,6 +47,12 @@ type Controller struct {
 	// asserted identity.
 	iommu      *IOMMU
 	assertedID string
+
+	// Observability: nil (and nil-safe) until SetObs wires them.
+	trace     *obs.Tracer
+	ctrXfers  *obs.Counter
+	ctrBytes  *obs.Counter
+	ctrDenied *obs.Counter
 }
 
 // New returns a DMA controller on the given bus with the given on-SoC
@@ -56,6 +63,38 @@ func New(name string, b *bus.Bus, onchip *mem.Map, clock *sim.Clock, costs *sim.
 
 // Name returns the controller name as it appears in bus traces.
 func (c *Controller) Name() string { return c.name }
+
+// SetObs wires the observability layer. Either argument may be nil.
+func (c *Controller) SetObs(tr *obs.Tracer, reg *obs.Registry) {
+	c.trace = tr
+	c.ctrXfers = reg.Counter("dma." + c.name + ".xfers")
+	c.ctrBytes = reg.Counter("dma." + c.name + ".bytes")
+	c.ctrDenied = reg.Counter("dma." + c.name + ".denied")
+}
+
+// emit records one DMA transfer event; denied transfers carry Arg=1.
+func (c *Controller) emit(addr mem.PhysAddr, n int, denied bool) {
+	if denied {
+		c.ctrDenied.Inc()
+	} else {
+		c.ctrXfers.Inc()
+		c.ctrBytes.Add(uint64(n))
+	}
+	if c.trace != nil {
+		var arg uint64
+		if denied {
+			arg = 1
+		}
+		c.trace.Emit(obs.Event{
+			Cycle: c.clock.Cycles(),
+			Kind:  obs.KindDMAXfer,
+			Addr:  uint64(addr),
+			Size:  uint64(n),
+			Arg:   arg,
+			Label: c.name,
+		})
+	}
+}
 
 func (c *Controller) charge(n int) {
 	c.clock.Advance(uint64((n+3)/4) * c.costs.DMAWordCost)
@@ -78,6 +117,7 @@ func (c *Controller) authorize(addr mem.PhysAddr, n int) error {
 // dirty cache lines are NOT observed.
 func (c *Controller) ReadFromMem(addr mem.PhysAddr, n int) ([]byte, error) {
 	if err := c.authorize(addr, n); err != nil {
+		c.emit(addr, n, true)
 		return nil, err
 	}
 	buf := make([]byte, n)
@@ -85,6 +125,7 @@ func (c *Controller) ReadFromMem(addr mem.PhysAddr, n int) ([]byte, error) {
 		if d := c.onchip.Find(addr); d != nil {
 			d.Read(addr, buf)
 			c.charge(n)
+			c.emit(addr, n, false)
 			return buf, nil
 		}
 	}
@@ -93,6 +134,7 @@ func (c *Controller) ReadFromMem(addr mem.PhysAddr, n int) ([]byte, error) {
 	}
 	c.bus.ReadInto(c.name, addr, buf)
 	c.charge(n)
+	c.emit(addr, n, false)
 	return buf, nil
 }
 
@@ -101,12 +143,14 @@ func (c *Controller) ReadFromMem(addr mem.PhysAddr, n int) ([]byte, error) {
 // cache is not informed.
 func (c *Controller) WriteToMem(addr mem.PhysAddr, data []byte) error {
 	if err := c.authorize(addr, len(data)); err != nil {
+		c.emit(addr, len(data), true)
 		return err
 	}
 	if c.onchip != nil {
 		if d := c.onchip.Find(addr); d != nil {
 			d.Write(addr, data)
 			c.charge(len(data))
+			c.emit(addr, len(data), false)
 			return nil
 		}
 	}
@@ -115,6 +159,7 @@ func (c *Controller) WriteToMem(addr mem.PhysAddr, data []byte) error {
 	}
 	c.bus.WriteFrom(c.name, addr, data)
 	c.charge(len(data))
+	c.emit(addr, len(data), false)
 	return nil
 }
 

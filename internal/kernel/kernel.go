@@ -7,11 +7,23 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 
 	"sentry/internal/mem"
 	"sentry/internal/mmu"
+	"sentry/internal/obs"
 	"sentry/internal/soc"
+)
+
+// Sentinel errors for lock-state failures. They are wrapped with context by
+// the operations that return them; test with errors.Is.
+var (
+	// ErrBadPIN reports a PIN that did not match.
+	ErrBadPIN = errors.New("kernel: wrong PIN")
+	// ErrLocked reports an operation the current lock state forbids (an
+	// unlock attempt while deep-locked, background work while unlocked, ...).
+	ErrLocked = errors.New("kernel: lock state forbids this operation")
 )
 
 // LockState is the device lock state machine.
@@ -92,9 +104,13 @@ type Kernel struct {
 	pinFailures int
 
 	// OnLock/OnUnlock hooks run on state transitions (Sentry's
-	// encrypt-on-lock / arm-decrypt-on-unlock live here).
-	OnLock   []func()
-	OnUnlock []func()
+	// encrypt-on-lock / arm-decrypt-on-unlock live here). OnDeepLock runs
+	// once when repeated PIN failures push the device into DeepLocked —
+	// Sentry destroys the volatile key there, since no unlock path out of
+	// DeepLocked exists short of a power cycle.
+	OnLock     []func()
+	OnUnlock   []func()
+	OnDeepLock []func()
 
 	// FlushMaskFn supplies the way mask every kernel-initiated L2
 	// maintenance operation must use. Sentry installs it so locked ways are
@@ -154,6 +170,21 @@ func New(s *soc.SoC, pin string) *Kernel {
 // Pages exposes the physical page allocator.
 func (k *Kernel) Pages() *PageAllocator { return k.pages }
 
+// stateChange moves the lock state machine and emits one StateChange event
+// labelled "old->new".
+func (k *Kernel) stateChange(to LockState) {
+	from := k.lockState
+	k.lockState = to
+	if tr := k.SoC.Trace; tr != nil && from != to {
+		tr.Emit(obs.Event{
+			Cycle: k.SoC.Clock.Cycles(),
+			Kind:  obs.KindStateChange,
+			Arg:   uint64(to),
+			Label: from.String() + "->" + to.String(),
+		})
+	}
+}
+
 // State returns the current lock state.
 func (k *Kernel) State() LockState { return k.lockState }
 
@@ -165,6 +196,7 @@ func (k *Kernel) NewProcess(name string, sensitive, background bool) *Process {
 		sharedPages: make(map[mmu.VirtAddr][]int),
 		nextMap:     0x0001_0000,
 	}
+	p.AS.SetObs(k.SoC.Metrics)
 	k.nextPID++
 	k.procs[p.PID] = p
 	if k.current == nil {
@@ -309,27 +341,32 @@ func (k *Kernel) Lock() {
 	for _, fn := range k.OnLock {
 		fn()
 	}
-	k.lockState = ScreenLocked
+	k.stateChange(ScreenLocked)
 	k.SoC.ScreenLocked = true
 }
 
 // Unlock attempts a PIN unlock. Too many failures deep-lock the device.
+// Failures are errors.Is-testable: ErrLocked while deep-locked, ErrBadPIN
+// for a wrong PIN.
 func (k *Kernel) Unlock(pin string) error {
 	switch k.lockState {
 	case Unlocked:
 		return nil
 	case DeepLocked:
-		return fmt.Errorf("kernel: device is deep-locked")
+		return fmt.Errorf("device is deep-locked: %w", ErrLocked)
 	}
 	if pin != k.pin {
 		k.pinFailures++
 		if k.pinFailures >= MaxPINAttempts {
-			k.lockState = DeepLocked
+			k.stateChange(DeepLocked)
+			for _, fn := range k.OnDeepLock {
+				fn()
+			}
 		}
-		return fmt.Errorf("kernel: wrong PIN (%d/%d attempts)", k.pinFailures, MaxPINAttempts)
+		return fmt.Errorf("%w (%d/%d attempts)", ErrBadPIN, k.pinFailures, MaxPINAttempts)
 	}
 	k.pinFailures = 0
-	k.lockState = Unlocked
+	k.stateChange(Unlocked)
 	k.SoC.ScreenLocked = false
 	for _, fn := range k.OnUnlock {
 		fn()

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"sentry/internal/mem"
+	"sentry/internal/obs"
 )
 
 // VirtAddr is a per-process virtual address.
@@ -83,11 +84,24 @@ type PTE struct {
 // AddressSpace is one process's page table.
 type AddressSpace struct {
 	entries map[uint64]*PTE // vpn → pte
+
+	// Fault counters by kind, resolved by the kernel when observability is
+	// on. Nil counters are no-ops, so Translate never branches on "enabled".
+	ctrNotPresent *obs.Counter
+	ctrAccessFlag *obs.Counter
+	ctrProtection *obs.Counter
 }
 
 // NewAddressSpace returns an empty address space.
 func NewAddressSpace() *AddressSpace {
 	return &AddressSpace{entries: make(map[uint64]*PTE)}
+}
+
+// SetObs resolves the per-kind fault counters from reg (which may be nil).
+func (a *AddressSpace) SetObs(reg *obs.Registry) {
+	a.ctrNotPresent = reg.Counter("mmu.faults.not_present")
+	a.ctrAccessFlag = reg.Counter("mmu.faults.access_flag")
+	a.ctrProtection = reg.Counter("mmu.faults.protection")
 }
 
 // Map installs pte for the page containing v (page-aligned internally).
@@ -128,12 +142,15 @@ func (a *AddressSpace) Len() int { return len(a.entries) }
 func (a *AddressSpace) Translate(v VirtAddr, write bool) (mem.PhysAddr, *Fault) {
 	pte := a.Lookup(v)
 	if pte == nil || !pte.Present {
+		a.ctrNotPresent.Inc()
 		return 0, &Fault{Kind: FaultNotPresent, Addr: v, Write: write}
 	}
 	if !pte.Young {
+		a.ctrAccessFlag.Inc()
 		return 0, &Fault{Kind: FaultAccessFlag, Addr: v, Write: write}
 	}
 	if write && !pte.Writable {
+		a.ctrProtection.Inc()
 		return 0, &Fault{Kind: FaultProtection, Addr: v, Write: write}
 	}
 	return pte.Phys + mem.PhysAddr(uint64(v)&(PageSize-1)), nil

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. A nil *Counter is a no-op,
+// so instrumented code can hold unresolved counters without branching.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Zero for nil.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// set overwrites the count; used only by Registry.Reset and Stats rebuilds.
+func (c *Counter) set(n uint64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
+// Gauge is a settable int64 level (e.g. locked ways, live background
+// slots). A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value. No-op on nil.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (negative allowed). No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level. Zero for nil.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates observations into fixed buckets chosen at
+// construction. Buckets are upper-bound-inclusive: observation x lands in
+// the first bucket with x <= bound; values above the last bound land in the
+// implicit overflow bucket. A nil *Histogram is a no-op.
+//
+// Intended for simulated latency (cycles) and energy (picojoules) where
+// the value range is known, so fixed bounds beat dynamic bucketing and the
+// observe path is one mutex + binary search.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []uint64 // ascending upper bounds
+	counts []uint64 // len(bounds)+1: last is overflow
+	sum    uint64
+	n      uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+// Panics on empty or non-ascending bounds (construction-time programmer
+// error, not runtime input).
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// ExpBounds returns n bounds growing geometrically from start by factor —
+// a convenience for latency-style histograms (e.g. ExpBounds(1000, 2, 12)).
+func ExpBounds(start uint64, factor float64, n int) []uint64 {
+	if start == 0 {
+		start = 1
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	out := make([]uint64, 0, n)
+	v := float64(start)
+	var prev uint64
+	for len(out) < n {
+		b := uint64(math.Round(v))
+		if b <= prev {
+			b = prev + 1
+		}
+		out = append(out, b)
+		prev = b
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state.
+type HistSnapshot struct {
+	Bounds []uint64 // ascending upper bounds
+	Counts []uint64 // len(Bounds)+1; last is overflow (> last bound)
+	Sum    uint64
+	N      uint64
+}
+
+// Mean returns the arithmetic mean of observations, 0 if none.
+func (s HistSnapshot) Mean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.N)
+}
+
+// Snapshot returns a copy of the histogram state. Empty snapshot for nil.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HistSnapshot{
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		N:      h.n,
+	}
+	return out
+}
+
+// Count returns the number of observations. Zero for nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of observations. Zero for nil.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// reset zeroes the histogram in place.
+func (h *Histogram) reset() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.sum, h.n = 0, 0
+	h.mu.Unlock()
+}
+
+// Registry is a get-or-create namespace of metrics. Instruments are
+// resolved once at wiring time and then used lock-free; the registry map
+// itself is only touched during resolution and snapshotting.
+//
+// A nil *Registry hands back nil instruments, which are themselves no-ops —
+// so `reg.Counter("x").Add(1)` is safe and near-free when observability is
+// off.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gaugs map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		gaugs: make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil for a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.ctrs[name]
+	if c == nil {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil for a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gaugs[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gaugs[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bounds on first
+// use. Later callers get the existing instrument regardless of bounds; nil
+// for a nil registry.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue returns the named counter's value without creating it.
+func (r *Registry) CounterValue(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.ctrs[name]
+	r.mu.Unlock()
+	return c.Value()
+}
+
+// Reset zeroes every registered instrument (instruments stay registered and
+// resolved pointers stay valid).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.ctrs {
+		c.set(0)
+	}
+	for _, g := range r.gaugs {
+		g.Set(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// Dump renders every instrument as "name value" lines sorted by name —
+// a debugging aid for the CLIs, not a stable wire format.
+func (r *Registry) Dump() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.ctrs)+len(r.gaugs)+len(r.hists))
+	for n, c := range r.ctrs {
+		lines = append(lines, fmt.Sprintf("%s %d", n, c.Value()))
+	}
+	for n, g := range r.gaugs {
+		lines = append(lines, fmt.Sprintf("%s %d", n, g.Value()))
+	}
+	for n, h := range r.hists {
+		s := h.Snapshot()
+		lines = append(lines, fmt.Sprintf("%s n=%d sum=%d mean=%.1f", n, s.N, s.Sum, s.Mean()))
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

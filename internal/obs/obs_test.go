@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: KindBusTxn})
+	tr.SetKinds(AllKinds)
+	tr.AddSink(NewMemorySink(AllKinds))
+	if tr.Cap() != 0 || tr.Emitted() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reported non-zero state")
+	}
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer returned events")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	if tr.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", tr.Cap())
+	}
+	for i := 0; i < 20; i++ {
+		tr.Emit(Event{Kind: KindBusTxn, Addr: uint64(i)})
+	}
+	if tr.Emitted() != 20 {
+		t.Fatalf("emitted = %d", tr.Emitted())
+	}
+	if tr.Dropped() != 12 {
+		t.Fatalf("dropped = %d, want 12", tr.Dropped())
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("snapshot len = %d, want 8", len(evs))
+	}
+	// The retained window must be the LAST 8 events, in seq order.
+	for i, ev := range evs {
+		want := uint64(12 + i)
+		if ev.Seq != want || ev.Addr != want {
+			t.Fatalf("slot %d: seq=%d addr=%d, want %d", i, ev.Seq, ev.Addr, want)
+		}
+	}
+}
+
+func TestTracerRounding(t *testing.T) {
+	if got := NewTracer(3).Cap(); got != 8 {
+		t.Fatalf("min cap = %d, want 8", got)
+	}
+	if got := NewTracer(9).Cap(); got != 16 {
+		t.Fatalf("cap(9) = %d, want 16", got)
+	}
+}
+
+func TestKindFilter(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetKinds(Mask(KindPageSeal, KindPageUnseal))
+	tr.Emit(Event{Kind: KindBusTxn})
+	tr.Emit(Event{Kind: KindPageSeal, Size: 4096})
+	tr.Emit(Event{Kind: KindIRQMask})
+	tr.Emit(Event{Kind: KindPageUnseal, Size: 4096})
+	evs := tr.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != KindPageSeal || evs[1].Kind != KindPageUnseal {
+		t.Fatalf("wrong kinds survived filter: %v %v", evs[0].Kind, evs[1].Kind)
+	}
+	// Filtered events are not even assigned sequence numbers.
+	if tr.Emitted() != 2 {
+		t.Fatalf("emitted = %d, want 2", tr.Emitted())
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	tr := NewTracer(256)
+	sink := NewMemorySink(AllKinds)
+	tr.AddSink(sink)
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(Event{Kind: Kind(i % int(kindCount)), Addr: uint64(g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Emitted() != goroutines*per {
+		t.Fatalf("emitted = %d, want %d", tr.Emitted(), goroutines*per)
+	}
+	if sink.Len() != goroutines*per {
+		t.Fatalf("sink saw %d, want %d", sink.Len(), goroutines*per)
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 256 {
+		t.Fatalf("snapshot len = %d, want full ring", len(evs))
+	}
+	seen := make(map[uint64]bool, len(evs))
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d in snapshot", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: KindBusTxn})
+	}
+	tr.Reset()
+	if tr.Emitted() != 0 || len(tr.Snapshot()) != 0 {
+		t.Fatal("reset did not clear tracer")
+	}
+	tr.Emit(Event{Kind: KindBusTxn})
+	if got := tr.Snapshot(); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatal("post-reset emit broken")
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(0); k < kindCount; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Fatalf("kind %d does not round-trip via %q", k, k.String())
+		}
+	}
+	if _, ok := KindFromString("nonsense"); ok {
+		t.Fatal("unknown kind name accepted")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(64)
+	tr.AddSink(NewJSONLSink(&buf))
+	want := []Event{
+		{Cycle: 100, Kind: KindPageSeal, Addr: 0x8000_0000, Size: 4096, Arg: 7000, Label: "contacts"},
+		{Cycle: 200, Kind: KindStateChange, Label: "unlocked->screen-locked"},
+		{Cycle: 300, Kind: KindBusTxn, Addr: 64, Size: 32},
+	}
+	for _, ev := range want {
+		tr.Emit(ev)
+	}
+	got, err := ReadJSONL(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d", len(got), len(want))
+	}
+	for i, ev := range got {
+		w := want[i]
+		w.Seq = uint64(i)
+		if ev != w {
+			t.Fatalf("event %d: got %+v want %+v", i, ev, w)
+		}
+	}
+}
+
+func TestJSONLUnknownKind(t *testing.T) {
+	if _, err := ReadJSONL([]byte(`{"seq":0,"cycle":1,"kind":"bogus"}` + "\n")); err == nil {
+		t.Fatal("unknown kind decoded without error")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var nilC *Counter
+	nilC.Add(5)
+	nilC.Inc()
+	if nilC.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	var nilG *Gauge
+	nilG.Set(3)
+	nilG.Add(-1)
+	if nilG.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+
+	reg := NewRegistry()
+	c := reg.Counter("x")
+	c.Add(2)
+	c.Inc()
+	if reg.Counter("x").Value() != 3 {
+		t.Fatal("counter not shared by name")
+	}
+	g := reg.Gauge("y")
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+	if reg.CounterValue("absent") != 0 {
+		t.Fatal("absent counter non-zero")
+	}
+
+	var nilReg *Registry
+	nilReg.Counter("a").Inc()
+	nilReg.Gauge("b").Set(1)
+	nilReg.Histogram("c", []uint64{1}).Observe(1)
+	if nilReg.CounterValue("a") != 0 {
+		t.Fatal("nil registry accumulated")
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	// Bounds are inclusive upper edges.
+	h.Observe(0)    // bucket 0
+	h.Observe(10)   // bucket 0 (== bound)
+	h.Observe(11)   // bucket 1
+	h.Observe(100)  // bucket 1
+	h.Observe(101)  // bucket 2
+	h.Observe(1000) // bucket 2
+	h.Observe(1001) // overflow
+	s := h.Snapshot()
+	wantCounts := []uint64{2, 2, 2, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.N != 7 || s.Sum != 0+10+11+100+101+1000+1001 {
+		t.Fatalf("n=%d sum=%d", s.N, s.Sum)
+	}
+	if got := s.Mean(); got < 317 || got > 318 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramRegistryAndReset(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []uint64{10, 20})
+	h.Observe(5)
+	if reg.Histogram("lat", nil) != h {
+		t.Fatal("histogram not shared by name")
+	}
+	reg.Counter("c").Add(9)
+	reg.Gauge("g").Set(4)
+	reg.Reset()
+	if h.Count() != 0 || reg.CounterValue("c") != 0 || reg.Gauge("g").Value() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// Resolved pointers stay live after reset.
+	h.Observe(15)
+	if h.Count() != 1 {
+		t.Fatal("histogram dead after reset")
+	}
+}
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(1000, 2, 5)
+	want := []uint64{1000, 2000, 4000, 8000, 16000}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds = %v", b)
+		}
+	}
+	// Degenerate inputs still produce strictly ascending bounds.
+	b = ExpBounds(0, 0.5, 4)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("non-ascending bounds %v", b)
+		}
+	}
+}
+
+func TestMemorySinkFilterAndSums(t *testing.T) {
+	sink := NewMemorySink(Mask(KindPageSeal))
+	tr := NewTracer(8)
+	tr.AddSink(sink)
+	tr.Emit(Event{Kind: KindPageSeal, Size: 4096})
+	tr.Emit(Event{Kind: KindPageUnseal, Size: 4096})
+	tr.Emit(Event{Kind: KindPageSeal, Size: 4096})
+	if sink.Len() != 2 || sink.Count(KindPageSeal) != 2 {
+		t.Fatalf("sink retained %d", sink.Len())
+	}
+	if sink.SumSize(KindPageSeal) != 8192 {
+		t.Fatalf("sum = %d", sink.SumSize(KindPageSeal))
+	}
+	sink.Reset()
+	if sink.Len() != 0 {
+		t.Fatal("sink reset failed")
+	}
+}
+
+// BenchmarkTracerDisabled is the guard benchmark for the <5% disabled-
+// tracer overhead acceptance bar. It measures the emit-point pattern as
+// deployed in the simulator's hot paths — the call site nil-gates the
+// tracer before constructing the Event, and counters are nil-safe — with
+// everything disabled, vs BenchmarkNoEmitBaseline's bare loop body.
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	var c *Counter
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += work(uint64(i))
+		if tr != nil {
+			tr.Emit(Event{Kind: KindBusTxn, Addr: acc, Size: 32})
+		}
+		c.Add(32)
+	}
+	sinkHole = acc
+}
+
+// BenchmarkNoEmitBaseline is the comparison loop with no instrumentation
+// at all.
+func BenchmarkNoEmitBaseline(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += work(uint64(i))
+	}
+	sinkHole = acc
+}
+
+// BenchmarkTracerEnabled measures the hot emit path with an active ring
+// (no sinks), for reference in perf PRs.
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr := NewTracer(DefaultRingSize)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += work(uint64(i))
+		tr.Emit(Event{Kind: KindBusTxn, Addr: acc, Size: 32})
+	}
+	sinkHole = acc
+}
+
+var sinkHole uint64
+
+//go:noinline
+func work(x uint64) uint64 {
+	// A stand-in for a simulated bus access: a few dependent ALU ops.
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}

@@ -15,16 +15,25 @@
 package soc
 
 import (
+	"errors"
+
 	"sentry/internal/bus"
 	"sentry/internal/cache"
 	"sentry/internal/cpu"
 	"sentry/internal/dma"
 	"sentry/internal/firmware"
 	"sentry/internal/mem"
+	"sentry/internal/obs"
 	"sentry/internal/remanence"
 	"sentry/internal/sim"
 	"sentry/internal/tz"
 )
+
+// ErrUnsupported reports that the platform lacks the hardware capability an
+// operation needs (no exposed bus to probe, no open DMA port, no secure
+// world, ...). Wrap it with fmt.Errorf("...: %w", ErrUnsupported) so callers
+// can test with errors.Is.
+var ErrUnsupported = errors.New("soc: platform does not support this operation")
 
 // Fixed physical address map shared by both platforms.
 const (
@@ -50,6 +59,14 @@ type Profile struct {
 	BootloaderLocked bool
 	ZeroIRAMOnBoot   bool
 
+	// Physical probe points. ExposedBus means the DRAM bus is routed over
+	// probeable traces (discrete DRAM packages, as on dev boards); a
+	// package-on-package stack leaves nothing to clip onto. OpenDMAPort
+	// means the device exposes a DMA-capable peripheral port an attacker
+	// can drive without first unlocking the firmware.
+	ExposedBus  bool
+	OpenDMAPort bool
+
 	Costs  sim.CostTable
 	Energy sim.EnergyTable
 
@@ -73,6 +90,10 @@ func Tegra3Profile() Profile {
 		HasCryptoAccel:   false,
 		BootloaderLocked: false,
 		ZeroIRAMOnBoot:   true,
+		// The dev board routes DRAM over probeable traces and exposes
+		// DMA-capable debug peripherals.
+		ExposedBus:  true,
+		OpenDMAPort: true,
 		Costs: sim.CostTable{
 			DRAMAccess:      60,
 			L2Hit:           4,
@@ -114,6 +135,10 @@ func Nexus4Profile() Profile {
 		HasCryptoAccel:   true,
 		BootloaderLocked: true,
 		ZeroIRAMOnBoot:   true,
+		// Production phone: DRAM is package-on-package (no bus traces to
+		// probe) and no DMA-capable port is reachable without unlocking.
+		ExposedBus:  false,
+		OpenDMAPort: false,
 		Costs: sim.CostTable{
 			DRAMAccess:         45,
 			L2Hit:              2,
@@ -164,6 +189,11 @@ type SoC struct {
 	// ScreenLocked is the device lock state hardware exposes to the crypto
 	// accelerator's clock governor.
 	ScreenLocked bool
+
+	// Trace and Metrics are the platform's observability layer; both are
+	// nil until Instrument wires them through every component.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // New builds and cold-boots a platform from a profile. seed drives every
@@ -192,6 +222,19 @@ func New(p Profile, seed int64) *SoC {
 	}
 	s.ROM.ColdBoot(s.IRAM, s.L2)
 	return s
+}
+
+// Instrument wires an observability layer through every hardware component.
+// Either argument may be nil (tracing without metrics, or vice versa).
+// Call it once, at setup: components resolve their instruments here and the
+// hot paths then run nil-gated.
+func (s *SoC) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	s.Trace = tr
+	s.Metrics = reg
+	s.Bus.SetObs(tr, reg)
+	s.L2.SetObs(tr, reg)
+	s.CPU.SetObs(tr, reg)
+	s.DMA.SetObs(tr, reg)
 }
 
 // Tegra3 returns a booted Tegra 3 development board.

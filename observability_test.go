@@ -1,0 +1,246 @@
+package sentry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sentry/internal/core"
+	"sentry/internal/mem"
+)
+
+func TestOpenUnknownPlatform(t *testing.T) {
+	_, err := Open(Platform(99), "4321")
+	if !errors.Is(err, ErrUnsupportedPlatform) {
+		t.Fatalf("want ErrUnsupportedPlatform, got %v", err)
+	}
+}
+
+func TestOpenOptions(t *testing.T) {
+	tr := NewTracer(0)
+	dev, err := Open(Tegra3, "4321", WithSeed(7), WithTracer(tr), WithConfig(Config{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Trace() != tr {
+		t.Fatal("Device.Trace should return the installed tracer")
+	}
+	if dev.Metrics() == nil {
+		t.Fatal("Device.Metrics should be non-nil")
+	}
+	if dev.SoC.RNG == nil || dev.Sentry == nil {
+		t.Fatal("device not fully booted")
+	}
+}
+
+func TestOpenWithoutTracer(t *testing.T) {
+	dev, err := Open(Nexus4, "4321")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Trace() != nil {
+		t.Fatal("tracing should be off by default")
+	}
+	if dev.Metrics() == nil {
+		t.Fatal("metrics registry should exist even without tracing (Stats reads it)")
+	}
+	if _, err := dev.Launch(Contacts(), true); err != nil {
+		t.Fatal(err)
+	}
+	dev.Lock()
+	if dev.Stats().LockEncryptedBytes == 0 {
+		t.Fatal("Stats must keep working without a tracer")
+	}
+}
+
+func TestMetricsSinkOptionImpliesTracer(t *testing.T) {
+	var buf bytes.Buffer
+	dev, err := Open(Tegra3, "4321", WithMetricsSink(NewJSONLSink(&buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Trace() == nil {
+		t.Fatal("WithMetricsSink alone should create a tracer to feed the sink")
+	}
+	dev.Lock()
+	events, err := ReadTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("sink received no events")
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	dev, err := Open(Tegra3, "4321")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Lock()
+	if err := dev.Unlock("0000"); !errors.Is(err, ErrBadPIN) {
+		t.Fatalf("want ErrBadPIN, got %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		_ = dev.Unlock("0000")
+	}
+	if err := dev.Unlock("4321"); !errors.Is(err, ErrLocked) {
+		t.Fatalf("deep-locked unlock: want ErrLocked, got %v", err)
+	}
+}
+
+func TestBackgroundUnsupportedOnNexus(t *testing.T) {
+	dev, err := Open(Nexus4, "4321")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dev.LaunchBackground(Vlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Lock()
+	if err := dev.BeginBackground(app, 128); !errors.Is(err, ErrUnsupportedPlatform) {
+		t.Fatalf("want ErrUnsupportedPlatform, got %v", err)
+	}
+}
+
+func TestProbesUnsupportedOnNexus(t *testing.T) {
+	dev, err := Open(Nexus4, "4321")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.AttachBusMonitor(); !errors.Is(err, ErrUnsupportedPlatform) {
+		t.Fatalf("bus monitor on PoP DRAM: want ErrUnsupportedPlatform, got %v", err)
+	}
+	if _, err := dev.MountDMAScrape(); !errors.Is(err, ErrUnsupportedPlatform) {
+		t.Fatalf("DMA scrape without open port: want ErrUnsupportedPlatform, got %v", err)
+	}
+}
+
+// TestLockColdBootUnlockEventSequence drives the paper's headline scenario
+// and checks the trace tells the story in order: key derivation at boot,
+// the lock transition with its page seals, the attack probe, and the
+// unlock transition with eager unseals after it.
+func TestLockColdBootUnlockEventSequence(t *testing.T) {
+	tr := NewTracer(0)
+	sink := NewMemorySink(TraceMask(
+		TraceStateChange, TracePageSeal, TracePageUnseal,
+		TraceKeyDerive, TraceAttackProbe))
+	tr.AddSink(sink)
+	dev, err := Open(Tegra3, "4321", WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch(Contacts(), true); err != nil {
+		t.Fatal(err)
+	}
+	dev.Lock()
+	if _, err := dev.MountColdBoot(Reflash); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Unlock("4321"); err != nil {
+		t.Fatal(err)
+	}
+
+	seqOf := func(pred func(TraceEvent) bool, what string) uint64 {
+		for _, ev := range sink.Events() {
+			if pred(ev) {
+				return ev.Seq
+			}
+		}
+		t.Fatalf("event not found in trace: %s", what)
+		return 0
+	}
+	keyDerive := seqOf(func(e TraceEvent) bool {
+		return e.Kind == TraceKeyDerive && e.Label == "volatile"
+	}, "volatile key derivation")
+	locked := seqOf(func(e TraceEvent) bool {
+		return e.Kind == TraceStateChange && e.Label == "unlocked->screen-locked"
+	}, "lock transition")
+	firstSeal := seqOf(func(e TraceEvent) bool {
+		return e.Kind == TracePageSeal && e.Label == core.SealLock
+	}, "encrypt-on-lock page seal")
+	probe := seqOf(func(e TraceEvent) bool {
+		return e.Kind == TraceAttackProbe && e.Label == "cold-boot:device-reflash"
+	}, "cold-boot probe")
+	unlocked := seqOf(func(e TraceEvent) bool {
+		return e.Kind == TraceStateChange && e.Label == "screen-locked->unlocked"
+	}, "unlock transition")
+	firstUnseal := seqOf(func(e TraceEvent) bool {
+		return e.Kind == TracePageUnseal
+	}, "post-unlock unseal")
+
+	// Encrypt-on-lock runs inside the lock operation, so every seal
+	// precedes the ScreenLocked transition: the device is not "locked"
+	// until its memory is ciphertext.
+	order := []struct {
+		name string
+		seq  uint64
+	}{
+		{"key derive", keyDerive},
+		{"first page seal", firstSeal},
+		{"lock transition", locked},
+		{"cold-boot probe", probe},
+		{"unlock transition", unlocked},
+		{"first page unseal", firstUnseal},
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i-1].seq >= order[i].seq {
+			t.Fatalf("%s (seq %d) should precede %s (seq %d)",
+				order[i-1].name, order[i-1].seq, order[i].name, order[i].seq)
+		}
+	}
+	for _, ev := range sink.Events() {
+		if ev.Kind == TracePageSeal && ev.Label == core.SealLock && ev.Seq > locked {
+			t.Fatalf("page sealed (seq %d) after the lock transition (seq %d)", ev.Seq, locked)
+		}
+	}
+}
+
+// TestTraceSumsEqualStats is the consistency contract behind the
+// trace-derived bench reports: summing seal/unseal event sizes by label
+// reproduces the Stats counters exactly.
+func TestTraceSumsEqualStats(t *testing.T) {
+	tr := NewTracer(0)
+	sink := NewMemorySink(TraceMask(TracePageSeal, TracePageUnseal))
+	tr.AddSink(sink)
+	dev, err := Open(Tegra3, "4321", WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dev.Launch(Contacts(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Lock()
+	if err := dev.Unlock("4321"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.TouchMB(2); err != nil {
+		t.Fatal(err)
+	}
+
+	byLabel := map[string]uint64{}
+	for _, ev := range sink.Events() {
+		byLabel[ev.Label] += ev.Size
+	}
+	st := dev.Stats()
+	if got := byLabel[core.SealLock]; got != st.LockEncryptedBytes {
+		t.Fatalf("lock seals: trace %d != stats %d", got, st.LockEncryptedBytes)
+	}
+	if got := byLabel[core.SealEager]; got != st.EagerDecryptedBytes {
+		t.Fatalf("eager unseals: trace %d != stats %d", got, st.EagerDecryptedBytes)
+	}
+	if got := byLabel[core.SealDemand]; got != st.DemandDecryptedBytes {
+		t.Fatalf("demand unseals: trace %d != stats %d", got, st.DemandDecryptedBytes)
+	}
+	if st.DemandDecryptedBytes == 0 {
+		t.Fatal("scenario produced no demand decryption; the comparison is vacuous")
+	}
+	if uint64(mem.PageSize)*uint64(sink.Count(TracePageSeal)) != st.LockEncryptedBytes {
+		t.Fatal("every seal event should cover exactly one page")
+	}
+}

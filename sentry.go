@@ -13,12 +13,17 @@
 //
 // The five-minute tour:
 //
-//	dev, _ := sentry.NewTegra3(1, "4321", sentry.Config{})
+//	dev, _ := sentry.Open(sentry.Tegra3, "4321")
 //	app, _ := dev.Launch(sentry.Contacts(), true) // protected app
 //	dev.Lock()                                     // encrypt-on-lock
 //	dump, _ := dev.MountColdBoot(sentry.Reflash)   // steal the device
 //	dump.ContainsSecret(...)                       // ciphertext only
 //	dev.Unlock("4321")                             // lazy decrypt-on-demand
+//
+// Pass options to observe the run — sentry.WithTracer(sentry.NewTracer(0))
+// records every bus transaction, cache-way lock, page seal/unseal, key
+// event, and lock-state change; Device.Metrics() exposes the counter
+// registry Stats is built from.
 //
 // Every table and figure of the paper's evaluation regenerates via
 // Experiments (or the sentrybench command); see DESIGN.md for the system
@@ -26,6 +31,8 @@
 package sentry
 
 import (
+	"fmt"
+
 	"sentry/internal/apps"
 	"sentry/internal/attack"
 	"sentry/internal/bench"
@@ -34,7 +41,100 @@ import (
 	"sentry/internal/dmcrypt"
 	"sentry/internal/kernel"
 	"sentry/internal/mem"
+	"sentry/internal/obs"
 	"sentry/internal/soc"
+)
+
+// Typed sentinel errors, testable with errors.Is on anything Device
+// returns.
+var (
+	// ErrBadPIN: an unlock attempt presented the wrong PIN.
+	ErrBadPIN = kernel.ErrBadPIN
+	// ErrLocked: the lock state forbids the operation (unlocking a
+	// deep-locked device, background sessions while unlocked, ...).
+	ErrLocked = kernel.ErrLocked
+	// ErrUnsupportedPlatform: the platform lacks the needed hardware
+	// (probe points, cache locking, secure world, ...).
+	ErrUnsupportedPlatform = soc.ErrUnsupported
+)
+
+// Platform selects a simulated hardware platform for Open.
+type Platform int
+
+// Platforms. Tegra3 is the paper's full prototype (cache locking,
+// TrustZone, exposed bus and DMA port — a dev board is the attacker's
+// friend); Nexus4 is the production phone (crypto accelerator, locked
+// firmware, stacked DRAM).
+const (
+	Tegra3 Platform = iota
+	Nexus4
+)
+
+func (p Platform) String() string {
+	switch p {
+	case Tegra3:
+		return "tegra3"
+	case Nexus4:
+		return "nexus4"
+	default:
+		return fmt.Sprintf("Platform(%d)", int(p))
+	}
+}
+
+// Tracer re-exports the observability event trace (see internal/obs).
+type Tracer = obs.Tracer
+
+// TraceEvent is one trace record.
+type TraceEvent = obs.Event
+
+// TraceKind classifies trace events.
+type TraceKind = obs.Kind
+
+// Trace event kinds.
+const (
+	TraceBusTxn      = obs.KindBusTxn
+	TraceCacheLock   = obs.KindCacheLock
+	TraceCacheUnlock = obs.KindCacheUnlock
+	TracePageSeal    = obs.KindPageSeal
+	TracePageUnseal  = obs.KindPageUnseal
+	TraceKeyDerive   = obs.KindKeyDerive
+	TraceKeyZeroize  = obs.KindKeyZeroize
+	TraceIRQMask     = obs.KindIRQMask
+	TraceDMAXfer     = obs.KindDMAXfer
+	TraceAttackProbe = obs.KindAttackProbe
+	TraceStateChange = obs.KindStateChange
+)
+
+// Metrics re-exports the metrics registry.
+type Metrics = obs.Registry
+
+// TraceSink receives admitted trace events.
+type TraceSink = obs.Sink
+
+// NewTracer returns an event tracer retaining the last size events
+// (0 selects the default capacity). Pass it to Open via WithTracer.
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = obs.DefaultRingSize
+	}
+	return obs.NewTracer(size)
+}
+
+// NewJSONLSink and NewMemorySink build the two stock trace sinks;
+// TraceMask builds the kind bitmask they and Tracer.SetKinds filter on;
+// ReadTrace parses a JSONL trace back into events.
+var (
+	NewJSONLSink  = obs.NewJSONLSink
+	NewMemorySink = obs.NewMemorySink
+	TraceMask     = obs.Mask
+	ReadTrace     = obs.ReadJSONL
+)
+
+// AllTraceKinds admits every event kind in a MemorySink or kind filter;
+// TraceKindCount is the number of kinds (TraceKind(0) … TraceKind(TraceKindCount-1)).
+const (
+	AllTraceKinds  = obs.AllKinds
+	TraceKindCount = obs.NumKinds
 )
 
 // Wake sources for Device.Wake.
@@ -88,26 +188,105 @@ type Device struct {
 	Sentry *core.Sentry
 }
 
-// NewTegra3 boots the NVidia Tegra 3 development board configuration: the
-// full prototype with cache locking, TrustZone, and background sessions.
-func NewTegra3(seed int64, pin string, cfg Config) (*Device, error) {
-	return newDevice(soc.Tegra3(seed), pin, cfg)
+// options collects what the Option functions configure.
+type options struct {
+	seed   int64
+	cfg    Config
+	tracer *obs.Tracer
+	sinks  []obs.Sink
 }
 
-// NewNexus4 boots the Google Nexus 4 configuration: locked firmware, so no
-// cache locking or background execution, but a crypto accelerator.
-func NewNexus4(seed int64, pin string, cfg Config) (*Device, error) {
-	return newDevice(soc.Nexus4(seed), pin, cfg)
+// Option configures Open.
+type Option func(*options)
+
+// WithSeed sets the simulation seed (default 1). Identical seeds produce
+// bit-identical runs.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
 }
 
-func newDevice(s *soc.SoC, pin string, cfg Config) (*Device, error) {
+// WithConfig selects Sentry's mechanisms (cache-locked AES, background
+// sessions, ...). The zero Config enables the paper's defaults.
+func WithConfig(cfg Config) Option {
+	return func(o *options) { o.cfg = cfg }
+}
+
+// WithTracer installs an event tracer on the device. Every component
+// (bus, cache, MMU, DMA, kernel, Sentry, attacks) emits into it; read it
+// back with Device.Trace().Snapshot() or stream it through sinks.
+func WithTracer(t *Tracer) Option {
+	return func(o *options) { o.tracer = t }
+}
+
+// WithMetricsSink attaches a trace sink (e.g. NewJSONLSink(w) or
+// NewMemorySink(mask)) to the device's tracer; if no WithTracer is given
+// a default-sized tracer is created to feed it.
+func WithMetricsSink(sink TraceSink) Option {
+	return func(o *options) { o.sinks = append(o.sinks, sink) }
+}
+
+// Open boots a simulated device running Sentry on the chosen platform.
+// It is the front door of the package:
+//
+//	dev, err := sentry.Open(sentry.Tegra3, "4321",
+//	        sentry.WithSeed(7), sentry.WithTracer(sentry.NewTracer(0)))
+//
+// Unknown platforms fail with ErrUnsupportedPlatform.
+func Open(platform Platform, pin string, opts ...Option) (*Device, error) {
+	o := options{seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	var s *soc.SoC
+	switch platform {
+	case Tegra3:
+		s = soc.Tegra3(o.seed)
+	case Nexus4:
+		s = soc.Nexus4(o.seed)
+	default:
+		return nil, fmt.Errorf("sentry: unknown platform %v: %w", platform, ErrUnsupportedPlatform)
+	}
+	tr := o.tracer
+	if tr == nil && len(o.sinks) > 0 {
+		tr = obs.NewTracer(obs.DefaultRingSize)
+	}
+	for _, sink := range o.sinks {
+		tr.AddSink(sink)
+	}
+	if tr != nil {
+		s.Instrument(tr, obs.NewRegistry())
+	}
 	k := kernel.New(s, pin)
-	sn, err := core.New(k, cfg)
+	sn, err := core.New(k, o.cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Device{SoC: s, Kernel: k, Sentry: sn}, nil
 }
+
+// NewTegra3 boots the NVidia Tegra 3 development board configuration: the
+// full prototype with cache locking, TrustZone, and background sessions.
+//
+// Deprecated: use Open(Tegra3, pin, WithSeed(seed), WithConfig(cfg)).
+func NewTegra3(seed int64, pin string, cfg Config) (*Device, error) {
+	return Open(Tegra3, pin, WithSeed(seed), WithConfig(cfg))
+}
+
+// NewNexus4 boots the Google Nexus 4 configuration: locked firmware, so no
+// cache locking or background execution, but a crypto accelerator.
+//
+// Deprecated: use Open(Nexus4, pin, WithSeed(seed), WithConfig(cfg)).
+func NewNexus4(seed int64, pin string, cfg Config) (*Device, error) {
+	return Open(Nexus4, pin, WithSeed(seed), WithConfig(cfg))
+}
+
+// Trace returns the device's event tracer (nil unless Open was given
+// WithTracer or WithMetricsSink).
+func (d *Device) Trace() *Tracer { return d.SoC.Trace }
+
+// Metrics returns the device's metrics registry: every component counter,
+// gauge, and latency histogram, including the ones Stats is built from.
+func (d *Device) Metrics() *Metrics { return d.Sentry.Metrics() }
 
 // Launch starts an application; protected marks it sensitive so Sentry
 // covers it at lock time.
@@ -163,15 +342,16 @@ func (d *Device) MountColdBoot(v ColdBootVariant) (*attack.Dump, error) {
 }
 
 // AttachBusMonitor clips a probe onto the external memory bus; everything
-// crossing the SoC boundary from then on is captured.
-func (d *Device) AttachBusMonitor() *attack.BusMonitor {
-	mon := &attack.BusMonitor{}
-	d.SoC.Bus.Attach(mon)
-	return mon
+// crossing the SoC boundary from then on is captured. It fails with
+// ErrUnsupportedPlatform on devices whose bus offers no probe points
+// (package-on-package DRAM).
+func (d *Device) AttachBusMonitor() (*attack.BusMonitor, error) {
+	return attack.AttachBusMonitor(d.SoC)
 }
 
-// MountDMAScrape reads all reachable physical memory over DMA.
-func (d *Device) MountDMAScrape() *attack.DMAScrape {
+// MountDMAScrape reads all reachable physical memory over DMA. It fails
+// with ErrUnsupportedPlatform on devices exposing no open DMA port.
+func (d *Device) MountDMAScrape() (*attack.DMAScrape, error) {
 	return attack.MountDMAScrape(d.SoC)
 }
 

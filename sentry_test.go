@@ -95,8 +95,14 @@ func TestBackgroundSessionViaFacade(t *testing.T) {
 	if dev.Stats().BgPageIns == 0 {
 		t.Fatal("no background paging")
 	}
-	mon := dev.AttachBusMonitor()
-	scrape := dev.MountDMAScrape()
+	mon, err := dev.AttachBusMonitor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := dev.MountDMAScrape()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if scrape.ContainsSecret([]byte("APPSECRET~")) {
 		t.Fatal("DMA saw plaintext during background session")
 	}
