@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-guard check
+.PHONY: all build vet test race bench-guard bench-wallclock wallclock-guard check
 
 all: check
 
@@ -13,14 +13,26 @@ vet:
 test:
 	$(GO) test ./...
 
-# The bench package replays every experiment; under the race detector that
-# outgrows go test's default 10-minute budget.
+# The bench package replays every experiment twice (shared parallel pass +
+# serial determinism reruns); under the race detector that still outgrows
+# go test's default 10-minute budget, but after the burst-path rework a
+# 20-minute ceiling has ample slack.
 race:
-	$(GO) test -race -timeout 45m ./...
+	$(GO) test -race -timeout 20m ./...
 
 # Guard: a disabled tracer must stay within a few percent of the no-emit
 # baseline (compare BenchmarkTracerDisabled to BenchmarkNoEmitBaseline).
 bench-guard:
 	$(GO) test -run '^$$' -bench 'BenchmarkTracerDisabled|BenchmarkNoEmitBaseline' -benchtime 2s ./internal/obs/
 
-check: vet build race bench-guard
+# Re-record the evaluation suite's wall-clock costs. Run serially (-j 1) so
+# the record is comparable across machines with different core counts.
+bench-wallclock:
+	$(GO) run ./cmd/sentrybench -exp all -j 1 -wallclock BENCH_wallclock.json >/dev/null
+	@tail -n +2 BENCH_wallclock.json | head -3
+
+# Fail if a full suite run is >25% slower than the checked-in record.
+wallclock-guard:
+	$(GO) run ./cmd/sentrybench -exp all -j 1 -wallclock-guard BENCH_wallclock.json | tail -1
+
+check: vet build race bench-guard wallclock-guard

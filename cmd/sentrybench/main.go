@@ -2,14 +2,18 @@
 //
 // Usage:
 //
-//	sentrybench -list              # show available experiments
-//	sentrybench -exp fig9          # run one experiment
-//	sentrybench -exp all           # run everything (several minutes)
-//	sentrybench -exp fig2 -seed 7  # different simulation seed
+//	sentrybench -list                   # show available experiments
+//	sentrybench -exp fig9               # run one experiment
+//	sentrybench -exp all                # run everything
+//	sentrybench -exp all -j 0           # ... on a GOMAXPROCS-wide worker pool
+//	sentrybench -exp fig2 -seed 7       # different simulation seed
+//	sentrybench -exp all -wallclock BENCH_wallclock.json        # record timings
+//	sentrybench -exp all -wallclock-guard BENCH_wallclock.json  # fail on regression
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,12 +23,29 @@ import (
 	"sentry/internal/obs"
 )
 
+// Wallclock is the schema of BENCH_wallclock.json: the per-experiment and
+// total wall-clock cost of one full -exp all run. The checked-in copy is the
+// perf trajectory the wall-clock guard defends.
+type Wallclock struct {
+	Seed        int64              `json:"seed"`
+	Parallelism int                `json:"parallelism"`
+	TotalSec    float64            `json:"total_seconds"`
+	Experiments map[string]float64 `json:"experiments"`
+}
+
+// guardHeadroom is how much slower than the checked-in record a run may be
+// before the guard fails. Wall clocks are noisy; 25% is regression, not noise.
+const guardHeadroom = 1.25
+
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (table2..table4, fig2..fig12, anchors, ablation-*) or 'all'")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		list     = flag.Bool("list", false, "list available experiments")
-		traceOut = flag.String("trace", "", "write a JSONL event trace of all experiment activity to this file")
+		exp       = flag.String("exp", "", "experiment id (table2..table4, fig2..fig12, anchors, ablation-*) or 'all'")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		list      = flag.Bool("list", false, "list available experiments")
+		parallel  = flag.Int("j", 1, "worker-pool width for -exp all (0 = GOMAXPROCS)")
+		traceOut  = flag.String("trace", "", "write a JSONL event trace of all experiment activity to this file")
+		wallOut   = flag.String("wallclock", "", "write per-experiment wall-clock timings (JSON) to this file")
+		wallGuard = flag.String("wallclock-guard", "", "compare this run's total wall clock against a recorded JSON file; exit non-zero on >25% regression")
 	)
 	flag.Parse()
 
@@ -37,8 +58,7 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sentrybench: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		traceFile = f
 		traceBuf = bufio.NewWriter(f)
@@ -46,6 +66,12 @@ func main() {
 		tracer = obs.NewTracer(obs.DefaultRingSize)
 		tracer.AddSink(traceSink)
 		bench.SetTracer(tracer)
+		if *parallel != 1 {
+			// A single trace stream interleaves arbitrarily across
+			// concurrent experiments; keep it readable.
+			fmt.Fprintln(os.Stderr, "sentrybench: -trace forces -j 1")
+			*parallel = 1
+		}
 	}
 
 	if *list || *exp == "" {
@@ -59,27 +85,58 @@ func main() {
 		return
 	}
 
-	var todo []bench.Experiment
+	var results []bench.Result
 	if *exp == "all" {
-		todo = bench.All()
+		results = bench.RunAll(*seed, *parallel)
 	} else {
 		e, ok := bench.ByID(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "sentrybench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+			fatalf("unknown experiment %q (try -list)", *exp)
 		}
-		todo = []bench.Experiment{e}
-	}
-
-	for _, e := range todo {
 		start := time.Now()
 		r, err := e.Run(*seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sentrybench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+		results = []bench.Result{{Exp: e, Report: r, Err: err, Wall: time.Since(start)}}
+	}
+
+	wc := Wallclock{Seed: *seed, Parallelism: *parallel, Experiments: map[string]float64{}}
+	for _, res := range results {
+		if res.Err != nil {
+			fatalf("%s: %v", res.Exp.ID, res.Err)
 		}
-		fmt.Print(r.String())
-		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Print(res.Report.String())
+		fmt.Printf("(%s in %v)\n\n", res.Exp.ID, res.Wall.Round(time.Millisecond))
+		wc.Experiments[res.Exp.ID] = res.Wall.Seconds()
+		wc.TotalSec += res.Wall.Seconds()
+	}
+
+	if *wallOut != "" {
+		buf, err := json.MarshalIndent(wc, "", "  ")
+		if err != nil {
+			fatalf("wallclock: %v", err)
+		}
+		if err := os.WriteFile(*wallOut, append(buf, '\n'), 0o644); err != nil {
+			fatalf("wallclock: %v", err)
+		}
+		fmt.Printf("wallclock: %d experiments, %.2fs total, written to %s\n",
+			len(wc.Experiments), wc.TotalSec, *wallOut)
+	}
+
+	if *wallGuard != "" {
+		buf, err := os.ReadFile(*wallGuard)
+		if err != nil {
+			fatalf("wallclock-guard: %v", err)
+		}
+		var rec Wallclock
+		if err := json.Unmarshal(buf, &rec); err != nil {
+			fatalf("wallclock-guard: %s: %v", *wallGuard, err)
+		}
+		limit := rec.TotalSec * guardHeadroom
+		if wc.TotalSec > limit {
+			fatalf("wallclock-guard: total %.2fs exceeds %.2fs (recorded %.2fs + 25%% headroom) — perf regression",
+				wc.TotalSec, limit, rec.TotalSec)
+		}
+		fmt.Printf("wallclock-guard: total %.2fs within %.2fs budget (recorded %.2fs + 25%% headroom)\n",
+			wc.TotalSec, limit, rec.TotalSec)
 	}
 
 	if tracer != nil {
@@ -91,9 +148,13 @@ func main() {
 			err = e
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sentrybench: trace: %v\n", err)
-			os.Exit(1)
+			fatalf("trace: %v", err)
 		}
 		fmt.Printf("trace: %d events written to %s\n", tracer.Emitted(), *traceOut)
 	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sentrybench: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -17,6 +17,8 @@
 package aes
 
 import (
+	stdaes "crypto/aes"
+	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
 )
@@ -81,10 +83,19 @@ func expandKey(key []byte) (enc, dec []uint32) {
 
 // Cipher is the reference AES implementation. It implements the same
 // Encrypt/Decrypt/BlockSize contract as crypto/cipher.Block.
+//
+// Cipher transforms data in *host* memory — it is the engine behind the
+// bulk cost-modelled paths, where simulated-memory traffic is charged
+// separately through Touch. Its block operations therefore delegate to
+// crypto/aes (hardware AES where available) for raw speed; the output is
+// byte-identical, and the from-scratch tables below remain the ground truth
+// for PlacedCipher, which is the form whose state placement the simulation
+// observes.
 type Cipher struct {
 	nr  int
 	enc []uint32
 	dec []uint32
+	std cipher.Block // fast host-side block transform; same bytes out
 }
 
 // NewCipher returns an AES cipher for a 16-, 24-, or 32-byte key.
@@ -94,7 +105,11 @@ func NewCipher(key []byte) (*Cipher, error) {
 		return nil, KeySizeError(len(key))
 	}
 	enc, dec := expandKey(key)
-	return &Cipher{nr: nr, enc: enc, dec: dec}, nil
+	std, err := stdaes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &Cipher{nr: nr, enc: enc, dec: dec, std: std}, nil
 }
 
 // BlockSize returns the AES block size (16).
@@ -107,8 +122,19 @@ func (c *Cipher) Rounds() int { return c.nr }
 // attack and the placed cipher both need it.
 func (c *Cipher) EncSchedule() []uint32 { return c.enc }
 
-// Encrypt encrypts one 16-byte block. dst and src may overlap.
+// Encrypt encrypts one 16-byte block. dst and src may overlap entirely or
+// not at all.
 func (c *Cipher) Encrypt(dst, src []byte) {
+	if c.std != nil {
+		c.std.Encrypt(dst, src)
+		return
+	}
+	c.encryptGeneric(dst, src)
+}
+
+// encryptGeneric is the from-scratch T-table form; it must agree with the
+// delegated path bit-for-bit (aes_test cross-checks both against crypto/aes).
+func (c *Cipher) encryptGeneric(dst, src []byte) {
 	s0 := binary.BigEndian.Uint32(src[0:]) ^ c.enc[0]
 	s1 := binary.BigEndian.Uint32(src[4:]) ^ c.enc[1]
 	s2 := binary.BigEndian.Uint32(src[8:]) ^ c.enc[2]
@@ -139,8 +165,17 @@ func sboxWord(a, b, c, d uint32) uint32 {
 		uint32(sbox[c>>8&0xFF])<<8 | uint32(sbox[d&0xFF])
 }
 
-// Decrypt decrypts one 16-byte block. dst and src may overlap.
+// Decrypt decrypts one 16-byte block. dst and src may overlap entirely or
+// not at all.
 func (c *Cipher) Decrypt(dst, src []byte) {
+	if c.std != nil {
+		c.std.Decrypt(dst, src)
+		return
+	}
+	c.decryptGeneric(dst, src)
+}
+
+func (c *Cipher) decryptGeneric(dst, src []byte) {
 	s0 := binary.BigEndian.Uint32(src[0:]) ^ c.dec[0]
 	s1 := binary.BigEndian.Uint32(src[4:]) ^ c.dec[1]
 	s2 := binary.BigEndian.Uint32(src[8:]) ^ c.dec[2]
@@ -170,10 +205,18 @@ func invSboxWord(a, b, c, d uint32) uint32 {
 }
 
 // EncryptCBC encrypts src (a multiple of BlockSize) into dst in CBC mode —
-// the mode Sentry, Android, and Linux default to.
+// the mode Sentry, Android, and Linux default to. dst and src may overlap
+// entirely or not at all (the in-place form is what encrypt-on-lock uses).
 func (c *Cipher) EncryptCBC(dst, src, iv []byte) error {
 	if err := checkCBCArgs(dst, src, iv); err != nil {
 		return err
+	}
+	if c.std != nil {
+		// Whole-buffer chaining in one call: the per-block Go loop (chain
+		// XOR + copies) costs more than the block cipher itself on the bulk
+		// encrypt-on-lock path.
+		cipher.NewCBCEncrypter(c.std, iv).CryptBlocks(dst[:len(src)], src)
+		return nil
 	}
 	var chain [BlockSize]byte
 	copy(chain[:], iv)
@@ -189,9 +232,14 @@ func (c *Cipher) EncryptCBC(dst, src, iv []byte) error {
 }
 
 // DecryptCBC decrypts src (a multiple of BlockSize) into dst in CBC mode.
+// dst and src may overlap entirely or not at all.
 func (c *Cipher) DecryptCBC(dst, src, iv []byte) error {
 	if err := checkCBCArgs(dst, src, iv); err != nil {
 		return err
+	}
+	if c.std != nil {
+		cipher.NewCBCDecrypter(c.std, iv).CryptBlocks(dst[:len(src)], src)
+		return nil
 	}
 	var chain, next [BlockSize]byte
 	copy(chain[:], iv)

@@ -105,15 +105,20 @@ func TestMatchesCryptoAES(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			a, b := make([]byte, 16), make([]byte, 16)
+			// Exercise the from-scratch T-table path explicitly: Encrypt
+			// delegates to crypto/aes, so comparing it alone would be
+			// vacuous. All three forms must agree.
+			a, b, g := make([]byte, 16), make([]byte, 16), make([]byte, 16)
 			ours.Encrypt(a, block)
 			ref.Encrypt(b, block)
-			if !bytes.Equal(a, b) {
+			ours.encryptGeneric(g, block)
+			if !bytes.Equal(a, b) || !bytes.Equal(g, b) {
 				t.Fatalf("keyLen=%d: encrypt mismatch", keyLen)
 			}
 			ours.Decrypt(a, block)
 			ref.Decrypt(b, block)
-			if !bytes.Equal(a, b) {
+			ours.decryptGeneric(g, block)
+			if !bytes.Equal(a, b) || !bytes.Equal(g, b) {
 				t.Fatalf("keyLen=%d: decrypt mismatch", keyLen)
 			}
 		}
@@ -149,6 +154,24 @@ func TestCBCMatchesCryptoCipher(t *testing.T) {
 		}
 		if !bytes.Equal(back, msg) {
 			t.Fatal("CBC round trip failed")
+		}
+
+		// Same data through the from-scratch per-block CBC loop (std == nil
+		// forces the T-table fallback); it must match the delegated path.
+		gen := &Cipher{nr: ours.nr, enc: ours.enc, dec: ours.dec}
+		genCT := make([]byte, len(msg))
+		if err := gen.EncryptCBC(genCT, msg, iv); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(genCT, want) {
+			t.Fatalf("keyLen=%d: generic CBC encrypt mismatch", keyLen)
+		}
+		genPT := make([]byte, len(msg))
+		if err := gen.DecryptCBC(genPT, genCT, iv); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(genPT, msg) {
+			t.Fatal("generic CBC round trip failed")
 		}
 	}
 }

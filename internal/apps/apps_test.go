@@ -11,6 +11,7 @@ import (
 )
 
 func TestProfilesMatchPaperConstants(t *testing.T) {
+	t.Parallel()
 	if Maps().UnlockMB() != 38 {
 		t.Fatal("Maps must decrypt 38 MB at unlock (paper §7)")
 	}
@@ -35,6 +36,7 @@ func TestProfilesMatchPaperConstants(t *testing.T) {
 }
 
 func TestLaunchAndResumeWithoutSentry(t *testing.T) {
+	t.Parallel()
 	s := soc.Nexus4(1)
 	k := kernel.New(s, "1234")
 	app, err := Launch(k, Contacts(), true)
@@ -61,6 +63,7 @@ func TestLaunchAndResumeWithoutSentry(t *testing.T) {
 }
 
 func TestAppSecretsVisibleToColdBootWithoutSentry(t *testing.T) {
+	t.Parallel()
 	s := soc.Tegra3(1)
 	k := kernel.New(s, "1234")
 	if _, err := Launch(k, MP3(), false); err != nil {
@@ -81,6 +84,7 @@ func TestAppSecretsVisibleToColdBootWithoutSentry(t *testing.T) {
 func Reflash() attack.ColdBootVariant { return attack.Reflash }
 
 func TestSentryProtectsAppAcrossLockUnlock(t *testing.T) {
+	t.Parallel()
 	s := soc.Nexus4(1)
 	k := kernel.New(s, "1234")
 	sn, err := core.New(k, core.Config{})
@@ -118,6 +122,7 @@ func TestSentryProtectsAppAcrossLockUnlock(t *testing.T) {
 }
 
 func TestScriptOverheadSmallWithSentry(t *testing.T) {
+	t.Parallel()
 	// Figure 3's claim: runtime overhead between 0.2 % and ~5 %.
 	s := soc.Nexus4(1)
 	k := kernel.New(s, "1234")
@@ -142,6 +147,7 @@ func TestScriptOverheadSmallWithSentry(t *testing.T) {
 }
 
 func TestBackgroundLoopBaseline(t *testing.T) {
+	t.Parallel()
 	s := soc.Tegra3(1)
 	k := kernel.New(s, "1234")
 	app, err := LaunchBackground(k, Vlock())
@@ -158,6 +164,7 @@ func TestBackgroundLoopBaseline(t *testing.T) {
 }
 
 func TestBackgroundLoopUnderSentry(t *testing.T) {
+	t.Parallel()
 	s := soc.Tegra3(1)
 	k := kernel.New(s, "1234")
 	sn, err := core.New(k, core.Config{})
@@ -185,6 +192,7 @@ func TestBackgroundLoopUnderSentry(t *testing.T) {
 }
 
 func TestKernelCompileSlowsWithLockedWays(t *testing.T) {
+	t.Parallel()
 	run := func(lockWays int) float64 {
 		s := soc.Tegra3(1)
 		if lockWays > 0 {
@@ -209,6 +217,7 @@ func TestKernelCompileSlowsWithLockedWays(t *testing.T) {
 }
 
 func TestAppWriteRead(t *testing.T) {
+	t.Parallel()
 	s := soc.Tegra3(1)
 	k := kernel.New(s, "1234")
 	app, err := Launch(k, MP3(), false)
@@ -229,6 +238,7 @@ func TestAppWriteRead(t *testing.T) {
 }
 
 func TestLaunchFailsWhenMemoryExhausted(t *testing.T) {
+	t.Parallel()
 	s := soc.Tegra3(1)
 	k := kernel.New(s, "1234")
 	// Exhaust physical memory with giant launches; eventually Launch errors
@@ -246,6 +256,7 @@ func TestLaunchFailsWhenMemoryExhausted(t *testing.T) {
 }
 
 func TestBgProfileColdRatioBounds(t *testing.T) {
+	t.Parallel()
 	for _, p := range BgProfiles() {
 		if p.ColdRatio <= 0 || p.ColdRatio >= 1 {
 			t.Fatalf("%s: cold ratio %v out of (0,1)", p.Name, p.ColdRatio)

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"bytes"
 	"fmt"
 
 	"sentry/internal/aes"
@@ -56,7 +57,7 @@ func (m *BusMonitor) Reset() { m.txs = nil }
 // payload (direct data capture).
 func (m *BusMonitor) CapturedData(needle []byte) bool {
 	for _, tx := range m.txs {
-		if indexBytes(tx.Data, needle) >= 0 {
+		if bytes.Index(tx.Data, needle) >= 0 {
 			return true
 		}
 	}

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"bytes"
 	"fmt"
 
 	"sentry/internal/mem"
@@ -50,7 +51,7 @@ func (a *DMAScrape) grab(addr mem.PhysAddr) {
 // ContainsSecret reports whether the scrape captured the needle.
 func (a *DMAScrape) ContainsSecret(needle []byte) bool {
 	for _, page := range a.data {
-		if indexBytes(page, needle) >= 0 {
+		if bytes.Index(page, needle) >= 0 {
 			return true
 		}
 	}

@@ -16,6 +16,7 @@
 package attack
 
 import (
+	"bytes"
 	"encoding/binary"
 
 	"sentry/internal/aes"
@@ -34,14 +35,7 @@ func CountPattern(st *mem.Store, pattern []byte) int {
 	for _, base := range st.TouchedPages() {
 		st.Read(base, buf)
 		for off := 0; off+len(pattern) <= len(buf); off += len(pattern) {
-			match := true
-			for i, b := range pattern {
-				if buf[off+i] != b {
-					match = false
-					break
-				}
-			}
-			if match {
+			if bytes.Equal(buf[off:off+len(pattern)], pattern) {
 				count++
 			}
 		}
@@ -64,24 +58,11 @@ func Contains(st *mem.Store, needle []byte) bool {
 			n = size - base
 		}
 		st.Read(base, buf[:n])
-		if indexBytes(buf[:n], needle) >= 0 {
+		if bytes.Index(buf[:n], needle) >= 0 {
 			return true
 		}
 	}
 	return false
-}
-
-func indexBytes(hay, needle []byte) int {
-outer:
-	for i := 0; i+len(needle) <= len(hay); i++ {
-		for j := range needle {
-			if hay[i+j] != needle[j] {
-				continue outer
-			}
-		}
-		return i
-	}
-	return -1
 }
 
 // maxScheduleViolations is the damage budget of the error-tolerant
@@ -103,20 +84,60 @@ func FindAESKeys(st *mem.Store) [][]byte {
 	var keys [][]byte
 	seen := map[[16]byte]bool{}
 	const schedBytes = 176
+	const schedWords = 44
 	buf := make([]byte, mem.PageSize+schedBytes)
+	zero := make([]byte, len(buf))
 	size := st.Size()
-	words := make([]uint32, 44)
+	decoded := make([]uint32, 0, len(buf)/4)
 	for _, base := range st.TouchedPages() {
 		n := uint64(len(buf))
 		if base+n > size {
 			n = size - base
 		}
 		st.Read(base, buf[:n])
+		// Zeroed pages (the free queue, never-written frames) are the common
+		// case in a dump, and an all-zero window is a trap for the relation
+		// prefilter: the 30 non-boundary relations all hold (0 == 0^0), so
+		// it survives to reconstruction, which then provably fails — every
+		// anchor's rebuilt schedule is the expansion of the zero key, whose
+		// rcon-injected words can never reach 33-of-44 agreement with zeros.
+		// Skip the whole page in one memcmp instead.
+		if bytes.Equal(buf[:n], zero[:n]) {
+			continue
+		}
+		// Candidate offsets are word-aligned, so decode each aligned word of
+		// the window once instead of re-decoding all 44 per offset (each byte
+		// otherwise decodes 44 times).
+		decoded = decoded[:0]
+		for o := 0; o+4 <= int(n); o += 4 {
+			decoded = append(decoded, binary.BigEndian.Uint32(buf[o:]))
+		}
 		for off := 0; off+schedBytes <= int(n); off += 4 {
-			for i := range words {
-				words[i] = binary.BigEndian.Uint32(buf[off+4*i:])
+			words := decoded[off/4 : off/4+schedWords]
+			// Prefilter with an early exit: walk the expansion relations in
+			// order and bail as soon as the damage budget is blown. Random
+			// data breaks essentially every relation, so almost all windows
+			// die after the first dozen-odd checks instead of evaluating all
+			// 40 and reconstructing.
+			bad := 0
+			for i := 4; i < schedWords && bad <= maxScheduleViolations; i++ {
+				if words[i] != words[i-4]^aes.ScheduleF(i, words[i-1]) {
+					bad++
+				}
 			}
-			if aes.ScheduleViolations(words) > maxScheduleViolations {
+			if bad > maxScheduleViolations {
+				continue
+			}
+			// All-zero windows inside otherwise-live pages hit the same
+			// prefilter trap as zero pages; skip them for the same reason.
+			allZero := true
+			for _, w := range words {
+				if w != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
 				continue
 			}
 			key, ok := aes.ReconstructKeyFromDamagedSchedule(words, reconstructAgreeThreshold)

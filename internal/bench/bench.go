@@ -8,8 +8,11 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Report is one regenerated table or figure.
@@ -73,7 +76,7 @@ func (r *Report) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[minInt(i, len(widths)-1)], c)
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
 		}
 		b.WriteByte('\n')
 	}
@@ -90,13 +93,6 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Experiment regenerates one paper artifact.
@@ -129,4 +125,47 @@ func All() []Experiment {
 func ByID(id string) (Experiment, bool) {
 	e, ok := registry[id]
 	return e, ok
+}
+
+// Result is one experiment's outcome from RunAll, with its wall-clock cost.
+type Result struct {
+	Exp    Experiment
+	Report *Report
+	Err    error
+	Wall   time.Duration
+}
+
+// RunAll runs every registered experiment at seed on a worker pool of the
+// given width (<=0 means GOMAXPROCS). Results come back in All() order
+// regardless of scheduling. Each experiment boots its own deterministically
+// seeded platform and never shares simulated state with its neighbours, so
+// the reports are byte-identical to a serial (parallelism 1) run —
+// TestRunAllParallelDeterministic holds that property for every experiment.
+func RunAll(seed int64, parallelism int) []Result {
+	exps := All()
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	parallelism = min(parallelism, len(exps))
+	out := make([]Result, len(exps))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				e := exps[i]
+				start := time.Now()
+				r, err := e.Run(seed)
+				out[i] = Result{Exp: e, Report: r, Err: err, Wall: time.Since(start)}
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }

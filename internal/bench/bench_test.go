@@ -3,23 +3,40 @@ package bench
 import (
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
+// seed1Results runs every experiment exactly once for the whole test binary
+// — on a parallel RunAll pool, so the suite both pays one shared pass
+// instead of one per shape test and exercises the parallel harness.
+// TestRunAllParallelDeterministic compares these results against fresh
+// serial runs. Four workers is wide enough that experiments genuinely
+// overlap (the scheduler interleaves them even on one core) without the
+// heap holding eight live platforms at once.
+var seed1Results = sync.OnceValue(func() []Result {
+	return RunAll(1, 4)
+})
+
 func runExp(t *testing.T, id string) *Report {
 	t.Helper()
-	e, ok := ByID(id)
-	if !ok {
+	if _, ok := ByID(id); !ok {
 		t.Fatalf("experiment %s not registered", id)
 	}
-	r, err := e.Run(1)
-	if err != nil {
-		t.Fatalf("%s: %v", id, err)
+	for _, res := range seed1Results() {
+		if res.Exp.ID != id {
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("%s: %v", id, res.Err)
+		}
+		if len(res.Report.Rows) == 0 || res.Report.String() == "" {
+			t.Fatalf("%s: empty report", id)
+		}
+		return res.Report
 	}
-	if len(r.Rows) == 0 || r.String() == "" {
-		t.Fatalf("%s: empty report", id)
-	}
-	return r
+	t.Fatalf("experiment %s missing from RunAll results", id)
+	return nil
 }
 
 // cell parses a numeric report cell, tolerating units and suffixes.
@@ -39,6 +56,7 @@ func cell(t *testing.T, r *Report, row, col int) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
 	want := []string{"table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5",
 		"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"anchors", "ablation-lazy", "ablation-capacity", "ablation-selective"}
@@ -53,6 +71,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	t.Parallel()
 	r := runExp(t, "table2")
 	// iRAM: 100 / 0 / 0; DRAM: ~96.4 / ~97.5 / ~0.1.
 	if r.Rows[0][1] != "100.0%" || r.Rows[1][1] != "0.0%" || r.Rows[2][1] != "0.0%" {
@@ -74,6 +93,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	t.Parallel()
 	r := runExp(t, "table3")
 	for i, attackName := range []string{"Cold Boot", "Bus Monitoring", "DMA Attacks"} {
 		if r.Rows[i][0] != attackName {
@@ -89,6 +109,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
+	t.Parallel()
 	r := runExp(t, "table4")
 	last := r.Rows[len(r.Rows)-1]
 	if last[0] != "TOTAL" || last[1] != "2970" || last[2] != "3026" || last[3] != "3082" {
@@ -97,6 +118,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestAppFigureShapes(t *testing.T) {
+	t.Parallel()
 	fig2 := runExp(t, "fig2")
 	fig3 := runExp(t, "fig3")
 	fig4 := runExp(t, "fig4")
@@ -151,6 +173,7 @@ func TestAppFigureShapes(t *testing.T) {
 }
 
 func TestBackgroundFigureShapes(t *testing.T) {
+	t.Parallel()
 	fig6 := runExp(t, "fig6") // alpine
 	fig7 := runExp(t, "fig7") // vlock
 	fig8 := runExp(t, "fig8") // xmms2
@@ -179,6 +202,7 @@ func TestBackgroundFigureShapes(t *testing.T) {
 }
 
 func TestFig9Shapes(t *testing.T) {
+	t.Parallel()
 	r := runExp(t, "fig9")
 	// Rows: randread, randread-direct, randrw, randrw-direct.
 	// Cached randread: Sentry within ~15% of no-crypto.
@@ -203,6 +227,7 @@ func TestFig9Shapes(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
+	t.Parallel()
 	r := runExp(t, "fig10")
 	if len(r.Rows) != 9 {
 		t.Fatalf("rows = %d", len(r.Rows))
@@ -225,6 +250,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11And12Shapes(t *testing.T) {
+	t.Parallel()
 	r := runExp(t, "fig11")
 	get := func(platform, variant string) float64 {
 		for i, row := range r.Rows {
@@ -279,6 +305,7 @@ func TestFig11And12Shapes(t *testing.T) {
 }
 
 func TestAnchorsShape(t *testing.T) {
+	t.Parallel()
 	r := runExp(t, "anchors")
 	if len(r.Rows) < 6 {
 		t.Fatalf("anchors rows = %d", len(r.Rows))
@@ -305,6 +332,7 @@ func TestAnchorsShape(t *testing.T) {
 }
 
 func TestAblationShapes(t *testing.T) {
+	t.Parallel()
 	lazy := runExp(t, "ablation-lazy")
 	if cell(t, lazy, 0, 1) >= cell(t, lazy, 1, 1) {
 		t.Error("lazy should be faster than eager for a glance")
@@ -322,6 +350,7 @@ func TestAblationShapes(t *testing.T) {
 }
 
 func TestReportFormatting(t *testing.T) {
+	t.Parallel()
 	r := &Report{ID: "x", Title: "t", Header: []string{"a", "b"}}
 	r.Add("row", 3.14159)
 	r.Note("hello %d", 7)
@@ -332,6 +361,7 @@ func TestReportFormatting(t *testing.T) {
 }
 
 func TestExtensionExperiments(t *testing.T) {
+	t.Parallel()
 	frost := runExp(t, "ext-frost")
 	// Colder must retain more, longer must retain less.
 	for row := 0; row < len(frost.Rows); row++ {
@@ -367,6 +397,7 @@ func TestExtensionExperiments(t *testing.T) {
 }
 
 func TestExtIOMMUShape(t *testing.T) {
+	t.Parallel()
 	r := runExp(t, "ext-iommu")
 	want := [][2]string{
 		{"UNSAFE", "UNSAFE"}, // no protection
@@ -381,6 +412,7 @@ func TestExtIOMMUShape(t *testing.T) {
 }
 
 func TestReportCellFormatting(t *testing.T) {
+	t.Parallel()
 	r := &Report{ID: "fmt", Title: "t", Header: []string{"a", "b", "c", "d"}}
 	r.Add("x", 0.0, 1234.5678, 0.4567)
 	row := r.Rows[0]
@@ -398,6 +430,7 @@ func TestReportCellFormatting(t *testing.T) {
 // across several seeds: the qualitative outcomes must not depend on the
 // randomness of decay, plaintexts, or workloads.
 func TestHeadlineResultsSeedRobust(t *testing.T) {
+	t.Parallel()
 	for seed := int64(2); seed <= 5; seed++ {
 		t3, ok := ByID("table3")
 		if !ok {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"sentry/internal/apps"
 	"sentry/internal/core"
@@ -38,12 +39,22 @@ type appCycle struct {
 	scriptOverheadP float64
 }
 
-var appCycleMemo = map[string]appCycle{}
+// appCycleMemo shares the lifecycle measurements across figures 2–5. RunAll
+// may execute those experiments concurrently, so the map is mutex-guarded;
+// a duplicate measurement racing a memoised one is wasted work but harmless,
+// because the measurement is a pure function of (profile, seed).
+var (
+	appCycleMemoMu sync.Mutex
+	appCycleMemo   = map[string]appCycle{}
+)
 
 func measureAppCycle(seed int64, prof apps.Profile) (appCycle, error) {
 	memoKey := fmt.Sprintf("%s/%d", prof.Name, seed)
-	if c, ok := appCycleMemo[memoKey]; ok {
-		return c, nil
+	appCycleMemoMu.Lock()
+	c0, ok := appCycleMemo[memoKey]
+	appCycleMemoMu.Unlock()
+	if ok {
+		return c0, nil
 	}
 
 	// Baseline: the same script with Sentry absent.
@@ -109,7 +120,9 @@ func measureAppCycle(seed int64, prof apps.Profile) (appCycle, error) {
 	c.scriptDemandMB = float64(st3.DemandDecryptedBytes-st2.DemandDecryptedBytes) / (1 << 20)
 	c.scriptOverheadP = (c.scriptSeconds - c.scriptBaseline) / c.scriptBaseline * 100
 
+	appCycleMemoMu.Lock()
 	appCycleMemo[memoKey] = c
+	appCycleMemoMu.Unlock()
 	return c, nil
 }
 

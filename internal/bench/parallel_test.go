@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunAllParallelDeterministic holds the central claim of the parallel
+// harness: a RunAll pass on a wide worker pool produces byte-identical
+// reports to a serial run of each experiment at the same seed. Experiments
+// build private, deterministically seeded platforms, so scheduling must not
+// be observable in the results.
+//
+// Metric sums ride along for free: the trace-bus and trace-crypto reports
+// print the registry-counter and trace-event derivations (and their
+// agreement cells) as report rows, so String() equality covers them.
+func TestRunAllParallelDeterministic(t *testing.T) {
+	parallel := seed1Results() // RunAll(1, 4), shared with the shape tests
+	if len(parallel) != len(All()) {
+		t.Fatalf("RunAll returned %d results, want %d", len(parallel), len(All()))
+	}
+	for _, res := range parallel {
+		res := res
+		t.Run(res.Exp.ID, func(t *testing.T) {
+			t.Parallel()
+			if res.Err != nil {
+				t.Fatalf("parallel run: %v", res.Err)
+			}
+			serial, err := res.Exp.Run(1)
+			if err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			got, want := res.Report.String(), serial.String()
+			if got != want {
+				t.Errorf("parallel and serial reports differ\n--- parallel ---\n%s--- serial ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestRunAllResultOrderAndTimings checks the harness contract details the
+// determinism test doesn't: results come back in All() order whatever the
+// scheduling, and every result carries a positive wall-clock measurement.
+func TestRunAllResultOrderAndTimings(t *testing.T) {
+	results := seed1Results()
+	for i, res := range results {
+		if want := All()[i].ID; res.Exp.ID != want {
+			t.Errorf("result %d is %s, want %s", i, res.Exp.ID, want)
+		}
+		if res.Wall <= 0 || res.Wall > 10*time.Minute {
+			t.Errorf("%s: implausible wall clock %v", res.Exp.ID, res.Wall)
+		}
+	}
+}

@@ -25,11 +25,15 @@ func init() {
 }
 
 // pkgTracer receives events from every SoC booted by an experiment after
-// SetTracer. Experiments run sequentially, so a plain variable suffices.
+// SetTracer. It is installed once before any experiment runs and only read
+// afterwards; obs.Tracer itself is safe for concurrent emitters, but with
+// RunAll parallelism >1 events from different experiments interleave in the
+// stream (sentrybench therefore forces -j 1 when -trace is set).
 var pkgTracer *obs.Tracer
 
 // SetTracer installs (or with nil removes) the tracer fed by every
-// experiment run after the call.
+// experiment run after the call. Call it before running experiments, never
+// concurrently with them.
 func SetTracer(t *obs.Tracer) { pkgTracer = t }
 
 // boot wires the package tracer into a freshly built SoC. Each SoC gets a

@@ -8,8 +8,6 @@
 package bus
 
 import (
-	"sync"
-
 	"sentry/internal/mem"
 	"sentry/internal/obs"
 	"sentry/internal/sim"
@@ -58,8 +56,13 @@ type Stats struct {
 // Bus is the external memory bus. It forwards transfers to the devices in
 // its address map, charges time and energy, and fans transactions out to
 // attached monitors.
+//
+// A Bus belongs to exactly one platform and, like sim.Clock, is owned by a
+// single goroutine (bench.RunAll isolates concurrent experiments with
+// per-experiment platforms). observe is on the critical path of every
+// off-SoC transfer, so the stats and monitor list are deliberately
+// unsynchronised.
 type Bus struct {
-	mu       sync.Mutex
 	clock    *sim.Clock
 	meter    *sim.Meter
 	costs    *sim.CostTable
@@ -67,6 +70,16 @@ type Bus struct {
 	devices  *mem.Map
 	monitors []Monitor
 	stats    Stats
+
+	// dev caches the last device hit: bursts stream within one device, so
+	// the map search is skipped on nearly every transfer. The cache is
+	// revalidated by range check on every access, so it stays correct even
+	// if devices are added later.
+	dev *mem.Device
+
+	// slow is true when any observer — tracer, counters, or monitors — is
+	// attached; the transfer fast path checks just this one bool.
+	slow bool
 
 	// Observability: all nil (and nil-safe) until SetObs wires them.
 	trace      *obs.Tracer
@@ -88,30 +101,32 @@ func (b *Bus) Devices() *mem.Map { return b.devices }
 // SetObs wires the observability layer. Either argument may be nil; the
 // emit points are nil-gated so a disabled layer costs one branch.
 func (b *Bus) SetObs(tr *obs.Tracer, reg *obs.Registry) {
-	b.mu.Lock()
 	b.trace = tr
 	b.ctrReads = reg.Counter("bus.reads")
 	b.ctrWrites = reg.Counter("bus.writes")
 	b.ctrRdBytes = reg.Counter("bus.bytes_read")
 	b.ctrWrBytes = reg.Counter("bus.bytes_wrote")
-	b.mu.Unlock()
+	b.reslow()
+}
+
+// reslow recomputes the slow-path gate after observer wiring changes.
+func (b *Bus) reslow() {
+	b.slow = b.trace != nil || b.ctrReads != nil || len(b.monitors) > 0
 }
 
 // Attach adds a monitor. Attaching a probe requires physical access; the
 // attack packages call this to model the adversary.
 func (b *Bus) Attach(m Monitor) {
-	b.mu.Lock()
 	b.monitors = append(b.monitors, m)
-	b.mu.Unlock()
+	b.reslow()
 }
 
 // Detach removes a previously attached monitor.
 func (b *Bus) Detach(m Monitor) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	for i, x := range b.monitors {
 		if x == m {
 			b.monitors = append(b.monitors[:i], b.monitors[i+1:]...)
+			b.reslow()
 			return
 		}
 	}
@@ -119,16 +134,12 @@ func (b *Bus) Detach(m Monitor) {
 
 // Stats returns a snapshot of the traffic counters.
 func (b *Bus) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	return b.stats
 }
 
 // ResetStats zeroes the traffic counters.
 func (b *Bus) ResetStats() {
-	b.mu.Lock()
 	b.stats = Stats{}
-	b.mu.Unlock()
 }
 
 func (b *Bus) charge(nbytes int) {
@@ -137,23 +148,22 @@ func (b *Bus) charge(nbytes int) {
 	b.meter.Charge(float64(words) * b.energy.DRAMAccessPJ)
 }
 
+// observe runs the slow observability path: counters, trace events, and
+// monitor fan-out. The raw Stats increments happen inline in the transfer
+// fast path; this is only reached when b.slow is set.
 func (b *Bus) observe(op Op, initiator string, addr mem.PhysAddr, data []byte) {
-	b.mu.Lock()
 	if op == Read {
-		b.stats.Reads++
-		b.stats.BytesRead += uint64(len(data))
-		b.ctrReads.Inc()
-		b.ctrRdBytes.Add(uint64(len(data)))
+		if b.ctrReads != nil {
+			b.ctrReads.Inc()
+			b.ctrRdBytes.Add(uint64(len(data)))
+		}
 	} else {
-		b.stats.Writes++
-		b.stats.BytesWrote += uint64(len(data))
-		b.ctrWrites.Inc()
-		b.ctrWrBytes.Add(uint64(len(data)))
+		if b.ctrWrites != nil {
+			b.ctrWrites.Inc()
+			b.ctrWrBytes.Add(uint64(len(data)))
+		}
 	}
-	mons := b.monitors
-	tr := b.trace
-	b.mu.Unlock()
-	if tr != nil {
+	if tr := b.trace; tr != nil {
 		tr.Emit(obs.Event{
 			Cycle: b.clock.Cycles(),
 			Kind:  obs.KindBusTxn,
@@ -163,30 +173,47 @@ func (b *Bus) observe(op Op, initiator string, addr mem.PhysAddr, data []byte) {
 			Label: initiator,
 		})
 	}
-	if len(mons) == 0 {
+	if len(b.monitors) == 0 {
 		return
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	tx := Transaction{Cycle: b.clock.Cycles(), Op: op, Addr: addr, Data: cp, Initiator: initiator}
-	for _, m := range mons {
+	for _, m := range b.monitors {
 		m.Observe(tx)
 	}
+}
+
+// find returns the device containing addr, consulting the one-entry device
+// cache before falling back to the map search.
+func (b *Bus) find(addr mem.PhysAddr) *mem.Device {
+	if d := b.dev; d != nil && d.Contains(addr) {
+		return d
+	}
+	d := b.devices.MustFind(addr)
+	b.dev = d
+	return d
 }
 
 // ReadInto performs a bus read of len(dst) bytes at addr on behalf of
 // initiator, filling dst.
 func (b *Bus) ReadInto(initiator string, addr mem.PhysAddr, dst []byte) {
-	d := b.devices.MustFind(addr)
-	d.Read(addr, dst)
+	b.find(addr).Read(addr, dst)
 	b.charge(len(dst))
-	b.observe(Read, initiator, addr, dst)
+	b.stats.Reads++
+	b.stats.BytesRead += uint64(len(dst))
+	if b.slow {
+		b.observe(Read, initiator, addr, dst)
+	}
 }
 
 // WriteFrom performs a bus write of src at addr on behalf of initiator.
 func (b *Bus) WriteFrom(initiator string, addr mem.PhysAddr, src []byte) {
-	d := b.devices.MustFind(addr)
-	d.Write(addr, src)
+	b.find(addr).Write(addr, src)
 	b.charge(len(src))
-	b.observe(Write, initiator, addr, src)
+	b.stats.Writes++
+	b.stats.BytesWrote += uint64(len(src))
+	if b.slow {
+		b.observe(Write, initiator, addr, src)
+	}
 }

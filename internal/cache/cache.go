@@ -66,9 +66,24 @@ type L2 struct {
 	energy *sim.EnergyTable
 	bus    *bus.Bus
 
-	lines     [][]line // [way][set]
-	allocMask uint32   // bit w set => way w may allocate new lines
-	victim    []int    // per-set round-robin pointer
+	// Geometry is power-of-two, so set/tag extraction is shift-and-mask —
+	// index() runs on every access and must not divide.
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+	offMask   uint64
+
+	// lines is indexed [set][way]: lookup and victim selection walk the
+	// ways of one set, so a set's ways must be contiguous in memory.
+	lines     [][]line
+	validMask []uint32 // per-set bitmask of ways holding a valid line
+	// tags mirrors the per-line tag fields as a dense flat array
+	// (tags[set*Ways+way]): a tag-match scan touches one or two cache
+	// lines of host memory instead of striding across 40-byte line
+	// structs. Entries go stale on invalidation; validMask arbitrates.
+	tags      []uint64
+	allocMask uint32 // bit w set => way w may allocate new lines
+	victim    []int  // per-set round-robin pointer
 	stats     Stats
 
 	// Observability: nil (and nil-safe) until SetObs wires them.
@@ -89,17 +104,32 @@ func New(cfg Config, clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, e
 		panic("cache: way size must be a multiple of line size")
 	}
 	sets := cfg.WaySize / cfg.LineSize
+	if bits.OnesCount(uint(cfg.LineSize)) != 1 || bits.OnesCount(uint(sets)) != 1 {
+		panic("cache: line size and set count must be powers of two")
+	}
 	c := &L2{
 		cfg: cfg, sets: sets,
 		clock: clock, meter: meter, costs: costs, energy: energy, bus: b,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setShift:  uint(bits.TrailingZeros(uint(sets))),
+		setMask:   uint64(sets - 1),
+		offMask:   uint64(cfg.LineSize - 1),
 		allocMask: (1 << cfg.Ways) - 1,
 		victim:    make([]int, sets),
 	}
-	c.lines = make([][]line, cfg.Ways)
-	for w := range c.lines {
-		c.lines[w] = make([]line, sets)
-		for s := range c.lines[w] {
-			c.lines[w][s].data = make([]byte, cfg.LineSize)
+	c.lines = make([][]line, sets)
+	c.validMask = make([]uint32, sets)
+	c.tags = make([]uint64, sets*cfg.Ways)
+	// All line structs and all line data come from two slab allocations:
+	// tens of thousands of tiny per-line allocations per booted platform
+	// add up across experiments, and pointer-free slabs are cheap for the
+	// garbage collector to scan.
+	slab := make([]line, sets*cfg.Ways)
+	data := make([]byte, sets*cfg.Ways*cfg.LineSize)
+	for s := range c.lines {
+		c.lines[s], slab = slab[:cfg.Ways:cfg.Ways], slab[cfg.Ways:]
+		for w := range c.lines[s] {
+			c.lines[s][w].data, data = data[:cfg.LineSize:cfg.LineSize], data[cfg.LineSize:]
 		}
 	}
 	return c
@@ -165,15 +195,22 @@ func (c *L2) SetAllocMask(mask uint32) {
 }
 
 func (c *L2) index(addr mem.PhysAddr) (set int, tag uint64) {
-	lineN := uint64(addr) / uint64(c.cfg.LineSize)
-	return int(lineN % uint64(c.sets)), lineN / uint64(c.sets)
+	lineN := uint64(addr) >> c.lineShift
+	return int(lineN & c.setMask), lineN >> c.setShift
 }
 
-// lookup returns the way holding (set, tag), or -1.
+// lookup returns the way holding (set, tag), or -1. It scans the dense tag
+// array; a matching but stale entry is rejected by its clear validMask bit
+// (and a fresh copy of the same tag in another way is then still found).
 func (c *L2) lookup(set int, tag uint64) int {
-	for w := 0; w < c.cfg.Ways; w++ {
-		ln := &c.lines[w][set]
-		if ln.valid && ln.tag == tag {
+	vm := c.validMask[set]
+	if vm == 0 {
+		return -1
+	}
+	base := set * c.cfg.Ways
+	row := c.tags[base : base+c.cfg.Ways]
+	for w := range row {
+		if row[w] == tag && vm&(1<<w) != 0 {
 			return w
 		}
 	}
@@ -186,20 +223,27 @@ func (c *L2) pickVictim(set int) int {
 	if c.allocMask == 0 {
 		return -1
 	}
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.allocMask&(1<<w) != 0 && !c.lines[w][set].valid {
-			return w
-		}
+	// Lowest allocation-enabled way without a valid line, if any — one mask
+	// op instead of a scan across the ways.
+	if inv := c.allocMask &^ c.validMask[set]; inv != 0 {
+		return bits.TrailingZeros32(inv)
 	}
+	// Round-robin: the first allocation-enabled way at or after the
+	// pointer, found by rotating the mask instead of scanning way by way.
+	ways := c.cfg.Ways
 	start := c.victim[set]
-	for i := 0; i < c.cfg.Ways; i++ {
-		w := (start + i) % c.cfg.Ways
-		if c.allocMask&(1<<w) != 0 {
-			c.victim[set] = (w + 1) % c.cfg.Ways
-			return w
-		}
+	full := uint32(1)<<ways - 1
+	rot := (c.allocMask >> start) | (c.allocMask << (ways - start))
+	w := start + bits.TrailingZeros32(rot&full)
+	if w >= ways {
+		w -= ways
 	}
-	return -1
+	if w+1 == ways {
+		c.victim[set] = 0
+	} else {
+		c.victim[set] = w + 1
+	}
+	return w
 }
 
 func (c *L2) lineBase(set int, tag uint64) mem.PhysAddr {
@@ -208,7 +252,7 @@ func (c *L2) lineBase(set int, tag uint64) mem.PhysAddr {
 
 // writeBack cleans one line to DRAM over the bus.
 func (c *L2) writeBack(set, way int) {
-	ln := &c.lines[way][set]
+	ln := &c.lines[set][way]
 	if !ln.valid || !ln.dirty {
 		return
 	}
@@ -220,14 +264,16 @@ func (c *L2) writeBack(set, way int) {
 
 // fill allocates (set,way) with the line containing addr, evicting as needed.
 func (c *L2) fill(set, way int, tag uint64) *line {
-	ln := &c.lines[way][set]
+	ln := &c.lines[set][way]
 	if ln.valid {
 		c.stats.Evictions++
 		c.writeBack(set, way)
 	}
 	ln.valid = true
+	c.validMask[set] |= 1 << way
 	ln.dirty = false
 	ln.tag = tag
+	c.tags[set*c.cfg.Ways+way] = tag
 	c.bus.ReadInto("l2", c.lineBase(set, tag), ln.data)
 	return ln
 }
@@ -265,8 +311,8 @@ func (c *L2) access(addr mem.PhysAddr, buf []byte, isWrite bool) {
 		c.stats.Hits++
 		c.ctrHits.Inc()
 	}
-	ln := &c.lines[way][set]
-	off := int(uint64(addr) % uint64(c.cfg.LineSize))
+	ln := &c.lines[set][way]
+	off := int(uint64(addr) & c.offMask)
 	if isWrite {
 		copy(ln.data[off:], buf)
 		ln.dirty = true
@@ -279,7 +325,7 @@ func (c *L2) access(addr mem.PhysAddr, buf []byte, isWrite bool) {
 // splitByLine runs fn once per line-sized fragment of [addr, addr+len(b)).
 func (c *L2) splitByLine(addr mem.PhysAddr, b []byte, fn func(a mem.PhysAddr, frag []byte)) {
 	for len(b) > 0 {
-		off := int(uint64(addr) % uint64(c.cfg.LineSize))
+		off := int(uint64(addr) & c.offMask)
 		n := c.cfg.LineSize - off
 		if n > len(b) {
 			n = len(b)
@@ -290,19 +336,41 @@ func (c *L2) splitByLine(addr mem.PhysAddr, b []byte, fn func(a mem.PhysAddr, fr
 	}
 }
 
-// Read performs a cacheable read of len(dst) bytes at addr.
-func (c *L2) Read(addr mem.PhysAddr, dst []byte) {
-	c.splitByLine(addr, dst, func(a mem.PhysAddr, frag []byte) {
-		c.access(a, frag, false)
-	})
+// ReadBytes is the burst read path: it moves one cache line per step with a
+// plain loop (no per-fragment closure dispatch), charging exactly the same
+// hits, misses, bypasses, write-backs, and bus transactions as a sequence of
+// per-word accesses over the same range — the trace-bus experiment and
+// TestTraceSumsEqualStats cross-check that equivalence.
+func (c *L2) ReadBytes(addr mem.PhysAddr, dst []byte) {
+	for len(dst) > 0 {
+		n := c.cfg.LineSize - int(uint64(addr)&c.offMask)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		c.access(addr, dst[:n], false)
+		addr += mem.PhysAddr(n)
+		dst = dst[n:]
+	}
 }
 
-// Write performs a cacheable write of src at addr.
-func (c *L2) Write(addr mem.PhysAddr, src []byte) {
-	c.splitByLine(addr, src, func(a mem.PhysAddr, frag []byte) {
-		c.access(a, frag, true)
-	})
+// WriteBytes is the burst write twin of ReadBytes.
+func (c *L2) WriteBytes(addr mem.PhysAddr, src []byte) {
+	for len(src) > 0 {
+		n := c.cfg.LineSize - int(uint64(addr)&c.offMask)
+		if n > len(src) {
+			n = len(src)
+		}
+		c.access(addr, src[:n], true)
+		addr += mem.PhysAddr(n)
+		src = src[n:]
+	}
 }
+
+// Read performs a cacheable read of len(dst) bytes at addr.
+func (c *L2) Read(addr mem.PhysAddr, dst []byte) { c.ReadBytes(addr, dst) }
+
+// Write performs a cacheable write of src at addr.
+func (c *L2) Write(addr mem.PhysAddr, src []byte) { c.WriteBytes(addr, src) }
 
 // CleanWays writes back every dirty line in the ways selected by mask,
 // leaving them valid.
@@ -326,12 +394,11 @@ func (c *L2) InvalidateWays(mask uint32) {
 			continue
 		}
 		for s := 0; s < c.sets; s++ {
-			ln := &c.lines[w][s]
+			ln := &c.lines[s][w]
 			ln.valid = false
 			ln.dirty = false
-			for i := range ln.data {
-				ln.data[i] = 0
-			}
+			c.validMask[s] &^= 1 << w
+			clear(ln.data)
 		}
 	}
 }
@@ -359,12 +426,11 @@ func (c *L2) InvalidateRange(addr mem.PhysAddr, n int) {
 		set := int(ln % uint64(c.sets))
 		tag := ln / uint64(c.sets)
 		if w := c.lookup(set, tag); w >= 0 {
-			e := &c.lines[w][set]
+			e := &c.lines[set][w]
 			e.valid = false
 			e.dirty = false
-			for i := range e.data {
-				e.data[i] = 0
-			}
+			c.validMask[set] &^= 1 << w
+			clear(e.data)
 		}
 	}
 }
@@ -391,7 +457,7 @@ func (c *L2) Probe(addr mem.PhysAddr) (hit bool, way int, dirty bool) {
 	if w < 0 {
 		return false, -1, false
 	}
-	return true, w, c.lines[w][set].dirty
+	return true, w, c.lines[set][w].dirty
 }
 
 // Snoop copies the cached bytes for addr into dst without timing charges or
@@ -407,8 +473,8 @@ func (c *L2) Snoop(addr mem.PhysAddr, dst []byte) bool {
 			ok = false
 			return
 		}
-		off := int(uint64(a) % uint64(c.cfg.LineSize))
-		copy(frag, c.lines[w][set].data[off:off+len(frag)])
+		off := int(uint64(a) & c.offMask)
+		copy(frag, c.lines[set][w].data[off:off+len(frag)])
 	})
 	return ok
 }
@@ -417,7 +483,7 @@ func (c *L2) Snoop(addr mem.PhysAddr, dst []byte) bool {
 func (c *L2) ValidLines(w int) int {
 	n := 0
 	for s := 0; s < c.sets; s++ {
-		if c.lines[w][s].valid {
+		if c.validMask[s]&(1<<w) != 0 {
 			n++
 		}
 	}

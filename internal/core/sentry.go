@@ -139,9 +139,18 @@ func New(k *kernel.Kernel, cfg Config) (*Sentry, error) {
 
 	// Sentry's activity counters live in the platform registry. If the
 	// caller has not instrumented the SoC, install a private registry now
-	// (no tracer) so Stats() always works and components share it.
+	// so Stats() always works and later consumers (per-process MMU fault
+	// counters) share it. Deliberately do NOT wire the per-transaction
+	// component instruments here: bus and cache counters cost an atomic
+	// update on every simulated transfer, and without a caller-provided
+	// tracer or registry nothing ever reads them. An explicitly
+	// instrumented SoC (s.Metrics != nil) is left untouched.
 	if s.Metrics == nil {
-		s.Instrument(s.Trace, obs.NewRegistry())
+		if s.Trace != nil {
+			s.Instrument(s.Trace, obs.NewRegistry())
+		} else {
+			s.Metrics = obs.NewRegistry()
+		}
 	}
 	sn.reg = s.Metrics
 	sn.ctrLockEnc = sn.reg.Counter(MetricLockEncryptedBytes)
@@ -428,29 +437,32 @@ func (sn *Sentry) onUnlock() {
 // decryptDMARegion eagerly decrypts a device-visible range: its consumers
 // (GPU, NIC) use physical addresses and never fault.
 func (sn *Sentry) decryptDMARegion(p *kernel.Process, r kernel.Range) {
+	// Reverse frame→PTE index, built once per region. Walking the page list
+	// per frame was O(pages) per page — quadratic across a large region.
+	// Where several virtual pages map one frame, the lowest address wins,
+	// matching the ascending-order walk this replaces.
+	type mapping struct {
+		v   mmu.VirtAddr
+		pte *mmu.PTE
+	}
+	rev := make(map[mem.PhysAddr]mapping, p.AS.Len())
+	p.AS.Range(func(v mmu.VirtAddr, pte *mmu.PTE) {
+		f := mem.PageBase(pte.Phys)
+		if old, ok := rev[f]; !ok || v < old.v {
+			rev[f] = mapping{v, pte}
+		}
+	})
 	for off := uint64(0); off < r.Size; off += mem.PageSize {
 		frame := r.Base + mem.PhysAddr(off)
-		v, pte := findMapping(p, frame)
-		if pte == nil || !pte.Encrypted {
+		m, ok := rev[frame]
+		if !ok || !m.pte.Encrypted {
 			continue
 		}
 		sn.cryptPage(frame, true, SealEager)
 		sn.ctrEagerDec.Add(mem.PageSize)
-		pte.Encrypted = false
-		pte.Young = true
-		_ = v
+		m.pte.Encrypted = false
+		m.pte.Young = true
 	}
-}
-
-// findMapping locates the PTE in p mapping the given frame.
-func findMapping(p *kernel.Process, frame mem.PhysAddr) (mmu.VirtAddr, *mmu.PTE) {
-	for _, v := range p.AS.Pages() {
-		pte := p.AS.Lookup(v)
-		if mem.PageBase(pte.Phys) == frame {
-			return v, pte
-		}
-	}
-	return 0, nil
 }
 
 // handleFault is Sentry's page-fault interposition: decrypt-on-demand for

@@ -11,7 +11,6 @@ package mem
 import (
 	"fmt"
 	"sort"
-	"sync"
 )
 
 // PhysAddr is a physical address on the SoC.
@@ -28,15 +27,67 @@ func PageBase(a PhysAddr) PhysAddr { return a &^ (PageSize - 1) }
 
 // Store is a sparse byte store of a fixed size, indexed from zero. Backing
 // pages materialise on first write; reads of untouched pages return zero.
+//
+// A Store is not safe for concurrent use: each simulated platform is
+// single-threaded by design, and each experiment owns its platform. The
+// former per-access RWMutex bought nothing but cost on the hot path, so the
+// bulk accessors are lock-elided; a last-page pointer cache short-circuits
+// the map lookup for the sequential streams that dominate the workloads.
 type Store struct {
-	mu    sync.RWMutex
 	size  uint64
 	pages map[uint64]*[PageSize]byte
+
+	// Recently touched pages, direct-mapped by a multiplicative hash of the
+	// page number: access streams are sequential but interleave a few pages
+	// (an L2 eviction write-back ping-pongs with the fill that triggered
+	// it), so a handful of slots turns nearly every per-access map lookup
+	// into a compare. The hash matters: the fill and write-back streams
+	// run exactly one L2-capacity apart, a power-of-two page distance that
+	// would make both streams collide in every low-bits-indexed slot.
+	cachePN   [pageCacheSlots]uint64
+	cachePage [pageCacheSlots]*[PageSize]byte
+}
+
+// pageCacheSlots sizes the Store's direct-mapped page cache; must be a
+// power of two.
+const pageCacheSlots = 8
+
+// pageSlot maps a page number to its cache slot by Fibonacci hashing.
+func pageSlot(pn uint64) uint64 {
+	return (pn * 0x9e3779b97f4a7c15) >> 61 // top bits select among 8 slots
 }
 
 // NewStore returns a sparse store of the given size in bytes.
 func NewStore(size uint64) *Store {
 	return &Store{size: size, pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// lookup returns the backing page pn, or nil if untouched.
+func (s *Store) lookup(pn uint64) *[PageSize]byte {
+	slot := pageSlot(pn)
+	if s.cachePage[slot] != nil && s.cachePN[slot] == pn {
+		return s.cachePage[slot]
+	}
+	p := s.pages[pn]
+	if p != nil {
+		s.cachePN[slot], s.cachePage[slot] = pn, p
+	}
+	return p
+}
+
+// materialise returns the backing page pn, allocating it if untouched.
+func (s *Store) materialise(pn uint64) *[PageSize]byte {
+	slot := pageSlot(pn)
+	if s.cachePage[slot] != nil && s.cachePN[slot] == pn {
+		return s.cachePage[slot]
+	}
+	p := s.pages[pn]
+	if p == nil {
+		p = new([PageSize]byte)
+		s.pages[pn] = p
+	}
+	s.cachePN[slot], s.cachePage[slot] = pn, p
+	return p
 }
 
 // Size returns the store's capacity in bytes.
@@ -51,9 +102,7 @@ func (s *Store) check(off uint64, n int) {
 // ByteAt returns the byte at offset off.
 func (s *Store) ByteAt(off uint64) byte {
 	s.check(off, 1)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p := s.pages[off>>PageShift]
+	p := s.lookup(off >> PageShift)
 	if p == nil {
 		return 0
 	}
@@ -63,22 +112,12 @@ func (s *Store) ByteAt(off uint64) byte {
 // SetByte stores b at offset off.
 func (s *Store) SetByte(off uint64, b byte) {
 	s.check(off, 1)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pn := off >> PageShift
-	p := s.pages[pn]
-	if p == nil {
-		p = new([PageSize]byte)
-		s.pages[pn] = p
-	}
-	p[off&(PageSize-1)] = b
+	s.materialise(off >> PageShift)[off&(PageSize-1)] = b
 }
 
 // Read copies len(dst) bytes starting at off into dst.
 func (s *Store) Read(off uint64, dst []byte) {
 	s.check(off, len(dst))
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	for len(dst) > 0 {
 		pn := off >> PageShift
 		po := off & (PageSize - 1)
@@ -86,12 +125,10 @@ func (s *Store) Read(off uint64, dst []byte) {
 		if uint64(len(dst)) < n {
 			n = uint64(len(dst))
 		}
-		if p := s.pages[pn]; p != nil {
+		if p := s.lookup(pn); p != nil {
 			copy(dst[:n], p[po:po+n])
 		} else {
-			for i := uint64(0); i < n; i++ {
-				dst[i] = 0
-			}
+			clear(dst[:n])
 		}
 		dst = dst[n:]
 		off += n
@@ -101,8 +138,6 @@ func (s *Store) Read(off uint64, dst []byte) {
 // Write copies src into the store starting at off.
 func (s *Store) Write(off uint64, src []byte) {
 	s.check(off, len(src))
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for len(src) > 0 {
 		pn := off >> PageShift
 		po := off & (PageSize - 1)
@@ -110,12 +145,7 @@ func (s *Store) Write(off uint64, src []byte) {
 		if uint64(len(src)) < n {
 			n = uint64(len(src))
 		}
-		p := s.pages[pn]
-		if p == nil {
-			p = new([PageSize]byte)
-			s.pages[pn] = p
-		}
-		copy(p[po:po+n], src[:n])
+		copy(s.materialise(pn)[po:po+n], src[:n])
 		src = src[n:]
 		off += n
 	}
@@ -123,16 +153,13 @@ func (s *Store) Write(off uint64, src []byte) {
 
 // ZeroAll discards every backing page, returning the store to all-zeroes.
 func (s *Store) ZeroAll() {
-	s.mu.Lock()
 	s.pages = make(map[uint64]*[PageSize]byte)
-	s.mu.Unlock()
+	s.cachePage = [pageCacheSlots]*[PageSize]byte{}
 }
 
 // TouchedPages returns the sorted offsets of pages that have backing store.
 // Untouched pages are architecturally zero and cannot hold remanent data.
 func (s *Store) TouchedPages() []uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]uint64, 0, len(s.pages))
 	for pn := range s.pages {
 		out = append(out, pn<<PageShift)
@@ -141,14 +168,14 @@ func (s *Store) TouchedPages() []uint64 {
 	return out
 }
 
-// MutatePages calls fn for every materialised page with its base offset and
-// a mutable view of its bytes. It is the hook the remanence model uses to
-// decay memory contents in place.
+// MutatePages calls fn for every materialised page, in ascending address
+// order, with its base offset and a mutable view of its bytes. It is the
+// hook the remanence model uses to decay memory contents in place; the
+// fixed order keeps the RNG draw sequence — and therefore every decayed
+// dump — identical for a given seed.
 func (s *Store) MutatePages(fn func(base uint64, data []byte)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for pn, p := range s.pages {
-		fn(pn<<PageShift, p[:])
+	for _, base := range s.TouchedPages() {
+		fn(base, s.pages[base>>PageShift][:])
 	}
 }
 

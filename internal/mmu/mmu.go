@@ -135,6 +135,16 @@ func (a *AddressSpace) Pages() []VirtAddr {
 // Len returns the number of mapped pages.
 func (a *AddressSpace) Len() int { return len(a.entries) }
 
+// Range calls fn for every mapping in unspecified order. Unlike Pages it
+// allocates and sorts nothing, so bulk walks that don't care about address
+// order (e.g. building a reverse frame index) stay O(n). fn must not map or
+// unmap pages; mutating the PTE through the pointer is fine.
+func (a *AddressSpace) Range(fn func(v VirtAddr, pte *PTE)) {
+	for vpn, pte := range a.entries {
+		fn(VirtAddr(vpn<<PageShift), pte)
+	}
+}
+
 // Translate resolves v for a read or write access. On success it returns
 // the physical address; otherwise the fault the hardware would raise.
 // A fault is raised for: missing mapping, clear young bit (access-flag

@@ -87,16 +87,43 @@ func GroundByte(addr uint64) byte {
 // Decay applies t seconds of power-off decay at tempC to every materialised
 // byte of the device, in place, drawing randomness from rng. Untouched
 // (never-written) pages are already at architectural zero and are skipped.
+//
+// Each byte independently flips to ground with probability 1-r, but instead
+// of one RNG draw per byte (≈1 G draws for a 1 GB fill) the sampler draws
+// the gap to the next flipped byte from the geometric distribution the
+// per-byte Bernoulli process induces: skip = floor(ln U / ln r) surviving
+// bytes precede each flip. The work is O(flipped bytes), and the resulting
+// flip pattern has exactly the per-byte distribution of the naive loop.
 func Decay(d *mem.Device, rng *sim.RNG, t, tempC float64) {
 	r := CurveFor(d.Tech()).ByteRetention(t, tempC)
 	if r >= 1 {
 		return
 	}
-	d.Store().MutatePages(func(base uint64, data []byte) {
-		for i := range data {
-			if rng.Float64() >= r {
+	if r <= 0 {
+		d.Store().MutatePages(func(base uint64, data []byte) {
+			for i := range data {
 				data[i] = GroundByte(base + uint64(i))
 			}
+		})
+		return
+	}
+	invLogR := 1 / math.Log(r)
+	d.Store().MutatePages(func(base uint64, data []byte) {
+		i := 0
+		for i < len(data) {
+			u := rng.Float64()
+			if u <= 0 {
+				// log(0) would overflow the skip; a zero draw means "no flip
+				// within any representable gap".
+				return
+			}
+			gap := math.Floor(math.Log(u) * invLogR)
+			if gap >= float64(len(data)-i) {
+				return
+			}
+			i += int(gap)
+			data[i] = GroundByte(base + uint64(i))
+			i++
 		}
 	})
 }

@@ -15,12 +15,15 @@ import (
 )
 
 // Clock is the simulated time source. One Clock is shared by all components
-// of a platform. Time is kept in cycles of the platform's base frequency and
-// converted to seconds on demand.
+// of a platform, and a platform is owned by exactly one goroutine — the
+// parallel harness (bench.RunAll) isolates experiments by giving each its
+// own platform rather than sharing one. Advance sits on the critical path of
+// every simulated memory access, so the counter is a plain field: no mutex,
+// no atomic. Under `-race`, genuine cross-goroutine sharing of a platform is
+// then a detectable bug instead of a silent interleaving.
 type Clock struct {
-	mu     sync.Mutex
 	cycles uint64
-	// HzBase is the frequency used to convert cycles to wall time.
+	// hz is the frequency used to convert cycles to wall time.
 	hz uint64
 }
 
@@ -34,15 +37,11 @@ func NewClock(hz uint64) *Clock {
 
 // Advance charges n cycles to the clock.
 func (c *Clock) Advance(n uint64) {
-	c.mu.Lock()
 	c.cycles += n
-	c.mu.Unlock()
 }
 
 // Cycles returns the total cycles elapsed.
 func (c *Clock) Cycles() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.cycles
 }
 
@@ -109,23 +108,21 @@ type EnergyTable struct {
 	IdleSystemPJPC float64 // static leakage per cycle (whole SoC)
 }
 
-// Meter accumulates energy in picojoules.
+// Meter accumulates energy in picojoules. Like Clock it is charged on every
+// simulated access and shares the single-goroutine ownership contract, so
+// the accumulator is a plain float — float addition is order-sensitive, and
+// a fixed owner goroutine is also what keeps the sum bit-reproducible.
 type Meter struct {
-	mu sync.Mutex
 	pj float64
 }
 
 // Charge adds pj picojoules to the meter.
 func (m *Meter) Charge(pj float64) {
-	m.mu.Lock()
 	m.pj += pj
-	m.mu.Unlock()
 }
 
 // PJ returns accumulated picojoules.
 func (m *Meter) PJ() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return m.pj
 }
 
@@ -144,10 +141,11 @@ func (m *Meter) Span(fn func()) float64 {
 
 // RNG wraps a seeded deterministic random source. All stochastic models
 // (remanence decay, workload access patterns) draw from an RNG owned by the
-// platform so experiments replay identically for a fixed seed.
+// platform so experiments replay identically for a fixed seed. Determinism
+// requires a fixed draw order, which in turn requires a single owner
+// goroutine — so, like Clock and Meter, RNG is deliberately unsynchronised.
 type RNG struct {
-	mu sync.Mutex
-	r  *rand.Rand
+	r *rand.Rand
 }
 
 // NewRNG returns a deterministic random source for the given seed.
@@ -156,46 +154,22 @@ func NewRNG(seed int64) *RNG {
 }
 
 // Float64 returns a uniform value in [0,1).
-func (g *RNG) Float64() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.r.Float64()
-}
+func (g *RNG) Float64() float64 { return g.r.Float64() }
 
 // Intn returns a uniform value in [0,n).
-func (g *RNG) Intn(n int) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.r.Intn(n)
-}
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
 
 // Uint32 returns a uniform 32-bit value.
-func (g *RNG) Uint32() uint32 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.r.Uint32()
-}
+func (g *RNG) Uint32() uint32 { return g.r.Uint32() }
 
 // Uint64 returns a uniform 64-bit value.
-func (g *RNG) Uint64() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.r.Uint64()
-}
+func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
 
 // Read fills p with random bytes. It always returns len(p), nil.
-func (g *RNG) Read(p []byte) (int, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.r.Read(p)
-}
+func (g *RNG) Read(p []byte) (int, error) { return g.r.Read(p) }
 
 // Perm returns a random permutation of [0,n).
-func (g *RNG) Perm(n int) []int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.r.Perm(n)
-}
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
 // Event is a single entry in a component trace.
 type Event struct {

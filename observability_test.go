@@ -10,6 +10,7 @@ import (
 )
 
 func TestOpenUnknownPlatform(t *testing.T) {
+	t.Parallel()
 	_, err := Open(Platform(99), "4321")
 	if !errors.Is(err, ErrUnsupportedPlatform) {
 		t.Fatalf("want ErrUnsupportedPlatform, got %v", err)
@@ -17,6 +18,7 @@ func TestOpenUnknownPlatform(t *testing.T) {
 }
 
 func TestOpenOptions(t *testing.T) {
+	t.Parallel()
 	tr := NewTracer(0)
 	dev, err := Open(Tegra3, "4321", WithSeed(7), WithTracer(tr), WithConfig(Config{}))
 	if err != nil {
@@ -34,6 +36,7 @@ func TestOpenOptions(t *testing.T) {
 }
 
 func TestOpenWithoutTracer(t *testing.T) {
+	t.Parallel()
 	dev, err := Open(Nexus4, "4321")
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +57,7 @@ func TestOpenWithoutTracer(t *testing.T) {
 }
 
 func TestMetricsSinkOptionImpliesTracer(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	dev, err := Open(Tegra3, "4321", WithMetricsSink(NewJSONLSink(&buf)))
 	if err != nil {
@@ -73,6 +77,7 @@ func TestMetricsSinkOptionImpliesTracer(t *testing.T) {
 }
 
 func TestTypedErrors(t *testing.T) {
+	t.Parallel()
 	dev, err := Open(Tegra3, "4321")
 	if err != nil {
 		t.Fatal(err)
@@ -90,6 +95,7 @@ func TestTypedErrors(t *testing.T) {
 }
 
 func TestBackgroundUnsupportedOnNexus(t *testing.T) {
+	t.Parallel()
 	dev, err := Open(Nexus4, "4321")
 	if err != nil {
 		t.Fatal(err)
@@ -105,6 +111,7 @@ func TestBackgroundUnsupportedOnNexus(t *testing.T) {
 }
 
 func TestProbesUnsupportedOnNexus(t *testing.T) {
+	t.Parallel()
 	dev, err := Open(Nexus4, "4321")
 	if err != nil {
 		t.Fatal(err)
@@ -122,6 +129,7 @@ func TestProbesUnsupportedOnNexus(t *testing.T) {
 // the lock transition with its page seals, the attack probe, and the
 // unlock transition with eager unseals after it.
 func TestLockColdBootUnlockEventSequence(t *testing.T) {
+	t.Parallel()
 	tr := NewTracer(0)
 	sink := NewMemorySink(TraceMask(
 		TraceStateChange, TracePageSeal, TracePageUnseal,
@@ -201,6 +209,7 @@ func TestLockColdBootUnlockEventSequence(t *testing.T) {
 // trace-derived bench reports: summing seal/unseal event sizes by label
 // reproduces the Stats counters exactly.
 func TestTraceSumsEqualStats(t *testing.T) {
+	t.Parallel()
 	tr := NewTracer(0)
 	sink := NewMemorySink(TraceMask(TracePageSeal, TracePageUnseal))
 	tr.AddSink(sink)

@@ -9,6 +9,7 @@ import (
 
 // TestQuickstartFlow exercises the README's five-minute tour end to end.
 func TestQuickstartFlow(t *testing.T) {
+	t.Parallel()
 	dev, err := NewTegra3(1, "4321", Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -34,6 +35,7 @@ func TestQuickstartFlow(t *testing.T) {
 }
 
 func TestUnprotectedBaselineFalls(t *testing.T) {
+	t.Parallel()
 	dev, err := NewTegra3(1, "4321", Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -53,6 +55,7 @@ func TestUnprotectedBaselineFalls(t *testing.T) {
 }
 
 func TestLockUnlockRoundTripViaFacade(t *testing.T) {
+	t.Parallel()
 	dev, err := NewNexus4(2, "0000", Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -77,6 +80,7 @@ func TestLockUnlockRoundTripViaFacade(t *testing.T) {
 }
 
 func TestBackgroundSessionViaFacade(t *testing.T) {
+	t.Parallel()
 	dev, err := NewTegra3(3, "1111", Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -110,6 +114,7 @@ func TestBackgroundSessionViaFacade(t *testing.T) {
 }
 
 func TestEncryptedDiskViaFacade(t *testing.T) {
+	t.Parallel()
 	dev, err := NewTegra3(4, "2222", Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -141,6 +146,7 @@ func TestEncryptedDiskViaFacade(t *testing.T) {
 }
 
 func TestExperimentRegistryViaFacade(t *testing.T) {
+	t.Parallel()
 	if len(Experiments()) < 18 {
 		t.Fatalf("only %d experiments", len(Experiments()))
 	}
@@ -155,6 +161,7 @@ func TestExperimentRegistryViaFacade(t *testing.T) {
 }
 
 func TestSuspendAndKernelSubsystemViaFacade(t *testing.T) {
+	t.Parallel()
 	dev, err := NewTegra3(7, "9999", Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -186,6 +193,7 @@ func TestSuspendAndKernelSubsystemViaFacade(t *testing.T) {
 }
 
 func TestPinnedBackgroundViaFacade(t *testing.T) {
+	t.Parallel()
 	dev, err := NewTegra3(8, "0000", Config{})
 	if err != nil {
 		t.Fatal(err)
