@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-guard bench-wallclock wallclock-guard check
+.PHONY: all build vet test race bench-guard bench-wallclock wallclock-guard check fuzz-smoke ci
 
-all: check
+all: ci
 
 build:
 	$(GO) build ./...
@@ -35,4 +35,17 @@ bench-wallclock:
 wallclock-guard:
 	$(GO) run ./cmd/sentrybench -exp all -j 1 -wallclock-guard BENCH_wallclock.json | tail -1
 
-check: vet build race bench-guard wallclock-guard
+# Invariant model-checker: seeded campaigns against the defended system
+# (must stay clean) plus the three positive controls (must each shrink to a
+# minimal replayable reproducer).
+check:
+	$(GO) run ./cmd/sentrybench -check -seeds 256
+	$(GO) run ./cmd/sentrybench -check -seeds 256 -faults benign
+
+# Short native-fuzzing burst over the PIN state machine and the cold-boot
+# dump scanners.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzUnlockPIN -fuzztime 30s ./internal/kernel/
+	$(GO) test -fuzz FuzzColdbootScan -fuzztime 30s ./internal/attack/
+
+ci: vet build race bench-guard wallclock-guard check

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sentry/internal/check"
+	"sentry/internal/faults"
+)
+
+// runCheck drives the model checker: a seeded campaign per platform against
+// the fully defended system (which must stay clean), then the three positive
+// controls per platform (which must each yield a minimal reproducer).
+// Returns false if any acceptance condition fails.
+func runCheck(platforms string, seeds, steps int, faultsName string, startSeed int64) bool {
+	prof, ok := faults.ByName(faultsName)
+	if !ok {
+		fatalf("unknown fault profile %q (want none, benign, or adversarial)", faultsName)
+	}
+	plats := strings.Split(platforms, ",")
+	okAll := true
+
+	for _, plat := range plats {
+		cfg := check.Config{Platform: plat, Defences: check.AllDefences(), Faults: prof, Steps: steps}
+		start := time.Now()
+		res := check.Campaign(cfg, startSeed, seeds)
+		fmt.Printf("check: %-7s defended  faults=%-11s %d seeds in %v: ",
+			plat, prof.Name, seeds, time.Since(start).Round(time.Millisecond))
+		switch {
+		case res.Repro != nil:
+			okAll = false
+			fmt.Printf("VIOLATION (%d/%d seeds)\n", res.ViolationSeeds, seeds)
+			fmt.Printf("  %s\n  repro: %s\n", res.Repro.Violation, res.Repro)
+		case len(res.IntegrityFailures) > 0:
+			okAll = false
+			fmt.Printf("INTEGRITY FAILURES (%d)\n", len(res.IntegrityFailures))
+			for _, f := range res.IntegrityFailures {
+				fmt.Printf("  %s\n", f)
+			}
+		default:
+			fmt.Println("clean")
+		}
+	}
+
+	// Positive controls: the checker must not be vacuous. Each ablation must
+	// be caught, shrink to <= 8 ops, and replay from the printed line.
+	for _, plat := range plats {
+		for _, ctl := range check.Controls() {
+			start := time.Now()
+			repro, err := check.RunControl(plat, ctl.Name, 32, steps)
+			if err != nil {
+				okAll = false
+				fmt.Printf("check: %-7s control %-16s FAILED: %v\n", plat, ctl.Name, err)
+				continue
+			}
+			status := "ok"
+			if len(repro.Ops) > 8 {
+				okAll = false
+				status = fmt.Sprintf("NOT MINIMAL (%d ops)", len(repro.Ops))
+			}
+			if rr := check.Replay(repro.Config, repro.Seed, repro.Ops); rr.Violation == nil {
+				okAll = false
+				status = "DOES NOT REPLAY"
+			}
+			fmt.Printf("check: %-7s control %-16s %s in %v (clause %s, %d -> %d ops)\n",
+				plat, ctl.Name, status, time.Since(start).Round(time.Millisecond),
+				repro.Violation.Clause, repro.OriginalLen, len(repro.Ops))
+			fmt.Printf("  repro: %s\n", repro)
+		}
+	}
+	return okAll
+}
+
+// runReplay re-executes a printed repro line and reports what it finds.
+// Returns false if the line no longer reproduces a violation.
+func runReplay(line string) bool {
+	repro, err := check.ParseRepro(line)
+	if err != nil {
+		fatalf("replay: %v", err)
+	}
+	rr := check.Replay(repro.Config, repro.Seed, repro.Ops)
+	if rr.Violation == nil {
+		fmt.Printf("replay: %s\n  no violation (fixed, or the repro is stale)\n", line)
+		return false
+	}
+	fmt.Printf("replay: %s\n  %s\n", line, rr.Violation)
+	return true
+}

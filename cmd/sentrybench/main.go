@@ -9,6 +9,9 @@
 //	sentrybench -exp fig2 -seed 7       # different simulation seed
 //	sentrybench -exp all -wallclock BENCH_wallclock.json        # record timings
 //	sentrybench -exp all -wallclock-guard BENCH_wallclock.json  # fail on regression
+//	sentrybench -check -seeds 256       # invariant model-checker campaign
+//	sentrybench -check -faults benign   # ... with benign fault injection
+//	sentrybench -replay "platform=tegra3 defences=no-lock-flush faults=none seed=4 ops=pressure:9360834,lock:12083332"
 package main
 
 import (
@@ -46,8 +49,28 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a JSONL event trace of all experiment activity to this file")
 		wallOut   = flag.String("wallclock", "", "write per-experiment wall-clock timings (JSON) to this file")
 		wallGuard = flag.String("wallclock-guard", "", "compare this run's total wall clock against a recorded JSON file; exit non-zero on >25% regression")
+
+		doCheck    = flag.Bool("check", false, "run the invariant model-checker campaign + positive controls")
+		seeds      = flag.Int("seeds", 256, "campaign size for -check")
+		checkSteps = flag.Int("check-steps", 0, "max schedule length for -check (0 = default)")
+		faultsProf = flag.String("faults", "none", "fault profile for -check: none, benign, or adversarial")
+		platforms  = flag.String("platforms", "tegra3,nexus4", "comma-separated platforms for -check")
+		replayLine = flag.String("replay", "", "replay a printed repro line and exit")
 	)
 	flag.Parse()
+
+	if *replayLine != "" {
+		if !runReplay(*replayLine) {
+			os.Exit(1)
+		}
+		return
+	}
+	if *doCheck {
+		if !runCheck(*platforms, *seeds, *checkSteps, *faultsProf, *seed) {
+			fatalf("check failed")
+		}
+		return
+	}
 
 	var (
 		tracer    *obs.Tracer

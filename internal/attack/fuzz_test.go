@@ -1,0 +1,74 @@
+package attack
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sentry/internal/mem"
+	"sentry/internal/remanence"
+	"sentry/internal/sim"
+)
+
+// FuzzColdbootScan throws arbitrary memory images and decay windows at the
+// dump scanners. The scanners must never panic, must agree with each other
+// (FuzzyContains at budget zero IS Contains; Contains implies FuzzyContains
+// at any budget), and must never report the marker recovered from an image
+// that never contained it — decay collapses bytes to the 0x00/0xFF ground
+// pattern and cannot mint ASCII marker bytes, so absence survives decay.
+func FuzzColdbootScan(f *testing.F) {
+	marker := []byte("MARKER-0123456789")
+	f.Add([]byte("hello world"), uint16(0), 0.0)
+	f.Add(append([]byte("junk"), marker...), uint16(512), 0.05)
+	f.Add(bytes.Repeat([]byte{0xAA}, 4096), uint16(4000), 2.0)
+	f.Add(marker[:10], uint16(100), 0.5)
+	f.Fuzz(func(t *testing.T, data []byte, off uint16, secs float64) {
+		const size = 4 * mem.PageSize
+		dev := mem.NewDevice("dump", mem.TechDRAM, 0, size)
+		// Sanitise the fuzzed decay window: finite, non-negative, bounded.
+		if math.IsNaN(secs) || math.IsInf(secs, 0) || secs < 0 {
+			secs = 0
+		}
+		if secs > 100 {
+			secs = 100
+		}
+		base := mem.PhysAddr(uint64(off) % size)
+		if n := size - uint64(base); uint64(len(data)) > n {
+			data = data[:n]
+		}
+		if len(data) > 0 {
+			dev.Write(base, data)
+		}
+		// The marker is in the image iff it is in what we wrote: the rest of
+		// the device is architectural zero and the marker has no zero bytes.
+		planted := bytes.Contains(data, marker)
+
+		remanence.Decay(dev, sim.NewRNG(int64(off)+1), secs, remanence.RoomTempC)
+		st := dev.Store()
+
+		got := Contains(st, marker)
+		if got && !planted {
+			t.Fatalf("false positive: marker recovered from an image that never held it (off=%d secs=%g)", base, secs)
+		}
+		if secs == 0 && planted && !got {
+			t.Fatalf("false negative: intact image lost the marker (off=%d)", base)
+		}
+		if fz := FuzzyContains(st, marker, 0); fz != got {
+			t.Fatalf("FuzzyContains(0)=%v disagrees with Contains=%v", fz, got)
+		}
+		if got && !FuzzyContains(st, marker, 4) {
+			t.Fatal("Contains=true but FuzzyContains(4)=false — fuzzy match is not monotone")
+		}
+		if n := CountPattern(st, marker[:8]); n < 0 {
+			t.Fatalf("negative pattern count %d", n)
+		}
+		for _, key := range FindAESKeys(st) {
+			if len(key) != 16 {
+				t.Fatalf("keyfinder returned a %d-byte key", len(key))
+			}
+			if bytes.Equal(key, make([]byte, 16)) {
+				t.Fatal("keyfinder returned the all-zero key (decayed memory, not a hit)")
+			}
+		}
+	})
+}

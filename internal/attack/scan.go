@@ -65,6 +65,46 @@ func Contains(st *mem.Store, needle []byte) bool {
 	return false
 }
 
+// FuzzyContains reports whether a window matching needle in all but at
+// most maxMismatch bytes appears anywhere in the store (page-spanning
+// windows included). This is the recoverable-plaintext test for remanence
+// images: bit decay collapses individual bytes toward the ground state, but
+// a copy that survives in all but a few positions is still legible to an
+// attacker. With maxMismatch zero it degenerates to Contains.
+func FuzzyContains(st *mem.Store, needle []byte, maxMismatch int) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	if maxMismatch <= 0 {
+		return Contains(st, needle)
+	}
+	buf := make([]byte, mem.PageSize+len(needle)-1)
+	size := st.Size()
+	for _, base := range st.TouchedPages() {
+		n := uint64(len(buf))
+		if base+n > size {
+			n = size - base
+		}
+		st.Read(base, buf[:n])
+		win := buf[:n]
+		for off := 0; off+len(needle) <= len(win); off++ {
+			bad := 0
+			for i, b := range needle {
+				if win[off+i] != b {
+					bad++
+					if bad > maxMismatch {
+						break
+					}
+				}
+			}
+			if bad <= maxMismatch {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // maxScheduleViolations is the damage budget of the error-tolerant
 // keyfinder: each decayed byte breaks at most three of the 40 expansion
 // relations, so a window with up to 12 violations is still worth a

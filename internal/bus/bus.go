@@ -45,6 +45,16 @@ type Monitor interface {
 	Observe(tx Transaction)
 }
 
+// FaultInjector perturbs write transactions in flight. It is consulted only
+// when one is attached (a single nil check otherwise), mirroring the
+// slow-path gating of the observability layer.
+type FaultInjector interface {
+	// FilterWrite returns how many leading bytes of data actually reach the
+	// device, in [0, len(data)]. Fewer than len(data) models a torn write:
+	// power loss or a glitch interrupting the burst mid-transfer.
+	FilterWrite(addr mem.PhysAddr, data []byte) int
+}
+
 // Stats aggregates bus traffic counters.
 type Stats struct {
 	Reads      uint64
@@ -81,6 +91,9 @@ type Bus struct {
 	// attached; the transfer fast path checks just this one bool.
 	slow bool
 
+	// faults is nil unless a fault injector is attached.
+	faults FaultInjector
+
 	// Observability: all nil (and nil-safe) until SetObs wires them.
 	trace      *obs.Tracer
 	ctrReads   *obs.Counter
@@ -113,6 +126,9 @@ func (b *Bus) SetObs(tr *obs.Tracer, reg *obs.Registry) {
 func (b *Bus) reslow() {
 	b.slow = b.trace != nil || b.ctrReads != nil || len(b.monitors) > 0
 }
+
+// SetFaults attaches (or, with nil, detaches) a fault injector.
+func (b *Bus) SetFaults(f FaultInjector) { b.faults = f }
 
 // Attach adds a monitor. Attaching a probe requires physical access; the
 // attack packages call this to model the adversary.
@@ -208,7 +224,15 @@ func (b *Bus) ReadInto(initiator string, addr mem.PhysAddr, dst []byte) {
 }
 
 // WriteFrom performs a bus write of src at addr on behalf of initiator.
+// With a fault injector attached the write may be torn: only a prefix
+// reaches the device (and the charge, stats, and monitors see the prefix —
+// the rest of the burst never happened).
 func (b *Bus) WriteFrom(initiator string, addr mem.PhysAddr, src []byte) {
+	if f := b.faults; f != nil {
+		if n := f.FilterWrite(addr, src); n < len(src) {
+			src = src[:max(n, 0)]
+		}
+	}
 	b.find(addr).Write(addr, src)
 	b.charge(len(src))
 	b.stats.Writes++

@@ -93,6 +93,20 @@ type L2 struct {
 	ctrBypasses *obs.Counter
 	ctrWBs      *obs.Counter
 	gaugeLocked *obs.Gauge
+
+	// faults is nil unless a fault injector is attached; only the
+	// maintenance entry points consult it, never the access fast path.
+	faults FaultInjector
+}
+
+// FaultInjector perturbs cache-maintenance operations. DropMaint is
+// consulted once at the entry of each kernel-reachable maintenance
+// operation (op names: "clean-ways", "invalidate-ways", "clean-range",
+// "invalidate-range"); returning true silently drops the whole operation
+// (a glitched controller command). Implementations may instead panic to
+// model power loss at that point — no part of the operation has run yet.
+type FaultInjector interface {
+	DropMaint(op string) bool
 }
 
 // New returns an L2 of the given geometry in front of the given bus.
@@ -149,6 +163,9 @@ func (c *L2) Stats() Stats { return c.stats }
 
 // ResetStats zeroes the event counters.
 func (c *L2) ResetStats() { c.stats = Stats{} }
+
+// SetFaults attaches (or, with nil, detaches) a fault injector.
+func (c *L2) SetFaults(f FaultInjector) { c.faults = f }
 
 // SetObs wires the observability layer. Either argument may be nil.
 func (c *L2) SetObs(tr *obs.Tracer, reg *obs.Registry) {
@@ -375,6 +392,9 @@ func (c *L2) Write(addr mem.PhysAddr, src []byte) { c.WriteBytes(addr, src) }
 // CleanWays writes back every dirty line in the ways selected by mask,
 // leaving them valid.
 func (c *L2) CleanWays(mask uint32) {
+	if f := c.faults; f != nil && f.DropMaint("clean-ways") {
+		return
+	}
 	for w := 0; w < c.cfg.Ways; w++ {
 		if mask&(1<<w) == 0 {
 			continue
@@ -389,6 +409,13 @@ func (c *L2) CleanWays(mask uint32) {
 // anything back. Dirty data is lost — this is the dangerous half of cache
 // maintenance, and also how the firmware resets the cache at boot.
 func (c *L2) InvalidateWays(mask uint32) {
+	if f := c.faults; f != nil && f.DropMaint("invalidate-ways") {
+		return
+	}
+	c.invalidateWays(mask)
+}
+
+func (c *L2) invalidateWays(mask uint32) {
 	for w := 0; w < c.cfg.Ways; w++ {
 		if mask&(1<<w) == 0 {
 			continue
@@ -401,6 +428,16 @@ func (c *L2) InvalidateWays(mask uint32) {
 			clear(ln.data)
 		}
 	}
+}
+
+// Reset models the cache losing power: every line, every tag, and the
+// lockdown register are physically lost, with nothing written back. Unlike
+// the maintenance operations this is not a controller command an attacker
+// could glitch — de-powered SRAM simply forgets — so it bypasses any
+// attached fault injector.
+func (c *L2) Reset() {
+	c.SetAllocMask(c.AllWaysMask())
+	c.invalidateWays(c.AllWaysMask())
 }
 
 // CleanInvalidateWays cleans then invalidates the selected ways. Calling it
@@ -420,6 +457,9 @@ func (c *L2) AllWaysMask() uint32 { return (1 << c.cfg.Ways) - 1 }
 // kernel's zeroing thread uses it to discard stale plaintext lines after
 // clearing a freed frame.
 func (c *L2) InvalidateRange(addr mem.PhysAddr, n int) {
+	if f := c.faults; f != nil && f.DropMaint("invalidate-range") {
+		return
+	}
 	first := uint64(addr) / uint64(c.cfg.LineSize)
 	last := (uint64(addr) + uint64(n) - 1) / uint64(c.cfg.LineSize)
 	for ln := first; ln <= last; ln++ {
@@ -438,6 +478,9 @@ func (c *L2) InvalidateRange(addr mem.PhysAddr, n int) {
 // CleanRange writes back any dirty lines overlapping [addr, addr+n) —
 // "clean by PA", the operation drivers use before starting a DMA read.
 func (c *L2) CleanRange(addr mem.PhysAddr, n int) {
+	if f := c.faults; f != nil && f.DropMaint("clean-range") {
+		return
+	}
 	first := uint64(addr) / uint64(c.cfg.LineSize)
 	last := (uint64(addr) + uint64(n) - 1) / uint64(c.cfg.LineSize)
 	for ln := first; ln <= last; ln++ {

@@ -1,0 +1,59 @@
+package check
+
+// maxShrinkReplays bounds the replay budget one shrink may spend. Schedules
+// are at most a few hundred ops and each replay is cheap, so the bound is
+// generous; it exists so a pathological flip-flopping candidate set cannot
+// hang a campaign.
+const maxShrinkReplays = 4096
+
+// Shrink reduces a violating schedule to a minimal reproducer by greedy
+// delta debugging: repeatedly try dropping contiguous chunks (halving the
+// chunk size down to single ops) and keep any candidate that still
+// violates. Every candidate is validated by a full Replay from a fresh
+// world, so the result is guaranteed to reproduce from (cfg, seed).
+//
+// The violation need not stay literally identical while shrinking — dropping
+// ops may surface the same leak under a different clause (e.g. "writeback"
+// collapsing to "dram") — any violation counts, which is standard ddmin
+// practice and keeps minima small.
+//
+// Returns the minimal schedule and its violation, or (sched, nil) if the
+// input does not violate in the first place.
+func Shrink(cfg Config, seed int64, sched Schedule) (Schedule, *Violation) {
+	replays := 0
+	violates := func(s Schedule) *Violation {
+		replays++
+		return Replay(cfg, seed, s).Violation
+	}
+	v := violates(sched)
+	if v == nil {
+		return sched, nil
+	}
+	cur := sched
+	for chunk := (len(cur) + 1) / 2; chunk >= 1; chunk /= 2 {
+		// Sweep to fixpoint at this granularity: removing one chunk can make
+		// an earlier chunk removable.
+		for {
+			removed := false
+			for start := 0; start+chunk <= len(cur); {
+				if replays >= maxShrinkReplays {
+					return cur, v
+				}
+				cand := make(Schedule, 0, len(cur)-chunk)
+				cand = append(cand, cur[:start]...)
+				cand = append(cand, cur[start+chunk:]...)
+				if nv := violates(cand); nv != nil {
+					cur, v = cand, nv
+					removed = true
+					// Keep start in place: the next chunk slid into this slot.
+				} else {
+					start += chunk
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+	}
+	return cur, v
+}

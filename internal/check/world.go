@@ -1,0 +1,446 @@
+// Package check is the reusable confidentiality model-checker for the
+// simulated Sentry system, promoted out of core's invariant test into a
+// schedule explorer any package (and the sentrybench CLI) can drive.
+//
+// It explores randomised schedules over an operation alphabet spanning
+// kernel, SoC, environment, and attacker actions, and after every step
+// enforces the paper's central invariant — while the device is locked, no
+// plaintext sensitive byte is:
+//
+//	(bus)        carried over the external memory bus,
+//	(dram)       resident in the DRAM chips,
+//	(writeback)  one legal masked write-back away from DRAM,
+//	(dma)        readable by a DMA-capable peripheral,
+//	(remanence)  recoverable from the post-power-loss memory image, nor is
+//	(key)        the volatile root key recoverable from that image.
+//
+// Any violating schedule is reduced by greedy delta debugging to a minimal
+// reproducer, printable as a replayable seed + op list (see campaign.go).
+package check
+
+import (
+	"bytes"
+	"fmt"
+
+	"sentry/internal/attack"
+	"sentry/internal/bus"
+	"sentry/internal/core"
+	"sentry/internal/faults"
+	"sentry/internal/firmware"
+	"sentry/internal/kernel"
+	"sentry/internal/mem"
+	"sentry/internal/mmu"
+	"sentry/internal/remanence"
+	"sentry/internal/soc"
+)
+
+// Defences selects which of the paper's defence layers are active. The
+// positive controls disable exactly one each, and the checker must then
+// find the secret.
+type Defences struct {
+	// IRAMZeroOnBoot: the vendor firmware clears iRAM on the cold-boot path.
+	IRAMZeroOnBoot bool
+	// LockFlush: encrypt-on-lock ends with a masked clean+invalidate.
+	LockFlush bool
+	// ZeroOnFree: lock waits for the freed-page zeroing thread.
+	ZeroOnFree bool
+}
+
+// AllDefences returns the fully defended configuration.
+func AllDefences() Defences {
+	return Defences{IRAMZeroOnBoot: true, LockFlush: true, ZeroOnFree: true}
+}
+
+// Config parameterises one checking world.
+type Config struct {
+	Platform string // "tegra3" or "nexus4"
+	Defences Defences
+	Faults   faults.Profile
+	// Steps bounds generated schedule length; DefaultSteps when zero.
+	Steps int
+}
+
+// DefaultSteps is the generated schedule length bound.
+const DefaultSteps = 80
+
+func (c Config) steps() int {
+	if c.Steps > 0 {
+		return c.Steps
+	}
+	return DefaultSteps
+}
+
+// Violation reports where the invariant broke.
+type Violation struct {
+	Clause string // "bus", "dram", "writeback", "dma", "remanence", "key"
+	Detail string
+	Step   int
+	Op     Op
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("step %d (%s): clause %s: %s", v.Step, v.Op, v.Clause, v.Detail)
+}
+
+const (
+	worldPIN = "4321"
+	badPIN   = "0000"
+	fgPages  = 8
+	bgPages  = 16
+	// blipSeconds is the checker's power-cut duration: the paper's ~50 ms
+	// reset blip, which keeps nearly all remanent bits — the worst case
+	// for the defender and therefore the right default for checking.
+	blipSeconds = 0.05
+	// heldResetSeconds matches the paper's "2 second reset" decay window.
+	heldResetSeconds = 2.0
+	// glitchSeconds: a reset-glitch rig cycles power in well under a second.
+	glitchSeconds = 0.5
+	// fuzzBudget is how many decayed bytes a remanence-image marker match
+	// may tolerate and still count as recoverable plaintext.
+	fuzzBudget = 4
+)
+
+// World is one instantiated platform + Sentry + workload under check.
+type World struct {
+	Cfg  Config
+	Seed int64
+
+	S  *soc.SoC
+	K  *kernel.Kernel
+	Sn *core.Sentry
+
+	fg, bg         *kernel.Process
+	fgBase, bgBase mmu.VirtAddr
+
+	marker  []byte
+	volKey0 []byte // volatile root key as generated at boot (pre-Zeroize)
+	inj     *faults.Injector
+	probe   *busProbe
+
+	bgOn bool
+	step int
+	dead bool
+}
+
+// busProbe latches the first locked-period plaintext sighting on the
+// external bus — clause (bus) of the invariant.
+type busProbe struct {
+	w       *World
+	tripped string
+}
+
+func (p *busProbe) Observe(tx bus.Transaction) {
+	if p.tripped != "" || p.w.K.State() == kernel.Unlocked {
+		return
+	}
+	if bytes.Contains(tx.Data, p.w.marker) {
+		p.tripped = fmt.Sprintf("%s %#x (%d bytes) at step %d",
+			tx.Op, uint64(tx.Addr), len(tx.Data), p.w.step)
+	}
+}
+
+// NewWorld builds a deterministic world for (cfg, seed): platform, kernel,
+// Sentry with the configured defences, a sensitive foreground process and a
+// sensitive background process filled with the plaintext marker, a bus
+// probe where the platform exposes the bus, and a fault injector when the
+// profile is active.
+func NewWorld(cfg Config, seed int64) *World {
+	var prof soc.Profile
+	switch cfg.Platform {
+	case "tegra3", "":
+		prof = soc.Tegra3Profile()
+	case "nexus4":
+		prof = soc.Nexus4Profile()
+	default:
+		panic(fmt.Sprintf("check: unknown platform %q", cfg.Platform))
+	}
+	prof.ZeroIRAMOnBoot = cfg.Defences.IRAMZeroOnBoot
+	s := soc.New(prof, seed)
+	k := kernel.New(s, worldPIN)
+	k.IdleLockSeconds = 900
+	sn, err := core.New(k, core.Config{
+		NoLockFlush:   !cfg.Defences.LockFlush,
+		NoDrainOnLock: !cfg.Defences.ZeroOnFree,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("check: world build failed: %v", err))
+	}
+	w := &World{
+		Cfg: cfg, Seed: seed, S: s, K: k, Sn: sn,
+		marker:  []byte("INVARIANT-MARKER-XYZZY"),
+		volKey0: sn.Keys().VolatileKey(),
+	}
+	w.fg = k.NewProcess("fg", true, false)
+	w.bg = k.NewProcess("bg", true, true)
+	w.fgBase, _ = k.MapAnon(w.fg, fgPages)
+	w.bgBase, _ = k.MapAnon(w.bg, bgPages)
+	w.fill(w.fg, w.fgBase, fgPages)
+	w.fill(w.bg, w.bgBase, bgPages)
+	if prof.ExposedBus {
+		w.probe = &busProbe{w: w}
+		s.Bus.Attach(w.probe)
+	}
+	if cfg.Faults.Active() {
+		w.inj = faults.New(cfg.Faults, seed*2654435761+97)
+		w.inj.Attach(sn)
+	}
+	return w
+}
+
+func (w *World) fill(p *kernel.Process, base mmu.VirtAddr, pages int) {
+	w.K.Switch(p)
+	for i := 0; i < pages; i++ {
+		line := append(append([]byte{}, w.marker...), byte(i))
+		if err := w.S.CPU.Store(base+mmu.VirtAddr(i*mem.PageSize), line); err != nil {
+			panic(fmt.Sprintf("check: marker fill failed: %v", err))
+		}
+	}
+}
+
+// Dead reports whether a terminal op (or fault) killed the device.
+func (w *World) Dead() bool { return w.dead }
+
+// Perturbed reports whether a data-mutating fault fired; end-of-schedule
+// integrity verification is meaningless after one.
+func (w *World) Perturbed() bool { return w.inj != nil && w.inj.Perturbed() }
+
+// Injector exposes the attached fault injector (nil without one).
+func (w *World) Injector() *faults.Injector { return w.inj }
+
+// Apply executes one op and scans for violations. Fault hooks may unwind
+// the op mid-way with a faults.Abort; Apply recovers it here — the one
+// place in the tree — and converts it into a power loss at that instant.
+func (w *World) Apply(op Op) (v *Violation) {
+	if w.dead {
+		return nil
+	}
+	w.step++
+	defer func() {
+		if r := recover(); r != nil {
+			ab, ok := r.(faults.Abort)
+			if !ok {
+				panic(r)
+			}
+			v = w.powerLoss(ab.Seconds, ab.Reason, op)
+		}
+	}()
+	switch op.Code {
+	case OpLock:
+		w.K.Lock()
+	case OpUnlock:
+		w.bgOn = false // the session ends inside Unlock
+		_ = w.K.Unlock(worldPIN)
+	case OpBadPIN:
+		_ = w.K.Unlock(badPIN)
+	case OpFgTouch:
+		if w.K.State() == kernel.Unlocked {
+			w.K.Switch(w.fg)
+			pg := int(op.Arg) % fgPages
+			_ = w.S.CPU.Load(w.fgBase+mmu.VirtAddr(pg*mem.PageSize), make([]byte, 32))
+		}
+	case OpBgBegin:
+		if w.K.State() != kernel.Unlocked && !w.bgOn {
+			if err := w.Sn.BeginBackground(w.bg, 128); err == nil {
+				w.bgOn = true
+			}
+		}
+	case OpBgTouch:
+		if w.bgOn {
+			w.K.Switch(w.bg)
+			pg := int(op.Arg) % bgPages
+			_ = w.S.CPU.Load(w.bgBase+mmu.VirtAddr(pg*mem.PageSize), make([]byte, 32))
+		}
+	case OpFreePage:
+		w.freePage(int(op.Arg) % fgPages)
+	case OpPressure:
+		junk := make([]byte, mem.PageSize)
+		for i := 0; i < 8; i++ {
+			slot := (uint64(op.Arg) + uint64(i)*17) % 64
+			w.S.CPU.ReadPhys(soc.DRAMBase+mem.PhysAddr(0x2000000+slot*0x40000), junk)
+		}
+	case OpFlushMasked:
+		w.S.L2.CleanInvalidateWays(w.K.FlushMask())
+	case OpSuspend:
+		w.K.Suspend()
+	case OpWake:
+		w.K.Wake(kernel.WakeSource(op.Arg % 3))
+	case OpIdle:
+		secs := [...]float64{60, 300, 600, 1000}[op.Arg%4]
+		w.K.Idle(secs)
+	case OpDrainZero:
+		w.K.DrainZeroQueue()
+	case OpDMAScrape:
+		if v := w.dmaScan(op); v != nil {
+			return v
+		}
+	case OpBitFlip:
+		if w.inj != nil {
+			if op.Arg%4 == 0 {
+				w.inj.FlipBits(w.S.IRAM.Store())
+			} else {
+				w.inj.FlipBits(w.S.DRAM.Store())
+			}
+		}
+	case OpPowerCut:
+		return w.powerLoss(blipSeconds, "power cut", op)
+	case OpHeldReset:
+		return w.heldReset(op)
+	case OpGlitchReset:
+		return w.glitchReset(op)
+	}
+	return w.scan(op)
+}
+
+// freePage frees one foreground page while unlocked and re-arms it with a
+// fresh frame so later touches stay valid. The freed frame rides the zero
+// queue — the surface the zero-on-free defence covers.
+func (w *World) freePage(pg int) {
+	if w.K.State() != kernel.Unlocked {
+		return
+	}
+	w.K.Switch(w.fg)
+	v := w.fgBase + mmu.VirtAddr(pg*mem.PageSize)
+	if pte := w.fg.AS.Lookup(v); pte != nil {
+		w.K.UnmapAndFree(w.fg, v)
+		frame, err := w.K.Pages().Alloc()
+		if err == nil {
+			w.fg.AS.Map(v, mmu.PTE{Phys: frame, Present: true, Writable: true, Young: true})
+			line := append(append([]byte{}, w.marker...), byte(pg))
+			_ = w.S.CPU.Store(v, line)
+		}
+	}
+}
+
+// scan enforces the invariant at a step boundary while the device is
+// locked.
+func (w *World) scan(op Op) *Violation {
+	// (bus) latched by the probe during any locked period.
+	if w.probe != nil && w.probe.tripped != "" {
+		v := &Violation{Clause: "bus", Detail: w.probe.tripped, Step: w.step, Op: op}
+		w.probe.tripped = ""
+		return v
+	}
+	if w.K.State() == kernel.Unlocked {
+		return nil
+	}
+	// (dram) the raw DRAM chips, exactly as a physical attacker would read
+	// them this instant.
+	if attack.Contains(w.S.DRAM.Store(), w.marker) {
+		return &Violation{Clause: "dram", Detail: "plaintext marker resident in DRAM chips", Step: w.step, Op: op}
+	}
+	// (writeback) the projection one legal masked clean away: the hardware
+	// may write back any dirty unlocked-way line at any moment, so clean
+	// them (locked ways stay masked out) and rescan.
+	w.S.L2.CleanWays(w.K.FlushMask())
+	if attack.Contains(w.S.DRAM.Store(), w.marker) {
+		return &Violation{Clause: "writeback", Detail: "plaintext reaches DRAM on a legal masked write-back", Step: w.step, Op: op}
+	}
+	return nil
+}
+
+// dmaScan mounts the paper's DMA-peripheral attack; on platforms without an
+// open DMA port it degrades to the regular scan.
+func (w *World) dmaScan(op Op) *Violation {
+	if w.K.State() == kernel.Unlocked {
+		// DMA reads plaintext while unlocked by design; out of scope.
+		return w.scan(op)
+	}
+	a, err := attack.MountDMAScrape(w.S)
+	if err != nil {
+		return w.scan(op)
+	}
+	if a.ContainsSecret(w.marker) {
+		return &Violation{Clause: "dma", Detail: "plaintext marker readable by DMA peripheral", Step: w.step, Op: op}
+	}
+	return w.scan(op)
+}
+
+// powerLoss cuts power for the given seconds and post-mortems the decayed
+// image. The device is dead afterwards.
+func (w *World) powerLoss(seconds float64, why string, op Op) *Violation {
+	wasLocked := w.K.State() != kernel.Unlocked
+	w.S.PowerCut(seconds, remanence.RoomTempC)
+	w.dead = true
+	return w.postMortem(wasLocked, why, op)
+}
+
+// heldReset is the paper's 2-second held reset into an attacker image. A
+// locked bootloader rejects the unsigned dump image, but the power loss
+// happens physically regardless — fall back to a raw cut.
+func (w *World) heldReset(op Op) *Violation {
+	wasLocked := w.K.State() != kernel.Unlocked
+	if err := w.S.HeldReset(heldResetSeconds, firmware.Image{Name: "memdump"}); err != nil {
+		w.S.PowerCut(heldResetSeconds, remanence.RoomTempC)
+	}
+	w.dead = true
+	return w.postMortem(wasLocked, "held reset", op)
+}
+
+// glitchReset is the adversarial reset-glitch: cold boot with the ROM's
+// iRAM zeroing and image verification skipped.
+func (w *World) glitchReset(op Op) *Violation {
+	wasLocked := w.K.State() != kernel.Unlocked
+	w.S.GlitchedReset(glitchSeconds, firmware.Image{Name: "memdump"})
+	w.dead = true
+	return w.postMortem(wasLocked, "glitched reset", op)
+}
+
+// postMortem scans the remanence image after power loss. Only a device that
+// was locked at the cut is in scope: the pre-lock plaintext window is the
+// exposure the paper's threat model accepts.
+func (w *World) postMortem(wasLocked bool, why string, op Op) *Violation {
+	if !wasLocked {
+		return nil
+	}
+	// (remanence) recoverable plaintext, tolerant of per-byte decay.
+	if attack.FuzzyContains(w.S.DRAM.Store(), w.marker, fuzzBudget) {
+		return &Violation{Clause: "remanence", Detail: "plaintext marker recoverable from DRAM image after " + why, Step: w.step, Op: op}
+	}
+	if attack.FuzzyContains(w.S.IRAM.Store(), w.marker, fuzzBudget) {
+		return &Violation{Clause: "remanence", Detail: "plaintext marker recoverable from iRAM image after " + why, Step: w.step, Op: op}
+	}
+	// (key) the volatile root key, via the Halderman-style keyfinder. The
+	// reference key is the one generated at boot: deep-lock zeroizes the
+	// live copy, but ciphertext sealed under the original must stay safe.
+	for _, st := range []*mem.Store{w.S.IRAM.Store(), w.S.DRAM.Store()} {
+		for _, key := range attack.FindAESKeys(st) {
+			if bytes.Equal(key, w.volKey0) {
+				return &Violation{Clause: "key", Detail: "volatile root key recoverable from memory image after " + why, Step: w.step, Op: op}
+			}
+		}
+	}
+	return nil
+}
+
+// IntegrityCheck verifies end-to-end data integrity after a schedule on a
+// live, unperturbed world: unlock and expect every marker byte back. A
+// deep-locked device cannot unlock (by design) and is skipped.
+func (w *World) IntegrityCheck() error {
+	if w.dead || w.Perturbed() {
+		return nil
+	}
+	if err := w.K.Unlock(worldPIN); err != nil {
+		if w.K.State() == kernel.DeepLocked {
+			return nil
+		}
+		return fmt.Errorf("unlock for integrity check failed: %v", err)
+	}
+	w.bgOn = false
+	check := func(p *kernel.Process, base mmu.VirtAddr, pages int) error {
+		w.K.Switch(p)
+		got := make([]byte, len(w.marker))
+		for i := 0; i < pages; i++ {
+			if err := w.S.CPU.Load(base+mmu.VirtAddr(i*mem.PageSize), got); err != nil {
+				return fmt.Errorf("%s page %d unreadable after run: %v", p.Name, i, err)
+			}
+			if !bytes.Equal(got, w.marker) {
+				return fmt.Errorf("%s page %d corrupted after run", p.Name, i)
+			}
+		}
+		return nil
+	}
+	if err := check(w.fg, w.fgBase, fgPages); err != nil {
+		return err
+	}
+	return check(w.bg, w.bgBase, bgPages)
+}

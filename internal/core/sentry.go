@@ -47,6 +47,29 @@ type Config struct {
 	// simulation instead of the bulk cost model. Orders of magnitude
 	// slower; used by security tests on small footprints.
 	Fidelity bool
+
+	// Defence ablations. Each switches off one layer of the paper's
+	// defence-in-depth so the model checker's positive controls can prove
+	// it detects the resulting leak (internal/check). Production
+	// configurations leave both false.
+
+	// NoLockFlush skips the masked clean+invalidate at the end of
+	// encrypt-on-lock, leaving ciphertext dirty in the cache and stale
+	// plaintext in any DRAM frame it was evicted to.
+	NoLockFlush bool
+	// NoDrainOnLock skips waiting for the freed-page zeroing thread at
+	// lock time, leaving freed frames (and their stale cache lines) full
+	// of secrets.
+	NoDrainOnLock bool
+}
+
+// FaultProbe is core's slice of a fault injector: a callback after each
+// page sealed during encrypt-on-lock. Implementations may panic (with a
+// faults.Abort) to model power loss mid-encryption — the device never
+// reaches the locked state, so the interrupted plaintext window falls in
+// the pre-lock exposure the threat model accepts.
+type FaultProbe interface {
+	OnLockPage(pagesSealed int)
 }
 
 // Stats counts Sentry activity. Since the observability layer landed it is
@@ -110,6 +133,9 @@ type Sentry struct {
 	// sealedKernelFrames are OS-subsystem frames encrypted at the last
 	// lock; they decrypt eagerly at unlock (kernel code cannot fault).
 	sealedKernelFrames []mem.PhysAddr
+
+	// faults is nil unless a fault injector is attached.
+	faults FaultProbe
 
 	// Activity counters live in the platform's metrics registry; Stats()
 	// rebuilds the legacy struct from them.
@@ -224,6 +250,9 @@ func (sn *Sentry) Stats() Stats {
 
 // Metrics returns the registry Sentry records into.
 func (sn *Sentry) Metrics() *obs.Registry { return sn.reg }
+
+// SetFaults attaches (or, with nil, detaches) a fault probe.
+func (sn *Sentry) SetFaults(p FaultProbe) { sn.faults = p }
 
 // Engine exposes the AES On SoC instance (benchmarks compare it against
 // generic providers).
@@ -344,9 +373,12 @@ func (sn *Sentry) pageSafeToSkip(p *kernel.Process, v mmu.VirtAddr) bool {
 func (sn *Sentry) encryptOnLock() {
 	// Freed pages of sensitive apps may hold secrets; the paper eliminates
 	// the risk by waiting for the zeroing thread before locking.
-	sn.K.DrainZeroQueue()
+	if !sn.cfg.NoDrainOnLock {
+		sn.K.DrainZeroQueue()
+	}
 	sn.epoch++
 
+	sealed := 0
 	done := map[mem.PhysAddr]bool{} // shared frames encrypt once
 	for _, p := range sn.K.Processes() {
 		if !p.Sensitive {
@@ -366,6 +398,10 @@ func (sn *Sentry) encryptOnLock() {
 				sn.cryptPage(frame, false, SealLock)
 				sn.ctrLockEnc.Add(mem.PageSize)
 				done[frame] = true
+				sealed++
+				if sn.faults != nil {
+					sn.faults.OnLockPage(sealed)
+				}
 			}
 			sn.markEncrypted(p, v)
 		}
@@ -382,11 +418,17 @@ func (sn *Sentry) encryptOnLock() {
 			sn.cryptPage(frame, false, SealLock)
 			sn.ctrLockEnc.Add(mem.PageSize)
 			sn.sealedKernelFrames = append(sn.sealedKernelFrames, frame)
+			sealed++
+			if sn.faults != nil {
+				sn.faults.OnLockPage(sealed)
+			}
 		}
 	}
 	// Push all ciphertext out and drop stale lines so nothing decrypted
 	// lingers in the L2 across the locked period — masked, of course.
-	sn.S.L2.CleanInvalidateWays(sn.flushMask())
+	if !sn.cfg.NoLockFlush {
+		sn.S.L2.CleanInvalidateWays(sn.flushMask())
+	}
 }
 
 // markEncrypted updates the PTE in p (and any process sharing the page) to

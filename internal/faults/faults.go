@@ -1,0 +1,283 @@
+// Package faults is a deterministic fault injector for the simulated
+// platform. It implements the injection interfaces the hardware and OS
+// layers expose (bus.FaultInjector, cache.FaultInjector,
+// kernel.FaultInjector, core.FaultProbe) and perturbs a run with the fault
+// classes that break memory-confidentiality systems in practice ("Fault
+// Attacks on Encrypted General Purpose Compute Platforms"):
+//
+//   - torn writes: a bus write delivers only a prefix of its payload, as
+//     happens when power is lost or a voltage glitch lands mid-burst;
+//   - dropped cache maintenance: a clean/invalidate operation silently does
+//     nothing (glitched CP15/PL310 command);
+//   - power loss at arbitrary points: hooks panic with an Abort, modelling
+//     asynchronous power failure during the zero-queue drain, during
+//     encrypt-on-lock, or during a suspend-path cache flush — unwinding
+//     mid-operation leaves the simulated memory exactly as power loss would;
+//   - delayed zero-queue drains: the zeroing thread is preempted and takes
+//     extra time (the drain still completes — Sentry's defence is waiting
+//     for it, however long it takes);
+//   - DRAM/iRAM bit flips at schedule-chosen times.
+//
+// All decisions come from one seeded RNG, so a fault sequence is exactly
+// reproducible from (profile, seed) and the same operation sequence.
+//
+// Fault profiles are split by what a correct Sentry can survive. The benign
+// profile contains only faults the defended system must tolerate without
+// ever leaking plaintext: power cuts, drain delays and interruptions, bit
+// flips. The adversarial profile adds faults that genuinely defeat the
+// paper's defences — torn ciphertext write-backs over old plaintext,
+// dropped maintenance operations, glitched resets that skip the ROM's iRAM
+// zeroing — and exists to demonstrate the checker detects the resulting
+// leaks, not to assert Sentry survives them.
+package faults
+
+import (
+	"fmt"
+
+	"sentry/internal/bus"
+	"sentry/internal/cache"
+	"sentry/internal/core"
+	"sentry/internal/kernel"
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+)
+
+// Abort is the panic value injection hooks throw to model asynchronous
+// power loss inside an operation. The schedule driver (internal/check)
+// recovers it at its step boundary and applies the power cut to the SoC;
+// everything between the hook and the recover simply never executes, which
+// is exactly what losing power mid-operation does.
+type Abort struct {
+	// Seconds the power stays off before the attacker (or the user) powers
+	// the device back up.
+	Seconds float64
+	Reason  string
+}
+
+func (a Abort) String() string {
+	return fmt.Sprintf("power lost for %gs: %s", a.Seconds, a.Reason)
+}
+
+// Profile sets the per-opportunity probabilities of each fault class. A
+// zero-valued field disables that class.
+type Profile struct {
+	Name string
+
+	// TornWriteProb truncates a bus write to a random prefix (adversarial:
+	// a torn ciphertext write-back can leave pre-existing plaintext in the
+	// tail of a DRAM line, which no lock-time encryption can prevent).
+	TornWriteProb float64
+	// DropMaintProb silently drops a cache-maintenance operation
+	// (adversarial: dropping the drain's invalidate or the lock flush
+	// defeats the defence by construction).
+	DropMaintProb float64
+	// MaintCutProb cuts power at the entry of a cache-maintenance
+	// operation (benign: no write-back has happened yet).
+	MaintCutProb float64
+	// DrainDelayProb delays the zero-queue drain before it starts.
+	DrainDelayProb float64
+	// DrainCutProb cuts power before an individual queued frame is zeroed.
+	DrainCutProb float64
+	// LockCutProb cuts power after a page is sealed during encrypt-on-lock
+	// (the device never reached the locked state; the pre-lock plaintext
+	// window is accepted by the threat model).
+	LockCutProb float64
+	// BitFlipMax caps how many bits one bit-flip event may flip; zero
+	// disables bit flips.
+	BitFlipMax int
+	// GlitchReset permits reset-glitch operations in generated schedules:
+	// a cold boot that skips secure-boot verification and the vendor
+	// firmware's iRAM zeroing.
+	GlitchReset bool
+	// CutSeconds is how long fault-induced power losses last. Short blips
+	// (~50 ms, the paper's reflash measurement) keep most remanent bits.
+	CutSeconds float64
+}
+
+// None returns the empty profile: no injector should even be attached.
+func None() Profile { return Profile{Name: "none"} }
+
+// Benign returns the fault load a correct Sentry must survive with zero
+// invariant violations.
+func Benign() Profile {
+	return Profile{
+		Name:           "benign",
+		MaintCutProb:   0.02,
+		DrainDelayProb: 0.25,
+		DrainCutProb:   0.05,
+		LockCutProb:    0.005,
+		BitFlipMax:     4,
+		CutSeconds:     0.05,
+	}
+}
+
+// Adversarial returns Benign plus the defence-defeating fault classes.
+func Adversarial() Profile {
+	p := Benign()
+	p.Name = "adversarial"
+	p.TornWriteProb = 0.05
+	p.DropMaintProb = 0.2
+	p.GlitchReset = true
+	return p
+}
+
+// ByName resolves a profile name ("none", "benign", "adversarial").
+func ByName(name string) (Profile, bool) {
+	switch name {
+	case "none", "":
+		return None(), true
+	case "benign":
+		return Benign(), true
+	case "adversarial":
+		return Adversarial(), true
+	}
+	return Profile{}, false
+}
+
+// Active reports whether the profile injects anything at all. An inactive
+// profile means no injector is attached and every hook stays nil — the
+// configuration the wallclock guard measures.
+func (p Profile) Active() bool {
+	return p.TornWriteProb > 0 || p.DropMaintProb > 0 || p.MaintCutProb > 0 ||
+		p.DrainDelayProb > 0 || p.DrainCutProb > 0 || p.LockCutProb > 0 ||
+		p.BitFlipMax > 0 || p.GlitchReset
+}
+
+// Stats counts the faults an injector actually delivered.
+type Stats struct {
+	TornWrites   uint64
+	DroppedMaint uint64
+	PowerAborts  uint64
+	DrainDelays  uint64
+	BitsFlipped  uint64
+}
+
+// Injector delivers the faults of one Profile from one seeded RNG. It is
+// single-owner like everything else in the simulation.
+type Injector struct {
+	prof  Profile
+	rng   *sim.RNG
+	stats Stats
+
+	// perturbed latches when a data-mutating fault fired (torn write,
+	// dropped maintenance, bit flip): end-of-run integrity checks are
+	// meaningless after one.
+	perturbed bool
+}
+
+// The injector must satisfy every layer's injection interface.
+var (
+	_ bus.FaultInjector    = (*Injector)(nil)
+	_ cache.FaultInjector  = (*Injector)(nil)
+	_ kernel.FaultInjector = (*Injector)(nil)
+	_ core.FaultProbe      = (*Injector)(nil)
+)
+
+// New returns an injector for the profile, seeded deterministically.
+func New(p Profile, seed int64) *Injector {
+	return &Injector{prof: p, rng: sim.NewRNG(seed)}
+}
+
+// Profile returns the injector's fault profile.
+func (in *Injector) Profile() Profile { return in.prof }
+
+// Stats returns the faults delivered so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Perturbed reports whether any data-mutating fault fired.
+func (in *Injector) Perturbed() bool { return in.perturbed }
+
+// Attach wires the injector into every layer of a running Sentry system.
+func (in *Injector) Attach(sn *core.Sentry) {
+	sn.S.Bus.SetFaults(in)
+	sn.S.L2.SetFaults(in)
+	sn.K.Faults = in
+	sn.SetFaults(in)
+}
+
+// FilterWrite implements bus.FaultInjector: a torn write delivers only a
+// random non-empty prefix of the payload.
+func (in *Injector) FilterWrite(addr mem.PhysAddr, data []byte) int {
+	if in.prof.TornWriteProb > 0 && len(data) > 1 && in.rng.Float64() < in.prof.TornWriteProb {
+		in.stats.TornWrites++
+		in.perturbed = true
+		return 1 + in.rng.Intn(len(data)-1)
+	}
+	return len(data)
+}
+
+// DropMaint implements cache.FaultInjector. It is consulted at the entry of
+// every kernel-reachable maintenance operation: it may cut power there (an
+// Abort panic — nothing of the operation has run yet) or drop the operation
+// silently.
+func (in *Injector) DropMaint(op string) bool {
+	if in.prof.MaintCutProb > 0 && in.rng.Float64() < in.prof.MaintCutProb {
+		in.stats.PowerAborts++
+		panic(Abort{Seconds: in.prof.CutSeconds, Reason: "power lost entering " + op})
+	}
+	if in.prof.DropMaintProb > 0 && in.rng.Float64() < in.prof.DropMaintProb {
+		in.stats.DroppedMaint++
+		in.perturbed = true
+		return true
+	}
+	return false
+}
+
+// OnDrainFrame implements kernel.FaultInjector: power may fail before the
+// zeroing thread reaches the i-th queued frame.
+func (in *Injector) OnDrainFrame(i int, frame mem.PhysAddr) {
+	if in.prof.DrainCutProb > 0 && in.rng.Float64() < in.prof.DrainCutProb {
+		in.stats.PowerAborts++
+		panic(Abort{
+			Seconds: in.prof.CutSeconds,
+			Reason:  fmt.Sprintf("power lost zeroing queued frame %d (%#x)", i, uint64(frame)),
+		})
+	}
+}
+
+// DrainDelayCycles implements kernel.FaultInjector: the zeroing thread may
+// be preempted before it runs. Only timing is affected; the drain still
+// completes, because waiting for it is the defence.
+func (in *Injector) DrainDelayCycles(pendingBytes uint64) uint64 {
+	if in.prof.DrainDelayProb > 0 && in.rng.Float64() < in.prof.DrainDelayProb {
+		in.stats.DrainDelays++
+		// A preemption slice plus time proportional to the backlog.
+		return 100_000 + pendingBytes/4 + uint64(in.rng.Intn(1_000_000))
+	}
+	return 0
+}
+
+// OnLockPage implements core.FaultProbe: power may fail after the n-th page
+// is sealed during encrypt-on-lock, before the device reaches the locked
+// state.
+func (in *Injector) OnLockPage(pagesSealed int) {
+	if in.prof.LockCutProb > 0 && in.rng.Float64() < in.prof.LockCutProb {
+		in.stats.PowerAborts++
+		panic(Abort{
+			Seconds: in.prof.CutSeconds,
+			Reason:  fmt.Sprintf("power lost mid-encryption after %d pages", pagesSealed),
+		})
+	}
+}
+
+// FlipBits flips up to the profile's BitFlipMax random bits (at least one)
+// in the store's touched pages, returning how many were flipped. Stores
+// with no touched pages are left alone.
+func (in *Injector) FlipBits(st *mem.Store) int {
+	if in.prof.BitFlipMax <= 0 {
+		return 0
+	}
+	pages := st.TouchedPages()
+	if len(pages) == 0 {
+		return 0
+	}
+	n := 1 + in.rng.Intn(in.prof.BitFlipMax)
+	for i := 0; i < n; i++ {
+		base := pages[in.rng.Intn(len(pages))]
+		off := base + uint64(in.rng.Intn(mem.PageSize))
+		st.SetByte(off, st.ByteAt(off)^(1<<uint(in.rng.Intn(8))))
+	}
+	in.stats.BitsFlipped += uint64(n)
+	in.perturbed = true
+	return n
+}

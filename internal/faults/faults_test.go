@@ -1,0 +1,210 @@
+package faults_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sentry/internal/attack"
+	"sentry/internal/faults"
+	"sentry/internal/kernel"
+	"sentry/internal/mem"
+	"sentry/internal/mmu"
+	"sentry/internal/remanence"
+	"sentry/internal/soc"
+)
+
+// TestProfilesByName: the profile registry resolves every published name and
+// rejects junk; the benign profile must not contain defence-defeating fault
+// classes.
+func TestProfilesByName(t *testing.T) {
+	for _, name := range []string{"none", "", "benign", "adversarial"} {
+		if _, ok := faults.ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := faults.ByName("chaotic"); ok {
+		t.Error("ByName accepted an unknown profile")
+	}
+	if faults.None().Active() {
+		t.Error("the none profile claims to be active")
+	}
+	b := faults.Benign()
+	if !b.Active() {
+		t.Error("the benign profile claims to be inactive")
+	}
+	if b.TornWriteProb > 0 || b.DropMaintProb > 0 || b.GlitchReset {
+		t.Error("benign profile contains defence-defeating fault classes")
+	}
+	if !faults.Adversarial().GlitchReset {
+		t.Error("adversarial profile lacks reset glitching")
+	}
+}
+
+// TestInjectorDeterminism: two injectors built from the same (profile, seed)
+// deliver byte-identical fault sequences.
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() ([]int, faults.Stats, *mem.Store) {
+		in := faults.New(faults.Adversarial(), 42)
+		st := mem.NewStore(1 << 20)
+		st.Write(0, []byte("some touched bytes so FlipBits has a target"))
+		var out []int
+		payload := make([]byte, 64)
+		for i := 0; i < 200; i++ {
+			func() {
+				defer func() { recover() }() // maintenance cuts abort; count via stats
+				out = append(out, in.FilterWrite(mem.PhysAddr(i*64), payload))
+				if in.DropMaint("clean-ways") {
+					out = append(out, -1)
+				}
+				out = append(out, int(in.DrainDelayCycles(uint64(i)*mem.PageSize)))
+				out = append(out, in.FlipBits(st))
+			}()
+		}
+		return out, in.Stats(), st
+	}
+	a, statsA, stA := run()
+	b, statsB, stB := run()
+	if len(a) != len(b) {
+		t.Fatalf("sequence lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if statsA != statsB {
+		t.Fatalf("stats differ: %+v vs %+v", statsA, statsB)
+	}
+	if statsA.TornWrites == 0 || statsA.PowerAborts == 0 || statsA.BitsFlipped == 0 {
+		t.Fatalf("200 adversarial opportunities delivered no faults: %+v", statsA)
+	}
+	buf := make([]byte, 64)
+	buf2 := make([]byte, 64)
+	for _, base := range stA.TouchedPages() {
+		stA.Read(base, buf)
+		stB.Read(base, buf2)
+		if string(buf) != string(buf2) {
+			t.Fatalf("bit-flip patterns diverge at %#x", base)
+		}
+	}
+}
+
+// TestFilterWriteBounds: a torn write always delivers a non-empty strict
+// prefix, and single-byte writes are never torn.
+func TestFilterWriteBounds(t *testing.T) {
+	in := faults.New(faults.Profile{Name: "t", TornWriteProb: 1}, 7)
+	for i := 0; i < 100; i++ {
+		data := make([]byte, 2+i%62)
+		n := in.FilterWrite(0, data)
+		if n < 1 || n >= len(data) {
+			t.Fatalf("torn write delivered %d of %d bytes", n, len(data))
+		}
+	}
+	if n := in.FilterWrite(0, []byte{0xAB}); n != 1 {
+		t.Fatalf("single-byte write torn to %d bytes", n)
+	}
+	if !in.Perturbed() {
+		t.Error("torn writes did not latch Perturbed")
+	}
+}
+
+// TestFlipBitsBounds: FlipBits respects the profile cap and only touches
+// materialised pages.
+func TestFlipBitsBounds(t *testing.T) {
+	in := faults.New(faults.Profile{Name: "t", BitFlipMax: 4}, 9)
+	empty := mem.NewStore(1 << 20)
+	if n := in.FlipBits(empty); n != 0 {
+		t.Fatalf("flipped %d bits in an untouched store", n)
+	}
+	st := mem.NewStore(1 << 20)
+	st.Write(3*mem.PageSize, make([]byte, mem.PageSize)) // touch exactly one page
+	for i := 0; i < 50; i++ {
+		n := in.FlipBits(st)
+		if n < 1 || n > 4 {
+			t.Fatalf("flip count %d outside [1,4]", n)
+		}
+	}
+	if pages := st.TouchedPages(); len(pages) != 1 || pages[0] != 3*mem.PageSize {
+		t.Fatalf("bit flips materialised new pages: %v", pages)
+	}
+}
+
+// cutInjector is a surgical kernel.FaultInjector that cuts power exactly
+// when the zeroing thread reaches frame cutAt.
+type cutInjector struct{ cutAt int }
+
+func (c *cutInjector) OnDrainFrame(i int, frame mem.PhysAddr) {
+	if i == c.cutAt {
+		panic(faults.Abort{Seconds: 0.05, Reason: fmt.Sprintf("test cut at frame %d", i)})
+	}
+}
+func (c *cutInjector) DrainDelayCycles(uint64) uint64 { return 0 }
+
+// TestPowerCutDuringDrainZeroQueue is the regression pinning down what a
+// power cut mid-drain leaves behind: frames the zeroing thread finished are
+// gone beyond recovery — zeroed in DRAM with their stale cache lines
+// invalidated, so not even the decayed post-mortem image yields them — while
+// frames it had not reached yet ARE recoverable. That asymmetry is exactly
+// why Sentry's lock path waits for the full drain.
+func TestPowerCutDuringDrainZeroQueue(t *testing.T) {
+	const frames = 4
+	for cutAt := 0; cutAt <= frames; cutAt++ {
+		cutAt := cutAt
+		t.Run(fmt.Sprintf("cut-at-frame-%d", cutAt), func(t *testing.T) {
+			s := soc.Tegra3(int64(11 + cutAt))
+			k := kernel.New(s, "4321")
+			p := k.NewProcess("app", true, false)
+			base, err := k.MapAnon(p, frames)
+			if err != nil {
+				t.Fatal(err)
+			}
+			markers := make([][]byte, frames)
+			for i := 0; i < frames; i++ {
+				// Markers must differ in more bytes than the fuzzy budget, or
+				// a surviving frame fuzzy-matches a zeroed frame's needle.
+				markers[i] = []byte(fmt.Sprintf("DRAIN-REGRESSION-%c%c%c%c%c%c!",
+					'A'+i, 'A'+i, 'A'+i, 'A'+i, 'A'+i, 'A'+i))
+				if err := s.CPU.Store(base+mmu.VirtAddr(i*mem.PageSize), markers[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Push the plaintext to DRAM (dirty lines written back), then
+			// free every page onto the zero queue.
+			s.L2.CleanWays(s.L2.AllWaysMask())
+			for i := 0; i < frames; i++ {
+				k.UnmapAndFree(p, base+mmu.VirtAddr(i*mem.PageSize))
+			}
+			if k.PendingZeroBytes() != frames*mem.PageSize {
+				t.Fatalf("queue holds %d bytes, want %d", k.PendingZeroBytes(), frames*mem.PageSize)
+			}
+
+			k.Faults = &cutInjector{cutAt: cutAt}
+			aborted := false
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(faults.Abort); !ok {
+							panic(r)
+						}
+						aborted = true
+					}
+				}()
+				k.DrainZeroQueue()
+			}()
+			if wantAbort := cutAt < frames; aborted != wantAbort {
+				t.Fatalf("aborted=%v, want %v", aborted, wantAbort)
+			}
+			s.PowerCut(0.05, remanence.RoomTempC)
+
+			for i := 0; i < frames; i++ {
+				recoverable := attack.FuzzyContains(s.DRAM.Store(), markers[i], 4)
+				if i < cutAt && recoverable {
+					t.Errorf("frame %d was zeroed before the cut but is recoverable", i)
+				}
+				if i >= cutAt && !recoverable {
+					t.Errorf("frame %d was never zeroed yet is not recoverable", i)
+				}
+			}
+		})
+	}
+}

@@ -67,8 +67,9 @@ func (r *BootROM) ColdBoot(iram *mem.Device, l2 *cache.L2) {
 		iram.Store().ZeroAll()
 	}
 	if l2 != nil {
-		l2.SetAllocMask(l2.AllWaysMask())
-		l2.InvalidateWays(l2.AllWaysMask())
+		// Power-off reset, not a maintenance command: bypasses any attached
+		// fault injector (there is no operation to glitch).
+		l2.Reset()
 	}
 }
 

@@ -134,6 +134,10 @@ type Kernel struct {
 	// handled. Sentry installs its decrypt-on-page-in here.
 	FaultHook func(p *Process, f *mmu.Fault) bool
 
+	// Faults is nil unless a fault injector is attached; the zero-queue
+	// drain consults it behind a single nil check.
+	Faults FaultInjector
+
 	zeroQueue []mem.PhysAddr
 
 	// AliasRegion is the way-aligned DRAM range reserved at boot for L2
@@ -290,6 +294,17 @@ func (k *Kernel) PendingZeroBytes() uint64 {
 	return uint64(len(k.zeroQueue)) * mem.PageSize
 }
 
+// FaultInjector is the kernel's slice of a fault injector. Both hooks sit
+// on the zero-queue drain: OnDrainFrame fires before each queued frame is
+// cleared and may panic (with a faults.Abort) to model power loss mid-drain;
+// DrainDelayCycles returns extra cycles the zeroing thread loses to
+// preemption before it starts. A delay never skips the drain — Sentry's
+// defence is waiting for the zeroing thread, however long it takes.
+type FaultInjector interface {
+	OnDrainFrame(i int, frame mem.PhysAddr)
+	DrainDelayCycles(pendingBytes uint64) uint64
+}
+
 // zeroRateBytesPerSec is the paper's measured freed-page zeroing rate
 // (4.014 GB/s on the Nexus 4).
 const zeroRateBytesPerSec = 4.014e9
@@ -298,8 +313,14 @@ const zeroRateBytesPerSec = 4.014e9
 // clearing every queued frame and charging the measured time and energy
 // (4.014 GB/s, 2.8 µJ/MB).
 func (k *Kernel) DrainZeroQueue() {
+	if f := k.Faults; f != nil && len(k.zeroQueue) > 0 {
+		k.SoC.Clock.Advance(f.DrainDelayCycles(k.PendingZeroBytes()))
+	}
 	zero := make([]byte, mem.PageSize)
-	for _, frame := range k.zeroQueue {
+	for i, frame := range k.zeroQueue {
+		if f := k.Faults; f != nil {
+			f.OnDrainFrame(i, frame)
+		}
 		k.SoC.DRAM.Write(frame, zero)
 		// Stale cache lines may still hold the freed page's plaintext and
 		// would be written back over the zeroed frame later; drop them.

@@ -1,0 +1,154 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"sentry/internal/mem"
+)
+
+// readFrame returns the DRAM contents of a physical frame prefix.
+func readFrame(k *Kernel, frame mem.PhysAddr, n int) []byte {
+	buf := make([]byte, n)
+	k.SoC.DRAM.Read(frame, buf)
+	return buf
+}
+
+// TestSuspendTwiceIsNoOp: a second Suspend while already in S3 must do
+// nothing — in particular it must not run cache maintenance, or a dirty
+// line created "during suspend" would be flushed by a state the hardware
+// is not actually in.
+func TestSuspendTwiceIsNoOp(t *testing.T) {
+	k, s := boot()
+	p := k.NewProcess("app", true, false)
+	base, err := k.MapAnon(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := mem.PageBase(p.AS.Lookup(base).Phys)
+
+	k.Suspend()
+	if !k.Suspended() {
+		t.Fatal("not suspended after Suspend")
+	}
+	data := []byte("dirty-after-first-suspend")
+	if err := s.CPU.Store(base, data); err != nil {
+		t.Fatal(err)
+	}
+	k.Suspend() // no-op: must not clean the new dirty line
+	if got := readFrame(k, frame, len(data)); bytes.Equal(got, data) {
+		t.Fatal("second Suspend performed cache maintenance (dirty line reached DRAM)")
+	}
+	s.L2.CleanWays(s.L2.AllWaysMask())
+	if got := readFrame(k, frame, len(data)); !bytes.Equal(got, data) {
+		t.Fatal("dirty line lost: it was neither in DRAM nor in the cache")
+	}
+}
+
+// TestWakeWithoutSuspend: waking a device that never suspended is harmless
+// for every wake source.
+func TestWakeWithoutSuspend(t *testing.T) {
+	for _, src := range []WakeSource{WakeUser, WakeIncomingCall, WakeTimer} {
+		k, _ := boot()
+		k.Wake(src)
+		if k.Suspended() {
+			t.Fatalf("Wake(%v) left a never-suspended device suspended", src)
+		}
+		if k.State() != Unlocked {
+			t.Fatalf("Wake(%v) changed lock state to %v", src, k.State())
+		}
+	}
+}
+
+// TestIdleLockThreshold: the idle auto-lock fires exactly at the threshold,
+// accumulates across calls, resets on interaction, and is disabled at zero.
+func TestIdleLockThreshold(t *testing.T) {
+	tests := []struct {
+		name      string
+		threshold float64
+		run       func(k *Kernel)
+		wantLock  bool
+	}{
+		{
+			name: "below threshold stays unlocked", threshold: 100,
+			run:      func(k *Kernel) { k.Idle(99.9) },
+			wantLock: false,
+		},
+		{
+			name: "exact threshold locks", threshold: 100,
+			run:      func(k *Kernel) { k.Idle(100) },
+			wantLock: true,
+		},
+		{
+			name: "idle accumulates", threshold: 100,
+			run:      func(k *Kernel) { k.Idle(60); k.Idle(40) },
+			wantLock: true,
+		},
+		{
+			name: "interaction resets the timer", threshold: 100,
+			run:      func(k *Kernel) { k.Idle(60); k.Interact(); k.Idle(60) },
+			wantLock: false,
+		},
+		{
+			name: "zero threshold disables auto-lock", threshold: 0,
+			run:      func(k *Kernel) { k.Idle(1e6) },
+			wantLock: false,
+		},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			k, _ := boot()
+			k.IdleLockSeconds = tt.threshold
+			tt.run(k)
+			locked := k.State() != Unlocked
+			if locked != tt.wantLock {
+				t.Fatalf("lock state %v after idling, want locked=%v", k.State(), tt.wantLock)
+			}
+			if locked != k.Suspended() {
+				t.Fatalf("idle lock and suspend disagree: locked=%v suspended=%v",
+					locked, k.Suspended())
+			}
+		})
+	}
+}
+
+// TestSuspendPreservesZeroQueue: suspend must not drain (or drop) the
+// freed-page zero queue — Sentry's lock path owns that — and a drain after
+// wake still physically zeroes the queued frames.
+func TestSuspendPreservesZeroQueue(t *testing.T) {
+	k, s := boot()
+	p := k.NewProcess("app", true, false)
+	base, err := k.MapAnon(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := mem.PageBase(p.AS.Lookup(base).Phys)
+	secret := []byte("freed-page-plaintext")
+	if err := s.CPU.Store(base, secret); err != nil {
+		t.Fatal(err)
+	}
+	k.UnmapAndFree(p, base)
+	if got := k.PendingZeroBytes(); got != mem.PageSize {
+		t.Fatalf("pending %d bytes after free, want %d", got, mem.PageSize)
+	}
+
+	k.Suspend()
+	if got := k.PendingZeroBytes(); got != mem.PageSize {
+		t.Fatalf("suspend changed the zero queue: pending %d bytes, want %d", got, mem.PageSize)
+	}
+	// Suspend's masked clean pushed the freed page's dirty plaintext to
+	// DRAM — exactly why lock must wait for the zeroing thread.
+	if got := readFrame(k, frame, len(secret)); !bytes.Equal(got, secret) {
+		t.Fatal("expected the freed page's plaintext in DRAM after suspend's clean")
+	}
+
+	k.Wake(WakeUser)
+	k.DrainZeroQueue()
+	if got := k.PendingZeroBytes(); got != 0 {
+		t.Fatalf("pending %d bytes after drain, want 0", got)
+	}
+	if got := readFrame(k, frame, len(secret)); !bytes.Equal(got, make([]byte, len(secret))) {
+		t.Fatal("drained frame still holds plaintext in DRAM")
+	}
+}

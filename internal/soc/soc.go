@@ -301,11 +301,26 @@ func (s *SoC) PowerCut(seconds, tempC float64) {
 	remanence.Decay(s.IRAM, s.RNG, seconds, tempC)
 	// SoC-internal state does not survive at all: cache SRAM loses its tags
 	// within microseconds of losing power.
-	s.L2.SetAllocMask(s.L2.AllWaysMask())
-	s.L2.InvalidateWays(s.L2.AllWaysMask())
+	s.L2.Reset()
 	s.CPU.ZeroRegs()
 	s.TZ.ClearProtections()
 	s.ROM.ColdBoot(s.IRAM, s.L2)
+}
+
+// GlitchedReset models a fault-injection attack on the reset path (the
+// attack class of "Fault Attacks on Encrypted General Purpose Compute
+// Platforms"): power is lost for the given seconds, but a well-timed
+// voltage glitch diverts the ROM's cold-boot code, skipping both
+// secure-boot image verification and the vendor firmware's iRAM zeroing.
+// Volatile SoC state (cache lines, registers, TrustZone protections) is
+// still physically lost — that part is physics, not firmware.
+func (s *SoC) GlitchedReset(seconds float64, img firmware.Image) {
+	remanence.Decay(s.DRAM, s.RNG, seconds, remanence.RoomTempC)
+	remanence.Decay(s.IRAM, s.RNG, seconds, remanence.RoomTempC)
+	s.L2.Reset()
+	s.CPU.ZeroRegs()
+	s.TZ.ClearProtections()
+	firmware.Scribble(s.DRAM, s.RNG, img)
 }
 
 // Reflash models the reflash cold-boot variant: a tap of the reset button
