@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-guard bench-wallclock wallclock-guard check fuzz-smoke ci
+.PHONY: all build vet test race bench-guard bench-wallclock wallclock-guard check soak fuzz-smoke ci
 
 all: ci
 
@@ -42,10 +42,21 @@ check:
 	$(GO) run ./cmd/sentrybench -check -seeds 256
 	$(GO) run ./cmd/sentrybench -check -seeds 256 -faults benign
 
+# Fleet chaos soak: 32 devices under benign fault injection through the
+# full service layer (actors, deadlines, retries, breakers, restarts,
+# degradation). Run twice and diffed — the report must be byte-identical for
+# a fixed seed — plus a race-detector pass over the fleet package.
+soak:
+	$(GO) run ./cmd/sentrybench -fleet-soak -devices 32 -ops 300 -seed 1 -faults benign > soak-a.json
+	$(GO) run ./cmd/sentrybench -fleet-soak -devices 32 -ops 300 -seed 1 -faults benign > soak-b.json
+	diff soak-a.json soak-b.json
+	@rm -f soak-a.json soak-b.json
+	$(GO) test -race -count=1 ./internal/fleet/...
+
 # Short native-fuzzing burst over the PIN state machine and the cold-boot
 # dump scanners.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzUnlockPIN -fuzztime 30s ./internal/kernel/
 	$(GO) test -fuzz FuzzColdbootScan -fuzztime 30s ./internal/attack/
 
-ci: vet build race bench-guard wallclock-guard check
+ci: vet build race bench-guard wallclock-guard check soak

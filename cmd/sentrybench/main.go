@@ -11,6 +11,7 @@
 //	sentrybench -exp all -wallclock-guard BENCH_wallclock.json  # fail on regression
 //	sentrybench -check -seeds 256       # invariant model-checker campaign
 //	sentrybench -check -faults benign   # ... with benign fault injection
+//	sentrybench -fleet-soak -devices 32 -ops 300 -faults benign  # fleet chaos soak (JSON report)
 //	sentrybench -replay "platform=tegra3 defences=no-lock-flush faults=none seed=4 ops=pressure:9360834,lock:12083332"
 package main
 
@@ -53,11 +54,22 @@ func main() {
 		doCheck    = flag.Bool("check", false, "run the invariant model-checker campaign + positive controls")
 		seeds      = flag.Int("seeds", 256, "campaign size for -check")
 		checkSteps = flag.Int("check-steps", 0, "max schedule length for -check (0 = default)")
-		faultsProf = flag.String("faults", "none", "fault profile for -check: none, benign, or adversarial")
+		faultsProf = flag.String("faults", "none", "fault profile for -check / -fleet-soak: none, benign, or adversarial")
 		platforms  = flag.String("platforms", "tegra3,nexus4", "comma-separated platforms for -check")
 		replayLine = flag.String("replay", "", "replay a printed repro line and exit")
+
+		fleetSoak = flag.Bool("fleet-soak", false, "run the fleet service-layer chaos soak and emit a JSON report")
+		devices   = flag.Int("devices", 32, "fleet size for -fleet-soak")
+		soakOps   = flag.Int("ops", 300, "ops per device for -fleet-soak")
 	)
 	flag.Parse()
+
+	if *fleetSoak {
+		if !runFleetSoak(*devices, *soakOps, *seed, *faultsProf) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *replayLine != "" {
 		if !runReplay(*replayLine) {

@@ -1,0 +1,149 @@
+// Command sentryd hosts a fleet of simulated Sentry devices behind the
+// robustness stack of internal/fleet: one actor goroutine per device,
+// per-request deadlines, retry with deterministic backoff, per-device
+// circuit breakers, panic isolation with supervised restarts, and graceful
+// degradation under iRAM pressure.
+//
+// Usage:
+//
+//	sentryd -devices 8 -faults benign            # serve until SIGINT/SIGTERM
+//	sentryd -devices 32 -seed 1 -faults benign -soak -ops 300   # chaos soak, JSON report
+//	sentryd -listen :8473                        # probe endpoint address
+//
+// Serve mode exposes:
+//
+//	/healthz  — per-device health (quarantine, stall, breaker, boots) as JSON
+//	/readyz   — 200 while at least one device serves, 503 otherwise
+//	/metrics  — the fleet metrics registry, one "name value" per line
+//
+// and drives a light synthetic load so the probes have something to report.
+// Soak mode runs the deterministic chaos soak and exits non-zero if any
+// invariant (no lost/duplicated ops, no confidentiality violations, bounded
+// retry amplification, traceable quarantines) failed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sentry/internal/faults"
+	"sentry/internal/fleet"
+	"sentry/internal/sim"
+)
+
+func main() {
+	var (
+		devices  = flag.Int("devices", 8, "number of hosted devices")
+		seed     = flag.Int64("seed", 1, "fleet seed (devices, faults, jitter all derive from it)")
+		faultStr = flag.String("faults", "benign", "fault profile: none, benign, adversarial")
+		soak     = flag.Bool("soak", false, "run the chaos soak, print the JSON report, and exit")
+		soakOps  = flag.Int("ops", 300, "ops per device in -soak mode")
+		listen   = flag.String("listen", "127.0.0.1:8473", "probe/metrics listen address (serve mode)")
+	)
+	flag.Parse()
+
+	if *soak {
+		rep, err := fleet.RunSoak(fleet.SoakConfig{
+			Devices: *devices, OpsPerDevice: *soakOps, Seed: *seed, Faults: *faultStr,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		out, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Println(string(out))
+		if !rep.Passed() {
+			fatalf("soak FAILED: %d problems, %d violations", len(rep.Problems), len(rep.Violations))
+		}
+		return
+	}
+
+	prof, ok := faults.ByName(*faultStr)
+	if !ok {
+		fatalf("unknown fault profile %q", *faultStr)
+	}
+	f := fleet.New(fleet.Options{Devices: *devices, Seed: *seed, Faults: prof})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Ready   bool                `json:"ready"`
+			Devices []fleet.DeviceHealth `json:"devices"`
+		}{f.Ready(), f.Health()})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !f.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, f.Metrics().Dump())
+	})
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatalf("listen %s: %v", *listen, err)
+		}
+	}()
+
+	// Light synthetic load: one serial client per device, a few ops per
+	// second, so health and metrics reflect live traffic.
+	loadCtx, stopLoad := context.WithCancel(context.Background())
+	for id := 0; id < f.Devices(); id++ {
+		go driveLoad(loadCtx, f, id, *seed)
+	}
+
+	fmt.Printf("sentryd: %d devices, faults=%s, probes on http://%s\n", *devices, *faultStr, *listen)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sentryd: shutting down")
+
+	stopLoad()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	f.Stop()
+	fmt.Print(f.Metrics().Dump())
+}
+
+// driveLoad issues a modest op stream against one device until ctx ends.
+func driveLoad(ctx context.Context, f *fleet.Fleet, id int, seed int64) {
+	rng := sim.NewRNG(seed + int64(id)*7919 + 1)
+	cycle := []fleet.Op{
+		{Code: fleet.OpTouch, Prio: fleet.PrioNormal},
+		{Code: fleet.OpDiskWrite, Prio: fleet.PrioNormal},
+		{Code: fleet.OpDiskRead, Prio: fleet.PrioNormal},
+		{Code: fleet.OpLock, Prio: fleet.PrioHigh},
+		{Code: fleet.OpBgBegin, Prio: fleet.PrioNormal},
+		{Code: fleet.OpBgTouch, Prio: fleet.PrioNormal},
+		{Code: fleet.OpUnlock, Prio: fleet.PrioHigh},
+		{Code: fleet.OpPing, Prio: fleet.PrioLow},
+	}
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(200 * time.Millisecond):
+		}
+		op := cycle[i%len(cycle)]
+		op.Arg = uint64(rng.Intn(1 << 16))
+		opCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		f.Do(opCtx, id, op)
+		cancel()
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sentryd: "+format+"\n", args...)
+	os.Exit(1)
+}

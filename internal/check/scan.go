@@ -1,0 +1,75 @@
+package check
+
+import (
+	"bytes"
+
+	"sentry/internal/attack"
+	"sentry/internal/kernel"
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// Scanner is the reusable core of the confidentiality invariant: the scan
+// clauses of World.scan and World.postMortem, factored out so other
+// harnesses (the fleet chaos soak, future campaign drivers) can enforce the
+// same clauses over platforms they own without building a check.World.
+//
+// The Scanner borrows the platform; it never mutates simulated memory
+// except through the legal masked clean the writeback clause requires.
+// Violations it returns carry Clause and Detail only — schedule context
+// (Step, Op) is the caller's to fill in.
+type Scanner struct {
+	S *soc.SoC
+	K *kernel.Kernel
+	// Marker is the plaintext the protected workload planted; finding it
+	// where an attacker could read it is a violation.
+	Marker []byte
+	// VolKey0 is the volatile root key as generated at boot. Ciphertext
+	// sealed under it must stay safe even after deep-lock zeroizes the
+	// live copy, so the post-mortem keyfinder compares against this.
+	VolKey0 []byte
+	// FuzzBudget is how many decayed bytes a remanence-image marker match
+	// may tolerate and still count as recoverable plaintext.
+	FuzzBudget int
+}
+
+// ScanLive enforces the live locked-state clauses — (dram) and (writeback).
+// Call it only while the device is locked; the unlocked plaintext window is
+// the exposure the paper's threat model accepts.
+func (sc *Scanner) ScanLive() *Violation {
+	// (dram) the raw DRAM chips, exactly as a physical attacker would read
+	// them this instant.
+	if attack.Contains(sc.S.DRAM.Store(), sc.Marker) {
+		return &Violation{Clause: "dram", Detail: "plaintext marker resident in DRAM chips"}
+	}
+	// (writeback) the projection one legal masked clean away: the hardware
+	// may write back any dirty unlocked-way line at any moment, so clean
+	// them (locked ways stay masked out) and rescan.
+	sc.S.L2.CleanWays(sc.K.FlushMask())
+	if attack.Contains(sc.S.DRAM.Store(), sc.Marker) {
+		return &Violation{Clause: "writeback", Detail: "plaintext reaches DRAM on a legal masked write-back"}
+	}
+	return nil
+}
+
+// PostMortem enforces the after-power-loss clauses — (remanence) and (key) —
+// over the decayed memory image. Call it after a power cut that happened
+// while the device was locked.
+func (sc *Scanner) PostMortem(why string) *Violation {
+	// (remanence) recoverable plaintext, tolerant of per-byte decay.
+	if attack.FuzzyContains(sc.S.DRAM.Store(), sc.Marker, sc.FuzzBudget) {
+		return &Violation{Clause: "remanence", Detail: "plaintext marker recoverable from DRAM image after " + why}
+	}
+	if attack.FuzzyContains(sc.S.IRAM.Store(), sc.Marker, sc.FuzzBudget) {
+		return &Violation{Clause: "remanence", Detail: "plaintext marker recoverable from iRAM image after " + why}
+	}
+	// (key) the volatile root key, via the Halderman-style keyfinder.
+	for _, st := range []*mem.Store{sc.S.IRAM.Store(), sc.S.DRAM.Store()} {
+		for _, key := range attack.FindAESKeys(st) {
+			if bytes.Equal(key, sc.VolKey0) {
+				return &Violation{Clause: "key", Detail: "volatile root key recoverable from memory image after " + why}
+			}
+		}
+	}
+	return nil
+}

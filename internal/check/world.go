@@ -311,6 +311,11 @@ func (w *World) freePage(pg int) {
 	}
 }
 
+// scanner returns the reusable Scanner view of this world's invariant.
+func (w *World) scanner() *Scanner {
+	return &Scanner{S: w.S, K: w.K, Marker: w.marker, VolKey0: w.volKey0, FuzzBudget: fuzzBudget}
+}
+
 // scan enforces the invariant at a step boundary while the device is
 // locked.
 func (w *World) scan(op Op) *Violation {
@@ -323,17 +328,10 @@ func (w *World) scan(op Op) *Violation {
 	if w.K.State() == kernel.Unlocked {
 		return nil
 	}
-	// (dram) the raw DRAM chips, exactly as a physical attacker would read
-	// them this instant.
-	if attack.Contains(w.S.DRAM.Store(), w.marker) {
-		return &Violation{Clause: "dram", Detail: "plaintext marker resident in DRAM chips", Step: w.step, Op: op}
-	}
-	// (writeback) the projection one legal masked clean away: the hardware
-	// may write back any dirty unlocked-way line at any moment, so clean
-	// them (locked ways stay masked out) and rescan.
-	w.S.L2.CleanWays(w.K.FlushMask())
-	if attack.Contains(w.S.DRAM.Store(), w.marker) {
-		return &Violation{Clause: "writeback", Detail: "plaintext reaches DRAM on a legal masked write-back", Step: w.step, Op: op}
+	// (dram) and (writeback) via the shared Scanner clauses.
+	if v := w.scanner().ScanLive(); v != nil {
+		v.Step, v.Op = w.step, op
+		return v
 	}
 	return nil
 }
@@ -392,22 +390,12 @@ func (w *World) postMortem(wasLocked bool, why string, op Op) *Violation {
 	if !wasLocked {
 		return nil
 	}
-	// (remanence) recoverable plaintext, tolerant of per-byte decay.
-	if attack.FuzzyContains(w.S.DRAM.Store(), w.marker, fuzzBudget) {
-		return &Violation{Clause: "remanence", Detail: "plaintext marker recoverable from DRAM image after " + why, Step: w.step, Op: op}
-	}
-	if attack.FuzzyContains(w.S.IRAM.Store(), w.marker, fuzzBudget) {
-		return &Violation{Clause: "remanence", Detail: "plaintext marker recoverable from iRAM image after " + why, Step: w.step, Op: op}
-	}
-	// (key) the volatile root key, via the Halderman-style keyfinder. The
-	// reference key is the one generated at boot: deep-lock zeroizes the
-	// live copy, but ciphertext sealed under the original must stay safe.
-	for _, st := range []*mem.Store{w.S.IRAM.Store(), w.S.DRAM.Store()} {
-		for _, key := range attack.FindAESKeys(st) {
-			if bytes.Equal(key, w.volKey0) {
-				return &Violation{Clause: "key", Detail: "volatile root key recoverable from memory image after " + why, Step: w.step, Op: op}
-			}
-		}
+	// (remanence) and (key) via the shared Scanner clauses. The reference
+	// key is the one generated at boot: deep-lock zeroizes the live copy,
+	// but ciphertext sealed under the original must stay safe.
+	if v := w.scanner().PostMortem(why); v != nil {
+		v.Step, v.Op = w.step, op
+		return v
 	}
 	return nil
 }

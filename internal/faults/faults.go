@@ -195,6 +195,17 @@ func (in *Injector) Attach(sn *core.Sentry) {
 	sn.SetFaults(in)
 }
 
+// Detach unwires every hook Attach installed, returning the system to a
+// fault-free configuration. The fleet soak harness detaches before its
+// final confidentiality sweep so a deliberate end-of-run Lock cannot be
+// interrupted by a scheduled power cut.
+func Detach(sn *core.Sentry) {
+	sn.S.Bus.SetFaults(nil)
+	sn.S.L2.SetFaults(nil)
+	sn.K.Faults = nil
+	sn.SetFaults(nil)
+}
+
 // FilterWrite implements bus.FaultInjector: a torn write delivers only a
 // random non-empty prefix of the payload.
 func (in *Injector) FilterWrite(addr mem.PhysAddr, data []byte) int {

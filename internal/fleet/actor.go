@@ -1,0 +1,628 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sentry"
+	"sentry/internal/blockdev"
+	"sentry/internal/check"
+	"sentry/internal/core"
+	"sentry/internal/dmcrypt"
+	"sentry/internal/faults"
+	"sentry/internal/kernel"
+	"sentry/internal/mem"
+	"sentry/internal/mmu"
+	"sentry/internal/onsoc"
+	"sentry/internal/remanence"
+	"sentry/internal/soc"
+)
+
+// dramArenaBase is where a degraded (generic) crypto provider places its
+// DRAM arena: inside the kernel-reserved low 64 MB, clear of user frames.
+const dramArenaBase = soc.DRAMBase + 0x100000
+
+// OpCode enumerates the operations a hosted device serves.
+type OpCode uint8
+
+// Operation alphabet. Reboot drills are planned reboots (resilience
+// exercise); they bump the boot count but are never charged against the
+// fault-restart budget.
+const (
+	OpPing OpCode = iota
+	OpLock
+	OpUnlock
+	OpBadPIN
+	OpTouch
+	OpBgBegin
+	OpBgTouch
+	OpBgPinned
+	OpDiskWrite
+	OpDiskRead
+	OpRebootDrill
+	numOps
+)
+
+var opNames = [numOps]string{
+	"ping", "lock", "unlock", "bad-pin", "touch", "bg-begin", "bg-touch",
+	"bg-pinned", "disk-write", "disk-read", "reboot-drill",
+}
+
+func (c OpCode) String() string {
+	if int(c) < len(opNames) {
+		return opNames[c]
+	}
+	return fmt.Sprintf("OpCode(%d)", int(c))
+}
+
+// Op is one request against a hosted device.
+type Op struct {
+	Code OpCode
+	Arg  uint64
+	// Prio is the mailbox priority (PrioHigh/PrioNormal/PrioLow);
+	// out-of-range values clamp to PrioNormal.
+	Prio int
+}
+
+// LedgerEntry records one executed (non-ping) request on a device. Seq is
+// assigned only on success and is contiguous per device across reboots —
+// the sequence ledger the soak harness checks for lost or duplicated ops.
+type LedgerEntry struct {
+	OpID uint64
+	Code OpCode
+	Seq  uint64 // 0 on failure
+	Err  string // "" on success
+}
+
+const (
+	fgPages    = 8
+	bgPages    = 16
+	badPIN     = "0000"
+	fuzzBudget = 4
+)
+
+// fleetMarker is the plaintext every hosted device plants in its sensitive
+// processes; the confidentiality sweeps scan for it.
+var fleetMarker = []byte("FLEET-SOAK-MARKER-XYZZY")
+
+// device is one booted simulated device plus the workload state the actor
+// drives on it. Everything here is owned by the actor goroutine.
+type device struct {
+	dev     *sentry.Device
+	pin     string
+	marker  []byte
+	volKey0 []byte // volatile root key as generated at this boot
+
+	fg, bg         *kernel.Process
+	fgBase, bgBase mmu.VirtAddr
+	bgOn           bool
+
+	dm       *dmcrypt.DMCrypt
+	diskDown bool // true when disk crypto degraded to the DRAM-arena provider
+	shadow   map[uint64][]byte
+
+	inj *faults.Injector
+
+	// dead marks a device killed by a power cut that was not followed by a
+	// reboot (quarantine); wasLockedAtCut scopes the post-mortem sweep.
+	dead           bool
+	wasLockedAtCut bool
+}
+
+// actor hosts one device on one goroutine — the single-owner contract of
+// the simulation (sim.Clock, sim.RNG, obs instruments) is preserved by
+// construction, and enforced by the obs owner guard in debug/race builds.
+// All requests arrive through the bounded mailbox; panics (fault-injected
+// power loss or bugs) are recovered at the mailbox boundary and converted
+// into a supervised restart.
+type actor struct {
+	f  *Fleet
+	id int
+
+	mbox *mailbox
+	brk  *Breaker
+	done chan struct{}
+
+	nextOp      atomic.Uint64 // per-device op id allocator
+	quarantined atomic.Bool
+	stalled     atomic.Bool
+	busySince   atomic.Int64 // clock nanos; 0 when idle
+	boots       atomic.Int64
+	restarts    atomic.Int64 // fault-caused restarts (charged to the budget)
+
+	// Actor-goroutine state. mu guards the slices for post-run readers.
+	d   *device
+	seq uint64
+
+	mu         sync.Mutex
+	ledger     []LedgerEntry
+	causes     []string // one entry per fault-caused restart or quarantine
+	violations []string
+}
+
+func newActor(f *Fleet, id int) *actor {
+	return &actor{
+		f:    f,
+		id:   id,
+		mbox: newMailbox(f.opt.MailboxCap),
+		brk:  NewBreaker(f.opt.Breaker, f.clock),
+		done: make(chan struct{}),
+	}
+}
+
+// call submits one request and waits for the reply or the caller deadline.
+func (a *actor) call(ctx context.Context, op Op, opID uint64) (any, error) {
+	r := &request{op: op, ctx: ctx, opID: opID, reply: make(chan result, 1)}
+	shedded, err := a.mbox.push(r, op.Prio)
+	if shedded {
+		a.f.ctrSheds.Inc()
+	}
+	if err != nil {
+		if errors.Is(err, ErrShed) {
+			a.f.ctrSheds.Inc()
+		}
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case res := <-r.reply:
+		return res.val, res.err
+	}
+}
+
+// run is the actor goroutine: boot, serve the mailbox, drain on stop.
+func (a *actor) run() {
+	defer close(a.done)
+	a.reboot("initial boot")
+	for {
+		select {
+		case <-a.f.stop:
+			a.drainShutdown()
+			return
+		case <-a.mbox.ready:
+			for r := a.mbox.pop(); r != nil; r = a.mbox.pop() {
+				a.handle(r)
+				select {
+				case <-a.f.stop:
+					a.drainShutdown()
+					return
+				default:
+				}
+			}
+		}
+	}
+}
+
+func (a *actor) drainShutdown() {
+	for _, r := range a.mbox.close(ErrShutdown) {
+		r.reply <- result{err: ErrShutdown}
+	}
+}
+
+// handle executes one request, maintains the sequence ledger, and replies.
+func (a *actor) handle(r *request) {
+	if err := r.ctx.Err(); err != nil {
+		r.reply <- result{err: err}
+		return
+	}
+	if a.quarantined.Load() {
+		r.reply <- result{err: fmt.Errorf("fleet: device %d: %w", a.id, ErrQuarantined)}
+		return
+	}
+	a.busySince.Store(a.f.clock.Now().UnixNano())
+	val, err := a.execGuarded(r)
+	a.busySince.Store(0)
+	a.f.ctrExecs.Inc()
+	if r.op.Code != OpPing { // pings are health probes, not state ops
+		entry := LedgerEntry{OpID: r.opID, Code: r.op.Code}
+		if err == nil {
+			a.seq++
+			entry.Seq = a.seq
+		} else {
+			entry.Err = err.Error()
+		}
+		a.mu.Lock()
+		a.ledger = append(a.ledger, entry)
+		a.mu.Unlock()
+	}
+	r.reply <- result{val: val, err: err}
+}
+
+// execGuarded runs exec under the panic boundary: any panic — a
+// faults.Abort modelling power loss, or a plain bug — is converted into a
+// supervised restart (or quarantine once the budget is spent).
+func (a *actor) execGuarded(r *request) (val any, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			val, err = nil, a.recoverPanic(rec)
+		}
+	}()
+	if a.f.opt.testExec != nil {
+		if handled, v, e := a.f.opt.testExec(a, r.op); handled {
+			return v, e
+		}
+	}
+	if a.d == nil || a.d.dead {
+		return nil, fmt.Errorf("fleet: device %d has no live boot: %w", a.id, ErrDeviceRestarted)
+	}
+	return a.exec(r.op)
+}
+
+// recoverPanic is the supervision policy. A faults.Abort is an injected
+// power loss: apply the cut to the SoC, post-mortem the corpse if it was
+// locked (the confidentiality invariant must hold over the decayed image),
+// and reboot. Any other panic is a bug in the device stack: isolate it the
+// same way. Either way the restart is charged to the budget; exceeding it
+// quarantines the device.
+func (a *actor) recoverPanic(rec any) error {
+	var cause string
+	if ab, ok := rec.(faults.Abort); ok {
+		cause = "fault: " + ab.String()
+		if a.d != nil && !a.d.dead {
+			wasLocked := a.d.dev.Kernel.State() != kernel.Unlocked
+			a.d.dev.SoC.PowerCut(ab.Seconds, remanence.RoomTempC)
+			a.d.dead, a.d.wasLockedAtCut = true, wasLocked
+			if wasLocked {
+				a.scanCorpse("power loss (" + ab.Reason + ")")
+			}
+		}
+	} else {
+		cause = fmt.Sprintf("panic: %v", rec)
+		if a.d != nil {
+			a.d.dead, a.d.wasLockedAtCut = true, false
+		}
+	}
+	a.mu.Lock()
+	a.causes = append(a.causes, cause)
+	a.mu.Unlock()
+	a.f.ctrRestarts.Inc()
+	if a.restarts.Add(1) > int64(a.f.opt.RestartBudget) {
+		a.quarantined.Store(true)
+		a.f.ctrQuarantines.Inc()
+		return fmt.Errorf("fleet: device %d: restart budget exhausted (%s): %w", a.id, cause, ErrQuarantined)
+	}
+	a.reboot(cause)
+	return fmt.Errorf("fleet: device %d: %s: %w", a.id, cause, ErrDeviceRestarted)
+}
+
+// reboot cold-boots a fresh device. Boot failure is terminal: the actor is
+// quarantined (nothing a retry could change about a deterministic boot).
+func (a *actor) reboot(why string) {
+	boot := a.boots.Add(1)
+	d, err := bootDevice(a.f.opt, a.id, int(boot))
+	if err != nil {
+		a.d = nil
+		a.quarantined.Store(true)
+		a.f.ctrQuarantines.Inc()
+		a.mu.Lock()
+		a.causes = append(a.causes, fmt.Sprintf("boot failed (%s): %v", why, err))
+		a.mu.Unlock()
+		return
+	}
+	a.d = d
+	if d.diskDown {
+		a.f.ctrCryptoDowngrades.Inc()
+	}
+}
+
+// scanCorpse runs the shared post-mortem confidentiality clauses over the
+// power-cut image; scanner returns carry no schedule context, so tag them
+// with the device here.
+func (a *actor) scanCorpse(why string) {
+	if v := a.scanner().PostMortem(why); v != nil {
+		a.mu.Lock()
+		a.violations = append(a.violations,
+			fmt.Sprintf("device %d: clause %s: %s", a.id, v.Clause, v.Detail))
+		a.mu.Unlock()
+	}
+}
+
+func (a *actor) scanner() *check.Scanner {
+	return &check.Scanner{
+		S: a.d.dev.SoC, K: a.d.dev.Kernel,
+		Marker: a.d.marker, VolKey0: a.d.volKey0, FuzzBudget: fuzzBudget,
+	}
+}
+
+// bootSeed derives a per-(device, boot) simulation seed from the fleet seed.
+func bootSeed(fleetSeed int64, id, boot int) int64 {
+	h := splitmix64(uint64(fleetSeed))
+	h = splitmix64(h ^ uint64(id))
+	h = splitmix64(h ^ uint64(boot))
+	return int64(h &^ (1 << 63)) // keep it positive for readable logs
+}
+
+// bootDevice builds one fresh simulated device with the fleet workload:
+// a sensitive foreground and background process filled with the plaintext
+// marker, an encrypted disk, and (when configured) a fault injector.
+func bootDevice(opt Options, id, boot int) (*device, error) {
+	seed := bootSeed(opt.Seed, id, boot)
+	sd, err := sentry.Open(sentry.Tegra3, opt.PIN, sentry.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	// The actor goroutine owns this device; bind the metrics registry so
+	// debug/race builds catch any cross-goroutine wiring.
+	sd.Metrics().BindOwner()
+
+	d := &device{
+		dev:     sd,
+		pin:     opt.PIN,
+		marker:  fleetMarker,
+		volKey0: append([]byte(nil), sd.Sentry.Keys().VolatileKey()...),
+		shadow:  make(map[uint64][]byte),
+	}
+	d.fg = sd.Kernel.NewProcess("fg", true, false)
+	d.bg = sd.Kernel.NewProcess("bg", true, true)
+	if d.fgBase, err = sd.Kernel.MapAnon(d.fg, fgPages); err != nil {
+		return nil, err
+	}
+	if d.bgBase, err = sd.Kernel.MapAnon(d.bg, bgPages); err != nil {
+		return nil, err
+	}
+	if err := fill(d, d.fg, d.fgBase, fgPages); err != nil {
+		return nil, err
+	}
+	if err := fill(d, d.bg, d.bgBase, bgPages); err != nil {
+		return nil, err
+	}
+
+	// Graceful-degradation pressure: on squeezed devices, occupy iRAM down
+	// to a sliver so per-volume engines and pinned pools must fall back.
+	if opt.SqueezeEvery > 0 && (id+1)%opt.SqueezeEvery == 0 {
+		if free := sd.Sentry.IRAM().Free(); free > 256 {
+			if _, err := sd.Sentry.IRAM().Alloc(free - 256); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := d.buildDisk(opt, seed); err != nil {
+		return nil, err
+	}
+
+	if opt.Faults.Active() {
+		d.inj = faults.New(opt.Faults, seed|1)
+		d.inj.Attach(sd.Sentry)
+	}
+	return d, nil
+}
+
+func fill(d *device, p *kernel.Process, base mmu.VirtAddr, pages int) error {
+	d.dev.Kernel.Switch(p)
+	for i := 0; i < pages; i++ {
+		line := append(append([]byte{}, d.marker...), byte(i))
+		if err := d.dev.SoC.CPU.Store(base+mmu.VirtAddr(i*mem.PageSize), line); err != nil {
+			return fmt.Errorf("fleet: marker fill: %v", err)
+		}
+	}
+	return nil
+}
+
+// buildDisk creates the device's dm-crypt volume. The preferred engine is a
+// dedicated AES On SoC instance in iRAM; when iRAM is exhausted the volume
+// degrades to the generic DRAM-arena provider — the classic dm-crypt
+// configuration — and the downgrade is counted, never hidden.
+func (d *device) buildDisk(opt Options, seed int64) error {
+	key := make([]byte, 16)
+	h := uint64(seed)
+	for i := range key {
+		h = splitmix64(h)
+		key[i] = byte(h)
+	}
+	var prov kernel.CipherProvider
+	eng, err := onsoc.NewInIRAM(d.dev.SoC, d.dev.Sentry.IRAM(), key)
+	switch {
+	case err == nil:
+		prov = core.NewOnSoCProvider(eng)
+	case errors.Is(err, onsoc.ErrIRAMExhausted):
+		gp, gerr := core.NewGenericProvider(d.dev.SoC, dramArenaBase, key)
+		if gerr != nil {
+			return gerr
+		}
+		prov = gp
+		d.diskDown = true
+	default:
+		return err
+	}
+	disk := blockdev.NewRAMDisk(d.dev.SoC, uint64(opt.DiskKB)<<10)
+	dm, err := dmcrypt.NewWithProvider(disk, prov, key)
+	if err != nil {
+		return err
+	}
+	d.dm = dm
+	return nil
+}
+
+// exec runs one operation against the live device. It runs on the actor
+// goroutine under the panic boundary; fault hooks may unwind it at any
+// point with a faults.Abort.
+func (a *actor) exec(op Op) (any, error) {
+	d := a.d
+	k := d.dev.Kernel
+	switch op.Code {
+	case OpPing:
+		return k.State().String(), nil
+
+	case OpLock:
+		k.Lock()
+		return nil, nil
+
+	case OpUnlock:
+		if err := k.Unlock(d.pin); err != nil {
+			return a.unlockFailed(err)
+		}
+		d.bgOn = false // the session ends inside Unlock
+		return nil, nil
+
+	case OpBadPIN:
+		if err := k.Unlock(badPIN); err != nil {
+			return a.unlockFailed(err)
+		}
+		return nil, nil // device was already unlocked: a PIN-less no-op
+
+	case OpTouch:
+		if k.State() != kernel.Unlocked {
+			return nil, fmt.Errorf("fleet: touch on a locked device: %w", kernel.ErrLocked)
+		}
+		k.Switch(d.fg)
+		return nil, d.verifyPage(d.fgBase, int(op.Arg)%fgPages, "fg")
+
+	case OpBgBegin:
+		return a.beginBg(false)
+
+	case OpBgPinned:
+		return a.beginBg(true)
+
+	case OpBgTouch:
+		if !d.bgOn {
+			return nil, fmt.Errorf("fleet: no background session: %w", kernel.ErrLocked)
+		}
+		k.Switch(d.bg)
+		return nil, d.verifyPage(d.bgBase, int(op.Arg)%bgPages, "bg")
+
+	case OpDiskWrite:
+		sec := op.Arg % d.dm.Sectors()
+		buf := sectorPattern(a.id, sec, op.Arg)
+		if err := d.dm.WriteSector(sec, buf); err != nil {
+			return nil, err
+		}
+		d.shadow[sec] = buf
+		return nil, nil
+
+	case OpDiskRead:
+		sec := op.Arg % d.dm.Sectors()
+		dst := make([]byte, blockdev.SectorSize)
+		if err := d.dm.ReadSector(sec, dst); err != nil {
+			return nil, err
+		}
+		if want, ok := d.shadow[sec]; ok && !bytes.Equal(dst, want) {
+			return nil, fmt.Errorf("fleet: device %d disk sector %d corrupted", a.id, sec)
+		}
+		return nil, nil
+
+	case OpRebootDrill:
+		a.f.ctrDrills.Inc()
+		a.reboot("reboot drill")
+		if a.d == nil {
+			return nil, fmt.Errorf("fleet: device %d failed to boot after drill: %w", a.id, ErrQuarantined)
+		}
+		return "rebooted", nil
+	}
+	return nil, fmt.Errorf("fleet: unknown op code %d", op.Code)
+}
+
+// unlockFailed post-processes a failed Unlock. Deep lock is terminal short
+// of a power cycle, so the actor performs a planned recovery reboot — the
+// graceful path out of an otherwise bricked device — and reports the
+// request as retryable.
+func (a *actor) unlockFailed(err error) (any, error) {
+	if a.d.dev.Kernel.State() == kernel.DeepLocked {
+		a.f.ctrRecoveries.Inc()
+		a.reboot("deep-lock recovery")
+		if a.d == nil {
+			return nil, fmt.Errorf("fleet: device %d failed deep-lock recovery: %w", a.id, ErrQuarantined)
+		}
+		return nil, fmt.Errorf("fleet: device %d deep-locked; recovered by reboot: %w", a.id, ErrDeviceRestarted)
+	}
+	return nil, err
+}
+
+// beginBg starts a background session. The pinned (§10 pin-on-SoC) variant
+// degrades to the locked-way session when iRAM is exhausted.
+func (a *actor) beginBg(pinned bool) (any, error) {
+	d := a.d
+	if d.dev.Kernel.State() == kernel.Unlocked {
+		return nil, fmt.Errorf("fleet: background sessions need a locked device: %w", kernel.ErrLocked)
+	}
+	if d.bgOn {
+		return "bg-already-on", nil
+	}
+	if pinned {
+		err := d.dev.Sentry.BeginBackgroundPinned(d.bg, 4)
+		if err == nil {
+			d.bgOn = true
+			return "bg-pinned", nil
+		}
+		if !errors.Is(err, onsoc.ErrIRAMExhausted) {
+			return nil, err
+		}
+		if err := d.dev.Sentry.BeginBackground(d.bg, 128); err != nil {
+			return nil, err
+		}
+		a.f.ctrBgDowngrades.Inc()
+		d.bgOn = true
+		return "bg-pinned-downgraded", nil
+	}
+	if err := d.dev.Sentry.BeginBackground(d.bg, 128); err != nil {
+		return nil, err
+	}
+	d.bgOn = true
+	return "bg", nil
+}
+
+// verifyPage reads the marker line of one page and checks integrity — the
+// fleet's benign fault profile must never corrupt data.
+func (d *device) verifyPage(base mmu.VirtAddr, pg int, what string) error {
+	got := make([]byte, len(d.marker))
+	if err := d.dev.SoC.CPU.Load(base+mmu.VirtAddr(pg*mem.PageSize), got); err != nil {
+		return fmt.Errorf("fleet: %s page %d unreadable: %v", what, pg, err)
+	}
+	if !bytes.Equal(got, d.marker) {
+		return fmt.Errorf("fleet: %s page %d corrupted", what, pg)
+	}
+	return nil
+}
+
+// sectorPattern derives a deterministic 512-byte payload for a disk write.
+func sectorPattern(id int, sec, arg uint64) []byte {
+	buf := make([]byte, blockdev.SectorSize)
+	h := splitmix64(uint64(id)<<32 ^ sec<<16 ^ arg)
+	for i := range buf {
+		if i%8 == 0 {
+			h = splitmix64(h)
+		}
+		buf[i] = byte(h >> (8 * (i % 8)))
+	}
+	return buf
+}
+
+// sweep runs the end-of-run confidentiality check on the actor's final
+// device: lock it (faults detached first so the lock cannot be interrupted),
+// scan the live locked image, then cut power and post-mortem the remanence
+// image. Called from the harness goroutine after the actor has exited; the
+// registry owner is re-bound here — a deliberate hand-off.
+func (a *actor) sweep() {
+	if a.d == nil {
+		return
+	}
+	d := a.d
+	if d.dead {
+		// A quarantined corpse was already post-mortemed at the cut if it
+		// was locked; an unlocked corpse is the accepted pre-lock window.
+		return
+	}
+	d.dev.Metrics().BindOwner()
+	if d.inj != nil {
+		faults.Detach(d.dev.Sentry)
+		d.inj = nil
+	}
+	if d.dev.Kernel.State() == kernel.Unlocked {
+		d.dev.Kernel.Lock()
+	}
+	sc := a.scanner()
+	if v := sc.ScanLive(); v != nil {
+		a.mu.Lock()
+		a.violations = append(a.violations,
+			fmt.Sprintf("device %d (sweep): clause %s: %s", a.id, v.Clause, v.Detail))
+		a.mu.Unlock()
+	}
+	d.dev.SoC.PowerCut(0.05, remanence.RoomTempC)
+	d.dead, d.wasLockedAtCut = true, true
+	a.scanCorpse("post-soak power cut")
+}

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"math"
+	"time"
+)
+
+// Backoff computes retry delays: exponential growth from Base by Factor,
+// capped at Cap, with a deterministic jitter fraction. The jitter is a hash
+// of (Seed, opID, attempt) — no wall clock and no shared RNG anywhere in
+// the decision path, so a retry schedule is a pure function of its inputs
+// and identical across runs with the same seed.
+type Backoff struct {
+	Base   time.Duration // first-retry delay (default 1ms)
+	Cap    time.Duration // delay ceiling (default 100ms)
+	Factor float64       // exponential growth (default 2)
+	// Jitter is the fraction of each delay that is randomised, in [0, 1]:
+	// delay = exp*(1-Jitter) + u*exp*Jitter with u ~ U[0,1) derived from
+	// (Seed, opID, attempt). Zero disables jitter entirely.
+	Jitter float64
+	Seed   uint64
+}
+
+// DefaultBackoff returns the fleet's standard policy: 1ms..100ms, doubling,
+// half-jittered, keyed to seed.
+func DefaultBackoff(seed uint64) Backoff {
+	return Backoff{Base: time.Millisecond, Cap: 100 * time.Millisecond, Factor: 2, Jitter: 0.5, Seed: seed}
+}
+
+// Delay returns the sleep before retry number attempt (attempt >= 1) of the
+// operation identified by opID.
+func (b Backoff) Delay(opID uint64, attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	cap := b.Cap
+	if cap <= 0 {
+		cap = 100 * time.Millisecond
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	exp := float64(base) * math.Pow(factor, float64(attempt-1))
+	if exp > float64(cap) {
+		exp = float64(cap)
+	}
+	if b.Jitter <= 0 {
+		return time.Duration(exp)
+	}
+	j := b.Jitter
+	if j > 1 {
+		j = 1
+	}
+	u := unitFloat(b.Seed, opID, uint64(attempt))
+	return time.Duration(exp*(1-j) + u*exp*j)
+}
+
+// splitmix64 is the SplitMix64 finaliser: a cheap, high-quality 64-bit
+// mixer. Good enough to decorrelate jitter across ops and attempts.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat hashes the words into a float64 in [0, 1).
+func unitFloat(words ...uint64) float64 {
+	h := uint64(0x51f3c6b7a89e2d41)
+	for _, w := range words {
+		h = splitmix64(h ^ w)
+	}
+	return float64(h>>11) / float64(1<<53)
+}

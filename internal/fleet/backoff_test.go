@@ -1,0 +1,94 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// Delay must be a pure function of (policy, opID, attempt): no wall clock,
+// no shared RNG — the whole retry schedule replays identically for a seed.
+func TestBackoffDeterministic(t *testing.T) {
+	b := DefaultBackoff(42)
+	for opID := uint64(1); opID <= 50; opID++ {
+		for attempt := 1; attempt <= 6; attempt++ {
+			d1 := b.Delay(opID, attempt)
+			d2 := b.Delay(opID, attempt)
+			if d1 != d2 {
+				t.Fatalf("Delay(%d,%d) not deterministic: %v vs %v", opID, attempt, d1, d2)
+			}
+		}
+	}
+}
+
+func TestBackoffJitterDecorrelates(t *testing.T) {
+	b := DefaultBackoff(42)
+	// Different ops at the same attempt must not all back off in lockstep —
+	// that is the thundering herd jitter exists to break.
+	seen := map[time.Duration]bool{}
+	for opID := uint64(1); opID <= 20; opID++ {
+		seen[b.Delay(opID, 3)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter too correlated: %d distinct delays across 20 ops", len(seen))
+	}
+	// And a different seed must produce a different schedule.
+	b2 := DefaultBackoff(43)
+	diff := 0
+	for opID := uint64(1); opID <= 20; opID++ {
+		if b.Delay(opID, 2) != b2.Delay(opID, 2) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed does not influence the schedule")
+	}
+}
+
+func TestBackoffExponentialGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: 100 * time.Millisecond, Factor: 2, Jitter: 0}
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		8 * time.Millisecond, 16 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(7, i+1); got != w {
+			t.Fatalf("attempt %d: got %v want %v", i+1, got, w)
+		}
+	}
+	if got := b.Delay(7, 30); got != 100*time.Millisecond {
+		t.Fatalf("attempt 30: got %v, want cap 100ms", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0.5, Seed: 9}
+	for opID := uint64(1); opID <= 200; opID++ {
+		for attempt := 1; attempt <= 5; attempt++ {
+			exp := float64(10*time.Millisecond) * float64(int(1)<<uint(attempt-1))
+			got := float64(b.Delay(opID, attempt))
+			if got < exp*0.5 || got >= exp {
+				t.Fatalf("Delay(%d,%d)=%v outside [%v, %v)", opID, attempt,
+					time.Duration(got), time.Duration(exp*0.5), time.Duration(exp))
+			}
+		}
+	}
+}
+
+func TestBackoffZeroValueUsable(t *testing.T) {
+	var b Backoff // all defaults applied inside Delay
+	if got := b.Delay(1, 1); got <= 0 || got > 100*time.Millisecond {
+		t.Fatalf("zero-value Delay(1,1)=%v, want (0, 100ms]", got)
+	}
+	if got := b.Delay(1, 0); got != b.Delay(1, 1) {
+		t.Fatalf("attempt<1 should clamp to 1: %v vs %v", b.Delay(1, 0), b.Delay(1, 1))
+	}
+}
+
+func TestUnitFloatRange(t *testing.T) {
+	for i := uint64(0); i < 2000; i++ {
+		u := unitFloat(i, i*7, i*13)
+		if u < 0 || u >= 1 {
+			t.Fatalf("unitFloat out of [0,1): %v", u)
+		}
+	}
+}

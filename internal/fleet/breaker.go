@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states: Closed admits everything, Open rejects everything until a
+// cooldown elapses, HalfOpen admits a bounded number of probes whose
+// outcomes decide between re-closing and re-opening.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerConfig parameterises one circuit breaker.
+type BreakerConfig struct {
+	// Window is the sliding outcome window length (default 20).
+	Window int
+	// FailureRate trips the breaker when failures/window >= it (default 0.5).
+	FailureRate float64
+	// MinSamples is the minimum window fill before the rate is consulted
+	// (default 10): a single failure on a fresh device is not a pattern.
+	MinSamples int
+	// OpenFor is the cooldown before an open breaker lets probes through
+	// (default 100ms).
+	OpenFor time.Duration
+	// HalfOpenProbes is how many probes half-open admits, and how many must
+	// succeed to re-close (default 2).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.FailureRate <= 0 {
+		c.FailureRate = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 100 * time.Millisecond
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 2
+	}
+	return c
+}
+
+// Breaker is a per-device circuit breaker over a sliding outcome window.
+// Allow gates a request; Record reports its outcome. Only device-health
+// failures should be recorded as failures — a device answering "wrong PIN"
+// is healthy, a device that had to be restarted is not (the fleet layer
+// makes that call; see healthFailure).
+type Breaker struct {
+	mu    sync.Mutex
+	cfg   BreakerConfig
+	clock Clock
+
+	state    BreakerState
+	ring     []bool // true = failure
+	idx      int
+	filled   int
+	fails    int
+	openedAt time.Time
+	probes   int // half-open: probes admitted
+	probeOKs int // half-open: probes succeeded
+	trips    uint64
+}
+
+// NewBreaker returns a closed breaker on the given clock.
+func NewBreaker(cfg BreakerConfig, clock Clock) *Breaker {
+	cfg = cfg.withDefaults()
+	if clock == nil {
+		clock = Wall
+	}
+	return &Breaker{cfg: cfg, clock: clock, ring: make([]bool, cfg.Window)}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips counts closed/half-open → open transitions.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Allow gates one request: nil to proceed (the caller must then Record the
+// outcome), ErrCircuitOpen to reject.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return ErrCircuitOpen
+		}
+		b.state = BreakerHalfOpen
+		b.probes, b.probeOKs = 1, 0
+		return nil
+	default: // BreakerHalfOpen
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return nil
+		}
+		return ErrCircuitOpen
+	}
+}
+
+// Record reports the outcome of a request Allow admitted.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if !ok {
+			b.trip()
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.cfg.HalfOpenProbes {
+			b.reset()
+		}
+	case BreakerClosed:
+		b.push(!ok)
+		if b.filled >= b.cfg.MinSamples &&
+			float64(b.fails)/float64(b.filled) >= b.cfg.FailureRate {
+			b.trip()
+		}
+	default:
+		// Open: a straggler Record from before the trip; ignore.
+	}
+}
+
+// push adds one outcome to the sliding window.
+func (b *Breaker) push(failed bool) {
+	if b.filled == len(b.ring) {
+		if b.ring[b.idx] {
+			b.fails--
+		}
+	} else {
+		b.filled++
+	}
+	b.ring[b.idx] = failed
+	if failed {
+		b.fails++
+	}
+	b.idx = (b.idx + 1) % len(b.ring)
+}
+
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.clock.Now()
+	b.trips++
+	b.clearWindow()
+}
+
+func (b *Breaker) reset() {
+	b.state = BreakerClosed
+	b.clearWindow()
+}
+
+func (b *Breaker) clearWindow() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.idx, b.filled, b.fails = 0, 0, 0
+	b.probes, b.probeOKs = 0, 0
+}

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The full state machine on a fake clock: closed → open on failure rate,
+// open → half-open after the cooldown, half-open → closed on probe success.
+// Not a single wall-clock sleep anywhere.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := NewFakeClock()
+	b := NewBreaker(BreakerConfig{
+		Window: 4, MinSamples: 4, FailureRate: 0.5,
+		OpenFor: 100 * time.Millisecond, HalfOpenProbes: 2,
+	}, clk)
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("new breaker state = %v, want closed", b.State())
+	}
+
+	// Below MinSamples nothing trips, however bad the early outcomes.
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed Allow #%d: %v", i, err)
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped below MinSamples: %v", b.State())
+	}
+
+	// Fourth failure fills the window at 100% failure rate: trip.
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 4 failures = %v, want open", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+
+	// Open rejects until the cooldown elapses.
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open Allow = %v, want ErrCircuitOpen", err)
+	}
+	clk.Advance(99 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Allow 1ms early = %v, want ErrCircuitOpen", err)
+	}
+	clk.Advance(time.Millisecond)
+
+	// Cooldown done: half-open admits exactly HalfOpenProbes probes.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("first probe rejected: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("third probe admitted past HalfOpenProbes: %v", err)
+	}
+
+	// Both probes succeed: re-close with a clean window.
+	b.Record(true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("re-closed after one of two probes: %v", b.State())
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe successes = %v, want closed", b.State())
+	}
+
+	// The window restarted clean: MinSamples failures are needed again.
+	for i := 0; i < 3; i++ {
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("window not cleared on re-close")
+	}
+}
+
+// A failed probe re-opens immediately and restarts the cooldown.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clk := NewFakeClock()
+	b := NewBreaker(BreakerConfig{
+		Window: 2, MinSamples: 2, FailureRate: 0.5,
+		OpenFor: 50 * time.Millisecond, HalfOpenProbes: 2,
+	}, clk)
+
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("not open after window of failures")
+	}
+	clk.Advance(50 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Record(false) // probe failed
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	// The cooldown restarted at the re-trip.
+	clk.Advance(49 * time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("cooldown did not restart on re-trip")
+	}
+	clk.Advance(time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe after restarted cooldown rejected: %v", err)
+	}
+}
+
+// The sliding window evicts oldest outcomes, so old failures age out.
+func TestBreakerWindowEviction(t *testing.T) {
+	clk := NewFakeClock()
+	b := NewBreaker(BreakerConfig{
+		Window: 2, MinSamples: 2, FailureRate: 1.0,
+		OpenFor: time.Minute, HalfOpenProbes: 1,
+	}, clk)
+
+	b.Record(false)
+	b.Record(true) // window [fail ok] → 50% < 100%
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped below rate")
+	}
+	b.Record(false) // evicts the old fail → [ok fail] → 50%
+	if b.State() != BreakerClosed {
+		t.Fatalf("eviction not applied")
+	}
+	b.Record(false) // evicts the ok → [fail fail] → 100% → trip
+	if b.State() != BreakerOpen {
+		t.Fatalf("did not trip at full failure window")
+	}
+	// Stragglers from before the trip are ignored while open.
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("straggler Record changed an open breaker")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+		BreakerState(9): "invalid",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestFakeClockAdvance(t *testing.T) {
+	clk := NewFakeClock()
+	ch := clk.After(10 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	clk.Advance(9 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	if clk.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", clk.Pending())
+	}
+	clk.Advance(time.Millisecond)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	// Non-positive delays fire immediately.
+	select {
+	case <-clk.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the host-time source the fleet's robustness machinery (backoff
+// sleeps, breaker cooldowns, watchdog scans) runs on. It is host time, not
+// simulated time — sim.Clock measures cycles inside one device; this Clock
+// paces goroutines around many. Production uses Wall; tests inject a
+// FakeClock so every transition is exercised without a single wall sleep.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// Wall is the real-time clock.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time                         { return time.Now() }
+func (wallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually advanced Clock. Time moves only through Advance,
+// which fires every timer that has come due. All methods are safe for
+// concurrent use.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a FakeClock. It starts at a nonzero instant so that
+// code using UnixNano()==0 as an "unset" sentinel keeps working under it.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that receives once Advance has moved the clock at
+// least d past now. Non-positive d fires immediately.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.timers = append(c.timers, fakeTimer{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d and fires every timer now due.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	kept := c.timers[:0]
+	for _, t := range c.timers {
+		if t.at.After(c.now) {
+			kept = append(kept, t)
+		} else {
+			t.ch <- c.now // buffered; never blocks
+		}
+	}
+	c.timers = kept
+}
+
+// Pending reports how many timers are waiting to fire.
+func (c *FakeClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}

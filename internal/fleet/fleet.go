@@ -1,0 +1,426 @@
+// Package fleet is the service layer over the simulator: it hosts N
+// simulated Sentry devices concurrently, one single-goroutine actor per
+// device, preserving the simulation's single-owner contract (each device's
+// sim.Clock, sim.RNG, and obs instruments are touched by exactly one
+// goroutine — enforced by the obs owner guard in debug and race builds).
+//
+// Around the actors sits a robustness stack:
+//
+//   - every request carries a context deadline (a default is imposed when
+//     the caller supplies none);
+//   - failed requests retry with exponential backoff and deterministic
+//     seeded jitter — a typed classifier (Transient/Permanent) decides
+//     retryability, so ErrBadPIN is never retried while ErrLocked is;
+//   - a per-device circuit breaker (closed/open/half-open over a windowed
+//     failure rate) sheds load from devices that keep failing;
+//   - panics — fault-injected power loss (faults.Abort) or bugs — are
+//     recovered at the mailbox boundary and turned into a supervised
+//     restart through the cold-boot path, with a restart budget that
+//     escalates to quarantine;
+//   - resource exhaustion degrades instead of failing: iRAM pressure drops
+//     disk crypto from AES On SoC to the generic DRAM-arena provider and
+//     pinned background pools to locked-way sessions (each downgrade
+//     counted), and a saturated mailbox sheds the lowest-priority requests;
+//   - health/readiness probes and a stalled-actor watchdog report through
+//     an obs.Registry.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sentry/internal/faults"
+	"sentry/internal/obs"
+)
+
+// Registry names of the fleet's metrics.
+const (
+	MetricOpsOK            = "fleet.ops_ok"
+	MetricOpsFailed        = "fleet.ops_failed"
+	MetricRetries          = "fleet.retries"
+	MetricSheds            = "fleet.sheds"
+	MetricExecs            = "fleet.execs"
+	MetricRestarts         = "fleet.restarts"
+	MetricQuarantines      = "fleet.quarantines"
+	MetricRecoveryReboots  = "fleet.recovery_reboots"
+	MetricRebootDrills     = "fleet.reboot_drills"
+	MetricCryptoDowngrades = "fleet.crypto_downgrades"
+	MetricBgDowngrades     = "fleet.bg_downgrades"
+	MetricStalls           = "fleet.stalls"
+)
+
+// Options configures a Fleet. The zero value of every field has a sensible
+// default; Devices defaults to 4.
+type Options struct {
+	Devices int
+	Seed    int64
+	PIN     string // unlock PIN for every device (default "4321")
+
+	MailboxCap  int // per-device queue bound (default 32)
+	MaxAttempts int // total tries per request, first included (default 4)
+
+	Backoff *Backoff      // nil → DefaultBackoff(Seed)
+	Breaker BreakerConfig // zero fields defaulted per BreakerConfig
+
+	// RestartBudget is how many fault-caused restarts a device absorbs
+	// before it is quarantined (default 3). Planned reboots (drills,
+	// deep-lock recovery) are not charged.
+	RestartBudget int
+
+	// Faults is the per-device fault profile (default none). Each boot
+	// gets a fresh injector seeded from the boot seed.
+	Faults faults.Profile
+
+	// DefaultTimeout bounds requests whose context carries no deadline
+	// (default 30s) — every request in the system has a deadline.
+	DefaultTimeout time.Duration
+
+	Clock         Clock         // default Wall
+	StallTimeout  time.Duration // watchdog stall threshold (default 2s)
+	WatchdogEvery time.Duration // watchdog scan period (default 250ms)
+
+	// SqueezeEvery squeezes the iRAM of every Nth device (ids N-1, 2N-1,
+	// ...) at boot so graceful-degradation paths are exercised; 0 disables.
+	SqueezeEvery int
+
+	DiskKB int // encrypted-disk size per device (default 64)
+
+	// testExec, when set, intercepts ops before the device executes them;
+	// tests use it to inject stalls, panics, and scripted failures.
+	testExec func(a *actor, op Op) (handled bool, val any, err error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Devices <= 0 {
+		o.Devices = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.PIN == "" {
+		o.PIN = "4321"
+	}
+	if o.MailboxCap <= 0 {
+		o.MailboxCap = 32
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.RestartBudget <= 0 {
+		o.RestartBudget = 3
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = Wall
+	}
+	if o.StallTimeout <= 0 {
+		o.StallTimeout = 2 * time.Second
+	}
+	if o.WatchdogEvery <= 0 {
+		o.WatchdogEvery = 250 * time.Millisecond
+	}
+	if o.DiskKB <= 0 {
+		o.DiskKB = 64
+	}
+	return o
+}
+
+// Fleet hosts a set of simulated devices behind the robustness stack.
+type Fleet struct {
+	opt   Options
+	clock Clock
+	bo    Backoff
+	reg   *obs.Registry
+
+	actors []*actor
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wdDone   chan struct{}
+	stopped  atomic.Bool
+
+	ctrOpsOK            *obs.Counter
+	ctrOpsFailed        *obs.Counter
+	ctrRetries          *obs.Counter
+	ctrSheds            *obs.Counter
+	ctrExecs            *obs.Counter
+	ctrRestarts         *obs.Counter
+	ctrQuarantines      *obs.Counter
+	ctrRecoveries       *obs.Counter
+	ctrDrills           *obs.Counter
+	ctrCryptoDowngrades *obs.Counter
+	ctrBgDowngrades     *obs.Counter
+	ctrStalls           *obs.Counter
+}
+
+// New starts a fleet: one actor goroutine per device (each boots its device
+// on that goroutine) plus the watchdog. Stop it with Stop.
+func New(opt Options) *Fleet {
+	opt = opt.withDefaults()
+	f := &Fleet{
+		opt:    opt,
+		clock:  opt.Clock,
+		reg:    obs.NewRegistry(),
+		stop:   make(chan struct{}),
+		wdDone: make(chan struct{}),
+	}
+	if opt.Backoff != nil {
+		f.bo = *opt.Backoff
+	} else {
+		f.bo = DefaultBackoff(uint64(opt.Seed))
+	}
+	// Resolve every fleet instrument up front, then bind the registry:
+	// actors only update resolved counters (atomics, legal from anywhere);
+	// any later cross-goroutine wiring is a bug the guard catches.
+	f.ctrOpsOK = f.reg.Counter(MetricOpsOK)
+	f.ctrOpsFailed = f.reg.Counter(MetricOpsFailed)
+	f.ctrRetries = f.reg.Counter(MetricRetries)
+	f.ctrSheds = f.reg.Counter(MetricSheds)
+	f.ctrExecs = f.reg.Counter(MetricExecs)
+	f.ctrRestarts = f.reg.Counter(MetricRestarts)
+	f.ctrQuarantines = f.reg.Counter(MetricQuarantines)
+	f.ctrRecoveries = f.reg.Counter(MetricRecoveryReboots)
+	f.ctrDrills = f.reg.Counter(MetricRebootDrills)
+	f.ctrCryptoDowngrades = f.reg.Counter(MetricCryptoDowngrades)
+	f.ctrBgDowngrades = f.reg.Counter(MetricBgDowngrades)
+	f.ctrStalls = f.reg.Counter(MetricStalls)
+	f.reg.BindOwner()
+
+	f.actors = make([]*actor, opt.Devices)
+	for i := range f.actors {
+		f.actors[i] = newActor(f, i)
+		go f.actors[i].run()
+	}
+	go f.watchdog()
+	return f
+}
+
+// Metrics returns the fleet's registry.
+func (f *Fleet) Metrics() *obs.Registry { return f.reg }
+
+// Devices returns the hosted device count.
+func (f *Fleet) Devices() int { return len(f.actors) }
+
+// Do executes op against device id: it imposes a deadline if ctx has none,
+// gates on the device's circuit breaker, and retries transient failures
+// with backed-off, deterministically jittered delays. It returns the op's
+// value, the operation id (the handle the device ledger records), and the
+// final error.
+//
+// Operation ids are allocated per device ((id+1)<<40 | n), not fleet-wide:
+// a device driven by one client at a time then numbers its ops identically
+// run after run, regardless of how the other devices' traffic interleaves —
+// the property the soak harness's ledger audit and determinism check rest on.
+func (f *Fleet) Do(ctx context.Context, id int, op Op) (any, uint64, error) {
+	if id < 0 || id >= len(f.actors) {
+		f.ctrOpsFailed.Inc()
+		return nil, 0, fmt.Errorf("fleet: device %d: %w", id, ErrUnknownDevice)
+	}
+	a := f.actors[id]
+	opID := uint64(id+1)<<40 | a.nextOp.Add(1)
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.opt.DefaultTimeout)
+		defer cancel()
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			f.ctrOpsFailed.Inc()
+			return nil, opID, err
+		}
+		val, err := f.try(ctx, a, op, opID)
+		if err == nil {
+			f.ctrOpsOK.Inc()
+			return val, opID, nil
+		}
+		lastErr = err
+		if !Transient(err) {
+			f.ctrOpsFailed.Inc()
+			return nil, opID, err
+		}
+		if attempt >= f.opt.MaxAttempts {
+			break
+		}
+		f.ctrRetries.Inc()
+		select {
+		case <-ctx.Done():
+			f.ctrOpsFailed.Inc()
+			return nil, opID, ctx.Err()
+		case <-f.clock.After(f.bo.Delay(opID, attempt)):
+		}
+	}
+	f.ctrOpsFailed.Inc()
+	return nil, opID, fmt.Errorf("fleet: device %d: giving up after %d attempts: %w",
+		id, f.opt.MaxAttempts, lastErr)
+}
+
+// try is one attempt: quarantine fast-path, breaker gate, actor call,
+// breaker outcome.
+func (f *Fleet) try(ctx context.Context, a *actor, op Op, opID uint64) (any, error) {
+	if a.quarantined.Load() {
+		return nil, fmt.Errorf("fleet: device %d: %w", a.id, ErrQuarantined)
+	}
+	if err := a.brk.Allow(); err != nil {
+		return nil, err
+	}
+	val, err := a.call(ctx, op, opID)
+	a.brk.Record(!healthFailure(err))
+	return val, err
+}
+
+// healthFailure decides which outcomes the breaker counts against the
+// device. Domain errors (wrong PIN, locked screen) are healthy responses;
+// restarts, quarantines, sheds, and blown deadlines indict the device.
+func healthFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrDeviceRestarted) ||
+		errors.Is(err, ErrQuarantined) ||
+		errors.Is(err, ErrShed) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// watchdog periodically scans for actors stuck inside one request longer
+// than the stall threshold.
+func (f *Fleet) watchdog() {
+	defer close(f.wdDone)
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-f.clock.After(f.opt.WatchdogEvery):
+		}
+		now := f.clock.Now().UnixNano()
+		for _, a := range f.actors {
+			since := a.busySince.Load()
+			if since != 0 && now-since > int64(f.opt.StallTimeout) {
+				if a.stalled.CompareAndSwap(false, true) {
+					f.ctrStalls.Inc()
+				}
+			} else if since == 0 {
+				a.stalled.Store(false)
+			}
+		}
+	}
+}
+
+// Stop shuts the fleet down: actors drain their mailboxes (pending requests
+// fail with ErrShutdown) and exit; the watchdog exits. Idempotent.
+func (f *Fleet) Stop() {
+	f.stopOnce.Do(func() {
+		f.stopped.Store(true)
+		close(f.stop)
+		for _, a := range f.actors {
+			// Wake the actor in case it is idle in select.
+			select {
+			case a.mbox.ready <- struct{}{}:
+			default:
+			}
+			<-a.done
+		}
+		<-f.wdDone
+	})
+}
+
+// DeviceHealth is one device's probe view.
+type DeviceHealth struct {
+	ID          int          `json:"id"`
+	Quarantined bool         `json:"quarantined"`
+	Stalled     bool         `json:"stalled"`
+	Breaker     BreakerState `json:"-"`
+	BreakerStr  string       `json:"breaker"`
+	Boots       int64        `json:"boots"`
+	Restarts    int64        `json:"restarts"`
+	Queue       int          `json:"queue"`
+}
+
+// Health reports every device's probe view.
+func (f *Fleet) Health() []DeviceHealth {
+	out := make([]DeviceHealth, len(f.actors))
+	for i, a := range f.actors {
+		st := a.brk.State()
+		out[i] = DeviceHealth{
+			ID:          a.id,
+			Quarantined: a.quarantined.Load(),
+			Stalled:     a.stalled.Load(),
+			Breaker:     st,
+			BreakerStr:  st.String(),
+			Boots:       a.boots.Load(),
+			Restarts:    a.restarts.Load(),
+			Queue:       a.mbox.len(),
+		}
+	}
+	return out
+}
+
+// Ready is the readiness probe: the fleet accepts traffic and at least one
+// device is serving (not quarantined, not stalled).
+func (f *Fleet) Ready() bool {
+	if f.stopped.Load() {
+		return false
+	}
+	for _, a := range f.actors {
+		if !a.quarantined.Load() && !a.stalled.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// Ledger returns a copy of device id's sequence ledger. Meaningful once the
+// device is idle (ordinarily after Stop).
+func (f *Fleet) Ledger(id int) []LedgerEntry {
+	if id < 0 || id >= len(f.actors) {
+		return nil
+	}
+	a := f.actors[id]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]LedgerEntry(nil), a.ledger...)
+}
+
+// RestartCauses returns the recorded cause of every fault-caused restart
+// (and quarantine) of device id.
+func (f *Fleet) RestartCauses(id int) []string {
+	if id < 0 || id >= len(f.actors) {
+		return nil
+	}
+	a := f.actors[id]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.causes...)
+}
+
+// BreakerTrips sums breaker trips across devices.
+func (f *Fleet) BreakerTrips() uint64 {
+	var n uint64
+	for _, a := range f.actors {
+		n += a.brk.Trips()
+	}
+	return n
+}
+
+// SweepConfidentiality runs the end-of-run invariant scan on every device
+// (lock, scan live clauses, cut power, post-mortem clauses) and returns all
+// violations recorded during and after the run. Call only after Stop.
+func (f *Fleet) SweepConfidentiality() []string {
+	if !f.stopped.Load() {
+		panic("fleet: SweepConfidentiality before Stop")
+	}
+	var out []string
+	for _, a := range f.actors {
+		a.sweep()
+		a.mu.Lock()
+		out = append(out, a.violations...)
+		a.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,591 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sentry/internal/kernel"
+	"sentry/internal/onsoc"
+)
+
+// instantBackoff removes real sleeps from retry loops in tests.
+var instantBackoff = Backoff{Base: 1, Cap: 1, Jitter: 0}
+
+func TestTransientClassifier(t *testing.T) {
+	wrap := func(err error) error { return fmt.Errorf("layer: %w", err) }
+	cases := []struct {
+		err       error
+		transient bool
+	}{
+		{nil, false},
+		{kernel.ErrBadPIN, false},
+		{wrap(kernel.ErrBadPIN), false},
+		{ErrQuarantined, false},
+		{ErrShutdown, false},
+		{ErrUnknownDevice, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{errors.New("mystery"), false}, // unknown errors are not retried
+		{kernel.ErrLocked, true},
+		{wrap(kernel.ErrLocked), true},
+		{ErrShed, true},
+		{ErrCircuitOpen, true},
+		{ErrDeviceRestarted, true},
+		{wrap(ErrDeviceRestarted), true},
+		{onsoc.ErrIRAMExhausted, true},
+		{kernel.ErrNoMemory, true},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.transient {
+			t.Errorf("Transient(%v) = %v, want %v", c.err, got, c.transient)
+		}
+		wantPerm := c.err != nil && !c.transient
+		if got := Permanent(c.err); got != wantPerm {
+			t.Errorf("Permanent(%v) = %v, want %v", c.err, got, wantPerm)
+		}
+	}
+}
+
+func TestMailboxPriorityAndShed(t *testing.T) {
+	m := newMailbox(2)
+	mk := func(code OpCode) *request {
+		return &request{op: Op{Code: code}, reply: make(chan result, 1)}
+	}
+	low, norm := mk(OpPing), mk(OpTouch)
+	if _, err := m.push(low, PrioLow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.push(norm, PrioNormal); err != nil {
+		t.Fatal(err)
+	}
+	// Full. A high push steals the youngest lowest-priority entry (low).
+	high := mk(OpLock)
+	shedded, err := m.push(high, PrioHigh)
+	if err != nil || !shedded {
+		t.Fatalf("high push: shedded=%v err=%v, want true,nil", shedded, err)
+	}
+	select {
+	case res := <-low.reply:
+		if !errors.Is(res.err, ErrShed) {
+			t.Fatalf("victim error = %v, want ErrShed", res.err)
+		}
+	default:
+		t.Fatal("victim not completed with ErrShed")
+	}
+	// A low push into a full queue of higher-priority work sheds itself.
+	if _, err := m.push(mk(OpPing), PrioLow); !errors.Is(err, ErrShed) {
+		t.Fatalf("low push into full queue = %v, want ErrShed", err)
+	}
+	// Pop order: priority first, FIFO within.
+	if r := m.pop(); r != high {
+		t.Fatal("pop did not return the high-priority request first")
+	}
+	if r := m.pop(); r != norm {
+		t.Fatal("pop did not return the normal request second")
+	}
+	// Close fails later pushes and returns what is queued.
+	m.push(mk(OpPing), PrioLow)
+	pending := m.close(ErrShutdown)
+	if len(pending) != 1 {
+		t.Fatalf("close returned %d pending, want 1", len(pending))
+	}
+	if _, err := m.push(mk(OpPing), PrioLow); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("push after close = %v, want ErrShutdown", err)
+	}
+}
+
+func TestDoRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	f := New(Options{
+		Devices: 1, Seed: 5, MaxAttempts: 4, Backoff: &instantBackoff,
+		testExec: func(a *actor, op Op) (bool, any, error) {
+			if calls.Add(1) < 3 {
+				return true, nil, fmt.Errorf("flaky: %w", ErrDeviceRestarted)
+			}
+			return true, "ok", nil
+		},
+	})
+	defer f.Stop()
+
+	val, _, err := f.Do(context.Background(), 0, Op{Code: OpTouch})
+	if err != nil {
+		t.Fatalf("Do = %v, want success on third attempt", err)
+	}
+	if val != "ok" {
+		t.Fatalf("val = %v, want ok", val)
+	}
+	if n := f.Metrics().CounterValue(MetricRetries); n != 2 {
+		t.Fatalf("retries = %d, want 2", n)
+	}
+	if n := f.Metrics().CounterValue(MetricOpsOK); n != 1 {
+		t.Fatalf("ops_ok = %d, want 1", n)
+	}
+}
+
+func TestDoNeverRetriesPermanentFailures(t *testing.T) {
+	var calls atomic.Int64
+	f := New(Options{
+		Devices: 1, Seed: 5, MaxAttempts: 4, Backoff: &instantBackoff,
+		testExec: func(a *actor, op Op) (bool, any, error) {
+			calls.Add(1)
+			return true, nil, fmt.Errorf("auth: %w", kernel.ErrBadPIN)
+		},
+	})
+	defer f.Stop()
+
+	_, _, err := f.Do(context.Background(), 0, Op{Code: OpUnlock})
+	if !errors.Is(err, kernel.ErrBadPIN) {
+		t.Fatalf("Do = %v, want ErrBadPIN", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("exec ran %d times for a permanent error, want 1", n)
+	}
+	if n := f.Metrics().CounterValue(MetricRetries); n != 0 {
+		t.Fatalf("retries = %d, want 0", n)
+	}
+}
+
+func TestDoUnknownDevice(t *testing.T) {
+	f := New(Options{Devices: 1, Seed: 5})
+	defer f.Stop()
+	_, _, err := f.Do(context.Background(), 7, Op{Code: OpPing})
+	if !errors.Is(err, ErrUnknownDevice) {
+		t.Fatalf("Do(7) = %v, want ErrUnknownDevice", err)
+	}
+}
+
+// A saturated mailbox sheds the lowest-priority queued request in favour of
+// higher-priority arrivals.
+func TestOverloadShedsLowestPriority(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	f := New(Options{
+		Devices: 1, Seed: 5, MailboxCap: 2, MaxAttempts: 1, Backoff: &instantBackoff,
+		testExec: func(a *actor, op Op) (bool, any, error) {
+			if op.Code == OpRebootDrill { // the blocker occupying the actor
+				started <- struct{}{}
+				<-block
+			}
+			return true, "ok", nil
+		},
+	})
+	defer f.Stop()
+
+	go f.Do(context.Background(), 0, Op{Code: OpRebootDrill, Prio: PrioHigh})
+	<-started
+
+	// Two low-priority requests fill the mailbox while the actor is busy.
+	var wg sync.WaitGroup
+	lowErrs := make([]error, 2)
+	for i := range lowErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, lowErrs[i] = f.Do(context.Background(), 0, Op{Code: OpPing, Prio: PrioLow})
+		}(i)
+	}
+	waitFor(t, func() bool { return f.actors[0].mbox.len() == 2 })
+
+	// A high-priority request must get in; one low request goes overboard.
+	// The shed happens synchronously inside the push, before the actor is
+	// released.
+	highErr := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(context.Background(), 0, Op{Code: OpLock, Prio: PrioHigh})
+		highErr <- err
+	}()
+	waitFor(t, func() bool { return f.Metrics().CounterValue(MetricSheds) == 1 })
+	close(block)
+	if err := <-highErr; err != nil {
+		t.Fatalf("high-priority Do = %v, want success", err)
+	}
+	wg.Wait()
+
+	sheds := 0
+	for _, e := range lowErrs {
+		if errors.Is(e, ErrShed) {
+			sheds++
+		} else if e != nil {
+			t.Fatalf("low-priority Do = %v, want nil or ErrShed", e)
+		}
+	}
+	if sheds != 1 {
+		t.Fatalf("%d low requests shed, want exactly 1", sheds)
+	}
+	if n := f.Metrics().CounterValue(MetricSheds); n != 1 {
+		t.Fatalf("sheds counter = %d, want 1", n)
+	}
+}
+
+// A panicking device is restarted through the cold-boot path until the
+// restart budget runs out, then quarantined.
+func TestPanicIsolationAndQuarantine(t *testing.T) {
+	f := New(Options{
+		Devices: 1, Seed: 5, MaxAttempts: 1, RestartBudget: 2, Backoff: &instantBackoff,
+		testExec: func(a *actor, op Op) (bool, any, error) {
+			if op.Arg == 666 {
+				panic("boom")
+			}
+			return false, nil, nil // fall through to the real device
+		},
+	})
+	defer f.Stop()
+
+	crash := Op{Code: OpTouch, Arg: 666}
+	for i := 0; i < 2; i++ {
+		_, _, err := f.Do(context.Background(), 0, crash)
+		if !errors.Is(err, ErrDeviceRestarted) {
+			t.Fatalf("crash %d: err = %v, want ErrDeviceRestarted", i+1, err)
+		}
+	}
+	// Between crashes the freshly booted device still serves real traffic.
+	if _, _, err := f.Do(context.Background(), 0, Op{Code: OpPing}); err != nil {
+		t.Fatalf("ping after restart: %v", err)
+	}
+
+	// Third crash exceeds the budget: quarantine.
+	_, _, err := f.Do(context.Background(), 0, crash)
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("third crash: err = %v, want ErrQuarantined", err)
+	}
+	// And the quarantine is sticky, even for innocent requests.
+	_, _, err = f.Do(context.Background(), 0, Op{Code: OpPing})
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("post-quarantine ping: err = %v, want ErrQuarantined", err)
+	}
+
+	h := f.Health()[0]
+	if !h.Quarantined {
+		t.Fatal("health does not report quarantine")
+	}
+	if f.Ready() {
+		t.Fatal("fleet with every device quarantined reports ready")
+	}
+	causes := f.RestartCauses(0)
+	if len(causes) != 3 {
+		t.Fatalf("causes = %v, want 3 entries", causes)
+	}
+	for _, c := range causes {
+		if c != "panic: boom" {
+			t.Fatalf("cause = %q, want panic: boom", c)
+		}
+	}
+	if n := f.Metrics().CounterValue(MetricRestarts); n != 3 {
+		t.Fatalf("restarts = %d, want 3", n)
+	}
+	if n := f.Metrics().CounterValue(MetricQuarantines); n != 1 {
+		t.Fatalf("quarantines = %d, want 1", n)
+	}
+}
+
+// Every request has a deadline, and a blown deadline is not retried.
+func TestDeadlineExceeded(t *testing.T) {
+	block := make(chan struct{})
+	f := New(Options{
+		Devices: 1, Seed: 5, MaxAttempts: 4, Backoff: &instantBackoff,
+		testExec: func(a *actor, op Op) (bool, any, error) {
+			<-block
+			return true, "ok", nil
+		},
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, _, err := f.Do(ctx, 0, Op{Code: OpTouch})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want DeadlineExceeded", err)
+	}
+	if n := f.Metrics().CounterValue(MetricRetries); n != 0 {
+		t.Fatalf("a blown deadline was retried %d times", n)
+	}
+	close(block)
+	f.Stop()
+}
+
+// Repeated health failures trip the device's breaker; once open, requests
+// are rejected without touching the actor.
+func TestBreakerTripsOnHealthFailures(t *testing.T) {
+	f := New(Options{
+		Devices: 1, Seed: 5, MaxAttempts: 1, Backoff: &instantBackoff,
+		Breaker: BreakerConfig{Window: 3, MinSamples: 3, FailureRate: 1, OpenFor: time.Hour, HalfOpenProbes: 1},
+		testExec: func(a *actor, op Op) (bool, any, error) {
+			if op.Code == OpTouch {
+				return true, nil, fmt.Errorf("dying: %w", ErrDeviceRestarted)
+			}
+			return true, "ok", nil
+		},
+	})
+	defer f.Stop()
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := f.Do(context.Background(), 0, Op{Code: OpTouch}); !errors.Is(err, ErrDeviceRestarted) {
+			t.Fatalf("failure %d: %v", i, err)
+		}
+	}
+	execsBefore := f.Metrics().CounterValue(MetricExecs)
+	_, _, err := f.Do(context.Background(), 0, Op{Code: OpTouch})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Do with open breaker = %v, want ErrCircuitOpen", err)
+	}
+	if got := f.Metrics().CounterValue(MetricExecs); got != execsBefore {
+		t.Fatalf("open breaker still executed the request (%d → %d)", execsBefore, got)
+	}
+	if f.BreakerTrips() != 1 {
+		t.Fatalf("trips = %d, want 1", f.BreakerTrips())
+	}
+	if st := f.Health()[0].BreakerStr; st != "open" {
+		t.Fatalf("health breaker = %q, want open", st)
+	}
+}
+
+// Domain errors — wrong PIN, locked screen — are healthy responses and must
+// not trip the breaker.
+func TestBreakerIgnoresDomainErrors(t *testing.T) {
+	f := New(Options{
+		Devices: 1, Seed: 5, MaxAttempts: 1, Backoff: &instantBackoff,
+		Breaker: BreakerConfig{Window: 3, MinSamples: 3, FailureRate: 1, OpenFor: time.Hour, HalfOpenProbes: 1},
+		testExec: func(a *actor, op Op) (bool, any, error) {
+			return true, nil, fmt.Errorf("auth: %w", kernel.ErrBadPIN)
+		},
+	})
+	defer f.Stop()
+	for i := 0; i < 6; i++ {
+		f.Do(context.Background(), 0, Op{Code: OpUnlock})
+	}
+	if st := f.actors[0].brk.State(); st != BreakerClosed {
+		t.Fatalf("breaker = %v after domain errors, want closed", st)
+	}
+}
+
+// iRAM exhaustion degrades gracefully: disk crypto falls back to the
+// DRAM-arena provider and pinned background pools to locked-way sessions,
+// each downgrade counted — and the device keeps serving.
+func TestGracefulDegradationUnderIRAMPressure(t *testing.T) {
+	f := New(Options{Devices: 1, Seed: 5, SqueezeEvery: 1, Backoff: &instantBackoff})
+	defer f.Stop()
+
+	ctx := context.Background()
+	// The degraded disk still works. (Any completed op also proves the boot
+	// finished, so the downgrade counter is stable afterwards.)
+	if _, _, err := f.Do(ctx, 0, Op{Code: OpDiskWrite, Arg: 5}); err != nil {
+		t.Fatalf("disk write on degraded crypto: %v", err)
+	}
+	if n := f.Metrics().CounterValue(MetricCryptoDowngrades); n != 1 {
+		t.Fatalf("crypto_downgrades = %d, want 1 (squeezed boot)", n)
+	}
+	if _, _, err := f.Do(ctx, 0, Op{Code: OpDiskRead, Arg: 5}); err != nil {
+		t.Fatalf("disk read on degraded crypto: %v", err)
+	}
+	// Pinned background sessions degrade to locked-way sessions.
+	if _, _, err := f.Do(ctx, 0, Op{Code: OpLock, Prio: PrioHigh}); err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	val, _, err := f.Do(ctx, 0, Op{Code: OpBgPinned})
+	if err != nil {
+		t.Fatalf("bg-pinned on squeezed device: %v", err)
+	}
+	if val != "bg-pinned-downgraded" {
+		t.Fatalf("bg-pinned val = %v, want bg-pinned-downgraded", val)
+	}
+	if n := f.Metrics().CounterValue(MetricBgDowngrades); n != 1 {
+		t.Fatalf("bg_downgrades = %d, want 1", n)
+	}
+	if _, _, err := f.Do(ctx, 0, Op{Code: OpBgTouch, Arg: 3}); err != nil {
+		t.Fatalf("bg touch on downgraded session: %v", err)
+	}
+}
+
+// Without pressure, the preferred paths are used and nothing downgrades.
+func TestNoDowngradeWithoutPressure(t *testing.T) {
+	f := New(Options{Devices: 1, Seed: 5, Backoff: &instantBackoff})
+	defer f.Stop()
+	ctx := context.Background()
+	if _, _, err := f.Do(ctx, 0, Op{Code: OpLock, Prio: PrioHigh}); err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	val, _, err := f.Do(ctx, 0, Op{Code: OpBgPinned})
+	if err != nil || val != "bg-pinned" {
+		t.Fatalf("bg-pinned = %v, %v; want bg-pinned, nil", val, err)
+	}
+	reg := f.Metrics()
+	if n := reg.CounterValue(MetricCryptoDowngrades) + reg.CounterValue(MetricBgDowngrades); n != 0 {
+		t.Fatalf("downgrades without pressure: %d", n)
+	}
+}
+
+// Five wrong PINs deep-lock the device; the actor recovers it with a
+// planned reboot instead of leaving it bricked.
+func TestDeepLockRecovery(t *testing.T) {
+	f := New(Options{Devices: 1, Seed: 5, Backoff: &instantBackoff})
+	defer f.Stop()
+	ctx := context.Background()
+	if _, _, err := f.Do(ctx, 0, Op{Code: OpLock, Prio: PrioHigh}); err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	for i := 0; i < kernel.MaxPINAttempts-1; i++ {
+		_, _, err := f.Do(ctx, 0, Op{Code: OpBadPIN, Prio: PrioHigh})
+		if !errors.Is(err, kernel.ErrBadPIN) {
+			t.Fatalf("bad PIN %d: err = %v, want ErrBadPIN (and no retry)", i+1, err)
+		}
+	}
+	// The fifth wrong PIN deep-locks; the actor reboots, the retry lands on
+	// the fresh (unlocked) device where a wrong PIN is a no-op.
+	if _, _, err := f.Do(ctx, 0, Op{Code: OpBadPIN, Prio: PrioHigh}); err != nil {
+		t.Fatalf("deep-locking PIN attempt: %v, want recovery + success", err)
+	}
+	if n := f.Metrics().CounterValue(MetricRecoveryReboots); n != 1 {
+		t.Fatalf("recovery_reboots = %d, want 1", n)
+	}
+	if b := f.Health()[0].Boots; b != 2 {
+		t.Fatalf("boots = %d, want 2", b)
+	}
+	// Recovered device serves normally.
+	if _, _, err := f.Do(ctx, 0, Op{Code: OpTouch, Arg: 1}); err != nil {
+		t.Fatalf("touch after recovery: %v", err)
+	}
+}
+
+// The watchdog flags an actor stuck in one request, on a fake clock with no
+// wall sleeps in the assertions.
+func TestWatchdogFlagsStalledActor(t *testing.T) {
+	clk := NewFakeClock()
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	f := New(Options{
+		Devices: 1, Seed: 5, Clock: clk,
+		StallTimeout: 2 * time.Second, WatchdogEvery: 250 * time.Millisecond,
+		Backoff: &instantBackoff,
+		testExec: func(a *actor, op Op) (bool, any, error) {
+			if op.Code == OpRebootDrill {
+				started <- struct{}{}
+				<-block
+			}
+			return true, "ok", nil
+		},
+	})
+
+	go f.Do(context.Background(), 0, Op{Code: OpRebootDrill})
+	<-started
+
+	// March fake time forward; the watchdog needs StallTimeout to elapse and
+	// one of its scan timers to fire after that.
+	waitFor(t, func() bool {
+		clk.Advance(250 * time.Millisecond)
+		return f.actors[0].stalled.Load()
+	})
+	if n := f.Metrics().CounterValue(MetricStalls); n != 1 {
+		t.Fatalf("stalls = %d, want 1", n)
+	}
+	if !f.Health()[0].Stalled {
+		t.Fatal("health does not report the stall")
+	}
+	if f.Ready() {
+		t.Fatal("fleet with its only device stalled reports ready")
+	}
+
+	// Unstick the actor; the watchdog clears the flag.
+	close(block)
+	waitFor(t, func() bool {
+		clk.Advance(250 * time.Millisecond)
+		return !f.actors[0].stalled.Load()
+	})
+	f.Stop()
+	if f.Ready() {
+		t.Fatal("stopped fleet reports ready")
+	}
+}
+
+// The per-device sequence ledger stays contiguous across restarts.
+func TestLedgerContiguousAcrossRestart(t *testing.T) {
+	var calls atomic.Int64
+	f := New(Options{
+		Devices: 1, Seed: 5, MaxAttempts: 1, RestartBudget: 10, Backoff: &instantBackoff,
+		testExec: func(a *actor, op Op) (bool, any, error) {
+			if op.Arg == 666 && calls.Add(1) == 3 {
+				panic("mid-run crash")
+			}
+			return false, nil, nil
+		},
+	})
+	ctx := context.Background()
+	var recs []clientRec
+	for i := 0; i < 6; i++ {
+		_, opID, err := f.Do(ctx, 0, Op{Code: OpTouch, Arg: 666})
+		recs = append(recs, clientRec{opID: opID, code: OpTouch, ok: err == nil, class: failureClass(err)})
+	}
+	f.Stop()
+
+	ledger := f.Ledger(0)
+	if len(ledger) != 6 {
+		t.Fatalf("ledger has %d entries, want 6", len(ledger))
+	}
+	var last uint64
+	succ := 0
+	for _, e := range ledger {
+		if e.Seq == 0 {
+			continue
+		}
+		succ++
+		if e.Seq != last+1 {
+			t.Fatalf("seq gap: %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+	}
+	if succ != 5 {
+		t.Fatalf("%d successes, want 5 (one crash)", succ)
+	}
+	if probs := auditLedger(0, ledger, recs); len(probs) != 0 {
+		t.Fatalf("auditLedger found problems in a clean ledger: %v", probs)
+	}
+}
+
+// Stop drains queued requests with ErrShutdown instead of dropping them.
+func TestStopDrainsWithShutdownError(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	f := New(Options{
+		Devices: 1, Seed: 5, MailboxCap: 8, MaxAttempts: 1, Backoff: &instantBackoff,
+		testExec: func(a *actor, op Op) (bool, any, error) {
+			if op.Code == OpRebootDrill {
+				started <- struct{}{}
+				<-block
+			}
+			return true, "ok", nil
+		},
+	})
+	go f.Do(context.Background(), 0, Op{Code: OpRebootDrill})
+	<-started
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := f.Do(context.Background(), 0, Op{Code: OpPing})
+		errCh <- err
+	}()
+	waitFor(t, func() bool { return f.actors[0].mbox.len() == 1 })
+	close(block)
+	f.Stop()
+	if err := <-errCh; err != nil && !errors.Is(err, ErrShutdown) {
+		t.Fatalf("queued request after Stop = %v, want nil or ErrShutdown", err)
+	}
+	// New requests after Stop fail fast.
+	if _, _, err := f.Do(context.Background(), 0, Op{Code: OpPing}); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Do after Stop = %v, want ErrShutdown", err)
+	}
+}
+
+// waitFor polls cond (with a scheduling pause) until it holds or the test
+// deadline budget runs out.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,145 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+)
+
+// Request priorities. Lower value = more important. Lock/unlock traffic
+// rides high (it is what the confidentiality guarantee hangs on), data-path
+// ops ride normal, health pings ride low and are the first to go overboard.
+const (
+	PrioHigh   = 0
+	PrioNormal = 1
+	PrioLow    = 2
+	numPrios   = 3
+)
+
+func clampPrio(p int) int {
+	if p < PrioHigh || p >= numPrios {
+		return PrioNormal
+	}
+	return p
+}
+
+// result is what an actor replies with.
+type result struct {
+	val any
+	err error
+}
+
+// request is one mailbox entry. reply is buffered (capacity 1) so the actor
+// never blocks on a caller that gave up.
+type request struct {
+	op    Op
+	ctx   context.Context
+	opID  uint64
+	reply chan result
+}
+
+// mailbox is the bounded, prioritised queue in front of each device actor.
+// When full, an incoming request sheds the youngest queued request of the
+// lowest priority class below its own; if nothing queued is less important,
+// the incoming request itself is shed. Shedding completes the victim with
+// ErrShed — callers see a typed, retryable overload signal instead of an
+// unbounded queue.
+type mailbox struct {
+	mu       sync.Mutex
+	capacity int
+	qs       [numPrios][]*request
+	n        int
+	closed   error // non-nil once closed; pushes fail with it
+
+	// ready wakes the actor; capacity 1 so signals coalesce.
+	ready chan struct{}
+}
+
+func newMailbox(capacity int) *mailbox {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &mailbox{capacity: capacity, ready: make(chan struct{}, 1)}
+}
+
+// push enqueues r at prio. It returns ErrShed if r itself was shed, the
+// close error after close, and nil otherwise. shedded reports any victim
+// request that was dropped to make room (already completed with ErrShed).
+func (m *mailbox) push(r *request, prio int) (shedded bool, err error) {
+	prio = clampPrio(prio)
+	m.mu.Lock()
+	if m.closed != nil {
+		err := m.closed
+		m.mu.Unlock()
+		return false, err
+	}
+	if m.n >= m.capacity {
+		victim := m.stealBelow(prio)
+		if victim == nil {
+			m.mu.Unlock()
+			return false, ErrShed
+		}
+		victim.reply <- result{err: ErrShed}
+		shedded = true
+	}
+	m.qs[prio] = append(m.qs[prio], r)
+	m.n++
+	m.mu.Unlock()
+	select {
+	case m.ready <- struct{}{}:
+	default:
+	}
+	return shedded, nil
+}
+
+// stealBelow removes and returns the youngest request of the lowest
+// priority class strictly below prio, or nil if every queued request is at
+// least as important.
+func (m *mailbox) stealBelow(prio int) *request {
+	for p := numPrios - 1; p > prio; p-- {
+		if q := m.qs[p]; len(q) > 0 {
+			victim := q[len(q)-1]
+			m.qs[p] = q[:len(q)-1]
+			m.n--
+			return victim
+		}
+	}
+	return nil
+}
+
+// pop dequeues the oldest request of the highest non-empty priority, nil
+// when empty.
+func (m *mailbox) pop() *request {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := 0; p < numPrios; p++ {
+		if q := m.qs[p]; len(q) > 0 {
+			r := q[0]
+			m.qs[p] = q[1:]
+			m.n--
+			return r
+		}
+	}
+	return nil
+}
+
+// len reports the queued request count.
+func (m *mailbox) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// close marks the mailbox closed (pushes fail with err from now on) and
+// returns every still-queued request for the caller to fail.
+func (m *mailbox) close(err error) []*request {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = err
+	var pending []*request
+	for p := 0; p < numPrios; p++ {
+		pending = append(pending, m.qs[p]...)
+		m.qs[p] = nil
+	}
+	m.n = 0
+	return pending
+}

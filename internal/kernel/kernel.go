@@ -24,6 +24,10 @@ var (
 	// ErrLocked reports an operation the current lock state forbids (an
 	// unlock attempt while deep-locked, background work while unlocked, ...).
 	ErrLocked = errors.New("kernel: lock state forbids this operation")
+	// ErrNoMemory reports physical-frame exhaustion. Unlike ErrLocked it is
+	// not retryable on an otherwise-idle device: memory comes back only when
+	// something frees pages. Test with errors.Is.
+	ErrNoMemory = errors.New("kernel: out of physical memory")
 )
 
 // LockState is the device lock state machine.
@@ -528,7 +532,7 @@ func (a *PageAllocator) Alloc() (mem.PhysAddr, error) {
 		return f, nil
 	}
 	if a.next+mem.PageSize > a.limit {
-		return 0, fmt.Errorf("kernel: out of physical memory")
+		return 0, fmt.Errorf("%w: frame allocator at limit %#x", ErrNoMemory, uint64(a.limit))
 	}
 	f := a.next
 	a.next += mem.PageSize
@@ -540,7 +544,7 @@ func (a *PageAllocator) Alloc() (mem.PhysAddr, error) {
 func (a *PageAllocator) AllocContig(n int) (mem.PhysAddr, error) {
 	need := mem.PhysAddr(n) * mem.PageSize
 	if a.next+need > a.limit {
-		return 0, fmt.Errorf("kernel: out of contiguous physical memory")
+		return 0, fmt.Errorf("%w: no %d contiguous frames", ErrNoMemory, n)
 	}
 	f := a.next
 	a.next += need

@@ -1,0 +1,63 @@
+//go:build debug || race
+
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// OwnerGuardEnabled reports whether the single-owner guard is compiled in.
+// It is true under `-tags debug` and under the race detector, where the
+// cost of a per-emit goroutine check is acceptable; release builds compile
+// the guard to nothing (see guard_off.go).
+const OwnerGuardEnabled = true
+
+// owner is the optional single-owner guard. A Tracer or Registry is
+// concurrency-safe at the memory level, but a *simulated platform* is not:
+// its clock, RNG and metrics projections assume one owner goroutine, so an
+// emit from a second goroutine means two devices (or a device and a
+// harness) are sharing instruments — a logic corruption the race detector
+// cannot see because every individual access is atomic. Binding an owner
+// turns that misuse into an immediate panic.
+type owner struct {
+	gid atomic.Uint64
+}
+
+func (o *owner) bind() { o.gid.Store(curGID()) }
+
+func (o *owner) unbind() { o.gid.Store(0) }
+
+func (o *owner) check(what string) {
+	want := o.gid.Load()
+	if want == 0 {
+		return
+	}
+	if g := curGID(); g != want {
+		panic(fmt.Sprintf(
+			"obs: %s used from goroutine %d but bound to owner goroutine %d — "+
+				"simulated platforms are single-owner (see PR 2's lock-elision contract); "+
+				"call BindOwner again after a deliberate ownership hand-off",
+			what, g, want))
+	}
+}
+
+// curGID parses the current goroutine id out of the runtime stack header
+// ("goroutine 123 [running]:"). Slow, but the guard only runs in debug and
+// race builds, and only for instruments explicitly bound to an owner.
+func curGID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := strings.TrimPrefix(string(buf[:n]), "goroutine ")
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	id, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		panic(fmt.Sprintf("obs: cannot parse goroutine id from %q", s))
+	}
+	return id
+}

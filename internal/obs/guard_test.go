@@ -1,0 +1,84 @@
+//go:build debug || race
+
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The single-owner guard only exists in debug and race builds, so these
+// tests carry the same build constraint; `make race` exercises them.
+
+func emitFromOtherGoroutine(t *Tracer) (panicked string) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = r.(string)
+			}
+		}()
+		t.Emit(Event{Kind: KindBusTxn})
+	}()
+	<-done
+	return panicked
+}
+
+func TestTracerOwnerGuard(t *testing.T) {
+	tr := NewTracer(8)
+
+	// Unbound: concurrent use stays legal.
+	if msg := emitFromOtherGoroutine(tr); msg != "" {
+		t.Fatalf("unbound tracer panicked: %s", msg)
+	}
+
+	tr.BindOwner()
+	tr.Emit(Event{Kind: KindBusTxn}) // owner emits fine
+	msg := emitFromOtherGoroutine(tr)
+	if msg == "" {
+		t.Fatalf("bound tracer accepted an emit from a foreign goroutine")
+	}
+	if !strings.Contains(msg, "single-owner") {
+		t.Fatalf("guard panic message unhelpful: %q", msg)
+	}
+
+	// Rebinding after a hand-off moves the guard; unbinding removes it.
+	tr.UnbindOwner()
+	if msg := emitFromOtherGoroutine(tr); msg != "" {
+		t.Fatalf("unbound tracer panicked after UnbindOwner: %s", msg)
+	}
+}
+
+func TestRegistryOwnerGuard(t *testing.T) {
+	reg := NewRegistry()
+	reg.BindOwner()
+	c := reg.Counter("ok") // owner resolves fine
+
+	done := make(chan string, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- r.(string)
+				return
+			}
+			done <- ""
+		}()
+		reg.Counter("cross-goroutine")
+	}()
+	if msg := <-done; msg == "" {
+		t.Fatalf("bound registry resolved an instrument from a foreign goroutine")
+	}
+
+	// Updates on already-resolved instruments stay legal from anywhere:
+	// the guard protects wiring, not the atomics.
+	upd := make(chan struct{})
+	go func() {
+		defer close(upd)
+		c.Add(1)
+	}()
+	<-upd
+	if c.Value() != 1 {
+		t.Fatalf("resolved counter update lost")
+	}
+}

@@ -213,11 +213,21 @@ func (h *Histogram) reset() {
 // A nil *Registry hands back nil instruments, which are themselves no-ops —
 // so `reg.Counter("x").Add(1)` is safe and near-free when observability is
 // off.
+//
+// Single-owner semantics: instrument *updates* (Counter.Add etc.) are
+// atomic and safe from anywhere, but a registry wired into a simulated
+// platform is part of that platform's single-owner world — its projections
+// (core.Stats, trace-derived reports) assume one goroutine drives the
+// device that feeds it. Hosts that own devices on dedicated goroutines
+// (internal/fleet) call BindOwner; in debug and race builds instrument
+// resolution from any other goroutine then panics with a diagnostic.
 type Registry struct {
 	mu    sync.Mutex
 	ctrs  map[string]*Counter
 	gaugs map[string]*Gauge
 	hists map[string]*Histogram
+
+	own owner // optional single-owner guard (debug/race builds only)
 }
 
 // NewRegistry returns an empty registry.
@@ -229,12 +239,31 @@ func NewRegistry() *Registry {
 	}
 }
 
+// BindOwner binds the registry to the calling goroutine: in debug and race
+// builds, instrument resolution (Counter/Gauge/Histogram) from any other
+// goroutine then panics. Resolved instruments stay safe to update from
+// anywhere — the guard protects the wiring, not the atomics. Call again
+// after a deliberate ownership hand-off; UnbindOwner removes the guard.
+func (r *Registry) BindOwner() {
+	if r != nil {
+		r.own.bind()
+	}
+}
+
+// UnbindOwner removes the owner binding, restoring unguarded use.
+func (r *Registry) UnbindOwner() {
+	if r != nil {
+		r.own.unbind()
+	}
+}
+
 // Counter returns the named counter, creating it on first use. Nil for a
 // nil registry.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.own.check("Registry")
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c := r.ctrs[name]
@@ -251,6 +280,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.own.check("Registry")
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g := r.gaugs[name]
@@ -268,6 +298,7 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.own.check("Registry")
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := r.hists[name]

@@ -147,6 +147,15 @@ type Sink interface {
 // "Lock-free-ish": the sequence counter and filter mask are atomics; only
 // the individual ring slot is briefly locked, so emitters contend only when
 // they collide on the same slot (ring-size apart in sequence).
+//
+// Single-owner semantics: although Emit is memory-safe under concurrency,
+// a tracer wired into a simulated platform inherits that platform's
+// single-owner contract — its Cycle stamps come from one unsynchronised
+// Clock, so interleaving two devices' emissions produces a trace that is
+// garbage even though no data race fired. Callers that host devices on
+// dedicated goroutines (internal/fleet) call BindOwner to enforce the
+// contract: in debug and race builds any Emit from a non-owner goroutine
+// panics with a diagnostic instead of silently corrupting the stream.
 type Tracer struct {
 	seq   atomic.Uint64 // next sequence number; also total admitted
 	mask  atomic.Uint64 // kind filter bitmask
@@ -154,6 +163,8 @@ type Tracer struct {
 
 	sinkMu sync.Mutex // serialises AddSink; Emit reads lock-free
 	slots  []slot     // len is a power of two
+
+	own owner // optional single-owner guard (debug/race builds only)
 }
 
 type slot struct {
@@ -223,12 +234,31 @@ func (t *Tracer) AddSink(s Sink) {
 	t.sinkMu.Unlock()
 }
 
+// BindOwner binds the tracer to the calling goroutine: in debug and race
+// builds, any later Emit from a different goroutine panics. Call it again
+// after a deliberate ownership hand-off (an actor restarting its device, a
+// harness reclaiming a quiescent one); UnbindOwner removes the guard. A
+// no-op in release builds and on a nil tracer.
+func (t *Tracer) BindOwner() {
+	if t != nil {
+		t.own.bind()
+	}
+}
+
+// UnbindOwner removes the owner binding, restoring unguarded concurrent use.
+func (t *Tracer) UnbindOwner() {
+	if t != nil {
+		t.own.unbind()
+	}
+}
+
 // Emit records an event. Safe on a nil tracer (no-op) and safe for
 // concurrent use. The Seq field of ev is assigned by the tracer.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
 	}
+	t.own.check("Tracer")
 	if t.mask.Load()&(1<<uint(ev.Kind)) == 0 {
 		return
 	}

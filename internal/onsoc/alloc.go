@@ -1,11 +1,19 @@
 package onsoc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"sentry/internal/mem"
 )
+
+// ErrIRAMExhausted reports that an iRAM allocation could not be satisfied.
+// It is a capacity condition, not a bug: callers holding releasable iRAM
+// (pinned background pools, per-volume crypto arenas) are expected to
+// degrade — the fleet layer falls back from AES On SoC to a DRAM-arena
+// provider and records the downgrade. Test with errors.Is.
+var ErrIRAMExhausted = errors.New("onsoc: iRAM exhausted")
 
 // IRAMAlloc is the "simple memory allocator that manages the 192 KB of
 // iRAM" from §4.5: a first-fit allocator over the usable (non-firmware)
@@ -51,7 +59,7 @@ func (a *IRAMAlloc) Alloc(n uint64) (mem.PhysAddr, error) {
 		cursor = b + mem.PhysAddr(a.inUse[b])
 	}
 	if uint64(cursor-a.base)+n > a.size {
-		return 0, fmt.Errorf("onsoc: iRAM exhausted: need %d bytes, %d free", n, a.Free())
+		return 0, fmt.Errorf("%w: need %d bytes, %d free", ErrIRAMExhausted, n, a.Free())
 	}
 	a.inUse[cursor] = n
 	return cursor, nil

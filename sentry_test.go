@@ -2,6 +2,8 @@ package sentry
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"testing"
 
 	"sentry/internal/blockdev"
@@ -211,5 +213,54 @@ func TestPinnedBackgroundViaFacade(t *testing.T) {
 	}
 	if dev.Stats().BgPageIns == 0 {
 		t.Fatal("pinned session never paged")
+	}
+}
+
+// TestSentinelErrorsSurviveWrapChains audits the %w chains behind the
+// facade's sentinel errors: every sentinel must stay errors.Is-testable
+// through the wraps real code paths add — plus one more layer, the wrap a
+// caller's own retry or logging code typically adds.
+func TestSentinelErrorsSurviveWrapChains(t *testing.T) {
+	t.Parallel()
+	_, errUnsupported := Open(Platform(99), "1234")
+
+	dev, err := NewTegra3(11, "2468", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := dev.LaunchBackground(Vlock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A background session on an unlocked device fails through the core
+	// layer's wrap of kernel.ErrLocked.
+	errLocked := dev.BeginBackground(app, 128)
+	dev.Lock()
+	errBadPIN := dev.Unlock("0000")
+
+	cases := []struct {
+		name     string
+		err      error
+		sentinel error
+		notAlso  error
+	}{
+		{"unknown platform", errUnsupported, ErrUnsupportedPlatform, ErrLocked},
+		{"bg session while unlocked", errLocked, ErrLocked, ErrBadPIN},
+		{"wrong PIN", errBadPIN, ErrBadPIN, ErrLocked},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Fatalf("%s: expected an error", c.name)
+		}
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%s: errors.Is(%v, sentinel) = false", c.name, c.err)
+		}
+		wrapped := fmt.Errorf("attempt 3 of 4: %w", c.err)
+		if !errors.Is(wrapped, c.sentinel) {
+			t.Errorf("%s: sentinel lost through one extra wrap: %v", c.name, wrapped)
+		}
+		if errors.Is(c.err, c.notAlso) {
+			t.Errorf("%s: %v spuriously matches %v", c.name, c.err, c.notAlso)
+		}
 	}
 }
