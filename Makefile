@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-guard bench-wallclock wallclock-guard check soak fuzz-smoke ci
+.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check soak fuzz-smoke ci
 
 all: ci
 
@@ -25,15 +25,32 @@ race:
 bench-guard:
 	$(GO) test -run '^$$' -bench 'BenchmarkTracerDisabled|BenchmarkNoEmitBaseline' -benchtime 2s ./internal/obs/
 
-# Re-record the evaluation suite's wall-clock costs. Run serially (-j 1) so
-# the record is comparable across machines with different core counts.
-bench-wallclock:
-	$(GO) run ./cmd/sentrybench -exp all -j 1 -wallclock BENCH_wallclock.json >/dev/null
-	@tail -n +2 BENCH_wallclock.json | head -3
+# Microbenchmarks: mem.Store COW, L2 fill, and checkpoint/fork cost. A fixed
+# iteration count (-benchtime 100x) keeps the run fast and deterministic in
+# shape; read the ns/op numbers comparatively, not absolutely.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 100x ./internal/mem/ ./internal/cache/ ./internal/check/
 
-# Fail if a full suite run is >25% slower than the checked-in record.
+# Re-record the evaluation suite's wall-clock costs: one serial run (-j 1,
+# comparable across machines), one worker-pool run (-j 0), and the
+# model-checker campaign. All three land in BENCH_wallclock.json.
+bench-wallclock:
+	$(GO) run ./cmd/sentrybench -exp all -j 1 -wallclock BENCH_wallclock.json | tail -1
+	$(GO) run ./cmd/sentrybench -exp all -j 0 -wallclock BENCH_wallclock.json | tail -1
+	$(GO) run ./cmd/sentrybench -check -seeds 256 -wallclock BENCH_wallclock.json | tail -1
+
+# Fail if a full suite run is >25% slower than the checked-in record, in
+# either the serial or the worker-pool configuration.
 wallclock-guard:
 	$(GO) run ./cmd/sentrybench -exp all -j 1 -wallclock-guard BENCH_wallclock.json | tail -1
+	$(GO) run ./cmd/sentrybench -exp all -j 0 -wallclock-guard BENCH_wallclock.json | tail -1
+
+# Fail if the model-checker campaign is >25% slower than the checked-in
+# record. The budget was recorded with the checkpoint/fork engine on, so a
+# regression in the snapshot fast path (or someone quietly disabling it)
+# blows this guard.
+snapshot-guard:
+	$(GO) run ./cmd/sentrybench -check -seeds 256 -wallclock-guard BENCH_wallclock.json | tail -1
 
 # Invariant model-checker: seeded campaigns against the defended system
 # (must stay clean) plus the three positive controls (must each shrink to a
@@ -59,4 +76,4 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzUnlockPIN -fuzztime 30s ./internal/kernel/
 	$(GO) test -fuzz FuzzColdbootScan -fuzztime 30s ./internal/attack/
 
-ci: vet build race bench-guard wallclock-guard check soak
+ci: vet build race bench-guard wallclock-guard snapshot-guard check soak

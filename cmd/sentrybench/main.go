@@ -7,10 +7,12 @@
 //	sentrybench -exp all                # run everything
 //	sentrybench -exp all -j 0           # ... on a GOMAXPROCS-wide worker pool
 //	sentrybench -exp fig2 -seed 7       # different simulation seed
-//	sentrybench -exp all -wallclock BENCH_wallclock.json        # record timings
+//	sentrybench -exp all -wallclock BENCH_wallclock.json        # record timings (serial or parallel by -j)
 //	sentrybench -exp all -wallclock-guard BENCH_wallclock.json  # fail on regression
+//	sentrybench -check -wallclock-guard BENCH_wallclock.json    # fail if the checker outgrows its budget
 //	sentrybench -check -seeds 256       # invariant model-checker campaign
 //	sentrybench -check -faults benign   # ... with benign fault injection
+//	sentrybench -check -snapshot=off    # ... without the checkpoint/fork engine
 //	sentrybench -fleet-soak -devices 32 -ops 300 -faults benign  # fleet chaos soak (JSON report)
 //	sentrybench -replay "platform=tegra3 defences=no-lock-flush faults=none seed=4 ops=pressure:9360834,lock:12083332"
 package main
@@ -24,22 +26,83 @@ import (
 	"time"
 
 	"sentry/internal/bench"
+	"sentry/internal/check"
 	"sentry/internal/obs"
 )
 
-// Wallclock is the schema of BENCH_wallclock.json: the per-experiment and
-// total wall-clock cost of one full -exp all run. The checked-in copy is the
-// perf trajectory the wall-clock guard defends.
+// Wallclock is the schema of BENCH_wallclock.json: recorded wall-clock costs
+// keyed by run kind — "serial" (-exp all -j 1), "parallel" (-exp all -j N),
+// and "check" (the model-checker campaign). The checked-in copy is the perf
+// trajectory the wall-clock and snapshot guards defend.
 type Wallclock struct {
-	Seed        int64              `json:"seed"`
+	Seed    int64               `json:"seed"`
+	Records map[string]*WallRun `json:"records"`
+}
+
+// WallRun is one recorded run: its worker-pool width, total wall clock, and
+// (for -exp all runs) the per-experiment breakdown.
+type WallRun struct {
 	Parallelism int                `json:"parallelism"`
 	TotalSec    float64            `json:"total_seconds"`
-	Experiments map[string]float64 `json:"experiments"`
+	Experiments map[string]float64 `json:"experiments,omitempty"`
 }
 
 // guardHeadroom is how much slower than the checked-in record a run may be
 // before the guard fails. Wall clocks are noisy; 25% is regression, not noise.
 const guardHeadroom = 1.25
+
+// runKind names the record a run updates or is guarded against.
+func runKind(parallel int) string {
+	if parallel == 1 {
+		return "serial"
+	}
+	return "parallel"
+}
+
+// recordWallclock merges one run into the JSON record file, preserving the
+// other kinds already recorded there (read-modify-write).
+func recordWallclock(path, kind string, seed int64, run *WallRun) {
+	wc := Wallclock{Seed: seed, Records: map[string]*WallRun{}}
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &wc); err != nil || wc.Records == nil {
+			wc = Wallclock{Seed: seed, Records: map[string]*WallRun{}}
+		}
+	}
+	wc.Seed = seed
+	wc.Records[kind] = run
+	buf, err := json.MarshalIndent(wc, "", "  ")
+	if err != nil {
+		fatalf("wallclock: %v", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		fatalf("wallclock: %v", err)
+	}
+	fmt.Printf("wallclock: %s run %.2fs recorded to %s\n", kind, run.TotalSec, path)
+}
+
+// guardWallclock fails the run if it is >25% slower than the recorded run of
+// the same kind.
+func guardWallclock(path, kind string, run *WallRun) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("wallclock-guard: %v", err)
+	}
+	var wc Wallclock
+	if err := json.Unmarshal(buf, &wc); err != nil {
+		fatalf("wallclock-guard: %s: %v", path, err)
+	}
+	rec := wc.Records[kind]
+	if rec == nil {
+		fatalf("wallclock-guard: %s has no %q record", path, kind)
+	}
+	limit := rec.TotalSec * guardHeadroom
+	if run.TotalSec > limit {
+		fatalf("wallclock-guard: %s total %.2fs exceeds %.2fs (recorded %.2fs + 25%% headroom) — perf regression",
+			kind, run.TotalSec, limit, rec.TotalSec)
+	}
+	fmt.Printf("wallclock-guard: %s total %.2fs within %.2fs budget (recorded %.2fs + 25%% headroom)\n",
+		kind, run.TotalSec, limit, rec.TotalSec)
+}
 
 func main() {
 	var (
@@ -61,11 +124,25 @@ func main() {
 		fleetSoak = flag.Bool("fleet-soak", false, "run the fleet service-layer chaos soak and emit a JSON report")
 		devices   = flag.Int("devices", 32, "fleet size for -fleet-soak")
 		soakOps   = flag.Int("ops", 300, "ops per device for -fleet-soak")
+
+		snapshotMode = flag.String("snapshot", "on", "checkpoint/fork engine: on (default) or off; results are identical, only wall-clock differs")
 	)
 	flag.Parse()
 
+	var snapshotsOn bool
+	switch *snapshotMode {
+	case "on":
+		snapshotsOn = true
+	case "off":
+		snapshotsOn = false
+		check.SnapshotEnabled = false
+		bench.SetSnapshotBoots(false)
+	default:
+		fatalf("-snapshot must be on or off, got %q", *snapshotMode)
+	}
+
 	if *fleetSoak {
-		if !runFleetSoak(*devices, *soakOps, *seed, *faultsProf) {
+		if !runFleetSoak(*devices, *soakOps, *seed, *faultsProf, !snapshotsOn) {
 			os.Exit(1)
 		}
 		return
@@ -78,8 +155,16 @@ func main() {
 		return
 	}
 	if *doCheck {
+		start := time.Now()
 		if !runCheck(*platforms, *seeds, *checkSteps, *faultsProf, *seed) {
 			fatalf("check failed")
+		}
+		run := &WallRun{Parallelism: 1, TotalSec: time.Since(start).Seconds()}
+		if *wallOut != "" {
+			recordWallclock(*wallOut, "check", *seed, run)
+		}
+		if *wallGuard != "" {
+			guardWallclock(*wallGuard, "check", run)
 		}
 		return
 	}
@@ -133,45 +218,22 @@ func main() {
 		results = []bench.Result{{Exp: e, Report: r, Err: err, Wall: time.Since(start)}}
 	}
 
-	wc := Wallclock{Seed: *seed, Parallelism: *parallel, Experiments: map[string]float64{}}
+	run := &WallRun{Parallelism: *parallel, Experiments: map[string]float64{}}
 	for _, res := range results {
 		if res.Err != nil {
 			fatalf("%s: %v", res.Exp.ID, res.Err)
 		}
 		fmt.Print(res.Report.String())
 		fmt.Printf("(%s in %v)\n\n", res.Exp.ID, res.Wall.Round(time.Millisecond))
-		wc.Experiments[res.Exp.ID] = res.Wall.Seconds()
-		wc.TotalSec += res.Wall.Seconds()
+		run.Experiments[res.Exp.ID] = res.Wall.Seconds()
+		run.TotalSec += res.Wall.Seconds()
 	}
 
 	if *wallOut != "" {
-		buf, err := json.MarshalIndent(wc, "", "  ")
-		if err != nil {
-			fatalf("wallclock: %v", err)
-		}
-		if err := os.WriteFile(*wallOut, append(buf, '\n'), 0o644); err != nil {
-			fatalf("wallclock: %v", err)
-		}
-		fmt.Printf("wallclock: %d experiments, %.2fs total, written to %s\n",
-			len(wc.Experiments), wc.TotalSec, *wallOut)
+		recordWallclock(*wallOut, runKind(*parallel), *seed, run)
 	}
-
 	if *wallGuard != "" {
-		buf, err := os.ReadFile(*wallGuard)
-		if err != nil {
-			fatalf("wallclock-guard: %v", err)
-		}
-		var rec Wallclock
-		if err := json.Unmarshal(buf, &rec); err != nil {
-			fatalf("wallclock-guard: %s: %v", *wallGuard, err)
-		}
-		limit := rec.TotalSec * guardHeadroom
-		if wc.TotalSec > limit {
-			fatalf("wallclock-guard: total %.2fs exceeds %.2fs (recorded %.2fs + 25%% headroom) — perf regression",
-				wc.TotalSec, limit, rec.TotalSec)
-		}
-		fmt.Printf("wallclock-guard: total %.2fs within %.2fs budget (recorded %.2fs + 25%% headroom)\n",
-			wc.TotalSec, limit, rec.TotalSec)
+		guardWallclock(*wallGuard, runKind(*parallel), run)
 	}
 
 	if tracer != nil {

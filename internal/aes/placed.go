@@ -141,6 +141,23 @@ func NewPlaced(st Store, key []byte, roundCycles uint64) (*PlacedCipher, error) 
 	return p, nil
 }
 
+// AdoptPlaced returns a cipher over an arena that ALREADY holds the tables
+// and expanded schedules for key — a copy-on-write fork of an arena that
+// NewPlaced initialised earlier. Nothing is written and no simulated time is
+// charged: the content arrives with the forked memory, and writing it again
+// would double-charge the clone's clock relative to the original world.
+func AdoptPlaced(st Store, key []byte, roundCycles uint64) (*PlacedCipher, error) {
+	nr := rounds(len(key))
+	if nr == 0 {
+		return nil, KeySizeError(len(key))
+	}
+	native, err := NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &PlacedCipher{st: st, nr: nr, nk: len(key) / 4, roundCycles: roundCycles, native: native}, nil
+}
+
 // Rounds returns the number of AES rounds.
 func (p *PlacedCipher) Rounds() int { return p.nr }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"sentry/internal/apps"
 	"sentry/internal/bus"
@@ -9,6 +10,7 @@ import (
 	"sentry/internal/kernel"
 	"sentry/internal/mem"
 	"sentry/internal/obs"
+	"sentry/internal/snapshot"
 	"sentry/internal/soc"
 )
 
@@ -45,9 +47,48 @@ func boot(s *soc.SoC) *soc.SoC {
 	return s
 }
 
-func bootTegra3(seed int64) *soc.SoC { return boot(soc.Tegra3(seed)) }
-func bootNexus4(seed int64) *soc.SoC { return boot(soc.Nexus4(seed)) }
+// snapshotBoots gates the checkpoint/fork fast path through the platform
+// boot helpers (the sentrybench -snapshot=off escape hatch clears it).
+var snapshotBoots = true
 
+// SetSnapshotBoots enables or disables forking experiment platforms from
+// cached post-boot snapshots. Call before running experiments, never
+// concurrently with them. Reports are byte-identical either way — only
+// wall-clock differs.
+func SetSnapshotBoots(on bool) { snapshotBoots = on }
+
+// bootSnaps parks one post-boot snapshot per (platform, seed). Every
+// experiment that needs that platform forks the snapshot in O(touched
+// metadata) instead of re-running the boot sequence; concurrent experiments
+// under RunAll parallelism fork the same snapshot safely. Tracing runs
+// bypass the cache: a forked SoC replays no boot, so its event stream would
+// differ from a cold boot's even though all observable state matches.
+var bootSnaps sync.Map
+
+type bootKey struct {
+	platform string
+	seed     int64
+}
+
+func bootSnapshot(platform string, seed int64, build func(int64) *soc.SoC) *soc.SoC {
+	if !snapshotBoots || pkgTracer != nil {
+		return boot(build(seed))
+	}
+	k := bootKey{platform, seed}
+	v, ok := bootSnaps.Load(k)
+	if !ok {
+		// Two experiments may race to build the first snapshot; LoadOrStore
+		// keeps one and the loser's boot work is discarded.
+		v, _ = bootSnaps.LoadOrStore(k, snapshot.Capture(build(seed)))
+	}
+	return v.(*snapshot.Snapshot[*soc.SoC]).Fork()
+}
+
+func bootTegra3(seed int64) *soc.SoC { return bootSnapshot("tegra3", seed, soc.Tegra3) }
+func bootNexus4(seed int64) *soc.SoC { return bootSnapshot("nexus4", seed, soc.Nexus4) }
+
+// bootProfile cold-boots: callers hand-tune Profile fields, so there is no
+// sound cache key short of the whole struct.
 func bootProfile(p soc.Profile, seed int64) *soc.SoC { return boot(soc.New(p, seed)) }
 
 func matchCell(a, b uint64) string {

@@ -111,6 +111,16 @@ func New(clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, energy *sim.E
 // Devices returns the bus's address map (the off-SoC devices).
 func (b *Bus) Devices() *mem.Map { return b.devices }
 
+// Clone returns a bus over the given clock, meter, and device map carrying
+// this bus's traffic counters. Cost and energy tables are shared (they are
+// immutable); monitors, fault injectors, and observability wiring are not
+// carried — a forked world re-attaches its own.
+func (b *Bus) Clone(clock *sim.Clock, meter *sim.Meter, devices *mem.Map) *Bus {
+	n := New(clock, meter, b.costs, b.energy, devices)
+	n.stats = b.stats
+	return n
+}
+
 // SetObs wires the observability layer. Either argument may be nil; the
 // emit points are nil-gated so a disabled layer costs one branch.
 func (b *Bus) SetObs(tr *obs.Tracer, reg *obs.Registry) {

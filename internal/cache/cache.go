@@ -48,11 +48,22 @@ type Stats struct {
 	Bypasses   uint64 // accesses that went uncached because no way could allocate
 }
 
+// line is deliberately pointer-free (16 bytes): the per-cache slab holds
+// sets×ways of them, and a pointer-free slab costs the allocator a plain
+// memclr and the garbage collector nothing at all — with a []byte inside,
+// every booted world added a megabyte the GC had to scan. Line contents live
+// in the cache's bufs table; buf is a 1-based index into it (0 = no buffer,
+// which is also the zero value, so a fresh slab needs no initialisation).
 type line struct {
 	valid bool
 	dirty bool
-	tag   uint64
-	data  []byte
+	// shared marks the line's buffer as aliased with a clone
+	// (copy-on-write): every mutation of the contents must go through own()
+	// or install a fresh buffer. Reads (write-backs, hits, ReadLine) use
+	// shared buffers freely.
+	shared bool
+	tag    uint64
+	buf    uint32
 }
 
 // L2 is the second-level cache. It is not safe for concurrent use; the
@@ -74,13 +85,31 @@ type L2 struct {
 	offMask   uint64
 
 	// lines is indexed [set][way]: lookup and victim selection walk the
-	// ways of one set, so a set's ways must be contiguous in memory.
-	lines     [][]line
+	// ways of one set, so a set's ways must be contiguous in memory. All
+	// rows are windows into slab, which Clone copies with one memmove.
+	lines [][]line
+	slab  []line
+	// bufs is the line-contents table; line.buf indexes it 1-based. Its
+	// length tracks the peak number of concurrently-filled lines, not the
+	// cache capacity, and a clone shares the parent's buffers copy-on-write.
+	// freeBufs lists slots detached by invalidation, reused by the next
+	// fill so that invalidate/refill cycles do not grow the table.
+	bufs     [][]byte
+	freeBufs []uint32
 	validMask []uint32 // per-set bitmask of ways holding a valid line
+	// validCount[w] is the number of valid lines way w holds — the sum of
+	// validMask bit w over all sets. Maintenance walks consult it to skip
+	// empty ways outright and to stop a walk once every valid line has been
+	// visited: campaign workloads keep most ways nearly empty, so the full
+	// Ways×Sets sweep is almost always cut short.
+	validCount []int
+	// dataArena is the tail of the current line-data allocation chunk; see
+	// newLineData.
+	dataArena []byte
 	// tags mirrors the per-line tag fields as a dense flat array
 	// (tags[set*Ways+way]): a tag-match scan touches one or two cache
-	// lines of host memory instead of striding across 40-byte line
-	// structs. Entries go stale on invalidation; validMask arbitrates.
+	// lines of host memory instead of striding across line structs.
+	// Entries go stale on invalidation; validMask arbitrates.
 	tags      []uint64
 	allocMask uint32 // bit w set => way w may allocate new lines
 	victim    []int  // per-set round-robin pointer
@@ -133,20 +162,80 @@ func New(cfg Config, clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, e
 	}
 	c.lines = make([][]line, sets)
 	c.validMask = make([]uint32, sets)
+	c.validCount = make([]int, cfg.Ways)
 	c.tags = make([]uint64, sets*cfg.Ways)
-	// All line structs and all line data come from two slab allocations:
-	// tens of thousands of tiny per-line allocations per booted platform
-	// add up across experiments, and pointer-free slabs are cheap for the
-	// garbage collector to scan.
-	slab := make([]line, sets*cfg.Ways)
-	data := make([]byte, sets*cfg.Ways*cfg.LineSize)
-	for s := range c.lines {
+	// All line structs come from one pointer-free slab allocation: tens of
+	// thousands of tiny per-line allocations per booted platform add up
+	// across experiments. Line contents are NOT allocated here — a line
+	// gets a buffer on first fill (newLineData) — because campaign and
+	// experiment workloads touch a small fraction of the cache, and zeroing
+	// a capacity-sized data slab per booted world dominated the boot
+	// profile.
+	c.slab = make([]line, sets*cfg.Ways)
+	for s, slab := 0, c.slab; s < sets; s++ {
 		c.lines[s], slab = slab[:cfg.Ways:cfg.Ways], slab[cfg.Ways:]
-		for w := range c.lines[s] {
-			c.lines[s][w].data, data = data[:cfg.LineSize:cfg.LineSize], data[cfg.LineSize:]
-		}
 	}
 	return c
+}
+
+// newLineData returns a zeroed line-sized buffer, carving it from a chunked
+// arena so filling N distinct lines costs N/chunk allocations, not N.
+func (c *L2) newLineData() []byte {
+	if len(c.dataArena) < c.cfg.LineSize {
+		c.dataArena = make([]byte, 256*c.cfg.LineSize)
+	}
+	d := c.dataArena[:c.cfg.LineSize:c.cfg.LineSize]
+	c.dataArena = c.dataArena[c.cfg.LineSize:]
+	return d
+}
+
+// lineData returns ln's contents. Valid lines always have a buffer.
+func (c *L2) lineData(ln *line) []byte { return c.bufs[ln.buf-1] }
+
+// newBuf installs a private buffer for ln and returns its contents,
+// preferring a slot detached by an earlier invalidation. The buffer is NOT
+// zeroed: every caller overwrites the whole line (bus refill in fill, full
+// copy in own).
+func (c *L2) newBuf(ln *line) []byte {
+	if n := len(c.freeBufs); n > 0 {
+		idx := c.freeBufs[n-1]
+		c.freeBufs = c.freeBufs[:n-1]
+		d := c.bufs[idx-1]
+		if d == nil { // slot was shared with a clone, or emptied by Clone
+			d = c.newLineData()
+			c.bufs[idx-1] = d
+		}
+		ln.buf, ln.shared = idx, false
+		return d
+	}
+	d := c.newLineData()
+	c.bufs = append(c.bufs, d)
+	ln.buf, ln.shared = uint32(len(c.bufs)), false
+	return d
+}
+
+// dropBuf detaches ln's buffer (if any) on invalidation, recycling its slot.
+// A buffer shared with a clone is left to the clone: the slot is nilled so
+// a later reuse allocates fresh storage.
+func (c *L2) dropBuf(ln *line) {
+	if ln.buf == 0 {
+		return
+	}
+	if ln.shared {
+		c.bufs[ln.buf-1] = nil
+	}
+	c.freeBufs = append(c.freeBufs, ln.buf)
+	ln.buf, ln.shared = 0, false
+}
+
+// own makes ln's contents private before a partial mutation, copying the
+// shared buffer aside. No-op for lines that already own their buffer.
+func (c *L2) own(ln *line) {
+	if !ln.shared {
+		return
+	}
+	old := c.lineData(ln)
+	copy(c.newBuf(ln), old)
 }
 
 // Config returns the cache geometry.
@@ -273,7 +362,7 @@ func (c *L2) writeBack(set, way int) {
 	if !ln.valid || !ln.dirty {
 		return
 	}
-	c.bus.WriteFrom("l2", c.lineBase(set, ln.tag), ln.data)
+	c.bus.WriteFrom("l2", c.lineBase(set, ln.tag), c.lineData(ln))
 	ln.dirty = false
 	c.stats.WriteBacks++
 	c.ctrWBs.Inc()
@@ -286,12 +375,21 @@ func (c *L2) fill(set, way int, tag uint64) *line {
 		c.stats.Evictions++
 		c.writeBack(set, way)
 	}
+	if ln.buf == 0 || ln.shared {
+		// First fill, or the old contents are shared with a clone: either
+		// way the bus read below overwrites the whole line, so take a fresh
+		// buffer rather than copying.
+		c.newBuf(ln)
+	}
 	ln.valid = true
-	c.validMask[set] |= 1 << way
+	if c.validMask[set]&(1<<way) == 0 {
+		c.validMask[set] |= 1 << way
+		c.validCount[way]++
+	}
 	ln.dirty = false
 	ln.tag = tag
 	c.tags[set*c.cfg.Ways+way] = tag
-	c.bus.ReadInto("l2", c.lineBase(set, tag), ln.data)
+	c.bus.ReadInto("l2", c.lineBase(set, tag), c.lineData(ln))
 	return ln
 }
 
@@ -331,10 +429,11 @@ func (c *L2) access(addr mem.PhysAddr, buf []byte, isWrite bool) {
 	ln := &c.lines[set][way]
 	off := int(uint64(addr) & c.offMask)
 	if isWrite {
-		copy(ln.data[off:], buf)
+		c.own(ln)
+		copy(c.lineData(ln)[off:], buf)
 		ln.dirty = true
 	} else {
-		copy(buf, ln.data[off:off+len(buf)])
+		copy(buf, c.lineData(ln)[off:off+len(buf)])
 	}
 	c.chargeHit(len(buf))
 }
@@ -395,12 +494,24 @@ func (c *L2) CleanWays(mask uint32) {
 	if f := c.faults; f != nil && f.DropMaint("clean-ways") {
 		return
 	}
+	// The walk consults the per-set valid bitmap instead of dereferencing
+	// every line struct: a full clean visits Ways×Sets lines, almost all of
+	// which are invalid in the campaign workloads, and the bitmap scan reads
+	// 4 bytes per set instead of a 40-byte struct per line. writeBack itself
+	// still rechecks valid||dirty, and the visit order (way-outer,
+	// set-inner) is unchanged — the energy meter is an order-sensitive float
+	// accumulator, so reordering write-backs would shift recorded results.
 	for w := 0; w < c.cfg.Ways; w++ {
-		if mask&(1<<w) == 0 {
+		bit := uint32(1) << w
+		if mask&bit == 0 || c.validCount[w] == 0 {
 			continue
 		}
-		for s := 0; s < c.sets; s++ {
-			c.writeBack(s, w)
+		left := c.validCount[w]
+		for s := 0; s < c.sets && left > 0; s++ {
+			if c.validMask[s]&bit != 0 {
+				c.writeBack(s, w)
+				left--
+			}
 		}
 	}
 }
@@ -415,17 +526,28 @@ func (c *L2) InvalidateWays(mask uint32) {
 	c.invalidateWays(mask)
 }
 
+// invalidateWays drops the selected ways' valid lines. Invalid lines are
+// skipped entirely (validMask gate — this walk was the single hottest
+// function in the campaign profile before it), and invalidation simply
+// detaches the line's buffer: only valid lines are ever read, so nothing
+// needs zeroing, and a buffer shared with a clone stays intact for the
+// clone. The next fill installs a fresh buffer.
 func (c *L2) invalidateWays(mask uint32) {
 	for w := 0; w < c.cfg.Ways; w++ {
-		if mask&(1<<w) == 0 {
+		bit := uint32(1) << w
+		if mask&bit == 0 {
 			continue
 		}
-		for s := 0; s < c.sets; s++ {
+		for s := 0; s < c.sets && c.validCount[w] > 0; s++ {
+			if c.validMask[s]&bit == 0 {
+				continue
+			}
 			ln := &c.lines[s][w]
 			ln.valid = false
 			ln.dirty = false
-			c.validMask[s] &^= 1 << w
-			clear(ln.data)
+			c.dropBuf(ln)
+			c.validMask[s] &^= bit
+			c.validCount[w]--
 		}
 	}
 }
@@ -469,8 +591,9 @@ func (c *L2) InvalidateRange(addr mem.PhysAddr, n int) {
 			e := &c.lines[set][w]
 			e.valid = false
 			e.dirty = false
+			c.dropBuf(e)
 			c.validMask[set] &^= 1 << w
-			clear(e.data)
+			c.validCount[w]--
 		}
 	}
 }
@@ -517,18 +640,49 @@ func (c *L2) Snoop(addr mem.PhysAddr, dst []byte) bool {
 			return
 		}
 		off := int(uint64(a) & c.offMask)
-		copy(frag, c.lines[set][w].data[off:off+len(frag)])
+		copy(frag, c.lineData(&c.lines[set][w])[off:off+len(frag)])
 	})
 	return ok
 }
 
-// ValidLines returns the number of valid lines currently held in way w.
-func (c *L2) ValidLines(w int) int {
-	n := 0
+// Clone returns an independent copy of the cache — geometry, lockdown
+// register, victim pointers, stats, and every valid line's contents — wired
+// to the given clock, meter, and bus. Valid lines' data is shared
+// copy-on-write: both sides keep reading the same buffers, and whichever
+// side first mutates a line (partial write, refill, invalidate) takes a
+// private copy. Clone cost is therefore O(valid-line metadata), not O(data);
+// a snapshot fork of a boot-warmed 1 MB cache copies pointers, not
+// megabytes. Observability and fault wiring are left to the caller: a
+// cloned world re-runs SetObs/SetFaults against its own registry and
+// injector.
+func (c *L2) Clone(clock *sim.Clock, meter *sim.Meter, b *bus.Bus) *L2 {
+	// Mark every valid line's buffer shared in the parent first, so the slab
+	// memmove below propagates the flag to the clone in the same pass.
 	for s := 0; s < c.sets; s++ {
-		if c.validMask[s]&(1<<w) != 0 {
-			n++
+		vm := c.validMask[s]
+		for vm != 0 {
+			w := bits.TrailingZeros32(vm)
+			vm &= vm - 1
+			c.lines[s][w].shared = true
 		}
+	}
+	n := New(c.cfg, clock, meter, c.costs, c.energy, b)
+	copy(n.slab, c.slab)
+	copy(n.validMask, c.validMask)
+	copy(n.validCount, c.validCount)
+	copy(n.tags, c.tags)
+	copy(n.victim, c.victim)
+	n.allocMask = c.allocMask
+	n.stats = c.stats
+	n.bufs = append([][]byte(nil), c.bufs...)
+	n.freeBufs = append([]uint32(nil), c.freeBufs...)
+	// Free slots still hold reusable buffers on the parent side; the clone
+	// must not reuse those same buffers, so empty them in its table.
+	for _, idx := range n.freeBufs {
+		n.bufs[idx-1] = nil
 	}
 	return n
 }
+
+// ValidLines returns the number of valid lines currently held in way w.
+func (c *L2) ValidLines(w int) int { return c.validCount[w] }

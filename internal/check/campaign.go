@@ -28,17 +28,18 @@ func Run(cfg Config, seed int64) (Schedule, RunResult) {
 // (cfg, seed). Replaying the schedule printed by a Repro reproduces its
 // violation exactly; shrinking uses the same path to validate candidates.
 func Replay(cfg Config, seed int64, sched Schedule) RunResult {
-	w := NewWorld(cfg, seed)
-	for _, op := range sched {
-		if w.Dead() {
-			break
-		}
-		if v := w.Apply(op); v != nil {
-			return RunResult{Violation: v, Perturbed: w.Perturbed()}
-		}
+	return finishRun(NewWorld(cfg, seed), sched)
+}
+
+// finishRun executes a schedule against an already-built world (cold-booted
+// or forked from a snapshot) and runs the end-of-schedule integrity check.
+func finishRun(w *World, sched Schedule) RunResult {
+	if v := replayFrom(w, sched); v != nil {
+		return RunResult{Violation: v, Perturbed: w.Perturbed()}
 	}
 	return RunResult{IntegrityErr: w.IntegrityCheck(), Perturbed: w.Perturbed()}
 }
+
 
 // Repro is a minimal reproducer for a violation: replay Ops against a world
 // built from (Config, Seed) and the same violation fires.
@@ -195,7 +196,10 @@ func Campaign(cfg Config, startSeed int64, seeds int) CampaignResult {
 }
 
 // shrinkToRepro truncates the schedule at the violating step and delta-
-// debugs it down to a minimal reproducer.
+// debugs it down to a minimal reproducer. Shrink captures the seed's
+// post-boot world once and forks it per candidate (the checkpoint/fork fast
+// path); capturing is deliberately lazy — only violating seeds reach here,
+// so the campaign's clean seeds never pay for a snapshot they would not use.
 func shrinkToRepro(cfg Config, seed int64, sched Schedule, v *Violation) *Repro {
 	orig := sched
 	if v.Step > 0 && v.Step <= len(sched) {

@@ -1,0 +1,185 @@
+package check
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sentry/internal/faults"
+	"sentry/internal/mem"
+	"sentry/internal/sim"
+	"sentry/internal/snapshot"
+)
+
+// Fork-soundness property tests for the checkpoint/fork engine: a forked
+// world must be observationally byte-identical to a cold-booted one at every
+// step of any schedule, and mutations in one fork must never leak into the
+// snapshot, the parent, or sibling forks. Run under -race these tests also
+// exercise the concurrent-fork contract.
+
+func forkTestConfigs() []Config {
+	benign, _ := faults.ByName("benign")
+	adversarial, _ := faults.ByName("adversarial")
+	return []Config{
+		{Platform: "tegra3", Defences: AllDefences(), Steps: 60},
+		{Platform: "nexus4", Defences: AllDefences(), Steps: 60},
+		{Platform: "tegra3", Defences: Defences{IRAMZeroOnBoot: true, LockFlush: false, ZeroOnFree: true}, Steps: 60},
+		{Platform: "tegra3", Defences: AllDefences(), Faults: benign, Steps: 60},
+		{Platform: "tegra3", Defences: AllDefences(), Faults: adversarial, Steps: 60},
+	}
+}
+
+// diffStores reports the first content difference between two stores, or "".
+// TouchedPages returns page base offsets in bytes.
+func diffStores(name string, a, b *mem.Store) string {
+	bases := map[uint64]bool{}
+	for _, base := range a.TouchedPages() {
+		bases[base] = true
+	}
+	for _, base := range b.TouchedPages() {
+		bases[base] = true
+	}
+	var pa, pb [mem.PageSize]byte
+	for base := range bases {
+		a.Read(base, pa[:])
+		b.Read(base, pb[:])
+		if pa != pb {
+			return fmt.Sprintf("%s page at %#x content differs", name, base)
+		}
+	}
+	return ""
+}
+
+// diffWorlds reports the first observable divergence between two worlds, or
+// "". It covers every deterministic stream the simulation promises to keep
+// bit-reproducible: time, energy, RNG position, register file, bus traffic,
+// cache geometry state, lock state, Sentry activity, and full memory images.
+func diffWorlds(a, b *World) string {
+	switch {
+	case a.S.Clock.Cycles() != b.S.Clock.Cycles():
+		return fmt.Sprintf("clock: %d vs %d", a.S.Clock.Cycles(), b.S.Clock.Cycles())
+	case a.S.Meter.PJ() != b.S.Meter.PJ():
+		return fmt.Sprintf("energy: %v vs %v", a.S.Meter.PJ(), b.S.Meter.PJ())
+	case a.S.RNG.State() != b.S.RNG.State():
+		return fmt.Sprintf("rng: %+v vs %+v", a.S.RNG.State(), b.S.RNG.State())
+	case a.S.CPU.Regs != b.S.CPU.Regs:
+		return "cpu registers differ"
+	case a.S.Bus.Stats() != b.S.Bus.Stats():
+		return fmt.Sprintf("bus stats: %+v vs %+v", a.S.Bus.Stats(), b.S.Bus.Stats())
+	case a.S.L2.Stats() != b.S.L2.Stats():
+		return fmt.Sprintf("l2 stats: %+v vs %+v", a.S.L2.Stats(), b.S.L2.Stats())
+	case a.S.L2.AllocMask() != b.S.L2.AllocMask():
+		return "l2 lockdown register differs"
+	case a.K.State() != b.K.State():
+		return fmt.Sprintf("lock state: %v vs %v", a.K.State(), b.K.State())
+	case a.Sn.Stats() != b.Sn.Stats():
+		return fmt.Sprintf("sentry stats: %+v vs %+v", a.Sn.Stats(), b.Sn.Stats())
+	case a.step != b.step || a.dead != b.dead || a.bgOn != b.bgOn:
+		return "world step/dead/bg state differs"
+	}
+	for w := 0; w < a.S.Prof.Cache.Ways; w++ {
+		if a.S.L2.ValidLines(w) != b.S.L2.ValidLines(w) {
+			return fmt.Sprintf("l2 way %d valid-line count differs", w)
+		}
+	}
+	if d := diffStores("iram", a.S.IRAM.Store(), b.S.IRAM.Store()); d != "" {
+		return d
+	}
+	return diffStores("dram", a.S.DRAM.Store(), b.S.DRAM.Store())
+}
+
+func violationString(v *Violation) string {
+	if v == nil {
+		return ""
+	}
+	return v.String()
+}
+
+// TestWorldForkMatchesColdBoot locks a cold-booted world and a fork from a
+// post-boot snapshot to the same schedule, comparing the violation stream at
+// every step and the complete world state at the end.
+func TestWorldForkMatchesColdBoot(t *testing.T) {
+	for ci, cfg := range forkTestConfigs() {
+		for seed := int64(1); seed <= 6; seed++ {
+			sched := Generate(sim.NewRNG(seed), cfg.Steps, cfg.Faults)
+			cold := NewWorld(cfg, seed)
+			snap := snapshot.Capture(NewWorld(cfg, seed))
+			forked := snap.Fork()
+			for i, op := range sched {
+				vc := cold.Apply(op)
+				vf := forked.Apply(op)
+				if violationString(vc) != violationString(vf) {
+					t.Fatalf("cfg %d seed %d step %d (%s): cold violation %q, forked %q",
+						ci, seed, i, op, violationString(vc), violationString(vf))
+				}
+				if vc != nil {
+					break
+				}
+			}
+			ic, fc := cold.IntegrityCheck(), forked.IntegrityCheck()
+			if (ic == nil) != (fc == nil) || (ic != nil && ic.Error() != fc.Error()) {
+				t.Fatalf("cfg %d seed %d: integrity mismatch: cold %v, forked %v", ci, seed, ic, fc)
+			}
+			if d := diffWorlds(cold, forked); d != "" {
+				t.Fatalf("cfg %d seed %d: cold and forked worlds diverged: %s", ci, seed, d)
+			}
+		}
+	}
+}
+
+// TestForkIsolation proves mutations never travel between forks: a sibling
+// fork and the live parent both run a different schedule between two
+// identical replays, and the replays must still agree exactly.
+func TestForkIsolation(t *testing.T) {
+	cfg := Config{Platform: "tegra3", Defences: AllDefences(), Steps: 60}
+	seed := int64(5)
+	schedA := Generate(sim.NewRNG(seed), 60, cfg.Faults)
+	schedB := Generate(sim.NewRNG(seed+100), 60, cfg.Faults)
+
+	parent := NewWorld(cfg, seed)
+	snap := snapshot.Capture(parent)
+
+	first := snap.Fork()
+	replayFrom(first, schedA)
+
+	// Contamination attempts: the parent keeps running after capture, and a
+	// sibling fork runs a different schedule.
+	replayFrom(parent, schedB)
+	sibling := snap.Fork()
+	replayFrom(sibling, schedB)
+
+	second := snap.Fork()
+	replayFrom(second, schedA)
+	if d := diffWorlds(first, second); d != "" {
+		t.Fatalf("snapshot contaminated by parent or sibling mutations: %s", d)
+	}
+}
+
+// TestConcurrentForks forks one snapshot from many goroutines at once (the
+// parallel bench pattern); under -race this proves the concurrent-fork
+// contract, and every fork must produce the identical end state.
+func TestConcurrentForks(t *testing.T) {
+	cfg := Config{Platform: "tegra3", Defences: AllDefences(), Steps: 60}
+	seed := int64(3)
+	sched := Generate(sim.NewRNG(seed), 60, cfg.Faults)
+	snap := snapshot.Capture(NewWorld(cfg, seed))
+
+	const n = 8
+	worlds := make([]*World, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := snap.Fork()
+			replayFrom(w, sched)
+			worlds[i] = w
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if d := diffWorlds(worlds[0], worlds[i]); d != "" {
+			t.Fatalf("concurrent fork %d diverged: %s", i, d)
+		}
+	}
+}

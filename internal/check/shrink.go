@@ -1,16 +1,45 @@
 package check
 
+import "sentry/internal/snapshot"
+
+// SnapshotEnabled gates the checkpoint/fork fast path through shrinking:
+// candidate replays fork a captured post-boot world (and a live checkpoint
+// of the surviving op prefix) instead of cold-booting per candidate. The
+// sentrybench -snapshot=off escape hatch clears it; verdicts and shrunk
+// reproducers are identical either way (snapshot_identity_test.go), only
+// wall-clock differs. Set it before starting campaigns — it is read
+// concurrently by parallel harnesses.
+var SnapshotEnabled = true
+
 // maxShrinkReplays bounds the replay budget one shrink may spend. Schedules
 // are at most a few hundred ops and each replay is cheap, so the bound is
 // generous; it exists so a pathological flip-flopping candidate set cannot
 // hang a campaign.
 const maxShrinkReplays = 4096
 
+// replayFrom executes ops against an already-built world and reports the
+// first violation. It is Replay's execution loop without the boot.
+func replayFrom(w *World, ops Schedule) *Violation {
+	for _, op := range ops {
+		if w.Dead() {
+			break
+		}
+		if v := w.Apply(op); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
 // Shrink reduces a violating schedule to a minimal reproducer by greedy
 // delta debugging: repeatedly try dropping contiguous chunks (halving the
 // chunk size down to single ops) and keep any candidate that still
-// violates. Every candidate is validated by a full Replay from a fresh
-// world, so the result is guaranteed to reproduce from (cfg, seed).
+// violates. Every candidate is validated by a replay from the (cfg, seed)
+// boot state — a cold boot per candidate, or, when SnapshotEnabled, a fork
+// of one captured post-boot world, which is byte-identical and skips the
+// boot cost. Within a sweep the surviving prefix cur[:start] is additionally
+// kept advanced in a live checkpoint world, so each candidate forks the
+// checkpoint and replays only its suffix.
 //
 // The violation need not stay literally identical while shrinking — dropping
 // ops may surface the same leak under a different clause (e.g. "writeback"
@@ -21,9 +50,16 @@ const maxShrinkReplays = 4096
 // input does not violate in the first place.
 func Shrink(cfg Config, seed int64, sched Schedule) (Schedule, *Violation) {
 	replays := 0
+	var boot *snapshot.Snapshot[*World]
+	if SnapshotEnabled {
+		boot = snapshot.Capture(NewWorld(cfg, seed))
+	}
 	violates := func(s Schedule) *Violation {
 		replays++
-		return Replay(cfg, seed, s).Violation
+		if boot == nil {
+			return Replay(cfg, seed, s).Violation
+		}
+		return replayFrom(boot.Fork(), s)
 	}
 	v := violates(sched)
 	if v == nil {
@@ -35,6 +71,13 @@ func Shrink(cfg Config, seed int64, sched Schedule) (Schedule, *Violation) {
 		// an earlier chunk removable.
 		for {
 			removed := false
+			// prefixW is the live checkpoint: the world state after applying
+			// cur[:start]. Valid only while it tracks start exactly.
+			var prefixW *World
+			prefixLen := 0
+			if boot != nil {
+				prefixW = boot.Fork()
+			}
 			for start := 0; start+chunk <= len(cur); {
 				if replays >= maxShrinkReplays {
 					return cur, v
@@ -42,11 +85,32 @@ func Shrink(cfg Config, seed int64, sched Schedule) (Schedule, *Violation) {
 				cand := make(Schedule, 0, len(cur)-chunk)
 				cand = append(cand, cur[:start]...)
 				cand = append(cand, cur[start+chunk:]...)
-				if nv := violates(cand); nv != nil {
+				var nv *Violation
+				if prefixW != nil && prefixLen == start {
+					// Checkpoint path: fork the advanced prefix and replay
+					// only the candidate's suffix.
+					replays++
+					nv = replayFrom(prefixW.Fork(), cur[start+chunk:])
+				} else {
+					nv = violates(cand)
+				}
+				if nv != nil {
 					cur, v = cand, nv
 					removed = true
-					// Keep start in place: the next chunk slid into this slot.
+					// Keep start in place: the next chunk slid into this slot,
+					// and the checkpoint still holds exactly cur[:start].
 				} else {
+					// The chunk stays; advance the checkpoint through it. A
+					// violation or death here cannot happen for a prefix of a
+					// schedule whose violation fires at its end — but if it
+					// does, drop the checkpoint and fall back to full replays.
+					if prefixW != nil && prefixLen == start {
+						if replayFrom(prefixW, cur[start:start+chunk]) != nil || prefixW.Dead() {
+							prefixW = nil
+						} else {
+							prefixLen = start + chunk
+						}
+					}
 					start += chunk
 				}
 			}

@@ -1,0 +1,53 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"sentry/internal/faults"
+)
+
+// TestSnapshotOnOffIdentity runs the full checking pipeline — an adversarial
+// campaign (guaranteed violations, so shrinking runs) plus the positive
+// controls — once through the checkpoint/fork fast path and once with it
+// disabled (the sentrybench -snapshot=off escape hatch), and requires the
+// verdicts, violation clauses, and shrunk repro lines to be identical.
+// Snapshots may only change wall-clock, never results.
+func TestSnapshotOnOffIdentity(t *testing.T) {
+	old := SnapshotEnabled
+	defer func() { SnapshotEnabled = old }()
+
+	collect := func() []string {
+		var out []string
+		adv, _ := faults.ByName("adversarial")
+		cr := Campaign(Config{Platform: "tegra3", Defences: AllDefences(), Faults: adv, Steps: 60}, 1, 10)
+		out = append(out, fmt.Sprintf("campaign violations=%d integrity=%d",
+			cr.ViolationSeeds, len(cr.IntegrityFailures)))
+		if cr.Repro != nil {
+			out = append(out, cr.Repro.String(), cr.Repro.Violation.String())
+		}
+		for _, ctl := range Controls() {
+			r, err := RunControl("tegra3", ctl.Name, 32, 40)
+			if err != nil {
+				t.Fatalf("control %s (snapshot=%v): %v", ctl.Name, SnapshotEnabled, err)
+			}
+			out = append(out, r.String(), r.Violation.String())
+		}
+		return out
+	}
+
+	SnapshotEnabled = true
+	on := collect()
+	SnapshotEnabled = false
+	off := collect()
+
+	if len(on) != len(off) {
+		t.Fatalf("result counts differ: snapshot on %d lines, off %d lines\non:  %q\noff: %q",
+			len(on), len(off), on, off)
+	}
+	for i := range on {
+		if on[i] != off[i] {
+			t.Errorf("line %d differs:\n  snapshot on:  %s\n  snapshot off: %s", i, on[i], off[i])
+		}
+	}
+}

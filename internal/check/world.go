@@ -197,6 +197,38 @@ func (w *World) fill(p *kernel.Process, base mmu.VirtAddr, pages int) {
 	}
 }
 
+// Fork returns an independent copy of this world. Memory is shared
+// copy-on-write with the parent; clock, energy, RNG position, fault-injector
+// stream, and all kernel/Sentry state carry over, so the fork replays any op
+// sequence byte-identically to a cold-booted world that reached this point.
+// The bus probe and fault injector are re-attached as fresh clones bound to
+// the forked world.
+func (w *World) Fork() *World {
+	s2 := w.S.Fork()
+	k2, pm := w.K.Clone(s2)
+	sn2, err := w.Sn.Clone(k2, pm)
+	if err != nil {
+		panic(fmt.Sprintf("check: world fork failed: %v", err))
+	}
+	n := &World{
+		Cfg: w.Cfg, Seed: w.Seed, S: s2, K: k2, Sn: sn2,
+		fg: pm[w.fg], bg: pm[w.bg],
+		fgBase: w.fgBase, bgBase: w.bgBase,
+		marker:  w.marker,
+		volKey0: append([]byte(nil), w.volKey0...),
+		bgOn:    w.bgOn, step: w.step, dead: w.dead,
+	}
+	if w.probe != nil {
+		n.probe = &busProbe{w: n, tripped: w.probe.tripped}
+		s2.Bus.Attach(n.probe)
+	}
+	if w.inj != nil {
+		n.inj = w.inj.Clone()
+		n.inj.Attach(sn2)
+	}
+	return n
+}
+
 // Dead reports whether a terminal op (or fault) killed the device.
 func (w *World) Dead() bool { return w.dead }
 

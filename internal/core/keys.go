@@ -55,6 +55,21 @@ func NewKeyStore(s *soc.SoC, iram *onsoc.IRAMAlloc) (*KeyStore, error) {
 	return &KeyStore{s: s, volAddr: addr}, nil
 }
 
+// clone returns a key store over the forked SoC. The key bytes themselves
+// travel with the forked iRAM; nothing is generated or written.
+func (k *KeyStore) clone(s2 *soc.SoC) *KeyStore {
+	return &KeyStore{s: s2, volAddr: k.volAddr}
+}
+
+// peekKey reads the volatile key directly from the backing device, without
+// charging simulated time — for host-side orchestration (world forking),
+// where a CPU read would make the clone's clock diverge from its parent.
+func (k *KeyStore) peekKey() []byte {
+	key := make([]byte, VolatileKeySize)
+	k.s.IRAM.Read(k.volAddr, key)
+	return key
+}
+
 // VolatileKey reads the volatile root key from its iRAM home (an on-SoC
 // access; nothing crosses the bus).
 func (k *KeyStore) VolatileKey() []byte {

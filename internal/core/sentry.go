@@ -234,6 +234,90 @@ func New(k *kernel.Kernel, cfg Config) (*Sentry, error) {
 	return sn, nil
 }
 
+// Clone rebuilds this Sentry over the forked kernel k2 (produced by
+// kernel.Clone on a soc.Fork of this Sentry's platform). pm is the old→new
+// process map kernel.Clone returned; it re-binds the background session's
+// process reference. No simulated time is charged: page contents, the
+// volatile key, and the AES arena all travel with the forked memory, and
+// the engine adopts its arena rather than re-initialising it.
+//
+// The clone re-installs Sentry's kernel hooks on k2 exactly as New does on
+// a fresh kernel. A fault probe is NOT carried — the harness that owns the
+// injector re-attaches it to the clone.
+func (sn *Sentry) Clone(k2 *kernel.Kernel, pm map[*kernel.Process]*kernel.Process) (*Sentry, error) {
+	s2 := k2.SoC
+	n := &Sentry{
+		K: k2, S: s2, cfg: sn.cfg,
+		iram:       sn.iram.Clone(),
+		epoch:      sn.epoch,
+		frameEpoch: make(map[mem.PhysAddr]uint64, len(sn.frameEpoch)),
+	}
+	for f, e := range sn.frameEpoch {
+		n.frameEpoch[f] = e
+	}
+	if len(sn.sealedKernelFrames) > 0 {
+		n.sealedKernelFrames = append([]mem.PhysAddr(nil), sn.sealedKernelFrames...)
+	}
+	if sn.locker != nil {
+		n.locker = sn.locker.Clone(s2)
+	}
+	n.keys = sn.keys.clone(s2)
+
+	// Re-resolve instruments by name from the cloned registry — the same
+	// wiring-time resolution New performs. soc.Fork guarantees s2.Metrics is
+	// a clone of the parent's registry (New ensured the parent had one).
+	n.reg = s2.Metrics
+	n.ctrLockEnc = n.reg.Counter(MetricLockEncryptedBytes)
+	n.ctrDemandDec = n.reg.Counter(MetricDemandDecryptedBytes)
+	n.ctrEagerDec = n.reg.Counter(MetricEagerDecryptedBytes)
+	n.ctrDemandFault = n.reg.Counter(MetricDemandFaults)
+	n.ctrBgIns = n.reg.Counter(MetricBgPageIns)
+	n.ctrBgOuts = n.reg.Counter(MetricBgPageOuts)
+	n.ctrSkipped = n.reg.Counter(MetricSkippedSharedPages)
+	sealBounds := obs.ExpBounds(4096, 2, 16)
+	n.histSeal = n.reg.Histogram(MetricSealCycles, sealBounds)
+	n.histUnseal = n.reg.Histogram(MetricUnsealCycles, sealBounds)
+
+	var engineAlloc *onsoc.IRAMAlloc
+	if !sn.cfg.EngineInLockedWay {
+		engineAlloc = n.iram
+	}
+	eng, err := sn.engine.Adopt(s2, n.keys.peekKey(), engineAlloc)
+	if err != nil {
+		return nil, err
+	}
+	n.engine = eng
+
+	if sn.bg != nil {
+		st := &bgState{proc: pm[sn.bg.proc]}
+		slotMap := make(map[*bgSlot]*bgSlot, len(sn.bg.slots))
+		for _, s := range sn.bg.slots {
+			c := *s
+			st.slots = append(st.slots, &c)
+			slotMap[s] = &c
+		}
+		for _, s := range sn.bg.fifo {
+			st.fifo = append(st.fifo, slotMap[s])
+		}
+		st.ways = append([]int(nil), sn.bg.ways...)
+		st.pinned = append([]mem.PhysAddr(nil), sn.bg.pinned...)
+		n.bg = st
+	}
+
+	k2.FlushMaskFn = n.flushMask
+	k2.OnLock = append(k2.OnLock, n.encryptOnLock)
+	k2.OnUnlock = append(k2.OnUnlock, n.onUnlock)
+	k2.OnDeepLock = append(k2.OnDeepLock, n.keys.Zeroize)
+	prevHook := k2.FaultHook
+	k2.FaultHook = func(p *kernel.Process, f *mmu.Fault) bool {
+		if n.handleFault(p, f) {
+			return true
+		}
+		return prevHook != nil && prevHook(p, f)
+	}
+	return n, nil
+}
+
 // Stats returns a snapshot of activity counters, read from the metrics
 // registry.
 func (sn *Sentry) Stats() Stats {

@@ -90,6 +90,22 @@ func New(clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, energy *sim.E
 	}
 }
 
+// Clone returns a CPU with identical architectural state — registers,
+// interrupt mask, kernel stack pointer, and stats — wired to the given
+// memory system. Guard, AS, and FaultHandler point at world objects, so
+// the caller re-wires them against the cloned world; observability is
+// re-wired through SetObs.
+func (c *CPU) Clone(clock *sim.Clock, meter *sim.Meter, l2 *cache.L2, b *bus.Bus, iram *mem.Device) *CPU {
+	n := New(clock, meter, c.costs, c.energy, l2, b, iram)
+	n.Regs = c.Regs
+	n.KernelStack = c.KernelStack
+	n.irqOn = c.irqOn
+	n.Faults = c.Faults
+	n.ContextSwaps = c.ContextSwaps
+	n.RegisterSpills = c.RegisterSpills
+	return n
+}
+
 // SetObs wires the observability layer. Either argument may be nil.
 func (c *CPU) SetObs(tr *obs.Tracer, reg *obs.Registry) {
 	c.trace = tr

@@ -64,6 +64,17 @@ func New(name string, b *bus.Bus, onchip *mem.Map, clock *sim.Clock, costs *sim.
 // Name returns the controller name as it appears in bus traces.
 func (c *Controller) Name() string { return c.name }
 
+// Clone returns a controller with the same identity over the given bus,
+// on-chip map, clock, and access checker. Any IOMMU programming is shared
+// shallowly — forked check worlds never program an IOMMU; attack
+// experiments that do don't fork.
+func (c *Controller) Clone(b *bus.Bus, onchip *mem.Map, clock *sim.Clock, check Checker) *Controller {
+	n := New(c.name, b, onchip, clock, c.costs, check)
+	n.iommu = c.iommu
+	n.assertedID = c.assertedID
+	return n
+}
+
 // SetObs wires the observability layer. Either argument may be nil.
 func (c *Controller) SetObs(tr *obs.Tracer, reg *obs.Registry) {
 	c.trace = tr
@@ -179,6 +190,11 @@ func (u *UARTLoopback) TransmitFromMem(ctl *Controller, addr mem.PhysAddr, n int
 	}
 	u.fifo = append(u.fifo, data...)
 	return nil
+}
+
+// Clone returns a loopback holding a copy of the captured FIFO.
+func (u *UARTLoopback) Clone() *UARTLoopback {
+	return &UARTLoopback{fifo: append([]byte(nil), u.fifo...)}
 }
 
 // Drain returns and clears everything the loopback captured.

@@ -178,6 +178,14 @@ func New(p Profile, seed int64) *Injector {
 	return &Injector{prof: p, rng: sim.NewRNG(seed)}
 }
 
+// Clone returns a detached injector continuing this one's deterministic
+// fault stream: same profile, RNG at the same stream position, stats and
+// the perturbation latch carried. The clone is attached to nothing; call
+// Attach on the forked world to wire its hooks.
+func (in *Injector) Clone() *Injector {
+	return &Injector{prof: in.prof, rng: in.rng.Clone(), stats: in.stats, perturbed: in.perturbed}
+}
+
 // Profile returns the injector's fault profile.
 func (in *Injector) Profile() Profile { return in.prof }
 

@@ -19,6 +19,7 @@ import (
 	"sentry/internal/mmu"
 	"sentry/internal/onsoc"
 	"sentry/internal/remanence"
+	"sentry/internal/snapshot"
 	"sentry/internal/soc"
 )
 
@@ -137,6 +138,11 @@ type actor struct {
 	// Actor-goroutine state. mu guards the slices for post-run readers.
 	d   *device
 	seq uint64
+	// bootSnap parks the device's post-boot state (captured at first boot,
+	// right after sentry.Open): every later reboot forks it in O(touched
+	// metadata) and re-runs only the deterministic workload setup, instead
+	// of re-running the whole boot sequence. Nil when Options.NoSnapshots.
+	bootSnap *snapshot.Snapshot[*sentry.Device]
 
 	mu         sync.Mutex
 	ledger     []LedgerEntry
@@ -290,11 +296,12 @@ func (a *actor) recoverPanic(rec any) error {
 	return fmt.Errorf("fleet: device %d: %s: %w", a.id, cause, ErrDeviceRestarted)
 }
 
-// reboot cold-boots a fresh device. Boot failure is terminal: the actor is
+// reboot boots a fresh device — from the parked post-boot snapshot after the
+// first boot, or cold otherwise. Boot failure is terminal: the actor is
 // quarantined (nothing a retry could change about a deterministic boot).
 func (a *actor) reboot(why string) {
-	boot := a.boots.Add(1)
-	d, err := bootDevice(a.f.opt, a.id, int(boot))
+	a.boots.Add(1)
+	d, err := a.bootDevice()
 	if err != nil {
 		a.d = nil
 		a.quarantined.Store(true)
@@ -329,22 +336,38 @@ func (a *actor) scanner() *check.Scanner {
 	}
 }
 
-// bootSeed derives a per-(device, boot) simulation seed from the fleet seed.
-func bootSeed(fleetSeed int64, id, boot int) int64 {
+// bootSeed derives a per-device simulation seed from the fleet seed. Every
+// boot of a device replays the same deterministic boot — which is what lets
+// reboots restore from the post-boot snapshot instead of re-booting.
+func bootSeed(fleetSeed int64, id int) int64 {
 	h := splitmix64(uint64(fleetSeed))
 	h = splitmix64(h ^ uint64(id))
-	h = splitmix64(h ^ uint64(boot))
 	return int64(h &^ (1 << 63)) // keep it positive for readable logs
 }
 
 // bootDevice builds one fresh simulated device with the fleet workload:
 // a sensitive foreground and background process filled with the plaintext
-// marker, an encrypted disk, and (when configured) a fault injector.
-func bootDevice(opt Options, id, boot int) (*device, error) {
-	seed := bootSeed(opt.Seed, id, boot)
-	sd, err := sentry.Open(sentry.Tegra3, opt.PIN, sentry.WithSeed(seed))
-	if err != nil {
-		return nil, err
+// marker, an encrypted disk, and (when configured) a fault injector. The
+// first boot captures a post-boot snapshot; later boots fork it and re-run
+// only the workload setup below, which is byte-identical to a cold boot
+// (the same per-device seed replays the same boot).
+func (a *actor) bootDevice() (*device, error) {
+	opt, id := a.f.opt, a.id
+	seed := bootSeed(opt.Seed, id)
+	var sd *sentry.Device
+	if a.bootSnap != nil {
+		sd = a.bootSnap.Fork()
+	} else {
+		var err error
+		sd, err = sentry.Open(sentry.Tegra3, opt.PIN, sentry.WithSeed(seed))
+		if err != nil {
+			return nil, err
+		}
+		if !opt.NoSnapshots {
+			// Capture parks a fork; the freshly booted original serves this
+			// first boot live.
+			a.bootSnap = snapshot.Capture(sd)
+		}
 	}
 	// The actor goroutine owns this device; bind the metrics registry so
 	// debug/race builds catch any cross-goroutine wiring.
@@ -359,6 +382,7 @@ func bootDevice(opt Options, id, boot int) (*device, error) {
 	}
 	d.fg = sd.Kernel.NewProcess("fg", true, false)
 	d.bg = sd.Kernel.NewProcess("bg", true, true)
+	var err error
 	if d.fgBase, err = sd.Kernel.MapAnon(d.fg, fgPages); err != nil {
 		return nil, err
 	}

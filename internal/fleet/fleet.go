@@ -72,8 +72,16 @@ type Options struct {
 	RestartBudget int
 
 	// Faults is the per-device fault profile (default none). Each boot
-	// gets a fresh injector seeded from the boot seed.
+	// gets a fresh injector seeded from the device's boot seed.
 	Faults faults.Profile
+
+	// NoSnapshots disables the checkpoint/fork restart fast path: every
+	// reboot re-runs the full deterministic boot sequence instead of
+	// forking the device's parked post-boot snapshot. Results are
+	// identical either way (the same per-device seed replays the same
+	// boot); only wall-clock differs. The sentrybench -snapshot=off
+	// escape hatch sets it.
+	NoSnapshots bool
 
 	// DefaultTimeout bounds requests whose context carries no deadline
 	// (default 30s) — every request in the system has a deadline.

@@ -32,6 +32,10 @@ type SoakConfig struct {
 	// simulated op, so deadlines never fire on a healthy run and the
 	// report stays deterministic).
 	OpTimeout time.Duration
+
+	// NoSnapshots forwards to Options.NoSnapshots: reboots re-run the full
+	// boot sequence instead of forking the post-boot snapshot.
+	NoSnapshots bool
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -136,6 +140,7 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		Seed:         cfg.Seed,
 		Faults:       prof,
 		SqueezeEvery: cfg.SqueezeEvery,
+		NoSnapshots:  cfg.NoSnapshots,
 	})
 
 	recs := make([][]clientRec, cfg.Devices)

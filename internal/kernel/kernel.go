@@ -178,6 +178,61 @@ func New(s *soc.SoC, pin string) *Kernel {
 // Pages exposes the physical page allocator.
 func (k *Kernel) Pages() *PageAllocator { return k.pages }
 
+// Clone rebuilds this kernel's state over the forked SoC s2: processes and
+// their address spaces (deep-copied), the frame allocator, lock state, PIN
+// failure count, zero queue, and counters. It returns the clone plus an
+// old→new process map so the software above (Sentry) can re-bind its
+// per-process references.
+//
+// Deliberately NOT carried: the hook slices (OnLock/OnUnlock/OnDeepLock),
+// FlushMaskFn, FaultHook, the Crypto registry's providers, and Faults. Those
+// are closures over the OLD world's objects; whoever installed them on this
+// kernel must re-install equivalents bound to the clone, exactly as at boot.
+// The CPU's fault handler is re-pointed at the clone.
+func (k *Kernel) Clone(s2 *soc.SoC) (*Kernel, map[*Process]*Process) {
+	n := &Kernel{
+		SoC:             s2,
+		procs:           make(map[int]*Process, len(k.procs)),
+		nextPID:         k.nextPID,
+		Crypto:          &CryptoAPI{},
+		lockState:       k.lockState,
+		pin:             k.pin,
+		pinFailures:     k.pinFailures,
+		IdleLockSeconds: k.IdleLockSeconds,
+		idleSeconds:     k.idleSeconds,
+		suspended:       k.suspended,
+		AliasRegion:     k.AliasRegion,
+		ZeroedBytes:     k.ZeroedBytes,
+	}
+	pa := *k.pages
+	pa.free = append([]mem.PhysAddr(nil), k.pages.free...)
+	n.pages = &pa
+	n.zeroQueue = append([]mem.PhysAddr(nil), k.zeroQueue...)
+	n.SensitiveKernelRanges = append([]NamedRange(nil), k.SensitiveKernelRanges...)
+	pm := make(map[*Process]*Process, len(k.procs))
+	for pid, p := range k.procs {
+		cp := &Process{
+			PID: p.PID, Name: p.Name, AS: p.AS.Clone(),
+			Sensitive: p.Sensitive, Background: p.Background, Schedulable: p.Schedulable,
+			DMARegions:  append([]Range(nil), p.DMARegions...),
+			sharedPages: make(map[mmu.VirtAddr][]int, len(p.sharedPages)),
+			nextMap:     p.nextMap,
+		}
+		for v, peers := range p.sharedPages {
+			cp.sharedPages[v] = append([]int(nil), peers...)
+		}
+		cp.AS.SetObs(s2.Metrics)
+		n.procs[pid] = cp
+		pm[p] = cp
+	}
+	if k.current != nil {
+		n.current = pm[k.current]
+		s2.CPU.AS = n.current.AS
+	}
+	s2.CPU.FaultHandler = n.handleFault
+	return n, pm
+}
+
 // stateChange moves the lock state machine and emits one StateChange event
 // labelled "old->new".
 func (k *Kernel) stateChange(to LockState) {

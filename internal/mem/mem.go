@@ -28,6 +28,15 @@ func PageBase(a PhysAddr) PhysAddr { return a &^ (PageSize - 1) }
 // Store is a sparse byte store of a fixed size, indexed from zero. Backing
 // pages materialise on first write; reads of untouched pages return zero.
 //
+// A Store may carry a frozen copy-on-write base layer underneath its
+// private pages: Seal freezes the current contents into the base, and Fork
+// returns a new store sharing that base. Reads fall through private pages
+// to the base; the first write to a base page copies it into the private
+// layer. Pages reachable from any base map are immutable forever — Seal
+// never mutates an existing base map, it builds a merged replacement — so
+// concurrently forking from one sealed store is safe even though stores
+// themselves are single-owner.
+//
 // A Store is not safe for concurrent use: each simulated platform is
 // single-threaded by design, and each experiment owns its platform. The
 // former per-access RWMutex bought nothing but cost on the hot path, so the
@@ -35,7 +44,8 @@ func PageBase(a PhysAddr) PhysAddr { return a &^ (PageSize - 1) }
 // the map lookup for the sequential streams that dominate the workloads.
 type Store struct {
 	size  uint64
-	pages map[uint64]*[PageSize]byte
+	pages map[uint64]*[PageSize]byte // private, writable pages
+	base  map[uint64]*[PageSize]byte // frozen COW layer; nil for a flat store
 
 	// Recently touched pages, direct-mapped by a multiplicative hash of the
 	// page number: access streams are sequential but interleave a few pages
@@ -44,8 +54,11 @@ type Store struct {
 	// into a compare. The hash matters: the fill and write-back streams
 	// run exactly one L2-capacity apart, a power-of-two page distance that
 	// would make both streams collide in every low-bits-indexed slot.
+	// cacheRW marks slots holding private pages; a slot caching a frozen
+	// base page satisfies reads but never the write path.
 	cachePN   [pageCacheSlots]uint64
 	cachePage [pageCacheSlots]*[PageSize]byte
+	cacheRW   [pageCacheSlots]bool
 }
 
 // pageCacheSlots sizes the Store's direct-mapped page cache; must be a
@@ -62,32 +75,74 @@ func NewStore(size uint64) *Store {
 	return &Store{size: size, pages: make(map[uint64]*[PageSize]byte)}
 }
 
-// lookup returns the backing page pn, or nil if untouched.
+// lookup returns the backing page pn, or nil if untouched. Private pages
+// shadow base pages, so the private map is always consulted first on a
+// cache miss.
 func (s *Store) lookup(pn uint64) *[PageSize]byte {
 	slot := pageSlot(pn)
 	if s.cachePage[slot] != nil && s.cachePN[slot] == pn {
 		return s.cachePage[slot]
 	}
 	p := s.pages[pn]
+	rw := p != nil
+	if p == nil && s.base != nil {
+		p = s.base[pn]
+	}
 	if p != nil {
-		s.cachePN[slot], s.cachePage[slot] = pn, p
+		s.cachePN[slot], s.cachePage[slot], s.cacheRW[slot] = pn, p, rw
 	}
 	return p
 }
 
-// materialise returns the backing page pn, allocating it if untouched.
+// materialise returns a writable backing page pn, allocating it if
+// untouched and copying it out of the frozen base on first write.
 func (s *Store) materialise(pn uint64) *[PageSize]byte {
 	slot := pageSlot(pn)
-	if s.cachePage[slot] != nil && s.cachePN[slot] == pn {
+	if s.cacheRW[slot] && s.cachePN[slot] == pn {
 		return s.cachePage[slot]
 	}
 	p := s.pages[pn]
 	if p == nil {
 		p = new([PageSize]byte)
+		if s.base != nil {
+			if frozen := s.base[pn]; frozen != nil {
+				*p = *frozen
+			}
+		}
 		s.pages[pn] = p
 	}
-	s.cachePN[slot], s.cachePage[slot] = pn, p
+	s.cachePN[slot], s.cachePage[slot], s.cacheRW[slot] = pn, p, true
 	return p
+}
+
+// Seal freezes the store's current contents into its copy-on-write base
+// layer. Subsequent writes to any page — including by this store — first
+// copy the page into the private layer, so every Fork taken from the sealed
+// state keeps seeing the sealed bytes. Sealing an already-sealed store
+// merges the private pages into a new base map; the old base map is never
+// mutated, so earlier forks are unaffected.
+func (s *Store) Seal() {
+	if len(s.pages) == 0 && s.base != nil {
+		return // already sealed with nothing new to freeze
+	}
+	nb := make(map[uint64]*[PageSize]byte, len(s.base)+len(s.pages))
+	for pn, p := range s.base {
+		nb[pn] = p
+	}
+	for pn, p := range s.pages {
+		nb[pn] = p
+	}
+	s.base = nb
+	s.pages = make(map[uint64]*[PageSize]byte)
+	s.cacheRW = [pageCacheSlots]bool{} // every cached page is now frozen
+}
+
+// Fork seals the store and returns a new store sharing its pages
+// copy-on-write. The fork costs O(1) plus the seal's metadata merge; page
+// data is copied only when either side writes.
+func (s *Store) Fork() *Store {
+	s.Seal()
+	return &Store{size: s.size, pages: make(map[uint64]*[PageSize]byte), base: s.base}
 }
 
 // Size returns the store's capacity in bytes.
@@ -151,31 +206,44 @@ func (s *Store) Write(off uint64, src []byte) {
 	}
 }
 
-// ZeroAll discards every backing page, returning the store to all-zeroes.
+// ZeroAll discards every backing page — including the inherited COW base —
+// returning the store to all-zeroes.
 func (s *Store) ZeroAll() {
 	s.pages = make(map[uint64]*[PageSize]byte)
+	s.base = nil
 	s.cachePage = [pageCacheSlots]*[PageSize]byte{}
+	s.cacheRW = [pageCacheSlots]bool{}
 }
 
-// TouchedPages returns the sorted offsets of pages that have backing store.
-// Untouched pages are architecturally zero and cannot hold remanent data.
+// TouchedPages returns the sorted offsets of pages that have backing store,
+// in the private layer or inherited from the COW base: a forked world's
+// touched set must include the pages its parent dirtied, or remanence
+// post-mortems would under-scan the fork. Untouched pages are
+// architecturally zero and cannot hold remanent data.
 func (s *Store) TouchedPages() []uint64 {
-	out := make([]uint64, 0, len(s.pages))
+	out := make([]uint64, 0, len(s.pages)+len(s.base))
 	for pn := range s.pages {
 		out = append(out, pn<<PageShift)
+	}
+	for pn := range s.base {
+		if _, shadowed := s.pages[pn]; !shadowed {
+			out = append(out, pn<<PageShift)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// MutatePages calls fn for every materialised page, in ascending address
-// order, with its base offset and a mutable view of its bytes. It is the
-// hook the remanence model uses to decay memory contents in place; the
-// fixed order keeps the RNG draw sequence — and therefore every decayed
-// dump — identical for a given seed.
+// MutatePages calls fn for every touched page (base pages included), in
+// ascending address order, with its base offset and a mutable view of its
+// bytes. Inherited base pages are materialised before fn sees them — fn
+// mutates in place, and frozen base pages are shared with other forks. It
+// is the hook the remanence model uses to decay memory contents; the fixed
+// order keeps the RNG draw sequence — and therefore every decayed dump —
+// identical for a given seed.
 func (s *Store) MutatePages(fn func(base uint64, data []byte)) {
 	for _, base := range s.TouchedPages() {
-		fn(base, s.pages[base>>PageShift][:])
+		fn(base, s.materialise(base>>PageShift)[:])
 	}
 }
 
@@ -234,6 +302,13 @@ func (d *Device) Tech() Technology { return d.tech }
 // Store exposes the raw backing store; used by remanence and by attack
 // drivers that dump the physical device contents.
 func (d *Device) Store() *Store { return d.s }
+
+// Fork returns a device of identical geometry whose store is a
+// copy-on-write fork of this device's store (which is sealed as a side
+// effect; see Store.Seal).
+func (d *Device) Fork() *Device {
+	return &Device{name: d.name, base: d.base, s: d.s.Fork(), tech: d.tech}
+}
 
 // Contains reports whether addr falls inside the device.
 func (d *Device) Contains(addr PhysAddr) bool {

@@ -104,6 +104,19 @@ func (a *AddressSpace) SetObs(reg *obs.Registry) {
 	a.ctrProtection = reg.Counter("mmu.faults.protection")
 }
 
+// Clone returns a deep copy of the address space: every PTE is copied, so
+// fault-handler fix-ups through Lookup pointers on either copy stay
+// private to it. Fault counters are left unresolved — a cloned world calls
+// SetObs against its own registry.
+func (a *AddressSpace) Clone() *AddressSpace {
+	n := NewAddressSpace()
+	for vpn, pte := range a.entries {
+		p := *pte
+		n.entries[vpn] = &p
+	}
+	return n
+}
+
 // Map installs pte for the page containing v (page-aligned internally).
 func (a *AddressSpace) Map(v VirtAddr, pte PTE) {
 	p := pte

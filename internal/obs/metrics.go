@@ -193,6 +193,18 @@ func (h *Histogram) Sum() uint64 {
 	return h.sum
 }
 
+// clone returns a deep copy of the histogram's bounds and counts.
+func (h *Histogram) clone() *Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return &Histogram{
+		bounds: append([]uint64(nil), h.bounds...),
+		counts: append([]uint64(nil), h.counts...),
+		sum:    h.sum,
+		n:      h.n,
+	}
+}
+
 // reset zeroes the histogram in place.
 func (h *Histogram) reset() {
 	if h == nil {
@@ -318,6 +330,36 @@ func (r *Registry) CounterValue(name string) uint64 {
 	c := r.ctrs[name]
 	r.mu.Unlock()
 	return c.Value()
+}
+
+// Clone returns a new registry holding the same instruments with their
+// current values. Instrument pointers resolved from the original stay
+// bound to the original; a forked world re-resolves its instruments by
+// name from the clone and receives the carried values — the same
+// wiring-time resolution a cold boot performs. The clone carries no owner
+// binding: the fork's owner goroutine calls BindOwner itself, mirroring
+// the fleet sweep hand-off.
+func (r *Registry) Clone() *Registry {
+	if r == nil {
+		return nil
+	}
+	n := NewRegistry()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.ctrs {
+		nc := &Counter{}
+		nc.v.Store(c.v.Load())
+		n.ctrs[name] = nc
+	}
+	for name, g := range r.gaugs {
+		ng := &Gauge{}
+		ng.v.Store(g.v.Load())
+		n.gaugs[name] = ng
+	}
+	for name, h := range r.hists {
+		n.hists[name] = h.clone()
+	}
+	return n
 }
 
 // Reset zeroes every registered instrument (instruments stay registered and

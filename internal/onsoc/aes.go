@@ -117,6 +117,34 @@ func build(s *soc.SoC, base mem.PhysAddr, place Placement, key []byte) (*AES, er
 	return a, nil
 }
 
+// Adopt rebuilds this engine over the forked SoC s2. The initialised arena
+// content travels with the forked memory, so the new cipher adopts it
+// instead of re-writing it (which would charge the clone's clock twice for
+// work the parent already did). key must be the key this engine was built
+// with — engines do not retain key material; the caller (Sentry's key store)
+// does. alloc, when non-nil, is the clone's iRAM allocator, used to rebuild
+// the release path of an iRAM-arena engine; pass nil for placements that
+// hold no allocation. The clone's Store starts with no PreemptFn — the
+// kernel above re-installs its own.
+func (a *AES) Adopt(s2 *soc.SoC, key []byte, alloc *IRAMAlloc) (*AES, error) {
+	st := NewCPUStore(s2.CPU, a.Store.Base, a.Store.Uncached)
+	st.Mirror = a.Store.Mirror
+	c, err := aes.AdoptPlaced(st, key, s2.Prof.Costs.AESRoundCompute)
+	if err != nil {
+		return nil, err
+	}
+	n := &AES{Cipher: c, Store: st, s: s2, place: a.place}
+	if a.release != nil && alloc != nil {
+		base := st.Base
+		n.release = func() error {
+			n.wipeArena()
+			alloc.Release(base)
+			return nil
+		}
+	}
+	return n, nil
+}
+
 // Placement returns where this engine's state lives.
 func (a *AES) Placement() Placement { return a.place }
 

@@ -30,6 +30,15 @@ func NewIRAMAlloc(base mem.PhysAddr, size uint64) *IRAMAlloc {
 	return &IRAMAlloc{base: base, size: size, inUse: make(map[mem.PhysAddr]uint64)}
 }
 
+// Clone returns an independent allocator with the same live allocations.
+func (a *IRAMAlloc) Clone() *IRAMAlloc {
+	n := NewIRAMAlloc(a.base, a.size)
+	for b, ln := range a.inUse {
+		n.inUse[b] = ln
+	}
+	return n
+}
+
 // Free returns the number of free bytes (possibly fragmented).
 func (a *IRAMAlloc) Free() uint64 {
 	used := uint64(0)

@@ -39,6 +39,18 @@ func NewWayLocker(s *soc.SoC, aliasBase mem.PhysAddr) (*WayLocker, error) {
 	return &WayLocker{soc: s, aliasBase: aliasBase, allocOff: make(map[int]uint64)}, nil
 }
 
+// Clone returns a locker with the same lock state and bump offsets over the
+// forked SoC s2 (whose L2 clone already carries the lockdown register and
+// the warmed alias lines).
+func (w *WayLocker) Clone(s2 *soc.SoC) *WayLocker {
+	n := &WayLocker{soc: s2, aliasBase: w.aliasBase, lockedMask: w.lockedMask,
+		allocOff: make(map[int]uint64, len(w.allocOff))}
+	for way, off := range w.allocOff {
+		n.allocOff[way] = off
+	}
+	return n
+}
+
 // LockedMask returns the mask of currently locked ways.
 func (w *WayLocker) LockedMask() uint32 { return w.lockedMask }
 

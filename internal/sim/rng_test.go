@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// drain runs a mixed operation sequence against an RNG-like surface and
+// returns a byte transcript of everything produced. Read sizes are chosen
+// to exercise the 7-byte carry (mid-word snapshot positions included).
+type drawer interface {
+	Float64() float64
+	Intn(n int) int
+	Uint32() uint32
+	Uint64() uint64
+	Read(p []byte) (int, error)
+	Perm(n int) []int
+}
+
+func transcript(t *testing.T, g drawer, rounds int) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	buf := make([]byte, 64)
+	for i := 0; i < rounds; i++ {
+		out.WriteByte(byte(g.Intn(251)))
+		u := g.Uint64()
+		for s := 0; s < 64; s += 8 {
+			out.WriteByte(byte(u >> s))
+		}
+		f := g.Float64()
+		out.WriteByte(byte(int(f * 256)))
+		n := 1 + (i*13)%29 // odd sizes straddle the 7-byte read carry
+		if _, err := g.Read(buf[:n]); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		out.Write(buf[:n])
+		u32 := g.Uint32()
+		out.WriteByte(byte(u32))
+		for _, p := range g.Perm(5) {
+			out.WriteByte(byte(p))
+		}
+	}
+	return out.Bytes()
+}
+
+// TestRNGMatchesMathRand pins the RNG's streams to math/rand's: the counting
+// source and the reimplemented Read must not change a single byte relative
+// to rand.New(rand.NewSource(seed)), or every recorded experiment value in
+// EXPERIMENTS.md would shift.
+func TestRNGMatchesMathRand(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1 << 40} {
+		got := transcript(t, NewRNG(seed), 200)
+		want := transcript(t, rand.New(rand.NewSource(seed)), 200)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: sim.RNG diverges from math/rand", seed)
+		}
+	}
+}
+
+// TestRNGStateRestore interrupts a stream at awkward positions (including
+// mid-Read carries), restores from the captured state, and checks the
+// restored RNG continues byte-for-byte like the original.
+func TestRNGStateRestore(t *testing.T) {
+	g := NewRNG(99)
+	buf := make([]byte, 11)
+	for i := 0; i < 50; i++ {
+		g.Uint64()
+		g.Read(buf) // 11 bytes: leaves a partial word carried
+		g.Float64()
+
+		st := g.State()
+		r := RestoreRNG(st)
+		a := transcript(t, g, 20)
+		b := transcript(t, r, 20)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("iteration %d: restored RNG diverges", i)
+		}
+		// g has now advanced past the transcript; resync the original from
+		// the restored copy's state for the next round.
+		if g.State() != r.State() {
+			t.Fatalf("iteration %d: states diverge after identical draws: %+v vs %+v",
+				i, g.State(), r.State())
+		}
+	}
+}

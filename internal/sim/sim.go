@@ -35,6 +35,12 @@ func NewClock(hz uint64) *Clock {
 	return &Clock{hz: hz}
 }
 
+// Clone returns an independent clock at the same cycle count and frequency.
+func (c *Clock) Clone() *Clock {
+	n := *c
+	return &n
+}
+
 // Advance charges n cycles to the clock.
 func (c *Clock) Advance(n uint64) {
 	c.cycles += n
@@ -116,6 +122,12 @@ type Meter struct {
 	pj float64
 }
 
+// Clone returns an independent meter at the same accumulated energy.
+func (m *Meter) Clone() *Meter {
+	n := *m
+	return &n
+}
+
 // Charge adds pj picojoules to the meter.
 func (m *Meter) Charge(pj float64) {
 	m.pj += pj
@@ -139,18 +151,46 @@ func (m *Meter) Span(fn func()) float64 {
 	return m.PJ() - start
 }
 
+// countingSource wraps the standard library generator and counts how many
+// times it has been stepped. math/rand's generator advances exactly one
+// internal step per Int63 or Uint64 call, so the pair (seed, steps) is a
+// complete, restorable description of the generator's position — the hook
+// that makes RNG state capturable for world snapshots without giving up
+// math/rand's exact output streams.
+type countingSource struct {
+	src rand.Source64
+	n   uint64 // generator steps delivered since seeding
+}
+
+func (s *countingSource) Int63() int64    { s.n++; return s.src.Int63() }
+func (s *countingSource) Uint64() uint64  { s.n++; return s.src.Uint64() }
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed); s.n = 0 }
+
 // RNG wraps a seeded deterministic random source. All stochastic models
 // (remanence decay, workload access patterns) draw from an RNG owned by the
 // platform so experiments replay identically for a fixed seed. Determinism
 // requires a fixed draw order, which in turn requires a single owner
 // goroutine — so, like Clock and Meter, RNG is deliberately unsynchronised.
+//
+// Every value-producing method delegates to a *rand.Rand over the counting
+// source, except Read: rand.Rand keeps its byte-carry state (readVal,
+// readPos) in unexported fields, so Read reimplements math/rand's exact
+// read algorithm over the same source to keep that carry state here, where
+// State can capture it. The byte streams are identical to rand.Rand.Read's.
 type RNG struct {
-	r *rand.Rand
+	seed    int64
+	src     countingSource
+	r       *rand.Rand
+	readVal int64
+	readPos int8
 }
 
 // NewRNG returns a deterministic random source for the given seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	g := &RNG{seed: seed}
+	g.src.src = rand.NewSource(seed).(rand.Source64)
+	g.r = rand.New(&g.src)
+	return g
 }
 
 // Float64 returns a uniform value in [0,1).
@@ -165,11 +205,59 @@ func (g *RNG) Uint32() uint32 { return g.r.Uint32() }
 // Uint64 returns a uniform 64-bit value.
 func (g *RNG) Uint64() uint64 { return g.r.Uint64() }
 
-// Read fills p with random bytes. It always returns len(p), nil.
-func (g *RNG) Read(p []byte) (int, error) { return g.r.Read(p) }
+// Read fills p with random bytes. It always returns len(p), nil. The
+// algorithm mirrors math/rand's read: seven bytes are peeled off each
+// generator step, and the partially consumed word carries across calls.
+func (g *RNG) Read(p []byte) (int, error) {
+	pos, val := g.readPos, g.readVal
+	for n := 0; n < len(p); n++ {
+		if pos == 0 {
+			val = g.src.Int63()
+			pos = 7
+		}
+		p[n] = byte(val)
+		val >>= 8
+		pos--
+	}
+	g.readPos, g.readVal = pos, val
+	return len(p), nil
+}
 
 // Perm returns a random permutation of [0,n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// RNGState is a compact capture of an RNG's position in its deterministic
+// stream: the seed, the number of generator steps consumed, and the
+// byte-read carry. RestoreRNG rebuilds an RNG that continues the stream
+// exactly where the captured one stood.
+type RNGState struct {
+	Seed    int64
+	Steps   uint64
+	ReadVal int64
+	ReadPos int8
+}
+
+// State captures the RNG's current stream position.
+func (g *RNG) State() RNGState {
+	return RNGState{Seed: g.seed, Steps: g.src.n, ReadVal: g.readVal, ReadPos: g.readPos}
+}
+
+// Clone returns an independent RNG positioned at the same stream point.
+func (g *RNG) Clone() *RNG { return RestoreRNG(g.State()) }
+
+// RestoreRNG returns a fresh RNG positioned at the captured state by
+// replaying the recorded number of generator steps. Steps are cheap
+// (one feedback-register update each), so restore cost is nanoseconds per
+// thousand draws — negligible against the boot it replaces.
+func RestoreRNG(st RNGState) *RNG {
+	g := NewRNG(st.Seed)
+	for i := uint64(0); i < st.Steps; i++ {
+		g.src.src.Uint64()
+	}
+	g.src.n = st.Steps
+	g.readVal, g.readPos = st.ReadVal, st.ReadPos
+	return g
+}
 
 // Event is a single entry in a component trace.
 type Event struct {

@@ -1,0 +1,60 @@
+// Package snapshot provides deterministic checkpoint/fork for simulated
+// worlds: capture the complete state of a booted platform once, then stamp
+// out independent, byte-identical copies in O(touched metadata) instead of
+// re-running the boot sequence.
+//
+// The heavy lifting lives in the layers being captured — every component
+// from mem.Store (copy-on-write page sharing) up through soc.SoC.Fork,
+// kernel.Kernel.Clone, and core.Sentry.Clone knows how to clone itself with
+// its deterministic streams (clock, energy meter, RNG position) intact.
+// This package contributes the orchestration contract:
+//
+//   - Capture parks a fork of the world as an immutable snapshot. The
+//     original world stays live and mutable; the parked copy is never
+//     touched again.
+//   - Snapshot.Fork clones the parked copy. Because the parked world's
+//     memory stores are sealed (frozen base layer, no private pages),
+//     forking is a pure read of the snapshot and is safe from multiple
+//     goroutines — the parallel bench harness forks one post-boot snapshot
+//     per platform concurrently.
+//
+// Soundness contract, enforced by the property tests in this package (store
+// level) and in internal/check/fork_test.go (full worlds): a
+// forked world must replay any operation sequence byte-identically to a
+// world that reached the capture point by cold boot, and mutations applied
+// to one fork must never become visible to the parent, the snapshot, or
+// sibling forks.
+package snapshot
+
+import "sync"
+
+// Forkable is a world that can produce an independent deep copy of itself.
+// Fork must leave the receiver replayable (sealing shared memory is allowed;
+// observable state must not change).
+type Forkable[W any] interface {
+	Fork() W
+}
+
+// Snapshot is an immutable checkpoint of a world. Create with Capture; stamp
+// out copies with Fork.
+type Snapshot[W Forkable[W]] struct {
+	mu     sync.Mutex
+	parked W
+}
+
+// Capture checkpoints w. The world keeps running afterwards — its memory
+// pages are sealed into a shared copy-on-write base, and an immutable parked
+// clone is retained as the snapshot.
+func Capture[W Forkable[W]](w W) *Snapshot[W] {
+	return &Snapshot[W]{parked: w.Fork()}
+}
+
+// Fork returns an independent world continuing from the captured state.
+// Safe for concurrent use: the first fork of the parked copy seals its
+// (already base-only) stores, and the mutex serialises that with any
+// concurrent fork; every fork after that is a pure read.
+func (s *Snapshot[W]) Fork() W {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parked.Fork()
+}

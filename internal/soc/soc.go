@@ -194,6 +194,12 @@ type SoC struct {
 	// nil until Instrument wires them through every component.
 	Trace   *obs.Tracer
 	Metrics *obs.Registry
+
+	// instrumented records whether Instrument ran, as opposed to Metrics
+	// being set bare (core does that to host its counters without paying for
+	// per-transaction component instruments). Fork replicates the exact
+	// wiring state so a clone observes neither more nor less than its parent.
+	instrumented bool
 }
 
 // New builds and cold-boots a platform from a profile. seed drives every
@@ -224,6 +230,55 @@ func New(p Profile, seed int64) *SoC {
 	return s
 }
 
+// Freeze seals both memory devices so subsequent Forks share their pages
+// copy-on-write without mutating this SoC. Freeze is idempotent; after it, a
+// parked (no longer mutated) SoC may be forked from multiple goroutines
+// concurrently.
+func (s *SoC) Freeze() {
+	s.IRAM.Store().Seal()
+	s.DRAM.Store().Seal()
+}
+
+// Fork returns an independent deep copy of the platform. Memory contents are
+// shared copy-on-write with this SoC (both sides seal their stores), so a
+// fork costs O(live metadata), not O(DRAM size). The clone continues the
+// parent's streams exactly: clock cycles, accumulated energy, RNG position,
+// cache contents and lockdown state, bus statistics, and register state all
+// carry over, so a forked platform replays byte-identically to one that
+// reached the same point from a cold boot.
+//
+// Not carried: bus monitors, fault injectors, the CPU's address space and
+// fault handler, and observability wiring — those belong to the software
+// stack above (kernel, attack harnesses), which re-attaches its own on the
+// fork. The Metrics registry is deep-copied with no bound owner; Trace is
+// shared (it is internally synchronised and bounded).
+func (s *SoC) Fork() *SoC {
+	n := &SoC{
+		Prof:         s.Prof,
+		Clock:        s.Clock.Clone(),
+		Meter:        s.Meter.Clone(),
+		RNG:          s.RNG.Clone(),
+		ScreenLocked: s.ScreenLocked,
+	}
+	n.IRAM = s.IRAM.Fork()
+	n.DRAM = s.DRAM.Fork()
+	n.Bus = s.Bus.Clone(n.Clock, n.Meter, mem.NewMap(n.DRAM))
+	n.L2 = s.L2.Clone(n.Clock, n.Meter, n.Bus)
+	n.TZ = s.TZ.Clone()
+	n.CPU = s.CPU.Clone(n.Clock, n.Meter, n.L2, n.Bus, n.IRAM)
+	n.CPU.Guard = n.TZ
+	n.DMA = s.DMA.Clone(n.Bus, mem.NewMap(n.IRAM), n.Clock, n.TZ)
+	n.UART = s.UART.Clone()
+	rom := *s.ROM
+	n.ROM = &rom
+	if s.instrumented {
+		n.Instrument(s.Trace, s.Metrics.Clone())
+	} else if s.Metrics != nil {
+		n.Metrics = s.Metrics.Clone()
+	}
+	return n
+}
+
 // Instrument wires an observability layer through every hardware component.
 // Either argument may be nil (tracing without metrics, or vice versa).
 // Call it once, at setup: components resolve their instruments here and the
@@ -231,6 +286,7 @@ func New(p Profile, seed int64) *SoC {
 func (s *SoC) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 	s.Trace = tr
 	s.Metrics = reg
+	s.instrumented = true
 	s.Bus.SetObs(tr, reg)
 	s.L2.SetObs(tr, reg)
 	s.CPU.SetObs(tr, reg)

@@ -83,6 +83,14 @@ func New(available bool, rng *sim.RNG) *Controller {
 	return c
 }
 
+// Clone returns a deep copy of the TrustZone state: world, fuse, and the
+// protected-region table.
+func (c *Controller) Clone() *Controller {
+	n := &Controller{available: c.available, world: c.world, fuse: c.fuse}
+	n.regions = append([]Region(nil), c.regions...)
+	return n
+}
+
 // Available reports whether secure-world entry is possible on this device.
 func (c *Controller) Available() bool { return c.available }
 

@@ -280,6 +280,23 @@ func NewNexus4(seed int64, pin string, cfg Config) (*Device, error) {
 	return Open(Nexus4, pin, WithSeed(seed), WithConfig(cfg))
 }
 
+// Fork returns an independent copy of the device continuing from its exact
+// current state: clock, energy meter, RNG position, kernel and Sentry state
+// all carry over, and memory is shared copy-on-write with the parent, so a
+// fork costs O(touched metadata) instead of a boot. Both devices stay fully
+// usable and never observe each other's subsequent writes. The fleet service
+// layer restores restarted devices from a post-boot fork; snapshot.Capture
+// parks one for repeated forking.
+func (d *Device) Fork() *Device {
+	s2 := d.SoC.Fork()
+	k2, pm := d.Kernel.Clone(s2)
+	sn2, err := d.Sentry.Clone(k2, pm)
+	if err != nil {
+		panic(fmt.Sprintf("sentry: device fork failed: %v", err))
+	}
+	return &Device{SoC: s2, Kernel: k2, Sentry: sn2}
+}
+
 // Trace returns the device's event tracer (nil unless Open was given
 // WithTracer or WithMetricsSink).
 func (d *Device) Trace() *Tracer { return d.SoC.Trace }
