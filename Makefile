@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check soak fuzz-smoke ci
+.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check soak serve-soak throughput-guard throughput-record fuzz-smoke ci
 
 all: ci
 
@@ -70,10 +70,26 @@ soak:
 	@rm -f soak-a.json soak-b.json
 	$(GO) test -race -count=1 ./internal/fleet/...
 
+# HTTP determinism: the soak workload through sentryd + sentryload, run with
+# a resident cap forcing park/hydrate cycles and again unbounded; the two
+# client-visible JSON reports must be byte-identical.
+serve-soak:
+	sh scripts/serve_soak.sh
+
+# Open-loop serving throughput: fail if achieved ops/sec against a capped
+# sentryd fell >25% below the keyed "serve" record in BENCH_wallclock.json.
+# Latencies are measured from scheduled arrivals (no coordinated omission).
+throughput-guard:
+	sh scripts/throughput_guard.sh guard
+
+# Re-record the serving-throughput baseline after an intentional change.
+throughput-record:
+	sh scripts/throughput_guard.sh record
+
 # Short native-fuzzing burst over the PIN state machine and the cold-boot
 # dump scanners.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzUnlockPIN -fuzztime 30s ./internal/kernel/
 	$(GO) test -fuzz FuzzColdbootScan -fuzztime 30s ./internal/attack/
 
-ci: vet build race bench-guard wallclock-guard snapshot-guard check soak
+ci: vet build race bench-guard wallclock-guard snapshot-guard check soak serve-soak throughput-guard

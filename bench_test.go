@@ -191,7 +191,7 @@ func BenchmarkSimulatedCacheAccess(b *testing.B) {
 }
 
 func BenchmarkSentryPageEncrypt(b *testing.B) {
-	dev, err := NewTegra3(1, "1234", Config{})
+	dev, err := Open(Tegra3, "1234", WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func BenchmarkLockedWayLockUnlock(b *testing.B) {
 }
 
 func BenchmarkBackgroundPageFault(b *testing.B) {
-	dev, err := NewTegra3(1, "1234", Config{})
+	dev, err := Open(Tegra3, "1234", WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func BenchmarkBackgroundPageFault(b *testing.B) {
 }
 
 func BenchmarkColdBootDumpScan(b *testing.B) {
-	dev, err := NewTegra3(1, "1234", Config{})
+	dev, err := Open(Tegra3, "1234", WithSeed(1))
 	if err != nil {
 		b.Fatal(err)
 	}

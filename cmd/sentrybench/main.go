@@ -19,7 +19,6 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,30 +27,12 @@ import (
 	"sentry/internal/bench"
 	"sentry/internal/check"
 	"sentry/internal/obs"
+	"sentry/internal/wallclock"
 )
 
-// Wallclock is the schema of BENCH_wallclock.json: recorded wall-clock costs
-// keyed by run kind — "serial" (-exp all -j 1), "parallel" (-exp all -j N),
-// and "check" (the model-checker campaign). The checked-in copy is the perf
-// trajectory the wall-clock and snapshot guards defend.
-type Wallclock struct {
-	Seed    int64               `json:"seed"`
-	Records map[string]*WallRun `json:"records"`
-}
-
-// WallRun is one recorded run: its worker-pool width, total wall clock, and
-// (for -exp all runs) the per-experiment breakdown.
-type WallRun struct {
-	Parallelism int                `json:"parallelism"`
-	TotalSec    float64            `json:"total_seconds"`
-	Experiments map[string]float64 `json:"experiments,omitempty"`
-}
-
-// guardHeadroom is how much slower than the checked-in record a run may be
-// before the guard fails. Wall clocks are noisy; 25% is regression, not noise.
-const guardHeadroom = 1.25
-
-// runKind names the record a run updates or is guarded against.
+// runKind names the BENCH_wallclock.json record a run updates or is guarded
+// against — "serial" for -j 1, "parallel" otherwise; the schema and guard
+// semantics live in internal/wallclock.
 func runKind(parallel int) string {
 	if parallel == 1 {
 		return "serial"
@@ -59,49 +40,19 @@ func runKind(parallel int) string {
 	return "parallel"
 }
 
-// recordWallclock merges one run into the JSON record file, preserving the
-// other kinds already recorded there (read-modify-write).
-func recordWallclock(path, kind string, seed int64, run *WallRun) {
-	wc := Wallclock{Seed: seed, Records: map[string]*WallRun{}}
-	if buf, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(buf, &wc); err != nil || wc.Records == nil {
-			wc = Wallclock{Seed: seed, Records: map[string]*WallRun{}}
-		}
-	}
-	wc.Seed = seed
-	wc.Records[kind] = run
-	buf, err := json.MarshalIndent(wc, "", "  ")
-	if err != nil {
-		fatalf("wallclock: %v", err)
-	}
-	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+func recordWallclock(path, kind string, seed int64, run *wallclock.Run) {
+	if err := wallclock.Record(path, kind, seed, run); err != nil {
 		fatalf("wallclock: %v", err)
 	}
 	fmt.Printf("wallclock: %s run %.2fs recorded to %s\n", kind, run.TotalSec, path)
 }
 
-// guardWallclock fails the run if it is >25% slower than the recorded run of
-// the same kind.
-func guardWallclock(path, kind string, run *WallRun) {
-	buf, err := os.ReadFile(path)
+func guardWallclock(path, kind string, run *wallclock.Run) {
+	msg, err := wallclock.Guard(path, kind, run)
 	if err != nil {
 		fatalf("wallclock-guard: %v", err)
 	}
-	var wc Wallclock
-	if err := json.Unmarshal(buf, &wc); err != nil {
-		fatalf("wallclock-guard: %s: %v", path, err)
-	}
-	rec := wc.Records[kind]
-	if rec == nil {
-		fatalf("wallclock-guard: %s has no %q record", path, kind)
-	}
-	limit := rec.TotalSec * guardHeadroom
-	if run.TotalSec > limit {
-		fatalf("wallclock-guard: %s total %.2fs exceeds %.2fs (recorded %.2fs + 25%% headroom) — perf regression",
-			kind, run.TotalSec, limit, rec.TotalSec)
-	}
-	fmt.Printf("wallclock-guard: %s total %.2fs within %.2fs budget (recorded %.2fs + 25%% headroom)\n",
-		kind, run.TotalSec, limit, rec.TotalSec)
+	fmt.Println("wallclock-guard:", msg)
 }
 
 func main() {
@@ -159,7 +110,7 @@ func main() {
 		if !runCheck(*platforms, *seeds, *checkSteps, *faultsProf, *seed) {
 			fatalf("check failed")
 		}
-		run := &WallRun{Parallelism: 1, TotalSec: time.Since(start).Seconds()}
+		run := &wallclock.Run{Parallelism: 1, TotalSec: time.Since(start).Seconds()}
 		if *wallOut != "" {
 			recordWallclock(*wallOut, "check", *seed, run)
 		}
@@ -218,7 +169,7 @@ func main() {
 		results = []bench.Result{{Exp: e, Report: r, Err: err, Wall: time.Since(start)}}
 	}
 
-	run := &WallRun{Parallelism: *parallel, Experiments: map[string]float64{}}
+	run := &wallclock.Run{Parallelism: *parallel, Experiments: map[string]float64{}}
 	for _, res := range results {
 		if res.Err != nil {
 			fatalf("%s: %v", res.Exp.ID, res.Err)

@@ -10,7 +10,7 @@ import (
 // The headline flow: protect an application, lock the device, survive a
 // cold-boot attack, then unlock and resume.
 func Example() {
-	dev, err := sentry.NewTegra3(1, "4321", sentry.Config{})
+	dev, err := sentry.Open(sentry.Tegra3, "4321", sentry.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func ExampleOpen() {
 // Background execution while locked: an MP3 player keeps running with its
 // memory paged through a locked L2 way, so DRAM never holds plaintext.
 func ExampleDevice_BeginBackground() {
-	dev, err := sentry.NewTegra3(1, "4321", sentry.Config{})
+	dev, err := sentry.Open(sentry.Tegra3, "4321", sentry.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func ExampleDevice_BeginBackground() {
 // dm-crypt with AES On SoC: register Sentry's engine with the Crypto API
 // and every legacy user picks it up.
 func ExampleDevice_NewEncryptedDisk() {
-	dev, err := sentry.NewTegra3(1, "4321", sentry.Config{})
+	dev, err := sentry.Open(sentry.Tegra3, "4321", sentry.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

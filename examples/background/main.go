@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	dev, err := sentry.NewTegra3(1, "4321", sentry.Config{})
+	dev, err := sentry.Open(sentry.Tegra3, "4321", sentry.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}

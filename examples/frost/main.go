@@ -26,7 +26,7 @@ var inbox = []string{
 }
 
 func run(protected bool) (recovered []string, err error) {
-	dev, err := sentry.NewTegra3(1, "4321", sentry.Config{})
+	dev, err := sentry.Open(sentry.Tegra3, "4321", sentry.WithSeed(1))
 	if err != nil {
 		return nil, err
 	}

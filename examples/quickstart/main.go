@@ -12,7 +12,7 @@ import (
 
 func main() {
 	// A Tegra 3 class device with PIN 4321.
-	dev, err := sentry.NewTegra3(1, "4321", sentry.Config{})
+	dev, err := sentry.Open(sentry.Tegra3, "4321", sentry.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func main() {
 
 	// (On the un-stolen timeline…) the user unlocks; pages decrypt lazily
 	// as the app resumes.
-	dev2, _ := sentry.NewTegra3(1, "4321", sentry.Config{})
+	dev2, _ := sentry.Open(sentry.Tegra3, "4321", sentry.WithSeed(1))
 	app2, _ := dev2.Launch(sentry.Contacts(), true)
 	dev2.Lock()
 	if err := dev2.Unlock("4321"); err != nil {

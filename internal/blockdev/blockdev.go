@@ -85,3 +85,10 @@ func (d *RAMDisk) WriteSector(n uint64, src []byte) error {
 // Store exposes the backing store so attacks can scan the "disk" contents
 // (e.g. to verify dm-crypt left only ciphertext at rest).
 func (d *RAMDisk) Store() *mem.Store { return d.store }
+
+// Fork returns an independent copy of the disk for the forked SoC s2.
+// Sector contents are shared copy-on-write with the parent, so the fork
+// costs O(touched metadata); transfer charges land on s2's clock.
+func (d *RAMDisk) Fork(s2 *soc.SoC) *RAMDisk {
+	return &RAMDisk{s: s2, store: d.store.Fork(), sectors: d.sectors}
+}

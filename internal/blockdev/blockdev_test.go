@@ -55,3 +55,56 @@ func TestRAMDiskChargesTime(t *testing.T) {
 		t.Fatalf("raw ramdisk throughput = %v MB/s, want 100–1000", mbps)
 	}
 }
+
+// Fork shares sector contents copy-on-write and charges the fork's I/O to
+// the forked SoC's clock, with writes isolated in both directions.
+func TestRAMDiskFork(t *testing.T) {
+	s := soc.Tegra3(1)
+	d := NewRAMDisk(s, 1<<20)
+	a := bytes.Repeat([]byte{0xAA}, SectorSize)
+	if err := d.WriteSector(3, a); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := soc.Tegra3(2)
+	f := d.Fork(s2)
+	if f.Sectors() != d.Sectors() {
+		t.Fatalf("fork capacity %d != parent %d", f.Sectors(), d.Sectors())
+	}
+	got := make([]byte, SectorSize)
+	if err := f.ReadSector(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, a) {
+		t.Fatal("fork does not see pre-fork sector data")
+	}
+
+	// Fork writes never reach the parent, and vice versa.
+	b := bytes.Repeat([]byte{0xBB}, SectorSize)
+	if err := f.WriteSector(3, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadSector(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, a) {
+		t.Fatal("fork write leaked into the parent")
+	}
+	c := bytes.Repeat([]byte{0xCC}, SectorSize)
+	if err := d.WriteSector(5, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReadSector(5, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, c) {
+		t.Fatal("parent write leaked into the fork")
+	}
+
+	// The fork's I/O charges s2, not the parent's clock.
+	c0 := s2.Clock.Cycles()
+	_ = f.WriteSector(0, b)
+	if s2.Clock.Cycles() == c0 {
+		t.Fatal("fork I/O charged no time on the forked SoC")
+	}
+}

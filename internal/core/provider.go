@@ -48,6 +48,19 @@ func (p *AESProvider) DecryptCBC(dst, src, iv []byte) error {
 // Engine exposes the wrapped engine.
 func (p *AESProvider) Engine() *onsoc.AES { return p.a }
 
+// Adopt rebuilds the provider over the forked SoC s2, adopting the engine
+// arena that travelled with the forked memory (see onsoc.AES.Adopt). key
+// must be the key the engine was built with; alloc is the fork's iRAM
+// allocator (ignored for placements holding no iRAM allocation, so passing
+// it unconditionally is safe). Name and priority carry over.
+func (p *AESProvider) Adopt(s2 *soc.SoC, key []byte, alloc *onsoc.IRAMAlloc) (*AESProvider, error) {
+	a2, err := p.a.Adopt(s2, key, alloc)
+	if err != nil {
+		return nil, err
+	}
+	return &AESProvider{name: p.name, prio: p.prio, a: a2}, nil
+}
+
 // NewOnSoCProvider wraps an AES On SoC engine as the high-priority
 // "aes-onsoc" provider.
 func NewOnSoCProvider(a *onsoc.AES) *AESProvider {

@@ -62,6 +62,15 @@ func newWith(dev blockdev.Device, provider kernel.CipherProvider, key []byte) (*
 	return &DMCrypt{dev: dev, cipher: provider, ivgen: ivc}, nil
 }
 
+// Refit rebuilds the target over a forked device and cipher provider,
+// reusing the ESSIV generator. The generator is pure software keyed only by
+// the volume key — it holds no per-world simulation state — so the refit
+// target derives the exact IV sequence the original would, which is what
+// keeps a forked volume byte-compatible with its parent.
+func (d *DMCrypt) Refit(dev blockdev.Device, provider kernel.CipherProvider) *DMCrypt {
+	return &DMCrypt{dev: dev, cipher: provider, ivgen: d.ivgen}
+}
+
 // CipherName reports which Crypto API provider the target resolved.
 func (d *DMCrypt) CipherName() string { return d.cipher.Name() }
 

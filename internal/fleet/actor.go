@@ -5,7 +5,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"sentry"
@@ -60,6 +59,17 @@ func (c OpCode) String() string {
 	return fmt.Sprintf("OpCode(%d)", int(c))
 }
 
+// OpCodeByName maps an op name (the String form) back to its code; ok is
+// false for unknown names. The HTTP boundary uses it to parse requests.
+func OpCodeByName(name string) (OpCode, bool) {
+	for i, n := range opNames {
+		if n == name {
+			return OpCode(i), true
+		}
+	}
+	return 0, false
+}
+
 // Op is one request against a hosted device.
 type Op struct {
 	Code OpCode
@@ -73,10 +83,10 @@ type Op struct {
 // assigned only on success and is contiguous per device across reboots —
 // the sequence ledger the soak harness checks for lost or duplicated ops.
 type LedgerEntry struct {
-	OpID uint64
-	Code OpCode
-	Seq  uint64 // 0 on failure
-	Err  string // "" on success
+	OpID uint64 `json:"op_id"`
+	Code OpCode `json:"code"`
+	Seq  uint64 `json:"seq"`           // 0 on failure
+	Err  string `json:"err,omitempty"` // "" on success
 }
 
 const (
@@ -91,18 +101,22 @@ const (
 var fleetMarker = []byte("FLEET-SOAK-MARKER-XYZZY")
 
 // device is one booted simulated device plus the workload state the actor
-// drives on it. Everything here is owned by the actor goroutine.
+// drives on it. Everything here is owned by one goroutine at a time: the
+// resident actor's, or — between park and hydrate — nobody's.
 type device struct {
 	dev     *sentry.Device
 	pin     string
 	marker  []byte
-	volKey0 []byte // volatile root key as generated at this boot
+	volKey0 []byte // volatile root key as generated at the base boot
 
 	fg, bg         *kernel.Process
 	fgBase, bgBase mmu.VirtAddr
 	bgOn           bool
 
 	dm       *dmcrypt.DMCrypt
+	disk     *blockdev.RAMDisk
+	prov     *core.AESProvider
+	diskKey  []byte
 	diskDown bool // true when disk crypto degraded to the DRAM-arena provider
 	shadow   map[uint64][]byte
 
@@ -114,54 +128,82 @@ type device struct {
 	wasLockedAtCut bool
 }
 
-// actor hosts one device on one goroutine — the single-owner contract of
-// the simulation (sim.Clock, sim.RNG, obs instruments) is preserved by
-// construction, and enforced by the obs owner guard in debug/race builds.
-// All requests arrive through the bounded mailbox; panics (fault-injected
-// power loss or bugs) are recovered at the mailbox boundary and converted
-// into a supervised restart.
-type actor struct {
-	f  *Fleet
-	id int
-
-	mbox *mailbox
-	brk  *Breaker
-	done chan struct{}
-
-	nextOp      atomic.Uint64 // per-device op id allocator
-	quarantined atomic.Bool
-	stalled     atomic.Bool
-	busySince   atomic.Int64 // clock nanos; 0 when idle
-	boots       atomic.Int64
-	restarts    atomic.Int64 // fault-caused restarts (charged to the budget)
-
-	// Actor-goroutine state. mu guards the slices for post-run readers.
-	d   *device
-	seq uint64
-	// bootSnap parks the device's post-boot state (captured at first boot,
-	// right after sentry.Open): every later reboot forks it in O(touched
-	// metadata) and re-runs only the deterministic workload setup, instead
-	// of re-running the whole boot sequence. Nil when Options.NoSnapshots.
-	bootSnap *snapshot.Snapshot[*sentry.Device]
-
-	mu         sync.Mutex
-	ledger     []LedgerEntry
-	causes     []string // one entry per fault-caused restart or quarantine
-	violations []string
+// Fork returns an independent continuation of the device — world forked
+// copy-on-write, processes re-mapped by PID, disk and crypto engine
+// re-pointed at the forked stores, fault stream cloned at its position —
+// so the fork replays exactly what the original would have done. It is
+// what snapshot.Snapshot[*device] parks and hydrates.
+func (d *device) Fork() *device {
+	sd2 := d.dev.Fork()
+	d2 := &device{
+		dev:            sd2,
+		pin:            d.pin,
+		marker:         d.marker,
+		volKey0:        d.volKey0,
+		fgBase:         d.fgBase,
+		bgBase:         d.bgBase,
+		bgOn:           d.bgOn,
+		diskKey:        d.diskKey,
+		diskDown:       d.diskDown,
+		shadow:         make(map[uint64][]byte, len(d.shadow)),
+		dead:           d.dead,
+		wasLockedAtCut: d.wasLockedAtCut,
+	}
+	d2.fg = sd2.Kernel.Process(d.fg.PID)
+	d2.bg = sd2.Kernel.Process(d.bg.PID)
+	for sec, buf := range d.shadow {
+		d2.shadow[sec] = buf // written sectors are immutable once recorded
+	}
+	d2.disk = d.disk.Fork(sd2.SoC)
+	prov, err := d.prov.Adopt(sd2.SoC, d.diskKey, sd2.Sentry.IRAM())
+	if err != nil {
+		panic(fmt.Sprintf("fleet: device fork: crypto adopt failed: %v", err))
+	}
+	d2.prov = prov
+	d2.dm = d.dm.Refit(d2.disk, prov)
+	if d.inj != nil {
+		d2.inj = d.inj.Clone()
+		d2.inj.Attach(sd2.Sentry)
+	}
+	return d2
 }
 
-func newActor(f *Fleet, id int) *actor {
-	return &actor{
-		f:    f,
-		id:   id,
-		mbox: newMailbox(f.opt.MailboxCap),
-		brk:  NewBreaker(f.opt.Breaker, f.clock),
-		done: make(chan struct{}),
+// actor hosts one resident device on one goroutine — the single-owner
+// contract of the simulation (sim.Clock, sim.RNG, obs instruments) is
+// preserved by construction, and enforced by the obs owner guard in
+// debug/race builds. All requests arrive through the bounded mailbox;
+// panics (fault-injected power loss or bugs) are recovered at the mailbox
+// boundary and converted into a supervised restart. The actor is the
+// ephemeral half of a device: identity (ledger, seq, breaker, budgets)
+// lives on the slot and survives the actor's park/exit.
+type actor struct {
+	f  *Fleet
+	sh *shard
+	sl *slot
+
+	mbox    *mailbox
+	parkReq atomic.Bool
+	// busySince is the clock nanos when the current request began; 0 when
+	// idle. The watchdog reads it.
+	busySince atomic.Int64
+
+	d *device // actor-goroutine state
+}
+
+func newActor(f *Fleet, sh *shard, sl *slot) *actor {
+	return &actor{f: f, sh: sh, sl: sl, mbox: newMailbox(f.opt.MailboxCap)}
+}
+
+// wake nudges the actor loop (park requests, shutdown).
+func (a *actor) wake() {
+	select {
+	case a.mbox.ready <- struct{}{}:
+	default:
 	}
 }
 
 // call submits one request and waits for the reply or the caller deadline.
-func (a *actor) call(ctx context.Context, op Op, opID uint64) (any, error) {
+func (a *actor) call(ctx context.Context, op Op, opID uint64) (Result, error) {
 	r := &request{op: op, ctx: ctx, opID: opID, reply: make(chan result, 1)}
 	shedded, err := a.mbox.push(r, op.Prio)
 	if shedded {
@@ -171,31 +213,40 @@ func (a *actor) call(ctx context.Context, op Op, opID uint64) (any, error) {
 		if errors.Is(err, ErrShed) {
 			a.f.ctrSheds.Inc()
 		}
-		return nil, err
+		return Result{}, err
 	}
 	select {
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return Result{}, ctx.Err()
 	case res := <-r.reply:
-		return res.val, res.err
+		return res.res, res.err
 	}
 }
 
-// run is the actor goroutine: boot, serve the mailbox, drain on stop.
+// run is the actor goroutine: hydrate (or boot), serve the mailbox, and
+// exit by parking (eviction) or draining (shutdown).
 func (a *actor) run() {
-	defer close(a.done)
-	a.reboot("initial boot")
+	defer a.f.actorWG.Done()
+	if a.sl.parked != nil {
+		a.hydrate()
+	} else {
+		a.reboot("initial boot")
+	}
 	for {
 		select {
 		case <-a.f.stop:
-			a.drainShutdown()
+			a.exit()
 			return
 		case <-a.mbox.ready:
+			if a.parkReq.Load() {
+				a.park()
+				return
+			}
 			for r := a.mbox.pop(); r != nil; r = a.mbox.pop() {
 				a.handle(r)
 				select {
 				case <-a.f.stop:
-					a.drainShutdown()
+					a.exit()
 					return
 				default:
 				}
@@ -204,10 +255,42 @@ func (a *actor) run() {
 	}
 }
 
-func (a *actor) drainShutdown() {
+// exit is the shutdown path: fail queued requests, and complete a pending
+// park hand-off so no acquirer stays blocked on sl.wait.
+func (a *actor) exit() {
 	for _, r := range a.mbox.close(ErrShutdown) {
 		r.reply <- result{err: ErrShutdown}
 	}
+	if a.parkReq.Load() {
+		a.park()
+	}
+}
+
+// hydrate restores the device from the slot's parked snapshot: a fork, not
+// a boot — byte-identical to having stayed resident, and never counted as
+// a boot.
+func (a *actor) hydrate() {
+	d := a.sl.parked.Fork()
+	d.dev.Metrics().BindOwner()
+	a.d = d
+	a.f.ctrHydrations.Inc()
+}
+
+// park is the eviction path: adopt the live world into the slot's snapshot
+// (O(1) — no copy; the next hydration forks it) and complete the hand-off.
+// A dead or boot-failed world is discarded instead — its terminal state is
+// already recorded on the slot, and a quarantined slot never re-instantiates.
+func (a *actor) park() {
+	for _, r := range a.mbox.close(ErrShed) {
+		r.reply <- result{err: ErrShed}
+	}
+	if a.d != nil && !a.d.dead {
+		a.sl.parked = snapshot.Adopt(a.d)
+	} else {
+		a.sl.parked = nil
+	}
+	a.d = nil
+	a.sh.parkDone(a.sl)
 }
 
 // handle executes one request, maintains the sequence ledger, and replies.
@@ -216,36 +299,37 @@ func (a *actor) handle(r *request) {
 		r.reply <- result{err: err}
 		return
 	}
-	if a.quarantined.Load() {
-		r.reply <- result{err: fmt.Errorf("fleet: device %d: %w", a.id, ErrQuarantined)}
+	if a.sl.quarantined.Load() {
+		r.reply <- result{err: fmt.Errorf("fleet: device %d: %w", a.sl.id, ErrQuarantined)}
 		return
 	}
 	a.busySince.Store(a.f.clock.Now().UnixNano())
-	val, err := a.execGuarded(r)
+	res, err := a.execGuarded(r)
 	a.busySince.Store(0)
 	a.f.ctrExecs.Inc()
 	if r.op.Code != OpPing { // pings are health probes, not state ops
 		entry := LedgerEntry{OpID: r.opID, Code: r.op.Code}
 		if err == nil {
-			a.seq++
-			entry.Seq = a.seq
+			a.sl.seq++
+			entry.Seq = a.sl.seq
+			res.Seq = a.sl.seq
 		} else {
 			entry.Err = err.Error()
 		}
-		a.mu.Lock()
-		a.ledger = append(a.ledger, entry)
-		a.mu.Unlock()
+		a.sl.mu.Lock()
+		a.sl.ledger = append(a.sl.ledger, entry)
+		a.sl.mu.Unlock()
 	}
-	r.reply <- result{val: val, err: err}
+	r.reply <- result{res: res, err: err}
 }
 
 // execGuarded runs exec under the panic boundary: any panic — a
 // faults.Abort modelling power loss, or a plain bug — is converted into a
 // supervised restart (or quarantine once the budget is spent).
-func (a *actor) execGuarded(r *request) (val any, err error) {
+func (a *actor) execGuarded(r *request) (res Result, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			val, err = nil, a.recoverPanic(rec)
+			res, err = Result{}, a.recoverPanic(rec)
 		}
 	}()
 	if a.f.opt.testExec != nil {
@@ -254,7 +338,7 @@ func (a *actor) execGuarded(r *request) (val any, err error) {
 		}
 	}
 	if a.d == nil || a.d.dead {
-		return nil, fmt.Errorf("fleet: device %d has no live boot: %w", a.id, ErrDeviceRestarted)
+		return Result{}, fmt.Errorf("fleet: device %d has no live boot: %w", a.sl.id, ErrDeviceRestarted)
 	}
 	return a.exec(r.op)
 }
@@ -283,32 +367,29 @@ func (a *actor) recoverPanic(rec any) error {
 			a.d.dead, a.d.wasLockedAtCut = true, false
 		}
 	}
-	a.mu.Lock()
-	a.causes = append(a.causes, cause)
-	a.mu.Unlock()
+	a.sl.addCause(cause)
 	a.f.ctrRestarts.Inc()
-	if a.restarts.Add(1) > int64(a.f.opt.RestartBudget) {
-		a.quarantined.Store(true)
+	if a.sl.restarts.Add(1) > int64(a.f.opt.RestartBudget) {
+		a.sl.quarantined.Store(true)
 		a.f.ctrQuarantines.Inc()
-		return fmt.Errorf("fleet: device %d: restart budget exhausted (%s): %w", a.id, cause, ErrQuarantined)
+		return fmt.Errorf("fleet: device %d: restart budget exhausted (%s): %w", a.sl.id, cause, ErrQuarantined)
 	}
 	a.reboot(cause)
-	return fmt.Errorf("fleet: device %d: %s: %w", a.id, cause, ErrDeviceRestarted)
+	return fmt.Errorf("fleet: device %d: %s: %w", a.sl.id, cause, ErrDeviceRestarted)
 }
 
-// reboot boots a fresh device — from the parked post-boot snapshot after the
-// first boot, or cold otherwise. Boot failure is terminal: the actor is
-// quarantined (nothing a retry could change about a deterministic boot).
+// reboot boots a fresh device — forked from the fleet's shared post-boot
+// snapshot, or cold when snapshots are disabled. Boot failure is terminal:
+// the device is quarantined (nothing a retry could change about a
+// deterministic boot).
 func (a *actor) reboot(why string) {
-	a.boots.Add(1)
+	a.sl.boots.Add(1)
 	d, err := a.bootDevice()
 	if err != nil {
 		a.d = nil
-		a.quarantined.Store(true)
+		a.sl.quarantined.Store(true)
 		a.f.ctrQuarantines.Inc()
-		a.mu.Lock()
-		a.causes = append(a.causes, fmt.Sprintf("boot failed (%s): %v", why, err))
-		a.mu.Unlock()
+		a.sl.addCause(fmt.Sprintf("boot failed (%s): %v", why, err))
 		return
 	}
 	a.d = d
@@ -321,53 +402,72 @@ func (a *actor) reboot(why string) {
 // power-cut image; scanner returns carry no schedule context, so tag them
 // with the device here.
 func (a *actor) scanCorpse(why string) {
-	if v := a.scanner().PostMortem(why); v != nil {
-		a.mu.Lock()
-		a.violations = append(a.violations,
-			fmt.Sprintf("device %d: clause %s: %s", a.id, v.Clause, v.Detail))
-		a.mu.Unlock()
+	if v := deviceScanner(a.d).PostMortem(why); v != nil {
+		a.sl.addViolation(fmt.Sprintf("device %d: clause %s: %s", a.sl.id, v.Clause, v.Detail))
 	}
 }
 
-func (a *actor) scanner() *check.Scanner {
+func deviceScanner(d *device) *check.Scanner {
 	return &check.Scanner{
-		S: a.d.dev.SoC, K: a.d.dev.Kernel,
-		Marker: a.d.marker, VolKey0: a.d.volKey0, FuzzBudget: fuzzBudget,
+		S: d.dev.SoC, K: d.dev.Kernel,
+		Marker: d.marker, VolKey0: d.volKey0, FuzzBudget: fuzzBudget,
 	}
 }
 
-// bootSeed derives a per-device simulation seed from the fleet seed. Every
-// boot of a device replays the same deterministic boot — which is what lets
-// reboots restore from the post-boot snapshot instead of re-booting.
-func bootSeed(fleetSeed int64, id int) int64 {
+func (sl *slot) addCause(cause string) {
+	sl.mu.Lock()
+	sl.causes = append(sl.causes, cause)
+	sl.mu.Unlock()
+}
+
+func (sl *slot) addViolation(v string) {
+	sl.mu.Lock()
+	sl.violations = append(sl.violations, v)
+	sl.mu.Unlock()
+}
+
+// baseBootSeed derives the simulation seed of the fleet's shared base
+// world from the fleet seed. It is also the seed of every cold boot under
+// NoSnapshots — a cold boot with the base seed replays exactly the world a
+// fork of the base snapshot continues, which is what keeps results
+// byte-identical across the two modes.
+func baseBootSeed(fleetSeed int64) int64 {
+	h := splitmix64(splitmix64(uint64(fleetSeed)) ^ 0x5851f42d4c957f2d)
+	return int64(h &^ (1 << 63))
+}
+
+// bootSeed derives a per-device seed from the fleet seed; it feeds the
+// device's disk key and fault stream, which is where per-device divergence
+// comes from (the base world itself is shared).
+func bootSeed(fleetSeed int64, id DeviceID) int64 {
 	h := splitmix64(uint64(fleetSeed))
 	h = splitmix64(h ^ uint64(id))
 	return int64(h &^ (1 << 63)) // keep it positive for readable logs
 }
 
-// bootDevice builds one fresh simulated device with the fleet workload:
-// a sensitive foreground and background process filled with the plaintext
+// bootDevice builds one fresh simulated device with the fleet workload: a
+// sensitive foreground and background process filled with the plaintext
 // marker, an encrypted disk, and (when configured) a fault injector. The
-// first boot captures a post-boot snapshot; later boots fork it and re-run
-// only the workload setup below, which is byte-identical to a cold boot
-// (the same per-device seed replays the same boot).
+// platform boot itself is shared — every device forks the fleet's one base
+// snapshot (built lazily by the first boot anywhere in the fleet) — and
+// only the per-device setup below runs per boot. Under NoSnapshots the
+// base seed is cold-booted instead, which replays the identical world.
 func (a *actor) bootDevice() (*device, error) {
-	opt, id := a.f.opt, a.id
+	opt, id := a.f.opt, a.sl.id
 	seed := bootSeed(opt.Seed, id)
 	var sd *sentry.Device
-	if a.bootSnap != nil {
-		sd = a.bootSnap.Fork()
-	} else {
+	if opt.NoSnapshots {
 		var err error
-		sd, err = sentry.Open(sentry.Tegra3, opt.PIN, sentry.WithSeed(seed))
+		sd, err = sentry.Open(sentry.Tegra3, opt.PIN, sentry.WithSeed(baseBootSeed(opt.Seed)))
 		if err != nil {
 			return nil, err
 		}
-		if !opt.NoSnapshots {
-			// Capture parks a fork; the freshly booted original serves this
-			// first boot live.
-			a.bootSnap = snapshot.Capture(sd)
+	} else {
+		base, err := a.f.baseSnapshot()
+		if err != nil {
+			return nil, err
 		}
+		sd = base.Fork()
 	}
 	// The actor goroutine owns this device; bind the metrics registry so
 	// debug/race builds catch any cross-goroutine wiring.
@@ -398,7 +498,7 @@ func (a *actor) bootDevice() (*device, error) {
 
 	// Graceful-degradation pressure: on squeezed devices, occupy iRAM down
 	// to a sliver so per-volume engines and pinned pools must fall back.
-	if opt.SqueezeEvery > 0 && (id+1)%opt.SqueezeEvery == 0 {
+	if opt.SqueezeEvery > 0 && (uint64(id)+1)%uint64(opt.SqueezeEvery) == 0 {
 		if free := sd.Sentry.IRAM().Free(); free > 256 {
 			if _, err := sd.Sentry.IRAM().Alloc(free - 256); err != nil {
 				return nil, err
@@ -439,23 +539,23 @@ func (d *device) buildDisk(opt Options, seed int64) error {
 		h = splitmix64(h)
 		key[i] = byte(h)
 	}
-	var prov kernel.CipherProvider
+	d.diskKey = key
 	eng, err := onsoc.NewInIRAM(d.dev.SoC, d.dev.Sentry.IRAM(), key)
 	switch {
 	case err == nil:
-		prov = core.NewOnSoCProvider(eng)
+		d.prov = core.NewOnSoCProvider(eng)
 	case errors.Is(err, onsoc.ErrIRAMExhausted):
 		gp, gerr := core.NewGenericProvider(d.dev.SoC, dramArenaBase, key)
 		if gerr != nil {
 			return gerr
 		}
-		prov = gp
+		d.prov = gp
 		d.diskDown = true
 	default:
 		return err
 	}
-	disk := blockdev.NewRAMDisk(d.dev.SoC, uint64(opt.DiskKB)<<10)
-	dm, err := dmcrypt.NewWithProvider(disk, prov, key)
+	d.disk = blockdev.NewRAMDisk(d.dev.SoC, uint64(opt.DiskKB)<<10)
+	dm, err := dmcrypt.NewWithProvider(d.disk, d.prov, key)
 	if err != nil {
 		return err
 	}
@@ -466,36 +566,36 @@ func (d *device) buildDisk(opt Options, seed int64) error {
 // exec runs one operation against the live device. It runs on the actor
 // goroutine under the panic boundary; fault hooks may unwind it at any
 // point with a faults.Abort.
-func (a *actor) exec(op Op) (any, error) {
+func (a *actor) exec(op Op) (Result, error) {
 	d := a.d
 	k := d.dev.Kernel
 	switch op.Code {
 	case OpPing:
-		return k.State().String(), nil
+		return Result{State: k.State().String()}, nil
 
 	case OpLock:
 		k.Lock()
-		return nil, nil
+		return Result{}, nil
 
 	case OpUnlock:
 		if err := k.Unlock(d.pin); err != nil {
 			return a.unlockFailed(err)
 		}
 		d.bgOn = false // the session ends inside Unlock
-		return nil, nil
+		return Result{}, nil
 
 	case OpBadPIN:
 		if err := k.Unlock(badPIN); err != nil {
 			return a.unlockFailed(err)
 		}
-		return nil, nil // device was already unlocked: a PIN-less no-op
+		return Result{}, nil // device was already unlocked: a PIN-less no-op
 
 	case OpTouch:
 		if k.State() != kernel.Unlocked {
-			return nil, fmt.Errorf("fleet: touch on a locked device: %w", kernel.ErrLocked)
+			return Result{}, fmt.Errorf("fleet: touch on a locked device: %w", kernel.ErrLocked)
 		}
 		k.Switch(d.fg)
-		return nil, d.verifyPage(d.fgBase, int(op.Arg)%fgPages, "fg")
+		return Result{}, d.verifyPage(d.fgBase, int(op.Arg)%fgPages, "fg")
 
 	case OpBgBegin:
 		return a.beginBg(false)
@@ -505,89 +605,89 @@ func (a *actor) exec(op Op) (any, error) {
 
 	case OpBgTouch:
 		if !d.bgOn {
-			return nil, fmt.Errorf("fleet: no background session: %w", kernel.ErrLocked)
+			return Result{}, fmt.Errorf("fleet: no background session: %w", kernel.ErrLocked)
 		}
 		k.Switch(d.bg)
-		return nil, d.verifyPage(d.bgBase, int(op.Arg)%bgPages, "bg")
+		return Result{}, d.verifyPage(d.bgBase, int(op.Arg)%bgPages, "bg")
 
 	case OpDiskWrite:
 		sec := op.Arg % d.dm.Sectors()
-		buf := sectorPattern(a.id, sec, op.Arg)
+		buf := sectorPattern(a.sl.id, sec, op.Arg)
 		if err := d.dm.WriteSector(sec, buf); err != nil {
-			return nil, err
+			return Result{}, err
 		}
 		d.shadow[sec] = buf
-		return nil, nil
+		return Result{}, nil
 
 	case OpDiskRead:
 		sec := op.Arg % d.dm.Sectors()
 		dst := make([]byte, blockdev.SectorSize)
 		if err := d.dm.ReadSector(sec, dst); err != nil {
-			return nil, err
+			return Result{}, err
 		}
 		if want, ok := d.shadow[sec]; ok && !bytes.Equal(dst, want) {
-			return nil, fmt.Errorf("fleet: device %d disk sector %d corrupted", a.id, sec)
+			return Result{}, fmt.Errorf("fleet: device %d disk sector %d corrupted", a.sl.id, sec)
 		}
-		return nil, nil
+		return Result{}, nil
 
 	case OpRebootDrill:
 		a.f.ctrDrills.Inc()
 		a.reboot("reboot drill")
 		if a.d == nil {
-			return nil, fmt.Errorf("fleet: device %d failed to boot after drill: %w", a.id, ErrQuarantined)
+			return Result{}, fmt.Errorf("fleet: device %d failed to boot after drill: %w", a.sl.id, ErrQuarantined)
 		}
-		return "rebooted", nil
+		return Result{Rebooted: true}, nil
 	}
-	return nil, fmt.Errorf("fleet: unknown op code %d", op.Code)
+	return Result{}, fmt.Errorf("fleet: unknown op code %d", op.Code)
 }
 
 // unlockFailed post-processes a failed Unlock. Deep lock is terminal short
 // of a power cycle, so the actor performs a planned recovery reboot — the
 // graceful path out of an otherwise bricked device — and reports the
 // request as retryable.
-func (a *actor) unlockFailed(err error) (any, error) {
+func (a *actor) unlockFailed(err error) (Result, error) {
 	if a.d.dev.Kernel.State() == kernel.DeepLocked {
 		a.f.ctrRecoveries.Inc()
 		a.reboot("deep-lock recovery")
 		if a.d == nil {
-			return nil, fmt.Errorf("fleet: device %d failed deep-lock recovery: %w", a.id, ErrQuarantined)
+			return Result{}, fmt.Errorf("fleet: device %d failed deep-lock recovery: %w", a.sl.id, ErrQuarantined)
 		}
-		return nil, fmt.Errorf("fleet: device %d deep-locked; recovered by reboot: %w", a.id, ErrDeviceRestarted)
+		return Result{}, fmt.Errorf("fleet: device %d deep-locked; recovered by reboot: %w", a.sl.id, ErrDeviceRestarted)
 	}
-	return nil, err
+	return Result{}, err
 }
 
 // beginBg starts a background session. The pinned (§10 pin-on-SoC) variant
 // degrades to the locked-way session when iRAM is exhausted.
-func (a *actor) beginBg(pinned bool) (any, error) {
+func (a *actor) beginBg(pinned bool) (Result, error) {
 	d := a.d
 	if d.dev.Kernel.State() == kernel.Unlocked {
-		return nil, fmt.Errorf("fleet: background sessions need a locked device: %w", kernel.ErrLocked)
+		return Result{}, fmt.Errorf("fleet: background sessions need a locked device: %w", kernel.ErrLocked)
 	}
 	if d.bgOn {
-		return "bg-already-on", nil
+		return Result{Session: "bg-already-on"}, nil
 	}
 	if pinned {
 		err := d.dev.Sentry.BeginBackgroundPinned(d.bg, 4)
 		if err == nil {
 			d.bgOn = true
-			return "bg-pinned", nil
+			return Result{Session: "bg-pinned"}, nil
 		}
 		if !errors.Is(err, onsoc.ErrIRAMExhausted) {
-			return nil, err
+			return Result{}, err
 		}
 		if err := d.dev.Sentry.BeginBackground(d.bg, 128); err != nil {
-			return nil, err
+			return Result{}, err
 		}
 		a.f.ctrBgDowngrades.Inc()
 		d.bgOn = true
-		return "bg-pinned-downgraded", nil
+		return Result{Session: "bg-pinned-downgraded"}, nil
 	}
 	if err := d.dev.Sentry.BeginBackground(d.bg, 128); err != nil {
-		return nil, err
+		return Result{}, err
 	}
 	d.bgOn = true
-	return "bg", nil
+	return Result{Session: "bg"}, nil
 }
 
 // verifyPage reads the marker line of one page and checks integrity — the
@@ -604,7 +704,7 @@ func (d *device) verifyPage(base mmu.VirtAddr, pg int, what string) error {
 }
 
 // sectorPattern derives a deterministic 512-byte payload for a disk write.
-func sectorPattern(id int, sec, arg uint64) []byte {
+func sectorPattern(id DeviceID, sec, arg uint64) []byte {
 	buf := make([]byte, blockdev.SectorSize)
 	h := splitmix64(uint64(id)<<32 ^ sec<<16 ^ arg)
 	for i := range buf {
@@ -616,17 +716,15 @@ func sectorPattern(id int, sec, arg uint64) []byte {
 	return buf
 }
 
-// sweep runs the end-of-run confidentiality check on the actor's final
-// device: lock it (faults detached first so the lock cannot be interrupted),
+// sweep runs the end-of-run confidentiality check on a device's final
+// world: lock it (faults detached first so the lock cannot be interrupted),
 // scan the live locked image, then cut power and post-mortem the remanence
-// image. Called from the harness goroutine after the actor has exited; the
+// image. Called from the harness goroutine after Stop — for a parked slot
+// the caller passes a fork of the parked snapshot, byte-identical to the
+// world the device would have presented had it stayed resident. The
 // registry owner is re-bound here — a deliberate hand-off.
-func (a *actor) sweep() {
-	if a.d == nil {
-		return
-	}
-	d := a.d
-	if d.dead {
+func (sl *slot) sweep(d *device) {
+	if d == nil || d.dead {
 		// A quarantined corpse was already post-mortemed at the cut if it
 		// was locked; an unlocked corpse is the accepted pre-lock window.
 		return
@@ -639,14 +737,12 @@ func (a *actor) sweep() {
 	if d.dev.Kernel.State() == kernel.Unlocked {
 		d.dev.Kernel.Lock()
 	}
-	sc := a.scanner()
-	if v := sc.ScanLive(); v != nil {
-		a.mu.Lock()
-		a.violations = append(a.violations,
-			fmt.Sprintf("device %d (sweep): clause %s: %s", a.id, v.Clause, v.Detail))
-		a.mu.Unlock()
+	if v := deviceScanner(d).ScanLive(); v != nil {
+		sl.addViolation(fmt.Sprintf("device %d (sweep): clause %s: %s", sl.id, v.Clause, v.Detail))
 	}
 	d.dev.SoC.PowerCut(0.05, remanence.RoomTempC)
 	d.dead, d.wasLockedAtCut = true, true
-	a.scanCorpse("post-soak power cut")
+	if v := deviceScanner(d).PostMortem("post-soak power cut"); v != nil {
+		sl.addViolation(fmt.Sprintf("device %d: clause %s: %s", sl.id, v.Clause, v.Detail))
+	}
 }

@@ -26,6 +26,11 @@ var (
 	ErrShutdown = errors.New("fleet: fleet shut down")
 	// ErrUnknownDevice: no device with that id is hosted here.
 	ErrUnknownDevice = errors.New("fleet: unknown device")
+	// ErrOverload: admission control rejected the request at the front door
+	// — the fleet is at its configured inflight limit. Retryable from the
+	// caller's side (after easing off), but Do itself never retries it:
+	// shedding fast under overload is the point.
+	ErrOverload = errors.New("fleet: overloaded")
 )
 
 // Transient classifies an error as worth retrying: the failure is a state
@@ -48,6 +53,7 @@ func Transient(err error) bool {
 		return false
 	case errors.Is(err, kernel.ErrLocked),
 		errors.Is(err, ErrShed),
+		errors.Is(err, ErrOverload),
 		errors.Is(err, ErrCircuitOpen),
 		errors.Is(err, ErrDeviceRestarted),
 		errors.Is(err, onsoc.ErrIRAMExhausted),

@@ -1,40 +1,49 @@
-// Package fleet is the service layer over the simulator: it hosts N
-// simulated Sentry devices concurrently, one single-goroutine actor per
-// device, preserving the simulation's single-owner contract (each device's
-// sim.Clock, sim.RNG, and obs instruments are touched by exactly one
-// goroutine — enforced by the obs owner guard in debug and race builds).
+// Package fleet is the service layer over the simulator: it hosts a large
+// population of simulated Sentry devices — up to 10^6 logical devices in
+// one process — behind a sharded, admission-controlled front door, one
+// single-goroutine actor per *resident* device, preserving the simulation's
+// single-owner contract (each device's sim.Clock, sim.RNG, and obs
+// instruments are touched by exactly one goroutine — enforced by the obs
+// owner guard in debug and race builds).
 //
-// Around the actors sits a robustness stack:
+// Scale comes from three mechanisms:
 //
-//   - every request carries a context deadline (a default is imposed when
-//     the caller supplies none);
-//   - failed requests retry with exponential backoff and deterministic
-//     seeded jitter — a typed classifier (Transient/Permanent) decides
-//     retryability, so ErrBadPIN is never retried while ErrLocked is;
-//   - a per-device circuit breaker (closed/open/half-open over a windowed
-//     failure rate) sheds load from devices that keep failing;
-//   - panics — fault-injected power loss (faults.Abort) or bugs — are
-//     recovered at the mailbox boundary and turned into a supervised
-//     restart through the cold-boot path, with a restart budget that
-//     escalates to quarantine;
-//   - resource exhaustion degrades instead of failing: iRAM pressure drops
-//     disk crypto from AES On SoC to the generic DRAM-arena provider and
-//     pinned background pools to locked-way sessions (each downgrade
-//     counted), and a saturated mailbox sheds the lowest-priority requests;
-//   - health/readiness probes and a stalled-actor watchdog report through
-//     an obs.Registry.
+//   - consistent-hash sharding: 64-bit device IDs hash onto shard managers
+//     (no dense actor array), so the ID space is sparse and an untouched
+//     device costs nothing;
+//   - lazy hydration/eviction: each shard keeps a bounded LRU of resident
+//     actors. An idle device is parked back to a per-device snapshot (its
+//     ledger, sequence counter, and restart accounting stay on the slot)
+//     and re-hydrated by fork on its next op — byte-identical to having
+//     stayed resident, by the snapshot soundness contract;
+//   - admission control: a fleet-wide inflight token limit sheds excess
+//     load at the front door with a typed ErrOverload instead of queueing
+//     without bound.
+//
+// Around the actors sits the robustness stack carried over from the
+// 32-device fleet: per-request deadlines, classified retries with seeded
+// backoff, per-device circuit breakers, supervised restarts with a
+// quarantine budget, graceful degradation under iRAM pressure, and a
+// stalled-actor watchdog — all reporting through an obs.Registry.
+//
+// The typed front door is the Client interface (Do/Health/Ledger/Close),
+// implemented by *Fleet in-process and by HTTPClient over the sentryd
+// serving API, so harnesses run unchanged against either transport.
 package fleet
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sentry"
 	"sentry/internal/faults"
 	"sentry/internal/obs"
+	"sentry/internal/snapshot"
 )
 
 // Registry names of the fleet's metrics.
@@ -51,14 +60,34 @@ const (
 	MetricCryptoDowngrades = "fleet.crypto_downgrades"
 	MetricBgDowngrades     = "fleet.bg_downgrades"
 	MetricStalls           = "fleet.stalls"
+	// Residency and admission metrics. Parks/hydrations are wall-clock
+	// phenomena (eviction timing depends on host scheduling), so they are
+	// deliberately excluded from the deterministic soak report.
+	MetricParks      = "fleet.parks"
+	MetricHydrations = "fleet.hydrations"
+	MetricOverloads  = "fleet.overloads"
+	MetricResident   = "fleet.resident"
 )
 
-// Options configures a Fleet. The zero value of every field has a sensible
-// default; Devices defaults to 4.
+// Options is the resolved configuration of a Fleet. Construct a fleet with
+// Open and functional options; Options remains exported as the resolved
+// form (and for the deprecated New).
 type Options struct {
-	Devices int
+	Devices int   // logical device population (IDs [0, Devices))
 	Seed    int64
 	PIN     string // unlock PIN for every device (default "4321")
+
+	// Shards is the shard-manager count (default 8). Placement of device
+	// IDs onto shards is consistent-hashed and never affects results, only
+	// lock contention.
+	Shards int
+	// ResidentCap bounds live actors fleet-wide (default 0: unbounded).
+	// When set, each shard holds ResidentCap/Shards seats (min 1) and
+	// evicts its least-recently-used idle actor to admit a parked device.
+	ResidentCap int
+	// MaxInflight is the admission-control token count (default 0:
+	// unbounded). Requests beyond it fail fast with ErrOverload.
+	MaxInflight int
 
 	MailboxCap  int // per-device queue bound (default 32)
 	MaxAttempts int // total tries per request, first included (default 4)
@@ -75,12 +104,12 @@ type Options struct {
 	// gets a fresh injector seeded from the device's boot seed.
 	Faults faults.Profile
 
-	// NoSnapshots disables the checkpoint/fork restart fast path: every
-	// reboot re-runs the full deterministic boot sequence instead of
-	// forking the device's parked post-boot snapshot. Results are
-	// identical either way (the same per-device seed replays the same
-	// boot); only wall-clock differs. The sentrybench -snapshot=off
-	// escape hatch sets it.
+	// NoSnapshots disables the checkpoint/fork fast paths: every boot
+	// re-runs the full deterministic boot sequence instead of forking the
+	// fleet's shared post-boot snapshot, and eviction is disabled (there is
+	// nothing cheap to hydrate from). Results are identical either way —
+	// the same seed replays the same boot — only wall-clock differs. The
+	// sentrybench -snapshot=off escape hatch sets it.
 	NoSnapshots bool
 
 	// DefaultTimeout bounds requests whose context carries no deadline
@@ -99,7 +128,7 @@ type Options struct {
 
 	// testExec, when set, intercepts ops before the device executes them;
 	// tests use it to inject stalls, panics, and scripted failures.
-	testExec func(a *actor, op Op) (handled bool, val any, err error)
+	testExec func(a *actor, op Op) (handled bool, res Result, err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +140,20 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PIN == "" {
 		o.PIN = "4321"
+	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.ResidentCap < 0 {
+		o.ResidentCap = 0
+	}
+	if o.NoSnapshots {
+		o.ResidentCap = 0 // nothing cheap to hydrate from; keep actors live
+	}
+	if o.ResidentCap > 0 && o.Shards > o.ResidentCap {
+		// Fewer seats than shards: shrink the shard count so the per-shard
+		// cap stays a faithful partition of the fleet-wide cap.
+		o.Shards = o.ResidentCap
 	}
 	if o.MailboxCap <= 0 {
 		o.MailboxCap = 32
@@ -139,19 +182,86 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Fleet hosts a set of simulated devices behind the robustness stack.
+// Option configures Open, mirroring sentry.Open's functional options.
+type Option func(*Options)
+
+// WithSeed sets the fleet simulation seed (default 1).
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithPIN sets the unlock PIN of every hosted device.
+func WithPIN(pin string) Option { return func(o *Options) { o.PIN = pin } }
+
+// WithShards sets the shard-manager count.
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithResidentCap bounds live actors fleet-wide; idle devices beyond the
+// cap are parked to per-device snapshots and re-hydrated by fork on demand.
+func WithResidentCap(n int) Option { return func(o *Options) { o.ResidentCap = n } }
+
+// WithMaxInflight sets the admission-control token count; requests beyond
+// it fail fast with ErrOverload.
+func WithMaxInflight(n int) Option { return func(o *Options) { o.MaxInflight = n } }
+
+// WithMailboxCap sets the per-device queue bound.
+func WithMailboxCap(n int) Option { return func(o *Options) { o.MailboxCap = n } }
+
+// WithMaxAttempts sets the total tries per request (first included).
+func WithMaxAttempts(n int) Option { return func(o *Options) { o.MaxAttempts = n } }
+
+// WithBackoff overrides the retry backoff schedule.
+func WithBackoff(b Backoff) Option { return func(o *Options) { o.Backoff = &b } }
+
+// WithBreaker overrides the per-device circuit-breaker configuration.
+func WithBreaker(cfg BreakerConfig) Option { return func(o *Options) { o.Breaker = cfg } }
+
+// WithRestartBudget sets how many fault-caused restarts a device absorbs
+// before quarantine.
+func WithRestartBudget(n int) Option { return func(o *Options) { o.RestartBudget = n } }
+
+// WithFaults sets the per-device fault profile.
+func WithFaults(p faults.Profile) Option { return func(o *Options) { o.Faults = p } }
+
+// WithNoSnapshots disables the checkpoint/fork fast paths (cold boots,
+// no eviction). Results are identical; only wall-clock differs.
+func WithNoSnapshots() Option { return func(o *Options) { o.NoSnapshots = true } }
+
+// WithDefaultTimeout bounds requests that carry no deadline of their own.
+func WithDefaultTimeout(d time.Duration) Option { return func(o *Options) { o.DefaultTimeout = d } }
+
+// WithClock substitutes the time source (tests use a fake).
+func WithClock(c Clock) Option { return func(o *Options) { o.Clock = c } }
+
+// WithSqueezeEvery squeezes the iRAM of every Nth device at boot.
+func WithSqueezeEvery(n int) Option { return func(o *Options) { o.SqueezeEvery = n } }
+
+// WithDiskKB sets the encrypted-disk size per device.
+func WithDiskKB(n int) Option { return func(o *Options) { o.DiskKB = n } }
+
+// Fleet hosts a population of simulated devices behind the sharded
+// robustness stack. It implements Client.
 type Fleet struct {
 	opt   Options
 	clock Clock
 	bo    Backoff
 	reg   *obs.Registry
 
-	actors []*actor
+	ring   *ring
+	shards []*shard
+
+	admMax      int64
+	admInflight atomic.Int64
+
+	// base is the shared post-boot snapshot every device's boot forks:
+	// one pristine world per fleet, built lazily by the first boot.
+	baseOnce sync.Once
+	base     *snapshot.Snapshot[*sentry.Device]
+	baseErr  error
 
 	stop     chan struct{}
 	stopOnce sync.Once
 	wdDone   chan struct{}
 	stopped  atomic.Bool
+	actorWG  sync.WaitGroup
 
 	ctrOpsOK            *obs.Counter
 	ctrOpsFailed        *obs.Counter
@@ -165,16 +275,37 @@ type Fleet struct {
 	ctrCryptoDowngrades *obs.Counter
 	ctrBgDowngrades     *obs.Counter
 	ctrStalls           *obs.Counter
+	ctrParks            *obs.Counter
+	ctrHydrations       *obs.Counter
+	ctrOverloads        *obs.Counter
+	gResident           *obs.Gauge
 }
 
-// New starts a fleet: one actor goroutine per device (each boots its device
-// on that goroutine) plus the watchdog. Stop it with Stop.
+// Open starts a fleet hosting n logical devices. No device boots until its
+// first op: a fresh fleet of 10^6 devices is a few shard tables, nothing
+// more. Stop it with Close (or Stop).
+func Open(n int, opts ...Option) *Fleet {
+	o := Options{Devices: n}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newFleet(o.withDefaults())
+}
+
+// New starts a fleet from a resolved Options struct.
+//
+// Deprecated: use Open(n, opts...). New remains for one release as a thin
+// wrapper (and for tests that poke unexported options).
 func New(opt Options) *Fleet {
-	opt = opt.withDefaults()
+	return newFleet(opt.withDefaults())
+}
+
+func newFleet(opt Options) *Fleet {
 	f := &Fleet{
 		opt:    opt,
 		clock:  opt.Clock,
 		reg:    obs.NewRegistry(),
+		admMax: int64(opt.MaxInflight),
 		stop:   make(chan struct{}),
 		wdDone: make(chan struct{}),
 	}
@@ -198,40 +329,116 @@ func New(opt Options) *Fleet {
 	f.ctrCryptoDowngrades = f.reg.Counter(MetricCryptoDowngrades)
 	f.ctrBgDowngrades = f.reg.Counter(MetricBgDowngrades)
 	f.ctrStalls = f.reg.Counter(MetricStalls)
+	f.ctrParks = f.reg.Counter(MetricParks)
+	f.ctrHydrations = f.reg.Counter(MetricHydrations)
+	f.ctrOverloads = f.reg.Counter(MetricOverloads)
+	f.gResident = f.reg.Gauge(MetricResident)
 	f.reg.BindOwner()
 
-	f.actors = make([]*actor, opt.Devices)
-	for i := range f.actors {
-		f.actors[i] = newActor(f, i)
-		go f.actors[i].run()
+	f.ring = newRing(opt.Shards)
+	f.shards = make([]*shard, opt.Shards)
+	for i := range f.shards {
+		f.shards[i] = newShard(f, i, shardCap(opt.ResidentCap, opt.Shards, i))
 	}
 	go f.watchdog()
 	return f
 }
 
+// shardCap partitions the fleet-wide resident cap across shards, spreading
+// the remainder over the low-indexed shards. 0 stays 0 (unbounded).
+func shardCap(total, shards, idx int) int {
+	if total <= 0 {
+		return 0
+	}
+	c := total / shards
+	if idx < total%shards {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// baseSnapshot returns the fleet's shared post-boot world, booting it on
+// first use. Every device boot forks this one snapshot, so the marginal
+// cost of a new device is fork metadata plus its own workload setup, not a
+// full platform boot.
+func (f *Fleet) baseSnapshot() (*snapshot.Snapshot[*sentry.Device], error) {
+	f.baseOnce.Do(func() {
+		sd, err := sentry.Open(sentry.Tegra3, f.opt.PIN, sentry.WithSeed(baseBootSeed(f.opt.Seed)))
+		if err != nil {
+			f.baseErr = err
+			return
+		}
+		f.base = snapshot.Adopt(sd)
+	})
+	return f.base, f.baseErr
+}
+
 // Metrics returns the fleet's registry.
 func (f *Fleet) Metrics() *obs.Registry { return f.reg }
 
-// Devices returns the hosted device count.
-func (f *Fleet) Devices() int { return len(f.actors) }
+// Devices returns the logical device population.
+func (f *Fleet) Devices() int { return f.opt.Devices }
 
-// Do executes op against device id: it imposes a deadline if ctx has none,
-// gates on the device's circuit breaker, and retries transient failures
-// with backed-off, deterministically jittered delays. It returns the op's
-// value, the operation id (the handle the device ledger records), and the
-// final error.
+// shardFor returns the shard owning id.
+func (f *Fleet) shardFor(id DeviceID) *shard {
+	return f.shards[f.ring.owner(id)]
+}
+
+// admit takes one admission token; false means the front door is full.
+func (f *Fleet) admit() bool {
+	if f.admMax <= 0 {
+		return true
+	}
+	for {
+		cur := f.admInflight.Load()
+		if cur >= f.admMax {
+			return false
+		}
+		if f.admInflight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (f *Fleet) unadmit() {
+	if f.admMax > 0 {
+		f.admInflight.Add(-1)
+	}
+}
+
+// Do executes op against device id: it takes an admission token, imposes a
+// deadline if ctx has none, gates on the device's circuit breaker, and
+// retries transient failures with backed-off, deterministically jittered
+// delays. The returned Result carries the operation id (the handle the
+// device ledger records) even when err is non-nil.
 //
 // Operation ids are allocated per device ((id+1)<<40 | n), not fleet-wide:
 // a device driven by one client at a time then numbers its ops identically
 // run after run, regardless of how the other devices' traffic interleaves —
 // the property the soak harness's ledger audit and determinism check rest on.
-func (f *Fleet) Do(ctx context.Context, id int, op Op) (any, uint64, error) {
-	if id < 0 || id >= len(f.actors) {
+func (f *Fleet) Do(ctx context.Context, id DeviceID, op Op) (Result, error) {
+	if uint64(id) >= uint64(f.opt.Devices) {
 		f.ctrOpsFailed.Inc()
-		return nil, 0, fmt.Errorf("fleet: device %d: %w", id, ErrUnknownDevice)
+		return Result{}, fmt.Errorf("fleet: device %d: %w", id, ErrUnknownDevice)
 	}
-	a := f.actors[id]
-	opID := uint64(id+1)<<40 | a.nextOp.Add(1)
+	if f.stopped.Load() {
+		f.ctrOpsFailed.Inc()
+		return Result{}, fmt.Errorf("fleet: device %d: %w", id, ErrShutdown)
+	}
+	if !f.admit() {
+		f.ctrOverloads.Inc()
+		f.ctrOpsFailed.Inc()
+		return Result{}, fmt.Errorf("fleet: device %d: inflight limit %d: %w", id, f.admMax, ErrOverload)
+	}
+	defer f.unadmit()
+
+	sh := f.shardFor(id)
+	sl := sh.getSlot(id)
+	opID := (uint64(id)+1)<<40 | sl.nextOp.Add(1)
+	res := Result{OpID: opID}
 	if _, has := ctx.Deadline(); !has {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, f.opt.DefaultTimeout)
@@ -239,19 +446,22 @@ func (f *Fleet) Do(ctx context.Context, id int, op Op) (any, uint64, error) {
 	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
 		if err := ctx.Err(); err != nil {
 			f.ctrOpsFailed.Inc()
-			return nil, opID, err
+			return res, err
 		}
-		val, err := f.try(ctx, a, op, opID)
+		r, err := f.try(ctx, sh, sl, op, opID)
+		res.Restarts = sl.restarts.Load()
 		if err == nil {
+			r.OpID, r.Attempts, r.Restarts = res.OpID, res.Attempts, res.Restarts
 			f.ctrOpsOK.Inc()
-			return val, opID, nil
+			return r, nil
 		}
 		lastErr = err
 		if !Transient(err) {
 			f.ctrOpsFailed.Inc()
-			return nil, opID, err
+			return res, err
 		}
 		if attempt >= f.opt.MaxAttempts {
 			break
@@ -260,27 +470,32 @@ func (f *Fleet) Do(ctx context.Context, id int, op Op) (any, uint64, error) {
 		select {
 		case <-ctx.Done():
 			f.ctrOpsFailed.Inc()
-			return nil, opID, ctx.Err()
+			return res, ctx.Err()
 		case <-f.clock.After(f.bo.Delay(opID, attempt)):
 		}
 	}
 	f.ctrOpsFailed.Inc()
-	return nil, opID, fmt.Errorf("fleet: device %d: giving up after %d attempts: %w",
+	return res, fmt.Errorf("fleet: device %d: giving up after %d attempts: %w",
 		id, f.opt.MaxAttempts, lastErr)
 }
 
-// try is one attempt: quarantine fast-path, breaker gate, actor call,
-// breaker outcome.
-func (f *Fleet) try(ctx context.Context, a *actor, op Op, opID uint64) (any, error) {
-	if a.quarantined.Load() {
-		return nil, fmt.Errorf("fleet: device %d: %w", a.id, ErrQuarantined)
+// try is one attempt: quarantine fast-path, breaker gate, residency
+// acquisition, actor call, breaker outcome.
+func (f *Fleet) try(ctx context.Context, sh *shard, sl *slot, op Op, opID uint64) (Result, error) {
+	if sl.quarantined.Load() {
+		return Result{}, fmt.Errorf("fleet: device %d: %w", sl.id, ErrQuarantined)
 	}
-	if err := a.brk.Allow(); err != nil {
-		return nil, err
+	if err := sl.brk.Allow(); err != nil {
+		return Result{}, err
 	}
-	val, err := a.call(ctx, op, opID)
-	a.brk.Record(!healthFailure(err))
-	return val, err
+	a, err := sh.acquire(ctx, sl)
+	if err != nil {
+		return Result{}, err
+	}
+	defer sh.release(sl)
+	r, err := a.call(ctx, op, opID)
+	sl.brk.Record(!healthFailure(err))
+	return r, err
 }
 
 // healthFailure decides which outcomes the breaker counts against the
@@ -296,8 +511,8 @@ func healthFailure(err error) bool {
 		errors.Is(err, context.DeadlineExceeded)
 }
 
-// watchdog periodically scans for actors stuck inside one request longer
-// than the stall threshold.
+// watchdog periodically scans resident actors stuck inside one request
+// longer than the stall threshold.
 func (f *Fleet) watchdog() {
 	defer close(f.wdDone)
 	for {
@@ -307,40 +522,57 @@ func (f *Fleet) watchdog() {
 		case <-f.clock.After(f.opt.WatchdogEvery):
 		}
 		now := f.clock.Now().UnixNano()
-		for _, a := range f.actors {
-			since := a.busySince.Load()
-			if since != 0 && now-since > int64(f.opt.StallTimeout) {
-				if a.stalled.CompareAndSwap(false, true) {
-					f.ctrStalls.Inc()
+		for _, sh := range f.shards {
+			sh.mu.Lock()
+			for sl := sh.lruHead; sl != nil; sl = sl.lruNext {
+				since := sl.act.busySince.Load()
+				if since != 0 && now-since > int64(f.opt.StallTimeout) {
+					if sl.stalled.CompareAndSwap(false, true) {
+						f.ctrStalls.Inc()
+					}
+				} else if since == 0 {
+					sl.stalled.Store(false)
 				}
-			} else if since == 0 {
-				a.stalled.Store(false)
 			}
+			sh.mu.Unlock()
 		}
 	}
 }
 
-// Stop shuts the fleet down: actors drain their mailboxes (pending requests
-// fail with ErrShutdown) and exit; the watchdog exits. Idempotent.
+// Stop shuts the fleet down: resident actors drain their mailboxes
+// (pending requests fail with ErrShutdown) and exit — without parking, so
+// their final worlds stay inspectable for the confidentiality sweep — and
+// the watchdog exits. Idempotent.
 func (f *Fleet) Stop() {
 	f.stopOnce.Do(func() {
 		f.stopped.Store(true)
 		close(f.stop)
-		for _, a := range f.actors {
-			// Wake the actor in case it is idle in select.
-			select {
-			case a.mbox.ready <- struct{}{}:
-			default:
+		for _, sh := range f.shards {
+			sh.mu.Lock()
+			for _, sl := range sh.slots {
+				if sl.act != nil {
+					sl.act.wake()
+				}
 			}
-			<-a.done
+			sh.mu.Unlock()
+			sh.wakeWaiters()
 		}
+		f.actorWG.Wait()
 		<-f.wdDone
 	})
 }
 
+// Close implements Client: it stops the fleet.
+func (f *Fleet) Close() error {
+	f.Stop()
+	return nil
+}
+
 // DeviceHealth is one device's probe view.
 type DeviceHealth struct {
-	ID          int          `json:"id"`
+	ID          DeviceID     `json:"id"`
+	Touched     bool         `json:"touched"`
+	Resident    bool         `json:"resident"`
 	Quarantined bool         `json:"quarantined"`
 	Stalled     bool         `json:"stalled"`
 	Breaker     BreakerState `json:"-"`
@@ -350,85 +582,148 @@ type DeviceHealth struct {
 	Queue       int          `json:"queue"`
 }
 
-// Health reports every device's probe view.
-func (f *Fleet) Health() []DeviceHealth {
-	out := make([]DeviceHealth, len(f.actors))
-	for i, a := range f.actors {
-		st := a.brk.State()
-		out[i] = DeviceHealth{
-			ID:          a.id,
-			Quarantined: a.quarantined.Load(),
-			Stalled:     a.stalled.Load(),
-			Breaker:     st,
-			BreakerStr:  st.String(),
-			Boots:       a.boots.Load(),
-			Restarts:    a.restarts.Load(),
-			Queue:       a.mbox.len(),
-		}
+// DeviceHealth returns the probe view of one device. An untouched device
+// reports Touched=false and a closed breaker.
+func (f *Fleet) DeviceHealth(id DeviceID) DeviceHealth {
+	h := DeviceHealth{ID: id, BreakerStr: BreakerClosed.String()}
+	sl := f.shardFor(id).peekSlot(id)
+	if sl == nil {
+		return h
 	}
-	return out
+	st := sl.brk.State()
+	h.Touched = true
+	h.Quarantined = sl.quarantined.Load()
+	h.Stalled = sl.stalled.Load()
+	h.Breaker = st
+	h.BreakerStr = st.String()
+	h.Boots = sl.boots.Load()
+	h.Restarts = sl.restarts.Load()
+	sh := f.shardFor(id)
+	sh.mu.Lock()
+	h.Resident = sl.state != slotParked
+	if sl.act != nil {
+		h.Queue = sl.act.mbox.len()
+	}
+	sh.mu.Unlock()
+	return h
 }
 
-// Ready is the readiness probe: the fleet accepts traffic and at least one
-// device is serving (not quarantined, not stalled).
+// Health implements Client: the fleet-level probe summary.
+func (f *Fleet) Health(ctx context.Context) (FleetHealth, error) {
+	h := FleetHealth{
+		Logical: uint64(f.opt.Devices),
+		Shards:  len(f.shards),
+	}
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		h.Touched += len(sh.slots)
+		h.Resident += sh.resident
+		for _, sl := range sh.slots {
+			if sl.quarantined.Load() {
+				h.Quarantined++
+			}
+			if sl.stalled.Load() {
+				h.Stalled++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	h.Ready = f.ready(h)
+	return h, nil
+}
+
+// Ready is the readiness probe: the fleet accepts traffic and has capacity
+// to serve — untouched devices remain, or at least one touched device is
+// healthy.
 func (f *Fleet) Ready() bool {
+	h, _ := f.Health(context.Background())
+	return h.Ready
+}
+
+func (f *Fleet) ready(h FleetHealth) bool {
 	if f.stopped.Load() {
 		return false
 	}
-	for _, a := range f.actors {
-		if !a.quarantined.Load() && !a.stalled.Load() {
-			return true
-		}
+	if uint64(h.Touched) < h.Logical {
+		return true
 	}
-	return false
+	return h.Quarantined+h.Stalled < h.Touched
 }
 
-// Ledger returns a copy of device id's sequence ledger. Meaningful once the
-// device is idle (ordinarily after Stop).
-func (f *Fleet) Ledger(id int) []LedgerEntry {
-	if id < 0 || id >= len(f.actors) {
-		return nil
+// Ledger implements Client: a copy of device id's sequence ledger (nil for
+// an untouched device). Meaningful once the device is idle (ordinarily
+// after Stop or between ops).
+func (f *Fleet) Ledger(ctx context.Context, id DeviceID) ([]LedgerEntry, error) {
+	if uint64(id) >= uint64(f.opt.Devices) {
+		return nil, fmt.Errorf("fleet: device %d: %w", id, ErrUnknownDevice)
 	}
-	a := f.actors[id]
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return append([]LedgerEntry(nil), a.ledger...)
+	sl := f.shardFor(id).peekSlot(id)
+	if sl == nil {
+		return nil, nil
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return append([]LedgerEntry(nil), sl.ledger...), nil
 }
 
 // RestartCauses returns the recorded cause of every fault-caused restart
 // (and quarantine) of device id.
-func (f *Fleet) RestartCauses(id int) []string {
-	if id < 0 || id >= len(f.actors) {
+func (f *Fleet) RestartCauses(id DeviceID) []string {
+	sl := f.shardFor(id).peekSlot(id)
+	if sl == nil {
 		return nil
 	}
-	a := f.actors[id]
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return append([]string(nil), a.causes...)
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return append([]string(nil), sl.causes...)
 }
 
-// BreakerTrips sums breaker trips across devices.
+// BreakerTrips sums breaker trips across touched devices.
 func (f *Fleet) BreakerTrips() uint64 {
 	var n uint64
-	for _, a := range f.actors {
-		n += a.brk.Trips()
+	for _, sh := range f.shards {
+		sh.mu.Lock()
+		for _, sl := range sh.slots {
+			n += sl.brk.Trips()
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
-// SweepConfidentiality runs the end-of-run invariant scan on every device
-// (lock, scan live clauses, cut power, post-mortem clauses) and returns all
-// violations recorded during and after the run. Call only after Stop.
+// SweepConfidentiality runs the end-of-run invariant scan on every touched
+// device (lock, scan live clauses, cut power, post-mortem clauses) and
+// returns all violations recorded during and after the run. Parked devices
+// are swept over a fork of their parked snapshot — byte-identical to the
+// world they would have presented had they stayed resident. Call only
+// after Stop.
 func (f *Fleet) SweepConfidentiality() []string {
 	if !f.stopped.Load() {
 		panic("fleet: SweepConfidentiality before Stop")
 	}
 	var out []string
-	for _, a := range f.actors {
-		a.sweep()
-		a.mu.Lock()
-		out = append(out, a.violations...)
-		a.mu.Unlock()
+	for _, sh := range f.shards {
+		// Post-Stop: actorWG has drained, states are frozen; sort for a
+		// deterministic sweep order.
+		ids := make([]DeviceID, 0, len(sh.slots))
+		for id := range sh.slots {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			sl := sh.slots[id]
+			switch {
+			case sl.act != nil && sl.act.d != nil:
+				sl.sweep(sl.act.d)
+			case sl.parked != nil:
+				d := sl.parked.Fork()
+				d.dev.Metrics().BindOwner()
+				sl.sweep(d)
+			}
+			sl.mu.Lock()
+			out = append(out, sl.violations...)
+			sl.mu.Unlock()
+		}
 	}
 	return out
 }

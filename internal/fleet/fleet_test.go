@@ -16,6 +16,31 @@ import (
 // instantBackoff removes real sleeps from retry loops in tests.
 var instantBackoff = Backoff{Base: 1, Cap: 1, Jitter: 0}
 
+// testSlot returns device id's slot, nil before its first op.
+func testSlot(f *Fleet, id DeviceID) *slot {
+	return f.shardFor(id).peekSlot(id)
+}
+
+// testActor returns device id's resident actor (nil when parked/untouched),
+// read under the shard lock.
+func testActor(f *Fleet, id DeviceID) *actor {
+	sh := f.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sl := sh.slots[id]; sl != nil {
+		return sl.act
+	}
+	return nil
+}
+
+// queueLen reports device id's mailbox depth (0 when not resident).
+func queueLen(f *Fleet, id DeviceID) int {
+	if a := testActor(f, id); a != nil {
+		return a.mbox.len()
+	}
+	return 0
+}
+
 func TestTransientClassifier(t *testing.T) {
 	wrap := func(err error) error { return fmt.Errorf("layer: %w", err) }
 	cases := []struct {
@@ -34,6 +59,7 @@ func TestTransientClassifier(t *testing.T) {
 		{kernel.ErrLocked, true},
 		{wrap(kernel.ErrLocked), true},
 		{ErrShed, true},
+		{ErrOverload, true},
 		{ErrCircuitOpen, true},
 		{ErrDeviceRestarted, true},
 		{wrap(ErrDeviceRestarted), true},
@@ -48,6 +74,38 @@ func TestTransientClassifier(t *testing.T) {
 		if got := Permanent(c.err); got != wantPerm {
 			t.Errorf("Permanent(%v) = %v, want %v", c.err, got, wantPerm)
 		}
+	}
+}
+
+// Every typed error round-trips the wire-code mapping: ErrorForCode of
+// ErrorCode reproduces an error the same errors.Is checks accept.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	wrap := func(err error) error { return fmt.Errorf("layer: %w", err) }
+	sentinels := []error{
+		kernel.ErrBadPIN, kernel.ErrLocked, ErrQuarantined, ErrDeviceRestarted,
+		ErrShed, ErrOverload, ErrCircuitOpen, ErrShutdown, ErrUnknownDevice,
+		context.DeadlineExceeded, context.Canceled,
+	}
+	for _, sent := range sentinels {
+		code := ErrorCode(wrap(sent))
+		back := ErrorForCode(code, "remote detail")
+		if !errors.Is(back, sent) {
+			t.Errorf("ErrorForCode(%q) = %v, does not wrap %v", code, back, sent)
+		}
+		// Transience must survive the round trip — the retry classifier
+		// behaves identically on both transports.
+		if Transient(back) != Transient(sent) {
+			t.Errorf("Transient mismatch across round trip for %v", sent)
+		}
+	}
+	if ErrorCode(nil) != CodeOK {
+		t.Errorf("ErrorCode(nil) = %q, want ok", ErrorCode(nil))
+	}
+	if ErrorForCode(CodeOK, "") != nil || ErrorForCode("", "") != nil {
+		t.Error("ErrorForCode(ok) != nil")
+	}
+	if err := ErrorForCode("some_future_code", "detail"); err == nil {
+		t.Error("unknown code should still produce an error")
 	}
 }
 
@@ -103,21 +161,24 @@ func TestDoRetriesTransientFailures(t *testing.T) {
 	var calls atomic.Int64
 	f := New(Options{
 		Devices: 1, Seed: 5, MaxAttempts: 4, Backoff: &instantBackoff,
-		testExec: func(a *actor, op Op) (bool, any, error) {
+		testExec: func(a *actor, op Op) (bool, Result, error) {
 			if calls.Add(1) < 3 {
-				return true, nil, fmt.Errorf("flaky: %w", ErrDeviceRestarted)
+				return true, Result{}, fmt.Errorf("flaky: %w", ErrDeviceRestarted)
 			}
-			return true, "ok", nil
+			return true, Result{State: "ok"}, nil
 		},
 	})
 	defer f.Stop()
 
-	val, _, err := f.Do(context.Background(), 0, Op{Code: OpTouch})
+	res, err := f.Do(context.Background(), 0, Op{Code: OpTouch})
 	if err != nil {
 		t.Fatalf("Do = %v, want success on third attempt", err)
 	}
-	if val != "ok" {
-		t.Fatalf("val = %v, want ok", val)
+	if res.State != "ok" {
+		t.Fatalf("state = %q, want ok", res.State)
+	}
+	if res.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", res.Attempts)
 	}
 	if n := f.Metrics().CounterValue(MetricRetries); n != 2 {
 		t.Fatalf("retries = %d, want 2", n)
@@ -131,14 +192,14 @@ func TestDoNeverRetriesPermanentFailures(t *testing.T) {
 	var calls atomic.Int64
 	f := New(Options{
 		Devices: 1, Seed: 5, MaxAttempts: 4, Backoff: &instantBackoff,
-		testExec: func(a *actor, op Op) (bool, any, error) {
+		testExec: func(a *actor, op Op) (bool, Result, error) {
 			calls.Add(1)
-			return true, nil, fmt.Errorf("auth: %w", kernel.ErrBadPIN)
+			return true, Result{}, fmt.Errorf("auth: %w", kernel.ErrBadPIN)
 		},
 	})
 	defer f.Stop()
 
-	_, _, err := f.Do(context.Background(), 0, Op{Code: OpUnlock})
+	_, err := f.Do(context.Background(), 0, Op{Code: OpUnlock})
 	if !errors.Is(err, kernel.ErrBadPIN) {
 		t.Fatalf("Do = %v, want ErrBadPIN", err)
 	}
@@ -153,10 +214,47 @@ func TestDoNeverRetriesPermanentFailures(t *testing.T) {
 func TestDoUnknownDevice(t *testing.T) {
 	f := New(Options{Devices: 1, Seed: 5})
 	defer f.Stop()
-	_, _, err := f.Do(context.Background(), 7, Op{Code: OpPing})
+	_, err := f.Do(context.Background(), 7, Op{Code: OpPing})
 	if !errors.Is(err, ErrUnknownDevice) {
 		t.Fatalf("Do(7) = %v, want ErrUnknownDevice", err)
 	}
+}
+
+// Admission control sheds whole requests at the front door with a typed
+// ErrOverload once the inflight token pool is exhausted, and Do never
+// retries it.
+func TestAdmissionControlOverload(t *testing.T) {
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	f := New(Options{
+		Devices: 2, Seed: 5, MaxInflight: 1, MaxAttempts: 4, Backoff: &instantBackoff,
+		testExec: func(a *actor, op Op) (bool, Result, error) {
+			if op.Code == OpRebootDrill {
+				started <- struct{}{}
+				<-block
+			}
+			return true, Result{State: "ok"}, nil
+		},
+	})
+	defer f.Stop()
+
+	go f.Do(context.Background(), 0, Op{Code: OpRebootDrill})
+	<-started
+
+	// The single admission token is held by the blocked request.
+	_, err := f.Do(context.Background(), 1, Op{Code: OpPing})
+	if !errors.Is(err, ErrOverload) {
+		t.Fatalf("Do over the inflight limit = %v, want ErrOverload", err)
+	}
+	if n := f.Metrics().CounterValue(MetricOverloads); n != 1 {
+		t.Fatalf("overloads = %d, want 1 (ErrOverload must not be retried)", n)
+	}
+	close(block)
+	// Token released: traffic flows again.
+	waitFor(t, func() bool {
+		_, err := f.Do(context.Background(), 1, Op{Code: OpPing})
+		return err == nil
+	})
 }
 
 // A saturated mailbox sheds the lowest-priority queued request in favour of
@@ -166,12 +264,12 @@ func TestOverloadShedsLowestPriority(t *testing.T) {
 	started := make(chan struct{}, 1)
 	f := New(Options{
 		Devices: 1, Seed: 5, MailboxCap: 2, MaxAttempts: 1, Backoff: &instantBackoff,
-		testExec: func(a *actor, op Op) (bool, any, error) {
+		testExec: func(a *actor, op Op) (bool, Result, error) {
 			if op.Code == OpRebootDrill { // the blocker occupying the actor
 				started <- struct{}{}
 				<-block
 			}
-			return true, "ok", nil
+			return true, Result{State: "ok"}, nil
 		},
 	})
 	defer f.Stop()
@@ -186,17 +284,17 @@ func TestOverloadShedsLowestPriority(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, lowErrs[i] = f.Do(context.Background(), 0, Op{Code: OpPing, Prio: PrioLow})
+			_, lowErrs[i] = f.Do(context.Background(), 0, Op{Code: OpPing, Prio: PrioLow})
 		}(i)
 	}
-	waitFor(t, func() bool { return f.actors[0].mbox.len() == 2 })
+	waitFor(t, func() bool { return queueLen(f, 0) == 2 })
 
 	// A high-priority request must get in; one low request goes overboard.
 	// The shed happens synchronously inside the push, before the actor is
 	// released.
 	highErr := make(chan error, 1)
 	go func() {
-		_, _, err := f.Do(context.Background(), 0, Op{Code: OpLock, Prio: PrioHigh})
+		_, err := f.Do(context.Background(), 0, Op{Code: OpLock, Prio: PrioHigh})
 		highErr <- err
 	}()
 	waitFor(t, func() bool { return f.Metrics().CounterValue(MetricSheds) == 1 })
@@ -222,44 +320,44 @@ func TestOverloadShedsLowestPriority(t *testing.T) {
 	}
 }
 
-// A panicking device is restarted through the cold-boot path until the
+// A panicking device is restarted through the supervised path until the
 // restart budget runs out, then quarantined.
 func TestPanicIsolationAndQuarantine(t *testing.T) {
 	f := New(Options{
 		Devices: 1, Seed: 5, MaxAttempts: 1, RestartBudget: 2, Backoff: &instantBackoff,
-		testExec: func(a *actor, op Op) (bool, any, error) {
+		testExec: func(a *actor, op Op) (bool, Result, error) {
 			if op.Arg == 666 {
 				panic("boom")
 			}
-			return false, nil, nil // fall through to the real device
+			return false, Result{}, nil // fall through to the real device
 		},
 	})
 	defer f.Stop()
 
 	crash := Op{Code: OpTouch, Arg: 666}
 	for i := 0; i < 2; i++ {
-		_, _, err := f.Do(context.Background(), 0, crash)
+		_, err := f.Do(context.Background(), 0, crash)
 		if !errors.Is(err, ErrDeviceRestarted) {
 			t.Fatalf("crash %d: err = %v, want ErrDeviceRestarted", i+1, err)
 		}
 	}
 	// Between crashes the freshly booted device still serves real traffic.
-	if _, _, err := f.Do(context.Background(), 0, Op{Code: OpPing}); err != nil {
+	if _, err := f.Do(context.Background(), 0, Op{Code: OpPing}); err != nil {
 		t.Fatalf("ping after restart: %v", err)
 	}
 
 	// Third crash exceeds the budget: quarantine.
-	_, _, err := f.Do(context.Background(), 0, crash)
+	_, err := f.Do(context.Background(), 0, crash)
 	if !errors.Is(err, ErrQuarantined) {
 		t.Fatalf("third crash: err = %v, want ErrQuarantined", err)
 	}
 	// And the quarantine is sticky, even for innocent requests.
-	_, _, err = f.Do(context.Background(), 0, Op{Code: OpPing})
+	_, err = f.Do(context.Background(), 0, Op{Code: OpPing})
 	if !errors.Is(err, ErrQuarantined) {
 		t.Fatalf("post-quarantine ping: err = %v, want ErrQuarantined", err)
 	}
 
-	h := f.Health()[0]
+	h := f.DeviceHealth(0)
 	if !h.Quarantined {
 		t.Fatal("health does not report quarantine")
 	}
@@ -288,15 +386,15 @@ func TestDeadlineExceeded(t *testing.T) {
 	block := make(chan struct{})
 	f := New(Options{
 		Devices: 1, Seed: 5, MaxAttempts: 4, Backoff: &instantBackoff,
-		testExec: func(a *actor, op Op) (bool, any, error) {
+		testExec: func(a *actor, op Op) (bool, Result, error) {
 			<-block
-			return true, "ok", nil
+			return true, Result{State: "ok"}, nil
 		},
 	})
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	_, _, err := f.Do(ctx, 0, Op{Code: OpTouch})
+	_, err := f.Do(ctx, 0, Op{Code: OpTouch})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Do = %v, want DeadlineExceeded", err)
 	}
@@ -313,22 +411,22 @@ func TestBreakerTripsOnHealthFailures(t *testing.T) {
 	f := New(Options{
 		Devices: 1, Seed: 5, MaxAttempts: 1, Backoff: &instantBackoff,
 		Breaker: BreakerConfig{Window: 3, MinSamples: 3, FailureRate: 1, OpenFor: time.Hour, HalfOpenProbes: 1},
-		testExec: func(a *actor, op Op) (bool, any, error) {
+		testExec: func(a *actor, op Op) (bool, Result, error) {
 			if op.Code == OpTouch {
-				return true, nil, fmt.Errorf("dying: %w", ErrDeviceRestarted)
+				return true, Result{}, fmt.Errorf("dying: %w", ErrDeviceRestarted)
 			}
-			return true, "ok", nil
+			return true, Result{State: "ok"}, nil
 		},
 	})
 	defer f.Stop()
 
 	for i := 0; i < 3; i++ {
-		if _, _, err := f.Do(context.Background(), 0, Op{Code: OpTouch}); !errors.Is(err, ErrDeviceRestarted) {
+		if _, err := f.Do(context.Background(), 0, Op{Code: OpTouch}); !errors.Is(err, ErrDeviceRestarted) {
 			t.Fatalf("failure %d: %v", i, err)
 		}
 	}
 	execsBefore := f.Metrics().CounterValue(MetricExecs)
-	_, _, err := f.Do(context.Background(), 0, Op{Code: OpTouch})
+	_, err := f.Do(context.Background(), 0, Op{Code: OpTouch})
 	if !errors.Is(err, ErrCircuitOpen) {
 		t.Fatalf("Do with open breaker = %v, want ErrCircuitOpen", err)
 	}
@@ -338,7 +436,7 @@ func TestBreakerTripsOnHealthFailures(t *testing.T) {
 	if f.BreakerTrips() != 1 {
 		t.Fatalf("trips = %d, want 1", f.BreakerTrips())
 	}
-	if st := f.Health()[0].BreakerStr; st != "open" {
+	if st := f.DeviceHealth(0).BreakerStr; st != "open" {
 		t.Fatalf("health breaker = %q, want open", st)
 	}
 }
@@ -349,15 +447,15 @@ func TestBreakerIgnoresDomainErrors(t *testing.T) {
 	f := New(Options{
 		Devices: 1, Seed: 5, MaxAttempts: 1, Backoff: &instantBackoff,
 		Breaker: BreakerConfig{Window: 3, MinSamples: 3, FailureRate: 1, OpenFor: time.Hour, HalfOpenProbes: 1},
-		testExec: func(a *actor, op Op) (bool, any, error) {
-			return true, nil, fmt.Errorf("auth: %w", kernel.ErrBadPIN)
+		testExec: func(a *actor, op Op) (bool, Result, error) {
+			return true, Result{}, fmt.Errorf("auth: %w", kernel.ErrBadPIN)
 		},
 	})
 	defer f.Stop()
 	for i := 0; i < 6; i++ {
 		f.Do(context.Background(), 0, Op{Code: OpUnlock})
 	}
-	if st := f.actors[0].brk.State(); st != BreakerClosed {
+	if st := testSlot(f, 0).brk.State(); st != BreakerClosed {
 		t.Fatalf("breaker = %v after domain errors, want closed", st)
 	}
 }
@@ -372,30 +470,30 @@ func TestGracefulDegradationUnderIRAMPressure(t *testing.T) {
 	ctx := context.Background()
 	// The degraded disk still works. (Any completed op also proves the boot
 	// finished, so the downgrade counter is stable afterwards.)
-	if _, _, err := f.Do(ctx, 0, Op{Code: OpDiskWrite, Arg: 5}); err != nil {
+	if _, err := f.Do(ctx, 0, Op{Code: OpDiskWrite, Arg: 5}); err != nil {
 		t.Fatalf("disk write on degraded crypto: %v", err)
 	}
 	if n := f.Metrics().CounterValue(MetricCryptoDowngrades); n != 1 {
 		t.Fatalf("crypto_downgrades = %d, want 1 (squeezed boot)", n)
 	}
-	if _, _, err := f.Do(ctx, 0, Op{Code: OpDiskRead, Arg: 5}); err != nil {
+	if _, err := f.Do(ctx, 0, Op{Code: OpDiskRead, Arg: 5}); err != nil {
 		t.Fatalf("disk read on degraded crypto: %v", err)
 	}
 	// Pinned background sessions degrade to locked-way sessions.
-	if _, _, err := f.Do(ctx, 0, Op{Code: OpLock, Prio: PrioHigh}); err != nil {
+	if _, err := f.Do(ctx, 0, Op{Code: OpLock, Prio: PrioHigh}); err != nil {
 		t.Fatalf("lock: %v", err)
 	}
-	val, _, err := f.Do(ctx, 0, Op{Code: OpBgPinned})
+	res, err := f.Do(ctx, 0, Op{Code: OpBgPinned})
 	if err != nil {
 		t.Fatalf("bg-pinned on squeezed device: %v", err)
 	}
-	if val != "bg-pinned-downgraded" {
-		t.Fatalf("bg-pinned val = %v, want bg-pinned-downgraded", val)
+	if res.Session != "bg-pinned-downgraded" {
+		t.Fatalf("bg-pinned session = %q, want bg-pinned-downgraded", res.Session)
 	}
 	if n := f.Metrics().CounterValue(MetricBgDowngrades); n != 1 {
 		t.Fatalf("bg_downgrades = %d, want 1", n)
 	}
-	if _, _, err := f.Do(ctx, 0, Op{Code: OpBgTouch, Arg: 3}); err != nil {
+	if _, err := f.Do(ctx, 0, Op{Code: OpBgTouch, Arg: 3}); err != nil {
 		t.Fatalf("bg touch on downgraded session: %v", err)
 	}
 }
@@ -405,12 +503,12 @@ func TestNoDowngradeWithoutPressure(t *testing.T) {
 	f := New(Options{Devices: 1, Seed: 5, Backoff: &instantBackoff})
 	defer f.Stop()
 	ctx := context.Background()
-	if _, _, err := f.Do(ctx, 0, Op{Code: OpLock, Prio: PrioHigh}); err != nil {
+	if _, err := f.Do(ctx, 0, Op{Code: OpLock, Prio: PrioHigh}); err != nil {
 		t.Fatalf("lock: %v", err)
 	}
-	val, _, err := f.Do(ctx, 0, Op{Code: OpBgPinned})
-	if err != nil || val != "bg-pinned" {
-		t.Fatalf("bg-pinned = %v, %v; want bg-pinned, nil", val, err)
+	res, err := f.Do(ctx, 0, Op{Code: OpBgPinned})
+	if err != nil || res.Session != "bg-pinned" {
+		t.Fatalf("bg-pinned = %q, %v; want bg-pinned, nil", res.Session, err)
 	}
 	reg := f.Metrics()
 	if n := reg.CounterValue(MetricCryptoDowngrades) + reg.CounterValue(MetricBgDowngrades); n != 0 {
@@ -424,28 +522,28 @@ func TestDeepLockRecovery(t *testing.T) {
 	f := New(Options{Devices: 1, Seed: 5, Backoff: &instantBackoff})
 	defer f.Stop()
 	ctx := context.Background()
-	if _, _, err := f.Do(ctx, 0, Op{Code: OpLock, Prio: PrioHigh}); err != nil {
+	if _, err := f.Do(ctx, 0, Op{Code: OpLock, Prio: PrioHigh}); err != nil {
 		t.Fatalf("lock: %v", err)
 	}
 	for i := 0; i < kernel.MaxPINAttempts-1; i++ {
-		_, _, err := f.Do(ctx, 0, Op{Code: OpBadPIN, Prio: PrioHigh})
+		_, err := f.Do(ctx, 0, Op{Code: OpBadPIN, Prio: PrioHigh})
 		if !errors.Is(err, kernel.ErrBadPIN) {
 			t.Fatalf("bad PIN %d: err = %v, want ErrBadPIN (and no retry)", i+1, err)
 		}
 	}
 	// The fifth wrong PIN deep-locks; the actor reboots, the retry lands on
 	// the fresh (unlocked) device where a wrong PIN is a no-op.
-	if _, _, err := f.Do(ctx, 0, Op{Code: OpBadPIN, Prio: PrioHigh}); err != nil {
+	if _, err := f.Do(ctx, 0, Op{Code: OpBadPIN, Prio: PrioHigh}); err != nil {
 		t.Fatalf("deep-locking PIN attempt: %v, want recovery + success", err)
 	}
 	if n := f.Metrics().CounterValue(MetricRecoveryReboots); n != 1 {
 		t.Fatalf("recovery_reboots = %d, want 1", n)
 	}
-	if b := f.Health()[0].Boots; b != 2 {
+	if b := f.DeviceHealth(0).Boots; b != 2 {
 		t.Fatalf("boots = %d, want 2", b)
 	}
 	// Recovered device serves normally.
-	if _, _, err := f.Do(ctx, 0, Op{Code: OpTouch, Arg: 1}); err != nil {
+	if _, err := f.Do(ctx, 0, Op{Code: OpTouch, Arg: 1}); err != nil {
 		t.Fatalf("touch after recovery: %v", err)
 	}
 }
@@ -460,12 +558,12 @@ func TestWatchdogFlagsStalledActor(t *testing.T) {
 		Devices: 1, Seed: 5, Clock: clk,
 		StallTimeout: 2 * time.Second, WatchdogEvery: 250 * time.Millisecond,
 		Backoff: &instantBackoff,
-		testExec: func(a *actor, op Op) (bool, any, error) {
+		testExec: func(a *actor, op Op) (bool, Result, error) {
 			if op.Code == OpRebootDrill {
 				started <- struct{}{}
 				<-block
 			}
-			return true, "ok", nil
+			return true, Result{State: "ok"}, nil
 		},
 	})
 
@@ -476,12 +574,12 @@ func TestWatchdogFlagsStalledActor(t *testing.T) {
 	// one of its scan timers to fire after that.
 	waitFor(t, func() bool {
 		clk.Advance(250 * time.Millisecond)
-		return f.actors[0].stalled.Load()
+		return testSlot(f, 0).stalled.Load()
 	})
 	if n := f.Metrics().CounterValue(MetricStalls); n != 1 {
 		t.Fatalf("stalls = %d, want 1", n)
 	}
-	if !f.Health()[0].Stalled {
+	if !f.DeviceHealth(0).Stalled {
 		t.Fatal("health does not report the stall")
 	}
 	if f.Ready() {
@@ -492,7 +590,7 @@ func TestWatchdogFlagsStalledActor(t *testing.T) {
 	close(block)
 	waitFor(t, func() bool {
 		clk.Advance(250 * time.Millisecond)
-		return !f.actors[0].stalled.Load()
+		return !testSlot(f, 0).stalled.Load()
 	})
 	f.Stop()
 	if f.Ready() {
@@ -505,22 +603,25 @@ func TestLedgerContiguousAcrossRestart(t *testing.T) {
 	var calls atomic.Int64
 	f := New(Options{
 		Devices: 1, Seed: 5, MaxAttempts: 1, RestartBudget: 10, Backoff: &instantBackoff,
-		testExec: func(a *actor, op Op) (bool, any, error) {
+		testExec: func(a *actor, op Op) (bool, Result, error) {
 			if op.Arg == 666 && calls.Add(1) == 3 {
 				panic("mid-run crash")
 			}
-			return false, nil, nil
+			return false, Result{}, nil
 		},
 	})
 	ctx := context.Background()
 	var recs []clientRec
 	for i := 0; i < 6; i++ {
-		_, opID, err := f.Do(ctx, 0, Op{Code: OpTouch, Arg: 666})
-		recs = append(recs, clientRec{opID: opID, code: OpTouch, ok: err == nil, class: failureClass(err)})
+		res, err := f.Do(ctx, 0, Op{Code: OpTouch, Arg: 666})
+		recs = append(recs, clientRec{opID: res.OpID, code: OpTouch, ok: err == nil, class: ErrorCode(err)})
 	}
 	f.Stop()
 
-	ledger := f.Ledger(0)
+	ledger, err := f.Ledger(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ledger) != 6 {
 		t.Fatalf("ledger has %d entries, want 6", len(ledger))
 	}
@@ -550,30 +651,74 @@ func TestStopDrainsWithShutdownError(t *testing.T) {
 	started := make(chan struct{}, 1)
 	f := New(Options{
 		Devices: 1, Seed: 5, MailboxCap: 8, MaxAttempts: 1, Backoff: &instantBackoff,
-		testExec: func(a *actor, op Op) (bool, any, error) {
+		testExec: func(a *actor, op Op) (bool, Result, error) {
 			if op.Code == OpRebootDrill {
 				started <- struct{}{}
 				<-block
 			}
-			return true, "ok", nil
+			return true, Result{State: "ok"}, nil
 		},
 	})
 	go f.Do(context.Background(), 0, Op{Code: OpRebootDrill})
 	<-started
 	errCh := make(chan error, 1)
 	go func() {
-		_, _, err := f.Do(context.Background(), 0, Op{Code: OpPing})
+		_, err := f.Do(context.Background(), 0, Op{Code: OpPing})
 		errCh <- err
 	}()
-	waitFor(t, func() bool { return f.actors[0].mbox.len() == 1 })
+	waitFor(t, func() bool { return queueLen(f, 0) == 1 })
 	close(block)
 	f.Stop()
 	if err := <-errCh; err != nil && !errors.Is(err, ErrShutdown) {
 		t.Fatalf("queued request after Stop = %v, want nil or ErrShutdown", err)
 	}
 	// New requests after Stop fail fast.
-	if _, _, err := f.Do(context.Background(), 0, Op{Code: OpPing}); !errors.Is(err, ErrShutdown) {
+	if _, err := f.Do(context.Background(), 0, Op{Code: OpPing}); !errors.Is(err, ErrShutdown) {
 		t.Fatalf("Do after Stop = %v, want ErrShutdown", err)
+	}
+}
+
+// Open with functional options resolves the same fleet New would build, and
+// untouched devices cost nothing: a huge logical population opens instantly.
+func TestOpenFunctionalOptions(t *testing.T) {
+	f := Open(1_000_000,
+		WithSeed(9),
+		WithShards(4),
+		WithResidentCap(8),
+		WithMaxInflight(16),
+		WithPIN("2468"),
+	)
+	defer f.Stop()
+	if f.opt.Devices != 1_000_000 || f.opt.Seed != 9 || f.opt.PIN != "2468" {
+		t.Fatalf("options not applied: %+v", f.opt)
+	}
+	if len(f.shards) != 4 {
+		t.Fatalf("shards = %d, want 4", len(f.shards))
+	}
+	total := 0
+	for _, sh := range f.shards {
+		total += sh.cap
+	}
+	if total != 8 {
+		t.Fatalf("summed shard caps = %d, want 8", total)
+	}
+	h, err := f.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Logical != 1_000_000 || h.Touched != 0 || h.Resident != 0 {
+		t.Fatalf("fresh fleet health = %+v, want 10^6 logical, 0 touched", h)
+	}
+	if !h.Ready {
+		t.Fatal("fresh fleet not ready")
+	}
+	// One op on a far-flung ID touches exactly one device.
+	if _, err := f.Do(context.Background(), 999_999, Op{Code: OpPing}); err != nil {
+		t.Fatalf("ping device 999999: %v", err)
+	}
+	h, _ = f.Health(context.Background())
+	if h.Touched != 1 || h.Resident != 1 {
+		t.Fatalf("after one op: touched=%d resident=%d, want 1,1", h.Touched, h.Resident)
 	}
 }
 

@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// HTTPClient is the Client implementation over the sentryd serving API.
+// Errors round-trip typed: a remote ErrQuarantined satisfies
+// errors.Is(err, ErrQuarantined) exactly like a local one, so soak
+// harnesses and load generators run unchanged against either transport.
+type HTTPClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPClient returns a Client speaking to the sentryd at baseURL (e.g.
+// "http://127.0.0.1:8473"). httpClient nil means http.DefaultClient;
+// per-request deadlines come from the Do context, as in-process.
+func NewHTTPClient(baseURL string, httpClient *http.Client) *HTTPClient {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &HTTPClient{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// Do implements Client: a single-op batch against device id.
+func (c *HTTPClient) Do(ctx context.Context, id DeviceID, op Op) (Result, error) {
+	outs, err := c.DoBatch(ctx, id, []Op{op})
+	if err != nil {
+		return Result{}, err
+	}
+	if len(outs) != 1 {
+		return Result{}, fmt.Errorf("fleet: remote returned %d results for 1 op", len(outs))
+	}
+	return outs[0].Result, ErrorForCode(outs[0].Code, outs[0].Error)
+}
+
+// DoBatch executes ops in order against device id in one round trip and
+// returns one WireResult per op. A request-level failure (overload,
+// shutdown, unknown device, transport) returns an error and no results.
+func (c *HTTPClient) DoBatch(ctx context.Context, id DeviceID, ops []Op) ([]WireResult, error) {
+	wire := WireBatch{Ops: make([]WireOp, len(ops))}
+	for i, op := range ops {
+		wire.Ops[i] = WireOp{Code: op.Code.String(), Arg: op.Arg, Prio: op.Prio}
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return nil, err
+	}
+	url := fmt.Sprintf("%s/v1/devices/%d/ops", c.base, uint64(id))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var resp WireBatchResp
+	if err := c.roundTrip(req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(ops) {
+		return nil, fmt.Errorf("fleet: remote returned %d results for %d ops", len(resp.Results), len(ops))
+	}
+	return resp.Results, nil
+}
+
+// Health implements Client.
+func (c *HTTPClient) Health(ctx context.Context) (FleetHealth, error) {
+	var h FleetHealth
+	err := c.get(ctx, "/v1/health", &h)
+	return h, err
+}
+
+// Ledger implements Client.
+func (c *HTTPClient) Ledger(ctx context.Context, id DeviceID) ([]LedgerEntry, error) {
+	var ledger []LedgerEntry
+	err := c.get(ctx, fmt.Sprintf("/v1/devices/%d/ledger", uint64(id)), &ledger)
+	return ledger, err
+}
+
+// DeviceHealth fetches one device's probe view.
+func (c *HTTPClient) DeviceHealth(ctx context.Context, id DeviceID) (DeviceHealth, error) {
+	var h DeviceHealth
+	err := c.get(ctx, fmt.Sprintf("/v1/devices/%d/health", uint64(id)), &h)
+	return h, err
+}
+
+// Close implements Client.
+func (c *HTTPClient) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+func (c *HTTPClient) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.roundTrip(req, out)
+}
+
+// roundTrip executes the request and decodes a 200 body into out; non-200
+// responses are decoded as WireError and reconstructed into the typed
+// fleet error the server classified.
+func (c *HTTPClient) roundTrip(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var we WireError
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&we); err != nil || we.Code == "" {
+			return fmt.Errorf("fleet: remote status %d", resp.StatusCode)
+		}
+		return ErrorForCode(we.Code, we.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+var _ Client = (*HTTPClient)(nil)
+var _ Client = (*Fleet)(nil)

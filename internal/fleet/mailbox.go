@@ -24,7 +24,7 @@ func clampPrio(p int) int {
 
 // result is what an actor replies with.
 type result struct {
-	val any
+	res Result
 	err error
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled reports whether the race detector is compiled in; the scale
+// test skips under it (the detector's memory model bookkeeping inflates a
+// 10^5-device run far past any useful signal).
+const raceEnabled = false

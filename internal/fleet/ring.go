@@ -1,0 +1,56 @@
+package fleet
+
+import "sort"
+
+// ring places 64-bit device IDs onto shards with a consistent-hash ring of
+// virtual nodes. Consistent hashing buys two things over id%shards: IDs
+// need not be dense (any 64-bit ID lands somewhere sensible, with vnodes
+// smoothing the load to within a few percent of uniform), and placement is
+// stable under reconfiguration — growing the shard count remaps only the
+// keyspace slices adjacent to the new vnodes instead of reshuffling nearly
+// every device, which is what keeps a future resharding operation from
+// re-hydrating the whole population at once.
+type ring struct {
+	hashes []uint64 // sorted vnode positions
+	shards []int    // shards[i] owns hashes[i]
+}
+
+// vnodesPerShard trades placement smoothness against ring size; 64 vnodes
+// keeps the max/mean shard load under ~1.15 while the ring stays a few KB.
+const vnodesPerShard = 64
+
+func newRing(shards int) *ring {
+	r := &ring{
+		hashes: make([]uint64, 0, shards*vnodesPerShard),
+		shards: make([]int, 0, shards*vnodesPerShard),
+	}
+	type vnode struct {
+		h     uint64
+		shard int
+	}
+	vns := make([]vnode, 0, shards*vnodesPerShard)
+	for s := 0; s < shards; s++ {
+		h := splitmix64(uint64(s) + 0x9e3779b97f4a7c15)
+		for v := 0; v < vnodesPerShard; v++ {
+			h = splitmix64(h)
+			vns = append(vns, vnode{h: h, shard: s})
+		}
+	}
+	sort.Slice(vns, func(i, j int) bool { return vns[i].h < vns[j].h })
+	for _, vn := range vns {
+		r.hashes = append(r.hashes, vn.h)
+		r.shards = append(r.shards, vn.shard)
+	}
+	return r
+}
+
+// owner returns the shard owning id: the first vnode clockwise of the ID's
+// hash, wrapping at the top of the ring.
+func (r *ring) owner(id DeviceID) int {
+	h := splitmix64(uint64(id) ^ 0xd1b54a32d192ed03)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.shards[i]
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import "testing"
+
+// Placement is a pure function of (shard count, ID): two rings built for the
+// same shard count agree on every owner.
+func TestRingDeterministic(t *testing.T) {
+	a, b := newRing(8), newRing(8)
+	for id := DeviceID(0); id < 10_000; id++ {
+		if a.owner(id) != b.owner(id) {
+			t.Fatalf("ring not deterministic at id %d: %d vs %d", id, a.owner(id), b.owner(id))
+		}
+	}
+}
+
+// Every owner is a valid shard index, and vnode smoothing keeps the load
+// within a reasonable band of uniform for both dense and sparse ID sets.
+func TestRingDistribution(t *testing.T) {
+	const shards = 8
+	r := newRing(shards)
+	check := func(name string, ids []DeviceID) {
+		t.Helper()
+		counts := make([]int, shards)
+		for _, id := range ids {
+			s := r.owner(id)
+			if s < 0 || s >= shards {
+				t.Fatalf("%s: owner(%d) = %d out of range", name, id, s)
+			}
+			counts[s]++
+		}
+		mean := float64(len(ids)) / shards
+		for s, c := range counts {
+			if f := float64(c) / mean; f < 0.7 || f > 1.3 {
+				t.Errorf("%s: shard %d holds %.2fx the mean load (%d of %d)", name, s, f, c, len(ids))
+			}
+		}
+	}
+	dense := make([]DeviceID, 100_000)
+	for i := range dense {
+		dense[i] = DeviceID(i)
+	}
+	check("dense", dense)
+	sparse := make([]DeviceID, 50_000)
+	for i := range sparse {
+		sparse[i] = DeviceID(uint64(i) * 0x9e3779b97f4a7c15) // arbitrary 64-bit IDs
+	}
+	check("sparse", sparse)
+}
+
+// Growing the ring remaps only the keyspace ceded to the new shards' vnodes:
+// the moved fraction stays near the ideal 1 - old/new, nowhere near the
+// "almost everything moves" of modulo placement.
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	const n = 100_000
+	old, grown := newRing(8), newRing(10)
+	moved := 0
+	for id := DeviceID(0); id < n; id++ {
+		o, g := old.owner(id), grown.owner(id)
+		if o != g {
+			moved++
+			// A moved ID must have moved TO a shard, not between old shards
+			// more often than vnode boundaries imply; the aggregate bound
+			// below is the real assertion.
+			_ = g
+		}
+	}
+	frac := float64(moved) / n
+	// Ideal is 1 - 8/10 = 0.20; allow slack for vnode granularity, but stay
+	// far below the ~0.9 a modulo scheme would show.
+	if frac > 0.35 {
+		t.Fatalf("growth 8→10 moved %.0f%% of IDs, want ≈20%%", frac*100)
+	}
+	if frac == 0 {
+		t.Fatal("growth moved nothing — ring ignored the new shards")
+	}
+}

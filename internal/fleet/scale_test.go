@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+)
+
+// The headline capacity claim: 10^5 logical devices hosted in one process
+// behind a resident cap of 1/48th of the population. 4096 devices spread
+// across the whole ID space actually boot; the LRU parks and re-hydrates
+// them as the working set slides, and the resident gauge never exceeds the
+// cap. Skipped under -short and -race (it is a capacity test, not a logic
+// test — every mechanism it uses is covered by the small tests above).
+func TestScaleHundredThousandLogical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("scale test skipped under the race detector")
+	}
+	const (
+		logical  = 100_000
+		capacity = 2048 // well under the 1/16-of-logical acceptance bound
+		touched  = 4096 // twice the cap: every later touch evicts someone
+		stride   = logical / touched
+	)
+	f := Open(logical, WithSeed(1), WithShards(16), WithResidentCap(capacity))
+	defer f.Stop()
+	ctx := context.Background()
+
+	for i := 0; i < touched; i++ {
+		id := DeviceID(i * stride)
+		if _, err := f.Do(ctx, id, Op{Code: OpTouch, Arg: uint64(i)}); err != nil {
+			t.Fatalf("touch %d: %v", id, err)
+		}
+	}
+	h, err := f.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Logical != logical {
+		t.Fatalf("logical = %d, want %d", h.Logical, logical)
+	}
+	if h.Touched != touched {
+		t.Fatalf("touched = %d, want %d", h.Touched, touched)
+	}
+	if h.Resident > capacity {
+		t.Fatalf("resident %d exceeds cap %d", h.Resident, capacity)
+	}
+	if n := f.Metrics().CounterValue(MetricParks); n == 0 {
+		t.Fatal("a working set twice the cap parked nothing")
+	}
+
+	// Slide back over the oldest slice of the working set: parked devices
+	// re-hydrate with their state intact (the ledgered seq continues at 2).
+	for i := 0; i < 64; i++ {
+		id := DeviceID(i * stride)
+		res, err := f.Do(ctx, id, Op{Code: OpTouch, Arg: uint64(i)})
+		if err != nil {
+			t.Fatalf("re-touch %d: %v", id, err)
+		}
+		if res.Seq != 2 {
+			t.Fatalf("device %d seq = %d after re-hydration, want 2", id, res.Seq)
+		}
+	}
+	if n := f.Metrics().CounterValue(MetricHydrations); n < 64 {
+		t.Fatalf("hydrations = %d, want >= 64", n)
+	}
+	if b := f.DeviceHealth(0).Boots; b != 1 {
+		t.Fatalf("device 0 boots = %d after park/hydrate cycles, want 1", b)
+	}
+}

@@ -2,7 +2,6 @@ package fleet
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -11,14 +10,15 @@ import (
 	"time"
 
 	"sentry/internal/faults"
-	"sentry/internal/kernel"
 	"sentry/internal/sim"
 )
 
 // SoakConfig sizes one chaos-soak run. The run is deterministic for a fixed
 // (Devices, OpsPerDevice, Seed, Faults): each device's op stream, fault
 // schedule, retries, and ledger are pure functions of the seed — host
-// timing moves wall-clock numbers only, never outcomes.
+// timing moves wall-clock numbers only, never outcomes. Residency knobs
+// (ResidentCap, Shards) change memory and scheduling, never the report:
+// a park/hydrate cycle is byte-invisible.
 type SoakConfig struct {
 	Devices      int
 	OpsPerDevice int
@@ -36,6 +36,12 @@ type SoakConfig struct {
 	// NoSnapshots forwards to Options.NoSnapshots: reboots re-run the full
 	// boot sequence instead of forking the post-boot snapshot.
 	NoSnapshots bool
+
+	// ResidentCap and Shards forward to the fleet options (RunSoak only —
+	// SoakOn drives whatever fleet sits behind its Client). Zero keeps the
+	// defaults (unbounded residency, 8 shards).
+	ResidentCap int
+	Shards      int
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -75,10 +81,13 @@ type DeviceSoak struct {
 }
 
 // SoakReport is the JSON soak report (sentrybench -fleet-soak emits it).
+// The fleet-side counter block is filled by RunSoak (which owns the fleet);
+// a SoakOn report over a remote Client carries only the client-visible
+// fields — identically zero on both sides of a determinism diff.
 type SoakReport struct {
-	Devices      int   `json:"devices"`
-	OpsPerDevice int   `json:"ops_per_device"`
-	Seed         int64 `json:"seed"`
+	Devices      int    `json:"devices"`
+	OpsPerDevice int    `json:"ops_per_device"`
+	Seed         int64  `json:"seed"`
 	Profile      string `json:"profile"`
 
 	OpsAttempted     uint64 `json:"ops_attempted"`
@@ -124,25 +133,10 @@ type clientRec struct {
 	class string
 }
 
-// RunSoak drives a chaos soak: Devices concurrent clients (one per device,
-// serial per device) each submit OpsPerDevice seeded random ops through the
-// full robustness stack, then the fleet is stopped, swept for
-// confidentiality violations, and audited against the per-device sequence
-// ledgers.
-func RunSoak(cfg SoakConfig) (*SoakReport, error) {
-	cfg = cfg.withDefaults()
-	prof, ok := faults.ByName(cfg.Faults)
-	if !ok {
-		return nil, fmt.Errorf("fleet: unknown fault profile %q", cfg.Faults)
-	}
-	f := New(Options{
-		Devices:      cfg.Devices,
-		Seed:         cfg.Seed,
-		Faults:       prof,
-		SqueezeEvery: cfg.SqueezeEvery,
-		NoSnapshots:  cfg.NoSnapshots,
-	})
-
+// driveSoak runs the soak workload against any Client: Devices concurrent
+// clients (one per device, serial per device) each submit OpsPerDevice
+// seeded random ops and record what they observed.
+func driveSoak(c Client, cfg SoakConfig) [][]clientRec {
 	recs := make([][]clientRec, cfg.Devices)
 	var wg sync.WaitGroup
 	for id := 0; id < cfg.Devices; id++ {
@@ -154,60 +148,43 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 			for i := 0; i < cfg.OpsPerDevice; i++ {
 				op := genOp(rng)
 				ctx, cancel := context.WithTimeout(context.Background(), cfg.OpTimeout)
-				_, opID, err := f.Do(ctx, id, op)
+				res, err := c.Do(ctx, DeviceID(id), op)
 				cancel()
-				out = append(out, clientRec{opID: opID, code: op.Code, ok: err == nil, class: failureClass(err)})
+				out = append(out, clientRec{opID: res.OpID, code: op.Code, ok: err == nil, class: ErrorCode(err)})
 			}
 			recs[id] = out
 		}(id)
 	}
 	wg.Wait()
-	f.Stop()
-	violations := f.SweepConfidentiality()
-	sort.Strings(violations)
+	return recs
+}
 
+// clientReport builds the client-visible half of the soak report: per-op
+// outcomes, failure classes, and the per-device ledger audit, all through
+// the Client interface only.
+func clientReport(c Client, cfg SoakConfig, recs [][]clientRec) *SoakReport {
 	rep := &SoakReport{
-		Devices:      cfg.Devices,
-		OpsPerDevice: cfg.OpsPerDevice,
-		Seed:         cfg.Seed,
-		Profile:      cfg.Faults,
-
-		OpsAttempted:     uint64(cfg.Devices * cfg.OpsPerDevice),
-		OpsOK:            f.reg.CounterValue(MetricOpsOK),
-		OpsFailed:        f.reg.CounterValue(MetricOpsFailed),
-		Retries:          f.reg.CounterValue(MetricRetries),
-		Execs:            f.reg.CounterValue(MetricExecs),
-		Sheds:            f.reg.CounterValue(MetricSheds),
-		Restarts:         f.reg.CounterValue(MetricRestarts),
-		Quarantines:      f.reg.CounterValue(MetricQuarantines),
-		RecoveryReboots:  f.reg.CounterValue(MetricRecoveryReboots),
-		RebootDrills:     f.reg.CounterValue(MetricRebootDrills),
-		CryptoDowngrades: f.reg.CounterValue(MetricCryptoDowngrades),
-		BgDowngrades:     f.reg.CounterValue(MetricBgDowngrades),
-		BreakerTrips:     f.BreakerTrips(),
-		Stalls:           f.reg.CounterValue(MetricStalls),
-		FailuresByClass:  make(map[string]uint64),
-		Violations:       violations,
+		Devices:         cfg.Devices,
+		OpsPerDevice:    cfg.OpsPerDevice,
+		Seed:            cfg.Seed,
+		Profile:         cfg.Faults,
+		OpsAttempted:    uint64(cfg.Devices * cfg.OpsPerDevice),
+		FailuresByClass: make(map[string]uint64),
 	}
-	if rep.OpsAttempted > 0 {
-		rep.Amplification = float64(rep.Execs) / float64(rep.OpsAttempted)
-	}
-
 	for id := 0; id < cfg.Devices; id++ {
-		ledger := f.Ledger(id)
-		ds := DeviceSoak{
-			ID:        id,
-			Ops:       len(recs[id]),
-			Boots:     f.actors[id].boots.Load(),
-			Restarts:  f.actors[id].restarts.Load(),
-			LedgerLen: len(ledger),
+		ledger, err := c.Ledger(context.Background(), DeviceID(id))
+		if err != nil {
+			rep.Problems = append(rep.Problems,
+				fmt.Sprintf("device %d: ledger fetch failed: %v", id, err))
 		}
-		ds.Quarantined = f.actors[id].quarantined.Load()
+		ds := DeviceSoak{ID: id, Ops: len(recs[id]), LedgerLen: len(ledger)}
 		for _, r := range recs[id] {
 			if r.ok {
 				ds.OK++
+				rep.OpsOK++
 			} else {
 				ds.Failed++
+				rep.OpsFailed++
 				rep.FailuresByClass[r.class]++
 			}
 		}
@@ -218,14 +195,85 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 		}
 		ds.LedgerDigest = digestLedger(ledger)
 		rep.PerDevice = append(rep.PerDevice, ds)
+		rep.Problems = append(rep.Problems, auditLedger(id, ledger, recs[id])...)
+	}
+	return rep
+}
 
-		for _, p := range auditLedger(id, ledger, recs[id]) {
-			rep.Problems = append(rep.Problems, p)
-		}
+// SoakOn drives the soak workload through any Client — the in-process
+// *Fleet or an HTTPClient against a remote sentryd — and returns the
+// client-visible report. It does not stop the fleet and cannot run the
+// confidentiality sweep or fleet-counter assertions; RunSoak layers those
+// on for the in-process case. Two SoakOn runs against equal fleets (same
+// seed, any residency configuration) produce byte-identical reports.
+func SoakOn(c Client, cfg SoakConfig) (*SoakReport, error) {
+	cfg = cfg.withDefaults()
+	if _, ok := faults.ByName(cfg.Faults); !ok {
+		return nil, fmt.Errorf("fleet: unknown fault profile %q", cfg.Faults)
+	}
+	recs := driveSoak(c, cfg)
+	rep := clientReport(c, cfg, recs)
+	sort.Strings(rep.Problems)
+	return rep, nil
+}
+
+// RunSoak drives a full chaos soak in-process: it opens a fleet, runs the
+// SoakOn workload against it, then stops the fleet, sweeps every device for
+// confidentiality violations, and audits the fleet-side counters the Client
+// interface cannot see (boots, quarantine causes, retry amplification).
+func RunSoak(cfg SoakConfig) (*SoakReport, error) {
+	cfg = cfg.withDefaults()
+	prof, ok := faults.ByName(cfg.Faults)
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown fault profile %q", cfg.Faults)
+	}
+	opts := []Option{
+		WithSeed(cfg.Seed),
+		WithFaults(prof),
+		WithSqueezeEvery(cfg.SqueezeEvery),
+		WithShards(nonZero(cfg.Shards, 8)),
+		WithResidentCap(cfg.ResidentCap),
+	}
+	if cfg.NoSnapshots {
+		opts = append(opts, WithNoSnapshots())
+	}
+	f := Open(cfg.Devices, opts...)
+
+	recs := driveSoak(f, cfg)
+	f.Stop()
+	violations := f.SweepConfidentiality()
+	sort.Strings(violations)
+
+	rep := clientReport(f, cfg, recs)
+	rep.Retries = f.reg.CounterValue(MetricRetries)
+	rep.Execs = f.reg.CounterValue(MetricExecs)
+	rep.Sheds = f.reg.CounterValue(MetricSheds)
+	rep.Restarts = f.reg.CounterValue(MetricRestarts)
+	rep.Quarantines = f.reg.CounterValue(MetricQuarantines)
+	rep.RecoveryReboots = f.reg.CounterValue(MetricRecoveryReboots)
+	rep.RebootDrills = f.reg.CounterValue(MetricRebootDrills)
+	rep.CryptoDowngrades = f.reg.CounterValue(MetricCryptoDowngrades)
+	rep.BgDowngrades = f.reg.CounterValue(MetricBgDowngrades)
+	rep.BreakerTrips = f.BreakerTrips()
+	rep.Stalls = f.reg.CounterValue(MetricStalls)
+	rep.Violations = violations
+	if rep.OpsAttempted > 0 {
+		rep.Amplification = float64(rep.Execs) / float64(rep.OpsAttempted)
+	}
+	if ok := f.reg.CounterValue(MetricOpsOK); ok != rep.OpsOK {
+		rep.Problems = append(rep.Problems,
+			fmt.Sprintf("fleet counter ops_ok=%d disagrees with client-observed %d", ok, rep.OpsOK))
+	}
+
+	for i := range rep.PerDevice {
+		ds := &rep.PerDevice[i]
+		h := f.DeviceHealth(DeviceID(ds.ID))
+		ds.Boots = h.Boots
+		ds.Restarts = h.Restarts
+		ds.Quarantined = h.Quarantined
 		if ds.Quarantined {
-			for _, p := range auditQuarantine(id, int64(f.opt.RestartBudget), f.RestartCauses(id)) {
-				rep.Problems = append(rep.Problems, p)
-			}
+			rep.Problems = append(rep.Problems,
+				auditQuarantine(ds.ID, int64(f.opt.RestartBudget), f.RestartCauses(DeviceID(ds.ID)))...)
 		}
 	}
 
@@ -238,6 +286,13 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	}
 	sort.Strings(rep.Problems)
 	return rep, nil
+}
+
+func nonZero(v, def int) int {
+	if v != 0 {
+		return v
+	}
+	return def
 }
 
 // genOp draws one operation from the soak mix.
@@ -267,32 +322,6 @@ func genOp(rng *sim.RNG) Op {
 		return Op{Code: OpDiskRead, Arg: arg, Prio: PrioNormal}
 	default:
 		return Op{Code: OpRebootDrill, Arg: arg, Prio: PrioNormal}
-	}
-}
-
-// failureClass buckets an error for the report, most-specific first.
-func failureClass(err error) string {
-	switch {
-	case err == nil:
-		return "ok"
-	case errors.Is(err, kernel.ErrBadPIN):
-		return "bad_pin"
-	case errors.Is(err, ErrQuarantined):
-		return "quarantined"
-	case errors.Is(err, ErrDeviceRestarted):
-		return "restarted"
-	case errors.Is(err, ErrShed):
-		return "shed"
-	case errors.Is(err, ErrCircuitOpen):
-		return "circuit_open"
-	case errors.Is(err, kernel.ErrLocked):
-		return "locked"
-	case errors.Is(err, context.DeadlineExceeded):
-		return "deadline"
-	case errors.Is(err, ErrShutdown):
-		return "shutdown"
-	default:
-		return "other"
 	}
 }
 

@@ -66,6 +66,31 @@ func TestSoakDeterministic(t *testing.T) {
 	}
 }
 
+// The acceptance diff for the tentpole: the full soak JSON — counters,
+// ledgers, digests, per-device accounting — is byte-identical whether
+// devices stay resident or are parked and re-hydrated throughout the run.
+func TestSoakEvictionIdentical(t *testing.T) {
+	base := SoakConfig{Devices: 6, OpsPerDevice: 50, Seed: 9, Faults: "benign", Shards: 2}
+	free, err := RunSoak(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := base
+	capped.ResidentCap = 2
+	evicted, err := RunSoak(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := json.MarshalIndent(free, "", " ")
+	j2, _ := json.MarshalIndent(evicted, "", " ")
+	if string(j1) != string(j2) {
+		t.Fatalf("soak report differs with eviction on:\nfree:   %s\ncapped: %s", j1, j2)
+	}
+	if !free.Passed() {
+		t.Fatalf("soak failed: %v / %v", free.Problems, free.Violations)
+	}
+}
+
 // With no faults injected there is nothing to restart or quarantine.
 func TestSoakNoFaults(t *testing.T) {
 	rep, err := RunSoak(SoakConfig{Devices: 2, OpsPerDevice: 30, Seed: 3, Faults: "none"})

@@ -49,6 +49,16 @@ func Capture[W Forkable[W]](w W) *Snapshot[W] {
 	return &Snapshot[W]{parked: w.Fork()}
 }
 
+// Adopt parks w itself as the snapshot, without forking first. It is the
+// O(1) hand-off the fleet's eviction path uses: the owner stops driving the
+// world and surrenders it to the snapshot in place, paying the fork cost
+// only if the device is ever re-hydrated. The caller must never touch w
+// again — the snapshot now owns it (Capture, by contrast, leaves the
+// original live).
+func Adopt[W Forkable[W]](w W) *Snapshot[W] {
+	return &Snapshot[W]{parked: w}
+}
+
 // Fork returns an independent world continuing from the captured state.
 // Safe for concurrent use: the first fork of the parked copy seals its
 // (already base-only) stores, and the mutex serialises that with any

@@ -101,3 +101,47 @@ func TestConcurrentForks(t *testing.T) {
 		}
 	}
 }
+
+// TestAdoptHandsOffInPlace proves Adopt parks the world itself (no upfront
+// fork): the first Fork continues from the adopted state, later mutation of
+// one fork never reaches its siblings, and the hand-off is O(1) — adopting
+// never touches page contents.
+func TestAdoptHandsOffInPlace(t *testing.T) {
+	s := mem.NewStore(16 * mem.PageSize)
+	fillPattern(s, 0x42)
+	snap := Adopt(s)
+	// Contract: s belongs to the snapshot now; only forks are used below.
+
+	f1 := snap.Fork()
+	if err := checkPattern(f1, 0x42); err != nil {
+		t.Fatalf("first fork of adopted world: %v", err)
+	}
+	fillPattern(f1, 0x99) // diverge the hydrated copy
+
+	f2 := snap.Fork()
+	if err := checkPattern(f2, 0x42); err != nil {
+		t.Fatalf("second fork saw a sibling's writes: %v", err)
+	}
+	if err := checkPattern(f1, 0x99); err != nil {
+		t.Fatalf("diverged fork lost its writes: %v", err)
+	}
+}
+
+// Adopt→Fork→Adopt chains (the fleet's park/hydrate/park cycle) preserve
+// state across arbitrarily many generations.
+func TestAdoptChain(t *testing.T) {
+	s := mem.NewStore(4 * mem.PageSize)
+	fillPattern(s, 0x01)
+	snap := Adopt(s)
+	for gen := byte(2); gen < 8; gen++ {
+		w := snap.Fork()
+		if err := checkPattern(w, gen-1); err != nil {
+			t.Fatalf("generation %d: %v", gen, err)
+		}
+		fillPattern(w, gen)
+		snap = Adopt(w)
+	}
+	if err := checkPattern(snap.Fork(), 7); err != nil {
+		t.Fatalf("final generation: %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package wallclock reads, updates, and guards BENCH_wallclock.json — the
+// repo's recorded wall-clock trajectory. Records are keyed by run kind
+// ("serial", "parallel", "check", "serve"); each tool records its own kind
+// and the CI guards compare fresh runs against the checked-in record with a
+// fixed headroom, so a real regression fails loudly while normal host noise
+// passes.
+package wallclock
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// File is the schema of BENCH_wallclock.json.
+type File struct {
+	Seed    int64           `json:"seed"`
+	Records map[string]*Run `json:"records"`
+}
+
+// Run is one recorded run. TotalSec is the wall clock; OpsPerSec is set by
+// throughput kinds ("serve"); Experiments is the per-experiment breakdown
+// of -exp all runs.
+type Run struct {
+	Parallelism int                `json:"parallelism"`
+	TotalSec    float64            `json:"total_seconds"`
+	OpsPerSec   float64            `json:"ops_per_sec,omitempty"`
+	Experiments map[string]float64 `json:"experiments,omitempty"`
+}
+
+// Headroom is how much worse than the checked-in record a run may be before
+// a guard fails: wall clocks are noisy; 25% is regression, not noise.
+const Headroom = 1.25
+
+// Record merges one run into the JSON record file, preserving the other
+// kinds already recorded there (read-modify-write).
+func Record(path, kind string, seed int64, run *Run) error {
+	wc := File{Seed: seed, Records: map[string]*Run{}}
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &wc); err != nil || wc.Records == nil {
+			wc = File{Seed: seed, Records: map[string]*Run{}}
+		}
+	}
+	wc.Seed = seed
+	wc.Records[kind] = run
+	buf, err := json.MarshalIndent(wc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+func load(path, kind string) (*Run, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var wc File
+	if err := json.Unmarshal(buf, &wc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	rec := wc.Records[kind]
+	if rec == nil {
+		return nil, fmt.Errorf("%s has no %q record", path, kind)
+	}
+	return rec, nil
+}
+
+// Guard fails (returns an error) if run took >Headroom times the recorded
+// wall clock of the same kind. On success it returns a one-line summary.
+func Guard(path, kind string, run *Run) (string, error) {
+	rec, err := load(path, kind)
+	if err != nil {
+		return "", err
+	}
+	limit := rec.TotalSec * Headroom
+	if run.TotalSec > limit {
+		return "", fmt.Errorf("%s total %.2fs exceeds %.2fs (recorded %.2fs + 25%% headroom) — perf regression",
+			kind, run.TotalSec, limit, rec.TotalSec)
+	}
+	return fmt.Sprintf("%s total %.2fs within %.2fs budget (recorded %.2fs + 25%% headroom)",
+		kind, run.TotalSec, limit, rec.TotalSec), nil
+}
+
+// GuardThroughput fails if run's ops/sec fell below the recorded rate
+// divided by Headroom — the floor the serving path must sustain.
+func GuardThroughput(path, kind string, run *Run) (string, error) {
+	rec, err := load(path, kind)
+	if err != nil {
+		return "", err
+	}
+	if rec.OpsPerSec <= 0 {
+		return "", fmt.Errorf("%s record in %s has no ops/sec", kind, path)
+	}
+	floor := rec.OpsPerSec / Headroom
+	if run.OpsPerSec < floor {
+		return "", fmt.Errorf("%s throughput %.0f ops/s below %.0f ops/s floor (recorded %.0f / 25%% headroom) — perf regression",
+			kind, run.OpsPerSec, floor, rec.OpsPerSec)
+	}
+	return fmt.Sprintf("%s throughput %.0f ops/s above %.0f ops/s floor (recorded %.0f / 25%% headroom)",
+		kind, run.OpsPerSec, floor, rec.OpsPerSec), nil
+}

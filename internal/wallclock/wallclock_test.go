@@ -1,0 +1,77 @@
+package wallclock
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordPreservesOtherKinds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wc.json")
+	if err := Record(path, "serial", 1, &Run{Parallelism: 1, TotalSec: 6.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Record(path, "serve", 1, &Run{Parallelism: 512, TotalSec: 10, OpsPerSec: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-recording one kind must not clobber the other.
+	if err := Record(path, "serial", 1, &Run{Parallelism: 1, TotalSec: 6.0}); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := load(path, "serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.TotalSec != 6.0 {
+		t.Fatalf("serial total = %v, want the re-recorded 6.0", serial.TotalSec)
+	}
+	serve, err := load(path, "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serve.OpsPerSec != 300 {
+		t.Fatalf("serve record lost across serial re-record: %+v", serve)
+	}
+	if _, err := load(path, "parallel"); err == nil {
+		t.Fatal("load of an unrecorded kind succeeded")
+	}
+}
+
+func TestGuardHeadroom(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wc.json")
+	if err := Record(path, "check", 1, &Run{Parallelism: 1, TotalSec: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Guard(path, "check", &Run{TotalSec: 4.9}); err != nil {
+		t.Fatalf("run within headroom failed the guard: %v", err)
+	}
+	if _, err := Guard(path, "check", &Run{TotalSec: 5.1}); err == nil {
+		t.Fatal("run past headroom passed the guard")
+	}
+	if _, err := Guard(path, "missing", &Run{TotalSec: 1}); err == nil {
+		t.Fatal("guard against a missing kind passed")
+	}
+}
+
+func TestGuardThroughputFloor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wc.json")
+	if err := Record(path, "serve", 1, &Run{Parallelism: 512, TotalSec: 10, OpsPerSec: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Floor is recorded/1.25 = 240: throughput guards invert the comparison
+	// (lower is worse).
+	if msg, err := GuardThroughput(path, "serve", &Run{OpsPerSec: 241}); err != nil {
+		t.Fatalf("throughput above the floor failed: %v (%s)", err, msg)
+	}
+	if _, err := GuardThroughput(path, "serve", &Run{OpsPerSec: 239}); err == nil {
+		t.Fatal("throughput below the floor passed")
+	}
+	// A record without ops/sec cannot anchor a throughput guard.
+	if err := Record(path, "serial", 1, &Run{Parallelism: 1, TotalSec: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GuardThroughput(path, "serial", &Run{OpsPerSec: 100}); err == nil ||
+		!strings.Contains(err.Error(), "no ops/sec") {
+		t.Fatalf("guard against a duration-only record: %v", err)
+	}
+}

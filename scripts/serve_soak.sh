@@ -1,0 +1,44 @@
+#!/bin/sh
+# serve_soak.sh — determinism check over the HTTP serving path.
+#
+# Runs the deterministic soak workload through sentryd + sentryload twice:
+# once with a resident cap forcing park/hydrate cycles, once unbounded. The
+# client-visible soak reports (per-op outcomes, ledgers, digests) must be
+# byte-identical: eviction may never change what a device computed.
+set -eu
+
+PORT="${PORT:-8477}"
+URL="http://127.0.0.1:$PORT"
+GO="${GO:-go}"
+DEVICES=8
+OPS=100
+SEED=1
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+"$GO" build -o "$tmp/sentryd" ./cmd/sentryd
+"$GO" build -o "$tmp/sentryload" ./cmd/sentryload
+
+run_soak() { # $1 resident cap, $2 report path
+    "$tmp/sentryd" -devices $DEVICES -seed $SEED -faults benign \
+        -shards 2 -resident-cap "$1" -listen "127.0.0.1:$PORT" &
+    pid=$!
+    # sentryload's preflight retries until the server is up.
+    "$tmp/sentryload" -url "$URL" -soak -devices $DEVICES -ops $OPS -seed $SEED > "$2"
+    kill "$pid"
+    wait "$pid" 2>/dev/null || true
+    pid=""
+}
+
+run_soak 2 "$tmp/capped.json"
+run_soak 0 "$tmp/free.json"
+
+diff "$tmp/capped.json" "$tmp/free.json"
+echo "serve-soak: HTTP soak report byte-identical with eviction on/off ($DEVICES devices, $OPS ops, seed $SEED)"

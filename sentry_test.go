@@ -12,7 +12,7 @@ import (
 // TestQuickstartFlow exercises the README's five-minute tour end to end.
 func TestQuickstartFlow(t *testing.T) {
 	t.Parallel()
-	dev, err := NewTegra3(1, "4321", Config{})
+	dev, err := Open(Tegra3, "4321", WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestQuickstartFlow(t *testing.T) {
 
 func TestUnprotectedBaselineFalls(t *testing.T) {
 	t.Parallel()
-	dev, err := NewTegra3(1, "4321", Config{})
+	dev, err := Open(Tegra3, "4321", WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestUnprotectedBaselineFalls(t *testing.T) {
 
 func TestLockUnlockRoundTripViaFacade(t *testing.T) {
 	t.Parallel()
-	dev, err := NewNexus4(2, "0000", Config{})
+	dev, err := Open(Nexus4, "0000", WithSeed(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestLockUnlockRoundTripViaFacade(t *testing.T) {
 
 func TestBackgroundSessionViaFacade(t *testing.T) {
 	t.Parallel()
-	dev, err := NewTegra3(3, "1111", Config{})
+	dev, err := Open(Tegra3, "1111", WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestBackgroundSessionViaFacade(t *testing.T) {
 
 func TestEncryptedDiskViaFacade(t *testing.T) {
 	t.Parallel()
-	dev, err := NewTegra3(4, "2222", Config{})
+	dev, err := Open(Tegra3, "2222", WithSeed(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +164,7 @@ func TestExperimentRegistryViaFacade(t *testing.T) {
 
 func TestSuspendAndKernelSubsystemViaFacade(t *testing.T) {
 	t.Parallel()
-	dev, err := NewTegra3(7, "9999", Config{})
+	dev, err := Open(Tegra3, "9999", WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestSuspendAndKernelSubsystemViaFacade(t *testing.T) {
 
 func TestPinnedBackgroundViaFacade(t *testing.T) {
 	t.Parallel()
-	dev, err := NewTegra3(8, "0000", Config{})
+	dev, err := Open(Tegra3, "0000", WithSeed(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestSentinelErrorsSurviveWrapChains(t *testing.T) {
 	t.Parallel()
 	_, errUnsupported := Open(Platform(99), "1234")
 
-	dev, err := NewTegra3(11, "2468", Config{})
+	dev, err := Open(Tegra3, "2468", WithSeed(11))
 	if err != nil {
 		t.Fatal(err)
 	}
