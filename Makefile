@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check soak serve-soak throughput-guard throughput-record fuzz-smoke ci
+.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check explore explore-smoke explore-guard explore-record soak serve-soak throughput-guard throughput-record fuzz-smoke ci
 
 all: ci
 
@@ -59,6 +59,28 @@ check:
 	$(GO) run ./cmd/sentrybench -check -seeds 256
 	$(GO) run ./cmd/sentrybench -check -seeds 256 -faults benign
 
+# Prefix-sharing schedule explorer: per platform, one defended snapshot-tree
+# sweep (must stay clean) plus the three positive controls (must each be
+# defeated and shrink to a replayable repro). Seeds the sweep from the
+# checked-in corpus of interesting prefixes; a missing corpus file is fine.
+explore:
+	$(GO) run ./cmd/sentrybench -explore -j 0 -explore-corpus EXPLORE_corpus.txt
+
+# Determinism smoke: a -j 1 and a -j N sweep must print byte-identical
+# "explore:" verdict lines (throughput "perf:" lines are exempt).
+explore-smoke:
+	sh scripts/explore_guard.sh smoke
+
+# Fail if a fresh tree sweep fell >25% below the keyed "explore" record in
+# BENCH_wallclock.json, or below 10x the recorded seed-replay baseline rate.
+explore-guard:
+	sh scripts/explore_guard.sh guard
+
+# Re-record the explorer baselines: tree and seed-replay engines over the
+# identical schedule set; fails unless the tree holds its 10x edge.
+explore-record:
+	sh scripts/explore_guard.sh record
+
 # Fleet chaos soak: 32 devices under benign fault injection through the
 # full service layer (actors, deadlines, retries, breakers, restarts,
 # degradation). Run twice and diffed — the report must be byte-identical for
@@ -92,4 +114,4 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzUnlockPIN -fuzztime 30s ./internal/kernel/
 	$(GO) test -fuzz FuzzColdbootScan -fuzztime 30s ./internal/attack/
 
-ci: vet build race bench-guard wallclock-guard snapshot-guard check soak serve-soak throughput-guard
+ci: vet build race bench-guard wallclock-guard snapshot-guard check explore-smoke explore-guard soak serve-soak throughput-guard

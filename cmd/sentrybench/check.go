@@ -12,8 +12,10 @@ import (
 // runCheck drives the model checker: a seeded campaign per platform against
 // the fully defended system (which must stay clean), then the three positive
 // controls per platform (which must each yield a minimal reproducer).
-// Returns false if any acceptance condition fails.
-func runCheck(platforms string, seeds, steps int, faultsName string, startSeed int64) bool {
+// workers follows the -j convention (1 serial, 0 = GOMAXPROCS); the verdict,
+// counts, and repro line are identical at any width. Returns false if any
+// acceptance condition fails.
+func runCheck(platforms string, seeds, steps int, faultsName string, startSeed int64, workers int) bool {
 	prof, ok := faults.ByName(faultsName)
 	if !ok {
 		fatalf("unknown fault profile %q (want none, benign, or adversarial)", faultsName)
@@ -24,7 +26,7 @@ func runCheck(platforms string, seeds, steps int, faultsName string, startSeed i
 	for _, plat := range plats {
 		cfg := check.Config{Platform: plat, Defences: check.AllDefences(), Faults: prof, Steps: steps}
 		start := time.Now()
-		res := check.Campaign(cfg, startSeed, seeds)
+		res := check.CampaignParallel(cfg, startSeed, seeds, workers)
 		fmt.Printf("check: %-7s defended  faults=%-11s %d seeds in %v: ",
 			plat, prof.Name, seeds, time.Since(start).Round(time.Millisecond))
 		switch {

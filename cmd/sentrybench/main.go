@@ -13,6 +13,11 @@
 //	sentrybench -check -seeds 256       # invariant model-checker campaign
 //	sentrybench -check -faults benign   # ... with benign fault injection
 //	sentrybench -check -snapshot=off    # ... without the checkpoint/fork engine
+//	sentrybench -check -j 0             # ... campaign seeds on a worker pool
+//	sentrybench -explore -explore-budget 100000 -j 0   # prefix-sharing schedule explorer
+//	sentrybench -explore -explore-baseline            # ... seed-replay baseline, same coverage
+//	sentrybench -explore -explore-corpus EXPLORE_corpus.txt        # seed the sweep from a corpus
+//	sentrybench -explore -explore-corpus-out EXPLORE_corpus.txt    # bank interesting prefixes
 //	sentrybench -fleet-soak -devices 32 -ops 300 -faults benign  # fleet chaos soak (JSON report)
 //	sentrybench -replay "platform=tegra3 defences=no-lock-flush faults=none seed=4 ops=pressure:9360834,lock:12083332"
 package main
@@ -66,6 +71,11 @@ func main() {
 		wallGuard = flag.String("wallclock-guard", "", "compare this run's total wall clock against a recorded JSON file; exit non-zero on >25% regression")
 
 		doCheck    = flag.Bool("check", false, "run the invariant model-checker campaign + positive controls")
+		doExplore  = flag.Bool("explore", false, "run the prefix-sharing schedule explorer + positive controls")
+		expBudget  = flag.Int("explore-budget", 100000, "schedules (tree nodes) per defended sweep for -explore")
+		expBase    = flag.Bool("explore-baseline", false, "sweep the identical schedule set by cold seed-replay instead of the snapshot tree (rate baseline)")
+		expCorpus  = flag.String("explore-corpus", "", "corpus file of interesting prefixes to seed -explore with")
+		expCorpOut = flag.String("explore-corpus-out", "", "write prefixes banked by -explore (merged with the file's existing entries) here")
 		seeds      = flag.Int("seeds", 256, "campaign size for -check")
 		checkSteps = flag.Int("check-steps", 0, "max schedule length for -check (0 = default)")
 		faultsProf = flag.String("faults", "none", "fault profile for -check / -fleet-soak: none, benign, or adversarial")
@@ -107,15 +117,49 @@ func main() {
 	}
 	if *doCheck {
 		start := time.Now()
-		if !runCheck(*platforms, *seeds, *checkSteps, *faultsProf, *seed) {
+		if !runCheck(*platforms, *seeds, *checkSteps, *faultsProf, *seed, *parallel) {
 			fatalf("check failed")
 		}
-		run := &wallclock.Run{Parallelism: 1, TotalSec: time.Since(start).Seconds()}
+		run := &wallclock.Run{Parallelism: *parallel, TotalSec: time.Since(start).Seconds()}
 		if *wallOut != "" {
 			recordWallclock(*wallOut, "check", *seed, run)
 		}
 		if *wallGuard != "" {
 			guardWallclock(*wallGuard, "check", run)
+		}
+		return
+	}
+	if *doExplore {
+		start := time.Now()
+		res := runExplore(*platforms, *expBudget, *parallel, *checkSteps, *faultsProf, *seed,
+			*expBase, *expCorpus, *expCorpOut)
+		if !res.ok {
+			fatalf("explore failed")
+		}
+		kind := "explore"
+		if *expBase {
+			kind = "explore-baseline"
+		}
+		run := exploreWallclock(res, *parallel, time.Since(start))
+		fmt.Printf("perf: %s total %.0f sched/s over %d schedules\n", kind, run.OpsPerSec, res.schedules)
+		if *wallOut != "" {
+			recordWallclock(*wallOut, kind, *seed, run)
+		}
+		if *wallGuard != "" {
+			msg, err := wallclock.GuardThroughput(*wallGuard, kind, run)
+			if err != nil {
+				fatalf("wallclock-guard: %v", err)
+			}
+			fmt.Println("wallclock-guard:", msg)
+			if !*expBase {
+				// The tree must also hold its speedup over the recorded
+				// seed-replay baseline, not just its own absolute floor.
+				msg, err := wallclock.GuardRatio(*wallGuard, "explore-baseline", exploreMinRatio, run)
+				if err != nil {
+					fatalf("wallclock-guard: %v", err)
+				}
+				fmt.Println("wallclock-guard:", msg)
+			}
 		}
 		return
 	}

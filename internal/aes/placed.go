@@ -158,6 +158,20 @@ func AdoptPlaced(st Store, key []byte, roundCycles uint64) (*PlacedCipher, error
 	return &PlacedCipher{st: st, nr: nr, nk: len(key) / 4, roundCycles: roundCycles, native: native}, nil
 }
 
+// AdoptPlacedFrom is AdoptPlaced for a clone of parent. The host-side native
+// cipher is immutable once built — expanded schedules are only read, and the
+// crypto/aes block is safe for concurrent use — and it is a pure function of
+// key, so the clone shares parent's instead of re-expanding the schedule.
+// World forks run an adoption per AES engine, and the schedule expansion
+// (inverse MixColumns over every decryption round key) dominates an
+// otherwise cheap clone.
+func AdoptPlacedFrom(parent *PlacedCipher, st Store, key []byte, roundCycles uint64) (*PlacedCipher, error) {
+	if rounds(len(key)) != parent.nr {
+		return nil, KeySizeError(len(key))
+	}
+	return &PlacedCipher{st: st, nr: parent.nr, nk: parent.nk, roundCycles: roundCycles, native: parent.native}, nil
+}
+
 // Rounds returns the number of AES rounds.
 func (p *PlacedCipher) Rounds() int { return p.nr }
 

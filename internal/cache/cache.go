@@ -22,6 +22,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"sentry/internal/bus"
 	"sentry/internal/mem"
@@ -96,6 +97,10 @@ type L2 struct {
 	// fill so that invalidate/refill cycles do not grow the table.
 	bufs     [][]byte
 	freeBufs []uint32
+	// meta owns slab, lines, validMask, validCount, tags, and victim (the
+	// fields alias it); Release recycles the bundle through a pool so the
+	// model checker's fork-heavy sweeps do not re-allocate ~¾ MB per clone.
+	meta *metaArrays
 	validMask []uint32 // per-set bitmask of ways holding a valid line
 	// validCount[w] is the number of valid lines way w holds — the sum of
 	// validMask bit w over all sets. Maintenance walks consult it to skip
@@ -138,8 +143,83 @@ type FaultInjector interface {
 	DropMaint(op string) bool
 }
 
+// metaArrays bundles the dense per-cache metadata every cache owns
+// privately: the line slab, its per-set windows, the tag mirror, the
+// validity tracking, and the per-set victim pointers. Forking a world
+// clones its L2, and a model-checking sweep forks worlds thousands of
+// times a second — a fresh ~¾ MB of zeroed allocations per clone made a
+// fork cost as much as a cold boot, nearly all of it allocator and GC
+// work. Dead caches hand their bundle back through Release, and the next
+// New or Clone reuses it.
+type metaArrays struct {
+	sets, ways int
+	slab       []line
+	lines      [][]line
+	validMask  []uint32
+	validCount []int
+	tags       []uint64
+	victim     []int
+}
+
+var metaPool sync.Pool
+
+// newMeta returns a bundle for the geometry, reusing a pooled one when the
+// dimensions match. zeroed guarantees cleared contents (a cold boot needs
+// an empty cache); Clone passes false because it overwrites every entry
+// from the parent and the clearing would be pure waste.
+func newMeta(sets, ways int, zeroed bool) *metaArrays {
+	if a, _ := metaPool.Get().(*metaArrays); a != nil && a.sets == sets && a.ways == ways {
+		if zeroed {
+			clear(a.slab)
+			clear(a.validMask)
+			clear(a.validCount)
+			clear(a.tags)
+			clear(a.victim)
+		}
+		return a
+	}
+	a := &metaArrays{
+		sets: sets, ways: ways,
+		slab:       make([]line, sets*ways),
+		lines:      make([][]line, sets),
+		validMask:  make([]uint32, sets),
+		validCount: make([]int, ways),
+		tags:       make([]uint64, sets*ways),
+		victim:     make([]int, sets),
+	}
+	// All line structs come from one pointer-free slab allocation: tens of
+	// thousands of tiny per-line allocations per booted platform add up
+	// across experiments. Line contents are NOT allocated here — a line
+	// gets a buffer on first fill (newLineData) — because campaign and
+	// experiment workloads touch a small fraction of the cache, and zeroing
+	// a capacity-sized data slab per booted world dominated the boot
+	// profile.
+	for s, slab := 0, a.slab; s < sets; s++ {
+		a.lines[s], slab = slab[:ways:ways], slab[ways:]
+	}
+	return a
+}
+
+// Release returns the cache's private metadata arrays to the clone pool
+// and leaves the cache unusable. Only an exclusive owner may call it —
+// the arrays are recycled into future caches, so any later use of this
+// one would corrupt an unrelated world. Line-content buffers are never
+// recycled: they may be shared copy-on-write with live clones.
+func (c *L2) Release() {
+	if c.meta == nil {
+		return
+	}
+	metaPool.Put(c.meta)
+	c.meta = nil
+	c.lines, c.slab, c.validMask, c.validCount, c.tags, c.victim = nil, nil, nil, nil, nil, nil
+}
+
 // New returns an L2 of the given geometry in front of the given bus.
 func New(cfg Config, clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, energy *sim.EnergyTable, b *bus.Bus) *L2 {
+	return newL2(cfg, clock, meter, costs, energy, b, true)
+}
+
+func newL2(cfg Config, clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, energy *sim.EnergyTable, b *bus.Bus, zeroed bool) *L2 {
 	if cfg.Ways <= 0 || cfg.Ways > 32 {
 		panic(fmt.Sprintf("cache: unsupported way count %d", cfg.Ways))
 	}
@@ -158,23 +238,14 @@ func New(cfg Config, clock *sim.Clock, meter *sim.Meter, costs *sim.CostTable, e
 		setMask:   uint64(sets - 1),
 		offMask:   uint64(cfg.LineSize - 1),
 		allocMask: (1 << cfg.Ways) - 1,
-		victim:    make([]int, sets),
 	}
-	c.lines = make([][]line, sets)
-	c.validMask = make([]uint32, sets)
-	c.validCount = make([]int, cfg.Ways)
-	c.tags = make([]uint64, sets*cfg.Ways)
-	// All line structs come from one pointer-free slab allocation: tens of
-	// thousands of tiny per-line allocations per booted platform add up
-	// across experiments. Line contents are NOT allocated here — a line
-	// gets a buffer on first fill (newLineData) — because campaign and
-	// experiment workloads touch a small fraction of the cache, and zeroing
-	// a capacity-sized data slab per booted world dominated the boot
-	// profile.
-	c.slab = make([]line, sets*cfg.Ways)
-	for s, slab := 0, c.slab; s < sets; s++ {
-		c.lines[s], slab = slab[:cfg.Ways:cfg.Ways], slab[cfg.Ways:]
-	}
+	c.meta = newMeta(sets, cfg.Ways, zeroed)
+	c.slab = c.meta.slab
+	c.lines = c.meta.lines
+	c.validMask = c.meta.validMask
+	c.validCount = c.meta.validCount
+	c.tags = c.meta.tags
+	c.victim = c.meta.victim
 	return c
 }
 
@@ -666,7 +737,7 @@ func (c *L2) Clone(clock *sim.Clock, meter *sim.Meter, b *bus.Bus) *L2 {
 			c.lines[s][w].shared = true
 		}
 	}
-	n := New(c.cfg, clock, meter, c.costs, c.energy, b)
+	n := newL2(c.cfg, clock, meter, c.costs, c.energy, b, false)
 	copy(n.slab, c.slab)
 	copy(n.validMask, c.validMask)
 	copy(n.validCount, c.validCount)

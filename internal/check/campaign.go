@@ -2,8 +2,11 @@ package check
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"sentry/internal/faults"
 	"sentry/internal/sim"
@@ -176,14 +179,60 @@ type CampaignResult struct {
 // The first violation is shrunk into a minimal Repro; later seeds still run
 // (and are counted) so a campaign reports how widespread a break is.
 func Campaign(cfg Config, startSeed int64, seeds int) CampaignResult {
+	return CampaignParallel(cfg, startSeed, seeds, 1)
+}
+
+// CampaignParallel is Campaign on a worker pool of the given width (0 means
+// GOMAXPROCS). Seeds are independent worlds, so workers never share state;
+// outcomes land in a per-seed slot and are aggregated in seed order, and the
+// one shrink runs after the pool drains on the lowest violating seed — so
+// the result (verdict, counts, repro line, integrity list) is byte-identical
+// to a serial run at any width. TestCampaignParallelMatchesSerial holds that
+// property under -race.
+func CampaignParallel(cfg Config, startSeed int64, seeds, workers int) CampaignResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > seeds {
+		workers = seeds
+	}
 	res := CampaignResult{Config: cfg, StartSeed: startSeed, Seeds: seeds}
+
+	type outcome struct {
+		sched Schedule
+		rr    RunResult
+	}
+	outs := make([]outcome, seeds)
+	if workers <= 1 {
+		for i := 0; i < seeds; i++ {
+			outs[i].sched, outs[i].rr = Run(cfg, startSeed+int64(i))
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= seeds {
+						return
+					}
+					outs[i].sched, outs[i].rr = Run(cfg, startSeed+int64(i))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
 	for i := 0; i < seeds; i++ {
 		seed := startSeed + int64(i)
-		sched, rr := Run(cfg, seed)
+		rr := outs[i].rr
 		if rr.Violation != nil {
 			res.ViolationSeeds++
 			if res.Repro == nil {
-				res.Repro = shrinkToRepro(cfg, seed, sched, rr.Violation)
+				res.Repro = shrinkToRepro(cfg, seed, outs[i].sched, rr.Violation)
 			}
 			continue
 		}

@@ -1,0 +1,134 @@
+package explore
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sentry/internal/check"
+)
+
+// The corpus file is a plain text bank of interesting prefixes — one
+// check.Repro line per entry, '#' comments and blank lines ignored — the
+// same replayable format -replay consumes, so any corpus entry can be
+// pasted straight into sentrybench. Runs bank violation and near-miss
+// prefixes; CI seeds the next run's exploration with them, so schedules
+// adjacent to a violation are re-checked on every change.
+
+// LoadCorpus reads a corpus file and returns the prefixes whose
+// configuration matches cfg (corpus files may mix platforms and fault
+// profiles; entries for other worlds are skipped, not errors). A missing
+// file is an empty corpus.
+func LoadCorpus(path string, cfg check.Config, seed int64) ([]check.Schedule, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	want := (&check.Repro{Config: cfg, Seed: seed}).String()
+	want = want[:strings.Index(want, " ops=")+len(" ops=")]
+	var out []check.Schedule
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := check.ParseRepro(line)
+		if err != nil {
+			return nil, fmt.Errorf("corpus %s line %d: %v", path, ln+1, err)
+		}
+		if !strings.HasPrefix(r.String(), want) {
+			continue // different platform/defences/faults/seed
+		}
+		out = append(out, r.Ops)
+	}
+	return out, nil
+}
+
+// ReadCorpusLines returns every repro line in a corpus file verbatim,
+// regardless of configuration — the merge path reads the whole bank, folds
+// in new lines, and rewrites it. A missing file is an empty corpus.
+func ReadCorpusLines(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, nil
+}
+
+// capFairly trims a sorted line set to MaxCorpus by round-robin across
+// configurations (the repro prefix before " ops=") instead of a plain
+// truncation, which would silently evict whole platforms: sorted repro
+// lines cluster by platform name, so a naive cut keeps whichever sorts
+// first and starves the rest.
+func capFairly(sorted []string) []string {
+	groups := map[string][]string{}
+	var order []string
+	for _, l := range sorted {
+		key := l
+		if i := strings.Index(l, " ops="); i >= 0 {
+			key = l[:i]
+		}
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], l)
+	}
+	kept := make([]string, 0, MaxCorpus)
+	for round := 0; len(kept) < MaxCorpus; round++ {
+		took := false
+		for _, key := range order {
+			if round < len(groups[key]) && len(kept) < MaxCorpus {
+				kept = append(kept, groups[key][round])
+				took = true
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	sort.Strings(kept)
+	return kept
+}
+
+// SaveCorpus writes repro lines to path, sorted and deduplicated, under a
+// header naming the producer. Lines already in the canonical Repro format
+// round-trip through LoadCorpus byte-identically (FuzzParseRepro pins the
+// round trip).
+func SaveCorpus(path, producer string, lines []string) error {
+	seen := map[string]struct{}{}
+	uniq := make([]string, 0, len(lines))
+	for _, l := range lines {
+		if _, dup := seen[l]; dup {
+			continue
+		}
+		seen[l] = struct{}{}
+		uniq = append(uniq, l)
+	}
+	sort.Strings(uniq)
+	if len(uniq) > MaxCorpus {
+		uniq = capFairly(uniq)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# sentry explorer corpus — violation and near-miss prefixes banked by %s\n", producer)
+	b.WriteString("# one replayable repro line per entry; feed back via sentrybench -explore-corpus\n")
+	for _, l := range uniq {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

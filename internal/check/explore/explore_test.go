@@ -1,0 +1,240 @@
+package explore
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sentry/internal/check"
+	"sentry/internal/faults"
+)
+
+// deterministicKey flattens every field of the Result that must be
+// identical regardless of worker count and snapshot budget.
+func deterministicKey(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedules=%d leaves=%d prunes=%d maxdepth=%d violations=%d nearmisses=%d cov=%016x",
+		r.Schedules, r.Leaves, r.PORPrunes, r.MaxDepth, r.Violations, r.NearMisses, r.CoverageHash)
+	fmt.Fprintf(&b, "\nsched=%s", r.Sched)
+	if r.Repro != nil {
+		fmt.Fprintf(&b, "\nrepro=%s\nclause=%s", r.Repro, r.Repro.Violation.String())
+	}
+	for _, line := range r.Corpus {
+		b.WriteString("\ncorpus=")
+		b.WriteString(line)
+	}
+	return b.String()
+}
+
+func ablatedConfig() check.Config {
+	return check.Config{
+		Platform: "tegra3",
+		Defences: check.Defences{IRAMZeroOnBoot: true, LockFlush: false, ZeroOnFree: true},
+		Faults:   faults.None(),
+		Steps:    40,
+	}
+}
+
+func defendedConfig() check.Config {
+	adv, _ := faults.ByName("adversarial")
+	return check.Config{Platform: "tegra3", Defences: check.AllDefences(), Faults: adv, Steps: 40}
+}
+
+// TestWorkerCountEquivalence is the determinism contract: the explored
+// set, violation verdict, canonical repro, near-miss corpus, and coverage
+// hash are byte-identical at -j 1 and -j N. Run under -race this also
+// pins the engine's locking discipline.
+func TestWorkerCountEquivalence(t *testing.T) {
+	t.Parallel()
+	for _, ccfg := range []check.Config{ablatedConfig(), defendedConfig()} {
+		cfg := Config{Check: ccfg, Seed: 7, Budget: 900, Branch: 4, SnapBudget: 64, Workers: 1}
+		want := deterministicKey(Run(cfg))
+		for _, workers := range []int{2, 4, 0} {
+			cfg.Workers = workers
+			if got := deterministicKey(Run(cfg)); got != want {
+				t.Errorf("defences=%+v workers=%d diverged from -j1:\n--- j1:\n%s\n--- j%d:\n%s",
+					ccfg.Defences, workers, want, workers, got)
+			}
+		}
+	}
+}
+
+// TestEvictionEquivalence starves the snapshot LRU down to a single
+// resident snapshot and requires the identical result: eviction and
+// re-derivation-by-replay are pure wall-clock trades, never coverage or
+// verdict changes. The starved run must actually have evicted and
+// replayed, or the test is vacuous.
+func TestEvictionEquivalence(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Check: ablatedConfig(), Seed: 3, Budget: 700, Branch: 4, Workers: 4, SnapBudget: 1 << 20}
+	roomy := Run(cfg)
+	cfg.SnapBudget = 1
+	starved := Run(cfg)
+	if starved.Evictions == 0 || starved.Replays == 0 {
+		t.Fatalf("starved run evicted %d / replayed %d — LRU pressure never materialised",
+			starved.Evictions, starved.Replays)
+	}
+	if got, want := deterministicKey(starved), deterministicKey(roomy); got != want {
+		t.Errorf("snapshot starvation changed the result:\n--- roomy:\n%s\n--- starved:\n%s", want, got)
+	}
+	if roomy.Evictions != 0 {
+		t.Errorf("roomy run evicted %d snapshots under a %d budget", roomy.Evictions, 1<<20)
+	}
+}
+
+// TestExplorerDefeatsControls proves the tree explorer is not vacuous:
+// against each single-defence ablation it finds a violation within a
+// modest budget, and the shrunk repro replays to a violation through the
+// ordinary campaign path (the repro line is a plain check.Repro, so it is
+// pasteable into sentrybench -replay).
+func TestExplorerDefeatsControls(t *testing.T) {
+	t.Parallel()
+	for _, ctl := range check.Controls() {
+		ccfg := check.Config{
+			Platform: "tegra3", Defences: ctl.Defences,
+			Faults: faults.None(), Steps: 40,
+		}
+		var r *Result
+		for seed := int64(1); seed <= 4 && (r == nil || r.Violations == 0); seed++ {
+			r = Run(Config{Check: ccfg, Seed: seed, Budget: 4000, Branch: 4})
+		}
+		if r.Violations == 0 {
+			t.Errorf("control %s: no violation in 4 seeds x 4000 schedules (checker blind to: %s)",
+				ctl.Name, ctl.Description)
+			continue
+		}
+		if r.Repro == nil {
+			t.Errorf("control %s: violations found but no repro shrunk", ctl.Name)
+			continue
+		}
+		rr := check.Replay(r.Repro.Config, r.Repro.Seed, r.Repro.Ops)
+		if rr.Violation == nil {
+			t.Errorf("control %s: shrunk repro %q does not replay to a violation", ctl.Name, r.Repro)
+		}
+		if len(r.Repro.Ops) > len(r.Sched) {
+			t.Errorf("control %s: shrunk repro longer than the found schedule (%d > %d)",
+				ctl.Name, len(r.Repro.Ops), len(r.Sched))
+		}
+	}
+}
+
+// TestBaselineMatchesTree: the seed-replay baseline sweeps the identical
+// schedule set (it replays the tree's leaf paths, whose prefixes are
+// exactly the tree's nodes) and must reproduce the same verdict fields —
+// violations, near misses, corpus — from cold boots alone.
+func TestBaselineMatchesTree(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Check: ablatedConfig(), Seed: 5, Budget: 250, Branch: 3, Workers: 2}
+	tree := Run(cfg)
+	base := Baseline(cfg)
+	if tree.Schedules != base.Schedules || tree.CoverageHash != base.CoverageHash {
+		t.Fatalf("coverage diverged: tree %d/%016x, baseline %d/%016x",
+			tree.Schedules, tree.CoverageHash, base.Schedules, base.CoverageHash)
+	}
+	if tree.Violations != base.Violations || tree.NearMisses != base.NearMisses {
+		t.Errorf("verdicts diverged: tree %d violations/%d near-misses, baseline %d/%d",
+			tree.Violations, tree.NearMisses, base.Violations, base.NearMisses)
+	}
+	if (tree.Repro == nil) != (base.Repro == nil) {
+		t.Fatalf("repro presence diverged: tree %v baseline %v", tree.Repro, base.Repro)
+	}
+	if tree.Repro != nil && tree.Repro.String() != base.Repro.String() {
+		t.Errorf("repro diverged:\n  tree:     %s\n  baseline: %s", tree.Repro, base.Repro)
+	}
+	if strings.Join(tree.Corpus, "\n") != strings.Join(base.Corpus, "\n") {
+		t.Errorf("corpus diverged:\n  tree:     %q\n  baseline: %q", tree.Corpus, base.Corpus)
+	}
+	if base.OpsExecuted <= tree.OpsExecuted {
+		t.Errorf("baseline replayed %d ops vs tree %d — prefix sharing saved nothing?",
+			base.OpsExecuted, tree.OpsExecuted)
+	}
+	t.Logf("coverage %d schedules: tree %d ops, baseline %d ops (%.1fx)",
+		tree.Schedules, tree.OpsExecuted, base.OpsExecuted,
+		float64(base.OpsExecuted)/float64(tree.OpsExecuted))
+}
+
+// TestCorpusSeedsNextRun: a prefix banked by one run is replayed (and
+// re-verdicted) by the next — a violating corpus line alone makes a
+// one-node run report the violation.
+func TestCorpusSeedsNextRun(t *testing.T) {
+	t.Parallel()
+	ccfg := ablatedConfig()
+	var first *Result
+	for seed := int64(1); seed <= 4 && (first == nil || first.Violations == 0); seed++ {
+		first = Run(Config{Check: ccfg, Seed: seed, Budget: 3000})
+	}
+	if first.Violations == 0 || len(first.Corpus) == 0 {
+		t.Fatalf("no violation banked to seed the corpus (violations=%d corpus=%d)",
+			first.Violations, len(first.Corpus))
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.txt")
+	if err := SaveCorpus(path, "explore_test", first.Corpus); err != nil {
+		t.Fatal(err)
+	}
+	// The corpus was banked for first's seed; reload for the same world.
+	seed := mustSeedOf(t, first.Corpus[0])
+	prefixes, err := LoadCorpus(path, ccfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefixes) == 0 {
+		t.Fatal("corpus round trip lost every entry")
+	}
+	second := Run(Config{Check: ccfg, Seed: seed, Budget: 1, Corpus: prefixes})
+	if second.Violations == 0 {
+		t.Error("corpus replay did not re-find the banked violation")
+	}
+	// A mismatched world filters the corpus out instead of replaying it.
+	other := ccfg
+	other.Defences = check.AllDefences()
+	filtered, err := LoadCorpus(path, other, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered) != 0 {
+		t.Errorf("corpus for an ablated world leaked into a defended one: %d entries", len(filtered))
+	}
+	if missing, err := LoadCorpus(filepath.Join(dir, "absent.txt"), ccfg, seed); err != nil || missing != nil {
+		t.Errorf("missing corpus file must read as empty, got %v entries, err %v", missing, err)
+	}
+}
+
+func mustSeedOf(t *testing.T, line string) int64 {
+	t.Helper()
+	r, err := check.ParseRepro(line)
+	if err != nil {
+		t.Fatalf("banked corpus line does not parse: %v", err)
+	}
+	return r.Seed
+}
+
+// TestBudgetAndMetricsSanity pins the accounting: the run respects its
+// node budget, every schedule is a node, and the perf counters add up.
+func TestBudgetAndMetricsSanity(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Check: defendedConfig(), Seed: 11, Budget: 500, Branch: 4, Workers: 4, SnapBudget: 32}
+	r := Run(cfg)
+	if r.Schedules == 0 || r.Schedules > uint64(cfg.Budget) {
+		t.Errorf("schedules = %d, want in (0, %d]", r.Schedules, cfg.Budget)
+	}
+	if r.Leaves == 0 || r.Leaves > r.Schedules {
+		t.Errorf("leaves = %d of %d schedules", r.Leaves, r.Schedules)
+	}
+	if r.MaxDepth <= 1 || r.MaxDepth > cfg.Check.Steps {
+		t.Errorf("max depth = %d, want in (1, %d]", r.MaxDepth, cfg.Check.Steps)
+	}
+	if r.OpsExecuted < r.Schedules {
+		t.Errorf("%d ops executed for %d schedules — nodes cannot outnumber ops", r.OpsExecuted, r.Schedules)
+	}
+	if r.HandOffs > r.SnapshotHits {
+		t.Errorf("handoffs %d exceed snapshot hits %d", r.HandOffs, r.SnapshotHits)
+	}
+	if r.PeakResident > cfg.SnapBudget {
+		t.Errorf("peak resident %d exceeds snapshot budget %d", r.PeakResident, cfg.SnapBudget)
+	}
+	if r.SnapshotHits == 0 {
+		t.Error("a branchy 500-node tree forked no snapshots")
+	}
+}

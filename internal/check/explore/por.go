@@ -1,0 +1,86 @@
+package explore
+
+import (
+	"sentry/internal/check"
+	"sentry/internal/kernel"
+)
+
+// Partial-order reduction over the checker's op alphabet.
+//
+// Almost no pair of ops commutes in *full* world state: the clock, the
+// energy meter (an order-sensitive float accumulator — see the CleanWays
+// comment in internal/cache), the RNG position, and the bus statistics all
+// record execution order. The explorer therefore prunes only pairs it can
+// prove commute *exactly*, using the one airtight case: ops that are pure
+// no-ops in the current state. If op a is inert in world w and op b is
+// inert in w, then both a·b and b·a are the identity on w — byte-identical
+// end states, trivially commuting. The per-pair soundness test in
+// por_test.go replays both orders from a forked world and asserts full
+// state equality with check.DiffWorlds, so the guards below are pinned to
+// the simulator's actual no-op fast paths rather than to our reading of
+// them.
+//
+// The guards mirror the simulator's early returns:
+//
+//   - kernel.Lock is a no-op unless the device is unlocked, and the
+//     checker's fg-touch and free-page ops guard themselves on Unlocked;
+//   - bg-touch does nothing without a live background session;
+//   - kernel.Suspend early-returns when already suspended, Wake when not;
+//   - DrainZeroQueue returns immediately on an empty zero queue.
+//
+// The end-of-step invariant scan does not break inertness: at a node that
+// is already known non-violating, every cache line the masked CleanWays
+// would write back is clean (the node's own scan just cleaned them), and
+// writing back a clean line is a total no-op in cache, bus, clock, and
+// energy terms.
+//
+// Deliberately absent: idle (advances the clock and can trip the 900 s
+// idle-lock), pressure/bit-flip/dma-scrape (mutate cache, RNG, or bus
+// stats even when they find nothing), and every terminal op.
+
+// Inert reports whether op is a pure no-op in world w — applying it
+// changes nothing but the step counter. Inert must be conservative: a
+// false negative only costs pruning opportunity, a false positive breaks
+// soundness (and the por_test harness).
+func Inert(w *check.World, op check.Op) bool {
+	switch op.Code {
+	case check.OpLock, check.OpFgTouch, check.OpFreePage:
+		return w.K.State() != kernel.Unlocked
+	case check.OpBgTouch:
+		return !w.BackgroundOn()
+	case check.OpSuspend:
+		return w.K.Suspended()
+	case check.OpWake:
+		return !w.K.Suspended()
+	case check.OpDrainZero:
+		return w.K.PendingZeroBytes() == 0
+	}
+	return false
+}
+
+// InertCodes lists every op code Inert can ever report true for — the
+// alphabet the commutation soundness test sweeps pairwise.
+func InertCodes() []check.OpCode {
+	return []check.OpCode{
+		check.OpLock, check.OpFgTouch, check.OpFreePage,
+		check.OpBgTouch, check.OpSuspend, check.OpWake, check.OpDrainZero,
+	}
+}
+
+// opLess is the canonical order the pruning rule sorts commuting ops by.
+func opLess(a, b check.Op) bool {
+	if a.Code != b.Code {
+		return a.Code < b.Code
+	}
+	return a.Arg < b.Arg
+}
+
+// prune decides whether the child edge cand may be dropped at a node whose
+// incoming edge was last, in world w (the state *after* last executed).
+// When both ops are inert in w they commute, so of the two interleavings
+// last·cand and cand·last the explorer keeps only the canonically ordered
+// one: cand is pruned iff it sorts strictly before last. Both prefixes
+// reach byte-identical states, so dropping one loses no coverage.
+func prune(w *check.World, last, cand check.Op) bool {
+	return opLess(cand, last) && Inert(w, last) && Inert(w, cand)
+}

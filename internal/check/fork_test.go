@@ -1,12 +1,10 @@
 package check
 
 import (
-	"fmt"
 	"sync"
 	"testing"
 
 	"sentry/internal/faults"
-	"sentry/internal/mem"
 	"sentry/internal/sim"
 	"sentry/internal/snapshot"
 )
@@ -27,65 +25,6 @@ func forkTestConfigs() []Config {
 		{Platform: "tegra3", Defences: AllDefences(), Faults: benign, Steps: 60},
 		{Platform: "tegra3", Defences: AllDefences(), Faults: adversarial, Steps: 60},
 	}
-}
-
-// diffStores reports the first content difference between two stores, or "".
-// TouchedPages returns page base offsets in bytes.
-func diffStores(name string, a, b *mem.Store) string {
-	bases := map[uint64]bool{}
-	for _, base := range a.TouchedPages() {
-		bases[base] = true
-	}
-	for _, base := range b.TouchedPages() {
-		bases[base] = true
-	}
-	var pa, pb [mem.PageSize]byte
-	for base := range bases {
-		a.Read(base, pa[:])
-		b.Read(base, pb[:])
-		if pa != pb {
-			return fmt.Sprintf("%s page at %#x content differs", name, base)
-		}
-	}
-	return ""
-}
-
-// diffWorlds reports the first observable divergence between two worlds, or
-// "". It covers every deterministic stream the simulation promises to keep
-// bit-reproducible: time, energy, RNG position, register file, bus traffic,
-// cache geometry state, lock state, Sentry activity, and full memory images.
-func diffWorlds(a, b *World) string {
-	switch {
-	case a.S.Clock.Cycles() != b.S.Clock.Cycles():
-		return fmt.Sprintf("clock: %d vs %d", a.S.Clock.Cycles(), b.S.Clock.Cycles())
-	case a.S.Meter.PJ() != b.S.Meter.PJ():
-		return fmt.Sprintf("energy: %v vs %v", a.S.Meter.PJ(), b.S.Meter.PJ())
-	case a.S.RNG.State() != b.S.RNG.State():
-		return fmt.Sprintf("rng: %+v vs %+v", a.S.RNG.State(), b.S.RNG.State())
-	case a.S.CPU.Regs != b.S.CPU.Regs:
-		return "cpu registers differ"
-	case a.S.Bus.Stats() != b.S.Bus.Stats():
-		return fmt.Sprintf("bus stats: %+v vs %+v", a.S.Bus.Stats(), b.S.Bus.Stats())
-	case a.S.L2.Stats() != b.S.L2.Stats():
-		return fmt.Sprintf("l2 stats: %+v vs %+v", a.S.L2.Stats(), b.S.L2.Stats())
-	case a.S.L2.AllocMask() != b.S.L2.AllocMask():
-		return "l2 lockdown register differs"
-	case a.K.State() != b.K.State():
-		return fmt.Sprintf("lock state: %v vs %v", a.K.State(), b.K.State())
-	case a.Sn.Stats() != b.Sn.Stats():
-		return fmt.Sprintf("sentry stats: %+v vs %+v", a.Sn.Stats(), b.Sn.Stats())
-	case a.step != b.step || a.dead != b.dead || a.bgOn != b.bgOn:
-		return "world step/dead/bg state differs"
-	}
-	for w := 0; w < a.S.Prof.Cache.Ways; w++ {
-		if a.S.L2.ValidLines(w) != b.S.L2.ValidLines(w) {
-			return fmt.Sprintf("l2 way %d valid-line count differs", w)
-		}
-	}
-	if d := diffStores("iram", a.S.IRAM.Store(), b.S.IRAM.Store()); d != "" {
-		return d
-	}
-	return diffStores("dram", a.S.DRAM.Store(), b.S.DRAM.Store())
 }
 
 func violationString(v *Violation) string {
@@ -120,7 +59,7 @@ func TestWorldForkMatchesColdBoot(t *testing.T) {
 			if (ic == nil) != (fc == nil) || (ic != nil && ic.Error() != fc.Error()) {
 				t.Fatalf("cfg %d seed %d: integrity mismatch: cold %v, forked %v", ci, seed, ic, fc)
 			}
-			if d := diffWorlds(cold, forked); d != "" {
+			if d := DiffWorlds(cold, forked); d != "" {
 				t.Fatalf("cfg %d seed %d: cold and forked worlds diverged: %s", ci, seed, d)
 			}
 		}
@@ -150,7 +89,7 @@ func TestForkIsolation(t *testing.T) {
 
 	second := snap.Fork()
 	replayFrom(second, schedA)
-	if d := diffWorlds(first, second); d != "" {
+	if d := DiffWorlds(first, second); d != "" {
 		t.Fatalf("snapshot contaminated by parent or sibling mutations: %s", d)
 	}
 }
@@ -178,7 +117,7 @@ func TestConcurrentForks(t *testing.T) {
 	}
 	wg.Wait()
 	for i := 1; i < n; i++ {
-		if d := diffWorlds(worlds[0], worlds[i]); d != "" {
+		if d := DiffWorlds(worlds[0], worlds[i]); d != "" {
 			t.Fatalf("concurrent fork %d diverged: %s", i, d)
 		}
 	}

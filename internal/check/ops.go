@@ -71,6 +71,10 @@ func (c OpCode) terminal() bool {
 	return c == OpPowerCut || c == OpHeldReset || c == OpGlitchReset
 }
 
+// Terminal reports whether the op kills the device. The explorer uses it to
+// give tree branches ending in a kill a subtree budget of exactly one node.
+func (c OpCode) Terminal() bool { return c.terminal() }
+
 // Op is one schedule step. Arg carries the operation's parameter (page
 // index, wake source, RNG salt, ...) — parameters are fixed at generation
 // time, never drawn at apply time, so removing ops during shrinking cannot

@@ -1,0 +1,74 @@
+package check
+
+import (
+	"testing"
+
+	"sentry/internal/faults"
+	"sentry/internal/sim"
+)
+
+// TestReproStringRoundTrip pins the Repro line format the explorer's
+// corpus files and -replay share: String → ParseRepro → String is the
+// identity across platforms, defence ablations, fault profiles, and
+// generated op sequences (including multi-digit args and terminal ops).
+func TestReproStringRoundTrip(t *testing.T) {
+	t.Parallel()
+	adv, _ := faults.ByName("adversarial")
+	defences := []Defences{
+		AllDefences(),
+		{IRAMZeroOnBoot: false, LockFlush: true, ZeroOnFree: true},
+		{IRAMZeroOnBoot: true, LockFlush: false, ZeroOnFree: false},
+		{},
+	}
+	for _, platform := range []string{"tegra3", "nexus4"} {
+		for _, d := range defences {
+			for _, prof := range []faults.Profile{faults.None(), adv} {
+				for seed := int64(1); seed <= 8; seed++ {
+					ops := Generate(sim.NewRNG(seed), 30, prof)
+					r := &Repro{
+						Config: Config{Platform: platform, Defences: d, Faults: prof},
+						Seed:   seed, Ops: ops,
+					}
+					line := r.String()
+					back, err := ParseRepro(line)
+					if err != nil {
+						t.Fatalf("ParseRepro(%q): %v", line, err)
+					}
+					if got := back.String(); got != line {
+						t.Fatalf("round trip drifted:\n  out:  %s\n  back: %s", line, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzParseRepro feeds ParseRepro arbitrary input: it must never panic,
+// and any line it accepts must round-trip — String renders a line
+// ParseRepro accepts again, and that second parse renders identically.
+// This is the property the corpus loader relies on to treat repro lines
+// as a stable on-disk format.
+func FuzzParseRepro(f *testing.F) {
+	f.Add("platform=tegra3 defences=all faults=none seed=3 ops=suspend,lock")
+	f.Add("platform=nexus4 defences=no-lock-flush,no-iram-zero faults=adversarial seed=-9 ops=fg-touch:12,power-cut")
+	f.Add("ops=lock")
+	f.Add("seed=99999999999999999999 ops=lock")
+	f.Add("platform=tegra3 ops=idle:3,idle:3,idle:3,glitch-reset")
+	f.Add("defences= ops=,")
+	f.Add("garbage")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := ParseRepro(line)
+		if err != nil {
+			return
+		}
+		out := r.String()
+		back, err := ParseRepro(out)
+		if err != nil {
+			t.Fatalf("re-parse of rendered line %q failed: %v (from input %q)", out, err, line)
+		}
+		if got := back.String(); got != out {
+			t.Fatalf("render not stable: %q then %q (from input %q)", out, got, line)
+		}
+	})
+}

@@ -52,6 +52,22 @@ func (sc *Scanner) ScanLive() *Violation {
 	return nil
 }
 
+// nearMissSlack relaxes the remanence decay budget for near-miss detection:
+// an image that fails the marker match only because decay chewed a few more
+// bytes than FuzzBudget tolerates was one colder boot away from a violation.
+const nearMissSlack = 8
+
+// NearMiss scans the decayed image with the remanence clause's decay budget
+// relaxed. It reports true when the marker is recoverable within the relaxed
+// budget but (by construction of the caller) was not within the strict one —
+// a schedule that ended adjacent to a violation. The explorer banks such
+// prefixes into its corpus for future campaigns.
+func (sc *Scanner) NearMiss() bool {
+	relaxed := sc.FuzzBudget*4 + nearMissSlack
+	return attack.FuzzyContains(sc.S.DRAM.Store(), sc.Marker, relaxed) ||
+		attack.FuzzyContains(sc.S.IRAM.Store(), sc.Marker, relaxed)
+}
+
 // PostMortem enforces the after-power-loss clauses — (remanence) and (key) —
 // over the decayed memory image. Call it after a power cut that happened
 // while the device was locked.

@@ -17,6 +17,14 @@ var SnapshotEnabled = true
 // hang a campaign.
 const maxShrinkReplays = 4096
 
+// ReplayFrom executes ops against an already-built world and reports the
+// first violation. It is Replay's execution loop without the boot; the
+// explorer drives forked worlds through it when re-deriving evicted tree
+// nodes and replaying corpus prefixes.
+func ReplayFrom(w *World, ops Schedule) *Violation {
+	return replayFrom(w, ops)
+}
+
 // replayFrom executes ops against an already-built world and reports the
 // first violation. It is Replay's execution loop without the boot.
 func replayFrom(w *World, ops Schedule) *Violation {
@@ -49,17 +57,28 @@ func replayFrom(w *World, ops Schedule) *Violation {
 // Returns the minimal schedule and its violation, or (sched, nil) if the
 // input does not violate in the first place.
 func Shrink(cfg Config, seed int64, sched Schedule) (Schedule, *Violation) {
-	replays := 0
 	var boot *snapshot.Snapshot[*World]
 	if SnapshotEnabled {
 		boot = snapshot.Capture(NewWorld(cfg, seed))
 	}
+	return ShrinkFrom(boot, cfg, seed, sched)
+}
+
+// ShrinkFrom is Shrink reusing an already-captured post-boot snapshot of
+// NewWorld(cfg, seed) — the explorer hands its tree's root checkpoint in, so
+// shrinking a violation found among millions of schedules never re-boots.
+// A nil boot falls back to a cold boot per candidate.
+func ShrinkFrom(boot *snapshot.Snapshot[*World], cfg Config, seed int64, sched Schedule) (Schedule, *Violation) {
+	replays := 0
 	violates := func(s Schedule) *Violation {
 		replays++
 		if boot == nil {
 			return Replay(cfg, seed, s).Violation
 		}
-		return replayFrom(boot.Fork(), s)
+		w := boot.Fork()
+		v := replayFrom(w, s)
+		w.Release()
+		return v
 	}
 	v := violates(sched)
 	if v == nil {
@@ -90,7 +109,9 @@ func Shrink(cfg Config, seed int64, sched Schedule) (Schedule, *Violation) {
 					// Checkpoint path: fork the advanced prefix and replay
 					// only the candidate's suffix.
 					replays++
-					nv = replayFrom(prefixW.Fork(), cur[start+chunk:])
+					cw := prefixW.Fork()
+					nv = replayFrom(cw, cur[start+chunk:])
+					cw.Release()
 				} else {
 					nv = violates(cand)
 				}
@@ -100,11 +121,13 @@ func Shrink(cfg Config, seed int64, sched Schedule) (Schedule, *Violation) {
 					// Keep start in place: the next chunk slid into this slot,
 					// and the checkpoint still holds exactly cur[:start].
 				} else {
-					// The chunk stays; advance the checkpoint through it. A
-					// violation or death here cannot happen for a prefix of a
-					// schedule whose violation fires at its end — but if it
-					// does, drop the checkpoint and fall back to full replays.
-					if prefixW != nil && prefixLen == start {
+					// The chunk stays; advance the checkpoint through it — but
+					// only when the sweep has another candidate to serve, or
+					// the replayed ops are pure overhead. A violation or death
+					// here cannot happen for a prefix of a schedule whose
+					// violation fires at its end — but if it does, drop the
+					// checkpoint and fall back to full replays.
+					if prefixW != nil && prefixLen == start && start+2*chunk <= len(cur) {
 						if replayFrom(prefixW, cur[start:start+chunk]) != nil || prefixW.Dead() {
 							prefixW = nil
 						} else {

@@ -30,6 +30,7 @@ import (
 	"sentry/internal/kernel"
 	"sentry/internal/mem"
 	"sentry/internal/mmu"
+	"sentry/internal/obs"
 	"sentry/internal/remanence"
 	"sentry/internal/soc"
 )
@@ -58,6 +59,11 @@ type Config struct {
 	Faults   faults.Profile
 	// Steps bounds generated schedule length; DefaultSteps when zero.
 	Steps int
+	// OpsCounter, when set, counts every op executed by any world built from
+	// this config (forks inherit it). The shrink-checkpoint tests and the
+	// explorer's coverage metrics use it to account ops actually replayed
+	// against schedules merely enumerated; a nil counter costs nothing.
+	OpsCounter *obs.Counter
 }
 
 // DefaultSteps is the generated schedule length bound.
@@ -117,9 +123,10 @@ type World struct {
 	inj     *faults.Injector
 	probe   *busProbe
 
-	bgOn bool
-	step int
-	dead bool
+	bgOn      bool
+	step      int
+	dead      bool
+	cutLocked bool // the device was locked when power was lost
 }
 
 // busProbe latches the first locked-period plaintext sighting on the
@@ -216,7 +223,7 @@ func (w *World) Fork() *World {
 		fgBase: w.fgBase, bgBase: w.bgBase,
 		marker:  w.marker,
 		volKey0: append([]byte(nil), w.volKey0...),
-		bgOn:    w.bgOn, step: w.step, dead: w.dead,
+		bgOn:    w.bgOn, step: w.step, dead: w.dead, cutLocked: w.cutLocked,
 	}
 	if w.probe != nil {
 		n.probe = &busProbe{w: n, tripped: w.probe.tripped}
@@ -229,8 +236,34 @@ func (w *World) Fork() *World {
 	return n
 }
 
+// Release recycles the world's fork-private allocations into the clone
+// pool and leaves the world unusable. Call it only as the exclusive owner
+// of a world that will never be touched again — a finished shrink
+// candidate, a dead explorer leaf. Forks taken earlier stay valid: shared
+// state is copy-on-write and never recycled.
+func (w *World) Release() { w.S.Release() }
+
 // Dead reports whether a terminal op (or fault) killed the device.
 func (w *World) Dead() bool { return w.dead }
+
+// Step returns how many ops this world has executed.
+func (w *World) Step() int { return w.step }
+
+// BackgroundOn reports whether a locked-background session is live — one of
+// the state predicates the explorer's commutation guards read.
+func (w *World) BackgroundOn() bool { return w.bgOn }
+
+// NearMiss inspects a dead world whose post-mortem found no violation and
+// reports whether the decayed image came close to one: the marker survives
+// under a relaxed decay budget, or the image still holds most of a key
+// schedule. Near-miss prefixes are what the explorer banks into its corpus —
+// schedules adjacent to a violation are the ones worth re-exploring first.
+func (w *World) NearMiss() bool {
+	if !w.dead || !w.cutLocked {
+		return false
+	}
+	return w.scanner().NearMiss()
+}
 
 // Perturbed reports whether a data-mutating fault fired; end-of-schedule
 // integrity verification is meaningless after one.
@@ -246,6 +279,7 @@ func (w *World) Apply(op Op) (v *Violation) {
 	if w.dead {
 		return nil
 	}
+	w.Cfg.OpsCounter.Inc()
 	w.step++
 	defer func() {
 		if r := recover(); r != nil {
@@ -390,7 +424,7 @@ func (w *World) dmaScan(op Op) *Violation {
 func (w *World) powerLoss(seconds float64, why string, op Op) *Violation {
 	wasLocked := w.K.State() != kernel.Unlocked
 	w.S.PowerCut(seconds, remanence.RoomTempC)
-	w.dead = true
+	w.dead, w.cutLocked = true, wasLocked
 	return w.postMortem(wasLocked, why, op)
 }
 
@@ -402,7 +436,7 @@ func (w *World) heldReset(op Op) *Violation {
 	if err := w.S.HeldReset(heldResetSeconds, firmware.Image{Name: "memdump"}); err != nil {
 		w.S.PowerCut(heldResetSeconds, remanence.RoomTempC)
 	}
-	w.dead = true
+	w.dead, w.cutLocked = true, wasLocked
 	return w.postMortem(wasLocked, "held reset", op)
 }
 
@@ -411,7 +445,7 @@ func (w *World) heldReset(op Op) *Violation {
 func (w *World) glitchReset(op Op) *Violation {
 	wasLocked := w.K.State() != kernel.Unlocked
 	w.S.GlitchedReset(glitchSeconds, firmware.Image{Name: "memdump"})
-	w.dead = true
+	w.dead, w.cutLocked = true, wasLocked
 	return w.postMortem(wasLocked, "glitched reset", op)
 }
 

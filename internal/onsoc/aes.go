@@ -129,7 +129,7 @@ func build(s *soc.SoC, base mem.PhysAddr, place Placement, key []byte) (*AES, er
 func (a *AES) Adopt(s2 *soc.SoC, key []byte, alloc *IRAMAlloc) (*AES, error) {
 	st := NewCPUStore(s2.CPU, a.Store.Base, a.Store.Uncached)
 	st.Mirror = a.Store.Mirror
-	c, err := aes.AdoptPlaced(st, key, s2.Prof.Costs.AESRoundCompute)
+	c, err := aes.AdoptPlacedFrom(a.Cipher, st, key, s2.Prof.Costs.AESRoundCompute)
 	if err != nil {
 		return nil, err
 	}

@@ -26,7 +26,10 @@
 // sibling forks.
 package snapshot
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Forkable is a world that can produce an independent deep copy of itself.
 // Fork must leave the receiver replayable (sealing shared memory is allowed;
@@ -36,10 +39,13 @@ type Forkable[W any] interface {
 }
 
 // Snapshot is an immutable checkpoint of a world. Create with Capture; stamp
-// out copies with Fork.
+// out copies with Fork; a sole remaining consumer may take the parked world
+// itself with HandOff instead of paying for a final fork.
 type Snapshot[W Forkable[W]] struct {
 	mu     sync.Mutex
 	parked W
+	spent  bool
+	forks  atomic.Uint64
 }
 
 // Capture checkpoints w. The world keeps running afterwards — its memory
@@ -62,9 +68,35 @@ func Adopt[W Forkable[W]](w W) *Snapshot[W] {
 // Fork returns an independent world continuing from the captured state.
 // Safe for concurrent use: the first fork of the parked copy seals its
 // (already base-only) stores, and the mutex serialises that with any
-// concurrent fork; every fork after that is a pure read.
+// concurrent fork; every fork after that is a pure read. Forking a snapshot
+// whose world was taken by HandOff is a programming error and panics.
 func (s *Snapshot[W]) Fork() W {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.spent {
+		panic("snapshot: Fork of a handed-off snapshot")
+	}
+	s.forks.Add(1)
 	return s.parked.Fork()
 }
+
+// HandOff surrenders the parked world itself to the caller — the inverse of
+// Adopt, and O(1) where Fork pays for a clone. It is the last-consumer fast
+// path of ref-counted snapshot trees: a node about to serve its final child
+// has no future readers, so the child may drive the parked world directly.
+// After a successful HandOff the snapshot is spent: further HandOff calls
+// return ok == false and Fork panics.
+func (s *Snapshot[W]) HandOff() (w W, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.spent {
+		var zero W
+		return zero, false
+	}
+	s.spent = true
+	return s.parked, true
+}
+
+// Forks reports how many worlds have been forked from this snapshot — the
+// "snapshot hit" half of the explorer's hit-vs-replay coverage metric.
+func (s *Snapshot[W]) Forks() uint64 { return s.forks.Load() }

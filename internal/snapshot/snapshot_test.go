@@ -127,6 +127,71 @@ func TestAdoptHandsOffInPlace(t *testing.T) {
 	}
 }
 
+// TestHandOffTakesParkedWorld proves HandOff returns the parked world itself
+// (the O(1) last-consumer path): state is the capture-point state, the
+// snapshot is spent afterwards, and a racing second HandOff loses cleanly.
+func TestHandOffTakesParkedWorld(t *testing.T) {
+	s := mem.NewStore(8 * mem.PageSize)
+	fillPattern(s, 0x33)
+	snap := Adopt(s)
+
+	f := snap.Fork() // one ordinary consumer first
+	if err := checkPattern(f, 0x33); err != nil {
+		t.Fatalf("fork before hand-off: %v", err)
+	}
+	if got := snap.Forks(); got != 1 {
+		t.Fatalf("Forks() = %d, want 1", got)
+	}
+
+	w, ok := snap.HandOff()
+	if !ok {
+		t.Fatal("first HandOff refused")
+	}
+	if w != s {
+		t.Fatal("HandOff returned a copy, not the adopted world itself")
+	}
+	if err := checkPattern(w, 0x33); err != nil {
+		t.Fatalf("handed-off world: %v", err)
+	}
+
+	if _, ok := snap.HandOff(); ok {
+		t.Fatal("second HandOff of a spent snapshot succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fork of a spent snapshot did not panic")
+		}
+	}()
+	snap.Fork()
+}
+
+// TestConcurrentHandOff: exactly one of many racing HandOff calls wins; the
+// rest see ok == false. Run under -race this also pins the locking contract.
+func TestConcurrentHandOff(t *testing.T) {
+	s := mem.NewStore(2 * mem.PageSize)
+	snap := Adopt(s)
+	const racers = 8
+	wins := make([]bool, racers)
+	var wg sync.WaitGroup
+	for g := 0; g < racers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			_, wins[g] = snap.HandOff()
+		}(g)
+	}
+	wg.Wait()
+	n := 0
+	for _, w := range wins {
+		if w {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d HandOff winners, want exactly 1", n)
+	}
+}
+
 // Adopt→Fork→Adopt chains (the fleet's park/hydrate/park cycle) preserve
 // state across arbitrarily many generations.
 func TestAdoptChain(t *testing.T) {

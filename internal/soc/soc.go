@@ -279,6 +279,15 @@ func (s *SoC) Fork() *SoC {
 	return n
 }
 
+// Release recycles the platform's fork-private allocations (today: the L2
+// metadata arrays) into the clone pool and leaves the SoC unusable. Only
+// an exclusive owner — a fork or hand-off nobody else references — may
+// call it; memory pages stay untouched because they may be shared
+// copy-on-write with live forks.
+func (s *SoC) Release() {
+	s.L2.Release()
+}
+
 // Instrument wires an observability layer through every hardware component.
 // Either argument may be nil (tracing without metrics, or vice versa).
 // Call it once, at setup: components resolve their instruments here and the

@@ -82,6 +82,28 @@ func Guard(path, kind string, run *Run) (string, error) {
 		kind, run.TotalSec, limit, rec.TotalSec), nil
 }
 
+// GuardRatio fails if run's ops/sec is less than minRatio times the
+// recorded rate of baseKind. The explorer's CI guard uses it to keep the
+// snapshot tree honest: a fresh tree sweep must stay >=10x the recorded
+// seed-replay baseline, so the speedup claim cannot silently rot while the
+// absolute floor (GuardThroughput) is still met.
+func GuardRatio(path, baseKind string, minRatio float64, run *Run) (string, error) {
+	rec, err := load(path, baseKind)
+	if err != nil {
+		return "", err
+	}
+	if rec.OpsPerSec <= 0 {
+		return "", fmt.Errorf("%s record in %s has no ops/sec", baseKind, path)
+	}
+	floor := rec.OpsPerSec * minRatio
+	if run.OpsPerSec < floor {
+		return "", fmt.Errorf("throughput %.0f/s is %.1fx the recorded %s rate %.0f/s — below the %.0fx floor",
+			run.OpsPerSec, run.OpsPerSec/rec.OpsPerSec, baseKind, rec.OpsPerSec, minRatio)
+	}
+	return fmt.Sprintf("throughput %.0f/s is %.1fx the recorded %s rate %.0f/s (floor %.0fx)",
+		run.OpsPerSec, run.OpsPerSec/rec.OpsPerSec, baseKind, rec.OpsPerSec, minRatio), nil
+}
+
 // GuardThroughput fails if run's ops/sec fell below the recorded rate
 // divided by Headroom — the floor the serving path must sustain.
 func GuardThroughput(path, kind string, run *Run) (string, error) {
