@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check explore explore-smoke explore-guard explore-record soak serve-soak throughput-guard throughput-record fuzz-smoke ci
+.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check attacks explore explore-smoke explore-guard explore-record soak serve-soak throughput-guard throughput-record fuzz-smoke ci
 
 all: ci
 
@@ -59,6 +59,18 @@ check:
 	$(GO) run ./cmd/sentrybench -check -seeds 256
 	$(GO) run ./cmd/sentrybench -check -seeds 256 -faults benign
 
+# Cache-timing adversary sweep: Prime+Probe, Evict+Reload, and the
+# locked-way occupancy probe against every cache profile on both platforms.
+# The insecure placement must lose (with a replayable one-line repro), the
+# baseline/AutoLock/randomized defences must win on the same seeds, and the
+# occupancy probe must expose way-locking on tegra3 only. Run twice and
+# diffed — verdicts and repro lines must be byte-identical.
+attacks:
+	$(GO) run ./cmd/sentrybench -attacks -seeds 24 -j 0 > attacks-a.txt
+	$(GO) run ./cmd/sentrybench -attacks -seeds 24 -j 1 > attacks-b.txt
+	diff attacks-a.txt attacks-b.txt
+	@rm -f attacks-a.txt attacks-b.txt
+
 # Prefix-sharing schedule explorer: per platform, one defended snapshot-tree
 # sweep (must stay clean) plus the three positive controls (must each be
 # defeated and shrink to a replayable repro). Seeds the sweep from the
@@ -113,5 +125,6 @@ throughput-record:
 fuzz-smoke:
 	$(GO) test -fuzz FuzzUnlockPIN -fuzztime 30s ./internal/kernel/
 	$(GO) test -fuzz FuzzColdbootScan -fuzztime 30s ./internal/attack/
+	$(GO) test -run '^$$' -fuzz FuzzEvictionSet -fuzztime 30s ./internal/attack/
 
-ci: vet build race bench-guard wallclock-guard snapshot-guard check explore-smoke explore-guard soak serve-soak throughput-guard
+ci: vet build race bench-guard wallclock-guard snapshot-guard check attacks explore-smoke explore-guard soak serve-soak throughput-guard

@@ -14,6 +14,7 @@
 //	sentrybench -check -faults benign   # ... with benign fault injection
 //	sentrybench -check -snapshot=off    # ... without the checkpoint/fork engine
 //	sentrybench -check -j 0             # ... campaign seeds on a worker pool
+//	sentrybench -attacks -seeds 24      # cache-timing adversary sweep: per-profile leak verdicts
 //	sentrybench -explore -explore-budget 100000 -j 0   # prefix-sharing schedule explorer
 //	sentrybench -explore -explore-baseline            # ... seed-replay baseline, same coverage
 //	sentrybench -explore -explore-corpus EXPLORE_corpus.txt        # seed the sweep from a corpus
@@ -71,6 +72,7 @@ func main() {
 		wallGuard = flag.String("wallclock-guard", "", "compare this run's total wall clock against a recorded JSON file; exit non-zero on >25% regression")
 
 		doCheck    = flag.Bool("check", false, "run the invariant model-checker campaign + positive controls")
+		doAttacks  = flag.Bool("attacks", false, "run the cache-timing adversary sweep: per-profile leak verdicts for Prime+Probe, Evict+Reload, and the occupancy probe")
 		doExplore  = flag.Bool("explore", false, "run the prefix-sharing schedule explorer + positive controls")
 		expBudget  = flag.Int("explore-budget", 100000, "schedules (tree nodes) per defended sweep for -explore")
 		expBase    = flag.Bool("explore-baseline", false, "sweep the identical schedule set by cold seed-replay instead of the snapshot tree (rate baseline)")
@@ -112,6 +114,12 @@ func main() {
 	if *replayLine != "" {
 		if !runReplay(*replayLine) {
 			os.Exit(1)
+		}
+		return
+	}
+	if *doAttacks {
+		if !runAttacks(*platforms, *seeds, *checkSteps, *seed, *parallel) {
+			fatalf("attacks failed")
 		}
 		return
 	}

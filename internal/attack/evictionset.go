@@ -1,0 +1,56 @@
+package attack
+
+import (
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// Evicts loads target into the cache, accesses every candidate address, and
+// reports whether target was evicted. This is the attacker's deterministic
+// eviction test: the classification comes from the L2's own hit/miss
+// accounting (Probe), so a resident line is never classified as a miss.
+// target must be cacheable DRAM.
+func Evicts(s *soc.SoC, target mem.PhysAddr, cand []mem.PhysAddr) bool {
+	var b [4]byte
+	s.L2.SetMaster(AttackerCore)
+	s.CPU.ReadPhys(target, b[:])
+	for _, a := range cand {
+		s.CPU.ReadPhys(a, b[:])
+	}
+	s.L2.SetMaster(0)
+	hit, _, _ := s.L2.Probe(target)
+	return !hit
+}
+
+// BuildEvictionSet empirically minimizes pool to an eviction set for target:
+// a subset whose traversal evicts target from the L2. The construction is
+// purely observational — load target, traverse, test residency — so it works
+// identically whether or not the cache's index permutation is randomized;
+// what randomization changes is whether any congruent pool can be *chosen*
+// without knowing the key. Returns nil if the full pool does not evict
+// target (or target is not cacheable DRAM).
+//
+// Every address the greedy pass keeps is necessarily congruent with target:
+// a non-congruent member only touches other sets, so dropping it can never
+// stop the eviction, and the pass always drops it. The fuzz suite
+// (FuzzEvictionSet) pins both properties.
+func BuildEvictionSet(s *soc.SoC, target mem.PhysAddr, pool []mem.PhysAddr) []mem.PhysAddr {
+	if uint64(target) < uint64(soc.DRAMBase) {
+		return nil
+	}
+	if !Evicts(s, target, pool) {
+		return nil
+	}
+	set := append([]mem.PhysAddr(nil), pool...)
+	for i := 0; i < len(set); {
+		trial := make([]mem.PhysAddr, 0, len(set)-1)
+		trial = append(trial, set[:i]...)
+		trial = append(trial, set[i+1:]...)
+		if len(trial) > 0 && Evicts(s, target, trial) {
+			set = trial
+		} else {
+			i++
+		}
+	}
+	return set
+}

@@ -1,0 +1,88 @@
+package attack
+
+import (
+	"testing"
+
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// FuzzEvictionSet throws arbitrary candidate pools at the eviction-set
+// builder on both the stock and the randomized-index cache and pins its two
+// soundness properties:
+//
+//   - the hit/miss classification is never wrong in the dangerous
+//     direction: a pool with no congruent members cannot evict the target,
+//     so Evicts must report false (a resident line is never classified as
+//     a miss) and BuildEvictionSet must return nil;
+//   - every member of a minimized eviction set is congruent with the
+//     target — it maps to the target's (possibly scrambled) set index —
+//     and the minimized set still evicts.
+//
+// Congruent candidates are planted using the cache's own SetIndex as an
+// oracle, which is exactly what randomization denies a real attacker; the
+// builder itself stays purely observational.
+func FuzzEvictionSet(f *testing.F) {
+	f.Add(int64(1), uint32(0x1234), uint16(3), false)
+	f.Add(int64(2), uint32(0), uint16(40), true)
+	f.Add(int64(7), uint32(0xFFFFF), uint16(17), true)
+	f.Add(int64(9), uint32(0xABCDE), uint16(0), false)
+	f.Fuzz(func(t *testing.T, seed int64, targetOff uint32, noiseStride uint16, randomized bool) {
+		prof := soc.Tegra3Profile()
+		prof.Cache.RandomizedIndex = randomized
+		s := soc.New(prof, seed)
+
+		geo := s.L2.Config()
+		window := mem.PhysAddr(64 << 20) // stay inside the low 64 MB of DRAM
+		target := soc.DRAMBase + mem.PhysAddr(targetOff)%window
+		target &^= mem.PhysAddr(geo.LineSize - 1)
+		targetSet := s.L2.SetIndex(target)
+
+		// Non-congruent pool: arbitrary lines that all map elsewhere. It can
+		// never evict the target, whatever its size or order.
+		var noise []mem.PhysAddr
+		stride := mem.PhysAddr(noiseStride%512+1) * mem.PhysAddr(geo.LineSize)
+		for a := soc.DRAMBase; len(noise) < 24 && a < soc.DRAMBase+window; a += stride {
+			if a != target && s.L2.SetIndex(a) != targetSet {
+				noise = append(noise, a)
+			}
+		}
+		if Evicts(s, target, noise) {
+			t.Fatalf("non-congruent pool evicted the target (resident line classified as a miss; randomized=%v)", randomized)
+		}
+		if set := BuildEvictionSet(s, target, noise); set != nil {
+			t.Fatalf("BuildEvictionSet minted an eviction set from non-congruent noise: %d members", len(set))
+		}
+
+		// Now plant 2*Ways congruent lines (oracle-chosen) amid the noise:
+		// the full pool must evict, and the minimized set must be purely
+		// congruent and still evicting.
+		pool := append([]mem.PhysAddr(nil), noise...)
+		congruent := 0
+		for a := soc.DRAMBase; congruent < 2*geo.Ways && a < soc.DRAMBase+window; a += mem.PhysAddr(geo.LineSize) {
+			if a != target && s.L2.SetIndex(a) == targetSet {
+				pool = append(pool, a)
+				congruent++
+			}
+		}
+		if congruent < 2*geo.Ways {
+			t.Fatalf("oracle found only %d congruent lines in the window", congruent)
+		}
+		set := BuildEvictionSet(s, target, pool)
+		if set == nil {
+			t.Fatalf("2*Ways congruent lines failed to evict (randomized=%v)", randomized)
+		}
+		if !Evicts(s, target, set) {
+			t.Fatal("minimized set no longer evicts")
+		}
+		if len(set) > 2*geo.Ways {
+			t.Fatalf("minimized set kept %d members (> 2*Ways=%d): minimization is broken", len(set), 2*geo.Ways)
+		}
+		for _, a := range set {
+			if s.L2.SetIndex(a) != targetSet {
+				t.Fatalf("minimized set kept non-congruent member %#x (set %d, want %d, randomized=%v)",
+					uint64(a), s.L2.SetIndex(a), targetSet, randomized)
+			}
+		}
+	})
+}

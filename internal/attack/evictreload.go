@@ -1,0 +1,101 @@
+package attack
+
+import (
+	"fmt"
+
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// EvictReload is the Evict+Reload driver (ARMageddon's non-flush variant of
+// Flush+Reload for ARM parts without an unprivileged flush): the attacker
+// shares the victim's lookup table mapping (physically addressable memory
+// here), evicts each table entry with a congruent eviction set, lets the
+// victim run, and reloads each entry — a hit means the victim brought the
+// line back, i.e. touched that entry.
+//
+// Like PrimeProbe, one Run is a four-round victim/idle differential: an
+// entry is recovered only if it reloads hot in both victim rounds and cold
+// in both idle rounds. Under the AutoLock variant this is exactly what
+// breaks the attack: the moment the victim touches an entry the line counts
+// as held by core 0, the attacker's evictions stop working against it, and
+// the idle rounds reload hot too.
+type EvictReload struct {
+	s       *soc.SoC
+	table   mem.PhysAddr // victim table base (shared/addressable)
+	evict   mem.PhysAddr // attacker region, base-congruent with table
+	entries int
+}
+
+// NewEvictReload builds a driver for a victim table of entries lines at
+// table. evict is attacker memory base-congruent with table; the driver
+// uses 2×Ways×entries lines of it.
+func NewEvictReload(s *soc.SoC, table, evict mem.PhysAddr, entries int) *EvictReload {
+	return &EvictReload{s: s, table: table, evict: evict, entries: entries}
+}
+
+func (a *EvictReload) entryAddr(e int) mem.PhysAddr {
+	return a.table + mem.PhysAddr(e*a.s.L2.Config().LineSize)
+}
+
+// evictAll pushes 2×Ways congruent lines through every monitored set,
+// guaranteeing (in the un-defended cache) that every table entry is evicted.
+func (a *EvictReload) evictAll() {
+	l2 := a.s.L2
+	cfg := l2.Config()
+	nw := 2 * cfg.Ways
+	var b [4]byte
+	l2.SetMaster(AttackerCore)
+	for e := 0; e < a.entries; e++ {
+		for w := 0; w < nw; w++ {
+			a.s.CPU.ReadPhys(a.evict+mem.PhysAddr(e*cfg.LineSize+w*cfg.WaySize), b[:])
+		}
+	}
+	l2.SetMaster(0)
+}
+
+// reload touches every table entry as the attacker, re-warming the table
+// for the next round, and returns which entries were already resident —
+// the deterministic analog of timing each reload.
+func (a *EvictReload) reload() uint32 {
+	l2 := a.s.L2
+	var b [4]byte
+	var hot uint32
+	l2.SetMaster(AttackerCore)
+	for e := 0; e < a.entries; e++ {
+		addr := a.entryAddr(e)
+		if hit, _, _ := l2.Probe(addr); hit {
+			hot |= 1 << e
+		}
+		a.s.CPU.ReadPhys(addr, b[:])
+	}
+	l2.SetMaster(0)
+	return hot
+}
+
+func (a *EvictReload) round(victim func()) uint32 {
+	a.evictAll()
+	if victim != nil {
+		victim()
+	}
+	return a.reload()
+}
+
+// Run normalizes the table (one attacker touch per entry), performs the
+// four-round differential, and returns the recovered access pattern.
+func (a *EvictReload) Run(victim func()) CacheTimingResult {
+	a.reload()
+	r1 := a.round(victim)
+	c1 := a.round(nil)
+	r2 := a.round(victim)
+	c2 := a.round(nil)
+	rec := r1 & r2 &^ c1 &^ c2
+	probeEvent(a.s, "evict-reload", uint64(rec))
+	return CacheTimingResult{
+		Recovered: rec,
+		Trace: []string{
+			fmt.Sprintf("evict-reload v1=%#06x c1=%#06x v2=%#06x c2=%#06x rec=%#06x",
+				r1, c1, r2, c2, rec),
+		},
+	}
+}

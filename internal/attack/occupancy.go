@@ -1,0 +1,54 @@
+package attack
+
+import (
+	"fmt"
+
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// OccupancyProbe measures how many cache ways are allocatable to a normal-
+// world attacker — the cache-occupancy side channel the randomized-cache
+// addendum (PAPERS.md) shows survives index randomization. Sentry's §4.5
+// way-locking changes exactly this number: every locked way is a way the
+// attacker's fills can no longer claim, so the locked-way count — and with
+// it the existence of a background session holding keys — is readable by
+// unprivileged code with no access to any victim address.
+type OccupancyProbe struct {
+	s     *soc.SoC
+	probe mem.PhysAddr // attacker region: 2×Ways way-strided congruent lines
+}
+
+// NewOccupancyProbe builds a probe over attacker memory at probe, which
+// must have 2×Ways×WaySize bytes of headroom.
+func NewOccupancyProbe(s *soc.SoC, probe mem.PhysAddr) *OccupancyProbe {
+	return &OccupancyProbe{s: s, probe: probe}
+}
+
+// Measure fills one set with 2×Ways congruent lines and counts how many
+// stayed resident: that is the number of allocatable ways, and Ways minus it
+// the number of locked ways. Returns the inferred locked-way count and a
+// deterministic trace line.
+func (o *OccupancyProbe) Measure() (locked int, trace string) {
+	l2 := o.s.L2
+	cfg := l2.Config()
+	nw := 2 * cfg.Ways
+	var b [4]byte
+	l2.SetMaster(AttackerCore)
+	for i := 0; i < nw; i++ {
+		o.s.CPU.ReadPhys(o.probe+mem.PhysAddr(i*cfg.WaySize), b[:])
+	}
+	l2.SetMaster(0)
+	resident := 0
+	for i := 0; i < nw; i++ {
+		if hit, _, _ := l2.Probe(o.probe + mem.PhysAddr(i*cfg.WaySize)); hit {
+			resident++
+		}
+	}
+	locked = cfg.Ways - resident
+	if locked < 0 {
+		locked = 0
+	}
+	probeEvent(o.s, "occupancy", uint64(locked))
+	return locked, fmt.Sprintf("occupancy resident=%d locked=%d", resident, locked)
+}

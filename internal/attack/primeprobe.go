@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"fmt"
+
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+// AttackerCore is the core id cache-timing attackers run as. The victim
+// system is core 0; under the AutoLock cache variant the distinction decides
+// which lines an eviction may touch.
+const AttackerCore = 1
+
+// CacheTimingResult is the verdict of one Prime+Probe or Evict+Reload run.
+type CacheTimingResult struct {
+	// Recovered is the bitmask of victim-table entries the attacker
+	// classified as touched by the victim: the recovered set-access pattern.
+	Recovered uint32
+	// Trace holds one deterministic probe-outcome line per round; campaigns
+	// compare these byte-for-byte across -j levels and repeat runs.
+	Trace []string
+}
+
+// PrimeProbe is the ARMageddon-style Prime+Probe driver against the
+// simulated PL310 L2. The victim owns a lookup table of entries, one cache
+// line each on consecutive sets; its secret (the PIN digit walk) selects
+// which entries it touches. The attacker cannot read the table's contents —
+// it only primes the table's cache sets from its own memory, lets the victim
+// run, and probes which of its own lines were evicted.
+//
+// One Run is a self-contained differential experiment of four rounds —
+// victim, idle, victim, idle. An entry counts as recovered only when its set
+// shows victim-correlated evictions in both victim rounds and none in either
+// idle round, which kills first-touch artifacts and self-conflict noise: a
+// signal must be repeatable and victim-dependent to survive.
+type PrimeProbe struct {
+	s       *soc.SoC
+	table   mem.PhysAddr // victim table base (read only for set arithmetic)
+	prime   mem.PhysAddr // attacker region, base-congruent with table
+	entries int
+}
+
+// NewPrimeProbe builds a driver for a victim table of entries lines at
+// table. prime is attacker-controlled memory whose base line must be
+// congruent (same base set index) with table; the driver uses
+// 2×Ways×entries lines of it.
+func NewPrimeProbe(s *soc.SoC, table, prime mem.PhysAddr, entries int) *PrimeProbe {
+	return &PrimeProbe{s: s, table: table, prime: prime, entries: entries}
+}
+
+// primeLine returns attacker prime line w for table entry e: same set as the
+// entry (modulo the randomized permutation, which the attacker cannot see),
+// different tag per w.
+func (a *PrimeProbe) primeLine(e, w int) mem.PhysAddr {
+	cfg := a.s.L2.Config()
+	return a.prime + mem.PhysAddr(e*cfg.LineSize+w*cfg.WaySize)
+}
+
+// round primes every monitored set, snapshots which prime lines are
+// resident, runs the victim phase (nil = idle), and reports the entries
+// whose snapshot lines were evicted. 2×Ways congruent accesses per set
+// guarantee full turnover under round-robin replacement, whatever the
+// victim-pointer state.
+func (a *PrimeProbe) round(victim func()) uint32 {
+	l2 := a.s.L2
+	nw := 2 * l2.Config().Ways
+	var b [4]byte
+
+	l2.SetMaster(AttackerCore)
+	for e := 0; e < a.entries; e++ {
+		for w := 0; w < nw; w++ {
+			a.s.CPU.ReadPhys(a.primeLine(e, w), b[:])
+		}
+	}
+	l2.SetMaster(0)
+
+	// The attacker's knowledge of what survived its own prime: the
+	// deterministic analog of timing each line during the prime pass.
+	resident := make([]bool, a.entries*nw)
+	for e := 0; e < a.entries; e++ {
+		for w := 0; w < nw; w++ {
+			hit, _, _ := l2.Probe(a.primeLine(e, w))
+			resident[e*nw+w] = hit
+		}
+	}
+
+	if victim != nil {
+		victim()
+	}
+
+	var miss uint32
+	for e := 0; e < a.entries; e++ {
+		for w := 0; w < nw; w++ {
+			if !resident[e*nw+w] {
+				continue
+			}
+			if hit, _, _ := l2.Probe(a.primeLine(e, w)); !hit {
+				miss |= 1 << e
+				break
+			}
+		}
+	}
+	return miss
+}
+
+// Run performs the four-round differential and returns the recovered
+// victim access pattern with its per-round trace.
+func (a *PrimeProbe) Run(victim func()) CacheTimingResult {
+	r1 := a.round(victim)
+	c1 := a.round(nil)
+	r2 := a.round(victim)
+	c2 := a.round(nil)
+	rec := r1 & r2 &^ c1 &^ c2
+	probeEvent(a.s, "prime-probe", uint64(rec))
+	return CacheTimingResult{
+		Recovered: rec,
+		Trace: []string{
+			fmt.Sprintf("prime-probe v1=%#06x c1=%#06x v2=%#06x c2=%#06x rec=%#06x",
+				r1, c1, r2, c2, rec),
+		},
+	}
+}

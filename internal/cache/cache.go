@@ -30,11 +30,26 @@ import (
 	"sentry/internal/sim"
 )
 
-// Config sizes the cache geometry.
+// Config sizes the cache geometry and selects behavioural variants.
 type Config struct {
 	Ways     int // associativity (PL310: up to 16; Tegra 3 uses 8)
 	WaySize  int // bytes per way (Tegra 3: 128 KB)
 	LineSize int // bytes per line (PL310: 32)
+
+	// AutoLock models the inclusive-L2 behaviour Green et al. describe
+	// (AutoLock, PAPERS.md): a line held in another core's L1 is
+	// transparently locked in L2 — a different core cannot evict it. Each
+	// line tracks a holder bitmask of the masters that touched it since its
+	// fill; pickVictim skips ways whose line is cross-held, and an access
+	// that finds no evictable way bypasses to DRAM.
+	AutoLock bool
+
+	// RandomizedIndex enables a keyed set-index permutation (the
+	// randomized-cache defence variant, PAPERS.md): the set for a line is
+	// its base index XORed with a keyed hash of the tag, re-keyed per boot
+	// via SetIndexKey. Congruence — which addresses contend for a set —
+	// becomes secret, defeating eviction-set construction.
+	RandomizedIndex bool
 }
 
 // Tegra3Config is the 1 MB, 8-way, 32 B/line geometry of the Tegra 3 board.
@@ -63,6 +78,11 @@ type line struct {
 	// or install a fresh buffer. Reads (write-backs, hits, ReadLine) use
 	// shared buffers freely.
 	shared bool
+	// holder is the bitmask of masters (cores) that touched the line since
+	// its fill — the AutoLock "held in some L1" approximation. Only
+	// maintained when Config.AutoLock is set; it occupies struct padding,
+	// so the slab stays the same size and remains pointer-free.
+	holder uint8
 	tag    uint64
 	buf    uint32
 }
@@ -119,6 +139,15 @@ type L2 struct {
 	allocMask uint32 // bit w set => way w may allocate new lines
 	victim    []int  // per-set round-robin pointer
 	stats     Stats
+
+	// master is the core id charged with subsequent accesses (AutoLock
+	// holder tracking). The simulated platform is single-threaded, so this
+	// is a mode switch, not a concurrency hazard; core 0 is the victim
+	// system, attack drivers run as core 1.
+	master uint8
+	// indexKey keys the randomized index permutation (Config.RandomizedIndex);
+	// re-drawn per boot by the SoC layer via SetIndexKey.
+	indexKey uint64
 
 	// Observability: nil (and nil-safe) until SetObs wires them.
 	trace       *obs.Tracer
@@ -371,9 +400,63 @@ func (c *L2) SetAllocMask(mask uint32) {
 	c.gaugeLocked.Set(int64(c.lockedWays()))
 }
 
+// SetMaster selects the core id charged with subsequent accesses. Only
+// meaningful under Config.AutoLock, where it decides which holder bit an
+// access sets and which holders block eviction. The victim system is core 0
+// (the default); attack drivers switch to core 1 around their accesses.
+func (c *L2) SetMaster(core int) { c.master = uint8(core) }
+
+// Master returns the current accessing core id.
+func (c *L2) Master() int { return int(c.master) }
+
+// SetIndexKey keys the randomized index permutation and enables it. Only
+// legal on an empty cache (the key changes where every line lives): the SoC
+// layer calls it at cold boot and after every power cycle, right after the
+// controller reset.
+func (c *L2) SetIndexKey(key uint64) {
+	for _, n := range c.validCount {
+		if n != 0 {
+			panic("cache: SetIndexKey on a non-empty cache")
+		}
+	}
+	c.indexKey = key
+	c.cfg.RandomizedIndex = true
+}
+
+// SetIndex returns the set index addr maps to under the current index
+// function (including the randomized permutation when enabled). Test and
+// attack-driver instrumentation.
+func (c *L2) SetIndex(addr mem.PhysAddr) int {
+	set, _ := c.index(addr)
+	return set
+}
+
+// mix64 is the splitmix64 finalizer — a cheap invertible mixer used to key
+// the randomized index permutation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// scrambleSet applies the keyed index permutation for tag. XOR with a
+// per-tag hash is self-inverse, so the same function maps base→scrambled in
+// index() and scrambled→base in lineBase().
+func (c *L2) scrambleSet(set int, tag uint64) int {
+	return set ^ int(mix64(tag^c.indexKey)&c.setMask)
+}
+
 func (c *L2) index(addr mem.PhysAddr) (set int, tag uint64) {
 	lineN := uint64(addr) >> c.lineShift
-	return int(lineN & c.setMask), lineN >> c.setShift
+	set = int(lineN & c.setMask)
+	tag = lineN >> c.setShift
+	if c.cfg.RandomizedIndex {
+		set = c.scrambleSet(set, tag)
+	}
+	return set, tag
 }
 
 // lookup returns the way holding (set, tag), or -1. It scans the dense tag
@@ -405,12 +488,28 @@ func (c *L2) pickVictim(set int) int {
 	if inv := c.allocMask &^ c.validMask[set]; inv != 0 {
 		return bits.TrailingZeros32(inv)
 	}
-	// Round-robin: the first allocation-enabled way at or after the
-	// pointer, found by rotating the mask instead of scanning way by way.
+	avail := c.allocMask
+	if c.cfg.AutoLock {
+		// AutoLock: a valid line held in another core's L1 is transparently
+		// locked — the current master may not evict it. Invalid ways were
+		// handled above, so every candidate line here is valid.
+		other := ^(uint8(1) << c.master)
+		row := c.lines[set]
+		for w := 0; w < c.cfg.Ways; w++ {
+			if avail&(1<<w) != 0 && row[w].holder&other != 0 {
+				avail &^= 1 << w
+			}
+		}
+		if avail == 0 {
+			return -1
+		}
+	}
+	// Round-robin: the first available way at or after the pointer, found
+	// by rotating the mask instead of scanning way by way.
 	ways := c.cfg.Ways
 	start := c.victim[set]
 	full := uint32(1)<<ways - 1
-	rot := (c.allocMask >> start) | (c.allocMask << (ways - start))
+	rot := (avail >> start) | (avail << (ways - start))
 	w := start + bits.TrailingZeros32(rot&full)
 	if w >= ways {
 		w -= ways
@@ -424,6 +523,9 @@ func (c *L2) pickVictim(set int) int {
 }
 
 func (c *L2) lineBase(set int, tag uint64) mem.PhysAddr {
+	if c.cfg.RandomizedIndex {
+		set = c.scrambleSet(set, tag) // XOR permutation is self-inverse
+	}
 	return mem.PhysAddr((tag*uint64(c.sets) + uint64(set)) * uint64(c.cfg.LineSize))
 }
 
@@ -458,6 +560,7 @@ func (c *L2) fill(set, way int, tag uint64) *line {
 		c.validCount[way]++
 	}
 	ln.dirty = false
+	ln.holder = 0 // a refill replaces the previous occupant's holders
 	ln.tag = tag
 	c.tags[set*c.cfg.Ways+way] = tag
 	c.bus.ReadInto("l2", c.lineBase(set, tag), c.lineData(ln))
@@ -498,6 +601,9 @@ func (c *L2) access(addr mem.PhysAddr, buf []byte, isWrite bool) {
 		c.ctrHits.Inc()
 	}
 	ln := &c.lines[set][way]
+	if c.cfg.AutoLock {
+		ln.holder |= 1 << c.master
+	}
 	off := int(uint64(addr) & c.offMask)
 	if isWrite {
 		c.own(ln)
@@ -616,6 +722,7 @@ func (c *L2) invalidateWays(mask uint32) {
 			ln := &c.lines[s][w]
 			ln.valid = false
 			ln.dirty = false
+			ln.holder = 0
 			c.dropBuf(ln)
 			c.validMask[s] &^= bit
 			c.validCount[w]--
@@ -656,12 +763,14 @@ func (c *L2) InvalidateRange(addr mem.PhysAddr, n int) {
 	first := uint64(addr) / uint64(c.cfg.LineSize)
 	last := (uint64(addr) + uint64(n) - 1) / uint64(c.cfg.LineSize)
 	for ln := first; ln <= last; ln++ {
-		set := int(ln % uint64(c.sets))
-		tag := ln / uint64(c.sets)
+		// Route through index() so "by PA" maintenance finds the line under
+		// the randomized index permutation too.
+		set, tag := c.index(mem.PhysAddr(ln << c.lineShift))
 		if w := c.lookup(set, tag); w >= 0 {
 			e := &c.lines[set][w]
 			e.valid = false
 			e.dirty = false
+			e.holder = 0
 			c.dropBuf(e)
 			c.validMask[set] &^= 1 << w
 			c.validCount[w]--
@@ -678,8 +787,7 @@ func (c *L2) CleanRange(addr mem.PhysAddr, n int) {
 	first := uint64(addr) / uint64(c.cfg.LineSize)
 	last := (uint64(addr) + uint64(n) - 1) / uint64(c.cfg.LineSize)
 	for ln := first; ln <= last; ln++ {
-		set := int(ln % uint64(c.sets))
-		tag := ln / uint64(c.sets)
+		set, tag := c.index(mem.PhysAddr(ln << c.lineShift))
 		if w := c.lookup(set, tag); w >= 0 {
 			c.writeBack(set, w)
 		}
@@ -745,6 +853,8 @@ func (c *L2) Clone(clock *sim.Clock, meter *sim.Meter, b *bus.Bus) *L2 {
 	copy(n.victim, c.victim)
 	n.allocMask = c.allocMask
 	n.stats = c.stats
+	n.master = c.master
+	n.indexKey = c.indexKey
 	n.bufs = append([][]byte(nil), c.bufs...)
 	n.freeBufs = append([]uint32(nil), c.freeBufs...)
 	// Free slots still hold reusable buffers on the parent side; the clone

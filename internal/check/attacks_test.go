@@ -1,0 +1,174 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sentry/internal/faults"
+)
+
+// attackSeeds is the shared seed window for the cache-attack controls: the
+// insecure profile must lose on these seeds and every defended profile must
+// win on exactly the same ones, so a pass can never be explained by the
+// profiles having seen different schedules.
+const (
+	attackStartSeed = int64(1)
+	attackSeedCount = 8
+)
+
+func attackCfg(platform, cacheProf, attacks string) Config {
+	return Config{
+		Platform: platform,
+		Defences: AllDefences(),
+		Faults:   faults.None(),
+		Cache:    cacheProf,
+		Attacks:  attacks,
+	}
+}
+
+// TestCacheAttackControls is the negative/positive control matrix for the
+// cache-timing adversary suite. The insecure placement (victim table in
+// plain cacheable DRAM) must lose to Prime+Probe and to Evict+Reload on
+// both platforms; the paper's baseline placement (locked way on tegra3,
+// iRAM on nexus4), the AutoLock cache, and the randomized-index cache must
+// all win on the same seeds. The occupancy clause is the deliberate
+// exception: way-locking itself is the signal, so on the way-locking
+// platform even the baseline profile loses to an occupancy probe (a
+// background session locks one more way than the boot baseline), while
+// nexus4 — whose sessions live in iRAM, not locked ways — stays clean.
+func TestCacheAttackControls(t *testing.T) {
+	rows := []struct {
+		platform, cache, attacks string
+		wantClause               string // "" = campaign must stay clean
+	}{
+		// Negative controls: no placement defence, attacker must win.
+		{"tegra3", CacheInsecure, AttackPrimeProbe, "cache-timing"},
+		{"tegra3", CacheInsecure, AttackEvictReload, "cache-timing"},
+		{"nexus4", CacheInsecure, AttackPrimeProbe, "cache-timing"},
+		{"nexus4", CacheInsecure, AttackEvictReload, "cache-timing"},
+
+		// Positive controls: each defence defeats both timing attacks on
+		// the same seeds the insecure profile just lost.
+		{"tegra3", CacheBaseline, "prime-probe,evict-reload", ""},
+		{"tegra3", CacheAutoLock, "prime-probe,evict-reload", ""},
+		{"tegra3", CacheRandomized, "prime-probe,evict-reload", ""},
+		{"nexus4", CacheBaseline, "prime-probe,evict-reload", ""},
+		{"nexus4", CacheAutoLock, "prime-probe,evict-reload", ""},
+		{"nexus4", CacheRandomized, "prime-probe,evict-reload", ""},
+
+		// The occupancy side channel of way-locking itself.
+		{"tegra3", CacheBaseline, AttackOccupancy, "occupancy"},
+		{"nexus4", CacheBaseline, AttackOccupancy, ""},
+	}
+	for _, row := range rows {
+		row := row
+		t.Run(fmt.Sprintf("%s-%s-%s", row.platform, row.cache, row.attacks), func(t *testing.T) {
+			t.Parallel()
+			cfg := attackCfg(row.platform, row.cache, row.attacks)
+			res := Campaign(cfg, attackStartSeed, attackSeedCount)
+			for _, f := range res.IntegrityFailures {
+				t.Errorf("integrity failure: %s", f)
+			}
+			if row.wantClause == "" {
+				if res.Repro != nil {
+					t.Fatalf("defended profile lost: %s\n  %s", res.Repro, res.Repro.Violation)
+				}
+				return
+			}
+			if res.Repro == nil {
+				t.Fatalf("attacker recovered nothing in %d seeds (checker is blind to clause %s)",
+					attackSeedCount, row.wantClause)
+			}
+			repro := res.Repro
+			if repro.Violation.Clause != row.wantClause {
+				t.Fatalf("clause %q, want %q (%s)", repro.Violation.Clause, row.wantClause, repro.Violation)
+			}
+			if len(repro.Ops) > 4 {
+				t.Errorf("repro not minimal: %d ops (want <= 4): %s", len(repro.Ops), repro.Ops)
+			}
+			// The printed line must parse back and replay to the same clause.
+			parsed, err := ParseRepro(repro.String())
+			if err != nil {
+				t.Fatalf("printed repro does not parse: %v\n  %s", err, repro)
+			}
+			rr := Replay(parsed.Config, parsed.Seed, parsed.Ops)
+			if rr.Violation == nil {
+				t.Fatalf("printed repro does not reproduce: %s", repro)
+			}
+			if rr.Violation.Clause != repro.Violation.Clause {
+				t.Errorf("replayed clause %q != shrunk clause %q", rr.Violation.Clause, repro.Violation.Clause)
+			}
+			t.Logf("%s (shrunk %d -> %d ops)", repro, repro.OriginalLen, len(repro.Ops))
+		})
+	}
+}
+
+// TestCacheAttackCampaignParallelDeterministic: attack campaigns keep the
+// checker's determinism contract — the full campaign result (verdict,
+// counts, shrunk repro line, integrity list) is identical at -j 1 and -j N,
+// and replaying one (config, seed, schedule) twice yields byte-identical
+// probe-timing traces. Mirrors TestCampaignParallelMatchesSerial for the
+// plain alphabet; run under -race in CI.
+func TestCacheAttackCampaignParallelDeterministic(t *testing.T) {
+	t.Parallel()
+	cfgs := []Config{
+		attackCfg("tegra3", CacheInsecure, "prime-probe,evict-reload,occupancy"),
+		attackCfg("tegra3", CacheRandomized, "prime-probe,evict-reload"),
+		attackCfg("nexus4", CacheAutoLock, "prime-probe,evict-reload,occupancy"),
+	}
+	for _, cfg := range cfgs {
+		serial := CampaignParallel(cfg, 1, 6, 1)
+		parallel := CampaignParallel(cfg, 1, 6, 4)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%s/%s: serial and parallel campaigns diverge:\n  serial:   %+v\n  parallel: %+v",
+				cfg.Cache, cfg.Attacks, serial, parallel)
+		}
+	}
+
+	// Trace determinism: same (config, seed, schedule) — same AttackLog,
+	// entry for entry. The randomized profile runs all three attackers
+	// without violating, so every op leaves a trace line.
+	cfg := attackCfg("tegra3", CacheRandomized, "prime-probe,evict-reload,occupancy")
+	sched := Schedule{
+		{Code: OpPrimeProbe}, {Code: OpEvictReload}, {Code: OpOccupancy},
+		{Code: OpBgBegin}, {Code: OpPrimeProbe}, {Code: OpEvictReload},
+	}
+	a := Replay(cfg, 7, sched)
+	b := Replay(cfg, 7, sched)
+	if a.Violation != nil {
+		t.Fatalf("randomized profile lost the fixed schedule: %s", a.Violation)
+	}
+	if len(a.AttackLog) == 0 {
+		t.Fatal("attack schedule left no probe-timing trace")
+	}
+	if !reflect.DeepEqual(a.AttackLog, b.AttackLog) {
+		t.Fatalf("probe-timing traces diverge across replays:\n  %q\n  %q", a.AttackLog, b.AttackLog)
+	}
+}
+
+// TestInsecureLosesDeterministically pins the strongest acceptance claim:
+// on the insecure profile a single prime-probe (or evict-reload) op
+// recovers exactly the victim's PIN-digit access pattern — no seed hunting,
+// no noise margin — and the same one-op schedule against the AutoLock and
+// randomized caches recovers nothing.
+func TestInsecureLosesDeterministically(t *testing.T) {
+	t.Parallel()
+	for _, platform := range []string{"tegra3", "nexus4"} {
+		for _, op := range []OpCode{OpPrimeProbe, OpEvictReload} {
+			sched := Schedule{{Code: op}}
+			rr := Replay(attackCfg(platform, CacheInsecure, "prime-probe,evict-reload"), 3, sched)
+			if rr.Violation == nil || rr.Violation.Clause != "cache-timing" {
+				t.Errorf("%s/insecure: one %s op did not recover the pattern: %+v",
+					platform, op, rr.Violation)
+			}
+			for _, prof := range []string{CacheAutoLock, CacheRandomized} {
+				rr := Replay(attackCfg(platform, prof, "prime-probe,evict-reload"), 3, sched)
+				if rr.Violation != nil {
+					t.Errorf("%s/%s: defended cache lost to one %s op: %s",
+						platform, prof, op, rr.Violation)
+				}
+			}
+		}
+	}
+}

@@ -17,13 +17,16 @@ type RunResult struct {
 	Violation    *Violation
 	IntegrityErr error
 	Perturbed    bool
+	// AttackLog is the deterministic probe-timing trace of the cache-attack
+	// ops (nil without a cache-attack config); see World.AttackLog.
+	AttackLog []string
 }
 
 // Run generates the schedule for (cfg, seed) and executes it. The schedule
 // is a pure function of the inputs, so the same (cfg, seed) pair always
 // explores the same trajectory.
 func Run(cfg Config, seed int64) (Schedule, RunResult) {
-	sched := Generate(sim.NewRNG(seed), cfg.steps(), cfg.Faults)
+	sched := GenerateFor(cfg, sim.NewRNG(seed), cfg.steps())
 	return sched, Replay(cfg, seed, sched)
 }
 
@@ -38,9 +41,9 @@ func Replay(cfg Config, seed int64, sched Schedule) RunResult {
 // or forked from a snapshot) and runs the end-of-schedule integrity check.
 func finishRun(w *World, sched Schedule) RunResult {
 	if v := replayFrom(w, sched); v != nil {
-		return RunResult{Violation: v, Perturbed: w.Perturbed()}
+		return RunResult{Violation: v, Perturbed: w.Perturbed(), AttackLog: w.AttackLog()}
 	}
-	return RunResult{IntegrityErr: w.IntegrityCheck(), Perturbed: w.Perturbed()}
+	return RunResult{IntegrityErr: w.IntegrityCheck(), Perturbed: w.Perturbed(), AttackLog: w.AttackLog()}
 }
 
 
@@ -57,10 +60,20 @@ type Repro struct {
 // String renders the repro as a single replayable line, e.g.
 //
 //	platform=tegra3 defences=no-lock-flush faults=none seed=3 ops=suspend,lock
+//
+// Configs with a cache-attack profile add cache= and attacks= tokens; plain
+// configs print exactly the historical five-field form.
 func (r *Repro) String() string {
-	return fmt.Sprintf("platform=%s defences=%s faults=%s seed=%d ops=%s",
+	s := fmt.Sprintf("platform=%s defences=%s faults=%s",
 		platformName(r.Config.Platform), defencesString(r.Config.Defences),
-		faultsName(r.Config.Faults), r.Seed, r.Ops)
+		faultsName(r.Config.Faults))
+	if r.Config.Cache != "" {
+		s += " cache=" + r.Config.Cache
+	}
+	if r.Config.Attacks != "" {
+		s += " attacks=" + r.Config.Attacks
+	}
+	return fmt.Sprintf("%s seed=%d ops=%s", s, r.Seed, r.Ops)
 }
 
 func platformName(p string) string {
@@ -140,6 +153,18 @@ func ParseRepro(line string) (*Repro, error) {
 				return nil, fmt.Errorf("check: unknown fault profile %q", val)
 			}
 			r.Config.Faults = prof
+		case "cache":
+			if !validCacheProfile(val) || val == "" {
+				return nil, fmt.Errorf("check: unknown cache profile %q", val)
+			}
+			r.Config.Cache = val
+		case "attacks":
+			for _, a := range strings.Split(val, ",") {
+				if !validAttack(a) {
+					return nil, fmt.Errorf("check: unknown attack %q", a)
+				}
+			}
+			r.Config.Attacks = val
 		case "seed":
 			seed, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {

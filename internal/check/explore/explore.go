@@ -394,7 +394,7 @@ func (e *explorer) childOps(n *node, w *check.World, quota int) []check.Op {
 	ops := make([]check.Op, 0, k)
 	var seen uint32
 	for tries := 0; len(ops) < k && tries < 6*e.branch; tries++ {
-		s := check.Generate(rng, 1, e.cfg.Check.Faults)
+		s := check.GenerateFor(e.cfg.Check, rng, 1)
 		if len(s) == 0 {
 			continue
 		}

@@ -36,7 +36,10 @@ import (
 //
 // Deliberately absent: idle (advances the clock and can trip the 900 s
 // idle-lock), pressure/bit-flip/dma-scrape (mutate cache, RNG, or bus
-// stats even when they find nothing), and every terminal op.
+// stats even when they find nothing), every terminal op, and the cache-
+// attack ops prime-probe/evict-reload/occupancy-probe (hundreds of cache
+// accesses each — clock, energy, cache state, and the attack log all
+// advance even when the attacker recovers nothing; never inert).
 
 // Inert reports whether op is a pure no-op in world w — applying it
 // changes nothing but the step counter. Inert must be conservative: a

@@ -35,6 +35,9 @@ const (
 	OpPowerCut
 	OpHeldReset
 	OpGlitchReset
+	OpPrimeProbe
+	OpEvictReload
+	OpOccupancy
 	numOpCodes
 )
 
@@ -57,6 +60,9 @@ var opNames = [numOpCodes]string{
 	OpPowerCut:    "power-cut",
 	OpHeldReset:   "held-reset",
 	OpGlitchReset: "glitch-reset",
+	OpPrimeProbe:  "prime-probe",
+	OpEvictReload: "evict-reload",
+	OpOccupancy:   "occupancy-probe",
 }
 
 func (c OpCode) String() string {
@@ -173,12 +179,38 @@ func weights(prof faults.Profile) []opWeight {
 	return w
 }
 
+// opWeights returns the full generation table for a config: the fault-profile
+// table plus one row per enabled cache attacker. A config without attacks
+// generates exactly what the profile-only table always generated, so every
+// pre-existing campaign, corpus entry, and wallclock budget is untouched.
+func (c Config) opWeights() []opWeight {
+	w := weights(c.Faults)
+	for _, a := range c.attackList() {
+		switch a {
+		case AttackPrimeProbe:
+			w = append(w, opWeight{OpPrimeProbe, 6})
+		case AttackEvictReload:
+			w = append(w, opWeight{OpEvictReload, 6})
+		case AttackOccupancy:
+			w = append(w, opWeight{OpOccupancy, 6})
+		}
+	}
+	return w
+}
+
 // Generate draws a schedule of up to steps operations. Generation stops
 // early after a terminal op — the device is dead. All randomness (op choice
 // and op arguments) comes from rng, so a schedule is a pure function of
-// (seed, steps, profile).
+// (seed, steps, profile). Kept for profile-only callers; configs with cache
+// attackers enabled must use GenerateFor.
 func Generate(rng *sim.RNG, steps int, prof faults.Profile) Schedule {
-	table := weights(prof)
+	return GenerateFor(Config{Faults: prof}, rng, steps)
+}
+
+// GenerateFor draws a schedule from the config's full op alphabet —
+// including the cache-attack ops when cfg.Attacks enables them.
+func GenerateFor(cfg Config, rng *sim.RNG, steps int) Schedule {
+	table := cfg.opWeights()
 	total := 0
 	for _, row := range table {
 		total += row.weight

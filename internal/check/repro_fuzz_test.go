@@ -20,15 +20,23 @@ func TestReproStringRoundTrip(t *testing.T) {
 		{IRAMZeroOnBoot: true, LockFlush: false, ZeroOnFree: false},
 		{},
 	}
+	// Cache-attack configs add cache=/attacks= tokens; the empty pair is the
+	// historical five-field line, which must stay stable byte for byte.
+	cacheCfgs := []struct{ cache, attacks string }{
+		{"", ""},
+		{CacheInsecure, AttackPrimeProbe},
+		{CacheBaseline, "prime-probe,evict-reload,occupancy"},
+		{CacheRandomized, AttackEvictReload},
+	}
 	for _, platform := range []string{"tegra3", "nexus4"} {
 		for _, d := range defences {
 			for _, prof := range []faults.Profile{faults.None(), adv} {
 				for seed := int64(1); seed <= 8; seed++ {
-					ops := Generate(sim.NewRNG(seed), 30, prof)
-					r := &Repro{
-						Config: Config{Platform: platform, Defences: d, Faults: prof},
-						Seed:   seed, Ops: ops,
-					}
+					cc := cacheCfgs[int(seed)%len(cacheCfgs)]
+					cfg := Config{Platform: platform, Defences: d, Faults: prof,
+						Cache: cc.cache, Attacks: cc.attacks}
+					ops := GenerateFor(cfg, sim.NewRNG(seed), 30)
+					r := &Repro{Config: cfg, Seed: seed, Ops: ops}
 					line := r.String()
 					back, err := ParseRepro(line)
 					if err != nil {
@@ -57,6 +65,11 @@ func FuzzParseRepro(f *testing.F) {
 	f.Add("defences= ops=,")
 	f.Add("garbage")
 	f.Add("")
+	f.Add("platform=tegra3 defences=all faults=none cache=insecure attacks=prime-probe seed=1 ops=prime-probe")
+	f.Add("cache=baseline attacks=prime-probe,evict-reload,occupancy ops=occupancy-probe:3,evict-reload")
+	f.Add("cache=bogus ops=lock")
+	f.Add("attacks=prime-probe,bogus ops=lock")
+	f.Add("cache= ops=lock")
 	f.Fuzz(func(t *testing.T, line string) {
 		r, err := ParseRepro(line)
 		if err != nil {

@@ -14,6 +14,14 @@
 //	(remanence)  recoverable from the post-power-loss memory image, nor is
 //	(key)        the volatile root key recoverable from that image.
 //
+// Configs with a cache-attack profile (Config.Cache/Attacks) add two more
+// clauses, judged by the Prime+Probe / Evict+Reload / occupancy drivers in
+// internal/attack:
+//
+//	(cache-timing)  a cache-timing attacker recovers the victim's secret
+//	                set-access pattern (the PIN-digit table walk), and
+//	(occupancy)     the locked-way count reveals live session state.
+//
 // Any violating schedule is reduced by greedy delta debugging to a minimal
 // reproducer, printable as a replayable seed + op list (see campaign.go).
 package check
@@ -21,6 +29,8 @@ package check
 import (
 	"bytes"
 	"fmt"
+	"math/bits"
+	"strings"
 
 	"sentry/internal/attack"
 	"sentry/internal/bus"
@@ -52,11 +62,41 @@ func AllDefences() Defences {
 	return Defences{IRAMZeroOnBoot: true, LockFlush: true, ZeroOnFree: true}
 }
 
+// Cache-attack profile names for Config.Cache.
+const (
+	// CacheInsecure: the victim's PIN lookup table lives in plain cacheable
+	// DRAM with a stock cache — the negative control that must lose.
+	CacheInsecure = "insecure"
+	// CacheBaseline: the paper's on-SoC placement — a locked L2 way on
+	// lockable platforms (tegra3), iRAM (off the L2 entirely) elsewhere.
+	CacheBaseline = "baseline"
+	// CacheAutoLock: table in DRAM, but the cache models AutoLock semantics
+	// (cross-core evictions of held lines are blocked).
+	CacheAutoLock = "autolock"
+	// CacheRandomized: table in DRAM, but the cache's set index is a keyed
+	// per-boot permutation.
+	CacheRandomized = "randomized"
+)
+
+// Attacker names for Config.Attacks.
+const (
+	AttackPrimeProbe  = "prime-probe"
+	AttackEvictReload = "evict-reload"
+	AttackOccupancy   = "occupancy"
+)
+
 // Config parameterises one checking world.
 type Config struct {
 	Platform string // "tegra3" or "nexus4"
 	Defences Defences
 	Faults   faults.Profile
+	// Cache selects the cache-timing victim/defence profile (Cache*
+	// constants). Empty means no victim table and no attack surface — the
+	// default for every pre-existing campaign, which stays byte-identical.
+	Cache string
+	// Attacks is a comma-separated list of enabled cache attackers
+	// (Attack* constants); each becomes an op in the generation alphabet.
+	Attacks string
 	// Steps bounds generated schedule length; DefaultSteps when zero.
 	Steps int
 	// OpsCounter, when set, counts every op executed by any world built from
@@ -64,6 +104,41 @@ type Config struct {
 	// explorer's coverage metrics use it to account ops actually replayed
 	// against schedules merely enumerated; a nil counter costs nothing.
 	OpsCounter *obs.Counter
+}
+
+// attackList splits the Attacks field into attacker names; empty → nil.
+func (c Config) attackList() []string {
+	if c.Attacks == "" {
+		return nil
+	}
+	return strings.Split(c.Attacks, ",")
+}
+
+func (c Config) hasAttack(name string) bool {
+	for _, a := range c.attackList() {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// validAttack reports whether name is a known attacker name.
+func validAttack(name string) bool {
+	switch name {
+	case AttackPrimeProbe, AttackEvictReload, AttackOccupancy:
+		return true
+	}
+	return false
+}
+
+// validCacheProfile reports whether name is a known Config.Cache value.
+func validCacheProfile(name string) bool {
+	switch name {
+	case "", CacheInsecure, CacheBaseline, CacheAutoLock, CacheRandomized:
+		return true
+	}
+	return false
 }
 
 // DefaultSteps is the generated schedule length bound.
@@ -78,7 +153,9 @@ func (c Config) steps() int {
 
 // Violation reports where the invariant broke.
 type Violation struct {
-	Clause string // "bus", "dram", "writeback", "dma", "remanence", "key"
+	// Clause is "bus", "dram", "writeback", "dma", "remanence", "key",
+	// "cache-timing", or "occupancy".
+	Clause string
 	Detail string
 	Step   int
 	Op     Op
@@ -106,6 +183,32 @@ const (
 	fuzzBudget = 4
 )
 
+// Cache-attack geometry. The victim's lookup table is one line per entry;
+// its secret (the PIN-digit walk) selects which entries it touches. All
+// DRAM regions live inside the kernel-reserved low 64 MB, above the
+// pressure op's footprint (< +0x3000000) and below user frames, and the
+// attacker regions are base-congruent with the DRAM table (same base set).
+const (
+	victimEntries  = 16
+	victimTableOff = 0x3000000 // victim table (DRAM profiles): sets 0..15
+	occProbeOff    = 0x3210000 // occupancy probe: set 2048, clear of the rest
+	evictRegionOff = 0x3400000 // Evict+Reload eviction sets: 2×Ways×entries lines
+	primeRegionOff = 0x3800000 // Prime+Probe prime lines: 2×Ways×entries lines
+)
+
+// attackState is the cache-attack surface of a world: where the victim
+// table lives, what the victim actually touches, the boot-time locked-way
+// baseline, the bound drivers, and the deterministic probe-timing log.
+type attackState struct {
+	table      mem.PhysAddr
+	trueSet    uint32 // entries the PIN walk touches — what an attacker must recover
+	baseLocked int    // locked ways at world setup (public knowledge)
+	pp         *attack.PrimeProbe
+	er         *attack.EvictReload
+	occ        *attack.OccupancyProbe
+	log        []string
+}
+
 // World is one instantiated platform + Sentry + workload under check.
 type World struct {
 	Cfg  Config
@@ -122,6 +225,8 @@ type World struct {
 	volKey0 []byte // volatile root key as generated at boot (pre-Zeroize)
 	inj     *faults.Injector
 	probe   *busProbe
+
+	atk *attackState // nil unless Cfg.Cache selects a cache-attack profile
 
 	bgOn      bool
 	step      int
@@ -162,6 +267,15 @@ func NewWorld(cfg Config, seed int64) *World {
 		panic(fmt.Sprintf("check: unknown platform %q", cfg.Platform))
 	}
 	prof.ZeroIRAMOnBoot = cfg.Defences.IRAMZeroOnBoot
+	switch cfg.Cache {
+	case "", CacheInsecure, CacheBaseline:
+	case CacheAutoLock:
+		prof.Cache.AutoLock = true
+	case CacheRandomized:
+		prof.Cache.RandomizedIndex = true
+	default:
+		panic(fmt.Sprintf("check: unknown cache profile %q", cfg.Cache))
+	}
 	s := soc.New(prof, seed)
 	k := kernel.New(s, worldPIN)
 	k.IdleLockSeconds = 900
@@ -183,6 +297,9 @@ func NewWorld(cfg Config, seed int64) *World {
 	w.bgBase, _ = k.MapAnon(w.bg, bgPages)
 	w.fill(w.fg, w.fgBase, fgPages)
 	w.fill(w.bg, w.bgBase, bgPages)
+	if cfg.Cache != "" {
+		w.setupCacheAttack()
+	}
 	if prof.ExposedBus {
 		w.probe = &busProbe{w: w}
 		s.Bus.Attach(w.probe)
@@ -202,6 +319,86 @@ func (w *World) fill(p *kernel.Process, base mmu.VirtAddr, pages int) {
 			panic(fmt.Sprintf("check: marker fill failed: %v", err))
 		}
 	}
+}
+
+// setupCacheAttack places the victim's lookup table per the configured
+// cache profile, records the boot-time locked-way baseline, and binds the
+// enabled attack drivers. Runs before the fault injector attaches, so
+// baseline setup (which locks a way on lockable platforms) is never
+// perturbed.
+func (w *World) setupCacheAttack() {
+	geo := w.S.L2.Config()
+	st := &attackState{}
+	if w.Cfg.Cache == CacheBaseline {
+		if lk := w.Sn.Locker(); lk != nil {
+			// Paper §4.5 placement: the table lives in a locked way's alias
+			// region, resident and unevictable. Over-allocate one line so the
+			// base can be rounded up to a line boundary.
+			raw, err := lk.Alloc(uint64((victimEntries + 1) * geo.LineSize))
+			if err != nil {
+				panic(fmt.Sprintf("check: baseline victim table alloc failed: %v", err))
+			}
+			mask := mem.PhysAddr(geo.LineSize - 1)
+			st.table = (raw + mask) &^ mask
+		} else {
+			// Non-lockable platform (nexus4): iRAM pinning — the table never
+			// touches the L2 at all.
+			st.table = soc.IRAMBase + mem.PhysAddr(w.S.Prof.IRAMSize-mem.PageSize)
+		}
+	} else {
+		// insecure / autolock / randomized: plain cacheable DRAM in the
+		// kernel-reserved region, warmed by the victim at boot.
+		st.table = soc.DRAMBase + victimTableOff
+		var b [4]byte
+		for e := 0; e < victimEntries; e++ {
+			w.S.CPU.ReadPhys(st.table+mem.PhysAddr(e*geo.LineSize), b[:])
+		}
+	}
+	for _, ch := range []byte(worldPIN) {
+		st.trueSet |= 1 << (int(ch-'0') % victimEntries)
+	}
+	// The locked-way count at setup is public (a fixed hardware reservation);
+	// the occupancy clause asks whether it ever *changes* with session state.
+	st.baseLocked = geo.Ways - bits.OnesCount32(w.S.L2.AllocMask())
+	w.atk = st
+	w.bindAttackDrivers()
+}
+
+// bindAttackDrivers (re)builds the enabled attack drivers against the
+// world's current SoC; Fork calls it to bind the forked SoC.
+func (w *World) bindAttackDrivers() {
+	st := w.atk
+	if w.Cfg.hasAttack(AttackPrimeProbe) {
+		st.pp = attack.NewPrimeProbe(w.S, st.table, soc.DRAMBase+primeRegionOff, victimEntries)
+	}
+	if w.Cfg.hasAttack(AttackEvictReload) {
+		st.er = attack.NewEvictReload(w.S, st.table, soc.DRAMBase+evictRegionOff, victimEntries)
+	}
+	if w.Cfg.hasAttack(AttackOccupancy) {
+		st.occ = attack.NewOccupancyProbe(w.S, soc.DRAMBase+occProbeOff)
+	}
+}
+
+// victimWalk is the secret-dependent victim workload the cache-timing
+// attackers target: the PIN-verify table walk, one lookup per PIN digit,
+// run as core 0. Which entries it touches is exactly the secret.
+func (w *World) victimWalk() {
+	var b [4]byte
+	geo := w.S.L2.Config()
+	for _, ch := range []byte(worldPIN) {
+		e := int(ch-'0') % victimEntries
+		w.S.CPU.ReadPhys(w.atk.table+mem.PhysAddr(e*geo.LineSize), b[:])
+	}
+}
+
+// AttackLog returns the deterministic probe-timing trace accumulated by the
+// cache-attack ops — one line per attack round, byte-identical for a given
+// (config, seed, schedule) at any parallelism.
+func (w *World) AttackLog() []string {
+	if w.atk == nil {
+		return nil
+	}
+	return w.atk.log
 }
 
 // Fork returns an independent copy of this world. Memory is shared
@@ -224,6 +421,13 @@ func (w *World) Fork() *World {
 		marker:  w.marker,
 		volKey0: append([]byte(nil), w.volKey0...),
 		bgOn:    w.bgOn, step: w.step, dead: w.dead, cutLocked: w.cutLocked,
+	}
+	if w.atk != nil {
+		st := *w.atk
+		st.log = append([]string(nil), w.atk.log...)
+		st.pp, st.er, st.occ = nil, nil, nil
+		n.atk = &st
+		n.bindAttackDrivers()
 	}
 	if w.probe != nil {
 		n.probe = &busProbe{w: n, tripped: w.probe.tripped}
@@ -353,6 +557,36 @@ func (w *World) Apply(op Op) (v *Violation) {
 		return w.heldReset(op)
 	case OpGlitchReset:
 		return w.glitchReset(op)
+	case OpPrimeProbe:
+		if w.atk != nil && w.atk.pp != nil {
+			res := w.atk.pp.Run(w.victimWalk)
+			w.atk.log = append(w.atk.log, res.Trace...)
+			if res.Recovered == w.atk.trueSet {
+				return &Violation{Clause: "cache-timing",
+					Detail: fmt.Sprintf("prime+probe recovered the victim's PIN-digit access pattern %#06x", res.Recovered),
+					Step:   w.step, Op: op}
+			}
+		}
+	case OpEvictReload:
+		if w.atk != nil && w.atk.er != nil {
+			res := w.atk.er.Run(w.victimWalk)
+			w.atk.log = append(w.atk.log, res.Trace...)
+			if res.Recovered == w.atk.trueSet {
+				return &Violation{Clause: "cache-timing",
+					Detail: fmt.Sprintf("evict+reload recovered the victim's PIN-digit access pattern %#06x", res.Recovered),
+					Step:   w.step, Op: op}
+			}
+		}
+	case OpOccupancy:
+		if w.atk != nil && w.atk.occ != nil {
+			locked, tr := w.atk.occ.Measure()
+			w.atk.log = append(w.atk.log, tr)
+			if locked > w.atk.baseLocked {
+				return &Violation{Clause: "occupancy",
+					Detail: fmt.Sprintf("locked-way occupancy %d exceeds the boot baseline %d: way-locking leaks live session state", locked, w.atk.baseLocked),
+					Step:   w.step, Op: op}
+			}
+		}
 	}
 	return w.scan(op)
 }

@@ -227,7 +227,18 @@ func New(p Profile, seed int64) *SoC {
 		ZeroIRAMOnBoot:   p.ZeroIRAMOnBoot,
 	}
 	s.ROM.ColdBoot(s.IRAM, s.L2)
+	s.rekeyCacheIndex()
 	return s
+}
+
+// rekeyCacheIndex draws a fresh key for the randomized index permutation
+// (profiles with Cache.RandomizedIndex set). Called once per boot, on the
+// empty post-reset cache: the defence's security argument is exactly that
+// the address→set mapping does not survive a power cycle.
+func (s *SoC) rekeyCacheIndex() {
+	if s.Prof.Cache.RandomizedIndex {
+		s.L2.SetIndexKey(s.RNG.Uint64())
+	}
 }
 
 // Freeze seals both memory devices so subsequent Forks share their pages
@@ -370,6 +381,7 @@ func (s *SoC) PowerCut(seconds, tempC float64) {
 	s.CPU.ZeroRegs()
 	s.TZ.ClearProtections()
 	s.ROM.ColdBoot(s.IRAM, s.L2)
+	s.rekeyCacheIndex()
 }
 
 // GlitchedReset models a fault-injection attack on the reset path (the
@@ -385,6 +397,7 @@ func (s *SoC) GlitchedReset(seconds float64, img firmware.Image) {
 	s.L2.Reset()
 	s.CPU.ZeroRegs()
 	s.TZ.ClearProtections()
+	s.rekeyCacheIndex()
 	firmware.Scribble(s.DRAM, s.RNG, img)
 }
 
