@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check attacks explore explore-smoke explore-guard explore-record soak serve-soak throughput-guard throughput-record fuzz-smoke ci
+.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check attacks dfa explore explore-smoke explore-guard explore-record soak serve-soak throughput-guard throughput-record fuzz-smoke ci
 
 all: ci
 
@@ -71,6 +71,18 @@ attacks:
 	diff attacks-a.txt attacks-b.txt
 	@rm -f attacks-a.txt attacks-b.txt
 
+# Adversarial fault-injection sweep: differential fault analysis against the
+# victim AES engine. The undefended DRAM placement must lose its full key
+# (with a replayable one-line repro); the iRAM placement and both
+# fault-detecting countermeasures (redundant recompute, integrity tag) must
+# win on the same seeds. Run twice at different worker widths and diffed —
+# verdicts and repro lines must be byte-identical.
+dfa:
+	$(GO) run ./cmd/sentrybench -dfa -seeds 24 -j 0 > dfa-a.txt
+	$(GO) run ./cmd/sentrybench -dfa -seeds 24 -j 1 > dfa-b.txt
+	diff dfa-a.txt dfa-b.txt
+	@rm -f dfa-a.txt dfa-b.txt
+
 # Prefix-sharing schedule explorer: per platform, one defended snapshot-tree
 # sweep (must stay clean) plus the three positive controls (must each be
 # defeated and shrink to a replayable repro). Seeds the sweep from the
@@ -120,11 +132,12 @@ throughput-guard:
 throughput-record:
 	sh scripts/throughput_guard.sh record
 
-# Short native-fuzzing burst over the PIN state machine and the cold-boot
-# dump scanners.
+# Short native-fuzzing burst over the PIN state machine, the cold-boot dump
+# scanners, and the DFA pair classifier.
 fuzz-smoke:
 	$(GO) test -fuzz FuzzUnlockPIN -fuzztime 30s ./internal/kernel/
 	$(GO) test -fuzz FuzzColdbootScan -fuzztime 30s ./internal/attack/
 	$(GO) test -run '^$$' -fuzz FuzzEvictionSet -fuzztime 30s ./internal/attack/
+	$(GO) test -run '^$$' -fuzz FuzzDFAFaultMask -fuzztime 30s ./internal/attack/
 
-ci: vet build race bench-guard wallclock-guard snapshot-guard check attacks explore-smoke explore-guard soak serve-soak throughput-guard
+ci: vet build race bench-guard wallclock-guard snapshot-guard check attacks dfa explore-smoke explore-guard soak serve-soak throughput-guard

@@ -35,6 +35,10 @@ func attackMatrix() []attackRow {
 			"tegra3": "", "nexus4": ""}},
 		{check.CacheBaseline, check.AttackOccupancy, map[string]string{
 			"tegra3": "occupancy", "nexus4": ""}},
+		// The occupancy mitigation: session locks served from a constant
+		// way budget reserved at boot never move the observable lock state.
+		{check.CacheReserved, check.AttackOccupancy, map[string]string{
+			"tegra3": "", "nexus4": ""}},
 	}
 }
 

@@ -15,6 +15,7 @@
 //	sentrybench -check -snapshot=off    # ... without the checkpoint/fork engine
 //	sentrybench -check -j 0             # ... campaign seeds on a worker pool
 //	sentrybench -attacks -seeds 24      # cache-timing adversary sweep: per-profile leak verdicts
+//	sentrybench -dfa -seeds 24          # fault-injection sweep: DFA key recovery vs placements and countermeasures
 //	sentrybench -explore -explore-budget 100000 -j 0   # prefix-sharing schedule explorer
 //	sentrybench -explore -explore-baseline            # ... seed-replay baseline, same coverage
 //	sentrybench -explore -explore-corpus EXPLORE_corpus.txt        # seed the sweep from a corpus
@@ -73,6 +74,7 @@ func main() {
 
 		doCheck    = flag.Bool("check", false, "run the invariant model-checker campaign + positive controls")
 		doAttacks  = flag.Bool("attacks", false, "run the cache-timing adversary sweep: per-profile leak verdicts for Prime+Probe, Evict+Reload, and the occupancy probe")
+		doDFA      = flag.Bool("dfa", false, "run the fault-injection adversary sweep: DFA key-recovery verdicts per victim placement and countermeasure")
 		doExplore  = flag.Bool("explore", false, "run the prefix-sharing schedule explorer + positive controls")
 		expBudget  = flag.Int("explore-budget", 100000, "schedules (tree nodes) per defended sweep for -explore")
 		expBase    = flag.Bool("explore-baseline", false, "sweep the identical schedule set by cold seed-replay instead of the snapshot tree (rate baseline)")
@@ -120,6 +122,12 @@ func main() {
 	if *doAttacks {
 		if !runAttacks(*platforms, *seeds, *checkSteps, *seed, *parallel) {
 			fatalf("attacks failed")
+		}
+		return
+	}
+	if *doDFA {
+		if !runDFA(*platforms, *seeds, *checkSteps, *seed, *parallel) {
+			fatalf("dfa failed")
 		}
 		return
 	}

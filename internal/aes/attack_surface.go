@@ -34,6 +34,11 @@ func ScheduleF(i int, prev uint32) uint32 {
 	return prev
 }
 
+// InvSub applies the inverse S-box to one byte. The DFA key-recovery
+// pipeline peels the final round with it: invS(C ^ k10) ^ invS(C* ^ k10)
+// must equal a MixColumns multiple of the injected fault.
+func InvSub(b byte) byte { return invSbox[b] }
+
 // ScheduleRelationHolds reports whether the 44 words form a valid AES-128
 // encryption key schedule — the invariant Halderman et al.'s keyfinder uses
 // to locate keys in memory dumps: round keys are massively redundant, so a

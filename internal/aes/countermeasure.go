@@ -1,0 +1,91 @@
+package aes
+
+import "fmt"
+
+// This file is the defence side of the differential-fault-analysis (DFA)
+// adversary: an attacker who can flip bits in the cipher's round state
+// mid-encryption recovers the key from one correct/faulty ciphertext pair
+// per state column (Piret & Quisquater; "Fault Attacks on Encrypted General
+// Purpose Compute Platforms"). The countermeasures below are the classic
+// fault-*detecting* responses: compute redundantly (or verify with an
+// independent datapath) and refuse to release a ciphertext that disagrees —
+// a detected fault aborts the operation fail-safe instead of leaking.
+
+// RoundFault is the adversarial fault hook of the placed cipher's
+// full-fidelity encryption path. Before executing round r (1..Rounds(),
+// where Rounds() is the final round), the cipher asks the hook for a fault;
+// a returned mask is XORed into the 16-byte state entering that round,
+// modelling a precisely-timed voltage/EM glitch on the state's resident
+// memory. Implementations are expected to be one-shot per arming: a
+// redundant recomputation must see a clean second pass, exactly as a real
+// one-shot glitch corrupts only one of the two computations.
+//
+// State byte order is the FIPS 197 column-major layout: mask byte i hits
+// state row i%4, column i/4.
+type RoundFault interface {
+	FaultRound(round int) ([16]byte, bool)
+}
+
+// Countermeasure selects the placed cipher's fault-detection mode on the
+// full-fidelity encryption path. Detection is fail-safe: the staging state
+// is zeroised, no ciphertext is released, and the operation reports a
+// *FaultDetectedError so the caller can rekey.
+type Countermeasure int
+
+// Countermeasure modes.
+const (
+	// CMNone releases whatever the datapath produced — the undefended
+	// baseline that loses to DFA.
+	CMNone Countermeasure = iota
+	// CMRedundant recomputes the whole block and compares: a one-shot fault
+	// corrupts only one pass, so any mismatch is a detected fault. Costs a
+	// second full set of state accesses and round computations.
+	CMRedundant
+	// CMTag folds the ciphertext into a truncated 32-bit integrity tag and
+	// verifies it against an independent datapath before release. Cheaper
+	// than full recomputation; the fold covers every byte lane, so any
+	// single-round DFA fault (whose diffs land in distinct lanes) is caught.
+	CMTag
+)
+
+func (c Countermeasure) String() string {
+	switch c {
+	case CMNone:
+		return "none"
+	case CMRedundant:
+		return "redundant"
+	case CMTag:
+		return "tag"
+	default:
+		return fmt.Sprintf("Countermeasure(%d)", int(c))
+	}
+}
+
+// CountermeasureByName resolves a countermeasure name ("none", "redundant",
+// "tag"); the empty string is CMNone.
+func CountermeasureByName(name string) (Countermeasure, bool) {
+	switch name {
+	case "", "none":
+		return CMNone, true
+	case "redundant":
+		return CMRedundant, true
+	case "tag":
+		return CMTag, true
+	}
+	return CMNone, false
+}
+
+// FaultDetectedError reports that a countermeasure caught a computation
+// fault during encryption. The faulty ciphertext was never released: the
+// destination and the arena's staging block hold zeros. The engine remains
+// usable, but callers should treat the key as glitch-targeted and rekey.
+type FaultDetectedError struct {
+	// Countermeasure that detected the fault.
+	Countermeasure Countermeasure
+	// Block is the CBC block index the fault was detected in.
+	Block int
+}
+
+func (e *FaultDetectedError) Error() string {
+	return fmt.Sprintf("aes: computation fault detected by %s countermeasure in block %d: ciphertext withheld", e.Countermeasure, e.Block)
+}

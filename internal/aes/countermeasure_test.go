@@ -1,0 +1,240 @@
+package aes
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sentry/internal/sim"
+)
+
+// oneShotFault is a minimal RoundFault for tests: armed once, fires on the
+// first entry to the configured round, then disarms — the contract a
+// redundant recomputation relies on.
+type oneShotFault struct {
+	round int
+	mask  [16]byte
+	armed bool
+	fired int
+}
+
+func (f *oneShotFault) FaultRound(r int) ([16]byte, bool) {
+	if !f.armed || r != f.round {
+		return [16]byte{}, false
+	}
+	f.armed = false
+	f.fired++
+	return f.mask, true
+}
+
+func newPlacedForFault(t *testing.T, cm Countermeasure) (*PlacedCipher, *Cipher, []byte) {
+	t.Helper()
+	rng := sim.NewRNG(77)
+	key := make([]byte, 16)
+	rng.Read(key)
+	p, err := NewPlaced(&MapStore{}, key, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetCountermeasure(cm)
+	n, _ := NewCipher(key)
+	return p, n, key
+}
+
+func TestCountermeasuresNoFaultTransparent(t *testing.T) {
+	// With no fault injected, every countermeasure must release exactly the
+	// native ciphertext: the defence cannot change correct outputs.
+	rng := sim.NewRNG(9)
+	iv := make([]byte, 16)
+	rng.Read(iv)
+	msg := make([]byte, 64)
+	rng.Read(msg)
+	for _, cm := range []Countermeasure{CMNone, CMRedundant, CMTag} {
+		p, n, _ := newPlacedForFault(t, cm)
+		want := make([]byte, len(msg))
+		_ = n.EncryptCBC(want, msg, iv)
+		got := make([]byte, len(msg))
+		if err := p.EncryptCBC(got, msg, iv); err != nil {
+			t.Fatalf("%s: unexpected error: %v", cm, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: ciphertext differs from native with no fault", cm)
+		}
+	}
+}
+
+func TestRoundNineFaultSpreadsToFourBytes(t *testing.T) {
+	// The DFA precondition: a single-byte fault entering round 9 of AES-128
+	// passes through exactly one MixColumns, so the faulty ciphertext
+	// differs from the correct one in exactly 4 bytes, one per state row.
+	p, n, _ := newPlacedForFault(t, CMNone)
+	src := []byte("DFA-VICTIM-BLOCK")
+	want := make([]byte, 16)
+	n.Encrypt(want, src)
+
+	hook := &oneShotFault{round: 9, armed: true}
+	hook.mask[0] = 0x2A
+	p.SetRoundFault(hook)
+	got := make([]byte, 16)
+	p.EncryptBlock(got, src)
+	if hook.fired != 1 {
+		t.Fatalf("fault fired %d times, want 1", hook.fired)
+	}
+	if p.FaultDetected() != nil {
+		t.Fatal("CMNone must not detect anything")
+	}
+	diff := 0
+	rows := map[int]bool{}
+	for i := range want {
+		if got[i] != want[i] {
+			diff++
+			rows[i%4] = true
+		}
+	}
+	if diff != 4 || len(rows) != 4 {
+		t.Fatalf("round-9 fault diff = %d bytes over %d rows, want 4 over 4", diff, len(rows))
+	}
+
+	// Disarmed hook: next block is clean again.
+	p.EncryptBlock(got, src)
+	if !bytes.Equal(got, want) {
+		t.Fatal("disarmed hook still faulting")
+	}
+}
+
+func TestCountermeasuresDetectFault(t *testing.T) {
+	rng := sim.NewRNG(13)
+	iv := make([]byte, 16)
+	rng.Read(iv)
+	msg := make([]byte, 4*16)
+	rng.Read(msg)
+	for _, cm := range []Countermeasure{CMRedundant, CMTag} {
+		p, _, _ := newPlacedForFault(t, cm)
+		// Seed the staging/destination with sentinels so "withheld" is
+		// observable as zeros, not stale bytes.
+		dst := bytes.Repeat([]byte{0xEE}, len(msg))
+		hook := &oneShotFault{round: 9, armed: false}
+		hook.mask[5] = 0x80
+		p.SetRoundFault(hook)
+
+		// Arm for the third CBC block, gating on the arena's public block
+		// index so the redundant verify pass (which re-enters every round)
+		// doesn't skew the count.
+		ms := p.st.(*MapStore)
+		p.SetRoundFault(roundFaultFunc(func(r int) ([16]byte, bool) {
+			if ms.Data[offBlock] == 2 {
+				return hook.FaultRound(r)
+			}
+			return [16]byte{}, false
+		}))
+		hook.armed = true
+
+		err := p.EncryptCBC(dst, msg, iv)
+		var fd *FaultDetectedError
+		if !errors.As(err, &fd) {
+			t.Fatalf("%s: want FaultDetectedError, got %v", cm, err)
+		}
+		if fd.Countermeasure != cm || fd.Block != 2 {
+			t.Fatalf("%s: error = %+v, want cm=%s block=2", cm, fd, cm)
+		}
+		for i, b := range dst {
+			if b != 0 {
+				t.Fatalf("%s: dst[%d] = %#x, ciphertext not withheld", cm, i, b)
+			}
+		}
+		// The arena's staging block must be zeroised too.
+		for i := 0; i < 16; i++ {
+			if ms.Data[offInput+i] != 0 {
+				t.Fatalf("%s: staging byte %d not zeroised", cm, i)
+			}
+		}
+		if p.FaultDetected() != nil {
+			t.Fatalf("%s: latch not cleared after collection", cm)
+		}
+		// The engine stays usable after the abort.
+		p.SetRoundFault(nil)
+		if err := p.EncryptCBC(dst, msg, iv); err != nil {
+			t.Fatalf("%s: engine unusable after abort: %v", cm, err)
+		}
+	}
+}
+
+// roundFaultFunc adapts a func to RoundFault.
+type roundFaultFunc func(int) ([16]byte, bool)
+
+func (f roundFaultFunc) FaultRound(r int) ([16]byte, bool) { return f(r) }
+
+func TestFaultDetectedLatchOnDirectBlock(t *testing.T) {
+	p, _, _ := newPlacedForFault(t, CMRedundant)
+	hook := &oneShotFault{round: 9, armed: true}
+	hook.mask[3] = 0x01
+	p.SetRoundFault(hook)
+	dst := bytes.Repeat([]byte{0xEE}, 16)
+	p.EncryptBlock(dst, make([]byte, 16))
+	fd := p.FaultDetected()
+	if fd == nil || fd.Countermeasure != CMRedundant {
+		t.Fatalf("latch = %+v", fd)
+	}
+	for _, b := range dst {
+		if b != 0 {
+			t.Fatal("direct block not withheld")
+		}
+	}
+}
+
+func TestTagCountermeasureCatchesFinalRoundFault(t *testing.T) {
+	// A fault entering the final round skips MixColumns entirely — the tag
+	// fold must still catch the (single-lane) diffs.
+	p, _, _ := newPlacedForFault(t, CMTag)
+	hook := &oneShotFault{round: p.Rounds(), armed: true}
+	hook.mask[7] = 0x40
+	p.SetRoundFault(hook)
+	dst := make([]byte, 16)
+	p.EncryptBlock(dst, make([]byte, 16))
+	if p.FaultDetected() == nil {
+		t.Fatal("final-round fault escaped the tag check")
+	}
+}
+
+func TestAdoptCarriesCountermeasureNotHook(t *testing.T) {
+	p, _, key := newPlacedForFault(t, CMTag)
+	hook := &oneShotFault{round: 9, armed: true}
+	p.SetRoundFault(hook)
+	st := &MapStore{}
+	if _, err := NewPlaced(st, key, 40); err != nil { // materialise the arena
+		t.Fatal(err)
+	}
+	c, err := AdoptPlacedFrom(p, st, key, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Countermeasure() != CMTag {
+		t.Fatal("adoption dropped the countermeasure")
+	}
+	if c.hook != nil {
+		t.Fatal("adoption must not carry the parent's fault hook")
+	}
+}
+
+func TestCountermeasureByName(t *testing.T) {
+	cases := []struct {
+		name string
+		cm   Countermeasure
+		ok   bool
+	}{
+		{"", CMNone, true},
+		{"none", CMNone, true},
+		{"redundant", CMRedundant, true},
+		{"tag", CMTag, true},
+		{"bogus", CMNone, false},
+	}
+	for _, c := range cases {
+		cm, ok := CountermeasureByName(c.name)
+		if cm != c.cm || ok != c.ok {
+			t.Fatalf("CountermeasureByName(%q) = %v,%v", c.name, cm, ok)
+		}
+	}
+	if CMRedundant.String() != "redundant" || CMTag.String() != "tag" || CMNone.String() != "none" {
+		t.Fatal("String() names drifted")
+	}
+}

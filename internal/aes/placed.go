@@ -97,6 +97,14 @@ type PlacedCipher struct {
 	nk          int
 	roundCycles uint64
 	native      *Cipher // same key; used by the Bulk fast path
+
+	// hook, when non-nil, is consulted at every round entry of the
+	// full-fidelity encryption path and may fault the state (see RoundFault).
+	hook RoundFault
+	// cm is the fault-detection countermeasure; detected latches the
+	// fail-safe abort until the surrounding CBC loop collects it.
+	cm       Countermeasure
+	detected *FaultDetectedError
 }
 
 // NewPlaced initialises the arena in st — tables, S-boxes, Rcon, key, and
@@ -165,12 +173,31 @@ func AdoptPlaced(st Store, key []byte, roundCycles uint64) (*PlacedCipher, error
 // World forks run an adoption per AES engine, and the schedule expansion
 // (inverse MixColumns over every decryption round key) dominates an
 // otherwise cheap clone.
+// The countermeasure travels with the adoption (it is configuration, like
+// the key), but the fault hook does not: a hook is wired to one world's
+// injector, and the harness that forked the world re-installs its clone.
 func AdoptPlacedFrom(parent *PlacedCipher, st Store, key []byte, roundCycles uint64) (*PlacedCipher, error) {
 	if rounds(len(key)) != parent.nr {
 		return nil, KeySizeError(len(key))
 	}
-	return &PlacedCipher{st: st, nr: parent.nr, nk: parent.nk, roundCycles: roundCycles, native: parent.native}, nil
+	return &PlacedCipher{st: st, nr: parent.nr, nk: parent.nk, roundCycles: roundCycles,
+		native: parent.native, cm: parent.cm}, nil
 }
+
+// SetRoundFault installs (or with nil removes) the adversarial fault hook on
+// the full-fidelity encryption path.
+func (p *PlacedCipher) SetRoundFault(h RoundFault) { p.hook = h }
+
+// SetCountermeasure selects the fault-detection countermeasure.
+func (p *PlacedCipher) SetCountermeasure(cm Countermeasure) { p.cm = cm }
+
+// Countermeasure returns the configured fault-detection countermeasure.
+func (p *PlacedCipher) Countermeasure() Countermeasure { return p.cm }
+
+// FaultDetected returns the pending fail-safe abort latched by a
+// countermeasure, nil if none. EncryptCBC collects (and clears) the latch
+// itself; the accessor exists for callers driving EncryptBlock directly.
+func (p *PlacedCipher) FaultDetected() *FaultDetectedError { return p.detected }
 
 // Rounds returns the number of AES rounds.
 func (p *PlacedCipher) Rounds() int { return p.nr }
@@ -192,12 +219,41 @@ func (p *PlacedCipher) mirror(s0, s1, s2, s3 uint32) {
 
 // EncryptBlock encrypts one block with full memory fidelity: every table
 // lookup, round-key fetch, and staging access is an individually addressed
-// access to the arena. This is the path security experiments observe.
+// access to the arena. This is the path security experiments observe — and
+// therefore the path the adversarial fault hook and the countermeasures
+// cover. With no hook and CMNone the access/compute sequence is exactly the
+// historical one.
 func (p *PlacedCipher) EncryptBlock(dst, src []byte) {
 	st := p.st
 	for i := 0; i < 4; i++ {
 		st.Store32(offInput+4*i, binary.BigEndian.Uint32(src[4*i:]))
 	}
+	u := p.encryptRounds()
+	if p.cm != CMNone && !p.verifyBlock(u, src) {
+		// Fail-safe abort: zeroise the staging block and the register
+		// mirror, withhold the ciphertext, and latch the typed error for
+		// the CBC loop (or a direct caller) to collect.
+		for i := 0; i < 4; i++ {
+			st.Store32(offInput+4*i, 0)
+		}
+		p.mirror(0, 0, 0, 0)
+		p.detected = &FaultDetectedError{Countermeasure: p.cm}
+		for i := 0; i < BlockSize; i++ {
+			dst[i] = 0
+		}
+		return
+	}
+	for i, w := range u {
+		st.Store32(offInput+4*i, w)
+		binary.BigEndian.PutUint32(dst[4*i:], w)
+	}
+}
+
+// encryptRounds runs the round function over the block staged at offInput
+// and returns the four output words without releasing them. Each round entry
+// (including the final round, round nr) consults the fault hook.
+func (p *PlacedCipher) encryptRounds() [4]uint32 {
+	st := p.st
 	s0 := st.Load32(offInput+0) ^ st.Load32(offEncKeys+0)
 	s1 := st.Load32(offInput+4) ^ st.Load32(offEncKeys+4)
 	s2 := st.Load32(offInput+8) ^ st.Load32(offEncKeys+8)
@@ -205,6 +261,14 @@ func (p *PlacedCipher) EncryptBlock(dst, src []byte) {
 	k := 16
 	ld := func(idx uint32) uint32 { return st.Load32(offTe + 4*int(idx)) }
 	for r := 1; r < p.nr; r++ {
+		if p.hook != nil {
+			if f, ok := p.hook.FaultRound(r); ok {
+				s0 ^= binary.BigEndian.Uint32(f[0:])
+				s1 ^= binary.BigEndian.Uint32(f[4:])
+				s2 ^= binary.BigEndian.Uint32(f[8:])
+				s3 ^= binary.BigEndian.Uint32(f[12:])
+			}
+		}
 		st.StoreByte(offRound, byte(r))
 		t0 := ld(s0>>24) ^ ror(ld(s1>>16&0xFF), 8) ^ ror(ld(s2>>8&0xFF), 16) ^ ror(ld(s3&0xFF), 24) ^ st.Load32(offEncKeys+k)
 		t1 := ld(s1>>24) ^ ror(ld(s2>>16&0xFF), 8) ^ ror(ld(s3>>8&0xFF), 16) ^ ror(ld(s0&0xFF), 24) ^ st.Load32(offEncKeys+k+4)
@@ -215,16 +279,47 @@ func (p *PlacedCipher) EncryptBlock(dst, src []byte) {
 		st.Compute(p.roundCycles)
 		p.mirror(s0, s1, s2, s3)
 	}
+	if p.hook != nil {
+		if f, ok := p.hook.FaultRound(p.nr); ok {
+			s0 ^= binary.BigEndian.Uint32(f[0:])
+			s1 ^= binary.BigEndian.Uint32(f[4:])
+			s2 ^= binary.BigEndian.Uint32(f[8:])
+			s3 ^= binary.BigEndian.Uint32(f[12:])
+		}
+	}
 	sb := func(idx uint32) uint32 { return uint32(st.LoadByte(offSbox + int(idx))) }
 	u0 := sb(s0>>24)<<24 | sb(s1>>16&0xFF)<<16 | sb(s2>>8&0xFF)<<8 | sb(s3&0xFF) ^ st.Load32(offEncKeys+k)
 	u1 := sb(s1>>24)<<24 | sb(s2>>16&0xFF)<<16 | sb(s3>>8&0xFF)<<8 | sb(s0&0xFF) ^ st.Load32(offEncKeys+k+4)
 	u2 := sb(s2>>24)<<24 | sb(s3>>16&0xFF)<<16 | sb(s0>>8&0xFF)<<8 | sb(s1&0xFF) ^ st.Load32(offEncKeys+k+8)
 	u3 := sb(s3>>24)<<24 | sb(s0>>16&0xFF)<<16 | sb(s1>>8&0xFF)<<8 | sb(s2&0xFF) ^ st.Load32(offEncKeys+k+12)
 	st.Compute(p.roundCycles)
-	for i, u := range [4]uint32{u0, u1, u2, u3} {
-		st.Store32(offInput+4*i, u)
-		binary.BigEndian.PutUint32(dst[4*i:], u)
+	return [4]uint32{u0, u1, u2, u3}
+}
+
+// verifyBlock checks the output words against the countermeasure's
+// reference before release. src is the block as staged (already chained in
+// CBC mode).
+func (p *PlacedCipher) verifyBlock(u [4]uint32, src []byte) bool {
+	switch p.cm {
+	case CMRedundant:
+		// Second full pass over the staged input; the output has not been
+		// written back, so offInput still holds the block. A one-shot fault
+		// corrupted only one of the two passes.
+		return p.encryptRounds() == u
+	case CMTag:
+		// Truncated 32-bit tag: XOR-fold of the ciphertext words, verified
+		// against an independent (host-side) datapath. The fold covers all
+		// four byte lanes, so the ≤4 single-lane diffs of a one-round fault
+		// can never cancel. Charge one round's worth of ALU for the check.
+		var ref [BlockSize]byte
+		p.native.Encrypt(ref[:], src[:BlockSize])
+		p.st.Compute(p.roundCycles)
+		tag := u[0] ^ u[1] ^ u[2] ^ u[3]
+		rtag := binary.BigEndian.Uint32(ref[0:]) ^ binary.BigEndian.Uint32(ref[4:]) ^
+			binary.BigEndian.Uint32(ref[8:]) ^ binary.BigEndian.Uint32(ref[12:])
+		return tag == rtag
 	}
+	return true
 }
 
 // DecryptBlock decrypts one block with full memory fidelity.
@@ -280,6 +375,17 @@ func (p *PlacedCipher) EncryptCBC(dst, src, iv []byte) error {
 			binary.BigEndian.PutUint32(in[4*i:], binary.BigEndian.Uint32(src[off+4*i:])^chain)
 		}
 		p.EncryptBlock(dst[off:off+BlockSize], in[:])
+		if e := p.detected; e != nil {
+			// Fail-safe abort: wipe the whole destination — the blocks
+			// already produced and whatever the caller staged beyond the
+			// fault — and surface the typed error for rekeying.
+			p.detected = nil
+			e.Block = blk
+			for i := range dst {
+				dst[i] = 0
+			}
+			return e
+		}
 		for i := 0; i < 4; i++ {
 			st.Store32(offIV+4*i, binary.BigEndian.Uint32(dst[off+4*i:]))
 		}

@@ -1,0 +1,193 @@
+package attack
+
+import "sentry/internal/aes"
+
+// This file implements the classic single-byte differential fault analysis
+// (DFA) against AES-128 (Piret & Quisquater, CHES 2003; the attack model of
+// "Fault Attacks on Encrypted General Purpose Compute Platforms"): the
+// attacker collects pairs of correct/faulty ciphertexts of the same block
+// where the fault was a one-byte corruption of the state entering round 9.
+// That fault passes through exactly one MixColumns, so each pair confines
+// four bytes of the last round key K10 to a small candidate set; a couple of
+// pairs per state column pins all 16 bytes, and the AES key schedule runs
+// backwards, so K10 is the master key.
+
+// DFAPair is one correct/faulty ciphertext pair of the same plaintext block
+// under the same key.
+type DFAPair struct {
+	Correct [16]byte
+	Faulty  [16]byte
+}
+
+// mixCol is the MixColumns matrix: a fault of difference δ in row r entering
+// round 9 leaves that round with column difference mixCol[i][r]·δ in row i.
+var mixCol = [4][4]byte{
+	{2, 3, 1, 1},
+	{1, 2, 3, 1},
+	{1, 1, 2, 3},
+	{3, 1, 1, 2},
+}
+
+// gmul multiplies in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1.
+func gmul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1B
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// classifyPair validates a pair's differential structure and returns the
+// round-9 state column the fault landed in (after ShiftRows). A usable pair
+// differs in exactly 4 bytes, one per state row, and the four ciphertext
+// positions must be the ShiftRows image of a single column.
+func classifyPair(p DFAPair) (col int, ok bool) {
+	col = -1
+	var rows [4]int // diff position per row, -1 if none
+	rows = [4]int{-1, -1, -1, -1}
+	n := 0
+	for j := 0; j < 16; j++ {
+		if p.Correct[j] == p.Faulty[j] {
+			continue
+		}
+		n++
+		i := j % 4
+		if rows[i] != -1 {
+			return -1, false // two diffs in one row: not a single-column fault
+		}
+		rows[i] = j
+		// Final-round ShiftRows moved (row i, col c') to (row i, col c'-i):
+		// invert it to recover the pre-shift column.
+		c := (j/4 + i) % 4
+		if col == -1 {
+			col = c
+		} else if col != c {
+			return -1, false
+		}
+	}
+	return col, n == 4
+}
+
+// dfaPositions returns the four ciphertext byte positions a fault in
+// round-9 column col spreads to, indexed by state row.
+func dfaPositions(col int) [4]int {
+	var pos [4]int
+	for i := 0; i < 4; i++ {
+		pos[i] = 4*((col-i+4)%4) + i
+	}
+	return pos
+}
+
+// candidateTuples enumerates the (k_{j0},k_{j1},k_{j2},k_{j3}) last-round-key
+// tuples consistent with one pair: for some fault row r and nonzero
+// post-SubBytes difference δ, peeling the final round with the tuple must
+// yield the MixColumns pattern mixCol[·][r]·δ at every affected byte.
+func candidateTuples(p DFAPair, col int) map[[4]byte]struct{} {
+	pos := dfaPositions(col)
+	tuples := make(map[[4]byte]struct{})
+	var perRow [4][]byte
+	for r := 0; r < 4; r++ {
+		for d := 1; d < 256; d++ {
+			// For each row, the key bytes satisfying
+			//   invS(C^k) ^ invS(F^k) == mixCol[row][r]·δ.
+			feasible := true
+			for i := 0; i < 4; i++ {
+				want := gmul(mixCol[i][r], byte(d))
+				perRow[i] = perRow[i][:0]
+				c, f := p.Correct[pos[i]], p.Faulty[pos[i]]
+				for k := 0; k < 256; k++ {
+					if aes.InvSub(c^byte(k))^aes.InvSub(f^byte(k)) == want {
+						perRow[i] = append(perRow[i], byte(k))
+					}
+				}
+				if len(perRow[i]) == 0 {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			for _, k0 := range perRow[0] {
+				for _, k1 := range perRow[1] {
+					for _, k2 := range perRow[2] {
+						for _, k3 := range perRow[3] {
+							tuples[[4]byte{k0, k1, k2, k3}] = struct{}{}
+						}
+					}
+				}
+			}
+		}
+	}
+	return tuples
+}
+
+// RecoverKeyDFA runs the full key-recovery pipeline over a batch of
+// correct/faulty pairs. Pairs that don't match the single-byte round-9 fault
+// model are discarded. Returns the 16-byte AES-128 master key when every
+// state column's candidate set intersects to a unique tuple, (nil, false)
+// otherwise — the caller should collect more pairs and retry.
+func RecoverKeyDFA(pairs []DFAPair) ([]byte, bool) {
+	var perCol [4]map[[4]byte]struct{}
+	for _, p := range pairs {
+		col, ok := classifyPair(p)
+		if !ok {
+			continue
+		}
+		cand := candidateTuples(p, col)
+		if len(cand) == 0 {
+			continue
+		}
+		if perCol[col] == nil {
+			perCol[col] = cand
+			continue
+		}
+		for t := range perCol[col] {
+			if _, keep := cand[t]; !keep {
+				delete(perCol[col], t)
+			}
+		}
+	}
+	var k10 [16]byte
+	for col := 0; col < 4; col++ {
+		if len(perCol[col]) != 1 {
+			return nil, false
+		}
+		pos := dfaPositions(col)
+		for t := range perCol[col] {
+			for i := 0; i < 4; i++ {
+				k10[pos[i]] = t[i]
+			}
+		}
+	}
+	return masterFromLastRound(k10), true
+}
+
+// masterFromLastRound inverts the AES-128 key schedule: the last round key
+// determines the master key by running the expansion feedback backwards.
+func masterFromLastRound(k10 [16]byte) []byte {
+	var w [44]uint32
+	for i := 0; i < 4; i++ {
+		w[40+i] = uint32(k10[4*i])<<24 | uint32(k10[4*i+1])<<16 |
+			uint32(k10[4*i+2])<<8 | uint32(k10[4*i+3])
+	}
+	for i := 43; i >= 4; i-- {
+		w[i-4] = w[i] ^ aes.ScheduleF(i, w[i-1])
+	}
+	key := make([]byte, 16)
+	for i := 0; i < 4; i++ {
+		key[4*i] = byte(w[i] >> 24)
+		key[4*i+1] = byte(w[i] >> 16)
+		key[4*i+2] = byte(w[i] >> 8)
+		key[4*i+3] = byte(w[i])
+	}
+	return key
+}

@@ -1,0 +1,219 @@
+package attack
+
+import (
+	"bytes"
+	"testing"
+
+	"sentry/internal/aes"
+	"sentry/internal/sim"
+)
+
+// testRoundFault injects one mask the next time the cipher enters round.
+type testRoundFault struct {
+	round int
+	mask  [16]byte
+	armed bool
+}
+
+func (f *testRoundFault) FaultRound(r int) ([16]byte, bool) {
+	if !f.armed || r != f.round {
+		return [16]byte{}, false
+	}
+	f.armed = false
+	return f.mask, true
+}
+
+// collectPair encrypts block under p twice — once clean, once with a
+// one-shot fault of mask at state byte pos entering round 9 — and returns
+// the pair.
+func collectPair(t *testing.T, p *aes.PlacedCipher, hook *testRoundFault, block []byte, pos int, mask byte) DFAPair {
+	t.Helper()
+	var pair DFAPair
+	hook.armed = false
+	p.EncryptBlock(pair.Correct[:], block)
+	*hook = testRoundFault{round: 9, armed: true}
+	hook.mask[pos] = mask
+	p.EncryptBlock(pair.Faulty[:], block)
+	if hook.armed {
+		t.Fatal("fault never fired")
+	}
+	return pair
+}
+
+func TestRecoverKeyDFAKnownKey(t *testing.T) {
+	// Table-driven over keys and fault aims: faulting state bytes 0..3
+	// covers all four post-ShiftRows columns, and three distinct masks per
+	// column intersect each candidate set down to the true tuple.
+	cases := []struct {
+		name  string
+		seed  int64
+		masks []byte
+	}{
+		{"seed1", 1, []byte{0x2A, 0x51, 0x83}},
+		{"seed2", 2, []byte{0x01, 0x02, 0x04}},
+		{"seed3", 3, []byte{0xFF, 0x7E, 0xB1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := sim.NewRNG(tc.seed)
+			key := make([]byte, 16)
+			rng.Read(key)
+			block := make([]byte, 16)
+			rng.Read(block)
+			hook := &testRoundFault{}
+			p, err := aes.NewPlaced(&aes.MapStore{}, key, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.SetRoundFault(hook)
+
+			var pairs []DFAPair
+			for pos := 0; pos < 4; pos++ {
+				for _, m := range tc.masks {
+					pairs = append(pairs, collectPair(t, p, hook, block, pos, m))
+				}
+			}
+			got, ok := RecoverKeyDFA(pairs)
+			if !ok {
+				t.Fatal("recovery did not converge")
+			}
+			if !bytes.Equal(got, key) {
+				t.Fatalf("recovered %x, want %x", got, key)
+			}
+		})
+	}
+}
+
+func TestRecoverKeyDFAInsufficientPairs(t *testing.T) {
+	rng := sim.NewRNG(4)
+	key := make([]byte, 16)
+	rng.Read(key)
+	block := make([]byte, 16)
+	rng.Read(block)
+	hook := &testRoundFault{}
+	p, _ := aes.NewPlaced(&aes.MapStore{}, key, 0)
+	p.SetRoundFault(hook)
+
+	// One column's worth of pairs cannot pin the other three.
+	pairs := []DFAPair{
+		collectPair(t, p, hook, block, 0, 0x2A),
+		collectPair(t, p, hook, block, 0, 0x51),
+	}
+	if k, ok := RecoverKeyDFA(pairs); ok {
+		t.Fatalf("recovered %x from one column", k)
+	}
+}
+
+func TestRecoverKeyDFADiscardsNonModelPairs(t *testing.T) {
+	rng := sim.NewRNG(5)
+	var junk []DFAPair
+	// Identical pair (no fault landed) and an everything-differs pair (a
+	// fault in an earlier round, fully diffused): both must be discarded.
+	var same DFAPair
+	rng.Read(same.Correct[:])
+	same.Faulty = same.Correct
+	var wild DFAPair
+	rng.Read(wild.Correct[:])
+	for i := range wild.Faulty {
+		wild.Faulty[i] = wild.Correct[i] ^ byte(i+1)
+	}
+	junk = append(junk, same, wild)
+	if k, ok := RecoverKeyDFA(junk); ok {
+		t.Fatalf("recovered %x from junk pairs", k)
+	}
+
+	// Junk mixed into a convergent batch must not break recovery.
+	key := make([]byte, 16)
+	rng.Read(key)
+	block := make([]byte, 16)
+	rng.Read(block)
+	hook := &testRoundFault{}
+	p, _ := aes.NewPlaced(&aes.MapStore{}, key, 0)
+	p.SetRoundFault(hook)
+	pairs := junk
+	for pos := 0; pos < 4; pos++ {
+		for _, m := range []byte{0x2A, 0x51, 0x83} {
+			pairs = append(pairs, collectPair(t, p, hook, block, pos, m))
+		}
+	}
+	got, ok := RecoverKeyDFA(pairs)
+	if !ok || !bytes.Equal(got, key) {
+		t.Fatalf("recovery with junk mixed in: ok=%v key=%x", ok, got)
+	}
+}
+
+func TestMasterFromLastRoundInvertsSchedule(t *testing.T) {
+	rng := sim.NewRNG(6)
+	for trial := 0; trial < 8; trial++ {
+		key := make([]byte, 16)
+		rng.Read(key)
+		c, err := aes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := c.EncSchedule()
+		var k10 [16]byte
+		for i := 0; i < 4; i++ {
+			w := sched[40+i]
+			k10[4*i] = byte(w >> 24)
+			k10[4*i+1] = byte(w >> 16)
+			k10[4*i+2] = byte(w >> 8)
+			k10[4*i+3] = byte(w)
+		}
+		if got := masterFromLastRound(k10); !bytes.Equal(got, key) {
+			t.Fatalf("trial %d: inverted %x, want %x", trial, got, key)
+		}
+	}
+}
+
+// FuzzDFAFaultMask checks the differential structure of arbitrary one-byte
+// round-9 faults: the pair must classify to the predicted column with
+// exactly four single-row diffs, and a single pair must never be enough for
+// (mis)recovery.
+func FuzzDFAFaultMask(f *testing.F) {
+	f.Add(int64(1), byte(0), byte(0x2A))
+	f.Add(int64(2), byte(5), byte(0x80))
+	f.Add(int64(3), byte(15), byte(0x01))
+	f.Add(int64(4), byte(7), byte(0x00))
+	f.Fuzz(func(t *testing.T, seed int64, pos, mask byte) {
+		rng := sim.NewRNG(seed)
+		key := make([]byte, 16)
+		rng.Read(key)
+		block := make([]byte, 16)
+		rng.Read(block)
+		hook := &testRoundFault{}
+		p, err := aes.NewPlaced(&aes.MapStore{}, key, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetRoundFault(hook)
+
+		bytePos := int(pos) % 16
+		var pair DFAPair
+		hook.armed = false
+		p.EncryptBlock(pair.Correct[:], block)
+		*hook = testRoundFault{round: 9, armed: true}
+		hook.mask[bytePos] = mask
+		p.EncryptBlock(pair.Faulty[:], block)
+
+		if mask == 0 {
+			if pair.Correct != pair.Faulty {
+				t.Fatal("zero mask changed the ciphertext")
+			}
+			return
+		}
+		col, ok := classifyPair(pair)
+		if !ok {
+			t.Fatalf("round-9 single-byte fault failed to classify: % x vs % x", pair.Correct, pair.Faulty)
+		}
+		// Fault at state byte b (row b%4, col b/4) shifts to column
+		// (col - row) mod 4 entering MixColumns.
+		want := (bytePos/4 - bytePos%4 + 4) % 4
+		if col != want {
+			t.Fatalf("classified column %d, want %d", col, want)
+		}
+		if k, ok := RecoverKeyDFA([]DFAPair{pair}); ok {
+			t.Fatalf("single pair recovered a key: %x", k)
+		}
+	})
+}

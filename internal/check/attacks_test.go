@@ -57,9 +57,14 @@ func TestCacheAttackControls(t *testing.T) {
 		{"nexus4", CacheAutoLock, "prime-probe,evict-reload", ""},
 		{"nexus4", CacheRandomized, "prime-probe,evict-reload", ""},
 
-		// The occupancy side channel of way-locking itself.
+		// The occupancy side channel of way-locking itself — and its
+		// mitigation: a constant way budget reserved at boot serves session
+		// locks without moving the externally observable lock state.
 		{"tegra3", CacheBaseline, AttackOccupancy, "occupancy"},
 		{"nexus4", CacheBaseline, AttackOccupancy, ""},
+		{"tegra3", CacheReserved, AttackOccupancy, ""},
+		{"nexus4", CacheReserved, AttackOccupancy, ""},
+		{"tegra3", CacheReserved, "prime-probe,evict-reload,occupancy", ""},
 	}
 	for _, row := range rows {
 		row := row
@@ -144,6 +149,27 @@ func TestCacheAttackCampaignParallelDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a.AttackLog, b.AttackLog) {
 		t.Fatalf("probe-timing traces diverge across replays:\n  %q\n  %q", a.AttackLog, b.AttackLog)
+	}
+}
+
+// TestReservedWayBudgetDefeatsOccupancyDeterministically pins the occupancy
+// mitigation with the positive control's own schedule: on tegra3 the exact
+// lock → bg-begin → occupancy-probe sequence that exposes a live session
+// under the baseline profile reads the boot-time lock state — nothing more —
+// once the session's way comes from the boot-reserved budget.
+func TestReservedWayBudgetDefeatsOccupancyDeterministically(t *testing.T) {
+	t.Parallel()
+	sched := Schedule{{Code: OpLock}, {Code: OpBgBegin}, {Code: OpOccupancy}}
+	rr := Replay(attackCfg("tegra3", CacheBaseline, AttackOccupancy), 3, sched)
+	if rr.Violation == nil || rr.Violation.Clause != "occupancy" {
+		t.Fatalf("positive control lost: baseline session lock not visible: %+v", rr.Violation)
+	}
+	rr = Replay(attackCfg("tegra3", CacheReserved, AttackOccupancy), 3, sched)
+	if rr.Violation != nil {
+		t.Fatalf("reserved-way budget leaked session state: %s", rr.Violation)
+	}
+	if len(rr.AttackLog) == 0 {
+		t.Fatal("occupancy probe left no trace")
 	}
 }
 

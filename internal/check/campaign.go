@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sentry/internal/aes"
 	"sentry/internal/faults"
 	"sentry/internal/sim"
 )
@@ -61,8 +62,9 @@ type Repro struct {
 //
 //	platform=tegra3 defences=no-lock-flush faults=none seed=3 ops=suspend,lock
 //
-// Configs with a cache-attack profile add cache= and attacks= tokens; plain
-// configs print exactly the historical five-field form.
+// Configs with a cache-attack profile add cache= and attacks= tokens, DFA
+// configs add dfa= and counter= tokens; plain configs print exactly the
+// historical five-field form.
 func (r *Repro) String() string {
 	s := fmt.Sprintf("platform=%s defences=%s faults=%s",
 		platformName(r.Config.Platform), defencesString(r.Config.Defences),
@@ -72,6 +74,12 @@ func (r *Repro) String() string {
 	}
 	if r.Config.Attacks != "" {
 		s += " attacks=" + r.Config.Attacks
+	}
+	if r.Config.DFA != "" {
+		s += " dfa=" + r.Config.DFA
+	}
+	if r.Config.Counter != "" {
+		s += " counter=" + r.Config.Counter
 	}
 	return fmt.Sprintf("%s seed=%d ops=%s", s, r.Seed, r.Ops)
 }
@@ -165,6 +173,16 @@ func ParseRepro(line string) (*Repro, error) {
 				}
 			}
 			r.Config.Attacks = val
+		case "dfa":
+			if !validDFAProfile(val) || val == "" {
+				return nil, fmt.Errorf("check: unknown dfa profile %q", val)
+			}
+			r.Config.DFA = val
+		case "counter":
+			if _, ok := aes.CountermeasureByName(val); !ok || val == "" {
+				return nil, fmt.Errorf("check: unknown countermeasure %q", val)
+			}
+			r.Config.Counter = val
 		case "seed":
 			seed, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {

@@ -1,0 +1,231 @@
+package check
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sentry/internal/faults"
+)
+
+func dfaCfg(platform, placement, counter string) Config {
+	return Config{
+		Platform: platform,
+		Defences: AllDefences(),
+		Faults:   faults.None(),
+		DFA:      placement,
+		Counter:  counter,
+	}
+}
+
+// dfaAcceptanceSchedule is the deterministic acceptance schedule: four
+// dfa-fault ops covering all four round-9 state columns (byte 0 → column 0,
+// byte 1 → column 3, byte 2 → column 2, byte 3 → column 1), three faulted
+// ciphertexts each, then one collect.
+func dfaAcceptanceSchedule() Schedule {
+	return Schedule{
+		{Code: OpDFAFault, Arg: 0},
+		{Code: OpDFAFault, Arg: 1},
+		{Code: OpDFAFault, Arg: 2},
+		{Code: OpDFAFault, Arg: 3},
+		{Code: OpDFACollect},
+	}
+}
+
+// TestDFAMatrixDeterministic pins the paper's verdict matrix with a single
+// handcrafted schedule — no seed hunting: the undefended DRAM-placed victim
+// loses its full key to twelve glitches, while the iRAM placement (arena out
+// of the rig's reach) and both fault-detecting countermeasures win on the
+// exact same schedule and seeds.
+func TestDFAMatrixDeterministic(t *testing.T) {
+	t.Parallel()
+	rows := []struct {
+		platform, dfa, counter string
+		wantClause             string // "" = must stay clean
+		wantDetected           bool   // countermeasure must log a fail-safe abort
+	}{
+		{"tegra3", DFAInDRAM, "none", "dfa-key-recovery", false},
+		{"nexus4", DFAInDRAM, "none", "dfa-key-recovery", false},
+		{"tegra3", DFAInIRAM, "none", "", false},
+		{"nexus4", DFAInIRAM, "none", "", false},
+		{"tegra3", DFAInDRAM, "redundant", "", true},
+		{"tegra3", DFAInDRAM, "tag", "", true},
+		{"nexus4", DFAInDRAM, "redundant", "", true},
+		{"nexus4", DFAInDRAM, "tag", "", true},
+	}
+	for _, row := range rows {
+		row := row
+		t.Run(fmt.Sprintf("%s-%s-%s", row.platform, row.dfa, row.counter), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				rr := Replay(dfaCfg(row.platform, row.dfa, row.counter), seed, dfaAcceptanceSchedule())
+				if row.wantClause == "" {
+					if rr.Violation != nil {
+						t.Fatalf("seed %d: defended victim lost: %s", seed, rr.Violation)
+					}
+				} else if rr.Violation == nil || rr.Violation.Clause != row.wantClause {
+					t.Fatalf("seed %d: want clause %q, got %+v", seed, row.wantClause, rr.Violation)
+				}
+				detected := false
+				for _, line := range rr.AttackLog {
+					if strings.Contains(line, "fail-safe abort") {
+						detected = true
+					}
+				}
+				if detected != row.wantDetected {
+					t.Fatalf("seed %d: detected-fault log presence = %v, want %v\n  log: %q",
+						seed, detected, row.wantDetected, rr.AttackLog)
+				}
+			}
+		})
+	}
+}
+
+// TestDFACountermeasureRekeysVictim: each detected glitch rolls the victim's
+// key epoch and drops the attacker's banked ciphertexts, so even an attacker
+// who keeps glitching a defended engine never accumulates a convergent pair
+// set. Counters are read off the world directly.
+func TestDFACountermeasureRekeysVictim(t *testing.T) {
+	t.Parallel()
+	w := NewWorld(dfaCfg("tegra3", DFAInDRAM, "redundant"), 5)
+	sched := dfaAcceptanceSchedule()
+	for _, op := range sched {
+		if v := w.Apply(op); v != nil {
+			t.Fatalf("redundant countermeasure lost: %s", v)
+		}
+	}
+	// Every dfa-fault op's first glitch is detected: 4 aborts, 4 rekeys.
+	if w.DFADetected() != 4 || w.DFARekeys() != 4 {
+		t.Fatalf("detected=%d rekeys=%d, want 4 and 4", w.DFADetected(), w.DFARekeys())
+	}
+	if len(w.dfa.faulty) != 0 {
+		t.Fatalf("banked ciphertexts survived rekey: %d", len(w.dfa.faulty))
+	}
+
+	// An undefended victim on the same schedule detects nothing.
+	w2 := NewWorld(dfaCfg("tegra3", DFAInDRAM, "none"), 5)
+	for _, op := range sched[:4] {
+		if v := w2.Apply(op); v != nil {
+			t.Fatalf("fault op itself violated: %s", v)
+		}
+	}
+	if w2.DFADetected() != 0 || w2.DFARekeys() != 0 {
+		t.Fatalf("undefended victim detected %d faults", w2.DFADetected())
+	}
+	if len(w2.dfa.faulty) != 12 {
+		t.Fatalf("banked %d faulty ciphertexts, want 12", len(w2.dfa.faulty))
+	}
+}
+
+// TestDFACampaignFindsKeyRecovery: generated campaigns (dfa ops drawn from
+// the weighted alphabet) against the undefended DRAM placement find the
+// dfa-key-recovery violation within the standard 24-seed window (the same
+// window `make dfa` sweeps), the shrunk repro line parses back, and the
+// replay reproduces the same clause. The same seeds stay clean when the
+// victim is defended.
+func TestDFACampaignFindsKeyRecovery(t *testing.T) {
+	t.Parallel()
+	cfg := dfaCfg("tegra3", DFAInDRAM, "none")
+	res := Campaign(cfg, 1, 24)
+	if res.Repro == nil {
+		t.Fatal("no key recovery in 24 seeds: checker is blind to clause dfa-key-recovery")
+	}
+	repro := res.Repro
+	if repro.Violation.Clause != "dfa-key-recovery" {
+		t.Fatalf("clause %q, want dfa-key-recovery (%s)", repro.Violation.Clause, repro.Violation)
+	}
+	line := repro.String()
+	if !strings.Contains(line, " dfa=dram ") {
+		t.Fatalf("repro line missing dfa token: %s", line)
+	}
+	parsed, err := ParseRepro(line)
+	if err != nil {
+		t.Fatalf("printed repro does not parse: %v\n  %s", err, line)
+	}
+	rr := Replay(parsed.Config, parsed.Seed, parsed.Ops)
+	if rr.Violation == nil || rr.Violation.Clause != "dfa-key-recovery" {
+		t.Fatalf("printed repro does not reproduce: %s -> %+v", line, rr.Violation)
+	}
+
+	for _, counter := range []string{"redundant", "tag"} {
+		res := Campaign(dfaCfg("tegra3", DFAInDRAM, counter), 1, 24)
+		if res.Repro != nil {
+			t.Errorf("%s countermeasure lost a generated campaign: %s", counter, res.Repro)
+		}
+		for _, f := range res.IntegrityFailures {
+			t.Errorf("%s: integrity failure: %s", counter, f)
+		}
+	}
+}
+
+// TestDFACampaignParallelDeterministic: DFA campaigns keep the checker's
+// determinism contract — byte-identical campaign results at any worker
+// width, and byte-identical attack logs (including detected-fault rekey
+// lines) across replays of one (config, seed, schedule).
+func TestDFACampaignParallelDeterministic(t *testing.T) {
+	t.Parallel()
+	cfgs := []Config{
+		dfaCfg("tegra3", DFAInDRAM, "none"),
+		dfaCfg("tegra3", DFAInDRAM, "redundant"),
+		dfaCfg("nexus4", DFAInIRAM, "none"),
+	}
+	for _, cfg := range cfgs {
+		serial := CampaignParallel(cfg, 1, 5, 1)
+		parallel := CampaignParallel(cfg, 1, 5, 4)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("dfa=%s counter=%s: serial and parallel campaigns diverge:\n  serial:   %+v\n  parallel: %+v",
+				cfg.DFA, cfg.Counter, serial, parallel)
+		}
+	}
+
+	cfg := dfaCfg("tegra3", DFAInDRAM, "tag")
+	sched := dfaAcceptanceSchedule()
+	a := Replay(cfg, 7, sched)
+	b := Replay(cfg, 7, sched)
+	if len(a.AttackLog) == 0 {
+		t.Fatal("dfa schedule left no attack log")
+	}
+	if !reflect.DeepEqual(a.AttackLog, b.AttackLog) {
+		t.Fatalf("attack logs diverge across replays:\n  %q\n  %q", a.AttackLog, b.AttackLog)
+	}
+}
+
+// TestForkCarriesDFAState: a world forked mid-collection replays the rest of
+// the schedule identically to the original — same verdict, same attack log —
+// so the shrinker's checkpoint/fork fast path is sound for DFA schedules.
+func TestForkCarriesDFAState(t *testing.T) {
+	t.Parallel()
+	for _, counter := range []string{"none", "redundant"} {
+		cfg := dfaCfg("tegra3", DFAInDRAM, counter)
+		sched := dfaAcceptanceSchedule()
+
+		w := NewWorld(cfg, 9)
+		for _, op := range sched[:2] {
+			if v := w.Apply(op); v != nil {
+				t.Fatalf("prefix violated: %s", v)
+			}
+		}
+		f := w.Fork()
+
+		finish := func(w *World) (*Violation, []string) {
+			for _, op := range sched[2:] {
+				if v := w.Apply(op); v != nil {
+					return v, w.AttackLog()
+				}
+			}
+			return nil, w.AttackLog()
+		}
+		v1, log1 := finish(w)
+		v2, log2 := finish(f)
+		if (v1 == nil) != (v2 == nil) || (v1 != nil && v1.Clause != v2.Clause) {
+			t.Fatalf("counter=%s: fork diverged: %+v vs %+v", counter, v1, v2)
+		}
+		if !reflect.DeepEqual(log1, log2) {
+			t.Fatalf("counter=%s: fork attack logs diverge:\n  %q\n  %q", counter, log1, log2)
+		}
+		if counter == "none" && v1 == nil {
+			t.Fatalf("undefended fork pair found no key recovery")
+		}
+	}
+}

@@ -38,6 +38,8 @@ const (
 	OpPrimeProbe
 	OpEvictReload
 	OpOccupancy
+	OpDFAFault
+	OpDFACollect
 	numOpCodes
 )
 
@@ -63,6 +65,8 @@ var opNames = [numOpCodes]string{
 	OpPrimeProbe:  "prime-probe",
 	OpEvictReload: "evict-reload",
 	OpOccupancy:   "occupancy-probe",
+	OpDFAFault:    "dfa-fault",
+	OpDFACollect:  "dfa-collect",
 }
 
 func (c OpCode) String() string {
@@ -194,6 +198,12 @@ func (c Config) opWeights() []opWeight {
 		case AttackOccupancy:
 			w = append(w, opWeight{OpOccupancy, 6})
 		}
+	}
+	if c.DFA != "" {
+		// A DFA campaign is fault-heavy by design: the attacker needs
+		// several faulted ciphertexts per state column before a collect can
+		// converge, so dfa-fault outweighs dfa-collect.
+		w = append(w, opWeight{OpDFAFault, 14}, opWeight{OpDFACollect, 6})
 	}
 	return w
 }

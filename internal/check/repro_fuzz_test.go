@@ -22,11 +22,14 @@ func TestReproStringRoundTrip(t *testing.T) {
 	}
 	// Cache-attack configs add cache=/attacks= tokens; the empty pair is the
 	// historical five-field line, which must stay stable byte for byte.
-	cacheCfgs := []struct{ cache, attacks string }{
-		{"", ""},
-		{CacheInsecure, AttackPrimeProbe},
-		{CacheBaseline, "prime-probe,evict-reload,occupancy"},
-		{CacheRandomized, AttackEvictReload},
+	cacheCfgs := []struct{ cache, attacks, dfa, counter string }{
+		{"", "", "", ""},
+		{CacheInsecure, AttackPrimeProbe, "", ""},
+		{CacheBaseline, "prime-probe,evict-reload,occupancy", "", ""},
+		{CacheRandomized, AttackEvictReload, "", ""},
+		{"", "", DFAInDRAM, ""},
+		{"", "", DFAInDRAM, "redundant"},
+		{CacheReserved, AttackOccupancy, DFAInIRAM, "tag"},
 	}
 	for _, platform := range []string{"tegra3", "nexus4"} {
 		for _, d := range defences {
@@ -34,7 +37,7 @@ func TestReproStringRoundTrip(t *testing.T) {
 				for seed := int64(1); seed <= 8; seed++ {
 					cc := cacheCfgs[int(seed)%len(cacheCfgs)]
 					cfg := Config{Platform: platform, Defences: d, Faults: prof,
-						Cache: cc.cache, Attacks: cc.attacks}
+						Cache: cc.cache, Attacks: cc.attacks, DFA: cc.dfa, Counter: cc.counter}
 					ops := GenerateFor(cfg, sim.NewRNG(seed), 30)
 					r := &Repro{Config: cfg, Seed: seed, Ops: ops}
 					line := r.String()
@@ -70,6 +73,13 @@ func FuzzParseRepro(f *testing.F) {
 	f.Add("cache=bogus ops=lock")
 	f.Add("attacks=prime-probe,bogus ops=lock")
 	f.Add("cache= ops=lock")
+	f.Add("platform=tegra3 defences=all faults=none dfa=dram seed=5 ops=dfa-fault:2,dfa-collect")
+	f.Add("dfa=iram counter=tag ops=dfa-fault,dfa-collect:7")
+	f.Add("cache=reserved attacks=occupancy dfa=dram counter=redundant ops=lock,bg-begin,occupancy-probe")
+	f.Add("dfa=bogus ops=lock")
+	f.Add("dfa= ops=lock")
+	f.Add("counter=bogus ops=lock")
+	f.Add("counter=none ops=dfa-collect")
 	f.Fuzz(func(t *testing.T, line string) {
 		r, err := ParseRepro(line)
 		if err != nil {

@@ -22,16 +22,25 @@
 //	                set-access pattern (the PIN-digit table walk), and
 //	(occupancy)     the locked-way count reveals live session state.
 //
+// Configs with a DFA adversary (Config.DFA) add one more, judged by the
+// differential-fault-analysis pipeline in internal/attack:
+//
+//	(dfa-key-recovery)  an attacker who glitches AES round state
+//	                    mid-encryption recovers the full AES-128 key from
+//	                    correct/faulty ciphertext pairs.
+//
 // Any violating schedule is reduced by greedy delta debugging to a minimal
 // reproducer, printable as a replayable seed + op list (see campaign.go).
 package check
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/bits"
 	"strings"
 
+	"sentry/internal/aes"
 	"sentry/internal/attack"
 	"sentry/internal/bus"
 	"sentry/internal/core"
@@ -41,7 +50,9 @@ import (
 	"sentry/internal/mem"
 	"sentry/internal/mmu"
 	"sentry/internal/obs"
+	"sentry/internal/onsoc"
 	"sentry/internal/remanence"
+	"sentry/internal/sim"
 	"sentry/internal/soc"
 )
 
@@ -76,6 +87,11 @@ const (
 	// CacheRandomized: table in DRAM, but the cache's set index is a keyed
 	// per-boot permutation.
 	CacheRandomized = "randomized"
+	// CacheReserved: the baseline placement plus a constant locked-way
+	// budget reserved at boot (core.Config.ReservedWays) — the mitigation
+	// for the occupancy channel. Session lock/unlock cycles served from the
+	// budget never move the externally observable lock state.
+	CacheReserved = "reserved"
 )
 
 // Attacker names for Config.Attacks.
@@ -84,6 +100,19 @@ const (
 	AttackEvictReload = "evict-reload"
 	AttackOccupancy   = "occupancy"
 )
+
+// DFA placement names for Config.DFA: where the glitch-targeted victim AES
+// engine's arena lives. The placement decides reachability — a DRAM arena
+// is disturbable by the fault rig, the paper's iRAM placement is not.
+const (
+	DFAInDRAM = "dram"
+	DFAInIRAM = "iram"
+)
+
+// reservedWayBudget is the constant way budget CacheReserved locks at boot:
+// one way for on-SoC allocations (victim table, session arenas) plus one
+// spare so a live session's extra lock is still served invisibly.
+const reservedWayBudget = 2
 
 // Config parameterises one checking world.
 type Config struct {
@@ -97,6 +126,14 @@ type Config struct {
 	// Attacks is a comma-separated list of enabled cache attackers
 	// (Attack* constants); each becomes an op in the generation alphabet.
 	Attacks string
+	// DFA enables the differential-fault-analysis adversary against a
+	// victim AES engine placed per the named profile (DFAIn* constants).
+	// Empty means no victim engine and no dfa ops — the default for every
+	// pre-existing campaign, which stays byte-identical.
+	DFA string
+	// Counter selects the victim engine's fault-detection countermeasure
+	// ("", "none", "redundant", "tag" — see aes.CountermeasureByName).
+	Counter string
 	// Steps bounds generated schedule length; DefaultSteps when zero.
 	Steps int
 	// OpsCounter, when set, counts every op executed by any world built from
@@ -135,7 +172,16 @@ func validAttack(name string) bool {
 // validCacheProfile reports whether name is a known Config.Cache value.
 func validCacheProfile(name string) bool {
 	switch name {
-	case "", CacheInsecure, CacheBaseline, CacheAutoLock, CacheRandomized:
+	case "", CacheInsecure, CacheBaseline, CacheAutoLock, CacheRandomized, CacheReserved:
+		return true
+	}
+	return false
+}
+
+// validDFAProfile reports whether name is a known Config.DFA value.
+func validDFAProfile(name string) bool {
+	switch name {
+	case "", DFAInDRAM, DFAInIRAM:
 		return true
 	}
 	return false
@@ -154,7 +200,7 @@ func (c Config) steps() int {
 // Violation reports where the invariant broke.
 type Violation struct {
 	// Clause is "bus", "dram", "writeback", "dma", "remanence", "key",
-	// "cache-timing", or "occupancy".
+	// "cache-timing", "occupancy", or "dfa-key-recovery".
 	Clause string
 	Detail string
 	Step   int
@@ -194,6 +240,7 @@ const (
 	occProbeOff    = 0x3210000 // occupancy probe: set 2048, clear of the rest
 	evictRegionOff = 0x3400000 // Evict+Reload eviction sets: 2×Ways×entries lines
 	primeRegionOff = 0x3800000 // Prime+Probe prime lines: 2×Ways×entries lines
+	dfaArenaOff    = 0x3C00000 // DFA victim engine arena (Config.DFA "dram")
 )
 
 // attackState is the cache-attack surface of a world: where the victim
@@ -207,6 +254,30 @@ type attackState struct {
 	er         *attack.EvictReload
 	occ        *attack.OccupancyProbe
 	log        []string
+}
+
+// dfaFaultCT is one banked faulty ciphertext and the state byte the glitch
+// targeted (kept for the attack log; key recovery classifies pairs itself).
+type dfaFaultCT struct {
+	pos int
+	ct  [16]byte
+}
+
+// dfaState is the fault-injection surface of a world: the victim AES engine
+// (placed per Config.DFA, defended per Config.Counter), its current key
+// epoch, the attacker's bank of faulty ciphertexts, and a deterministic
+// attack log. A detected fault fail-safe aborts and rekeys the victim, which
+// empties the bank — the defender's whole win condition.
+type dfaState struct {
+	eng       *onsoc.AES
+	key       []byte
+	plain     [16]byte
+	epoch     uint64
+	reachable bool // the fault rig can disturb the arena (DRAM placement)
+	faulty    []dfaFaultCT
+	detected  int // countermeasure-detected faults (fail-safe aborts)
+	rekeys    int
+	log       []string
 }
 
 // World is one instantiated platform + Sentry + workload under check.
@@ -227,6 +298,7 @@ type World struct {
 	probe   *busProbe
 
 	atk *attackState // nil unless Cfg.Cache selects a cache-attack profile
+	dfa *dfaState    // nil unless Cfg.DFA places a glitch-targeted victim
 
 	bgOn      bool
 	step      int
@@ -268,7 +340,7 @@ func NewWorld(cfg Config, seed int64) *World {
 	}
 	prof.ZeroIRAMOnBoot = cfg.Defences.IRAMZeroOnBoot
 	switch cfg.Cache {
-	case "", CacheInsecure, CacheBaseline:
+	case "", CacheInsecure, CacheBaseline, CacheReserved:
 	case CacheAutoLock:
 		prof.Cache.AutoLock = true
 	case CacheRandomized:
@@ -276,12 +348,23 @@ func NewWorld(cfg Config, seed int64) *World {
 	default:
 		panic(fmt.Sprintf("check: unknown cache profile %q", cfg.Cache))
 	}
+	if !validDFAProfile(cfg.DFA) {
+		panic(fmt.Sprintf("check: unknown dfa profile %q", cfg.DFA))
+	}
+	if _, ok := aes.CountermeasureByName(cfg.Counter); !ok {
+		panic(fmt.Sprintf("check: unknown countermeasure %q", cfg.Counter))
+	}
 	s := soc.New(prof, seed)
 	k := kernel.New(s, worldPIN)
 	k.IdleLockSeconds = 900
+	reserved := 0
+	if cfg.Cache == CacheReserved {
+		reserved = reservedWayBudget
+	}
 	sn, err := core.New(k, core.Config{
 		NoLockFlush:   !cfg.Defences.LockFlush,
 		NoDrainOnLock: !cfg.Defences.ZeroOnFree,
+		ReservedWays:  reserved,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("check: world build failed: %v", err))
@@ -304,9 +387,17 @@ func NewWorld(cfg Config, seed int64) *World {
 		w.probe = &busProbe{w: w}
 		s.Bus.Attach(w.probe)
 	}
-	if cfg.Faults.Active() {
+	// A DFA config needs the injector as the cipher's round-fault hook even
+	// when the probabilistic fault profile is inactive; only an active
+	// profile attaches the probe machinery to Sentry.
+	if cfg.Faults.Active() || cfg.DFA != "" {
 		w.inj = faults.New(cfg.Faults, seed*2654435761+97)
-		w.inj.Attach(sn)
+		if cfg.Faults.Active() {
+			w.inj.Attach(sn)
+		}
+	}
+	if cfg.DFA != "" {
+		w.setupDFA()
 	}
 	return w
 }
@@ -329,7 +420,7 @@ func (w *World) fill(p *kernel.Process, base mmu.VirtAddr, pages int) {
 func (w *World) setupCacheAttack() {
 	geo := w.S.L2.Config()
 	st := &attackState{}
-	if w.Cfg.Cache == CacheBaseline {
+	if w.Cfg.Cache == CacheBaseline || w.Cfg.Cache == CacheReserved {
 		if lk := w.Sn.Locker(); lk != nil {
 			// Paper §4.5 placement: the table lives in a locked way's alias
 			// region, resident and unevictable. Over-allocate one line so the
@@ -391,14 +482,153 @@ func (w *World) victimWalk() {
 	}
 }
 
-// AttackLog returns the deterministic probe-timing trace accumulated by the
-// cache-attack ops — one line per attack round, byte-identical for a given
-// (config, seed, schedule) at any parallelism.
-func (w *World) AttackLog() []string {
-	if w.atk == nil {
-		return nil
+// setupDFA builds the glitch-targeted victim AES engine per Config.DFA and
+// points the fault injector at its encryption rounds.
+func (w *World) setupDFA() {
+	st := &dfaState{}
+	copy(st.plain[:], "dfa-victim-block")
+	w.dfa = st
+	w.dfaBuildEngine()
+}
+
+// dfaKey derives the victim key for one epoch: a pure function of
+// (seed, epoch), so forks, replays, and rekeys all agree byte-for-byte.
+func (w *World) dfaKey(epoch uint64) []byte {
+	rng := sim.NewRNG(w.Seed*6364136223846793005 + int64(epoch)*1442695040888963407 + 20260807)
+	key := make([]byte, 16)
+	rng.Read(key)
+	return key
+}
+
+// dfaBuildEngine (re)creates the victim engine for the current key epoch.
+// Placement decides reachability: a DRAM arena is disturbable by the rig,
+// the paper's iRAM placement is physically out of its reach.
+func (w *World) dfaBuildEngine() {
+	st := w.dfa
+	st.key = w.dfaKey(st.epoch)
+	var eng *onsoc.AES
+	var err error
+	switch w.Cfg.DFA {
+	case DFAInIRAM:
+		eng, err = onsoc.NewInIRAM(w.S, w.Sn.IRAM(), st.key)
+	default: // DFAInDRAM
+		eng, err = onsoc.NewGeneric(w.S, soc.DRAMBase+dfaArenaOff, st.key, false)
 	}
-	return w.atk.log
+	if err != nil {
+		panic(fmt.Sprintf("check: dfa victim engine build failed: %v", err))
+	}
+	cm, _ := aes.CountermeasureByName(w.Cfg.Counter)
+	eng.SetCountermeasure(cm)
+	eng.Cipher.SetRoundFault(w.inj)
+	st.reachable = eng.ArenaBase() >= soc.DRAMBase
+	st.eng = eng
+}
+
+// dfaRekey is the fail-safe response to a detected fault: release the old
+// arena, roll the key epoch, and drop the attacker's banked ciphertexts —
+// pairs across epochs never converge.
+func (w *World) dfaRekey() {
+	st := w.dfa
+	_ = st.eng.Release()
+	st.epoch++
+	st.rekeys++
+	st.faulty = nil
+	w.dfaBuildEngine()
+}
+
+// dfaFault is the attacker's glitch op: arm a one-byte fault in the state
+// entering the last MixColumns round and encrypt a fixed block, three mask
+// values per op. A countermeasure that catches the fault aborts the op and
+// rekeys the victim; otherwise the faulty ciphertext joins the bank.
+func (w *World) dfaFault(op Op) {
+	st := w.dfa
+	round := st.eng.Cipher.Rounds() - 1
+	pos := int(op.Arg) % 16
+	base := byte(1 + (op.Arg>>4)%253)
+	var ct [16]byte
+	var iv [16]byte
+	for k := 0; k < 3; k++ {
+		mask := base + byte(k)
+		w.inj.ArmDFA(round, pos, mask, st.reachable)
+		err := st.eng.EncryptCBC(ct[:], st.plain[:], iv[:])
+		w.inj.DisarmDFA()
+		if err != nil {
+			var fd *aes.FaultDetectedError
+			if !errors.As(err, &fd) {
+				panic(fmt.Sprintf("check: dfa victim encrypt failed: %v", err))
+			}
+			st.detected++
+			st.log = append(st.log, fmt.Sprintf(
+				"dfa step %d: %s countermeasure detected fault at byte %d mask %#02x: fail-safe abort, rekey to epoch %d",
+				w.step, fd.Countermeasure, pos, mask, st.epoch+1))
+			w.dfaRekey()
+			return
+		}
+		st.faulty = append(st.faulty, dfaFaultCT{pos: pos, ct: ct})
+	}
+	st.log = append(st.log, fmt.Sprintf(
+		"dfa step %d: glitched byte %d masks %#02x..%#02x (reachable=%v, bank=%d)",
+		w.step, pos, base, base+2, st.reachable, len(st.faulty)))
+}
+
+// dfaCollect is the attacker's analysis op: encrypt the same block cleanly,
+// pair it against every banked faulty ciphertext, and run the DFA key
+// recovery. Recovering the victim's actual key is the dfa-key-recovery
+// violation.
+func (w *World) dfaCollect(op Op) *Violation {
+	st := w.dfa
+	var correct [16]byte
+	var iv [16]byte
+	if err := st.eng.EncryptCBC(correct[:], st.plain[:], iv[:]); err != nil {
+		panic(fmt.Sprintf("check: dfa clean encrypt failed: %v", err))
+	}
+	var pairs []attack.DFAPair
+	for _, f := range st.faulty {
+		if f.ct != correct {
+			pairs = append(pairs, attack.DFAPair{Correct: correct, Faulty: f.ct})
+		}
+	}
+	key, ok := attack.RecoverKeyDFA(pairs)
+	st.log = append(st.log, fmt.Sprintf(
+		"dfa step %d: collect over %d pairs (epoch %d): recovered=%v",
+		w.step, len(pairs), st.epoch, ok))
+	if ok && bytes.Equal(key, st.key) {
+		return &Violation{Clause: "dfa-key-recovery",
+			Detail: fmt.Sprintf("DFA recovered the victim's full AES-128 key from %d correct/faulty ciphertext pairs", len(pairs)),
+			Step:   w.step, Op: op}
+	}
+	return nil
+}
+
+// DFADetected returns how many faults the victim's countermeasure caught
+// (each one a fail-safe abort + rekey); zero without a DFA config.
+func (w *World) DFADetected() int {
+	if w.dfa == nil {
+		return 0
+	}
+	return w.dfa.detected
+}
+
+// DFARekeys returns how many times the victim rolled its key epoch.
+func (w *World) DFARekeys() int {
+	if w.dfa == nil {
+		return 0
+	}
+	return w.dfa.rekeys
+}
+
+// AttackLog returns the deterministic attack trace accumulated by the
+// cache-attack and DFA ops — one line per attack round, byte-identical for a
+// given (config, seed, schedule) at any parallelism.
+func (w *World) AttackLog() []string {
+	var out []string
+	if w.atk != nil {
+		out = append(out, w.atk.log...)
+	}
+	if w.dfa != nil {
+		out = append(out, w.dfa.log...)
+	}
+	return out
 }
 
 // Fork returns an independent copy of this world. Memory is shared
@@ -435,7 +665,22 @@ func (w *World) Fork() *World {
 	}
 	if w.inj != nil {
 		n.inj = w.inj.Clone()
-		n.inj.Attach(sn2)
+		if w.Cfg.Faults.Active() {
+			n.inj.Attach(sn2)
+		}
+	}
+	if w.dfa != nil {
+		st := *w.dfa
+		st.key = append([]byte(nil), w.dfa.key...)
+		st.faulty = append([]dfaFaultCT(nil), w.dfa.faulty...)
+		st.log = append([]string(nil), w.dfa.log...)
+		eng, err := w.dfa.eng.Adopt(s2, st.key, sn2.IRAM())
+		if err != nil {
+			panic(fmt.Sprintf("check: dfa victim engine fork failed: %v", err))
+		}
+		eng.Cipher.SetRoundFault(n.inj)
+		st.eng = eng
+		n.dfa = &st
 	}
 	return n
 }
@@ -575,6 +820,16 @@ func (w *World) Apply(op Op) (v *Violation) {
 				return &Violation{Clause: "cache-timing",
 					Detail: fmt.Sprintf("evict+reload recovered the victim's PIN-digit access pattern %#06x", res.Recovered),
 					Step:   w.step, Op: op}
+			}
+		}
+	case OpDFAFault:
+		if w.dfa != nil {
+			w.dfaFault(op)
+		}
+	case OpDFACollect:
+		if w.dfa != nil {
+			if v := w.dfaCollect(op); v != nil {
+				return v
 			}
 		}
 	case OpOccupancy:

@@ -48,6 +48,13 @@ type Config struct {
 	// slower; used by security tests on small footprints.
 	Fidelity bool
 
+	// ReservedWays locks a constant way budget at boot (see
+	// onsoc.WayLocker.ReserveWays): session lock/unlock cycles served from
+	// the budget never change the externally observable lock state, closing
+	// the way-locking occupancy channel. Ignored on platforms that cannot
+	// lock ways.
+	ReservedWays int
+
 	// Defence ablations. Each switches off one layer of the paper's
 	// defence-in-depth so the model checker's positive controls can prove
 	// it detects the resulting leak (internal/check). Production
@@ -198,6 +205,11 @@ func New(k *kernel.Kernel, cfg Config) (*Sentry, error) {
 			return nil, err
 		}
 		sn.locker = locker
+		if cfg.ReservedWays > 0 {
+			if err := locker.ReserveWays(cfg.ReservedWays); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	keys, err := NewKeyStore(s, sn.iram)

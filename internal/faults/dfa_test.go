@@ -1,0 +1,91 @@
+package faults_test
+
+import (
+	"testing"
+
+	"sentry/internal/aes"
+	"sentry/internal/faults"
+)
+
+// The injector must satisfy the placed cipher's fault hook structurally.
+var _ aes.RoundFault = (*faults.Injector)(nil)
+
+func TestArmDFAOneShot(t *testing.T) {
+	in := faults.New(faults.None(), 1)
+	in.ArmDFA(9, 5, 0x2A, true)
+
+	if _, ok := in.FaultRound(8); ok {
+		t.Fatal("fired on the wrong round")
+	}
+	m, ok := in.FaultRound(9)
+	if !ok {
+		t.Fatal("armed fault did not fire")
+	}
+	for i, b := range m {
+		want := byte(0)
+		if i == 5 {
+			want = 0x2A
+		}
+		if b != want {
+			t.Fatalf("mask[%d] = %#x, want %#x", i, b, want)
+		}
+	}
+	// One-shot: the redundant verify pass must see a clean round 9.
+	if _, ok := in.FaultRound(9); ok {
+		t.Fatal("fault fired twice")
+	}
+	if st := in.Stats(); st.DFAInjected != 1 || st.DFAOutOfReach != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if in.Perturbed() {
+		t.Fatal("DFA fault must not set the memory-perturbation latch")
+	}
+}
+
+func TestArmDFAOutOfReachFizzles(t *testing.T) {
+	in := faults.New(faults.None(), 1)
+	in.ArmDFA(9, 0, 0xFF, false)
+	if _, ok := in.FaultRound(9); ok {
+		t.Fatal("out-of-reach fault landed")
+	}
+	// The fizzle consumed the arming.
+	if _, ok := in.FaultRound(9); ok {
+		t.Fatal("fizzled fault fired later")
+	}
+	if st := in.Stats(); st.DFAOutOfReach != 1 || st.DFAInjected != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestArmDFAZeroMaskAndDisarm(t *testing.T) {
+	in := faults.New(faults.None(), 1)
+	in.ArmDFA(9, 3, 0x00, true)
+	if _, ok := in.FaultRound(9); ok {
+		t.Fatal("zero mask armed")
+	}
+	in.ArmDFA(9, 3, 0x10, true)
+	in.DisarmDFA()
+	if _, ok := in.FaultRound(9); ok {
+		t.Fatal("disarmed fault fired")
+	}
+}
+
+func TestCloneCarriesArmedDFA(t *testing.T) {
+	in := faults.New(faults.Benign(), 7)
+	in.ArmDFA(9, 12, 0x80, true)
+	cl := in.Clone()
+
+	// The clone fires independently of the original...
+	m, ok := cl.FaultRound(9)
+	if !ok || m[12] != 0x80 {
+		t.Fatalf("clone fault = %v,%v", m, ok)
+	}
+	// ...and consuming the clone's arming leaves the original armed.
+	if _, ok := in.FaultRound(9); !ok {
+		t.Fatal("original lost its arming to the clone")
+	}
+	// Stats diverge after the split.
+	if cl.Stats().DFAInjected != 1 || in.Stats().DFAInjected != 1 {
+		t.Fatalf("stats: clone=%+v orig=%+v", cl.Stats(), in.Stats())
+	}
+}

@@ -16,7 +16,12 @@
 //   - delayed zero-queue drains: the zeroing thread is preempted and takes
 //     extra time (the drain still completes — Sentry's defence is waiting
 //     for it, however long it takes);
-//   - DRAM/iRAM bit flips at schedule-chosen times.
+//   - DRAM/iRAM bit flips at schedule-chosen times;
+//   - adversarial DFA faults: a precisely-aimed XOR mask applied to a chosen
+//     AES round state mid-encryption (ArmDFA), the glitch primitive of
+//     differential fault analysis. The mask is armed explicitly by the
+//     schedule driver rather than drawn from the RNG — DFA needs exact
+//     placement, and the checker owns the aim.
 //
 // All decisions come from one seeded RNG, so a fault sequence is exactly
 // reproducible from (profile, seed) and the same operation sequence.
@@ -150,6 +155,21 @@ type Stats struct {
 	PowerAborts  uint64
 	DrainDelays  uint64
 	BitsFlipped  uint64
+	// DFAInjected counts armed DFA masks actually applied to a round state;
+	// DFAOutOfReach counts armings that fizzled because the targeted cipher's
+	// state was physically out of the attacker's reach (iRAM placement).
+	DFAInjected   uint64
+	DFAOutOfReach uint64
+}
+
+// dfaArm is the state of one armed adversarial round fault.
+type dfaArm struct {
+	armed bool
+	round int
+	mask  [16]byte
+	// reachable records whether the glitch can land at all: a DRAM-resident
+	// round state is disturbable, the paper's iRAM placement is not.
+	reachable bool
 }
 
 // Injector delivers the faults of one Profile from one seeded RNG. It is
@@ -163,6 +183,9 @@ type Injector struct {
 	// dropped maintenance, bit flip): end-of-run integrity checks are
 	// meaningless after one.
 	perturbed bool
+
+	// dfa is the armed adversarial round fault, if any.
+	dfa dfaArm
 }
 
 // The injector must satisfy every layer's injection interface.
@@ -179,11 +202,12 @@ func New(p Profile, seed int64) *Injector {
 }
 
 // Clone returns a detached injector continuing this one's deterministic
-// fault stream: same profile, RNG at the same stream position, stats and
-// the perturbation latch carried. The clone is attached to nothing; call
-// Attach on the forked world to wire its hooks.
+// fault stream: same profile, RNG at the same stream position, stats, the
+// perturbation latch, and any armed DFA fault carried. The clone is attached
+// to nothing; call Attach on the forked world to wire its hooks.
 func (in *Injector) Clone() *Injector {
-	return &Injector{prof: in.prof, rng: in.rng.Clone(), stats: in.stats, perturbed: in.perturbed}
+	return &Injector{prof: in.prof, rng: in.rng.Clone(), stats: in.stats,
+		perturbed: in.perturbed, dfa: in.dfa}
 }
 
 // Profile returns the injector's fault profile.
@@ -299,4 +323,39 @@ func (in *Injector) FlipBits(st *mem.Store) int {
 	in.stats.BitsFlipped += uint64(n)
 	in.perturbed = true
 	return n
+}
+
+// ArmDFA aims a one-shot adversarial fault: the next time the targeted
+// cipher enters the given round, mask is XORed into state byte byteIdx
+// (FIPS column-major: row byteIdx%4, column byteIdx/4). reachable says
+// whether the glitch can physically land — the scheduler computes it from
+// the cipher's arena placement (DRAM yes, iRAM no); an unreachable arming
+// fizzles without touching the state but still disarms, exactly like a
+// glitch aimed at memory the attacker cannot disturb. A zero mask disarms.
+func (in *Injector) ArmDFA(round, byteIdx int, mask byte, reachable bool) {
+	in.dfa = dfaArm{reachable: reachable, round: round}
+	in.dfa.mask[byteIdx&15] = mask
+	in.dfa.armed = mask != 0
+}
+
+// DisarmDFA cancels any armed adversarial fault.
+func (in *Injector) DisarmDFA() { in.dfa = dfaArm{} }
+
+// FaultRound satisfies the placed cipher's fault hook (aes.RoundFault,
+// structurally — this package does not import aes). One-shot: a hit disarms
+// before returning, so a redundant recomputation sees a clean second pass.
+// DFA faults do not set the perturbation latch: they corrupt in-flight
+// cipher state, not resident memory, so end-of-run integrity checks stay
+// meaningful.
+func (in *Injector) FaultRound(round int) ([16]byte, bool) {
+	if !in.dfa.armed || round != in.dfa.round {
+		return [16]byte{}, false
+	}
+	in.dfa.armed = false
+	if !in.dfa.reachable {
+		in.stats.DFAOutOfReach++
+		return [16]byte{}, false
+	}
+	in.stats.DFAInjected++
+	return in.dfa.mask, true
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sentry/internal/aes"
 	"sentry/internal/kernel"
 )
 
@@ -78,6 +79,10 @@ const (
 	CodeCanceled      = "canceled"
 	CodeShutdown      = "shutdown"
 	CodeUnknownDevice = "unknown_device"
+	// CodeFaultDetected: a cipher countermeasure caught a computation fault
+	// and withheld the ciphertext (aes.FaultDetectedError). Transient — the
+	// device rekeys and the request is safe to retry.
+	CodeFaultDetected = "fault_detected"
 	CodeOther         = "other"
 )
 
@@ -110,6 +115,10 @@ func ErrorCode(err error) string {
 	case errors.Is(err, ErrUnknownDevice):
 		return CodeUnknownDevice
 	default:
+		var fd *aes.FaultDetectedError
+		if errors.As(err, &fd) {
+			return CodeFaultDetected
+		}
 		return CodeOther
 	}
 }
@@ -121,6 +130,15 @@ func ErrorCode(err error) string {
 func ErrorForCode(code, msg string) error {
 	if code == "" || code == CodeOK {
 		return nil
+	}
+	if code == CodeFaultDetected {
+		// Reconstruct a typed fault-detection error (the countermeasure and
+		// block index stay in the message): errors.As matches it, so the
+		// classifier sees it as transient on both transports.
+		if msg == "" {
+			msg = code
+		}
+		return fmt.Errorf("fleet: remote: %s: %w", msg, &aes.FaultDetectedError{})
 	}
 	sentinel := map[string]error{
 		CodeBadPIN:        kernel.ErrBadPIN,

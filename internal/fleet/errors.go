@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"sentry/internal/aes"
 	"sentry/internal/kernel"
 	"sentry/internal/onsoc"
 )
@@ -58,6 +59,14 @@ func Transient(err error) bool {
 		errors.Is(err, ErrDeviceRestarted),
 		errors.Is(err, onsoc.ErrIRAMExhausted),
 		errors.Is(err, kernel.ErrNoMemory):
+		return true
+	}
+	// A countermeasure-detected computation fault is fail-safe by design:
+	// the ciphertext was withheld and the engine rekeys, so the right move
+	// is to retry the request — never to count it as a confidentiality
+	// violation or quarantine the device.
+	var fd *aes.FaultDetectedError
+	if errors.As(err, &fd) {
 		return true
 	}
 	return false

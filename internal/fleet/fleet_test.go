@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"sentry/internal/aes"
 	"sentry/internal/kernel"
 	"sentry/internal/onsoc"
 )
@@ -65,6 +66,10 @@ func TestTransientClassifier(t *testing.T) {
 		{wrap(ErrDeviceRestarted), true},
 		{onsoc.ErrIRAMExhausted, true},
 		{kernel.ErrNoMemory, true},
+		// A countermeasure-detected fault abort is fail-safe: retryable,
+		// never a confidentiality violation.
+		{&aes.FaultDetectedError{Countermeasure: aes.CMRedundant, Block: 3}, true},
+		{wrap(&aes.FaultDetectedError{Countermeasure: aes.CMTag}), true},
 	}
 	for _, c := range cases {
 		if got := Transient(c.err); got != c.transient {
@@ -185,6 +190,76 @@ func TestDoRetriesTransientFailures(t *testing.T) {
 	}
 	if n := f.Metrics().CounterValue(MetricOpsOK); n != 1 {
 		t.Fatalf("ops_ok = %d, want 1", n)
+	}
+}
+
+func TestDetectedFaultAbortRetriedOnFakeClock(t *testing.T) {
+	// A glitched encryption caught by a countermeasure surfaces as a
+	// transient error: the actor retries through the backoff path (driven
+	// here entirely by a FakeClock — no wall sleeps) and the rekeyed device
+	// serves the retry.
+	clk := NewFakeClock()
+	bo := Backoff{Base: time.Millisecond, Cap: time.Millisecond, Jitter: 0}
+	var calls atomic.Int64
+	f := New(Options{
+		Devices: 1, Seed: 5, MaxAttempts: 4, Backoff: &bo, Clock: clk,
+		testExec: func(a *actor, op Op) (bool, Result, error) {
+			if calls.Add(1) < 3 {
+				return true, Result{}, fmt.Errorf("crypt: %w",
+					&aes.FaultDetectedError{Countermeasure: aes.CMRedundant, Block: 1})
+			}
+			return true, Result{State: "rekeyed-ok"}, nil
+		},
+	})
+	defer f.Stop()
+
+	type out struct {
+		res Result
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		res, err := f.Do(context.Background(), 0, Op{Code: OpTouch})
+		done <- out{res, err}
+	}()
+	var got out
+	for {
+		if clk.Pending() > 0 {
+			clk.Advance(time.Millisecond)
+		}
+		select {
+		case got = <-done:
+		default:
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		break
+	}
+	if got.err != nil {
+		t.Fatalf("Do = %v, want success after fault-abort retries", got.err)
+	}
+	if got.res.State != "rekeyed-ok" || got.res.Attempts != 3 {
+		t.Fatalf("result = %+v, want 3 attempts", got.res)
+	}
+	if n := f.Metrics().CounterValue(MetricRetries); n != 2 {
+		t.Fatalf("retries = %d, want 2", n)
+	}
+}
+
+func TestFaultDetectedCodeRoundTrip(t *testing.T) {
+	// Transience must survive the HTTP wire code for detected faults too.
+	err := fmt.Errorf("device: %w", &aes.FaultDetectedError{Countermeasure: aes.CMTag, Block: 2})
+	code := ErrorCode(err)
+	if code != CodeFaultDetected {
+		t.Fatalf("ErrorCode = %q, want %q", code, CodeFaultDetected)
+	}
+	back := ErrorForCode(code, err.Error())
+	var fd *aes.FaultDetectedError
+	if !errors.As(back, &fd) {
+		t.Fatalf("round-tripped error %v lost its type", back)
+	}
+	if !Transient(back) {
+		t.Fatal("round-tripped fault abort no longer transient")
 	}
 }
 

@@ -145,6 +145,10 @@ func (a *AES) Adopt(s2 *soc.SoC, key []byte, alloc *IRAMAlloc) (*AES, error) {
 	return n, nil
 }
 
+// SetCountermeasure selects the underlying cipher's fault-detection
+// countermeasure (see aes.Countermeasure). Adopt carries it to clones.
+func (a *AES) SetCountermeasure(cm aes.Countermeasure) { a.Cipher.SetCountermeasure(cm) }
+
 // Placement returns where this engine's state lives.
 func (a *AES) Placement() Placement { return a.place }
 

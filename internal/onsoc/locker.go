@@ -24,6 +24,15 @@ type WayLocker struct {
 	aliasBase  mem.PhysAddr // way-aligned DRAM base for way 0's alias region
 	lockedMask uint32
 	allocOff   map[int]uint64 // per-way bump-allocation offset
+
+	// reserved is the constant boot-time way budget (the occupancy-channel
+	// mitigation): ways in this mask are locked once at boot and never
+	// returned to the allocation mask, so session lock/unlock cycles served
+	// from the budget are invisible to a cache-occupancy probe. reservedFree
+	// is the subset currently not handed to a session — still locked, still
+	// excluded from allocation, content erased to 0xFF.
+	reserved     uint32
+	reservedFree uint32
 }
 
 // NewWayLocker reserves alias regions starting at aliasBase (which must be
@@ -44,6 +53,7 @@ func NewWayLocker(s *soc.SoC, aliasBase mem.PhysAddr) (*WayLocker, error) {
 // the warmed alias lines).
 func (w *WayLocker) Clone(s2 *soc.SoC) *WayLocker {
 	n := &WayLocker{soc: s2, aliasBase: w.aliasBase, lockedMask: w.lockedMask,
+		reserved: w.reserved, reservedFree: w.reservedFree,
 		allocOff: make(map[int]uint64, len(w.allocOff))}
 	for way, off := range w.allocOff {
 		n.allocOff[way] = off
@@ -82,6 +92,25 @@ func (w *WayLocker) WayBase(i int) mem.PhysAddr {
 //  3. warm the way by writing 0xFF over its whole alias region
 //  4. re-enable the remaining unlocked ways, excluding the target
 func (w *WayLocker) LockWay() (way int, base mem.PhysAddr, err error) {
+	// Serve from the reserved budget first: the way is already locked and
+	// its lines already resident, so handing it out changes neither the
+	// lockdown register nor the allocation mask — nothing an occupancy probe
+	// can see. Content is 0xFF from the reserve/release erase.
+	if w.reservedFree != 0 {
+		for i := 0; i < w.soc.Prof.Cache.Ways; i++ {
+			if w.reservedFree&(1<<i) != 0 {
+				w.reservedFree &^= 1 << i
+				w.allocOff[i] = 0
+				return i, w.WayBase(i), nil
+			}
+		}
+	}
+	return w.lockFreshWay()
+}
+
+// lockFreshWay locks a way that was never locked before, running the full
+// four-step sequence (and therefore touching the allocation mask).
+func (w *WayLocker) lockFreshWay() (way int, base mem.PhysAddr, err error) {
 	l2 := w.soc.L2
 	way = -1
 	for i := 0; i < w.soc.Prof.Cache.Ways; i++ {
@@ -129,15 +158,18 @@ func (w *WayLocker) UnlockWay(way int) error {
 	if w.lockedMask&(1<<way) == 0 {
 		return fmt.Errorf("onsoc: way %d is not locked", way)
 	}
+	if w.reserved&(1<<way) != 0 {
+		// Reserved ways return to the budget instead of unlocking: erase the
+		// content (writes hit the resident locked lines) but keep the way
+		// locked and excluded from allocation, so the release is as invisible
+		// to an occupancy probe as the lock was.
+		w.eraseWay(way)
+		w.reservedFree |= 1 << way
+		delete(w.allocOff, way)
+		return nil
+	}
 	return w.soc.TZ.WithSecure(func() error {
-		base := w.WayBase(way)
-		ff := make([]byte, 1024)
-		for i := range ff {
-			ff[i] = 0xFF
-		}
-		for off := 0; off < w.soc.Prof.Cache.WaySize; off += len(ff) {
-			w.soc.CPU.WritePhys(base+mem.PhysAddr(off), ff)
-		}
+		w.eraseWay(way)
 		// Drop the erased lines without cleaning them: nothing of value may
 		// transit to DRAM, not even the 0xFF fill.
 		w.soc.L2.InvalidateWays(1 << way)
@@ -147,6 +179,41 @@ func (w *WayLocker) UnlockWay(way int) error {
 	})
 }
 
+// eraseWay overwrites a locked way's alias region with 0xFF.
+func (w *WayLocker) eraseWay(way int) {
+	base := w.WayBase(way)
+	ff := make([]byte, 1024)
+	for i := range ff {
+		ff[i] = 0xFF
+	}
+	for off := 0; off < w.soc.Prof.Cache.WaySize; off += len(ff) {
+		w.soc.CPU.WritePhys(base+mem.PhysAddr(off), ff)
+	}
+}
+
+// ReserveWays locks n ways into the constant boot-time budget. Subsequent
+// LockWay/UnlockWay cycles are served from the budget while it lasts,
+// keeping the externally observable lock state constant — the mitigation
+// for the way-locking occupancy channel (a probe otherwise learns session
+// liveness from lockedWays changing). Call once at boot, before any
+// attacker code runs; the budget itself is of course visible, but it never
+// changes.
+func (w *WayLocker) ReserveWays(n int) error {
+	for i := 0; i < n; i++ {
+		way, _, err := w.lockFreshWay()
+		if err != nil {
+			return err
+		}
+		w.reserved |= 1 << way
+		w.reservedFree |= 1 << way
+		delete(w.allocOff, way)
+	}
+	return nil
+}
+
+// ReservedMask returns the constant boot-time way budget.
+func (w *WayLocker) ReservedMask() uint32 { return w.reserved }
+
 // Alloc bump-allocates n bytes of on-SoC memory from an already locked way,
 // locking a fresh way when the current ones are exhausted — the paper's
 // "once the entire way has been allocated, we lock an additional way".
@@ -154,6 +221,12 @@ func (w *WayLocker) Alloc(n uint64) (mem.PhysAddr, error) {
 	n = (n + 3) &^ 3
 	for way := 0; way < w.soc.Prof.Cache.Ways; way++ {
 		if w.lockedMask&(1<<way) == 0 {
+			continue
+		}
+		// Reserved-but-unclaimed ways are locked yet must not be allocated
+		// from: they belong to whichever session claims them via LockWay
+		// (and allocOff would silently read as 0 for them).
+		if w.reservedFree&(1<<way) != 0 {
 			continue
 		}
 		off := w.allocOff[way]

@@ -1,0 +1,151 @@
+package onsoc
+
+import (
+	"bytes"
+	"testing"
+
+	"sentry/internal/mem"
+	"sentry/internal/soc"
+)
+
+func TestReserveWaysConstantLockState(t *testing.T) {
+	s := soc.Tegra3(1)
+	w, err := NewWayLocker(s, aliasBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.ReserveWays(2); err != nil {
+		t.Fatal(err)
+	}
+	bootMask := w.LockedMask()
+	if bootMask == 0 || w.ReservedMask() != bootMask {
+		t.Fatalf("boot masks: locked=%#x reserved=%#x", bootMask, w.ReservedMask())
+	}
+
+	// A session lock/unlock cycle served from the budget must not move the
+	// externally observable lock state — that is the occupancy mitigation.
+	way, base, err := w.LockWay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.LockedMask() != bootMask {
+		t.Fatalf("locked mask moved on budget lock: %#x -> %#x", bootMask, w.LockedMask())
+	}
+	if w.reservedFree&(1<<way) != 0 {
+		t.Fatal("claimed way still marked free in the budget")
+	}
+
+	// The claimed region behaves like any locked way: resident, not in DRAM.
+	secret := []byte("RESERVED-WAY-SECRET-0123456789AB")
+	s.CPU.WritePhys(base+0x40, secret)
+	junk := make([]byte, 4096)
+	for i := 0; i < 64; i++ {
+		s.CPU.ReadPhys(soc.DRAMBase+mem.PhysAddr(i*1<<20), junk)
+	}
+	got := make([]byte, len(secret))
+	s.CPU.ReadPhys(base+0x40, got)
+	if !bytes.Equal(got, secret) {
+		t.Fatal("reserved-way data lost under cache pressure")
+	}
+	leak := make([]byte, len(secret))
+	s.DRAM.Read(base+0x40, leak)
+	if bytes.Contains(leak, []byte("SECRET")) {
+		t.Fatal("reserved-way data leaked to DRAM")
+	}
+
+	// Release: the way returns to the budget erased, still locked.
+	if err := w.UnlockWay(way); err != nil {
+		t.Fatal(err)
+	}
+	if w.LockedMask() != bootMask {
+		t.Fatalf("locked mask moved on budget release: %#x", w.LockedMask())
+	}
+	if w.reservedFree&(1<<way) == 0 {
+		t.Fatal("released way did not return to the budget")
+	}
+	s.CPU.ReadPhys(base+0x40, got)
+	for _, b := range got {
+		if b != 0xFF {
+			t.Fatal("released reserved way not erased")
+		}
+	}
+
+	// The next claim gets the budget way back; still no mask movement.
+	way2, _, err := w.LockWay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if way2 != way || w.LockedMask() != bootMask {
+		t.Fatalf("re-claim: way %d mask %#x", way2, w.LockedMask())
+	}
+}
+
+func TestReserveBudgetExhaustionFallsBackToFreshLock(t *testing.T) {
+	s := soc.Tegra3(1)
+	w, _ := NewWayLocker(s, aliasBase)
+	if err := w.ReserveWays(1); err != nil {
+		t.Fatal(err)
+	}
+	bootMask := w.LockedMask()
+	if _, _, err := w.LockWay(); err != nil { // consumes the budget
+		t.Fatal(err)
+	}
+	// Beyond the budget the locker degrades to the unmitigated behaviour:
+	// a fresh lock that does move the mask (the positive-control config).
+	if _, _, err := w.LockWay(); err != nil {
+		t.Fatal(err)
+	}
+	if w.LockedMask() == bootMask {
+		t.Fatal("fresh lock beyond the budget did not extend the mask")
+	}
+}
+
+func TestAllocSkipsFreeReservedWays(t *testing.T) {
+	s := soc.Tegra3(1)
+	w, _ := NewWayLocker(s, aliasBase)
+	if err := w.ReserveWays(1); err != nil {
+		t.Fatal(err)
+	}
+	// Alloc must not bump-allocate out of a free budget way behind the
+	// budget's back; it claims the way through LockWay (clearing the free
+	// bit) so a later session cannot be handed overlapping memory.
+	base1, err := w.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.reservedFree != 0 {
+		t.Fatal("Alloc drew from a budget way without claiming it")
+	}
+	base2, err := w.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base2 != base1+64 {
+		t.Fatalf("second alloc at %#x, want bump after %#x", uint64(base2), uint64(base1))
+	}
+}
+
+func TestCloneCarriesReservedBudget(t *testing.T) {
+	s := soc.Tegra3(1)
+	w, _ := NewWayLocker(s, aliasBase)
+	if err := w.ReserveWays(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.LockWay(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := s.Fork()
+	n := w.Clone(s2)
+	if n.ReservedMask() != w.ReservedMask() || n.reservedFree != w.reservedFree {
+		t.Fatalf("clone masks: reserved %#x/%#x free %#x/%#x",
+			n.ReservedMask(), w.ReservedMask(), n.reservedFree, w.reservedFree)
+	}
+	// The clone's next claim comes from its budget without mask movement.
+	before := n.LockedMask()
+	if _, _, err := n.LockWay(); err != nil {
+		t.Fatal(err)
+	}
+	if n.LockedMask() != before {
+		t.Fatal("clone's budget claim moved the mask")
+	}
+}
