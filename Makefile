@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check attacks dfa explore explore-smoke explore-guard explore-record soak serve-soak throughput-guard throughput-record fuzz-smoke ci
+.PHONY: all build vet test race bench bench-guard bench-wallclock wallclock-guard snapshot-guard check attacks dfa explore explore-smoke explore-guard explore-record soak serve-soak throughput-guard throughput-record scale scale-record fuzz-smoke ci
 
 all: ci
 
@@ -132,6 +132,20 @@ throughput-guard:
 throughput-record:
 	sh scripts/throughput_guard.sh record
 
+# Fleet capacity smoke + memory guard: delta-parked and mid-reshard soaks
+# must report byte-identically to the plain soak, the delta encoding must
+# hold its >=5x reduction over full-snapshot parking, two runs must print
+# identical "scale:" lines, and the measured bytes per parked device must
+# stay within 25% of the keyed "scale" record in BENCH_wallclock.json.
+scale:
+	sh scripts/scale_guard.sh smoke
+	sh scripts/scale_guard.sh guard
+
+# Re-record the parked-footprint baseline after an intentional change to
+# the snapshot or delta encoding.
+scale-record:
+	sh scripts/scale_guard.sh record
+
 # Short native-fuzzing burst over the PIN state machine, the cold-boot dump
 # scanners, and the DFA pair classifier.
 fuzz-smoke:
@@ -140,4 +154,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEvictionSet -fuzztime 30s ./internal/attack/
 	$(GO) test -run '^$$' -fuzz FuzzDFAFaultMask -fuzztime 30s ./internal/attack/
 
-ci: vet build race bench-guard wallclock-guard snapshot-guard check attacks dfa explore-smoke explore-guard soak serve-soak throughput-guard
+ci: vet build race bench-guard wallclock-guard snapshot-guard check attacks dfa explore-smoke explore-guard soak serve-soak throughput-guard scale

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sentry/internal/fleet"
+	"sentry/internal/wallclock"
+)
+
+// Fixed geometry for the parked-footprint measurement: a capped fleet where
+// most touched devices end up parked, with enough per-device divergence
+// (touch + disk write) that the delta encoding has real work to do. The
+// resulting byte counts are deterministic for a fixed seed, so `make scale`
+// can diff two runs.
+const (
+	scaleLogical = 4096
+	scaleTouched = 192
+	scaleCap     = 32
+)
+
+// runFleetScale is the capacity-claim smoke behind `make scale`: it proves
+// the two memory/topology mechanisms of the 10^6-device fleet are
+// behaviorally invisible (delta-parked and reshard-interrupted soaks report
+// byte-identically to the plain soak) and measures what they buy (resting
+// bytes per parked device, delta vs full). Every "scale:" line is
+// deterministic for a fixed seed. The measured delta footprint is recorded
+// to / guarded against the "scale" record of BENCH_wallclock.json, and the
+// >=5x reduction floor is enforced on every run.
+func runFleetScale(devices, ops int, seed int64, wallOut, wallGuard string) bool {
+	start := time.Now()
+	cfg := fleet.SoakConfig{
+		Devices: devices, OpsPerDevice: ops, Seed: seed, Faults: "benign",
+		ResidentCap: nonZero(devices/4, 1), Shards: 4,
+	}
+
+	plain, ok := soakJSON(cfg, false, false)
+	if !ok {
+		return false
+	}
+	full, ok := soakJSON(cfg, true, false)
+	if !ok {
+		return false
+	}
+	if string(plain) != string(full) {
+		fmt.Fprintln(os.Stderr, "sentrybench: delta-park and full-park soak reports diverge")
+		return false
+	}
+	fmt.Printf("scale: delta-park == full-park soak report (%d devices, %d ops each)\n",
+		cfg.Devices, cfg.OpsPerDevice)
+
+	resharded, ok := soakJSON(cfg, false, true)
+	if !ok {
+		return false
+	}
+	if string(plain) != string(resharded) {
+		fmt.Fprintln(os.Stderr, "sentrybench: resharding mid-soak changed the report")
+		return false
+	}
+	fmt.Println("scale: reshard 4->8->16 mid-soak report byte-identical")
+
+	deltaPer, err := parkedBytesPerDevice(seed, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentrybench:", err)
+		return false
+	}
+	fullPer, err := parkedBytesPerDevice(seed, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentrybench:", err)
+		return false
+	}
+	fmt.Printf("scale: parked footprint delta=%d B/device full=%d B/device (%.1fx reduction)\n",
+		deltaPer, fullPer, float64(fullPer)/float64(deltaPer))
+	if fullPer < 5*deltaPer {
+		fmt.Fprintf(os.Stderr, "sentrybench: delta parking reduction below the 5x floor (full %d, delta %d B/device)\n",
+			fullPer, deltaPer)
+		return false
+	}
+
+	run := &wallclock.Run{
+		Parallelism: 1, TotalSec: time.Since(start).Seconds(),
+		BytesPerDevice: deltaPer, BytesPerDeviceFull: fullPer,
+	}
+	if wallOut != "" {
+		recordWallclock(wallOut, "scale", seed, run)
+	}
+	if wallGuard != "" {
+		msg, err := wallclock.GuardBytes(wallGuard, "scale", run)
+		if err != nil {
+			fatalf("wallclock-guard: %v", err)
+		}
+		fmt.Println("wallclock-guard:", msg)
+	}
+	return true
+}
+
+// soakJSON runs the client-observed soak (fleet.SoakOn) against a fleet of
+// fixed geometry and returns the indented JSON report. The three variants —
+// delta parking (the default), full-snapshot parking, and delta parking
+// with two live reshards (4->8 once real traffic flows, then ->16) racing
+// the soak — must all report byte-identically; park encoding and topology
+// are memory/placement decisions, never behavioral ones. The resident cap
+// is fixed at 16 across variants: well under the device count (parks and
+// hydrations happen mid-soak) while still admitting the 16-shard target.
+func soakJSON(cfg fleet.SoakConfig, noDelta, reshard bool) ([]byte, bool) {
+	opts := []fleet.Option{
+		fleet.WithSeed(cfg.Seed),
+		fleet.WithShards(cfg.Shards),
+		fleet.WithResidentCap(16),
+	}
+	if noDelta {
+		opts = append(opts, fleet.WithNoDelta())
+	}
+	f := fleet.Open(cfg.Devices, opts...)
+	done := make(chan error, 1)
+	if reshard {
+		go func() {
+			for _, n := range []int{8, 16} {
+				for f.Metrics().CounterValue(fleet.MetricExecs) < uint64(n*10) {
+					time.Sleep(200 * time.Microsecond)
+				}
+				if err := f.Reshard(n); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	} else {
+		done <- nil
+	}
+	rep, err := fleet.SoakOn(f, cfg)
+	if rerr := <-done; err == nil {
+		err = rerr
+	}
+	f.Stop()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentrybench:", err)
+		return nil, false
+	}
+	if v := f.SweepConfidentiality(); len(v) != 0 {
+		fmt.Fprintf(os.Stderr, "sentrybench: scale soak sweep violations: %v\n", v)
+		return nil, false
+	}
+	if !rep.Passed() {
+		fmt.Fprintf(os.Stderr, "sentrybench: scale soak FAILED: %d problems, %d violations\n",
+			len(rep.Problems), len(rep.Violations))
+		return nil, false
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentrybench:", err)
+		return nil, false
+	}
+	return out, true
+}
+
+// parkedBytesPerDevice opens the fixed measurement fleet, touches devices
+// spread across the ID space until well past the resident cap, waits for
+// every eviction's park to land, and reads the parked-bytes gauge.
+func parkedBytesPerDevice(seed int64, noDelta bool) (int64, error) {
+	opts := []fleet.Option{
+		fleet.WithSeed(seed), fleet.WithShards(4), fleet.WithResidentCap(scaleCap),
+	}
+	if noDelta {
+		opts = append(opts, fleet.WithNoDelta())
+	}
+	f := fleet.Open(scaleLogical, opts...)
+	defer f.Stop()
+	ctx := context.Background()
+	for i := 0; i < scaleTouched; i++ {
+		id := fleet.DeviceID(i * (scaleLogical / scaleTouched))
+		if _, err := f.Do(ctx, id, fleet.Op{Code: fleet.OpTouch, Arg: uint64(i)}); err != nil {
+			return 0, fmt.Errorf("touch %d: %w", id, err)
+		}
+		if _, err := f.Do(ctx, id, fleet.Op{Code: fleet.OpDiskWrite, Arg: uint64(i)}); err != nil {
+			return 0, fmt.Errorf("disk write %d: %w", id, err)
+		}
+	}
+	// Evictions free the seat before the victim's park lands; the byte total
+	// is only complete (and deterministic) once every park has.
+	const wantParks = scaleTouched - scaleCap
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Metrics().CounterValue(fleet.MetricParks) < wantParks {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("timed out waiting for %d parks", wantParks)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return f.Metrics().GaugeValue(fleet.MetricParkedBytes) / wantParks, nil
+}
+
+func nonZero(n, fallback int) int {
+	if n > 0 {
+		return n
+	}
+	return fallback
+}

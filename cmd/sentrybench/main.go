@@ -21,6 +21,7 @@
 //	sentrybench -explore -explore-corpus EXPLORE_corpus.txt        # seed the sweep from a corpus
 //	sentrybench -explore -explore-corpus-out EXPLORE_corpus.txt    # bank interesting prefixes
 //	sentrybench -fleet-soak -devices 32 -ops 300 -faults benign  # fleet chaos soak (JSON report)
+//	sentrybench -fleet-scale -devices 24 -ops 40   # capacity smoke: delta-park + reshard equivalence, parked-bytes measurement
 //	sentrybench -replay "platform=tegra3 defences=no-lock-flush faults=none seed=4 ops=pressure:9360834,lock:12083332"
 package main
 
@@ -86,9 +87,10 @@ func main() {
 		platforms  = flag.String("platforms", "tegra3,nexus4", "comma-separated platforms for -check")
 		replayLine = flag.String("replay", "", "replay a printed repro line and exit")
 
-		fleetSoak = flag.Bool("fleet-soak", false, "run the fleet service-layer chaos soak and emit a JSON report")
-		devices   = flag.Int("devices", 32, "fleet size for -fleet-soak")
-		soakOps   = flag.Int("ops", 300, "ops per device for -fleet-soak")
+		fleetSoak  = flag.Bool("fleet-soak", false, "run the fleet service-layer chaos soak and emit a JSON report")
+		fleetScale = flag.Bool("fleet-scale", false, "run the fleet capacity smoke: delta-park and live-reshard equivalence plus the parked-bytes-per-device measurement")
+		devices    = flag.Int("devices", 32, "fleet size for -fleet-soak / -fleet-scale")
+		soakOps    = flag.Int("ops", 300, "ops per device for -fleet-soak / -fleet-scale")
 
 		snapshotMode = flag.String("snapshot", "on", "checkpoint/fork engine: on (default) or off; results are identical, only wall-clock differs")
 	)
@@ -108,6 +110,12 @@ func main() {
 
 	if *fleetSoak {
 		if !runFleetSoak(*devices, *soakOps, *seed, *faultsProf, !snapshotsOn) {
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleetScale {
+		if !runFleetScale(*devices, *soakOps, *seed, *wallOut, *wallGuard) {
 			os.Exit(1)
 		}
 		return

@@ -48,6 +48,14 @@ func NewRAMDisk(s *soc.SoC, size uint64) *RAMDisk {
 // Sectors returns the capacity in sectors.
 func (d *RAMDisk) Sectors() uint64 { return d.sectors }
 
+// ResidentBytes reports the bytes of sector data the backing store has
+// materialised (written pages only) — the disk's share of a parked device's
+// resting footprint. The store is copy-on-write like any mem.Store, so
+// forks share these pages until rewritten.
+func (d *RAMDisk) ResidentBytes() int64 {
+	return int64(d.store.ResidentPages()) * mem.PageSize
+}
+
 func (d *RAMDisk) check(n uint64, buf []byte) error {
 	if n >= d.sectors {
 		return fmt.Errorf("blockdev: sector %d beyond device end %d", n, d.sectors)

@@ -160,6 +160,15 @@ type L2 struct {
 	// faults is nil unless a fault injector is attached; only the
 	// maintenance entry points consult it, never the access fast path.
 	faults FaultInjector
+
+	// frozen marks a cache that FreezeShared pinned read-only: every valid
+	// line's buffer is already flagged shared, so Clone skips its parent-side
+	// mutation pass and concurrent Clone/Deflate against it are safe.
+	frozen bool
+	// defl, when non-nil, means the cache has been re-encoded as a delta
+	// against a frozen base (Deflate): the dense arrays are released and the
+	// only legal operations are Clone (which inflates) and Release.
+	defl *l2Delta
 }
 
 // FaultInjector perturbs cache-maintenance operations. DropMaint is
@@ -835,14 +844,21 @@ func (c *L2) Snoop(addr mem.PhysAddr, dst []byte) bool {
 // cloned world re-runs SetObs/SetFaults against its own registry and
 // injector.
 func (c *L2) Clone(clock *sim.Clock, meter *sim.Meter, b *bus.Bus) *L2 {
+	if c.defl != nil {
+		return c.inflate(clock, meter, b)
+	}
 	// Mark every valid line's buffer shared in the parent first, so the slab
-	// memmove below propagates the flag to the clone in the same pass.
-	for s := 0; s < c.sets; s++ {
-		vm := c.validMask[s]
-		for vm != 0 {
-			w := bits.TrailingZeros32(vm)
-			vm &= vm - 1
-			c.lines[s][w].shared = true
+	// memmove below propagates the flag to the clone in the same pass. A
+	// frozen cache had this done once by FreezeShared and must not be written
+	// again (clones may be taken from it concurrently).
+	if !c.frozen {
+		for s := 0; s < c.sets; s++ {
+			vm := c.validMask[s]
+			for vm != 0 {
+				w := bits.TrailingZeros32(vm)
+				vm &= vm - 1
+				c.lines[s][w].shared = true
+			}
 		}
 	}
 	n := newL2(c.cfg, clock, meter, c.costs, c.energy, b, false)
@@ -867,3 +883,180 @@ func (c *L2) Clone(clock *sim.Clock, meter *sim.Meter, b *bus.Bus) *L2 {
 
 // ValidLines returns the number of valid lines currently held in way w.
 func (c *L2) ValidLines(w int) int { return c.validCount[w] }
+
+// FreezeShared pins the cache read-only for cloning: every valid line's
+// buffer is marked shared once, so Clone and Deflate against this cache
+// never write to it again and may run concurrently. The caller promises the
+// cache will never be accessed or maintained after the freeze — it exists
+// to serve as the immutable base of a fork/delta population (the fleet's
+// shared boot world). Idempotent.
+func (c *L2) FreezeShared() {
+	if c.frozen {
+		return
+	}
+	for s := 0; s < c.sets; s++ {
+		vm := c.validMask[s]
+		for vm != 0 {
+			w := bits.TrailingZeros32(vm)
+			vm &= vm - 1
+			c.lines[s][w].shared = true
+		}
+	}
+	c.frozen = true
+}
+
+// l2Delta is a cache re-encoded against a frozen base: the sparse set of
+// line positions whose (tag, flags, contents) differ from the base, packed
+// line data for the valid ones, sparse victim-pointer diffs, and the scalar
+// registers. ~40 bytes per diverged line instead of ~2 MB of dense arrays.
+type l2Delta struct {
+	base       *L2
+	recs       []deltaLine
+	data       []byte // packed line contents; valid recs consume LineSize each, in order
+	victimSets []int32
+	victimVals []uint8
+	allocMask  uint32
+	stats      Stats
+	master     uint8
+	indexKey   uint64
+	randomized bool
+}
+
+// deltaLine is one diverged line position. valid=false records a line the
+// base holds but this cache does not (inflate must invalidate it).
+type deltaLine struct {
+	set    int32
+	way    uint8
+	valid  bool
+	dirty  bool
+	holder uint8
+	tag    uint64
+}
+
+// Deflate re-encodes the cache as a delta against base, releasing its dense
+// metadata arrays to the clone pool. base must be frozen (FreezeShared) and
+// share this cache's geometry. After Deflate the only legal operations are
+// Clone — which reconstructs a dense, fully independent cache from
+// base+delta — and Release. It returns an estimate of the bytes the delta
+// retains, the cache's marginal cost over the shared base.
+func (c *L2) Deflate(base *L2) int64 {
+	if c.defl != nil {
+		panic("cache: Deflate on an already-deflated cache")
+	}
+	if !base.frozen {
+		panic("cache: Deflate against an unfrozen base (FreezeShared it first)")
+	}
+	if c.cfg.Ways != base.cfg.Ways || c.cfg.WaySize != base.cfg.WaySize || c.cfg.LineSize != base.cfg.LineSize {
+		panic("cache: Deflate geometry mismatch")
+	}
+	d := &l2Delta{
+		base:      base,
+		allocMask: c.allocMask, stats: c.stats, master: c.master,
+		indexKey: c.indexKey, randomized: c.cfg.RandomizedIndex,
+	}
+	ls := c.cfg.LineSize
+	for s := 0; s < c.sets; s++ {
+		cm, bm := c.validMask[s], base.validMask[s]
+		for un := cm | bm; un != 0; {
+			w := bits.TrailingZeros32(un)
+			un &= un - 1
+			bit := uint32(1) << w
+			switch {
+			case cm&bit != 0:
+				ln := &c.lines[s][w]
+				if bm&bit != 0 {
+					bl := &base.lines[s][w]
+					if ln.tag == bl.tag && ln.dirty == bl.dirty && ln.holder == bl.holder {
+						cd, bd := c.lineData(ln), base.lineData(bl)
+						// Same backing buffer (still COW-shared since the
+						// fork), or equal bytes: either way, not a diff.
+						if &cd[0] == &bd[0] || string(cd) == string(bd) {
+							continue
+						}
+					}
+				}
+				d.recs = append(d.recs, deltaLine{
+					set: int32(s), way: uint8(w), valid: true,
+					dirty: ln.dirty, holder: ln.holder, tag: ln.tag,
+				})
+				d.data = append(d.data, c.lineData(ln)[:ls]...)
+			default: // base holds a line here, this cache does not
+				d.recs = append(d.recs, deltaLine{set: int32(s), way: uint8(w)})
+			}
+		}
+		if c.victim[s] != base.victim[s] {
+			d.victimSets = append(d.victimSets, int32(s))
+			d.victimVals = append(d.victimVals, uint8(c.victim[s]))
+		}
+	}
+	c.defl = d
+	c.Release()
+	c.bufs, c.freeBufs, c.dataArena = nil, nil, nil
+	return c.FootprintBytes()
+}
+
+// inflate reconstructs a dense cache from base+delta. The base is frozen, so
+// cloning it mutates nothing; delta lines are applied with private buffers.
+func (c *L2) inflate(clock *sim.Clock, meter *sim.Meter, b *bus.Bus) *L2 {
+	d := c.defl
+	n := d.base.Clone(clock, meter, b)
+	data := d.data
+	ls := n.cfg.LineSize
+	for _, rec := range d.recs {
+		s, w := int(rec.set), int(rec.way)
+		ln := &n.lines[s][w]
+		bit := uint32(1) << w
+		wasValid := n.validMask[s]&bit != 0
+		if !rec.valid {
+			ln.valid, ln.dirty, ln.holder = false, false, 0
+			n.dropBuf(ln)
+			if wasValid {
+				n.validMask[s] &^= bit
+				n.validCount[w]--
+			}
+			continue
+		}
+		if ln.buf != 0 {
+			n.dropBuf(ln)
+		}
+		copy(n.newBuf(ln), data[:ls])
+		data = data[ls:]
+		ln.valid, ln.dirty, ln.holder, ln.tag = true, rec.dirty, rec.holder, rec.tag
+		n.tags[s*n.cfg.Ways+w] = rec.tag
+		if !wasValid {
+			n.validMask[s] |= bit
+			n.validCount[w]++
+		}
+	}
+	for i, s := range d.victimSets {
+		n.victim[s] = int(d.victimVals[i])
+	}
+	n.allocMask = d.allocMask
+	n.stats = d.stats
+	n.master = d.master
+	n.indexKey = d.indexKey
+	n.cfg.RandomizedIndex = d.randomized
+	return n
+}
+
+// FootprintBytes estimates the private bytes this cache pins beyond any
+// shared base: for a dense cache, its metadata arrays plus line buffers; for
+// a deflated one, the delta records and packed data. Comparative gauge for
+// the fleet's parked-bytes accounting, not an exact allocator measurement.
+func (c *L2) FootprintBytes() int64 {
+	if d := c.defl; d != nil {
+		const recBytes = 16 // deltaLine struct, padded
+		return int64(len(d.recs))*recBytes + int64(len(d.data)) +
+			int64(len(d.victimSets))*5 + 64
+	}
+	nline := int64(c.sets * c.cfg.Ways)
+	meta := nline*16 /* line */ + nline*8 /* tags */ +
+		int64(c.sets)*(4 /* validMask */ +8 /* victim */) + int64(c.cfg.Ways)*8
+	var bufBytes int64
+	for _, b := range c.bufs {
+		if b != nil {
+			bufBytes += int64(len(b))
+		}
+	}
+	return meta + bufBytes
+}

@@ -544,12 +544,24 @@ func (e *explorer) park(n *node, w *check.World, children int) {
 	}
 	e.lruMu.Unlock()
 	for _, vn := range victims {
+		// The evicted snapshot exclusively owns its world (forks taken from
+		// it are independent), so hand it off and recycle its fork-private
+		// allocations into the clone pool instead of dropping them for the
+		// collector. Children that still hold references replay from an
+		// ancestor, exactly as before.
+		var hw *check.World
 		vn.mu.Lock()
 		if vn.snap != nil {
+			if w, ok := vn.snap.HandOff(); ok {
+				hw = w
+			}
 			vn.snap = nil
 			e.evictions.Add(1)
 		}
 		vn.mu.Unlock()
+		if hw != nil {
+			hw.Release()
+		}
 	}
 }
 

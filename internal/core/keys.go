@@ -78,6 +78,23 @@ func (k *KeyStore) VolatileKey() []byte {
 	return key
 }
 
+// Rekey replaces the volatile root key in its iRAM home. The caller owns
+// the consequences: pages sealed under the old key become undecryptable, so
+// Sentry.Rekey (the only intended caller) refuses once anything is sealed.
+func (k *KeyStore) Rekey(key []byte) error {
+	if len(key) != VolatileKeySize {
+		return fmt.Errorf("core: rekey wants %d key bytes, got %d", VolatileKeySize, len(key))
+	}
+	k.s.CPU.WritePhys(k.volAddr, key)
+	if k.s.Trace != nil {
+		k.s.Trace.Emit(obs.Event{
+			Cycle: k.s.Clock.Cycles(), Kind: obs.KindKeyDerive,
+			Addr: uint64(k.volAddr), Size: VolatileKeySize, Label: "volatile-rekey",
+		})
+	}
+	return nil
+}
+
 // VolatileKeyAddr returns the key's iRAM address (attack tests aim here).
 func (k *KeyStore) VolatileKeyAddr() mem.PhysAddr { return k.volAddr }
 

@@ -363,6 +363,21 @@ func (sn *Sentry) IRAM() *onsoc.IRAMAlloc { return sn.iram }
 // Keys exposes the key store.
 func (sn *Sentry) Keys() *KeyStore { return sn.keys }
 
+// Rekey replaces the volatile root key and re-expands the on-SoC engine's
+// schedule over the new key, in place. Only legal before anything has been
+// sealed: a page encrypted under the old key would be garbage after. Hosts
+// that stamp per-device keys onto a forked base image (internal/fleet) call
+// this right after the fork, before any process locks.
+func (sn *Sentry) Rekey(key []byte) error {
+	if len(sn.frameEpoch) != 0 || len(sn.sealedKernelFrames) != 0 {
+		return fmt.Errorf("core: rekey with %d sealed frames outstanding", len(sn.frameEpoch)+len(sn.sealedKernelFrames))
+	}
+	if err := sn.keys.Rekey(key); err != nil {
+		return err
+	}
+	return sn.engine.Rekey(key)
+}
+
 // pageIV derives the CBC IV for a page: the volatile-key encryption of
 // (frame number, lock epoch), so re-encrypting at every lock never reuses
 // an IV for changed content.

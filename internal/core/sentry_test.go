@@ -584,3 +584,45 @@ func TestSuspendWhileLockedKeepsSecretsSafe(t *testing.T) {
 		t.Fatal("data lost across suspend cycles")
 	}
 }
+
+// TestRekeyBeforeSealOnly: a fresh boot can swap the volatile root key (the
+// fleet stamps per-device keys onto forked base images this way) and the
+// engine follows — pages sealed after the rekey decrypt correctly. Once
+// anything is sealed under a key, rekeying is refused: those pages would be
+// garbage under the new schedule.
+func TestRekeyBeforeSealOnly(t *testing.T) {
+	sn, k, s := bootTegra(t, Config{})
+	newKey := bytes.Repeat([]byte{0xA5, 0x3C}, VolatileKeySize/2)
+	if err := sn.Rekey(newKey); err != nil {
+		t.Fatalf("rekey on a fresh boot: %v", err)
+	}
+	if got := sn.Keys().VolatileKey(); !bytes.Equal(got, newKey) {
+		t.Fatalf("volatile key after rekey = %x, want %x", got, newKey)
+	}
+	if err := sn.Rekey(newKey[:5]); err == nil {
+		t.Fatal("rekey accepted a short key")
+	}
+
+	// Full seal/unseal round trip under the new key.
+	p := k.NewProcess("mail", true, false)
+	base, _ := k.MapAnon(p, 2)
+	secret := fillSecret(t, s, k, p, base, 2)
+	k.Lock()
+	if dramHolds(s, p, []byte("TOP-SECRET-EMAIL")) {
+		t.Fatal("plaintext in DRAM after lock under rekeyed root")
+	}
+	if err := sn.Rekey(newKey); err == nil {
+		t.Fatal("rekey succeeded with sealed pages outstanding")
+	}
+	if err := k.Unlock(pin); err != nil {
+		t.Fatal(err)
+	}
+	k.Switch(p)
+	got := make([]byte, len(secret))
+	if err := s.CPU.Load(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("secret corrupted across a seal cycle under the rekeyed root")
+	}
+}

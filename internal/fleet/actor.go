@@ -168,6 +168,35 @@ func (d *device) Fork() *device {
 	return d2
 }
 
+// Deflate re-encodes a parked device as a delta against the fleet's frozen
+// base world (see soc.SoC.Deflate): only the memory pages and cache lines
+// that diverged from the shared post-boot image stay resident. The disk
+// keeps its own store — its ciphertext is under a per-device key, so there
+// is no shared base to delta against, and it is already sparse (written
+// sectors only); it is charged to the returned footprint along with the
+// sector shadow. Call only on a parked, exclusively owned device; the next
+// Fork re-inflates a dense, byte-identical copy.
+func (d *device) Deflate(base *sentry.Device) int64 {
+	return d.dev.Deflate(base) + d.looseBytes()
+}
+
+// footprint estimates the device's resting cost in its current encoding —
+// the dense-array measure for a full park, on the same scale Deflate
+// reports for a delta park.
+func (d *device) footprint() int64 {
+	return d.dev.FootprintBytes() + d.looseBytes()
+}
+
+// looseBytes is the device state outside the SoC: materialised disk sectors
+// and the written-sector shadow.
+func (d *device) looseBytes() int64 {
+	var n int64
+	if d.disk != nil {
+		n = d.disk.ResidentBytes()
+	}
+	return n + int64(len(d.shadow))*(blockdev.SectorSize+16)
+}
+
 // actor hosts one resident device on one goroutine — the single-owner
 // contract of the simulation (sim.Clock, sim.RNG, obs instruments) is
 // preserved by construction, and enforced by the obs owner guard in
@@ -276,19 +305,30 @@ func (a *actor) hydrate() {
 	a.f.ctrHydrations.Inc()
 }
 
-// park is the eviction path: adopt the live world into the slot's snapshot
-// (O(1) — no copy; the next hydration forks it) and complete the hand-off.
-// A dead or boot-failed world is discarded instead — its terminal state is
-// already recorded on the slot, and a quarantined slot never re-instantiates.
+// park is the eviction path: deflate the live world to a delta against the
+// fleet's shared base and adopt it into the slot's snapshot (no copy; the
+// next hydration forks a dense reconstruction), so a parked device rests at
+// O(divergence from base) instead of O(everything it ever touched). Under
+// NoDelta the world is adopted whole. A dead or boot-failed world is
+// discarded instead — its terminal state is already recorded on the slot,
+// and a quarantined slot never re-instantiates.
 func (a *actor) park() {
 	for _, r := range a.mbox.close(ErrShed) {
 		r.reply <- result{err: ErrShed}
 	}
+	var bytes int64
 	if a.d != nil && !a.d.dead {
-		a.sl.parked = snapshot.Adopt(a.d)
+		if base := a.f.deltaBase(); base != nil {
+			a.sl.parked, bytes = snapshot.CaptureDelta[*device, *sentry.Device](a.d, base)
+		} else {
+			a.sl.parked = snapshot.Adopt(a.d)
+			bytes = a.d.footprint()
+		}
 	} else {
 		a.sl.parked = nil
 	}
+	a.f.gParkedBytes.Add(bytes - a.sl.parkedBytes)
+	a.sl.parkedBytes = bytes
 	a.d = nil
 	a.sh.parkDone(a.sl)
 }
@@ -445,6 +485,26 @@ func bootSeed(fleetSeed int64, id DeviceID) int64 {
 	return int64(h &^ (1 << 63)) // keep it positive for readable logs
 }
 
+// deviceVolKey derives device id's volatile root key from the base image's
+// boot-generated key: fold the base key and id through splitmix64 and expand
+// the stream to key length. Deterministic per (base key, id) — a reboot
+// re-derives the identical key — and distinct across ids.
+func deviceVolKey(base []byte, id DeviceID) []byte {
+	var h uint64
+	for _, b := range base {
+		h = splitmix64(h ^ uint64(b))
+	}
+	h = splitmix64(h ^ uint64(id))
+	key := make([]byte, len(base))
+	for i := 0; i < len(key); i += 8 {
+		h = splitmix64(h)
+		for j := 0; j < 8 && i+j < len(key); j++ {
+			key[i+j] = byte(h >> (8 * j))
+		}
+	}
+	return key
+}
+
 // bootDevice builds one fresh simulated device with the fleet workload: a
 // sensitive foreground and background process filled with the plaintext
 // marker, an encrypted disk, and (when configured) a fault injector. The
@@ -472,6 +532,15 @@ func (a *actor) bootDevice() (*device, error) {
 	// The actor goroutine owns this device; bind the metrics registry so
 	// debug/race builds catch any cross-goroutine wiring.
 	sd.Metrics().BindOwner()
+
+	// Stamp a per-device volatile key over the shared boot image, before
+	// anything seals. The derivation is deterministic in (base key, id), so
+	// every reboot of this device regenerates the same key while no two
+	// devices share one — capturing a fleet-wide key from one parked delta
+	// must not unlock its neighbours.
+	if err := sd.Sentry.Rekey(deviceVolKey(sd.Sentry.Keys().VolatileKey(), id)); err != nil {
+		return nil, err
+	}
 
 	d := &device{
 		dev:     sd,

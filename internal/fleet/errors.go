@@ -34,6 +34,11 @@ var (
 	ErrOverload = errors.New("fleet: overloaded")
 )
 
+// errSlotMoved is the internal signal that a live reshard re-homed a slot
+// between resolution and acquisition; Do re-resolves and retries without
+// charging an attempt. It never escapes the fleet package.
+var errSlotMoved = errors.New("fleet: slot re-homed by reshard")
+
 // Transient classifies an error as worth retrying: the failure is a state
 // the device can leave on its own (locked screen, open breaker, a reboot in
 // progress, momentary memory pressure). Everything else — wrong PIN,

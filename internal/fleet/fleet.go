@@ -67,6 +67,11 @@ const (
 	MetricHydrations = "fleet.hydrations"
 	MetricOverloads  = "fleet.overloads"
 	MetricResident   = "fleet.resident"
+	// MetricParkedBytes is the estimated resting cost of every parked
+	// snapshot currently retained, in bytes — delta-encoded parks charge
+	// only their divergence from the shared base. Updated at each park, so
+	// it reports resting cost as of the last park of each device.
+	MetricParkedBytes = "fleet.parked_bytes"
 )
 
 // Options is the resolved configuration of a Fleet. Construct a fleet with
@@ -111,6 +116,13 @@ type Options struct {
 	// the same seed replays the same boot — only wall-clock differs. The
 	// sentrybench -snapshot=off escape hatch sets it.
 	NoSnapshots bool
+
+	// NoDelta parks evicted devices as full snapshots instead of deltas
+	// against the shared base world. Results are identical either way (the
+	// delta soundness property in internal/check/delta_test.go); only the
+	// resting memory cost of a parked device differs. The escape hatch
+	// exists for A/B measurement of exactly that cost.
+	NoDelta bool
 
 	// DefaultTimeout bounds requests whose context carries no deadline
 	// (default 30s) — every request in the system has a deadline.
@@ -225,6 +237,10 @@ func WithFaults(p faults.Profile) Option { return func(o *Options) { o.Faults = 
 // no eviction). Results are identical; only wall-clock differs.
 func WithNoSnapshots() Option { return func(o *Options) { o.NoSnapshots = true } }
 
+// WithNoDelta parks evicted devices as full snapshots instead of deltas
+// against the shared base. Results are identical; only parked memory differs.
+func WithNoDelta() Option { return func(o *Options) { o.NoDelta = true } }
+
 // WithDefaultTimeout bounds requests that carry no deadline of their own.
 func WithDefaultTimeout(d time.Duration) Option { return func(o *Options) { o.DefaultTimeout = d } }
 
@@ -245,16 +261,21 @@ type Fleet struct {
 	bo    Backoff
 	reg   *obs.Registry
 
-	ring   *ring
-	shards []*shard
+	// top is the routing topology (consistent-hash ring + shard table),
+	// swapped atomically by Reshard; reshardMu serialises reshards.
+	top       atomic.Pointer[topology]
+	reshardMu sync.Mutex
 
 	admMax      int64
 	admInflight atomic.Int64
 
 	// base is the shared post-boot snapshot every device's boot forks:
 	// one pristine world per fleet, built lazily by the first boot.
+	// baseDev is the same world object, frozen (FreezeBase) so it can also
+	// serve as the read-only base delta parks deflate against.
 	baseOnce sync.Once
 	base     *snapshot.Snapshot[*sentry.Device]
+	baseDev  *sentry.Device
 	baseErr  error
 
 	stop     chan struct{}
@@ -279,6 +300,7 @@ type Fleet struct {
 	ctrHydrations       *obs.Counter
 	ctrOverloads        *obs.Counter
 	gResident           *obs.Gauge
+	gParkedBytes        *obs.Gauge
 }
 
 // Open starts a fleet hosting n logical devices. No device boots until its
@@ -333,13 +355,14 @@ func newFleet(opt Options) *Fleet {
 	f.ctrHydrations = f.reg.Counter(MetricHydrations)
 	f.ctrOverloads = f.reg.Counter(MetricOverloads)
 	f.gResident = f.reg.Gauge(MetricResident)
+	f.gParkedBytes = f.reg.Gauge(MetricParkedBytes)
 	f.reg.BindOwner()
 
-	f.ring = newRing(opt.Shards)
-	f.shards = make([]*shard, opt.Shards)
-	for i := range f.shards {
-		f.shards[i] = newShard(f, i, shardCap(opt.ResidentCap, opt.Shards, i))
+	shards := make([]*shard, opt.Shards)
+	for i := range shards {
+		shards[i] = newShard(f, i, shardCap(opt.ResidentCap, opt.Shards, i))
 	}
+	f.top.Store(&topology{ring: newRing(opt.Shards), shards: shards})
 	go f.watchdog()
 	return f
 }
@@ -371,9 +394,25 @@ func (f *Fleet) baseSnapshot() (*snapshot.Snapshot[*sentry.Device], error) {
 			f.baseErr = err
 			return
 		}
+		// Freeze the base world: it serves two concurrent roles — the
+		// parked snapshot every boot forks (serialised by the snapshot
+		// mutex) and the read-only base every delta park deflates against
+		// (lock-free reads from parking actors).
+		sd.FreezeBase()
+		f.baseDev = sd
 		f.base = snapshot.Adopt(sd)
 	})
 	return f.base, f.baseErr
+}
+
+// deltaBase returns the frozen world parks deflate against, nil when delta
+// parking is off. A park implies a prior boot, so baseDev is published (the
+// booting actor's baseOnce.Do happened-before it parked).
+func (f *Fleet) deltaBase() *sentry.Device {
+	if f.opt.NoDelta || f.opt.NoSnapshots {
+		return nil
+	}
+	return f.baseDev
 }
 
 // Metrics returns the fleet's registry.
@@ -382,9 +421,29 @@ func (f *Fleet) Metrics() *obs.Registry { return f.reg }
 // Devices returns the logical device population.
 func (f *Fleet) Devices() int { return f.opt.Devices }
 
-// shardFor returns the shard owning id.
+// shardFor returns the shard owning id under the current topology.
 func (f *Fleet) shardFor(id DeviceID) *shard {
-	return f.shards[f.ring.owner(id)]
+	top := f.top.Load()
+	return top.shards[top.ring.owner(id)]
+}
+
+// peek returns id's shard and slot without instantiating the slot. During a
+// live reshard a mover that has not been pulled over yet is still found at
+// its previous owner (a slot lives in exactly one shard table at all times).
+func (f *Fleet) peek(id DeviceID) (*shard, *slot) {
+	top := f.top.Load()
+	sh := top.shards[top.ring.owner(id)]
+	if sl := sh.peekSlot(id); sl != nil {
+		return sh, sl
+	}
+	if top.prev != nil {
+		if old := top.prev.shards[top.prev.ring.owner(id)]; old != sh {
+			if sl := old.peekSlot(id); sl != nil {
+				return old, sl
+			}
+		}
+	}
+	return sh, nil
 }
 
 // admit takes one admission token; false means the front door is full.
@@ -435,8 +494,7 @@ func (f *Fleet) Do(ctx context.Context, id DeviceID, op Op) (Result, error) {
 	}
 	defer f.unadmit()
 
-	sh := f.shardFor(id)
-	sl := sh.getSlot(id)
+	sh, sl := f.resolve(id)
 	opID := (uint64(id)+1)<<40 | sl.nextOp.Add(1)
 	res := Result{OpID: opID}
 	if _, has := ctx.Deadline(); !has {
@@ -452,6 +510,13 @@ func (f *Fleet) Do(ctx context.Context, id DeviceID, op Op) (Result, error) {
 			return res, err
 		}
 		r, err := f.try(ctx, sh, sl, op, opID)
+		if errors.Is(err, errSlotMoved) {
+			// A live reshard re-homed the slot between resolve and acquire;
+			// follow it to its new shard without burning an attempt.
+			sh, sl = f.resolve(id)
+			attempt--
+			continue
+		}
 		res.Restarts = sl.restarts.Load()
 		if err == nil {
 			r.OpID, r.Attempts, r.Restarts = res.OpID, res.Attempts, res.Restarts
@@ -522,7 +587,7 @@ func (f *Fleet) watchdog() {
 		case <-f.clock.After(f.opt.WatchdogEvery):
 		}
 		now := f.clock.Now().UnixNano()
-		for _, sh := range f.shards {
+		for _, sh := range f.top.Load().shards {
 			sh.mu.Lock()
 			for sl := sh.lruHead; sl != nil; sl = sl.lruNext {
 				since := sl.act.busySince.Load()
@@ -547,7 +612,7 @@ func (f *Fleet) Stop() {
 	f.stopOnce.Do(func() {
 		f.stopped.Store(true)
 		close(f.stop)
-		for _, sh := range f.shards {
+		for _, sh := range f.top.Load().shards {
 			sh.mu.Lock()
 			for _, sl := range sh.slots {
 				if sl.act != nil {
@@ -586,7 +651,7 @@ type DeviceHealth struct {
 // reports Touched=false and a closed breaker.
 func (f *Fleet) DeviceHealth(id DeviceID) DeviceHealth {
 	h := DeviceHealth{ID: id, BreakerStr: BreakerClosed.String()}
-	sl := f.shardFor(id).peekSlot(id)
+	sh, sl := f.peek(id)
 	if sl == nil {
 		return h
 	}
@@ -598,23 +663,31 @@ func (f *Fleet) DeviceHealth(id DeviceID) DeviceHealth {
 	h.BreakerStr = st.String()
 	h.Boots = sl.boots.Load()
 	h.Restarts = sl.restarts.Load()
-	sh := f.shardFor(id)
-	sh.mu.Lock()
-	h.Resident = sl.state != slotParked
-	if sl.act != nil {
-		h.Queue = sl.act.mbox.len()
+	// The lifecycle fields are guarded by the owning shard's mutex; if a
+	// live reshard re-homed the slot since the peek, follow it.
+	for {
+		sh.mu.Lock()
+		if sh.slots[id] == sl {
+			h.Resident = sl.state != slotParked
+			if sl.act != nil {
+				h.Queue = sl.act.mbox.len()
+			}
+			sh.mu.Unlock()
+			return h
+		}
+		sh.mu.Unlock()
+		sh, _ = f.peek(id)
 	}
-	sh.mu.Unlock()
-	return h
 }
 
 // Health implements Client: the fleet-level probe summary.
 func (f *Fleet) Health(ctx context.Context) (FleetHealth, error) {
+	top := f.top.Load()
 	h := FleetHealth{
 		Logical: uint64(f.opt.Devices),
-		Shards:  len(f.shards),
+		Shards:  len(top.shards),
 	}
-	for _, sh := range f.shards {
+	for _, sh := range top.shards {
 		sh.mu.Lock()
 		h.Touched += len(sh.slots)
 		h.Resident += sh.resident
@@ -657,7 +730,7 @@ func (f *Fleet) Ledger(ctx context.Context, id DeviceID) ([]LedgerEntry, error) 
 	if uint64(id) >= uint64(f.opt.Devices) {
 		return nil, fmt.Errorf("fleet: device %d: %w", id, ErrUnknownDevice)
 	}
-	sl := f.shardFor(id).peekSlot(id)
+	_, sl := f.peek(id)
 	if sl == nil {
 		return nil, nil
 	}
@@ -669,7 +742,7 @@ func (f *Fleet) Ledger(ctx context.Context, id DeviceID) ([]LedgerEntry, error) 
 // RestartCauses returns the recorded cause of every fault-caused restart
 // (and quarantine) of device id.
 func (f *Fleet) RestartCauses(id DeviceID) []string {
-	sl := f.shardFor(id).peekSlot(id)
+	_, sl := f.peek(id)
 	if sl == nil {
 		return nil
 	}
@@ -681,7 +754,7 @@ func (f *Fleet) RestartCauses(id DeviceID) []string {
 // BreakerTrips sums breaker trips across touched devices.
 func (f *Fleet) BreakerTrips() uint64 {
 	var n uint64
-	for _, sh := range f.shards {
+	for _, sh := range f.top.Load().shards {
 		sh.mu.Lock()
 		for _, sl := range sh.slots {
 			n += sl.brk.Trips()
@@ -702,7 +775,7 @@ func (f *Fleet) SweepConfidentiality() []string {
 		panic("fleet: SweepConfidentiality before Stop")
 	}
 	var out []string
-	for _, sh := range f.shards {
+	for _, sh := range f.top.Load().shards {
 		// Post-Stop: actorWG has drained, states are frozen; sort for a
 		// deterministic sweep order.
 		ids := make([]DeviceID, 0, len(sh.slots))

@@ -767,11 +767,11 @@ func TestOpenFunctionalOptions(t *testing.T) {
 	if f.opt.Devices != 1_000_000 || f.opt.Seed != 9 || f.opt.PIN != "2468" {
 		t.Fatalf("options not applied: %+v", f.opt)
 	}
-	if len(f.shards) != 4 {
-		t.Fatalf("shards = %d, want 4", len(f.shards))
+	if got := len(f.top.Load().shards); got != 4 {
+		t.Fatalf("shards = %d, want 4", got)
 	}
 	total := 0
-	for _, sh := range f.shards {
+	for _, sh := range f.top.Load().shards {
 		total += sh.cap
 	}
 	if total != 8 {

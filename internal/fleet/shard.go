@@ -44,6 +44,11 @@ type slot struct {
 	lruNext  *slot
 
 	parked *snapshot.Snapshot[*device]
+	// parkedBytes is the estimated resting cost of sl.parked as of the
+	// last park; the delta against it keeps the fleet's parked-bytes gauge
+	// current. Owned by the parking actor (hand-off through the shard
+	// mutex), like parked itself.
+	parkedBytes int64
 
 	nextOp      atomic.Uint64
 	quarantined atomic.Bool
@@ -86,18 +91,6 @@ func newShard(f *Fleet, idx, cap int) *shard {
 	}
 }
 
-// getSlot returns the slot for id, instantiating it on first touch.
-func (sh *shard) getSlot(id DeviceID) *slot {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	sl := sh.slots[id]
-	if sl == nil {
-		sl = &slot{id: id, brk: NewBreaker(sh.f.opt.Breaker, sh.f.clock)}
-		sh.slots[id] = sl
-	}
-	return sl
-}
-
 // peekSlot returns the slot for id without instantiating it.
 func (sh *shard) peekSlot(id DeviceID) *slot {
 	sh.mu.Lock()
@@ -119,6 +112,12 @@ func (sh *shard) acquire(ctx context.Context, sl *slot) (*actor, error) {
 		if sh.f.stopped.Load() {
 			sh.mu.Unlock()
 			return nil, fmt.Errorf("fleet: device %d: %w", sl.id, ErrShutdown)
+		}
+		if sh.slots[sl.id] != sl {
+			// A live reshard re-homed the slot while we waited; the caller
+			// re-resolves and retries against the new owner.
+			sh.mu.Unlock()
+			return nil, errSlotMoved
 		}
 		switch sl.state {
 		case slotResident:

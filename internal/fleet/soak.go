@@ -37,6 +37,11 @@ type SoakConfig struct {
 	// boot sequence instead of forking the post-boot snapshot.
 	NoSnapshots bool
 
+	// NoDelta forwards to Options.NoDelta: evicted devices park as full
+	// snapshots instead of deltas against the shared base. Like the
+	// residency knobs, it never changes the report, only memory.
+	NoDelta bool
+
 	// ResidentCap and Shards forward to the fleet options (RunSoak only —
 	// SoakOn drives whatever fleet sits behind its Client). Zero keeps the
 	// defaults (unbounded residency, 8 shards).
@@ -236,6 +241,9 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	}
 	if cfg.NoSnapshots {
 		opts = append(opts, WithNoSnapshots())
+	}
+	if cfg.NoDelta {
+		opts = append(opts, WithNoDelta())
 	}
 	f := Open(cfg.Devices, opts...)
 

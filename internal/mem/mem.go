@@ -206,6 +206,88 @@ func (s *Store) Write(off uint64, src []byte) {
 	}
 }
 
+// zeroPage is the comparison target for untouched (architecturally zero)
+// pages during Rebase.
+var zeroPage [PageSize]byte
+
+// Rebase re-encodes the store as a delta against a sealed base store: after
+// it returns, the store's COW base layer is the base's (shared, not copied)
+// and the private layer holds only the pages whose bytes differ from the
+// base — including explicit zero pages shadowing base pages this store has
+// zeroed. Byte-for-byte contents are unchanged; only the representation is.
+// It returns the number of private delta pages retained, which is the
+// store's marginal memory cost over the shared base.
+//
+// This is the memory lever behind delta-encoded parked snapshots: a parked
+// device's stores drop their merged per-fork base maps (O(every page the
+// boot image touched) each) and keep O(pages diverged since boot). The next
+// Fork re-merges via Seal as usual, so hydration needs no special path.
+func (s *Store) Rebase(base *Store) int {
+	if s == base {
+		panic("mem: Rebase against self")
+	}
+	if base.size != s.size {
+		panic(fmt.Sprintf("mem: Rebase size mismatch: %#x vs base %#x", s.size, base.size))
+	}
+	if len(base.pages) != 0 {
+		panic("mem: Rebase against an unsealed base (Seal it first)")
+	}
+	delta := make(map[uint64]*[PageSize]byte)
+	keep := func(pn uint64, p *[PageSize]byte, owned bool) {
+		if !owned {
+			cp := new([PageSize]byte)
+			if p != nil {
+				*cp = *p
+			}
+			p = cp
+		}
+		delta[pn] = p
+	}
+	// Pages this store can see: private shadows first, then its old base.
+	for pn, p := range s.pages {
+		if bp := base.base[pn]; bp != p {
+			if (bp == nil && *p != zeroPage) || (bp != nil && *p != *bp) {
+				keep(pn, p, true) // private pages are exclusively owned
+			}
+		}
+	}
+	for pn, p := range s.base {
+		if _, shadowed := s.pages[pn]; shadowed {
+			continue
+		}
+		if bp := base.base[pn]; bp != p {
+			if (bp == nil && *p != zeroPage) || (bp != nil && *p != *bp) {
+				keep(pn, p, false) // old-base pages are frozen and shared
+			}
+		}
+	}
+	// Base pages this store has lost (ZeroAll, or never inherited): shadow
+	// them with explicit zero pages so reads keep returning zeroes.
+	for pn, bp := range base.base {
+		if _, ok := delta[pn]; ok {
+			continue
+		}
+		if s.pages[pn] != nil || (s.base != nil && s.base[pn] != nil) {
+			continue // visible above; already compared
+		}
+		if *bp != zeroPage {
+			keep(pn, nil, false)
+		}
+	}
+	s.pages = delta
+	s.base = base.base
+	s.cachePN = [pageCacheSlots]uint64{}
+	s.cachePage = [pageCacheSlots]*[PageSize]byte{}
+	s.cacheRW = [pageCacheSlots]bool{}
+	return len(delta)
+}
+
+// ResidentPages estimates the number of map entries this store holds across
+// both layers — the metadata footprint a Rebase collapses. Pages shadowing a
+// base entry count twice; the estimate is exact for sealed or rebased
+// stores, which have no shadows.
+func (s *Store) ResidentPages() int { return len(s.pages) + len(s.base) }
+
 // ZeroAll discards every backing page — including the inherited COW base —
 // returning the store to all-zeroes.
 func (s *Store) ZeroAll() {
@@ -309,6 +391,14 @@ func (d *Device) Store() *Store { return d.s }
 func (d *Device) Fork() *Device {
 	return &Device{name: d.name, base: d.base, s: d.s.Fork(), tech: d.tech}
 }
+
+// Rebase re-encodes the device's store as a delta against base's sealed
+// store (see Store.Rebase); returns the number of delta pages retained.
+func (d *Device) Rebase(base *Device) int { return d.s.Rebase(base.s) }
+
+// ResidentPages reports how many distinct pages the device's store reaches
+// (private plus base layers) — the page-count basis of footprint accounting.
+func (d *Device) ResidentPages() int { return d.s.ResidentPages() }
 
 // Contains reports whether addr falls inside the device.
 func (d *Device) Contains(addr PhysAddr) bool {

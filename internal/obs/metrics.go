@@ -332,6 +332,19 @@ func (r *Registry) CounterValue(name string) uint64 {
 	return c.Value()
 }
 
+// GaugeValue returns the named gauge's value without creating it. Like
+// CounterValue it bypasses the owner guard: reading a resolved atomic is
+// legal from any goroutine.
+func (r *Registry) GaugeValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	g := r.gaugs[name]
+	r.mu.Unlock()
+	return g.Value()
+}
+
 // Clone returns a new registry holding the same instruments with their
 // current values. Instrument pointers resolved from the original stay
 // bound to the original; a forked world re-resolves its instruments by

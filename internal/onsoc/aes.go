@@ -145,6 +145,27 @@ func (a *AES) Adopt(s2 *soc.SoC, key []byte, alloc *IRAMAlloc) (*AES, error) {
 	return n, nil
 }
 
+// Rekey re-expands the arena under a new key of the same size, in place,
+// inside the usual on-SoC bracket. The countermeasure selection survives;
+// everything else about the engine (arena address, placement, release path)
+// is untouched. Ciphertext produced under the old key is unrecoverable
+// afterwards — callers rekey before sealing anything.
+func (a *AES) Rekey(key []byte) error {
+	cm := a.Cipher.Countermeasure()
+	var c *aes.PlacedCipher
+	err := a.bracket(func() error {
+		var err error
+		c, err = aes.NewPlaced(a.Store, key, a.s.Prof.Costs.AESRoundCompute)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	c.SetCountermeasure(cm)
+	a.Cipher = c
+	return nil
+}
+
 // SetCountermeasure selects the underlying cipher's fault-detection
 // countermeasure (see aes.Countermeasure). Adopt carries it to clones.
 func (a *AES) SetCountermeasure(cm aes.Countermeasure) { a.Cipher.SetCountermeasure(cm) }

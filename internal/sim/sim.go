@@ -151,14 +151,95 @@ func (m *Meter) Span(fn func()) float64 {
 	return m.PJ() - start
 }
 
-// countingSource wraps the standard library generator and counts how many
-// times it has been stepped. math/rand's generator advances exactly one
-// internal step per Int63 or Uint64 call, so the pair (seed, steps) is a
-// complete, restorable description of the generator's position — the hook
-// that makes RNG state capturable for world snapshots without giving up
-// math/rand's exact output streams.
+// fibSource is math/rand's additive lagged-Fibonacci generator (Mitchell &
+// Reeds, x[n] = x[n-273] + x[n-607]), reimplemented in-repo so the whole
+// generator state is a copyable value: cloning an RNG is a struct copy
+// instead of a replay of every step consumed since seeding, which is what
+// makes world forking O(1) in stream position. Output is bit-identical to
+// rand.NewSource for every seed (TestFibSourceMatchesMathRand); the frozen
+// seeding table it folds in lives in rngcooked_gen.go, extracted from the
+// toolchain by scripts/extract_rng_cooked.sh.
+type fibSource struct {
+	tap, feed int
+	vec       [fibLen]int64
+}
+
+const (
+	fibLen   = 607
+	fibTap   = 273
+	fibMask  = 1<<63 - 1
+	int32Max = 1<<31 - 1
+)
+
+// seedrand advances the Lehmer LCG (a=48271 over 2^31-1, computed via
+// Schrage's decomposition to stay in 32 bits) that stirs the seed into the
+// initial vector.
+func seedrand(x int32) int32 {
+	const a, q, r = 48271, 44488, 3399
+	hi := x / q
+	lo := x % q
+	x = a*lo - r*hi
+	if x < 0 {
+		x += int32Max
+	}
+	return x
+}
+
+// Seed initialises the vector deterministically from seed, exactly as
+// math/rand does: three LCG draws per slot, whitened by the cooked table.
+func (f *fibSource) Seed(seed int64) {
+	f.tap = 0
+	f.feed = fibLen - fibTap
+
+	seed %= int32Max
+	if seed < 0 {
+		seed += int32Max
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+
+	x := int32(seed)
+	for i := -20; i < fibLen; i++ {
+		x = seedrand(x)
+		if i >= 0 {
+			u := int64(x) << 40
+			x = seedrand(x)
+			u ^= int64(x) << 20
+			x = seedrand(x)
+			u ^= int64(x)
+			u ^= rngCooked[i]
+			f.vec[i] = u
+		}
+	}
+}
+
+// Uint64 advances the recurrence one step.
+func (f *fibSource) Uint64() uint64 {
+	f.tap--
+	if f.tap < 0 {
+		f.tap += fibLen
+	}
+	f.feed--
+	if f.feed < 0 {
+		f.feed += fibLen
+	}
+	x := f.vec[f.feed] + f.vec[f.tap]
+	f.vec[f.feed] = x
+	return uint64(x)
+}
+
+// Int63 returns the step masked to 63 bits, as rand.Source.Int63 does.
+func (f *fibSource) Int63() int64 { return int64(f.Uint64() & fibMask) }
+
+// countingSource wraps the generator and counts how many times it has been
+// stepped. The generator advances exactly one internal step per Int63 or
+// Uint64 call, so the pair (seed, steps) is a complete, restorable
+// description of the generator's position — the hook that makes RNG state
+// capturable for world snapshots without giving up math/rand's exact output
+// streams.
 type countingSource struct {
-	src rand.Source64
+	src fibSource
 	n   uint64 // generator steps delivered since seeding
 }
 
@@ -188,7 +269,7 @@ type RNG struct {
 // NewRNG returns a deterministic random source for the given seed.
 func NewRNG(seed int64) *RNG {
 	g := &RNG{seed: seed}
-	g.src.src = rand.NewSource(seed).(rand.Source64)
+	g.src.Seed(seed)
 	g.r = rand.New(&g.src)
 	return g
 }
@@ -243,7 +324,14 @@ func (g *RNG) State() RNGState {
 }
 
 // Clone returns an independent RNG positioned at the same stream point.
-func (g *RNG) Clone() *RNG { return RestoreRNG(g.State()) }
+// The generator state is a value, so this is a struct copy — O(1) in how
+// far the stream has advanced, unlike RestoreRNG's replay (which exists
+// for rebuilding from a serialised RNGState, where the vector is absent).
+func (g *RNG) Clone() *RNG {
+	n := &RNG{seed: g.seed, src: g.src, readVal: g.readVal, readPos: g.readPos}
+	n.r = rand.New(&n.src)
+	return n
+}
 
 // RestoreRNG returns a fresh RNG positioned at the captured state by
 // replaying the recorded number of generator steps. Steps are cheap

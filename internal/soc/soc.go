@@ -250,6 +250,47 @@ func (s *SoC) Freeze() {
 	s.DRAM.Store().Seal()
 }
 
+// FreezeBase is the stronger freeze a delta-encoding population needs: it
+// seals the stores (Freeze) and pins the L2 read-only (FreezeShared), so
+// this SoC can serve as the shared base that Deflate compares against and
+// that concurrent Forks clone without any parent-side mutation.
+func (s *SoC) FreezeBase() {
+	s.Freeze()
+	s.L2.FreezeShared()
+}
+
+// Deflate re-encodes the platform's heavyweight state as a delta against a
+// FreezeBase'd base platform: both memory stores are rebased onto the base's
+// sealed page maps (keeping only diverged pages, see mem.Store.Rebase) and
+// the L2's dense arrays are replaced by a sparse line delta (released to the
+// clone pool, see cache.L2.Deflate). Contents are unchanged — the next Fork
+// reconstructs a byte-identical platform — only the resting memory cost
+// drops from O(everything the world ever touched) to O(divergence from the
+// base). Returns an estimate of the bytes still retained privately.
+//
+// Only an exclusively owned, no-longer-running platform (a parked snapshot)
+// may be deflated; after Deflate, Fork and Release are the only legal
+// operations until a Fork re-inflates a dense copy.
+func (s *SoC) Deflate(base *SoC) int64 {
+	n := int64(s.IRAM.Rebase(base.IRAM)) + int64(s.DRAM.Rebase(base.DRAM))
+	bytes := n*mem.PageSize + s.L2.Deflate(base.L2)
+	// Everything else on the platform (CPU registers, TZ state, RNG, bus
+	// stats, registry clone) is a few KB of flat structs; charge a nominal
+	// constant so the gauge reflects per-device floor cost too.
+	return bytes + 4096
+}
+
+// FootprintBytes estimates the platform's resting memory cost in its
+// current encoding, on the same scale Deflate reports: resident page bytes
+// of both stores plus the L2's footprint (dense arrays, or the sparse delta
+// once deflated) plus the flat-struct constant. A full-parked platform is
+// measured by this; a delta-parked one by Deflate's return — the ratio is
+// the fleet's bytes-per-parked-device reduction.
+func (s *SoC) FootprintBytes() int64 {
+	n := int64(s.IRAM.ResidentPages() + s.DRAM.ResidentPages())
+	return n*mem.PageSize + s.L2.FootprintBytes() + 4096
+}
+
 // Fork returns an independent deep copy of the platform. Memory contents are
 // shared copy-on-write with this SoC (both sides seal their stores), so a
 // fork costs O(live metadata), not O(DRAM size). The clone continues the

@@ -20,12 +20,16 @@ type File struct {
 
 // Run is one recorded run. TotalSec is the wall clock; OpsPerSec is set by
 // throughput kinds ("serve"); Experiments is the per-experiment breakdown
-// of -exp all runs.
+// of -exp all runs; the BytesPerDevice pair is set by the memory kind
+// ("scale") — the resting cost of a delta-parked device and of the same
+// device parked as a full snapshot.
 type Run struct {
-	Parallelism int                `json:"parallelism"`
-	TotalSec    float64            `json:"total_seconds"`
-	OpsPerSec   float64            `json:"ops_per_sec,omitempty"`
-	Experiments map[string]float64 `json:"experiments,omitempty"`
+	Parallelism        int                `json:"parallelism"`
+	TotalSec           float64            `json:"total_seconds"`
+	OpsPerSec          float64            `json:"ops_per_sec,omitempty"`
+	Experiments        map[string]float64 `json:"experiments,omitempty"`
+	BytesPerDevice     int64              `json:"bytes_per_device,omitempty"`
+	BytesPerDeviceFull int64              `json:"bytes_per_device_full,omitempty"`
 }
 
 // Headroom is how much worse than the checked-in record a run may be before
@@ -102,6 +106,28 @@ func GuardRatio(path, baseKind string, minRatio float64, run *Run) (string, erro
 	}
 	return fmt.Sprintf("throughput %.0f/s is %.1fx the recorded %s rate %.0f/s (floor %.0fx)",
 		run.OpsPerSec, run.OpsPerSec/rec.OpsPerSec, baseKind, rec.OpsPerSec, minRatio), nil
+}
+
+// GuardBytes fails if run's resting bytes per parked device grew more than
+// Headroom over the recorded figure — the memory guard behind the
+// 10^6-logical-devices capacity claim. (The companion >=5x-reduction check
+// compares the run's own delta and full measurements and lives in the
+// driver, since both numbers are measured fresh.)
+func GuardBytes(path, kind string, run *Run) (string, error) {
+	rec, err := load(path, kind)
+	if err != nil {
+		return "", err
+	}
+	if rec.BytesPerDevice <= 0 {
+		return "", fmt.Errorf("%s record in %s has no bytes/device", kind, path)
+	}
+	limit := float64(rec.BytesPerDevice) * Headroom
+	if float64(run.BytesPerDevice) > limit {
+		return "", fmt.Errorf("%s parked footprint %d B/device exceeds %.0f B (recorded %d + 25%% headroom) — memory regression",
+			kind, run.BytesPerDevice, limit, rec.BytesPerDevice)
+	}
+	return fmt.Sprintf("%s parked footprint %d B/device within %.0f B budget (recorded %d + 25%% headroom)",
+		kind, run.BytesPerDevice, limit, rec.BytesPerDevice), nil
 }
 
 // GuardThroughput fails if run's ops/sec fell below the recorded rate

@@ -297,6 +297,24 @@ func (d *Device) Fork() *Device {
 	return &Device{SoC: s2, Kernel: k2, Sentry: sn2}
 }
 
+// FreezeBase pins the device as the immutable base of a fork population:
+// memory stores are sealed and the L2 marked copy-on-write once, so
+// concurrent Forks and Deflates against it never mutate it. The device must
+// not execute anything afterwards. Idempotent.
+func (d *Device) FreezeBase() { d.SoC.FreezeBase() }
+
+// Deflate re-encodes the device's heavyweight platform state as a delta
+// against a FreezeBase'd base device, keeping only memory pages and cache
+// lines diverged from it (see soc.SoC.Deflate). The device must be parked —
+// exclusively owned and never executed again; the next Fork reconstructs a
+// byte-identical dense copy. Returns an estimate of the bytes retained.
+func (d *Device) Deflate(base *Device) int64 { return d.SoC.Deflate(base.SoC) }
+
+// FootprintBytes estimates the device's resting memory cost in its current
+// encoding (dense, or the sparse delta after Deflate) — see
+// soc.SoC.FootprintBytes.
+func (d *Device) FootprintBytes() int64 { return d.SoC.FootprintBytes() }
+
 // Trace returns the device's event tracer (nil unless Open was given
 // WithTracer or WithMetricsSink).
 func (d *Device) Trace() *Tracer { return d.SoC.Trace }
